@@ -1,0 +1,139 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * grouping limit (how much fusion),
+//! * overlap threshold (how much redundant work the grouper tolerates),
+//! * scratchpad class quantum (the ±threshold of §3.2.1),
+//! * coefficient factoring in the lowering,
+//! * dead-code elimination (run a 10-0-0 cycle whose dead stages DCE prunes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmg_bench::runners::harness_tiles;
+use gmg_ir::ParamBindings;
+use gmg_multigrid::config::{CycleType, MgConfig, SizeClass, SmoothSteps};
+use gmg_multigrid::cycles::build_cycle_pipeline;
+use gmg_multigrid::solver::{setup_poisson, CycleRunner, DslRunner};
+use polymg::{PipelineOptions, Variant};
+
+fn cfg_2d() -> MgConfig {
+    MgConfig::new(2, SizeClass::Smoke.n(2), CycleType::V, SmoothSteps::s444())
+}
+
+fn bench_group_limit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_group_limit");
+    g.sample_size(10);
+    let cfg = cfg_2d();
+    let pipeline = build_cycle_pipeline(&cfg);
+    let (v0, f, _) = setup_poisson(&cfg);
+    for gl in [1usize, 3, 6, 11] {
+        let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        opts.tile_sizes = harness_tiles(2);
+        opts.group_limit = gl;
+        let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+        let mut runner = DslRunner::from_plan(plan, &cfg);
+        let mut v = v0.clone();
+        g.bench_function(BenchmarkId::from_parameter(gl), |b| {
+            b.iter(|| runner.cycle(&mut v, &f));
+        });
+    }
+    g.finish();
+}
+
+fn bench_overlap_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_overlap_threshold");
+    g.sample_size(10);
+    let cfg = cfg_2d();
+    let pipeline = build_cycle_pipeline(&cfg);
+    let (v0, f, _) = setup_poisson(&cfg);
+    for thr in [1.05f64, 1.5, 2.0, 4.0] {
+        let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        opts.tile_sizes = harness_tiles(2);
+        opts.overlap_threshold = thr;
+        let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+        let mut runner = DslRunner::from_plan(plan, &cfg);
+        let mut v = v0.clone();
+        g.bench_function(BenchmarkId::from_parameter(thr), |b| {
+            b.iter(|| runner.cycle(&mut v, &f));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scratch_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scratch_quantum");
+    g.sample_size(10);
+    let cfg = cfg_2d();
+    let pipeline = build_cycle_pipeline(&cfg);
+    let (v0, f, _) = setup_poisson(&cfg);
+    for q in [1i64, 8, 32] {
+        let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        opts.tile_sizes = harness_tiles(2);
+        opts.scratch_quantum = q;
+        let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+        let buffers = plan.total_scratch_buffers();
+        let mut runner = DslRunner::from_plan(plan, &cfg);
+        let mut v = v0.clone();
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("q{q}_bufs{buffers}")),
+            |b| {
+                b.iter(|| runner.cycle(&mut v, &f));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_coeff_factoring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_coeff_factoring");
+    g.sample_size(10);
+    // NAS-style 27-point operators are where factoring matters
+    let n = SizeClass::Smoke.n(3);
+    let e = (n + 2) as usize;
+    let mut v = vec![0.0; e * e * e];
+    gmg_nas::init_charges(&mut v, n, 10, 99);
+    for on in [false, true] {
+        let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 3);
+        opts.tile_sizes = harness_tiles(3);
+        opts.coeff_factoring = on;
+        let mut dsl = gmg_nas::dsl::NasDsl::new(n, 4, opts, "x").unwrap();
+        let mut u = vec![0.0; e * e * e];
+        g.bench_function(BenchmarkId::from_parameter(on), |b| {
+            b.iter(|| dsl.cycle(&mut u, &v));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dce(c: &mut Criterion) {
+    // 10-0-0's dead defect/restrict at level 1 are pruned by DCE; the bench
+    // documents what executing a cycle costs with the pruned plan (there is
+    // no "DCE off" mode — this is the regression anchor for the pass).
+    let mut g = c.benchmark_group("ablation_dce_1000_cycle");
+    g.sample_size(10);
+    let cfg = MgConfig::new(2, SizeClass::Smoke.n(2), CycleType::V, SmoothSteps::s1000());
+    let pipeline = build_cycle_pipeline(&cfg);
+    let (v0, f, _) = setup_poisson(&cfg);
+    let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+    opts.tile_sizes = harness_tiles(2);
+    let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+    let live: usize = plan.groups.iter().map(|g| g.stages.len()).sum();
+    let total = plan.graph.num_compute_stages();
+    let mut runner = DslRunner::from_plan(plan, &cfg);
+    let mut v = v0.clone();
+    g.bench_function(
+        BenchmarkId::from_parameter(format!("live{live}_of{total}")),
+        |b| {
+            b.iter(|| runner.cycle(&mut v, &f));
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_limit,
+    bench_overlap_threshold,
+    bench_scratch_quantum,
+    bench_coeff_factoring,
+    bench_dce
+);
+criterion_main!(benches);

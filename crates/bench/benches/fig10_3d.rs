@@ -1,0 +1,53 @@
+//! Criterion wrapper for Figure 10 (3-D speedups + NAS MG).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmg_bench::runners::{harness_tiles, make_runner, ImplKind};
+use gmg_bench::experiments::benchmarks;
+use gmg_multigrid::config::SizeClass;
+use gmg_multigrid::solver::{setup_poisson, CycleRunner};
+use gmg_nas::dsl::NasDsl;
+use gmg_nas::reference::NasReference;
+use polymg::{PipelineOptions, Variant};
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_3d");
+    g.sample_size(10);
+    for cfg in benchmarks(3, SizeClass::Smoke) {
+        let (v0, f, _) = setup_poisson(&cfg);
+        for kind in ImplKind::all() {
+            let mut runner = make_runner(&cfg, kind, 1);
+            let mut v = v0.clone();
+            g.bench_function(BenchmarkId::new(cfg.tag(), kind.label()), |b| {
+                b.iter(|| runner.cycle(&mut v, &f));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_nas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10e_nas");
+    g.sample_size(10);
+    let n = SizeClass::Smoke.n(3);
+    let e = (n + 2) as usize;
+    let mut v = vec![0.0; e * e * e];
+    gmg_nas::init_charges(&mut v, n, 10, 314159);
+
+    let mut nref = NasReference::new(n, 4);
+    nref.set_v(&v);
+    g.bench_function("NAS-reference", |b| b.iter(|| nref.iteration()));
+
+    for variant in [Variant::Naive, Variant::OptPlus] {
+        let mut opts = PipelineOptions::for_variant(variant, 3);
+        opts.tile_sizes = harness_tiles(3);
+        let mut dsl = NasDsl::new(n, 4, opts, variant.label()).unwrap();
+        let mut u = vec![0.0; e * e * e];
+        g.bench_function(BenchmarkId::new("NAS", variant.label()), |b| {
+            b.iter(|| dsl.cycle(&mut u, &v));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_poisson, bench_nas);
+criterion_main!(benches);

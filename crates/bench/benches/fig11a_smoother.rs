@@ -1,0 +1,40 @@
+//! Criterion wrapper for Figure 11a: smoother-only, overlapped vs diamond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmg_bench::experiments::smoother_pipeline;
+use gmg_bench::runners::harness_tiles;
+use gmg_ir::ParamBindings;
+use gmg_multigrid::config::SizeClass;
+use gmg_runtime::Engine;
+use polymg::{PipelineOptions, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11a_smoother");
+    g.sample_size(10);
+    let n = SizeClass::Smoke.n(3);
+    let e = (n + 2) as usize;
+    let len = e * e * e;
+    for steps in [4usize, 10] {
+        let p = smoother_pipeline(3, n, steps, 6.0 / 7.0);
+        for (label, variant) in [
+            ("untiled", Variant::Naive),
+            ("overlapped", Variant::OptPlus),
+            ("diamond", Variant::DtileOptPlus),
+        ] {
+            let mut opts = PipelineOptions::for_variant(variant, 3);
+            opts.tile_sizes = harness_tiles(3);
+            let plan = polymg::compile(&p, &ParamBindings::new(), opts).unwrap();
+            let mut engine = Engine::new(plan);
+            let vin = vec![0.1; len];
+            let fin = vec![0.2; len];
+            let mut out = vec![0.0; len];
+            g.bench_function(BenchmarkId::new(format!("steps{steps}"), label), |b| {
+                b.iter(|| engine.run(&[("V", &vin), ("F", &fin)], vec![("out", &mut out)]));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

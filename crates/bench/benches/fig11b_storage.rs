@@ -1,0 +1,48 @@
+//! Criterion wrapper for Figure 11b: storage-optimization ablation on
+//! V-10-0-0.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmg_bench::runners::harness_tiles;
+use gmg_ir::ParamBindings;
+use gmg_multigrid::config::{CycleType, MgConfig, SizeClass, SmoothSteps};
+use gmg_multigrid::cycles::build_cycle_pipeline;
+use gmg_multigrid::solver::{setup_poisson, CycleRunner, DslRunner};
+use polymg::{PipelineOptions, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11b_storage");
+    g.sample_size(10);
+    for ndims in [2usize, 3] {
+        let cfg = MgConfig::new(
+            ndims,
+            SizeClass::Smoke.n(ndims),
+            CycleType::V,
+            SmoothSteps::s1000(),
+        );
+        let pipeline = build_cycle_pipeline(&cfg);
+        let (v0, f, _) = setup_poisson(&cfg);
+        let levels: [(&str, bool, bool, bool); 4] = [
+            ("base", false, false, false),
+            ("intra", true, false, false),
+            ("intra+pool", true, true, false),
+            ("intra+pool+inter", true, true, true),
+        ];
+        for (label, intra, pool, inter) in levels {
+            let mut opts = PipelineOptions::for_variant(Variant::Opt, ndims);
+            opts.tile_sizes = harness_tiles(ndims);
+            opts.intra_group_reuse = intra;
+            opts.pooled_allocation = pool;
+            opts.inter_group_reuse = inter;
+            let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+            let mut runner = DslRunner::from_plan(plan, &cfg);
+            let mut v = v0.clone();
+            g.bench_function(BenchmarkId::new(format!("{ndims}D"), label), |b| {
+                b.iter(|| runner.cycle(&mut v, &f));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

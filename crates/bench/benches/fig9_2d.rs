@@ -1,0 +1,27 @@
+//! Criterion wrapper for Figure 9 (2-D speedups): one cycle of each
+//! implementation on the smoke class for every 2-D benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmg_bench::runners::{make_runner, ImplKind};
+use gmg_bench::experiments::benchmarks;
+use gmg_multigrid::config::SizeClass;
+use gmg_multigrid::solver::setup_poisson;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_2d");
+    g.sample_size(10);
+    for cfg in benchmarks(2, SizeClass::Smoke) {
+        let (v0, f, _) = setup_poisson(&cfg);
+        for kind in ImplKind::all() {
+            let mut runner = make_runner(&cfg, kind, 1);
+            let mut v = v0.clone();
+            g.bench_function(BenchmarkId::new(cfg.tag(), kind.label()), |b| {
+                b.iter(|| runner.cycle(&mut v, &f));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion wrapper for Table 3's baseline column: polymg-naive cycle time
+//! for every benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmg_bench::experiments::benchmarks;
+use gmg_bench::runners::{make_runner, ImplKind};
+use gmg_multigrid::config::SizeClass;
+use gmg_multigrid::solver::setup_poisson;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_naive");
+    g.sample_size(10);
+    for ndims in [2usize, 3] {
+        for cfg in benchmarks(ndims, SizeClass::Smoke) {
+            let (v0, f, _) = setup_poisson(&cfg);
+            let mut runner = make_runner(&cfg, ImplKind::PolymgNaive, 1);
+            let mut v = v0.clone();
+            g.bench_function(BenchmarkId::new("naive", cfg.tag()), |b| {
+                b.iter(|| runner.cycle(&mut v, &f));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! `polymg-cli` — compile a multigrid benchmark and inspect or export the
+//! result, without writing any Rust:
+//!
+//! ```text
+//! polymg-cli <benchmark> [--variant naive|opt|opt+|dtile-opt+]
+//!            [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb]
+//!            [--emit dump|dot|c|stats] [-o FILE]
+//!
+//! <benchmark> ∈ {V-2D, W-2D, F-2D, V-3D, W-3D, F-3D} with an optional
+//! smoothing suffix, e.g. V-2D-4-4-4 or W-3D-10-0-0 (default 4-4-4).
+//! ```
+//!
+//! `--emit c` writes the Figure-8 C translation unit; `--emit dot` the
+//! Graphviz DAG; `--emit dump` the Figures-6/7 grouping report (default);
+//! `--emit stats` a one-line plan summary.
+
+use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
+use gmg_multigrid::cycles::build_cycle_pipeline;
+use polymg::{codegen, compile, report, PipelineOptions, Variant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: polymg-cli <V-2D[-a-b-c]|W-3D[-a-b-c]|…> [--variant naive|opt|opt+|dtile-opt+]\n\
+         \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--emit dump|dot|c|stats] [-o FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    // benchmark spec: CYCLE-RANK[-pre-coarse-post]
+    let parts: Vec<&str> = args[0].split('-').collect();
+    if parts.len() < 2 {
+        usage();
+    }
+    let cycle = match parts[0] {
+        "V" | "v" => CycleType::V,
+        "W" | "w" => CycleType::W,
+        "F" | "f" => CycleType::F,
+        _ => usage(),
+    };
+    let ndims = match parts[1] {
+        "2D" | "2d" => 2usize,
+        "3D" | "3d" => 3usize,
+        _ => usage(),
+    };
+    let steps = if parts.len() >= 5 {
+        SmoothSteps {
+            pre: parts[2].parse().unwrap_or_else(|_| usage()),
+            coarse: parts[3].parse().unwrap_or_else(|_| usage()),
+            post: parts[4].parse().unwrap_or_else(|_| usage()),
+        }
+    } else {
+        SmoothSteps::s444()
+    };
+
+    let mut variant = Variant::OptPlus;
+    let mut n: i64 = if ndims == 2 { 255 } else { 31 };
+    let mut levels: Option<u32> = None;
+    let mut tiles: Option<Vec<i64>> = None;
+    let mut emit = "dump".to_string();
+    let mut out_file: Option<String> = None;
+    let mut gsrb = false;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--variant" => {
+                i += 1;
+                variant = match args[i].as_str() {
+                    "naive" => Variant::Naive,
+                    "opt" => Variant::Opt,
+                    "opt+" => Variant::OptPlus,
+                    "dtile-opt+" => Variant::DtileOptPlus,
+                    _ => usage(),
+                };
+            }
+            "--n" => {
+                i += 1;
+                n = args[i].parse().unwrap_or_else(|_| usage());
+            }
+            "--levels" => {
+                i += 1;
+                levels = Some(args[i].parse().unwrap_or_else(|_| usage()));
+            }
+            "--tiles" => {
+                i += 1;
+                tiles = Some(
+                    args[i]
+                        .split(',')
+                        .map(|t| t.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--emit" => {
+                i += 1;
+                emit = args[i].clone();
+            }
+            "--gsrb" => gsrb = true,
+            "-o" => {
+                i += 1;
+                out_file = Some(args[i].clone());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut cfg = MgConfig::new(ndims, n, cycle, steps);
+    if let Some(l) = levels {
+        cfg.levels = l;
+    }
+    if gsrb {
+        cfg = cfg.with_gsrb();
+    }
+
+    let pipeline = build_cycle_pipeline(&cfg);
+    let mut opts = PipelineOptions::for_variant(variant, ndims);
+    if let Some(t) = tiles {
+        if t.len() < ndims {
+            usage();
+        }
+        opts.tile_sizes = t;
+    }
+    let plan = match compile(&pipeline, &gmg_ir::ParamBindings::new(), opts) {
+        Ok(p) => p,
+        Err(errs) => {
+            eprintln!("compilation failed:");
+            for e in errs {
+                eprintln!("  {e}");
+            }
+            std::process::exit(1);
+        }
+    };
+
+    let output = match emit.as_str() {
+        "dump" => report::grouping_dump(&plan),
+        "dot" => report::dot_dump(&plan),
+        "c" => codegen::emit_c(&plan),
+        "stats" => {
+            let s = report::stats(&plan);
+            format!(
+                "{} [{}]: {} stages → {} groups ({} overlapped, {} diamond, {} untiled), \
+                 {} full arrays / {} KiB intermediates, {} scratch buffers / {} KiB peak per worker\n",
+                cfg.tag(),
+                variant.label(),
+                s.num_stages,
+                s.num_groups,
+                s.num_overlapped_groups,
+                s.num_diamond_groups,
+                s.num_untiled_groups,
+                s.num_full_arrays,
+                s.intermediate_bytes / 1024,
+                s.total_scratch_buffers,
+                s.peak_scratch_bytes / 1024,
+            )
+        }
+        _ => usage(),
+    };
+
+    match out_file {
+        Some(f) => {
+            std::fs::write(&f, output).expect("write failed");
+            eprintln!("wrote {f}");
+        }
+        None => print!("{output}"),
+    }
+}

@@ -1,0 +1,81 @@
+//! Timing utilities: "the minimum execution time from five runs was taken
+//! in all cases" (§4) — the repeat count is a parameter here so quick runs
+//! stay cheap.
+
+use gmg_multigrid::config::MgConfig;
+use gmg_multigrid::solver::{setup_poisson, time_cycles, CycleRunner};
+use std::time::Duration;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct TimingResult {
+    pub label: String,
+    /// Minimum over repeats of the total time for `iters` cycles.
+    pub total: Duration,
+    pub iters: usize,
+}
+
+impl TimingResult {
+    /// Seconds for the whole iteration budget.
+    pub fn seconds(&self) -> f64 {
+        self.total.as_secs_f64()
+    }
+
+    /// Seconds per cycle.
+    pub fn per_cycle(&self) -> f64 {
+        self.seconds() / self.iters.max(1) as f64
+    }
+}
+
+/// Run `iters` cycles `repeats` times on fresh problems; keep the minimum.
+pub fn min_time(
+    runner: &mut dyn CycleRunner,
+    cfg: &MgConfig,
+    iters: usize,
+    repeats: usize,
+) -> TimingResult {
+    let (v0, f, _) = setup_poisson(cfg);
+    let mut best = Duration::MAX;
+    for _ in 0..repeats.max(1) {
+        let mut v = v0.clone();
+        let t = time_cycles(runner, &mut v, &f, iters);
+        best = best.min(t);
+    }
+    TimingResult {
+        label: runner.label(),
+        total: best,
+        iters,
+    }
+}
+
+/// Format a speedup table row.
+pub fn fmt_row(label: &str, secs: f64, base_secs: f64) -> String {
+    format!(
+        "  {label:<20} {secs:>9.3}s   speedup vs naive: {:>5.2}x",
+        base_secs / secs
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runners::{make_runner, ImplKind};
+    use gmg_multigrid::config::{CycleType, SmoothSteps};
+
+    #[test]
+    fn min_time_runs() {
+        let cfg = MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444());
+        let mut r = make_runner(&cfg, ImplKind::HandOpt, 1);
+        let t = min_time(&mut *r, &cfg, 2, 2);
+        assert_eq!(t.iters, 2);
+        assert!(t.seconds() > 0.0);
+        assert!(t.per_cycle() <= t.seconds());
+        assert_eq!(t.label, "handopt");
+    }
+
+    #[test]
+    fn fmt_row_shows_speedup() {
+        let s = fmt_row("x", 1.0, 3.0);
+        assert!(s.contains("3.00x"));
+    }
+}

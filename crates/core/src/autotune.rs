@@ -1,0 +1,155 @@
+//! Auto-tuning (§3.2.4): enumerate tile-size × grouping-limit
+//! configurations and pick the fastest, using a caller-supplied evaluator
+//! (the runtime executes each configuration; this module only owns the
+//! search space and bookkeeping).
+//!
+//! The paper's space: 2-D outer tile 8:64, inner 64:512, powers of two;
+//! 3-D outer two dims 8:32, inner 64:256; five grouping limits. That yields
+//! 80 configurations for 2-D and 135 for 3-D — reproduced exactly by
+//! [`search_space`].
+
+use crate::options::PipelineOptions;
+
+/// One auto-tuning configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TuneConfig {
+    pub tile_sizes: Vec<i64>,
+    pub group_limit: usize,
+}
+
+impl TuneConfig {
+    /// Apply this configuration onto a base option set.
+    pub fn apply(&self, base: &PipelineOptions) -> PipelineOptions {
+        let mut o = base.clone();
+        o.tile_sizes = self.tile_sizes.clone();
+        o.group_limit = self.group_limit;
+        o
+    }
+}
+
+/// The grouping limits swept ("five different values of grouping limit").
+pub const GROUP_LIMITS: [usize; 5] = [2, 4, 6, 8, 11];
+
+/// The paper's §3.2.4 search space for the given rank.
+pub fn search_space(ndims: usize) -> Vec<TuneConfig> {
+    let mut out = Vec::new();
+    match ndims {
+        2 => {
+            for &gl in &GROUP_LIMITS {
+                let mut outer = 8i64;
+                while outer <= 64 {
+                    let mut inner = 64i64;
+                    while inner <= 512 {
+                        out.push(TuneConfig {
+                            tile_sizes: vec![outer, inner],
+                            group_limit: gl,
+                        });
+                        inner *= 2;
+                    }
+                    outer *= 2;
+                }
+            }
+        }
+        3 => {
+            for &gl in &GROUP_LIMITS {
+                let mut o1 = 8i64;
+                while o1 <= 32 {
+                    let mut o2 = 8i64;
+                    while o2 <= 32 {
+                        let mut inner = 64i64;
+                        while inner <= 256 {
+                            out.push(TuneConfig {
+                                tile_sizes: vec![o1, o2, inner],
+                                group_limit: gl,
+                            });
+                            inner *= 2;
+                        }
+                        o2 *= 2;
+                    }
+                    o1 *= 2;
+                }
+            }
+        }
+        _ => panic!("unsupported rank {ndims}"),
+    }
+    out
+}
+
+/// Result of one evaluated configuration.
+#[derive(Clone, Debug)]
+pub struct TuneSample {
+    pub config: TuneConfig,
+    /// Execution time in seconds (or whatever metric the evaluator reports;
+    /// lower is better).
+    pub metric: f64,
+}
+
+/// Run the tuner: evaluate every configuration (optionally subsampled by
+/// `stride` for quick runs) and return all samples plus the best index.
+pub fn tune(
+    ndims: usize,
+    stride: usize,
+    mut eval: impl FnMut(&TuneConfig) -> f64,
+) -> (Vec<TuneSample>, usize) {
+    assert!(stride >= 1);
+    let space = search_space(ndims);
+    let mut samples = Vec::new();
+    for cfg in space.into_iter().step_by(stride) {
+        let metric = eval(&cfg);
+        samples.push(TuneSample {
+            config: cfg,
+            metric,
+        });
+    }
+    let best = samples
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.metric.total_cmp(&b.1.metric))
+        .map(|(i, _)| i)
+        .expect("empty tuning space");
+    (samples, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{PipelineOptions, Variant};
+
+    #[test]
+    fn space_sizes_match_paper() {
+        // 2-D: outer {8,16,32,64} × inner {64..512} (4) × 5 limits = 80
+        assert_eq!(search_space(2).len(), 80);
+        // 3-D: {8,16,32}² × inner {64,128,256} × 5 = 135
+        assert_eq!(search_space(3).len(), 135);
+    }
+
+    #[test]
+    fn apply_overrides_options() {
+        let base = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        let cfg = TuneConfig {
+            tile_sizes: vec![16, 128],
+            group_limit: 4,
+        };
+        let o = cfg.apply(&base);
+        assert_eq!(o.tile_sizes, vec![16, 128]);
+        assert_eq!(o.group_limit, 4);
+        assert!(o.intra_group_reuse); // rest preserved
+    }
+
+    #[test]
+    fn tune_finds_minimum() {
+        // metric: distance of the tile area from 32*128
+        let (samples, best) = tune(2, 1, |c| {
+            ((c.tile_sizes[0] * c.tile_sizes[1]) as f64 - (32.0 * 128.0)).abs()
+        });
+        assert_eq!(samples.len(), 80);
+        let b = &samples[best];
+        assert_eq!(b.config.tile_sizes[0] * b.config.tile_sizes[1], 32 * 128);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let (samples, _) = tune(3, 10, |_| 1.0);
+        assert_eq!(samples.len(), 14);
+    }
+}

@@ -1,0 +1,191 @@
+//! Compilation options and the paper's variant presets.
+
+/// How multi-stage groups are executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TilingMode {
+    /// No tiling: every stage sweeps its full domain (still parallel over
+    /// the outermost dimension) — `polymg-naive`.
+    None,
+    /// Overlapped (hyper-trapezoidal) tiling with scratchpads — the PolyMage
+    /// strategy (§3.1).
+    Overlapped,
+}
+
+/// The evaluated configurations of Section 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Straightforward parallel code generation: no fusion, no tiling, no
+    /// storage optimization.
+    Naive,
+    /// Stock-PolyMage optimizations: grouping + overlapped tiling +
+    /// scratchpads, one buffer per function, no pooled allocation.
+    Opt,
+    /// `Opt` plus the paper's contributions: intra-group scratchpad reuse,
+    /// inter-group full-array reuse, pooled allocation.
+    OptPlus,
+    /// `OptPlus` with diamond/split time tiling applied to the
+    /// pre-/post-smoothing `TStencil` chains instead of overlapped tiling.
+    DtileOptPlus,
+}
+
+impl Variant {
+    /// Display name matching the paper's plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Naive => "polymg-naive",
+            Variant::Opt => "polymg-opt",
+            Variant::OptPlus => "polymg-opt+",
+            Variant::DtileOptPlus => "polymg-dtile-opt+",
+        }
+    }
+
+    /// All variants in the order the paper plots them.
+    pub fn all() -> [Variant; 4] {
+        [
+            Variant::Naive,
+            Variant::Opt,
+            Variant::OptPlus,
+            Variant::DtileOptPlus,
+        ]
+    }
+}
+
+/// Full knob set for one compilation.
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    /// Execution strategy for fused groups.
+    pub tiling: TilingMode,
+    /// Upper bound on the number of stages merged into one group (the
+    /// "grouping limit" swept by the auto-tuner, §3.2.4).
+    pub group_limit: usize,
+    /// Maximum tolerated redundant-work ratio for a merged group
+    /// (tiled points / base points) at the configured tile sizes.
+    pub overlap_threshold: f64,
+    /// Tile sizes, outermost dimension first. Interpreted for the pipeline's
+    /// rank (first 2 entries for 2-D, first 3 for 3-D).
+    pub tile_sizes: Vec<i64>,
+    /// Intra-group scratchpad reuse (§3.2.1).
+    pub intra_group_reuse: bool,
+    /// Inter-group full-array reuse (§3.2.2).
+    pub inter_group_reuse: bool,
+    /// Pooled memory allocation across cycle invocations (§3.2.3).
+    pub pooled_allocation: bool,
+    /// Apply diamond/split time tiling to pure `TStencil` smoother chains.
+    pub dtile_smoother: bool,
+    /// Time-band height for diamond/split tiling.
+    pub dtile_band: usize,
+    /// Scratchpad size-class threshold: extents are bucketed to multiples of
+    /// this quantum when forming storage classes (the paper's "±constant
+    /// threshold").
+    pub scratch_quantum: i64,
+    /// Coefficient factoring: sort lowered taps by coefficient so the
+    /// runtime can sum equal-weight taps before multiplying — the automatic
+    /// form of NPB MG's hand-written partial-sum loop bodies. Changes
+    /// floating-point association (results differ at round-off level).
+    pub coeff_factoring: bool,
+    /// Worker threads for the runtime.
+    pub threads: usize,
+}
+
+impl PipelineOptions {
+    /// Preset for a paper variant with default tile sizes for `ndims`.
+    pub fn for_variant(v: Variant, ndims: usize) -> Self {
+        let base = PipelineOptions {
+            tiling: TilingMode::Overlapped,
+            group_limit: 6,
+            overlap_threshold: 2.0,
+            tile_sizes: default_tiles(ndims),
+            intra_group_reuse: false,
+            inter_group_reuse: false,
+            pooled_allocation: false,
+            dtile_smoother: false,
+            dtile_band: 4,
+            scratch_quantum: 8,
+            coeff_factoring: true,
+            threads: 0, // 0 = runtime default
+        };
+        match v {
+            Variant::Naive => PipelineOptions {
+                tiling: TilingMode::None,
+                group_limit: 1,
+                ..base
+            },
+            Variant::Opt => base,
+            Variant::OptPlus => PipelineOptions {
+                intra_group_reuse: true,
+                inter_group_reuse: true,
+                pooled_allocation: true,
+                ..base
+            },
+            Variant::DtileOptPlus => PipelineOptions {
+                intra_group_reuse: true,
+                inter_group_reuse: true,
+                pooled_allocation: true,
+                dtile_smoother: true,
+                ..base
+            },
+        }
+    }
+
+    /// The effective tile sizes for a rank (panics if too few are set).
+    pub fn tiles_for_rank(&self, ndims: usize) -> Vec<i64> {
+        assert!(
+            self.tile_sizes.len() >= ndims,
+            "options carry {} tile sizes but the pipeline is {ndims}-D",
+            self.tile_sizes.len()
+        );
+        self.tile_sizes[..ndims].to_vec()
+    }
+}
+
+/// Paper §3.2.4 default-ish tile sizes: outer dimensions small, innermost
+/// large (2-D: 32×512; 3-D: 16×16×128).
+pub fn default_tiles(ndims: usize) -> Vec<i64> {
+    match ndims {
+        2 => vec![32, 512],
+        3 => vec![16, 16, 128],
+        _ => panic!("unsupported rank {ndims}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_matrix() {
+        let naive = PipelineOptions::for_variant(Variant::Naive, 2);
+        assert_eq!(naive.tiling, TilingMode::None);
+        assert!(!naive.intra_group_reuse && !naive.pooled_allocation);
+
+        let opt = PipelineOptions::for_variant(Variant::Opt, 2);
+        assert_eq!(opt.tiling, TilingMode::Overlapped);
+        assert!(!opt.intra_group_reuse && !opt.inter_group_reuse);
+
+        let optp = PipelineOptions::for_variant(Variant::OptPlus, 3);
+        assert!(optp.intra_group_reuse && optp.inter_group_reuse && optp.pooled_allocation);
+        assert!(!optp.dtile_smoother);
+
+        let dt = PipelineOptions::for_variant(Variant::DtileOptPlus, 3);
+        assert!(dt.dtile_smoother && dt.pooled_allocation);
+    }
+
+    #[test]
+    fn tiles_for_rank() {
+        let o = PipelineOptions::for_variant(Variant::Opt, 3);
+        assert_eq!(o.tiles_for_rank(3).len(), 3);
+        assert_eq!(o.tiles_for_rank(2).len(), 2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Variant::Naive.label(), "polymg-naive");
+        assert_eq!(Variant::all().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported rank")]
+    fn bad_rank_tiles() {
+        let _ = default_tiles(4);
+    }
+}

@@ -1,0 +1,265 @@
+//! Human-readable compilation reports: the grouping/storage dump that
+//! corresponds to the paper's Figures 6 (grouping + storage mapping) and 7
+//! (scratchpad colouring), plus summary statistics used by the benchmark
+//! harness tables.
+
+use crate::plan::{CompiledPipeline, GroupTiling};
+
+/// Summary statistics of a compiled pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanStats {
+    pub num_stages: usize,
+    pub num_groups: usize,
+    pub max_group_size: usize,
+    pub num_overlapped_groups: usize,
+    pub num_diamond_groups: usize,
+    pub num_untiled_groups: usize,
+    pub num_full_arrays: usize,
+    pub intermediate_bytes: usize,
+    pub total_scratch_buffers: usize,
+    pub peak_scratch_bytes: usize,
+}
+
+/// Collect [`PlanStats`] from a plan.
+pub fn stats(plan: &CompiledPipeline) -> PlanStats {
+    let mut overlapped = 0;
+    let mut diamond = 0;
+    let mut untiled = 0;
+    for g in &plan.groups {
+        match g.tiling {
+            GroupTiling::Overlapped { .. } => overlapped += 1,
+            GroupTiling::Diamond { .. } => diamond += 1,
+            GroupTiling::Untiled => untiled += 1,
+        }
+    }
+    PlanStats {
+        num_stages: plan.graph.num_compute_stages(),
+        num_groups: plan.groups.len(),
+        max_group_size: plan.groups.iter().map(|g| g.stages.len()).max().unwrap_or(0),
+        num_overlapped_groups: overlapped,
+        num_diamond_groups: diamond,
+        num_untiled_groups: untiled,
+        num_full_arrays: plan.storage.num_intermediate_arrays(),
+        intermediate_bytes: plan.storage.intermediate_bytes(),
+        total_scratch_buffers: plan.total_scratch_buffers(),
+        peak_scratch_bytes: plan.peak_scratch_bytes(),
+    }
+}
+
+/// Render the Figure-6/7 style dump: one block per group listing its stages,
+/// their storage kind (scratchpad colour or full-array id) and the tiling.
+pub fn grouping_dump(plan: &CompiledPipeline) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pipeline '{}': {} stages, {} groups",
+        plan.graph.pipeline_name,
+        plan.graph.num_compute_stages(),
+        plan.groups.len()
+    );
+    for (gi, g) in plan.groups.iter().enumerate() {
+        let tiling = match &g.tiling {
+            GroupTiling::Untiled => "untiled".to_string(),
+            GroupTiling::Overlapped { tile_sizes, .. } => {
+                format!("overlapped tiles {tile_sizes:?}")
+            }
+            GroupTiling::Diamond {
+                tile_w,
+                band_h,
+                radius,
+            } => format!("diamond w={tile_w} h={band_h} r={radius}"),
+        };
+        let _ = writeln!(out, "group {gi} [{tiling}]");
+        for (i, sid) in g.stages.iter().enumerate() {
+            let st = plan.graph.stage(*sid);
+            let mut storage = Vec::new();
+            if let Some(b) = g.scratch_slot[i] {
+                storage.push(format!("scratch#{b}"));
+            }
+            if g.live_out[i] {
+                let arr = plan.storage.array_of_stage[sid.0]
+                    .map(|a| {
+                        let spec = &plan.storage.arrays[a];
+                        if spec.external {
+                            format!("array#{a} (external)")
+                        } else {
+                            format!("array#{a}")
+                        }
+                    })
+                    .unwrap_or_else(|| "?".to_string());
+                storage.push(format!("live-out → {arr}"));
+            }
+            let _ = writeln!(out, "  {:<24} {}", st.name, storage.join(", "));
+        }
+        if !g.scratch_buffers.is_empty() {
+            let bufs: Vec<String> = g
+                .scratch_buffers
+                .iter()
+                .map(|b| format!("{:?}={}el", b.extents, b.capacity))
+                .collect();
+            let _ = writeln!(out, "  scratchpads: {}", bufs.join(" "));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "full arrays: {} intermediate ({} KiB) + {} external",
+        plan.storage.num_intermediate_arrays(),
+        plan.storage.intermediate_bytes() / 1024,
+        plan.storage.arrays.iter().filter(|a| a.external).count()
+    );
+    out
+}
+
+/// Render the stage DAG with its grouping as Graphviz DOT — the machine-
+/// readable form of the paper's Figures 2 and 6. Groups become clusters;
+/// node fill encodes storage (scratchpad colour index or full array id),
+/// dashed nodes are pipeline inputs, double-peripheried nodes are outputs.
+pub fn dot_dump(plan: &CompiledPipeline) -> String {
+    use std::fmt::Write;
+    let palette = [
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99",
+        "#1f78b4", "#33a02c",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", plan.graph.pipeline_name);
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, style=filled];");
+
+    // inputs
+    for (i, st) in plan.graph.stages.iter().enumerate() {
+        if st.kind == gmg_ir::StageKind::Input {
+            let _ = writeln!(
+                out,
+                "  s{i} [label=\"{}\", style=\"dashed\", fillcolor=white];",
+                st.name
+            );
+        }
+    }
+    // groups as clusters
+    for (gi, g) in plan.groups.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{gi} {{");
+        let tiling = match &g.tiling {
+            GroupTiling::Untiled => "untiled".to_string(),
+            GroupTiling::Overlapped { tile_sizes, .. } => format!("overlapped {tile_sizes:?}"),
+            GroupTiling::Diamond { band_h, .. } => format!("diamond h={band_h}"),
+        };
+        let _ = writeln!(out, "    label=\"group {gi} ({tiling})\";");
+        for (i, sid) in g.stages.iter().enumerate() {
+            let st = plan.graph.stage(*sid);
+            let colour = match g.scratch_slot[i] {
+                Some(b) => palette[b % palette.len()],
+                None => "#e8e8e8",
+            };
+            let peri = if st.is_output { 2 } else { 1 };
+            let storage = match (g.scratch_slot[i], g.live_out[i]) {
+                (Some(b), true) => format!("scratch {b} → arr"),
+                (Some(b), false) => format!("scratch {b}"),
+                (None, _) => plan.storage.array_of_stage[sid.0]
+                    .map(|a| format!("arr {a}"))
+                    .unwrap_or_default(),
+            };
+            let _ = writeln!(
+                out,
+                "    s{} [label=\"{}\\n{}\", fillcolor=\"{}\", peripheries={}];",
+                sid.0, st.name, storage, colour, peri
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // edges
+    for (p, c, _) in plan.graph.edges() {
+        let _ = writeln!(out, "  s{} -> s{};", p.0, c.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::options::{PipelineOptions, Variant};
+    use gmg_ir::expr::Operand;
+    use gmg_ir::stencil::stencil_2d;
+    use gmg_ir::{ParamBindings, Pipeline, StepCount};
+
+    fn plan(v: Variant) -> CompiledPipeline {
+        let mut p = Pipeline::new("rep");
+        let five = vec![
+            vec![0.0, -1.0, 0.0],
+            vec![-1.0, 4.0, -1.0],
+            vec![0.0, -1.0, 0.0],
+        ];
+        let vg = p.input("V", 2, 127, 1);
+        let fg = p.input("F", 2, 127, 1);
+        let sm = p.tstencil(
+            "sm",
+            2,
+            127,
+            1,
+            StepCount::Fixed(4),
+            Some(vg),
+            Operand::State.at(&[0, 0])
+                - 0.8 * (stencil_2d(Operand::State, &five, 1.0) - Operand::Func(fg).at(&[0, 0])),
+        );
+        p.mark_output(sm);
+        let mut o = PipelineOptions::for_variant(v, 2);
+        o.tile_sizes = vec![16, 32];
+        compile(&p, &ParamBindings::new(), o).unwrap()
+    }
+
+    #[test]
+    fn stats_sum_to_group_count() {
+        let pl = plan(Variant::OptPlus);
+        let s = stats(&pl);
+        assert_eq!(
+            s.num_overlapped_groups + s.num_diamond_groups + s.num_untiled_groups,
+            s.num_groups
+        );
+        assert_eq!(s.num_stages, 4);
+        assert!(s.peak_scratch_bytes > 0);
+    }
+
+    #[test]
+    fn dump_mentions_every_stage() {
+        let pl = plan(Variant::OptPlus);
+        let d = grouping_dump(&pl);
+        for st in &pl.graph.stages {
+            if st.kind == gmg_ir::StageKind::Compute {
+                assert!(d.contains(&st.name), "dump missing {}", st.name);
+            }
+        }
+        assert!(d.contains("scratch#"));
+        assert!(d.contains("live-out"));
+    }
+
+    #[test]
+    fn naive_dump_has_no_scratch() {
+        let pl = plan(Variant::Naive);
+        let d = grouping_dump(&pl);
+        assert!(!d.contains("scratch#"));
+        assert!(d.contains("untiled"));
+    }
+
+    #[test]
+    fn dot_dump_is_well_formed() {
+        let pl = plan(Variant::OptPlus);
+        let d = dot_dump(&pl);
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+        // one node per stage, one edge per graph edge
+        for st in &pl.graph.stages {
+            assert!(d.contains(&format!("\"{}", st.name)) || d.contains(&st.name));
+        }
+        assert_eq!(
+            d.matches(" -> ").count(),
+            pl.graph.edges().len(),
+            "edge count mismatch"
+        );
+        // clusters per group
+        assert_eq!(d.matches("subgraph cluster_").count(), pl.groups.len());
+        // inputs dashed, output double-peripheried
+        assert!(d.contains("style=\"dashed\""));
+        assert!(d.contains("peripheries=2"));
+    }
+}

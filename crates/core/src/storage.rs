@@ -1,0 +1,326 @@
+//! Storage optimization — Section 3.2 of the paper.
+//!
+//! The heart of this module is the pair of passes the paper specifies as
+//! Algorithm 2 (`getLastUseMap`) and Algorithm 3 (`remapStorage`): a greedy,
+//! schedule-ordered remapping of "functions" to abstract buffers, where
+//! reuse is only allowed inside a *storage class*. The same generic
+//! remapper serves both levels:
+//!
+//! * **intra-group** — tile scratchpads, classed by bucketed compile-time
+//!   extents (the "±constant threshold" relaxation, §3.2.1), timestamps are
+//!   schedule positions inside the group;
+//! * **inter-group** — full arrays for group live-outs, classed by size
+//!   parameter identity + ghost offsets (§3.2.2), timestamps are group
+//!   indices, and pipeline inputs/outputs are excluded from reuse.
+
+use std::collections::HashMap;
+
+/// A storage class: reuse is permitted only among items of the same class.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StorageClass {
+    /// Rank of the buffers.
+    pub ndims: usize,
+    /// Class-defining size key. For scratchpads: extents bucketed to the
+    /// quantum. For full arrays: exact allocation extents (+ the parameter
+    /// identity encoded by the caller).
+    pub size_key: Vec<i64>,
+    /// Distinguishes parametric classes with the same concrete size (e.g.
+    /// two different size parameters that happen to be equal).
+    pub param_tag: Option<usize>,
+}
+
+/// One item to be assigned storage.
+#[derive(Clone, Debug)]
+pub struct RemapItem {
+    /// Schedule timestamp of the item's (single) definition.
+    pub time: i64,
+    /// Timestamp of the item's last use; `i64::MAX` keeps the buffer
+    /// occupied forever (pipeline outputs). An item with no uses gets
+    /// `time` (released right after being produced).
+    pub last_use: i64,
+    pub class: StorageClass,
+}
+
+/// Result of remapping: `buffer_of[i]` is the abstract buffer id assigned to
+/// item `i`; `buffer_class[b]` the class of buffer `b`.
+#[derive(Clone, Debug)]
+pub struct RemapResult {
+    pub buffer_of: Vec<usize>,
+    pub buffer_class: Vec<StorageClass>,
+}
+
+impl RemapResult {
+    /// Number of distinct buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.buffer_class.len()
+    }
+}
+
+/// Algorithm 2: timestamp → items whose last use is at that timestamp.
+pub fn last_use_map(items: &[RemapItem]) -> HashMap<i64, Vec<usize>> {
+    let mut map: HashMap<i64, Vec<usize>> = HashMap::new();
+    for (i, it) in items.iter().enumerate() {
+        if it.last_use != i64::MAX {
+            map.entry(it.last_use).or_default().push(i);
+        }
+    }
+    map
+}
+
+/// Algorithm 3: greedy schedule-ordered remapping with per-class pools.
+///
+/// Deviating slightly from the paper's per-function loop, items sharing a
+/// timestamp are all assigned *before* any buffer dying at that timestamp is
+/// released: a group's live-outs must not reuse an array the same group is
+/// still reading (§3.2.2's "only one of these is allowed to reuse it"
+/// constraint falls out of the pool `pop` plus this ordering).
+///
+/// When `reuse` is false the pass degrades to PolyMage's original one-to-one
+/// allocation (one buffer per item) — used by the `polymg-opt` baseline.
+pub fn remap_storage(items: &[RemapItem], reuse: bool) -> RemapResult {
+    let n = items.len();
+    let mut buffer_of = vec![usize::MAX; n];
+    let mut buffer_class: Vec<StorageClass> = Vec::new();
+
+    if !reuse {
+        for (i, it) in items.iter().enumerate() {
+            buffer_of[i] = buffer_class.len();
+            buffer_class.push(it.class.clone());
+        }
+        return RemapResult {
+            buffer_of,
+            buffer_class,
+        };
+    }
+
+    let deaths = last_use_map(items);
+    let mut death_times: Vec<i64> = deaths.keys().copied().collect();
+    death_times.sort();
+    // sort item indices by timestamp (stable: original order breaks ties)
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| items[i].time);
+
+    let mut pool: HashMap<StorageClass, Vec<usize>> = HashMap::new();
+    let release = |pool: &mut HashMap<StorageClass, Vec<usize>>,
+                       buffer_of: &Vec<usize>,
+                       tt: i64| {
+        for &dead in &deaths[&tt] {
+            if buffer_of[dead] != usize::MAX {
+                pool.entry(items[dead].class.clone())
+                    .or_default()
+                    .push(buffer_of[dead]);
+            }
+        }
+    };
+    let mut dk = 0usize; // next unreleased death time
+    let mut k = 0usize;
+    while k < order.len() {
+        let t = items[order[k]].time;
+        // release everything that died strictly before t
+        while dk < death_times.len() && death_times[dk] < t {
+            release(&mut pool, &buffer_of, death_times[dk]);
+            dk += 1;
+        }
+        // assign every item defined at time t
+        let mut j = k;
+        while j < order.len() && items[order[j]].time == t {
+            let i = order[j];
+            let it = &items[i];
+            let b = match pool.get_mut(&it.class).and_then(Vec::pop) {
+                Some(b) => b,
+                None => {
+                    buffer_class.push(it.class.clone());
+                    buffer_class.len() - 1
+                }
+            };
+            buffer_of[i] = b;
+            j += 1;
+        }
+        // release deaths at exactly t (covers items with no consumers:
+        // last_use == their own definition time)
+        if dk < death_times.len() && death_times[dk] == t {
+            release(&mut pool, &buffer_of, t);
+            dk += 1;
+        }
+        k = j;
+    }
+    RemapResult {
+        buffer_of,
+        buffer_class,
+    }
+}
+
+/// Bucket scratchpad extents up to the quantum to form the class size key
+/// (the paper's ±threshold class relaxation).
+pub fn bucket_extents(extents: &[i64], quantum: i64) -> Vec<i64> {
+    assert!(quantum >= 1);
+    extents
+        .iter()
+        .map(|&e| gmg_poly::div_ceil(e.max(1), quantum) * quantum)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(key: &[i64]) -> StorageClass {
+        StorageClass {
+            ndims: key.len(),
+            size_key: key.to_vec(),
+            param_tag: None,
+        }
+    }
+
+    fn item(time: i64, last_use: i64, key: &[i64]) -> RemapItem {
+        RemapItem {
+            time,
+            last_use,
+            class: class(key),
+        }
+    }
+
+    #[test]
+    fn chain_reuses_two_buffers() {
+        // The Figure 7 situation: a chain f0→f1→…→f4, each consumed only by
+        // the next; two buffers suffice (ping-pong).
+        let items: Vec<RemapItem> = (0..5).map(|t| item(t, t + 1, &[10, 10])).collect();
+        let r = remap_storage(&items, true);
+        assert_eq!(r.num_buffers(), 2, "chain must colour with 2 buffers");
+        // consecutive stages use different buffers
+        for w in r.buffer_of.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn no_reuse_is_one_to_one() {
+        let items: Vec<RemapItem> = (0..5).map(|t| item(t, t + 1, &[10, 10])).collect();
+        let r = remap_storage(&items, false);
+        assert_eq!(r.num_buffers(), 5);
+    }
+
+    #[test]
+    fn long_lived_value_blocks_reuse() {
+        // f0 is read by the last stage: its buffer must stay distinct.
+        let mut items: Vec<RemapItem> = vec![item(0, 4, &[8])];
+        items.extend((1..5).map(|t| item(t, t + 1, &[8])));
+        let r = remap_storage(&items, true);
+        let b0 = r.buffer_of[0];
+        for &b in &r.buffer_of[1..4] {
+            assert_ne!(b, b0, "live value's buffer reused while still needed");
+        }
+        assert_eq!(r.num_buffers(), 3);
+    }
+
+    #[test]
+    fn classes_do_not_mix() {
+        // alternate sizes: no cross-class reuse even when lifetimes allow
+        let items = vec![
+            item(0, 1, &[10]),
+            item(1, 2, &[20]),
+            item(2, 3, &[10]),
+            item(3, 4, &[20]),
+        ];
+        let r = remap_storage(&items, true);
+        assert_eq!(r.buffer_of[0], r.buffer_of[2]);
+        assert_eq!(r.buffer_of[1], r.buffer_of[3]);
+        assert_ne!(r.buffer_of[0], r.buffer_of[1]);
+        assert_eq!(r.num_buffers(), 2);
+    }
+
+    #[test]
+    fn same_timestamp_items_get_distinct_buffers() {
+        // two live-outs of one group (same timestamp): must not share, and
+        // must not grab a buffer dying at that same timestamp.
+        let items = vec![
+            item(0, 1, &[8]), // read by group 1
+            item(1, 2, &[8]), // live-out A of group 1
+            item(1, 2, &[8]), // live-out B of group 1
+        ];
+        let r = remap_storage(&items, true);
+        assert_ne!(r.buffer_of[1], r.buffer_of[2]);
+        assert_ne!(r.buffer_of[1], r.buffer_of[0]);
+        assert_ne!(r.buffer_of[2], r.buffer_of[0]);
+        assert_eq!(r.num_buffers(), 3);
+    }
+
+    #[test]
+    fn buffer_freed_at_t_available_at_t_plus_1() {
+        let items = vec![
+            item(0, 1, &[8]),
+            item(1, 2, &[8]),
+            item(2, 3, &[8]), // can take item0's buffer (freed at t=1)
+        ];
+        let r = remap_storage(&items, true);
+        assert_eq!(r.buffer_of[2], r.buffer_of[0]);
+    }
+
+    #[test]
+    fn outputs_never_release() {
+        let items = vec![
+            item(0, i64::MAX, &[8]), // pipeline output
+            item(1, 2, &[8]),
+            item(2, 3, &[8]),
+        ];
+        let r = remap_storage(&items, true);
+        assert_ne!(r.buffer_of[1], r.buffer_of[0]);
+        assert_ne!(r.buffer_of[2], r.buffer_of[0]);
+    }
+
+    #[test]
+    fn unused_item_released_immediately() {
+        // item with last_use == its own time: next item can take its buffer
+        let items = vec![item(0, 0, &[8]), item(1, 2, &[8])];
+        let r = remap_storage(&items, true);
+        assert_eq!(r.buffer_of[1], r.buffer_of[0]);
+    }
+
+    #[test]
+    fn bucketing() {
+        assert_eq!(bucket_extents(&[10, 34], 8), vec![16, 40]);
+        assert_eq!(bucket_extents(&[8, 16], 8), vec![8, 16]);
+        assert_eq!(bucket_extents(&[1], 8), vec![8]);
+        assert_eq!(bucket_extents(&[7], 1), vec![7]);
+    }
+
+    #[test]
+    fn last_use_map_groups_by_time() {
+        let items = vec![item(0, 5, &[8]), item(1, 5, &[8]), item(2, i64::MAX, &[8])];
+        let m = last_use_map(&items);
+        assert_eq!(m[&5].len(), 2);
+        assert!(!m.contains_key(&i64::MAX));
+    }
+
+    /// Cross-check: the remapping never aliases two simultaneously-live
+    /// items (brute-force interval overlap check over random-ish inputs).
+    #[test]
+    fn no_aliasing_of_live_ranges() {
+        let mut items = Vec::new();
+        let mut seed = 123u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as i64
+        };
+        for t in 0..40 {
+            let life = 1 + next().rem_euclid(6);
+            let key = [8 * (1 + next().rem_euclid(3))];
+            items.push(item(t, t + life, &key));
+        }
+        let r = remap_storage(&items, true);
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                if r.buffer_of[i] != r.buffer_of[j] {
+                    continue;
+                }
+                // live range of i is [time_i, last_use_i]; j defined at
+                // time_j > time_i must start strictly after i's last use.
+                let (a, b) = (&items[i], &items[j]);
+                assert!(
+                    b.time > a.last_use || a.time > b.last_use,
+                    "items {i} and {j} alias while both live"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests over the compiler: random smoother/restrict/interp
+//! pipelines must always compile into well-formed plans for every variant.
+
+use gmg_ir::expr::Operand;
+use gmg_ir::stencil::{
+    interp_bilinear_cases, restrict_full_weighting_2d, stencil_2d,
+};
+use gmg_ir::{FuncId, ParamBindings, Pipeline, StepCount};
+use polymg::{compile, GroupTiling, PipelineOptions, Variant};
+use proptest::prelude::*;
+
+fn five() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.0, -1.0, 0.0],
+        vec![-1.0, 4.0, -1.0],
+        vec![0.0, -1.0, 0.0],
+    ]
+}
+
+/// A randomised but well-formed 2-level pipeline.
+fn random_pipeline(pre: usize, post: usize, with_coarse: bool) -> Pipeline {
+    let n = 31i64;
+    let nc = 15i64;
+    let mut p = Pipeline::new("prop");
+    let v = p.input("V", 2, n, 1);
+    let f = p.input("F", 2, n, 1);
+    let jac = |st: Operand, fo: FuncId| {
+        st.at(&[0, 0]) - 0.2 * (stencil_2d(st, &five(), 1.0) - Operand::Func(fo).at(&[0, 0]))
+    };
+    let pre_s = if pre > 0 {
+        p.tstencil("pre", 2, n, 1, StepCount::Fixed(pre), Some(v), jac(Operand::State, f))
+    } else {
+        v
+    };
+    let d = p.function(
+        "defect",
+        2,
+        n,
+        1,
+        Operand::Func(f).at(&[0, 0]) - stencil_2d(Operand::Func(pre_s), &five(), 1.0),
+    );
+    let r = p.restrict_fn("restrict", 2, nc, 0, restrict_full_weighting_2d(Operand::Func(d)));
+    let coarse = if with_coarse {
+        p.tstencil("coarse", 2, nc, 0, StepCount::Fixed(2), None, jac(Operand::State, r))
+    } else {
+        r
+    };
+    let cases = interp_bilinear_cases(Operand::Func(coarse));
+    let e = p.interp_fn_cases("interp", 2, n, 1, cases);
+    let c = p.function(
+        "correct",
+        2,
+        n,
+        1,
+        Operand::Func(pre_s).at(&[0, 0]) + Operand::Func(e).at(&[0, 0]),
+    );
+    let out = if post > 0 {
+        p.tstencil("post", 2, n, 1, StepCount::Fixed(post), Some(c), jac(Operand::State, f))
+    } else {
+        c
+    };
+    p.mark_output(out);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plans_are_well_formed(
+        pre in 0usize..5,
+        post in 0usize..5,
+        with_coarse in proptest::bool::ANY,
+        ty in 1usize..3,
+        tx in 1usize..4,
+        gl in 1usize..9,
+        variant in 0usize..4,
+    ) {
+        let variant = Variant::all()[variant];
+        let p = random_pipeline(pre, post, with_coarse);
+        let mut opts = PipelineOptions::for_variant(variant, 2);
+        opts.tile_sizes = vec![8 << ty, 16 << tx];
+        opts.group_limit = gl;
+        let plan = compile(&p, &ParamBindings::new(), opts).unwrap();
+
+        // 1. every group respects the limit (or is a singleton)
+        for g in &plan.groups {
+            prop_assert!(g.stages.len() <= gl.max(1));
+        }
+        // 2. group order is topological: every out-of-group producer of a
+        //    stage lives in an earlier group
+        let mut group_of = vec![usize::MAX; plan.graph.stages.len()];
+        for (gi, g) in plan.groups.iter().enumerate() {
+            for s in &g.stages {
+                group_of[s.0] = gi;
+            }
+        }
+        for (gi, g) in plan.groups.iter().enumerate() {
+            for s in &g.stages {
+                for inp in &plan.graph.stage(*s).inputs {
+                    if let gmg_ir::StageInput::Stage(pr) = inp {
+                        if group_of[pr.0] != usize::MAX && group_of[pr.0] != gi {
+                            prop_assert!(group_of[pr.0] < gi, "group order violated");
+                        }
+                    }
+                }
+            }
+        }
+        // 3. scratch slots index into the group's buffer table
+        for g in &plan.groups {
+            for slot in g.scratch_slot.iter().flatten() {
+                prop_assert!(*slot < g.scratch_buffers.len());
+            }
+            if matches!(g.tiling, GroupTiling::Untiled) {
+                prop_assert_eq!(g.stages.len(), 1);
+            }
+        }
+        // 4. every referenced array id is in range, externals bound to
+        //    inputs/outputs only
+        for a in plan.storage.array_of_stage.iter().flatten() {
+            prop_assert!(*a < plan.storage.arrays.len());
+        }
+    }
+
+    /// Variant monotonicity of storage, for arbitrary pipelines.
+    #[test]
+    fn opt_plus_storage_never_larger(
+        pre in 1usize..5,
+        post in 0usize..5,
+        with_coarse in proptest::bool::ANY,
+    ) {
+        let p = random_pipeline(pre, post, with_coarse);
+        let bytes = |v: Variant| {
+            let mut o = PipelineOptions::for_variant(v, 2);
+            o.tile_sizes = vec![8, 16];
+            compile(&p, &ParamBindings::new(), o)
+                .unwrap()
+                .storage
+                .intermediate_bytes()
+        };
+        prop_assert!(bytes(Variant::OptPlus) <= bytes(Variant::Opt));
+        prop_assert!(bytes(Variant::Opt) <= bytes(Variant::Naive));
+    }
+}

@@ -1,0 +1,87 @@
+//! 1-D rank decomposition of the outermost grid dimension.
+
+/// Contiguous row ranges (1-based interior rows) assigned to each rank.
+#[derive(Clone, Debug)]
+pub struct RankLayout {
+    /// Per rank: inclusive `(first_row, last_row)` of owned interior rows.
+    pub owned: Vec<(i64, i64)>,
+    /// Interior rows of the decomposed dimension.
+    pub n: i64,
+}
+
+impl RankLayout {
+    /// Split `n` interior rows across `p` ranks as evenly as possible
+    /// (first `n % p` ranks get one extra row).
+    pub fn new(n: i64, p: usize) -> Self {
+        assert!(p >= 1 && n >= p as i64, "need at least one row per rank");
+        let base = n / p as i64;
+        let extra = (n % p as i64) as usize;
+        let mut owned = Vec::with_capacity(p);
+        let mut next = 1i64;
+        for r in 0..p {
+            let rows = base + i64::from(r < extra);
+            owned.push((next, next + rows - 1));
+            next += rows;
+        }
+        debug_assert_eq!(next, n + 1);
+        RankLayout { owned, n }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Which rank owns interior row `y`.
+    pub fn rank_of(&self, y: i64) -> usize {
+        assert!((1..=self.n).contains(&y));
+        self.owned
+            .iter()
+            .position(|&(lo, hi)| lo <= y && y <= hi)
+            .expect("row in range")
+    }
+
+    /// Rows owned by `rank`.
+    pub fn rows(&self, rank: usize) -> (i64, i64) {
+        self.owned[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let l = RankLayout::new(12, 4);
+        assert_eq!(l.owned, vec![(1, 3), (4, 6), (7, 9), (10, 12)]);
+        assert_eq!(l.rank_of(1), 0);
+        assert_eq!(l.rank_of(6), 1);
+        assert_eq!(l.rank_of(12), 3);
+    }
+
+    #[test]
+    fn uneven_split_front_loads() {
+        let l = RankLayout::new(10, 3);
+        assert_eq!(l.owned, vec![(1, 4), (5, 7), (8, 10)]);
+        // covers every row exactly once
+        for y in 1..=10 {
+            let r = l.rank_of(y);
+            let (lo, hi) = l.rows(r);
+            assert!(lo <= y && y <= hi);
+        }
+    }
+
+    #[test]
+    fn single_rank_owns_all() {
+        let l = RankLayout::new(7, 1);
+        assert_eq!(l.owned, vec![(1, 7)]);
+        assert_eq!(l.num_ranks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per rank")]
+    fn too_many_ranks_panics() {
+        let _ = RankLayout::new(3, 4);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-rank subgrids and halo exchange.
+//!
+//! A [`SubGrid`] holds a rank's owned interior rows plus `depth` ghost rows
+//! on each side. Physical-domain boundaries (rank 0's top, last rank's
+//! bottom, and the left/right columns everywhere) hold the Dirichlet value;
+//! the inter-rank ghost rows are filled by [`exchange`], which models the
+//! point-to-point messages of a distributed run and counts them.
+
+/// Communication statistics accumulated over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages (one per neighbour per exchange per field).
+    pub messages: usize,
+    /// Payload doubles moved between ranks.
+    pub doubles: usize,
+    /// Collective gather/scatter operations (coarse-level agglomeration).
+    pub collectives: usize,
+}
+
+impl CommStats {
+    /// Accumulate another stats record.
+    pub fn add(&mut self, other: CommStats) {
+        self.messages += other.messages;
+        self.doubles += other.doubles;
+        self.collectives += other.collectives;
+    }
+}
+
+/// One rank's slab of a 2-D field: rows `[lo − depth, hi + depth]` of the
+/// global `(n+2)×(n+2)` array (clamped to the global ghost ring), dense.
+#[derive(Clone, Debug)]
+pub struct SubGrid {
+    /// First/last owned interior row.
+    pub lo: i64,
+    pub hi: i64,
+    /// Ghost depth toward neighbouring ranks.
+    pub depth: i64,
+    /// Global interior size per dimension.
+    pub n: i64,
+    /// First global row stored in `data` (may be 0, the global ghost row).
+    pub first_row: i64,
+    /// Dense storage: `(rows) × (n+2)`.
+    pub data: Vec<f64>,
+}
+
+impl SubGrid {
+    /// New zeroed subgrid for owned rows `[lo, hi]` of an `n`-interior grid
+    /// with ghost `depth` toward neighbours.
+    pub fn new(lo: i64, hi: i64, depth: i64, n: i64) -> Self {
+        assert!(depth >= 1 && lo >= 1 && hi <= n && lo <= hi);
+        let first_row = (lo - depth).max(0);
+        let last_row = (hi + depth).min(n + 1);
+        let rows = (last_row - first_row + 1) as usize;
+        SubGrid {
+            lo,
+            hi,
+            depth,
+            n,
+            first_row,
+            data: vec![0.0; rows * (n + 2) as usize],
+        }
+    }
+
+    /// Stored rows.
+    pub fn stored_rows(&self) -> i64 {
+        self.data.len() as i64 / (self.n + 2)
+    }
+
+    /// Last global row stored.
+    pub fn last_row(&self) -> i64 {
+        self.first_row + self.stored_rows() - 1
+    }
+
+    /// Immutable view of global row `y`.
+    pub fn row(&self, y: i64) -> &[f64] {
+        let e = (self.n + 2) as usize;
+        let r = (y - self.first_row) as usize;
+        &self.data[r * e..(r + 1) * e]
+    }
+
+    /// Mutable view of global row `y`.
+    pub fn row_mut(&mut self, y: i64) -> &mut [f64] {
+        let e = (self.n + 2) as usize;
+        let r = (y - self.first_row) as usize;
+        &mut self.data[r * e..(r + 1) * e]
+    }
+
+    /// Value at global `(y, x)`.
+    pub fn at(&self, y: i64, x: i64) -> f64 {
+        self.row(y)[x as usize]
+    }
+
+    /// Copy this rank's owned rows from a dense global array.
+    pub fn load_owned(&mut self, global: &[f64]) {
+        let e = (self.n + 2) as usize;
+        for y in self.lo..=self.hi {
+            self.row_mut(y)
+                .copy_from_slice(&global[y as usize * e..(y as usize + 1) * e]);
+        }
+    }
+
+    /// Write this rank's owned rows into a dense global array.
+    pub fn store_owned(&self, global: &mut [f64]) {
+        let e = (self.n + 2) as usize;
+        for y in self.lo..=self.hi {
+            global[y as usize * e..(y as usize + 1) * e].copy_from_slice(self.row(y));
+        }
+    }
+}
+
+/// Exchange up to `depth` ghost rows between neighbouring ranks for one
+/// field (the rows adjacent to each rank boundary). Models two messages per
+/// interior boundary (one each way) and returns the traffic.
+pub fn exchange(grids: &mut [SubGrid], depth: i64) -> CommStats {
+    let e = grids
+        .first()
+        .map(|g| (g.n + 2) as usize)
+        .unwrap_or(0);
+    let mut stats = CommStats::default();
+    for i in 0..grids.len().saturating_sub(1) {
+        let (a, b) = {
+            let (l, r) = grids.split_at_mut(i + 1);
+            (&mut l[i], &mut r[0])
+        };
+        debug_assert_eq!(a.hi + 1, b.lo, "ranks must be adjacent");
+        let d = depth.min(a.depth).min(b.depth);
+        // a → b: a's top-owned d rows become b's lower ghost rows
+        for k in 0..d {
+            let y = a.hi - k;
+            if y >= b.first_row && y >= a.lo {
+                let src = a.row(y).to_vec();
+                b.row_mut(y).copy_from_slice(&src);
+                stats.doubles += e;
+            }
+        }
+        // b → a: b's bottom-owned d rows become a's upper ghost rows
+        for k in 0..d {
+            let y = b.lo + k;
+            if y <= a.last_row() && y <= b.hi {
+                let src = b.row(y).to_vec();
+                a.row_mut(y).copy_from_slice(&src);
+                stats.doubles += e;
+            }
+        }
+        stats.messages += 2;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subgrid_geometry() {
+        let g = SubGrid::new(4, 6, 2, 12);
+        assert_eq!(g.first_row, 2);
+        assert_eq!(g.last_row(), 8);
+        assert_eq!(g.stored_rows(), 7);
+        // clamping at the physical boundary
+        let g0 = SubGrid::new(1, 3, 2, 12);
+        assert_eq!(g0.first_row, 0);
+        assert_eq!(g0.last_row(), 5);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let n = 8i64;
+        let e = (n + 2) as usize;
+        let global: Vec<f64> = (0..e * e).map(|i| i as f64).collect();
+        let mut g = SubGrid::new(3, 5, 1, n);
+        g.load_owned(&global);
+        assert_eq!(g.at(3, 0), (3 * e) as f64);
+        assert_eq!(g.at(5, 9), (5 * e + 9) as f64);
+        let mut out = vec![0.0; e * e];
+        g.store_owned(&mut out);
+        for y in 3..=5usize {
+            assert_eq!(&out[y * e..(y + 1) * e], &global[y * e..(y + 1) * e]);
+        }
+        assert_eq!(out[2 * e], 0.0, "non-owned rows untouched");
+    }
+
+    #[test]
+    fn exchange_moves_boundary_rows() {
+        let n = 8i64;
+        let mut a = SubGrid::new(1, 4, 2, n);
+        let mut b = SubGrid::new(5, 8, 2, n);
+        for y in 1..=4 {
+            a.row_mut(y).fill(y as f64);
+        }
+        for y in 5..=8 {
+            b.row_mut(y).fill(y as f64 * 10.0);
+        }
+        let mut grids = vec![a, b];
+        let stats = exchange(&mut grids, 2);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.doubles, 4 * (n as usize + 2));
+        // b sees a's rows 3,4; a sees b's rows 5,6
+        assert_eq!(grids[1].at(4, 3), 4.0);
+        assert_eq!(grids[1].at(3, 3), 3.0);
+        assert_eq!(grids[0].at(5, 3), 50.0);
+        assert_eq!(grids[0].at(6, 3), 60.0);
+    }
+
+    #[test]
+    fn shallow_exchange_moves_less() {
+        let n = 8i64;
+        let mut grids = vec![SubGrid::new(1, 4, 3, n), SubGrid::new(5, 8, 3, n)];
+        grids[0].row_mut(4).fill(1.0);
+        grids[1].row_mut(5).fill(2.0);
+        let stats = exchange(&mut grids, 1);
+        assert_eq!(stats.doubles, 2 * (n as usize + 2));
+        assert_eq!(grids[1].at(4, 1), 1.0);
+        // depth-2 ghost row untouched by a depth-1 exchange
+        assert_eq!(grids[1].at(3, 1), 0.0);
+    }
+
+    #[test]
+    fn comm_stats_accumulate() {
+        let mut s = CommStats::default();
+        s.add(CommStats {
+            messages: 2,
+            doubles: 10,
+            collectives: 1,
+        });
+        s.add(CommStats {
+            messages: 1,
+            doubles: 5,
+            collectives: 0,
+        });
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.doubles, 15);
+        assert_eq!(s.collectives, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # gmg-dist — simulated distributed-memory multigrid
+//!
+//! The paper's stated future work is "a distributed-memory backend for our
+//! DSL" (§6), and its related-work section analyses Williams et al.'s
+//! *communication aggregation*: "a deeper ghost zone is communicated and
+//! redundant computation at the boundaries is performed to reduce
+//! communication frequency […] equivalent to overlapped tiling, but applied
+//! in a distributed-memory parallelization setting."
+//!
+//! This crate builds that setting as a faithful in-process simulation (per
+//! the substitution rule in DESIGN.md — no cluster is available here):
+//!
+//! * [`decomp`] — 1-D rank decomposition of the outermost dimension;
+//! * [`halo`] — per-rank subgrids with configurable ghost depth and an
+//!   explicit exchange primitive that counts messages and bytes;
+//! * [`solver`] — a distributed 2-D Poisson V-cycle: smoothing with
+//!   depth-`g` ghost zones exchanges once every `g` steps and performs the
+//!   shrinking-halo redundant computation in between (communication
+//!   aggregation = overlapped tiling across ranks); coarse levels are
+//!   agglomerated onto rank 0, the standard practice the gather/scatter
+//!   traffic of which is also counted.
+//!
+//! Everything is verified against the shared-memory `handopt` solver:
+//! Jacobi with deep halos computes *bitwise* the same iterates as a global
+//! sweep, so the equivalence tests demand `== 0` deviation up to fp
+//! associativity (we keep the same per-point expression order, so it is
+//! exact).
+
+pub mod decomp;
+pub mod halo;
+pub mod solver;
+
+pub use decomp::RankLayout;
+pub use halo::{CommStats, SubGrid};
+pub use solver::DistPoisson2D;

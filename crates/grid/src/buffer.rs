@@ -1,0 +1,131 @@
+//! Flat `f64` buffers backing grids and scratchpads.
+//!
+//! A [`Buffer`] is deliberately minimal: a length and a `Vec<f64>`. The
+//! pooled allocator in `gmg-runtime` hands these out and recycles them; the
+//! views in [`crate::view2`]/[`crate::view3`] interpret them with strides.
+
+use crate::Extents;
+
+/// A flat, heap-allocated `f64` buffer.
+///
+/// Buffers are zero-initialised on creation (matching `calloc` semantics of
+/// the generated C code in the paper, and giving deterministic ghost zones).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Buffer {
+    data: Vec<f64>,
+}
+
+impl Buffer {
+    /// Allocate a zeroed buffer of `len` doubles.
+    pub fn zeroed(len: usize) -> Self {
+        Buffer {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Allocate a zeroed buffer sized for `extents`.
+    pub fn for_extents(extents: &Extents) -> Self {
+        Self::zeroed(extents.len())
+    }
+
+    /// Length in doubles.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (for memory accounting in the pool / figures).
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Immutable element slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable element slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Reset every element to zero (used when the pool recycles a buffer for
+    /// a function whose domain does not fully overwrite it, e.g. ghost rings).
+    pub fn zero_fill(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Grow (never shrink) to at least `len` doubles, zeroing new space.
+    ///
+    /// The pooled allocator uses this when a storage class's size estimate
+    /// was refined upward between cycles.
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.data.len() < len {
+            self.data.resize(len, 0.0);
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Buffer {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Buffer {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero() {
+        let b = Buffer::zeroed(16);
+        assert_eq!(b.len(), 16);
+        assert!(b.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(b.byte_len(), 16 * 8);
+    }
+
+    #[test]
+    fn for_extents_matches_len() {
+        let e = Extents::new(&[3, 4, 5]);
+        let b = Buffer::for_extents(&e);
+        assert_eq!(b.len(), 60);
+    }
+
+    #[test]
+    fn index_and_fill() {
+        let mut b = Buffer::zeroed(4);
+        b[2] = 7.5;
+        assert_eq!(b[2], 7.5);
+        b.zero_fill();
+        assert_eq!(b[2], 0.0);
+    }
+
+    #[test]
+    fn ensure_len_grows_only() {
+        let mut b = Buffer::zeroed(4);
+        b[3] = 1.0;
+        b.ensure_len(2);
+        assert_eq!(b.len(), 4);
+        b.ensure_len(8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b[3], 1.0);
+        assert_eq!(b[7], 0.0);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = Buffer::zeroed(0);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Vector norms over grid interiors, used for convergence checks.
+//!
+//! Multigrid convergence is judged on the residual norm restricted to the
+//! *interior* points (the ghost ring carries boundary data and must not
+//! contribute). Both discrete L2 (`sqrt(sum v² / npoints)`, the convention
+//! NAS MG and Ghysels & Vanroose use) and max norms are provided.
+
+use crate::{View2, View3};
+
+/// Discrete L2 norm of the interior of a 2-D grid with a 1-deep ghost ring:
+/// `sqrt( Σ v(y,x)² / ((ny-2)(nx-2)) )`.
+pub fn l2_interior_2d(v: &View2<'_>) -> f64 {
+    let (ny, nx) = (v.ny(), v.nx());
+    assert!(ny > 2 && nx > 2, "grid too small for an interior");
+    let mut sum = 0.0;
+    for y in 1..ny - 1 {
+        let row = v.row(y);
+        for &val in &row[1..nx - 1] {
+            sum += val * val;
+        }
+    }
+    (sum / ((ny - 2) as f64 * (nx - 2) as f64)).sqrt()
+}
+
+/// Max (infinity) norm of the interior of a 2-D grid.
+pub fn max_interior_2d(v: &View2<'_>) -> f64 {
+    let (ny, nx) = (v.ny(), v.nx());
+    assert!(ny > 2 && nx > 2, "grid too small for an interior");
+    let mut m: f64 = 0.0;
+    for y in 1..ny - 1 {
+        for &val in &v.row(y)[1..nx - 1] {
+            m = m.max(val.abs());
+        }
+    }
+    m
+}
+
+/// Discrete L2 norm of the interior of a 3-D grid with a 1-deep ghost ring.
+pub fn l2_interior_3d(v: &View3<'_>) -> f64 {
+    let (nz, ny, nx) = (v.nz(), v.ny(), v.nx());
+    assert!(nz > 2 && ny > 2 && nx > 2, "grid too small for an interior");
+    let mut sum = 0.0;
+    for z in 1..nz - 1 {
+        for y in 1..ny - 1 {
+            for &val in &v.row(z, y)[1..nx - 1] {
+                sum += val * val;
+            }
+        }
+    }
+    let n = (nz - 2) as f64 * (ny - 2) as f64 * (nx - 2) as f64;
+    (sum / n).sqrt()
+}
+
+/// Max (infinity) norm of the interior of a 3-D grid.
+pub fn max_interior_3d(v: &View3<'_>) -> f64 {
+    let (nz, ny, nx) = (v.nz(), v.ny(), v.nx());
+    assert!(nz > 2 && ny > 2 && nx > 2, "grid too small for an interior");
+    let mut m: f64 = 0.0;
+    for z in 1..nz - 1 {
+        for y in 1..ny - 1 {
+            for &val in &v.row(z, y)[1..nx - 1] {
+                m = m.max(val.abs());
+            }
+        }
+    }
+    m
+}
+
+/// Max absolute difference between two equally-shaped 2-D grids (all points).
+///
+/// Used by the equivalence tests that compare optimizer variants against the
+/// reference interpreter.
+pub fn max_abs_diff_2d(a: &View2<'_>, b: &View2<'_>) -> f64 {
+    assert_eq!((a.ny(), a.nx()), (b.ny(), b.nx()), "shape mismatch");
+    let mut m: f64 = 0.0;
+    for y in 0..a.ny() {
+        let (ra, rb) = (a.row(y), b.row(y));
+        for x in 0..a.nx() {
+            m = m.max((ra[x] - rb[x]).abs());
+        }
+    }
+    m
+}
+
+/// Max absolute difference between two equally-shaped 3-D grids (all points).
+pub fn max_abs_diff_3d(a: &View3<'_>, b: &View3<'_>) -> f64 {
+    assert_eq!(
+        (a.nz(), a.ny(), a.nx()),
+        (b.nz(), b.ny(), b.nx()),
+        "shape mismatch"
+    );
+    let mut m: f64 = 0.0;
+    for z in 0..a.nz() {
+        for y in 0..a.ny() {
+            let (ra, rb) = (a.row(z, y), b.row(z, y));
+            for x in 0..a.nx() {
+                m = m.max((ra[x] - rb[x]).abs());
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{View2, View3};
+
+    #[test]
+    fn l2_2d_uniform_interior() {
+        // 4x4 grid: interior is 2x2; set interior to 3.0 -> l2 = 3.
+        let mut buf = vec![0.0; 16];
+        for y in 1..3 {
+            for x in 1..3 {
+                buf[y * 4 + x] = 3.0;
+            }
+        }
+        let v = View2::dense(&buf, 4, 4);
+        assert!((l2_interior_2d(&v) - 3.0).abs() < 1e-12);
+        assert_eq!(max_interior_2d(&v), 3.0);
+    }
+
+    #[test]
+    fn ghost_ring_ignored_2d() {
+        let mut buf = vec![100.0; 16]; // poison everywhere
+        for y in 1..3 {
+            for x in 1..3 {
+                buf[y * 4 + x] = 1.0;
+            }
+        }
+        let v = View2::dense(&buf, 4, 4);
+        assert!((l2_interior_2d(&v) - 1.0).abs() < 1e-12);
+        assert_eq!(max_interior_2d(&v), 1.0);
+    }
+
+    #[test]
+    fn l2_3d_uniform_interior() {
+        let mut buf = vec![0.0; 64];
+        for z in 1..3 {
+            for y in 1..3 {
+                for x in 1..3 {
+                    buf[z * 16 + y * 4 + x] = 2.0;
+                }
+            }
+        }
+        let v = View3::dense(&buf, 4, 4, 4);
+        assert!((l2_interior_3d(&v) - 2.0).abs() < 1e-12);
+        assert_eq!(max_interior_3d(&v), 2.0);
+    }
+
+    #[test]
+    fn diff_norms() {
+        let a = vec![1.0; 16];
+        let mut b = vec![1.0; 16];
+        b[5] = 1.5;
+        let va = View2::dense(&a, 4, 4);
+        let vb = View2::dense(&b, 4, 4);
+        assert!((max_abs_diff_2d(&va, &vb) - 0.5).abs() < 1e-15);
+
+        let a3 = vec![0.0; 27];
+        let mut b3 = vec![0.0; 27];
+        b3[13] = -2.0;
+        let va3 = View3::dense(&a3, 3, 3, 3);
+        let vb3 = View3::dense(&b3, 3, 3, 3);
+        assert!((max_abs_diff_3d(&va3, &vb3) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn diff_rejects_shape_mismatch() {
+        let a = vec![0.0; 16];
+        let b = vec![0.0; 9];
+        let _ = max_abs_diff_2d(&View2::dense(&a, 4, 4), &View2::dense(&b, 3, 3));
+    }
+}

@@ -1,0 +1,218 @@
+//! Borrowed 2-D views over flat buffers.
+//!
+//! A view pairs a slice with logical extents `(ny, nx)` and a row stride.
+//! For a full array the stride equals `nx`; for a window into a scratchpad it
+//! is the scratchpad's allocated row length. Indexing is `(y, x)` with `x`
+//! fastest (row-major), matching the generated-code layout in the paper's
+//! Figure 8.
+
+/// Immutable 2-D view.
+#[derive(Clone, Copy)]
+pub struct View2<'a> {
+    data: &'a [f64],
+    ny: usize,
+    nx: usize,
+    stride: usize,
+}
+
+impl<'a> View2<'a> {
+    /// Wrap `data` as an `ny × nx` view with row stride `stride`.
+    ///
+    /// # Panics
+    /// Panics if the view would read out of bounds.
+    pub fn new(data: &'a [f64], ny: usize, nx: usize, stride: usize) -> Self {
+        assert!(stride >= nx, "row stride {stride} < row length {nx}");
+        if ny > 0 {
+            assert!(
+                (ny - 1) * stride + nx <= data.len(),
+                "view {ny}x{nx} (stride {stride}) exceeds buffer of len {}",
+                data.len()
+            );
+        }
+        View2 {
+            data,
+            ny,
+            nx,
+            stride,
+        }
+    }
+
+    /// Dense view: stride == nx.
+    pub fn dense(data: &'a [f64], ny: usize, nx: usize) -> Self {
+        Self::new(data, ny, nx, nx)
+    }
+
+    /// Rows in the view.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Columns in the view.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Row stride of the underlying buffer.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Element access (bounds-checked in debug builds).
+    #[inline(always)]
+    pub fn at(&self, y: usize, x: usize) -> f64 {
+        debug_assert!(y < self.ny && x < self.nx);
+        self.data[y * self.stride + x]
+    }
+
+    /// A whole row as a slice.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[f64] {
+        let start = y * self.stride;
+        &self.data[start..start + self.nx]
+    }
+
+    /// The raw underlying slice.
+    pub fn raw(&self) -> &[f64] {
+        self.data
+    }
+}
+
+/// Mutable 2-D view.
+pub struct View2Mut<'a> {
+    data: &'a mut [f64],
+    ny: usize,
+    nx: usize,
+    stride: usize,
+}
+
+impl<'a> View2Mut<'a> {
+    /// Wrap `data` as a mutable `ny × nx` view with row stride `stride`.
+    pub fn new(data: &'a mut [f64], ny: usize, nx: usize, stride: usize) -> Self {
+        assert!(stride >= nx, "row stride {stride} < row length {nx}");
+        if ny > 0 {
+            assert!(
+                (ny - 1) * stride + nx <= data.len(),
+                "view {ny}x{nx} (stride {stride}) exceeds buffer of len {}",
+                data.len()
+            );
+        }
+        View2Mut {
+            data,
+            ny,
+            nx,
+            stride,
+        }
+    }
+
+    /// Dense mutable view: stride == nx.
+    pub fn dense(data: &'a mut [f64], ny: usize, nx: usize) -> Self {
+        Self::new(data, ny, nx, nx)
+    }
+
+    /// Rows in the view.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Columns in the view.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Row stride of the underlying buffer.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Element read.
+    #[inline(always)]
+    pub fn at(&self, y: usize, x: usize) -> f64 {
+        debug_assert!(y < self.ny && x < self.nx);
+        self.data[y * self.stride + x]
+    }
+
+    /// Element write.
+    #[inline(always)]
+    pub fn set(&mut self, y: usize, x: usize, v: f64) {
+        debug_assert!(y < self.ny && x < self.nx);
+        self.data[y * self.stride + x] = v;
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [f64] {
+        let start = y * self.stride;
+        &mut self.data[start..start + self.nx]
+    }
+
+    /// Reborrow as an immutable view.
+    pub fn as_view(&self) -> View2<'_> {
+        View2 {
+            data: self.data,
+            ny: self.ny,
+            nx: self.nx,
+            stride: self.stride,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trip() {
+        let mut buf = vec![0.0; 12];
+        {
+            let mut v = View2Mut::dense(&mut buf, 3, 4);
+            v.set(1, 2, 5.0);
+            v.set(2, 3, 7.0);
+            assert_eq!(v.at(1, 2), 5.0);
+        }
+        let v = View2::dense(&buf, 3, 4);
+        assert_eq!(v.at(1, 2), 5.0);
+        assert_eq!(v.at(2, 3), 7.0);
+        assert_eq!(v.row(1), &[0.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn strided_window() {
+        // 4x5 buffer, take a 2x3 window starting at element (1,1).
+        let mut buf = vec![0.0; 20];
+        for (i, v) in buf.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let window = View2::new(&buf[6..], 2, 3, 5);
+        assert_eq!(window.at(0, 0), 6.0);
+        assert_eq!(window.at(0, 2), 8.0);
+        assert_eq!(window.at(1, 0), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn oversized_view_panics() {
+        let buf = vec![0.0; 10];
+        let _ = View2::dense(&buf, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row stride")]
+    fn stride_smaller_than_row_panics() {
+        let buf = vec![0.0; 10];
+        let _ = View2::new(&buf, 2, 4, 3);
+    }
+
+    #[test]
+    fn mut_as_view() {
+        let mut buf = vec![1.0; 6];
+        let v = View2Mut::dense(&mut buf, 2, 3);
+        let r = v.as_view();
+        assert_eq!(r.at(1, 1), 1.0);
+    }
+}

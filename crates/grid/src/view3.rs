@@ -1,0 +1,256 @@
+//! Borrowed 3-D views over flat buffers.
+//!
+//! Indexing is `(z, y, x)` with `x` fastest. A view carries a plane stride
+//! (elements between consecutive `z` planes) and a row stride (between
+//! consecutive `y` rows), so windows into larger allocations — tile
+//! scratchpads — use the same type as dense full arrays.
+
+/// Immutable 3-D view.
+#[derive(Clone, Copy)]
+pub struct View3<'a> {
+    data: &'a [f64],
+    nz: usize,
+    ny: usize,
+    nx: usize,
+    plane_stride: usize,
+    row_stride: usize,
+}
+
+impl<'a> View3<'a> {
+    /// Wrap `data` as an `nz × ny × nx` view with explicit strides.
+    pub fn new(
+        data: &'a [f64],
+        nz: usize,
+        ny: usize,
+        nx: usize,
+        plane_stride: usize,
+        row_stride: usize,
+    ) -> Self {
+        assert!(row_stride >= nx, "row stride {row_stride} < nx {nx}");
+        assert!(
+            plane_stride >= ny * row_stride || nz <= 1,
+            "plane stride {plane_stride} too small for {ny} rows of stride {row_stride}"
+        );
+        if nz > 0 && ny > 0 {
+            let last = (nz - 1) * plane_stride + (ny - 1) * row_stride + nx;
+            assert!(
+                last <= data.len(),
+                "view {nz}x{ny}x{nx} exceeds buffer of len {}",
+                data.len()
+            );
+        }
+        View3 {
+            data,
+            nz,
+            ny,
+            nx,
+            plane_stride,
+            row_stride,
+        }
+    }
+
+    /// Dense view: strides derived from extents.
+    pub fn dense(data: &'a [f64], nz: usize, ny: usize, nx: usize) -> Self {
+        Self::new(data, nz, ny, nx, ny * nx, nx)
+    }
+
+    /// Planes (z extent).
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Rows (y extent).
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Columns (x extent).
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Elements between z-planes.
+    #[inline]
+    pub fn plane_stride(&self) -> usize {
+        self.plane_stride
+    }
+
+    /// Elements between y-rows.
+    #[inline]
+    pub fn row_stride(&self) -> usize {
+        self.row_stride
+    }
+
+    /// Element access.
+    #[inline(always)]
+    pub fn at(&self, z: usize, y: usize, x: usize) -> f64 {
+        debug_assert!(z < self.nz && y < self.ny && x < self.nx);
+        self.data[z * self.plane_stride + y * self.row_stride + x]
+    }
+
+    /// A row as a slice.
+    #[inline]
+    pub fn row(&self, z: usize, y: usize) -> &[f64] {
+        let start = z * self.plane_stride + y * self.row_stride;
+        &self.data[start..start + self.nx]
+    }
+
+    /// The raw underlying slice.
+    pub fn raw(&self) -> &[f64] {
+        self.data
+    }
+}
+
+/// Mutable 3-D view.
+pub struct View3Mut<'a> {
+    data: &'a mut [f64],
+    nz: usize,
+    ny: usize,
+    nx: usize,
+    plane_stride: usize,
+    row_stride: usize,
+}
+
+impl<'a> View3Mut<'a> {
+    /// Wrap `data` as a mutable `nz × ny × nx` view with explicit strides.
+    pub fn new(
+        data: &'a mut [f64],
+        nz: usize,
+        ny: usize,
+        nx: usize,
+        plane_stride: usize,
+        row_stride: usize,
+    ) -> Self {
+        assert!(row_stride >= nx, "row stride {row_stride} < nx {nx}");
+        assert!(
+            plane_stride >= ny * row_stride || nz <= 1,
+            "plane stride {plane_stride} too small for {ny} rows of stride {row_stride}"
+        );
+        if nz > 0 && ny > 0 {
+            let last = (nz - 1) * plane_stride + (ny - 1) * row_stride + nx;
+            assert!(
+                last <= data.len(),
+                "view {nz}x{ny}x{nx} exceeds buffer of len {}",
+                data.len()
+            );
+        }
+        View3Mut {
+            data,
+            nz,
+            ny,
+            nx,
+            plane_stride,
+            row_stride,
+        }
+    }
+
+    /// Dense mutable view.
+    pub fn dense(data: &'a mut [f64], nz: usize, ny: usize, nx: usize) -> Self {
+        Self::new(data, nz, ny, nx, ny * nx, nx)
+    }
+
+    /// Planes (z extent).
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Rows (y extent).
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Columns (x extent).
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Element read.
+    #[inline(always)]
+    pub fn at(&self, z: usize, y: usize, x: usize) -> f64 {
+        debug_assert!(z < self.nz && y < self.ny && x < self.nx);
+        self.data[z * self.plane_stride + y * self.row_stride + x]
+    }
+
+    /// Element write.
+    #[inline(always)]
+    pub fn set(&mut self, z: usize, y: usize, x: usize, v: f64) {
+        debug_assert!(z < self.nz && y < self.ny && x < self.nx);
+        self.data[z * self.plane_stride + y * self.row_stride + x] = v;
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, z: usize, y: usize) -> &mut [f64] {
+        let start = z * self.plane_stride + y * self.row_stride;
+        &mut self.data[start..start + self.nx]
+    }
+
+    /// Reborrow as an immutable view.
+    pub fn as_view(&self) -> View3<'_> {
+        View3 {
+            data: self.data,
+            nz: self.nz,
+            ny: self.ny,
+            nx: self.nx,
+            plane_stride: self.plane_stride,
+            row_stride: self.row_stride,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trip() {
+        let mut buf = vec![0.0; 24];
+        {
+            let mut v = View3Mut::dense(&mut buf, 2, 3, 4);
+            v.set(1, 2, 3, 9.0);
+            v.set(0, 1, 1, 4.0);
+        }
+        let v = View3::dense(&buf, 2, 3, 4);
+        assert_eq!(v.at(1, 2, 3), 9.0);
+        assert_eq!(v.at(0, 1, 1), 4.0);
+        assert_eq!(buf[23], 9.0);
+        assert_eq!(buf[5], 4.0);
+    }
+
+    #[test]
+    fn strided_window() {
+        // 3x4x5 buffer, take a 2x2x3 window at (1,1,1).
+        let buf: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let start = 1 * 20 + 1 * 5 + 1;
+        let w = View3::new(&buf[start..], 2, 2, 3, 20, 5);
+        assert_eq!(w.at(0, 0, 0), 26.0);
+        assert_eq!(w.at(1, 1, 2), 26.0 + 20.0 + 5.0 + 2.0);
+    }
+
+    #[test]
+    fn row_slices() {
+        let buf: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let v = View3::dense(&buf, 2, 3, 4);
+        assert_eq!(v.row(1, 2), &[20.0, 21.0, 22.0, 23.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn oversized_panics() {
+        let buf = vec![0.0; 23];
+        let _ = View3::dense(&buf, 2, 3, 4);
+    }
+
+    #[test]
+    fn mut_as_view() {
+        let mut buf = vec![2.0; 8];
+        let v = View3Mut::dense(&mut buf, 2, 2, 2);
+        assert_eq!(v.as_view().at(1, 1, 1), 2.0);
+    }
+}

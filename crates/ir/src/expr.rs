@@ -1,0 +1,296 @@
+//! Expression AST with affine grid accesses.
+//!
+//! Expressions are built by the user-facing constructs ([`crate::stencil`],
+//! the pipeline builders) and consumed by the optimizer's lowering pass and
+//! the reference interpreter. Arithmetic operators are overloaded so DSL
+//! programs read like the paper's Python (Figure 3):
+//!
+//! ```
+//! use gmg_ir::expr::{Expr, Operand};
+//! let v = Operand::Func(gmg_ir::FuncId(0));
+//! let f = Operand::Func(gmg_ir::FuncId(1));
+//! // v(y,x) - 0.8 * (lap - f(y,x))
+//! let lap = v.at(&[0, 1]) + v.at(&[0, -1]) + v.at(&[1, 0]) + v.at(&[-1, 0])
+//!     - 4.0 * v.at(&[0, 0]);
+//! let e = v.at(&[0, 0]) - 0.8 * (lap - f.at(&[0, 0]));
+//! assert!(e.reads().len() > 0);
+//! ```
+
+use crate::func::FuncId;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// What a read refers to before stage resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A pipeline function by id.
+    Func(FuncId),
+    /// The previous iterate of the enclosing `TStencil` (step `k-1`; at step
+    /// 0 this is the `TStencil`'s initial state, or zero when there is none).
+    State,
+    /// After stage resolution: input slot `k` of the stage.
+    Slot(usize),
+}
+
+impl Operand {
+    /// A read of this operand at constant per-dimension offsets
+    /// (`num = den = 1`) — the plain stencil access.
+    pub fn at(self, offsets: &[i64]) -> Expr {
+        Expr::Read {
+            op: self,
+            access: Access::offsets(offsets),
+        }
+    }
+
+    /// A read with an explicit affine access.
+    pub fn read(self, access: Access) -> Expr {
+        Expr::Read { op: self, access }
+    }
+}
+
+/// Per-dimension affine access `in = (num·out + off) / den`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AxisAccess {
+    pub num: i64,
+    pub den: i64,
+    pub off: i64,
+}
+
+impl AxisAccess {
+    /// Unit-stride access at constant offset.
+    pub fn offset(off: i64) -> Self {
+        AxisAccess { num: 1, den: 1, off }
+    }
+
+    /// Downsampling access `in = 2·out + off` (the `Restrict` pattern).
+    pub fn down(off: i64) -> Self {
+        AxisAccess { num: 2, den: 1, off }
+    }
+
+    /// Upsampling access `in = (out + off) / 2` (the `Interp` pattern).
+    pub fn up(off: i64) -> Self {
+        AxisAccess { num: 1, den: 2, off }
+    }
+
+    /// Evaluate at an output coordinate using floor division (parity-checked
+    /// reads are exact by construction; the interpreter uses floor).
+    #[inline]
+    pub fn eval(&self, x: i64) -> i64 {
+        gmg_poly::div_floor(self.num * x + self.off, self.den)
+    }
+}
+
+/// A multi-dimensional affine access, outermost dimension first.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Access(pub Vec<AxisAccess>);
+
+impl Access {
+    /// Unit-stride access at the given constant offsets.
+    pub fn offsets(offs: &[i64]) -> Self {
+        Access(offs.iter().map(|&o| AxisAccess::offset(o)).collect())
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Evaluate at an output point (outermost first).
+    pub fn eval(&self, out: &[i64]) -> Vec<i64> {
+        assert_eq!(out.len(), self.ndims());
+        self.0.iter().zip(out).map(|(a, &x)| a.eval(x)).collect()
+    }
+}
+
+/// The expression tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A floating-point literal.
+    Const(f64),
+    /// A grid read.
+    Read { op: Operand, access: Access },
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// All reads in the expression, in evaluation order.
+    pub fn reads(&self) -> Vec<(&Operand, &Access)> {
+        let mut out = Vec::new();
+        self.visit_reads(&mut |op, acc| out.push((op, acc)));
+        out
+    }
+
+    /// Visit every read.
+    pub fn visit_reads<'a>(&'a self, f: &mut impl FnMut(&'a Operand, &'a Access)) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Read { op, access } => f(op, access),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.visit_reads(f);
+                b.visit_reads(f);
+            }
+            Expr::Neg(a) => a.visit_reads(f),
+        }
+    }
+
+    /// Rewrite every read's operand.
+    pub fn map_operands(&self, f: &mut impl FnMut(&Operand) -> Operand) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Read { op, access } => Expr::Read {
+                op: f(op),
+                access: access.clone(),
+            },
+            Expr::Add(a, b) => Expr::Add(Box::new(a.map_operands(f)), Box::new(b.map_operands(f))),
+            Expr::Sub(a, b) => Expr::Sub(Box::new(a.map_operands(f)), Box::new(b.map_operands(f))),
+            Expr::Mul(a, b) => Expr::Mul(Box::new(a.map_operands(f)), Box::new(b.map_operands(f))),
+            Expr::Div(a, b) => Expr::Div(Box::new(a.map_operands(f)), Box::new(b.map_operands(f))),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.map_operands(f))),
+        }
+    }
+
+    /// Fold to a constant if the expression contains no reads.
+    pub fn eval_const(&self) -> Option<f64> {
+        match self {
+            Expr::Const(c) => Some(*c),
+            Expr::Read { .. } => None,
+            Expr::Add(a, b) => Some(a.eval_const()? + b.eval_const()?),
+            Expr::Sub(a, b) => Some(a.eval_const()? - b.eval_const()?),
+            Expr::Mul(a, b) => Some(a.eval_const()? * b.eval_const()?),
+            Expr::Div(a, b) => Some(a.eval_const()? / b.eval_const()?),
+            Expr::Neg(a) => Some(-a.eval_const()?),
+        }
+    }
+
+    /// Evaluate at a point given a resolver for reads.
+    ///
+    /// `read(op, idx)` supplies the value of `op` at the (already
+    /// access-mapped) index — the reference-interpreter hook.
+    pub fn eval_at(&self, out: &[i64], read: &mut impl FnMut(&Operand, &[i64]) -> f64) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Read { op, access } => {
+                let idx = access.eval(out);
+                read(op, &idx)
+            }
+            Expr::Add(a, b) => a.eval_at(out, read) + b.eval_at(out, read),
+            Expr::Sub(a, b) => a.eval_at(out, read) - b.eval_at(out, read),
+            Expr::Mul(a, b) => a.eval_at(out, read) * b.eval_at(out, read),
+            Expr::Div(a, b) => a.eval_at(out, read) / b.eval_at(out, read),
+            Expr::Neg(a) => -a.eval_at(out, read),
+        }
+    }
+
+    /// Count of AST nodes (used in tests and compile statistics).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Read { .. } => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Expr::Neg(a) => 1 + a.size(),
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $variant:ident) => {
+        impl $trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(rhs))
+            }
+        }
+        impl $trait<f64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f64) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(Expr::Const(rhs)))
+            }
+        }
+        impl $trait<Expr> for f64 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$variant(Box::new(Expr::Const(self)), Box::new(rhs))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, Add);
+impl_binop!(Sub, sub, Sub);
+impl_binop!(Mul, mul, Mul);
+impl_binop!(Div, div, Div);
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FuncId;
+
+    fn f0() -> Operand {
+        Operand::Func(FuncId(0))
+    }
+
+    #[test]
+    fn access_eval() {
+        let a = Access::offsets(&[1, -1]);
+        assert_eq!(a.eval(&[5, 5]), vec![6, 4]);
+        let down = Access(vec![AxisAccess::down(-1), AxisAccess::down(1)]);
+        assert_eq!(down.eval(&[3, 3]), vec![5, 7]);
+        let up = Access(vec![AxisAccess::up(0), AxisAccess::up(1)]);
+        assert_eq!(up.eval(&[6, 5]), vec![3, 3]);
+    }
+
+    #[test]
+    fn operators_build_tree() {
+        let e = f0().at(&[0, 0]) * 2.0 + 1.0 - f0().at(&[1, 0]) / 4.0;
+        assert_eq!(e.reads().len(), 2);
+        assert!(e.size() >= 7);
+    }
+
+    #[test]
+    fn eval_const_folds() {
+        let e = (Expr::Const(2.0) + 3.0) * 4.0 - 1.0;
+        assert_eq!(e.eval_const(), Some(19.0));
+        let e2 = -(Expr::Const(6.0) / 2.0);
+        assert_eq!(e2.eval_const(), Some(-3.0));
+        let with_read = Expr::Const(1.0) + f0().at(&[0]);
+        assert_eq!(with_read.eval_const(), None);
+    }
+
+    #[test]
+    fn eval_at_uses_access() {
+        // e = f(y, x+1) + 10 * f(y-1, x)
+        let e = f0().at(&[0, 1]) + 10.0 * f0().at(&[-1, 0]);
+        let v = e.eval_at(&[2, 3], &mut |_, idx| (idx[0] * 100 + idx[1]) as f64);
+        // f(2,4) = 204; f(1,3) = 103
+        assert_eq!(v, 204.0 + 1030.0);
+    }
+
+    #[test]
+    fn map_operands_rewrites() {
+        let e = f0().at(&[0]) + Operand::State.at(&[1]);
+        let r = e.map_operands(&mut |op| match op {
+            Operand::State => Operand::Slot(7),
+            other => *other,
+        });
+        let reads = r.reads();
+        assert_eq!(*reads[0].0, Operand::Func(FuncId(0)));
+        assert_eq!(*reads[1].0, Operand::Slot(7));
+    }
+
+    #[test]
+    fn neg_eval() {
+        let e = -(f0().at(&[0]));
+        assert_eq!(e.eval_at(&[5], &mut |_, _| 3.0), -3.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Pipeline function metadata: ids, kinds, parity patterns, boundary
+//! conditions and parameters.
+
+use crate::expr::Expr;
+use gmg_poly::BoxDomain;
+
+/// Identifier of a pipeline function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub usize);
+
+/// Identifier of a pipeline parameter (the `Parameter` construct).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+/// Step count of a `TStencil`: fixed at build time or bound at run time via
+/// a parameter (the paper notes `TStencil` "allows initialization of the
+/// parameter T at runtime").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepCount {
+    Fixed(usize),
+    Param(ParamId),
+}
+
+/// Per-dimension parity selector for piecewise (`Case`) definitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// Matches any index.
+    Any,
+    /// Matches even indices.
+    Even,
+    /// Matches odd indices.
+    Odd,
+}
+
+impl Parity {
+    /// Does `x` match this selector?
+    #[inline]
+    pub fn matches(self, x: i64) -> bool {
+        match self {
+            Parity::Any => true,
+            Parity::Even => x.rem_euclid(2) == 0,
+            Parity::Odd => x.rem_euclid(2) == 1,
+        }
+    }
+}
+
+/// A per-dimension parity pattern (outermost first). A point belongs to the
+/// case whose pattern matches in every dimension; patterns in a definition
+/// must be disjoint and together cover the domain (checked by
+/// [`crate::validate`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ParityPattern(pub Vec<Parity>);
+
+impl ParityPattern {
+    /// The always-matching pattern for `ndims` dimensions.
+    pub fn any(ndims: usize) -> Self {
+        ParityPattern(vec![Parity::Any; ndims])
+    }
+
+    /// Does the point match in every dimension?
+    pub fn matches(&self, p: &[i64]) -> bool {
+        assert_eq!(self.0.len(), p.len(), "rank mismatch");
+        self.0.iter().zip(p).all(|(par, &x)| par.matches(x))
+    }
+
+    /// Do two patterns overlap (can some point match both)?
+    pub fn overlaps(&self, other: &ParityPattern) -> bool {
+        assert_eq!(self.0.len(), other.0.len(), "rank mismatch");
+        self.0.iter().zip(&other.0).all(|(a, b)| {
+            !matches!(
+                (a, b),
+                (Parity::Even, Parity::Odd) | (Parity::Odd, Parity::Even)
+            )
+        })
+    }
+}
+
+/// Boundary condition applied on a function's ghost ring.
+///
+/// This is the fragment of the paper's `Case` boundary support that the
+/// evaluated benchmarks use: a constant Dirichlet value (0 for homogeneous
+/// problems).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BoundaryCond {
+    Dirichlet(f64),
+}
+
+impl Default for BoundaryCond {
+    fn default() -> Self {
+        BoundaryCond::Dirichlet(0.0)
+    }
+}
+
+impl BoundaryCond {
+    /// The value a ghost read yields.
+    pub fn value(&self) -> f64 {
+        match self {
+            BoundaryCond::Dirichlet(v) => *v,
+        }
+    }
+}
+
+/// The construct a function was declared with. `Restrict` and `Interp` are
+/// `Function`s with implied sampling factors (paper §2); the kind is kept for
+/// validation (sampling-direction checks) and reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuncKind {
+    /// External input grid.
+    Input,
+    /// Plain `Function` (pointwise or stencil).
+    Function,
+    /// Time-iterated stencil (pre-/post-smoothing).
+    TStencil,
+    /// Downsampling function (sampling factor 1/2 per dimension).
+    Restrict,
+    /// Upsampling function (sampling factor 2 per dimension).
+    Interp,
+}
+
+/// A function's full record inside a [`crate::pipeline::Pipeline`].
+#[derive(Clone, Debug)]
+pub struct FuncData {
+    pub name: String,
+    pub kind: FuncKind,
+    /// Interior iteration domain (1-based, ghost ring excluded).
+    pub domain: BoxDomain,
+    /// Multigrid level tag (0 = coarsest); used for scale relations,
+    /// storage-class formation and reporting.
+    pub level: u32,
+    /// The size parameter this function's extents derive from, if any —
+    /// full-array storage classes group by parameter identity (§3.2.2).
+    pub size_param: Option<ParamId>,
+    /// Piecewise definition; empty for inputs. Single-case definitions use
+    /// [`ParityPattern::any`].
+    pub cases: Vec<(ParityPattern, Expr)>,
+    /// Number of smoothing steps for `TStencil` functions.
+    pub steps: Option<StepCount>,
+    /// The function whose value seeds step 0 of a `TStencil` (`None` ⇒ zero
+    /// initial state, as in the recursive error cycles).
+    pub state: Option<FuncId>,
+    /// Ghost-ring boundary condition.
+    pub boundary: BoundaryCond,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_matching() {
+        assert!(Parity::Any.matches(3));
+        assert!(Parity::Even.matches(0) && Parity::Even.matches(-2));
+        assert!(Parity::Odd.matches(1) && Parity::Odd.matches(-1));
+        assert!(!Parity::Even.matches(3));
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let p = ParityPattern(vec![Parity::Even, Parity::Odd]);
+        assert!(p.matches(&[2, 3]));
+        assert!(!p.matches(&[2, 2]));
+        assert!(ParityPattern::any(3).matches(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn pattern_overlap() {
+        let ee = ParityPattern(vec![Parity::Even, Parity::Even]);
+        let eo = ParityPattern(vec![Parity::Even, Parity::Odd]);
+        let aa = ParityPattern::any(2);
+        assert!(!ee.overlaps(&eo));
+        assert!(ee.overlaps(&aa));
+        assert!(ee.overlaps(&ee));
+    }
+
+    #[test]
+    fn boundary_default_zero() {
+        assert_eq!(BoundaryCond::default().value(), 0.0);
+        assert_eq!(BoundaryCond::Dirichlet(2.5).value(), 2.5);
+    }
+}

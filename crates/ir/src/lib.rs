@@ -1,0 +1,42 @@
+//! # gmg-ir — the PolyMG DSL
+//!
+//! This crate is the Rust counterpart of the PolyMage language extended for
+//! multigrid in the SC'17 paper (Section 2). A program is a feed-forward
+//! [`pipeline::Pipeline`] of functions defined over rectangular domains:
+//!
+//! * [`pipeline::Pipeline::input`] — a `Grid` (external input),
+//! * [`pipeline::Pipeline::function`] — a `Function` with a pointwise or
+//!   stencil definition,
+//! * [`stencil`] — the `Stencil` construct: weight matrices/volumes with a
+//!   default centre of `m/2` per dimension (paper §2),
+//! * [`pipeline::Pipeline::tstencil`] — the `TStencil` construct introduced
+//!   by PolyMG: a time-iterated stencil with a (possibly runtime-bound)
+//!   step count, used for pre-/post-smoothing,
+//! * [`pipeline::Pipeline::restrict_fn`] / [`pipeline::Pipeline::interp_fn`]
+//!   — the `Restrict` and `Interp` constructs with their implied sampling
+//!   factors (1/2 resp. 2) and parity-safe index arithmetic, so the
+//!   "modulo-operator overhead prone to human error" (§2) never appears in
+//!   user code.
+//!
+//! Boundary conditions: every function carries a Dirichlet boundary value
+//! (default 0) applied on its ghost ring — the piecewise `Case` construct of
+//! the paper restricted to what the evaluated benchmarks use. Parity-`Case`
+//! piecewise definitions (used by `Interp`) are fully supported.
+//!
+//! The compiler-facing view is the unrolled [`stages::StageGraph`]: `TStencil`
+//! functions are expanded into per-step stages, reads are resolved to stage
+//! slots, and per-edge dependence [`gmg_poly::Footprint`]s are extracted.
+
+pub mod expr;
+pub mod func;
+pub mod linear;
+pub mod pipeline;
+pub mod stages;
+pub mod stencil;
+pub mod validate;
+
+pub use expr::{Access, AxisAccess, Expr, Operand};
+pub use func::{BoundaryCond, FuncId, FuncKind, ParamId, Parity, ParityPattern, StepCount};
+pub use linear::{linearize, LinearForm, Tap};
+pub use pipeline::{ParamBindings, Pipeline};
+pub use stages::{Stage, StageGraph, StageId, StageInput, StageKind};

@@ -1,0 +1,221 @@
+//! Linearisation of stage expressions.
+//!
+//! Every multigrid operator — Jacobi relaxation, residual, restriction,
+//! interpolation, correction — is a *linear combination of affine reads plus
+//! a constant*. The optimizer's kernel lowering relies on this: a linearised
+//! case becomes a flat tap list executed by the specialised stencil kernels
+//! in `gmg-runtime`. Non-linear expressions are legal in the DSL; they fall
+//! back to the reference interpreter (and [`linearize`] returns `None`).
+
+use crate::expr::{Access, Expr, Operand};
+
+/// One tap of a linear form: `coeff · slot[access(x)]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tap {
+    /// Stage input slot index (the operand must be [`Operand::Slot`]).
+    pub slot: usize,
+    pub access: Access,
+    pub coeff: f64,
+}
+
+/// A linearised expression: `bias + Σ taps`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearForm {
+    pub bias: f64,
+    pub taps: Vec<Tap>,
+}
+
+impl LinearForm {
+    /// Merge taps with identical (slot, access), dropping zero coefficients.
+    pub fn simplify(mut self) -> LinearForm {
+        let mut merged: Vec<Tap> = Vec::with_capacity(self.taps.len());
+        for t in self.taps.drain(..) {
+            if let Some(m) = merged
+                .iter_mut()
+                .find(|m| m.slot == t.slot && m.access == t.access)
+            {
+                m.coeff += t.coeff;
+            } else {
+                merged.push(t);
+            }
+        }
+        merged.retain(|t| t.coeff != 0.0);
+        LinearForm {
+            bias: self.bias,
+            taps: merged,
+        }
+    }
+
+    /// Sum of all coefficients (a partition-of-unity check for restriction
+    /// and interpolation operators).
+    pub fn coeff_sum(&self) -> f64 {
+        self.taps.iter().map(|t| t.coeff).sum()
+    }
+}
+
+/// Linearise an expression whose reads are slot operands.
+///
+/// Returns `None` when the expression is not affine in its reads (e.g. a
+/// product of two reads, or a division by a read).
+pub fn linearize(e: &Expr) -> Option<LinearForm> {
+    let f = lin(e)?;
+    Some(f.simplify())
+}
+
+fn lin(e: &Expr) -> Option<LinearForm> {
+    match e {
+        Expr::Const(c) => Some(LinearForm {
+            bias: *c,
+            taps: vec![],
+        }),
+        Expr::Read { op, access } => {
+            let slot = match op {
+                Operand::Slot(s) => *s,
+                _ => panic!("linearize requires slot-resolved expressions"),
+            };
+            Some(LinearForm {
+                bias: 0.0,
+                taps: vec![Tap {
+                    slot,
+                    access: access.clone(),
+                    coeff: 1.0,
+                }],
+            })
+        }
+        Expr::Add(a, b) => {
+            let (a, b) = (lin(a)?, lin(b)?);
+            Some(combine(a, b, 1.0))
+        }
+        Expr::Sub(a, b) => {
+            let (a, b) = (lin(a)?, lin(b)?);
+            Some(combine(a, b, -1.0))
+        }
+        Expr::Mul(a, b) => {
+            // one side must be a constant
+            if let Some(c) = a.eval_const() {
+                let f = lin(b)?;
+                Some(scale(f, c))
+            } else if let Some(c) = b.eval_const() {
+                let f = lin(a)?;
+                Some(scale(f, c))
+            } else {
+                None
+            }
+        }
+        Expr::Div(a, b) => {
+            let c = b.eval_const()?;
+            let f = lin(a)?;
+            Some(scale(f, 1.0 / c))
+        }
+        Expr::Neg(a) => {
+            let f = lin(a)?;
+            Some(scale(f, -1.0))
+        }
+    }
+}
+
+fn combine(mut a: LinearForm, b: LinearForm, sign: f64) -> LinearForm {
+    a.bias += sign * b.bias;
+    a.taps.extend(b.taps.into_iter().map(|mut t| {
+        t.coeff *= sign;
+        t
+    }));
+    a
+}
+
+fn scale(mut f: LinearForm, c: f64) -> LinearForm {
+    f.bias *= c;
+    for t in &mut f.taps {
+        t.coeff *= c;
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(slot: usize, offs: &[i64]) -> Expr {
+        Operand::Slot(slot).at(offs)
+    }
+
+    #[test]
+    fn jacobi_linearises() {
+        // v - 0.8/h² * (4v - v(±1)) + 0.8*f with h=1
+        let lap = 4.0 * s(0, &[0, 0]) - s(0, &[0, 1]) - s(0, &[0, -1]) - s(0, &[1, 0])
+            - s(0, &[-1, 0]);
+        let e = s(0, &[0, 0]) - 0.8 * (lap - s(1, &[0, 0]));
+        let f = linearize(&e).unwrap();
+        assert_eq!(f.bias, 0.0);
+        // center tap merged: 1 - 0.8*4 = -2.2
+        let center = f
+            .taps
+            .iter()
+            .find(|t| t.slot == 0 && t.access == Access::offsets(&[0, 0]))
+            .unwrap();
+        assert!((center.coeff - (1.0 - 3.2)).abs() < 1e-12);
+        // four neighbour taps at +0.8
+        let neigh: Vec<&Tap> = f
+            .taps
+            .iter()
+            .filter(|t| t.slot == 0 && t.access != Access::offsets(&[0, 0]))
+            .collect();
+        assert_eq!(neigh.len(), 4);
+        assert!(neigh.iter().all(|t| (t.coeff - 0.8).abs() < 1e-12));
+        // f tap at +0.8
+        let ft = f.taps.iter().find(|t| t.slot == 1).unwrap();
+        assert!((ft.coeff - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_by_const_ok() {
+        let e = s(0, &[0]) / 4.0;
+        let f = linearize(&e).unwrap();
+        assert_eq!(f.taps[0].coeff, 0.25);
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        let e = s(0, &[0]) * s(1, &[0]);
+        assert!(linearize(&e).is_none());
+        let e2 = Expr::Const(1.0) / s(0, &[0]);
+        assert!(linearize(&e2).is_none());
+    }
+
+    #[test]
+    fn bias_propagates() {
+        let e = 2.0 * (s(0, &[0]) + 3.0) - 1.0;
+        let f = linearize(&e).unwrap();
+        assert_eq!(f.bias, 5.0);
+        assert_eq!(f.taps[0].coeff, 2.0);
+    }
+
+    #[test]
+    fn zero_coeff_dropped() {
+        let e = s(0, &[0]) - s(0, &[0]);
+        let f = linearize(&e).unwrap();
+        assert!(f.taps.is_empty());
+        assert_eq!(f.bias, 0.0);
+    }
+
+    #[test]
+    fn neg_scales() {
+        let e = -(2.0 * s(0, &[1]));
+        let f = linearize(&e).unwrap();
+        assert_eq!(f.taps[0].coeff, -2.0);
+    }
+
+    #[test]
+    fn coeff_sum_partition_of_unity() {
+        let e = 0.25 * (s(0, &[0, 0]) + s(0, &[0, 1]) + s(0, &[1, 0]) + s(0, &[1, 1]));
+        let f = linearize(&e).unwrap();
+        assert!((f.coeff_sum() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot-resolved")]
+    fn func_operand_panics() {
+        let e = Operand::Func(crate::func::FuncId(0)).at(&[0]);
+        let _ = linearize(&e);
+    }
+}

@@ -1,0 +1,380 @@
+//! The `Pipeline` — a feed-forward DAG of functions, built with the
+//! constructs of Section 2 of the paper.
+//!
+//! A pipeline is constructed for concrete grid extents (the `Parameter`
+//! construct records symbolic identity used for storage classification and
+//! reporting; the optimizer and runtime work on the bound sizes, mirroring
+//! how the paper's generated code is specialised per problem class). The
+//! iteration loop over whole multigrid cycles is *external* to the pipeline,
+//! exactly as in PolyMG: one pipeline instance describes one V-/W-cycle.
+
+use crate::expr::{Expr, Operand};
+use crate::func::{
+    BoundaryCond, FuncData, FuncId, FuncKind, ParamId, ParityPattern, StepCount,
+};
+use crate::stencil::{interp_bilinear_cases, interp_trilinear_cases};
+use gmg_poly::BoxDomain;
+use std::collections::HashMap;
+
+/// Runtime bindings for pipeline parameters (e.g. the `TStencil` step count).
+#[derive(Clone, Debug, Default)]
+pub struct ParamBindings(pub HashMap<ParamId, i64>);
+
+impl ParamBindings {
+    /// Empty bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `param` to `value` (overwrites).
+    pub fn bind(&mut self, param: ParamId, value: i64) -> &mut Self {
+        self.0.insert(param, value);
+        self
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, param: ParamId) -> Option<i64> {
+        self.0.get(&param).copied()
+    }
+}
+
+/// A feed-forward pipeline of functions over structured grids.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    name: String,
+    funcs: Vec<FuncData>,
+    params: Vec<String>,
+    outputs: Vec<FuncId>,
+}
+
+impl Pipeline {
+    /// New, empty pipeline.
+    pub fn new(name: &str) -> Self {
+        Pipeline {
+            name: name.to_string(),
+            funcs: Vec::new(),
+            params: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Pipeline name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declare a `Parameter`.
+    pub fn parameter(&mut self, name: &str) -> ParamId {
+        self.params.push(name.to_string());
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Name of a parameter.
+    pub fn param_name(&self, p: ParamId) -> &str {
+        &self.params[p.0]
+    }
+
+    /// Number of declared parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Declare an input `Grid` with interior size `n` per dimension at
+    /// multigrid level `level`.
+    pub fn input(&mut self, name: &str, ndims: usize, n: i64, level: u32) -> FuncId {
+        self.push(FuncData {
+            name: name.to_string(),
+            kind: FuncKind::Input,
+            domain: BoxDomain::interior(ndims, n),
+            level,
+            size_param: None,
+            cases: Vec::new(),
+            steps: None,
+            state: None,
+            boundary: BoundaryCond::default(),
+        })
+    }
+
+    /// Declare a plain `Function` with a single-case definition.
+    pub fn function(&mut self, name: &str, ndims: usize, n: i64, level: u32, defn: Expr) -> FuncId {
+        self.function_cases(
+            name,
+            ndims,
+            n,
+            level,
+            vec![(ParityPattern::any(ndims), defn)],
+        )
+    }
+
+    /// Declare a `Function` with a piecewise (`Case`) definition.
+    pub fn function_cases(
+        &mut self,
+        name: &str,
+        ndims: usize,
+        n: i64,
+        level: u32,
+        cases: Vec<(ParityPattern, Expr)>,
+    ) -> FuncId {
+        assert!(!cases.is_empty(), "function '{name}' has no definition");
+        self.push(FuncData {
+            name: name.to_string(),
+            kind: FuncKind::Function,
+            domain: BoxDomain::interior(ndims, n),
+            level,
+            size_param: None,
+            cases,
+            steps: None,
+            state: None,
+            boundary: BoundaryCond::default(),
+        })
+    }
+
+    /// Declare a `TStencil`: `steps` applications of `defn`, where
+    /// [`Operand::State`] inside `defn` denotes the previous iterate. Step 0
+    /// reads `state` (or zero when `None` — the error cycles start from a
+    /// zero guess).
+    pub fn tstencil(
+        &mut self,
+        name: &str,
+        ndims: usize,
+        n: i64,
+        level: u32,
+        steps: StepCount,
+        state: Option<FuncId>,
+        defn: Expr,
+    ) -> FuncId {
+        if let Some(s) = state {
+            assert!(s.0 < self.funcs.len(), "state function out of range");
+        }
+        self.push(FuncData {
+            name: name.to_string(),
+            kind: FuncKind::TStencil,
+            domain: BoxDomain::interior(ndims, n),
+            level,
+            size_param: None,
+            cases: vec![(ParityPattern::any(ndims), defn)],
+            steps: Some(steps),
+            state,
+            boundary: BoundaryCond::default(),
+        })
+    }
+
+    /// Declare a `Restrict` function (sampling factor 1/2): the output
+    /// domain has interior size `n` (the *coarse* size) and `defn` reads the
+    /// fine input through downsampling accesses.
+    pub fn restrict_fn(&mut self, name: &str, ndims: usize, n: i64, level: u32, defn: Expr) -> FuncId {
+        self.push(FuncData {
+            name: name.to_string(),
+            kind: FuncKind::Restrict,
+            domain: BoxDomain::interior(ndims, n),
+            level,
+            size_param: None,
+            cases: vec![(ParityPattern::any(ndims), defn)],
+            steps: None,
+            state: None,
+            boundary: BoundaryCond::default(),
+        })
+    }
+
+    /// Declare an `Interp` function (sampling factor 2) with the standard
+    /// bi-/tri-linear parity cases reading `input`. The output interior size
+    /// is `n` (the *fine* size).
+    pub fn interp_fn(&mut self, name: &str, ndims: usize, n: i64, level: u32, input: FuncId) -> FuncId {
+        let cases = match ndims {
+            2 => interp_bilinear_cases(Operand::Func(input)),
+            3 => interp_trilinear_cases(Operand::Func(input)),
+            _ => panic!("unsupported rank {ndims}"),
+        };
+        self.interp_fn_cases(name, ndims, n, level, cases)
+    }
+
+    /// Declare an `Interp` function with custom parity cases.
+    pub fn interp_fn_cases(
+        &mut self,
+        name: &str,
+        ndims: usize,
+        n: i64,
+        level: u32,
+        cases: Vec<(ParityPattern, Expr)>,
+    ) -> FuncId {
+        assert!(!cases.is_empty(), "interp '{name}' has no cases");
+        self.push(FuncData {
+            name: name.to_string(),
+            kind: FuncKind::Interp,
+            domain: BoxDomain::interior(ndims, n),
+            level,
+            size_param: None,
+            cases,
+            steps: None,
+            state: None,
+            boundary: BoundaryCond::default(),
+        })
+    }
+
+    /// Tag a function's extents as deriving from a size parameter — used for
+    /// full-array storage classification (§3.2.2).
+    pub fn set_size_param(&mut self, f: FuncId, p: ParamId) {
+        assert!(p.0 < self.params.len(), "parameter out of range");
+        self.funcs[f.0].size_param = Some(p);
+    }
+
+    /// Override a function's boundary condition.
+    pub fn set_boundary(&mut self, f: FuncId, b: BoundaryCond) {
+        self.funcs[f.0].boundary = b;
+    }
+
+    /// Mark a function as a pipeline output (live at the end of the cycle).
+    pub fn mark_output(&mut self, f: FuncId) {
+        if !self.outputs.contains(&f) {
+            self.outputs.push(f);
+        }
+    }
+
+    /// The declared outputs.
+    pub fn outputs(&self) -> &[FuncId] {
+        &self.outputs
+    }
+
+    /// Function record by id.
+    pub fn func(&self, f: FuncId) -> &FuncData {
+        &self.funcs[f.0]
+    }
+
+    /// Number of functions (including inputs).
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Iterate over all functions with their ids.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &FuncData)> {
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i), f))
+    }
+
+    /// Find a function by name (names are unique; enforced on insertion).
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId)
+    }
+
+    fn push(&mut self, data: FuncData) -> FuncId {
+        assert!(
+            self.func_by_name(&data.name).is_none(),
+            "duplicate function name '{}'",
+            data.name
+        );
+        // feed-forward check: definitions may only read earlier functions
+        for (_, e) in &data.cases {
+            e.visit_reads(&mut |op, _| match op {
+                Operand::Func(f) => assert!(
+                    f.0 < self.funcs.len(),
+                    "function '{}' reads undeclared function {:?} — pipelines are feed-forward",
+                    data.name,
+                    f
+                ),
+                Operand::State => assert!(
+                    data.kind == FuncKind::TStencil,
+                    "State operand outside a TStencil in '{}'",
+                    data.name
+                ),
+                Operand::Slot(_) => {
+                    panic!("Slot operands are compiler-internal ('{}')", data.name)
+                }
+            });
+        }
+        self.funcs.push(data);
+        FuncId(self.funcs.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Operand;
+    use crate::stencil::{restrict_full_weighting_2d, stencil_2d};
+
+    fn five_point() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, -1.0, 0.0],
+            vec![-1.0, 4.0, -1.0],
+            vec![0.0, -1.0, 0.0],
+        ]
+    }
+
+    #[test]
+    fn build_small_pipeline() {
+        let mut p = Pipeline::new("demo");
+        let n = 15;
+        let v = p.input("V", 2, n, 1);
+        let f = p.input("F", 2, n, 1);
+        let sm = p.tstencil(
+            "smooth",
+            2,
+            n,
+            1,
+            StepCount::Fixed(2),
+            Some(v),
+            Operand::State.at(&[0, 0])
+                - 0.8 * (stencil_2d(Operand::State, &five_point(), 1.0) - Operand::Func(f).at(&[0, 0])),
+        );
+        let r = p.restrict_fn(
+            "restrict",
+            2,
+            7,
+            0,
+            restrict_full_weighting_2d(Operand::Func(sm)),
+        );
+        let e = p.interp_fn("interp", 2, n, 1, r);
+        p.mark_output(e);
+        assert_eq!(p.num_funcs(), 5);
+        assert_eq!(p.outputs(), &[e]);
+        assert_eq!(p.func(sm).kind, FuncKind::TStencil);
+        assert_eq!(p.func(r).kind, FuncKind::Restrict);
+        assert_eq!(p.func(e).cases.len(), 4);
+        assert_eq!(p.func_by_name("restrict"), Some(r));
+        assert_eq!(p.func_by_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_rejected() {
+        let mut p = Pipeline::new("demo");
+        p.input("V", 2, 7, 0);
+        p.input("V", 2, 7, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feed-forward")]
+    fn forward_reads_rejected() {
+        let mut p = Pipeline::new("demo");
+        p.function("f", 2, 7, 0, Operand::Func(FuncId(5)).at(&[0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "State operand outside a TStencil")]
+    fn state_outside_tstencil_rejected() {
+        let mut p = Pipeline::new("demo");
+        p.function("f", 2, 7, 0, Operand::State.at(&[0, 0]));
+    }
+
+    #[test]
+    fn param_bindings() {
+        let mut p = Pipeline::new("demo");
+        let t = p.parameter("T");
+        assert_eq!(p.param_name(t), "T");
+        let mut b = ParamBindings::new();
+        b.bind(t, 4);
+        assert_eq!(b.get(t), Some(4));
+        assert_eq!(b.get(ParamId(99)), None);
+    }
+
+    #[test]
+    fn mark_output_dedups() {
+        let mut p = Pipeline::new("demo");
+        let v = p.input("V", 2, 7, 0);
+        p.mark_output(v);
+        p.mark_output(v);
+        assert_eq!(p.outputs().len(), 1);
+    }
+}

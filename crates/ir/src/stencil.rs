@@ -1,0 +1,343 @@
+//! The `Stencil` construct and the standard multigrid operator expressions.
+//!
+//! `Stencil(f, (x,y), weights, scale)` from the paper translates a weight
+//! matrix into a weighted sum of shifted reads; the centre defaults to
+//! `m/2` per dimension and can be overridden. Zero weights generate no read.
+//! This module also provides the canonical full-weighting restriction and
+//! bi-/tri-linear interpolation case lists used by the `Restrict`/`Interp`
+//! constructs.
+
+use crate::expr::{Access, AxisAccess, Expr, Operand};
+use crate::func::{Parity, ParityPattern};
+
+/// 2-D `Stencil` with default centre `(rows/2, cols/2)`.
+pub fn stencil_2d(f: Operand, weights: &[Vec<f64>], scale: f64) -> Expr {
+    let cy = (weights.len() / 2) as i64;
+    let cx = (weights.first().map_or(0, Vec::len) / 2) as i64;
+    stencil_2d_center(f, weights, scale, (cy, cx))
+}
+
+/// 2-D `Stencil` with an explicit centre (paper: "a stencil with its center
+/// off the default value can also be expressed").
+pub fn stencil_2d_center(
+    f: Operand,
+    weights: &[Vec<f64>],
+    scale: f64,
+    center: (i64, i64),
+) -> Expr {
+    let mut acc: Option<Expr> = None;
+    for (i, row) in weights.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let off = [i as i64 - center.0, j as i64 - center.1];
+            let term = weighted(f.at(&off), w);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+    }
+    finish(acc, scale)
+}
+
+/// 3-D `Stencil` (the paper's extension of the construct to 3-D grids) with
+/// default centre.
+pub fn stencil_3d(f: Operand, weights: &[Vec<Vec<f64>>], scale: f64) -> Expr {
+    let cz = (weights.len() / 2) as i64;
+    let cy = (weights.first().map_or(0, Vec::len) / 2) as i64;
+    let cx = (weights
+        .first()
+        .and_then(|p| p.first())
+        .map_or(0, Vec::len)
+        / 2) as i64;
+    let mut acc: Option<Expr> = None;
+    for (i, plane) in weights.iter().enumerate() {
+        for (j, row) in plane.iter().enumerate() {
+            for (k, &w) in row.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let off = [i as i64 - cz, j as i64 - cy, k as i64 - cx];
+                let term = weighted(f.at(&off), w);
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => a + term,
+                });
+            }
+        }
+    }
+    finish(acc, scale)
+}
+
+fn weighted(read: Expr, w: f64) -> Expr {
+    if w == 1.0 {
+        read
+    } else {
+        w * read
+    }
+}
+
+fn finish(acc: Option<Expr>, scale: f64) -> Expr {
+    let e = acc.unwrap_or(Expr::Const(0.0));
+    if scale == 1.0 {
+        e
+    } else {
+        e * scale
+    }
+}
+
+/// Full-weighting restriction in 2-D: `R(y,x) = Σ w_ij · in(2y+i, 2x+j) / 16`
+/// with the `[1 2 1; 2 4 2; 1 2 1]` kernel (paper Figure 3, `restrict`).
+pub fn restrict_full_weighting_2d(f: Operand) -> Expr {
+    let w = [[1.0, 2.0, 1.0], [2.0, 4.0, 2.0], [1.0, 2.0, 1.0]];
+    let mut acc: Option<Expr> = None;
+    for (i, row) in w.iter().enumerate() {
+        for (j, &wij) in row.iter().enumerate() {
+            let access = Access(vec![
+                AxisAccess::down(i as i64 - 1),
+                AxisAccess::down(j as i64 - 1),
+            ]);
+            let term = weighted(f.read(access), wij);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+    }
+    finish(acc, 1.0 / 16.0)
+}
+
+/// Full-weighting restriction in 3-D: separable `[1 2 1]/4` per dimension
+/// (total scale 1/64).
+pub fn restrict_full_weighting_3d(f: Operand) -> Expr {
+    let w1 = [1.0, 2.0, 1.0];
+    let mut acc: Option<Expr> = None;
+    for (i, &wi) in w1.iter().enumerate() {
+        for (j, &wj) in w1.iter().enumerate() {
+            for (k, &wk) in w1.iter().enumerate() {
+                let access = Access(vec![
+                    AxisAccess::down(i as i64 - 1),
+                    AxisAccess::down(j as i64 - 1),
+                    AxisAccess::down(k as i64 - 1),
+                ]);
+                let term = weighted(f.read(access), wi * wj * wk);
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => a + term,
+                });
+            }
+        }
+    }
+    finish(acc, 1.0 / 64.0)
+}
+
+/// Bilinear interpolation cases for 2-D `Interp` (paper Figure 3,
+/// `interpolate`): one case per output parity, each an average of the
+/// surrounding coarse points. Fine index `2j` aligns with coarse index `j`
+/// (vertex-centred hierarchy, interior sizes `2^k − 1`).
+pub fn interp_bilinear_cases(f: Operand) -> Vec<(ParityPattern, Expr)> {
+    let pat = |py, px| ParityPattern(vec![py, px]);
+    let rd = |oy: i64, ox: i64| f.read(Access(vec![AxisAccess::up(oy), AxisAccess::up(ox)]));
+    vec![
+        // even, even: coincides with a coarse point
+        (pat(Parity::Even, Parity::Even), rd(0, 0)),
+        // even, odd: average in x
+        (
+            pat(Parity::Even, Parity::Odd),
+            0.5 * (rd(0, -1) + rd(0, 1)),
+        ),
+        // odd, even: average in y
+        (
+            pat(Parity::Odd, Parity::Even),
+            0.5 * (rd(-1, 0) + rd(1, 0)),
+        ),
+        // odd, odd: average of the four corners
+        (
+            pat(Parity::Odd, Parity::Odd),
+            0.25 * (rd(-1, -1) + rd(-1, 1) + rd(1, -1) + rd(1, 1)),
+        ),
+    ]
+}
+
+/// Trilinear interpolation cases for 3-D `Interp` (8 parity cases).
+pub fn interp_trilinear_cases(f: Operand) -> Vec<(ParityPattern, Expr)> {
+    let mut cases = Vec::with_capacity(8);
+    for pz in [Parity::Even, Parity::Odd] {
+        for py in [Parity::Even, Parity::Odd] {
+            for px in [Parity::Even, Parity::Odd] {
+                let offs = |p: Parity| -> Vec<i64> {
+                    match p {
+                        Parity::Even => vec![0],
+                        Parity::Odd => vec![-1, 1],
+                        Parity::Any => unreachable!(),
+                    }
+                };
+                let (zs, ys, xs) = (offs(pz), offs(py), offs(px));
+                let count = (zs.len() * ys.len() * xs.len()) as f64;
+                let mut acc: Option<Expr> = None;
+                for &oz in &zs {
+                    for &oy in &ys {
+                        for &ox in &xs {
+                            let term = f.read(Access(vec![
+                                AxisAccess::up(oz),
+                                AxisAccess::up(oy),
+                                AxisAccess::up(ox),
+                            ]));
+                            acc = Some(match acc {
+                                None => term,
+                                Some(a) => a + term,
+                            });
+                        }
+                    }
+                }
+                let e = acc.unwrap();
+                let e = if count > 1.0 { (1.0 / count) * e } else { e };
+                cases.push((ParityPattern(vec![pz, py, px]), e));
+            }
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FuncId;
+
+    fn f() -> Operand {
+        Operand::Func(FuncId(0))
+    }
+
+    #[test]
+    fn five_point_stencil_reads() {
+        let w = vec![
+            vec![0.0, -1.0, 0.0],
+            vec![-1.0, 4.0, -1.0],
+            vec![0.0, -1.0, 0.0],
+        ];
+        let e = stencil_2d(f(), &w, 1.0);
+        assert_eq!(e.reads().len(), 5);
+        // evaluate against a linear field: laplacian of linear field = 0
+        let v = e.eval_at(&[5, 7], &mut |_, idx| (2 * idx[0] + 3 * idx[1]) as f64);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn paper_example_translation() {
+        // Stencil(f, (x,y), [[0,1],[-1,2]], 1.0/16)
+        // center of a 2x2 is (1,1):
+        // → 1/16 * ( 1·f(x-1, y) + (-1)·f(x, y-1) + 2·f(x, y) )
+        let w = vec![vec![0.0, 1.0], vec![-1.0, 2.0]];
+        let e = stencil_2d(f(), &w, 1.0 / 16.0);
+        assert_eq!(e.reads().len(), 3);
+        let v = e.eval_at(&[0, 0], &mut |_, idx| match (idx[0], idx[1]) {
+            (-1, 0) => 16.0,
+            (0, -1) => 32.0,
+            (0, 0) => 8.0,
+            _ => panic!("unexpected read {idx:?}"),
+        });
+        assert!((v - (16.0 - 32.0 + 16.0) / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stencil_3d_seven_point() {
+        let mut w = vec![vec![vec![0.0; 3]; 3]; 3];
+        w[1][1][1] = 6.0;
+        w[0][1][1] = -1.0;
+        w[2][1][1] = -1.0;
+        w[1][0][1] = -1.0;
+        w[1][2][1] = -1.0;
+        w[1][1][0] = -1.0;
+        w[1][1][2] = -1.0;
+        let e = stencil_3d(f(), &w, 1.0);
+        assert_eq!(e.reads().len(), 7);
+        let v = e.eval_at(&[4, 4, 4], &mut |_, idx| {
+            (idx[0] + idx[1] + idx[2]) as f64 // linear ⇒ laplacian 0
+        });
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn restrict_2d_weights_sum_to_one() {
+        let e = restrict_full_weighting_2d(f());
+        assert_eq!(e.reads().len(), 9);
+        // constant field restricts to the same constant
+        let v = e.eval_at(&[3, 4], &mut |_, _| 5.0);
+        assert!((v - 5.0).abs() < 1e-15);
+        // check an access is the downsampling map
+        let reads = e.reads();
+        let (_, acc) = reads[0];
+        assert_eq!(acc.0[0].num, 2);
+        assert_eq!(acc.eval(&[3, 4]), vec![5, 7]);
+    }
+
+    #[test]
+    fn restrict_3d_partition_of_unity() {
+        let e = restrict_full_weighting_3d(f());
+        assert_eq!(e.reads().len(), 27);
+        let v = e.eval_at(&[2, 2, 2], &mut |_, _| 3.0);
+        assert!((v - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn interp_2d_cases_cover_and_interpolate() {
+        let cases = interp_bilinear_cases(f());
+        assert_eq!(cases.len(), 4);
+        // disjoint & covering on a sample of points
+        for y in 0..4i64 {
+            for x in 0..4i64 {
+                let n = cases.iter().filter(|(p, _)| p.matches(&[y, x])).count();
+                assert_eq!(n, 1);
+            }
+        }
+        // linear coarse field u(j) = j interpolates exactly: fine x → x/2
+        let field = |idx: &[i64]| (10 * idx[0] + idx[1]) as f64;
+        for (pat, e) in &cases {
+            for y in 2..6i64 {
+                for x in 2..6i64 {
+                    if !pat.matches(&[y, x]) {
+                        continue;
+                    }
+                    let v = e.eval_at(&[y, x], &mut |_, idx| field(idx));
+                    let expect = 10.0 * (y as f64 / 2.0) + x as f64 / 2.0;
+                    assert!(
+                        (v - expect).abs() < 1e-12,
+                        "at ({y},{x}): got {v}, want {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interp_3d_cases_cover() {
+        let cases = interp_trilinear_cases(f());
+        assert_eq!(cases.len(), 8);
+        for z in 0..2i64 {
+            for y in 0..2i64 {
+                for x in 0..2i64 {
+                    let n = cases
+                        .iter()
+                        .filter(|(p, _)| p.matches(&[z, y, x]))
+                        .count();
+                    assert_eq!(n, 1);
+                }
+            }
+        }
+        // constant field reproduces exactly in every case
+        for (_, e) in &cases {
+            let v = e.eval_at(&[5, 5, 5], &mut |_, _| 2.0);
+            assert!((v - 2.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_weights_skipped() {
+        let w = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let e = stencil_2d(f(), &w, 3.0);
+        assert_eq!(e.reads().len(), 0);
+        assert_eq!(e.eval_const(), Some(0.0));
+    }
+}

@@ -1,0 +1,292 @@
+//! Static validation of a stage graph.
+//!
+//! Checks performed (each produces a diagnostic string on failure):
+//!
+//! 1. **Bounds** — every read's footprint, applied to the consumer's domain,
+//!    stays within the producer's domain dilated by the ghost depth (1).
+//! 2. **Case coverage** — the parity patterns of a piecewise definition are
+//!    pairwise disjoint and jointly cover every parity combination.
+//! 3. **Parity exactness** — reads with a `/2` access only appear in cases
+//!    whose pattern pins the parity so the division is exact (this is the
+//!    property the `Interp` construct guarantees by design; hand-written
+//!    cases are checked).
+//! 4. **Sampling direction** — `Restrict` stages only use `num ∈ {1,2}`,
+//!    `den = 1` accesses; `Interp` stages only `num = 1`, `den ∈ {1,2}`.
+
+use crate::expr::{Expr, Operand};
+use crate::func::{FuncKind, Parity, ParityPattern};
+use crate::pipeline::Pipeline;
+use crate::stages::{StageGraph, StageInput, StageKind};
+
+/// Ghost-ring depth assumed by the runtime (one cell on every face).
+pub const GHOST_DEPTH: i64 = 1;
+
+/// Validate a stage graph against its pipeline. Returns all diagnostics
+/// (empty ⇒ valid).
+pub fn validate(pipeline: &Pipeline, graph: &StageGraph) -> Vec<String> {
+    let mut errs = Vec::new();
+
+    for stage in &graph.stages {
+        if stage.kind == StageKind::Input {
+            continue;
+        }
+        let sname = &stage.name;
+
+        // 1. bounds
+        for (slot, inp) in stage.inputs.iter().enumerate() {
+            let StageInput::Stage(pid) = inp else {
+                continue;
+            };
+            let prod = graph.stage(*pid);
+            let fp = &stage.footprints[slot];
+            for (d, (cons_iv, axis)) in stage.domain.0.iter().zip(&fp.0).enumerate() {
+                let needed = axis.input_needed(cons_iv);
+                let avail = prod.domain.0[d].dilate(GHOST_DEPTH);
+                if !avail.contains_interval(&needed) {
+                    errs.push(format!(
+                        "{sname}: reads of '{}' need {needed} in dim {d} but only {avail} is available",
+                        prod.name
+                    ));
+                }
+            }
+        }
+
+        // 2. case coverage & disjointness
+        let ndims = stage.domain.ndims();
+        let mut combos = vec![vec![]];
+        for _ in 0..ndims {
+            let mut next = Vec::new();
+            for c in &combos {
+                for p in [0i64, 1] {
+                    let mut c2: Vec<i64> = c.clone();
+                    c2.push(p);
+                    next.push(c2);
+                }
+            }
+            combos = next;
+        }
+        for combo in &combos {
+            let matching = stage
+                .cases
+                .iter()
+                .filter(|(pat, _)| pat.matches(combo))
+                .count();
+            if matching == 0 {
+                errs.push(format!(
+                    "{sname}: no case covers parity combination {combo:?}"
+                ));
+            } else if matching > 1 {
+                errs.push(format!(
+                    "{sname}: {matching} cases overlap on parity combination {combo:?}"
+                ));
+            }
+        }
+
+        // 3. parity exactness + 4. sampling direction
+        let kind = pipeline.func(stage.func).kind;
+        for (pat, expr) in &stage.cases {
+            check_reads(sname, kind, pat, expr, &mut errs);
+        }
+    }
+    errs
+}
+
+fn check_reads(
+    sname: &str,
+    kind: FuncKind,
+    pat: &ParityPattern,
+    expr: &Expr,
+    errs: &mut Vec<String>,
+) {
+    expr.visit_reads(&mut |op, access| {
+        debug_assert!(matches!(op, Operand::Slot(_)));
+        for (d, a) in access.0.iter().enumerate() {
+            if !(a.den == 1 || a.den == 2) || !(a.num == 1 || a.num == 2) {
+                errs.push(format!(
+                    "{sname}: unsupported access scaling {}/{} in dim {d}",
+                    a.num, a.den
+                ));
+                continue;
+            }
+            if a.den == 2 {
+                // num must be 1 (reduced) and parity must make num·x + off even
+                match pat.0[d] {
+                    Parity::Any => errs.push(format!(
+                        "{sname}: /2 access in dim {d} requires a parity-pinned case"
+                    )),
+                    Parity::Even => {
+                        if a.off.rem_euclid(2) != 0 {
+                            errs.push(format!(
+                                "{sname}: /2 access offset {} not even-exact in dim {d}",
+                                a.off
+                            ));
+                        }
+                    }
+                    Parity::Odd => {
+                        if a.off.rem_euclid(2) != 1 {
+                            errs.push(format!(
+                                "{sname}: /2 access offset {} not odd-exact in dim {d}",
+                                a.off
+                            ));
+                        }
+                    }
+                }
+            }
+            match kind {
+                FuncKind::Restrict => {
+                    if a.den != 1 {
+                        errs.push(format!(
+                            "{sname}: Restrict stage uses an upsampling access in dim {d}"
+                        ));
+                    }
+                }
+                FuncKind::Interp => {
+                    if a.num != 1 {
+                        errs.push(format!(
+                            "{sname}: Interp stage uses a downsampling access in dim {d}"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Access, AxisAccess, Operand};
+    use crate::func::StepCount;
+    use crate::pipeline::{ParamBindings, Pipeline};
+    use crate::stages::StageGraph;
+    use crate::stencil::{restrict_full_weighting_2d, stencil_2d};
+
+    fn build(p: &Pipeline) -> StageGraph {
+        StageGraph::build(p, &ParamBindings::new())
+    }
+
+    #[test]
+    fn valid_vcycle_fragment_passes() {
+        let mut p = Pipeline::new("ok");
+        let v = p.input("V", 2, 15, 1);
+        let f = p.input("F", 2, 15, 1);
+        let five = vec![
+            vec![0.0, -1.0, 0.0],
+            vec![-1.0, 4.0, -1.0],
+            vec![0.0, -1.0, 0.0],
+        ];
+        let sm = p.tstencil(
+            "sm",
+            2,
+            15,
+            1,
+            StepCount::Fixed(2),
+            Some(v),
+            Operand::State.at(&[0, 0])
+                - 0.8 * (stencil_2d(Operand::State, &five, 1.0) - Operand::Func(f).at(&[0, 0])),
+        );
+        let r = p.restrict_fn("r", 2, 7, 0, restrict_full_weighting_2d(Operand::Func(sm)));
+        let e = p.interp_fn("e", 2, 15, 1, r);
+        p.mark_output(e);
+        let g = build(&p);
+        let errs = validate(&p, &g);
+        assert!(errs.is_empty(), "unexpected diagnostics: {errs:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_read_detected() {
+        let mut p = Pipeline::new("oob");
+        let v = p.input("V", 2, 8, 0);
+        let a = p.function("a", 2, 8, 0, Operand::Func(v).at(&[0, 3]));
+        p.mark_output(a);
+        let g = build(&p);
+        let errs = validate(&p, &g);
+        assert!(errs.iter().any(|e| e.contains("reads of 'V'")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_parity_case_detected() {
+        let mut p = Pipeline::new("gap");
+        let v = p.input("V", 2, 7, 0);
+        // only the even-even case present
+        let cases = vec![(
+            ParityPattern(vec![Parity::Even, Parity::Even]),
+            Operand::Func(v).at(&[0, 0]),
+        )];
+        let a = p.function_cases("a", 2, 7, 0, cases);
+        p.mark_output(a);
+        let g = build(&p);
+        let errs = validate(&p, &g);
+        assert!(errs.iter().any(|e| e.contains("no case covers")), "{errs:?}");
+    }
+
+    #[test]
+    fn overlapping_cases_detected() {
+        let mut p = Pipeline::new("ovl");
+        let v = p.input("V", 2, 7, 0);
+        let cases = vec![
+            (ParityPattern::any(2), Operand::Func(v).at(&[0, 0])),
+            (
+                ParityPattern(vec![Parity::Even, Parity::Any]),
+                Operand::Func(v).at(&[0, 0]),
+            ),
+        ];
+        let a = p.function_cases("a", 2, 7, 0, cases);
+        p.mark_output(a);
+        let g = build(&p);
+        let errs = validate(&p, &g);
+        assert!(errs.iter().any(|e| e.contains("cases overlap")), "{errs:?}");
+    }
+
+    #[test]
+    fn inexact_parity_division_detected() {
+        let mut p = Pipeline::new("par");
+        let v = p.input("V", 2, 7, 0);
+        // even case but odd offset: (x+1)/2 not exact for even x
+        let cases = vec![
+            (
+                ParityPattern(vec![Parity::Even, Parity::Even]),
+                Operand::Func(v).read(Access(vec![AxisAccess::up(1), AxisAccess::up(0)])),
+            ),
+            (
+                ParityPattern(vec![Parity::Even, Parity::Odd]),
+                Expr::Const(0.0),
+            ),
+            (
+                ParityPattern(vec![Parity::Odd, Parity::Any]),
+                Expr::Const(0.0),
+            ),
+        ];
+        let a = p.function_cases("a", 2, 14, 0, cases);
+        p.mark_output(a);
+        let g = build(&p);
+        let errs = validate(&p, &g);
+        assert!(
+            errs.iter().any(|e| e.contains("not even-exact")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn unpinned_parity_division_detected() {
+        let mut p = Pipeline::new("unp");
+        let v = p.input("V", 2, 7, 0);
+        let a = p.function(
+            "a",
+            2,
+            14,
+            0,
+            Operand::Func(v).read(Access(vec![AxisAccess::up(0), AxisAccess::up(0)])),
+        );
+        p.mark_output(a);
+        let g = build(&p);
+        let errs = validate(&p, &g);
+        assert!(
+            errs.iter().any(|e| e.contains("parity-pinned")),
+            "{errs:?}"
+        );
+    }
+
+    use crate::expr::Expr;
+}

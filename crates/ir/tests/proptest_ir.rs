@@ -1,0 +1,128 @@
+//! Property tests for the DSL layer: construct semantics, linearisation,
+//! and stage-graph unrolling.
+
+use gmg_ir::expr::Operand;
+use gmg_ir::stencil::{stencil_2d, stencil_2d_center, stencil_3d};
+use gmg_ir::{linearize, ParamBindings, Pipeline, StepCount};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Stencil` evaluates exactly to the weighted sum it denotes, for
+    /// arbitrary weight matrices.
+    #[test]
+    fn stencil_2d_is_weighted_sum(
+        w in proptest::collection::vec(
+            proptest::collection::vec(-3.0f64..3.0, 1..4), 1..4),
+        scale in -2.0f64..2.0,
+        y in 0i64..5,
+        x in 0i64..5,
+    ) {
+        let e = stencil_2d(Operand::Slot(0), &w, scale);
+        let field = |idx: &[i64]| (7 * idx[0] + 3 * idx[1]) as f64 * 0.5 + 1.0;
+        let got = e.eval_at(&[y, x], &mut |_, idx| field(idx));
+        let cy = (w.len() / 2) as i64;
+        let cx = (w[0].len() / 2) as i64;
+        let mut want = 0.0;
+        for (i, row) in w.iter().enumerate() {
+            for (j, &wij) in row.iter().enumerate() {
+                if wij != 0.0 {
+                    want += wij * field(&[y + i as i64 - cy, x + j as i64 - cx]);
+                }
+            }
+        }
+        want *= scale;
+        prop_assert!((got - want).abs() < 1e-9, "{} vs {}", got, want);
+    }
+
+    /// Off-centre stencils shift the reads as specified.
+    #[test]
+    fn stencil_center_shifts(cy in 0i64..2, cx in 0i64..2) {
+        let w = vec![vec![1.0, 2.0], vec![4.0, 8.0]];
+        let e = stencil_2d_center(Operand::Slot(0), &w, 1.0, (cy, cx));
+        // read field = 1 at (cy-offset) positions only; evaluating at (0,0)
+        // must weight position (i-cy, j-cx)
+        let got = e.eval_at(&[0, 0], &mut |_, idx| {
+            if idx == [0 - cy, 0 - cx] { 1.0 } else { 0.0 }
+        });
+        prop_assert_eq!(got, w[0][0]);
+    }
+
+    /// Linearisation of random affine expressions matches direct
+    /// evaluation (richer operator mix than the unit tests).
+    #[test]
+    fn linearize_random_affine(
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 1..6),
+        offs in proptest::collection::vec(-2i64..3, 1..6),
+        k in -3.0f64..3.0,
+    ) {
+        let n = coeffs.len().min(offs.len());
+        let mut e = gmg_ir::Expr::Const(k);
+        for i in 0..n {
+            let t = coeffs[i] * Operand::Slot(i % 2).at(&[offs[i], -offs[i]]);
+            e = if i % 2 == 0 { e + t } else { e - t };
+        }
+        e = (e * 2.0 + 1.0) / 4.0;
+        let form = linearize(&e).expect("affine expr must linearise");
+        let field = |slot: usize, idx: &[i64]| {
+            (slot as f64 * 11.0 + 1.0) + idx[0] as f64 * 2.5 - idx[1] as f64
+        };
+        let p = [3i64, -2];
+        let direct = e.eval_at(&p, &mut |op, idx| match op {
+            Operand::Slot(s) => field(*s, idx),
+            _ => unreachable!(),
+        });
+        let mut lin = form.bias;
+        for t in &form.taps {
+            lin += t.coeff * field(t.slot, &t.access.eval(&p));
+        }
+        prop_assert!((direct - lin).abs() < 1e-9);
+    }
+
+    /// Stage-graph size is exactly `inputs + Σ steps` for smoother chains,
+    /// independent of step counts.
+    #[test]
+    fn unroll_counts(s1 in 0usize..6, s2 in 0usize..6) {
+        let mut p = Pipeline::new("t");
+        let v = p.input("V", 2, 15, 0);
+        let f = p.input("F", 2, 15, 0);
+        let five = vec![
+            vec![0.0, -1.0, 0.0],
+            vec![-1.0, 4.0, -1.0],
+            vec![0.0, -1.0, 0.0],
+        ];
+        let a = p.tstencil(
+            "a", 2, 15, 0, StepCount::Fixed(s1), Some(v),
+            Operand::State.at(&[0, 0])
+                - 0.1 * (stencil_2d(Operand::State, &five, 1.0) - Operand::Func(f).at(&[0, 0])),
+        );
+        let b = p.tstencil(
+            "b", 2, 15, 0, StepCount::Fixed(s2), Some(a),
+            Operand::State.at(&[0, 0])
+                - 0.1 * (stencil_2d(Operand::State, &five, 1.0) - Operand::Func(f).at(&[0, 0])),
+        );
+        // consumer so zero-step chains still resolve
+        let c = p.function("c", 2, 15, 0, Operand::Func(b).at(&[0, 0]) * 2.0);
+        p.mark_output(c);
+        let g = gmg_ir::StageGraph::build(&p, &ParamBindings::new());
+        prop_assert_eq!(g.len(), 2 + s1 + s2 + 1);
+        prop_assert!(gmg_ir::validate::validate(&p, &g).is_empty());
+    }
+
+    /// 3-D stencils with symmetric weights annihilate linear fields when
+    /// the weights sum to zero.
+    #[test]
+    fn stencil_3d_zero_sum_annihilates_linear(c in 0.1f64..3.0) {
+        let mut w = vec![vec![vec![0.0; 3]; 3]; 3];
+        w[1][1][1] = -6.0 * c;
+        for (z, y, x) in [(0,1,1),(2,1,1),(1,0,1),(1,2,1),(1,1,0),(1,1,2)] {
+            w[z][y][x] = c;
+        }
+        let e = stencil_3d(Operand::Slot(0), &w, 1.0);
+        let v = e.eval_at(&[5, 6, 7], &mut |_, idx| {
+            3.0 * idx[0] as f64 - 2.0 * idx[1] as f64 + idx[2] as f64
+        });
+        prop_assert!(v.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,243 @@
+//! Multigrid problem and cycle configuration.
+
+/// Cycle shape (Figure 2 of the paper; F is the miniGMG/HPGMG shape the
+/// paper mentions as "in between V- and W-cycles in complexity").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CycleType {
+    V,
+    W,
+    F,
+}
+
+impl CycleType {
+    /// Short display tag ("V", "W", "F").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CycleType::V => "V",
+            CycleType::W => "W",
+            CycleType::F => "F",
+        }
+    }
+}
+
+/// Smoothing-step configuration `pre-coarse-post` (the paper's 4-4-4 and
+/// 10-0-0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SmoothSteps {
+    pub pre: usize,
+    pub coarse: usize,
+    pub post: usize,
+}
+
+impl SmoothSteps {
+    /// The paper's `4-4-4`.
+    pub fn s444() -> Self {
+        SmoothSteps {
+            pre: 4,
+            coarse: 4,
+            post: 4,
+        }
+    }
+
+    /// The paper's `10-0-0`.
+    pub fn s1000() -> Self {
+        SmoothSteps {
+            pre: 10,
+            coarse: 0,
+            post: 0,
+        }
+    }
+
+    /// `"4-4-4"` style tag.
+    pub fn tag(&self) -> String {
+        format!("{}-{}-{}", self.pre, self.coarse, self.post)
+    }
+}
+
+/// Smoothing operator. The paper evaluates weighted Jacobi; GSRB is the
+/// extension it sketches ("all optimization presented in this paper apply
+/// to it if the red and black points are abstracted as two grids") —
+/// expressed here through parity `Case` definitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SmootherKind {
+    /// Weighted (damped) Jacobi.
+    Jacobi,
+    /// Gauss–Seidel with red-black ordering (two half-sweeps per step).
+    GaussSeidelRB,
+}
+
+/// Full multigrid configuration for one benchmark.
+#[derive(Clone, Debug)]
+pub struct MgConfig {
+    /// 2 or 3 spatial dimensions.
+    pub ndims: usize,
+    /// Finest interior size per dimension; must be `2^k − 1`.
+    pub n: i64,
+    /// Number of levels (≥ 1); level `levels−1` is the finest.
+    pub levels: u32,
+    pub steps: SmoothSteps,
+    pub cycle: CycleType,
+    /// Weighted-Jacobi damping factor (ignored for GSRB).
+    pub omega: f64,
+    /// Smoothing operator.
+    pub smoother: SmootherKind,
+}
+
+impl MgConfig {
+    /// A default configuration matching the paper's setup (4 levels, ω
+    /// chosen per rank: 4/5 in 2-D, 6/7 in 3-D — the optimal damped-Jacobi
+    /// factors for the 5-/7-point Laplacians).
+    pub fn new(ndims: usize, n: i64, cycle: CycleType, steps: SmoothSteps) -> Self {
+        assert!(ndims == 2 || ndims == 3, "2-D/3-D only");
+        assert!(
+            ((n + 1) as u64).is_power_of_two() && n >= 3,
+            "interior size must be 2^k - 1, got {n}"
+        );
+        let omega = if ndims == 2 { 4.0 / 5.0 } else { 6.0 / 7.0 };
+        MgConfig {
+            ndims,
+            n,
+            levels: 4,
+            steps,
+            cycle,
+            omega,
+            smoother: SmootherKind::Jacobi,
+        }
+    }
+
+    /// Switch the smoother to red-black Gauss–Seidel.
+    pub fn with_gsrb(mut self) -> Self {
+        self.smoother = SmootherKind::GaussSeidelRB;
+        self
+    }
+
+    /// Interior size at `level` (0 = coarsest).
+    pub fn n_at(&self, level: u32) -> i64 {
+        assert!(level < self.levels);
+        let shift = self.levels - 1 - level;
+        let size = (self.n + 1) >> shift;
+        assert!(size >= 2, "too many levels for n = {}", self.n);
+        size - 1
+    }
+
+    /// Mesh spacing at `level` for the unit domain.
+    pub fn h_at(&self, level: u32) -> f64 {
+        1.0 / (self.n_at(level) + 1) as f64
+    }
+
+    /// Benchmark tag, e.g. `V-2D-4-4-4`.
+    pub fn tag(&self) -> String {
+        format!("{}-{}D-{}", self.cycle.tag(), self.ndims, self.steps.tag())
+    }
+
+    /// Total allocation length per grid at `level` (ghost included).
+    pub fn alloc_len(&self, level: u32) -> usize {
+        let e = (self.n_at(level) + 2) as usize;
+        e.pow(self.ndims as u32)
+    }
+}
+
+/// Scaled problem-size classes (Table 2 of the paper, shrunk for a
+/// single-core container — see DESIGN.md's substitution table). `paper`
+/// selects the original sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// Scaled class B: 1023² / 63³.
+    B,
+    /// Scaled class C: 2047² / 127³.
+    C,
+    /// Tiny smoke-test size: 255² / 31³.
+    Smoke,
+    /// The paper's real class B: 8191² / 255³.
+    PaperB,
+    /// The paper's real class C: 16383² / 511³.
+    PaperC,
+}
+
+impl SizeClass {
+    /// Finest interior size for the class at the given rank.
+    pub fn n(&self, ndims: usize) -> i64 {
+        match (self, ndims) {
+            (SizeClass::Smoke, 2) => 255,
+            (SizeClass::Smoke, 3) => 31,
+            (SizeClass::B, 2) => 1023,
+            (SizeClass::B, 3) => 63,
+            (SizeClass::C, 2) => 2047,
+            (SizeClass::C, 3) => 127,
+            (SizeClass::PaperB, 2) => 8191,
+            (SizeClass::PaperB, 3) => 255,
+            (SizeClass::PaperC, 2) => 16383,
+            (SizeClass::PaperC, 3) => 511,
+            _ => panic!("unsupported rank"),
+        }
+    }
+
+    /// Cycle iteration counts per Table 2 (scaled classes reuse the paper's
+    /// counts).
+    pub fn cycle_iters(&self, ndims: usize) -> usize {
+        match (self, ndims) {
+            (SizeClass::Smoke, _) => 5,
+            (SizeClass::B, 2) | (SizeClass::PaperB, 2) => 10,
+            (SizeClass::C, 2) | (SizeClass::PaperC, 2) => 10,
+            (SizeClass::B, 3) | (SizeClass::PaperB, 3) => 25,
+            (SizeClass::C, 3) | (SizeClass::PaperC, 3) => 10,
+            _ => panic!("unsupported rank"),
+        }
+    }
+
+    /// Display tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SizeClass::B => "B",
+            SizeClass::C => "C",
+            SizeClass::Smoke => "smoke",
+            SizeClass::PaperB => "paperB",
+            SizeClass::PaperC => "paperC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_sizes_halve() {
+        let c = MgConfig::new(2, 255, CycleType::V, SmoothSteps::s444());
+        assert_eq!(c.n_at(3), 255);
+        assert_eq!(c.n_at(2), 127);
+        assert_eq!(c.n_at(1), 63);
+        assert_eq!(c.n_at(0), 31);
+        assert!((c.h_at(3) - 1.0 / 256.0).abs() < 1e-15);
+        assert!((c.h_at(0) - 1.0 / 32.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tags() {
+        let c = MgConfig::new(3, 63, CycleType::W, SmoothSteps::s1000());
+        assert_eq!(c.tag(), "W-3D-10-0-0");
+        assert_eq!(SmoothSteps::s444().tag(), "4-4-4");
+        assert_eq!(CycleType::F.tag(), "F");
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k - 1")]
+    fn rejects_bad_sizes() {
+        let _ = MgConfig::new(2, 100, CycleType::V, SmoothSteps::s444());
+    }
+
+    #[test]
+    fn alloc_len() {
+        let c = MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444());
+        assert_eq!(c.alloc_len(c.levels - 1), 33 * 33);
+    }
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(SizeClass::B.n(2), 1023);
+        assert_eq!(SizeClass::C.n(3), 127);
+        assert_eq!(SizeClass::PaperC.n(2), 16383);
+        assert_eq!(SizeClass::B.cycle_iters(3), 25);
+        assert!(((SizeClass::B.n(2) + 1) as u64).is_power_of_two());
+    }
+}

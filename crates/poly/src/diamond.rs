@@ -1,0 +1,280 @@
+//! Concurrent-start time tiling for iterated stencils — the libPluto
+//! substitute.
+//!
+//! The paper evaluates `polymg-dtile-opt+` and `handopt+pluto`, which apply
+//! Pluto's diamond tiling [Bandishti et al. 2012] to the pre-/post-smoothing
+//! `TStencil` iterations. We implement the equivalent *split tiling*
+//! [Grosser et al. 2013] schedule over the (time × outermost-space) plane:
+//! time is cut into bands of height `band_h`; within a band, phase 1 runs
+//! shrinking trapezoids (concurrent start — all independent), then phase 2
+//! runs the expanding trapezoids that fill the gaps. Both techniques share
+//! the properties the paper relies on: O(band_h) temporal reuse per tile,
+//! concurrent start (no wavefront pipeline fill/drain), and no redundant
+//! computation — in contrast to overlapped tiling.
+//!
+//! Only the outermost spatial dimension is split; inner dimensions stream
+//! whole rows/planes (this is also what Pluto's default diamond tiling does
+//! for multidimensional stencils with concurrent start along one face).
+
+use crate::interval::Interval;
+
+/// A trapezoid in the (step × outer-dim) plane: at in-band step `s`
+/// (0-based), the rows covered are `[lo_base + s·lo_slope, hi_base +
+/// s·hi_slope]` (inclusive), clamped to the domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trapezoid {
+    pub lo_base: i64,
+    pub lo_slope: i64,
+    pub hi_base: i64,
+    pub hi_slope: i64,
+}
+
+impl Trapezoid {
+    /// Row interval covered at in-band step `s`, clamped to `domain`.
+    pub fn rows_at(&self, s: i64, domain: Interval) -> Interval {
+        Interval::new(
+            self.lo_base + s * self.lo_slope,
+            self.hi_base + s * self.hi_slope,
+        )
+        .intersect(&domain)
+    }
+}
+
+/// One band of time steps with its two phases of independent trapezoids.
+#[derive(Clone, Debug)]
+pub struct TimeBand {
+    /// Global index of the first step in the band (0-based).
+    pub t0: usize,
+    /// Number of steps in the band.
+    pub steps: usize,
+    /// Shrinking trapezoids; mutually independent, run first.
+    pub phase1: Vec<Trapezoid>,
+    /// Expanding gap-filling trapezoids; mutually independent, run second.
+    pub phase2: Vec<Trapezoid>,
+}
+
+/// Build the split-tiling schedule for `total_steps` applications of a
+/// radius-`radius` stencil over rows `[1, n]` (1-based interior).
+///
+/// `tile_w` is the base width of the phase-1 trapezoids; `band_h` the time
+/// band height. Two bounds must hold for a band of height `H`:
+/// phase-2 trapezoids read phase-1 results of the *same* band, which needs
+/// the phase-1 trapezoids non-degenerate (`tile_w ≥ 2·radius·(H−1) + 1`);
+/// and with modulo-2 time buffers, concurrently running trapezoids of one
+/// phase at different in-band steps must never touch the same rows of the
+/// same parity buffer, which needs the stricter `tile_w ≥ radius·(2H − 1)`.
+/// The band height is clamped to the largest `H` satisfying both (narrower
+/// tiles ⇒ shorter bands), so every returned schedule is valid and
+/// race-free under 2-buffer execution.
+pub fn split_time_tiling(
+    n: i64,
+    total_steps: usize,
+    tile_w: i64,
+    band_h: usize,
+    radius: i64,
+) -> Vec<TimeBand> {
+    assert!(n >= 1, "need at least one interior row");
+    assert!(tile_w >= 1 && band_h >= 1 && radius >= 0, "bad parameters");
+    // largest H with radius·(2H − 1) ≤ tile_w
+    let max_h = if radius == 0 {
+        band_h
+    } else {
+        (((tile_w / radius + 1) / 2) as usize).max(1)
+    };
+    let band_h = band_h.min(max_h);
+    let mut bands = Vec::new();
+    let mut t0 = 0usize;
+    while t0 < total_steps {
+        let steps = band_h.min(total_steps - t0);
+        let mut phase1 = Vec::new();
+        let mut phase2 = Vec::new();
+        let mut lo = 1i64;
+        while lo <= n {
+            let hi = (lo + tile_w - 1).min(n);
+            // Shrinking trapezoid: edges move inward by `radius` per step,
+            // except edges that coincide with the domain boundary (no
+            // neighbour to wait for there).
+            let (lo_slope, hi_slope) = (
+                if lo == 1 { 0 } else { radius },
+                if hi == n { 0 } else { -radius },
+            );
+            phase1.push(Trapezoid {
+                lo_base: lo,
+                lo_slope,
+                hi_base: hi,
+                hi_slope,
+            });
+            // Expanding trapezoid centred on the seam at `hi+1` (only for
+            // interior seams).
+            if hi < n {
+                phase2.push(Trapezoid {
+                    // at step s covers [hi+1 - radius·s, hi + radius·s]
+                    lo_base: hi + 1,
+                    lo_slope: -radius,
+                    hi_base: hi,
+                    hi_slope: radius,
+                });
+            }
+            lo = hi + 1;
+        }
+        bands.push(TimeBand {
+            t0,
+            steps,
+            phase1,
+            phase2,
+        });
+        t0 += steps;
+    }
+    bands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate the schedule on a 1-D space-time grid and assert:
+    /// 1. every (step, row) pair is computed exactly once;
+    /// 2. when (t, i) is computed, both (t-1, i±radius) were already
+    ///    computed (or lie outside the domain / before step 0).
+    fn check_schedule(n: i64, total_steps: usize, tile_w: i64, band_h: usize, radius: i64) {
+        let bands = split_time_tiling(n, total_steps, tile_w, band_h, radius);
+        let dom = Interval::new(1, n);
+        let idx = |t: usize, i: i64| t * n as usize + (i - 1) as usize;
+        let mut done = vec![false; total_steps * n as usize];
+        let mut order: Vec<(usize, i64)> = Vec::new();
+
+        for band in &bands {
+            // Phase 1: all trapezoids conceptually parallel, but each runs
+            // its own steps sequentially. For the check we can run them
+            // tile-by-tile because tiles only depend on *previous-band* data
+            // and their own cells; we assert that below by checking deps at
+            // record time against "done before this phase or by this tile".
+            for phase in [&band.phase1, &band.phase2] {
+                let snapshot = done.clone();
+                let mut phase_writes = Vec::new();
+                for trap in phase.iter() {
+                    let mut own = vec![false; total_steps * n as usize];
+                    for s in 0..band.steps {
+                        let t = band.t0 + s;
+                        let rows = trap.rows_at(s as i64, dom);
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        for i in rows.lo..=rows.hi {
+                            // dependencies
+                            if t > 0 {
+                                for d in [-radius, 0, radius] {
+                                    let j = i + d;
+                                    if j >= 1 && j <= n {
+                                        assert!(
+                                            snapshot[idx(t - 1, j)] || own[idx(t - 1, j)],
+                                            "dep ({},{}) of ({},{}) not ready",
+                                            t - 1,
+                                            j,
+                                            t,
+                                            i
+                                        );
+                                    }
+                                }
+                            }
+                            assert!(!done[idx(t, i)], "({t},{i}) computed twice");
+                            done[idx(t, i)] = true;
+                            own[idx(t, i)] = true;
+                            order.push((t, i));
+                        }
+                    }
+                    phase_writes.push(own);
+                }
+                // tiles within a phase must be pairwise disjoint (parallel-safe)
+                for a in 0..phase_writes.len() {
+                    for b in a + 1..phase_writes.len() {
+                        assert!(
+                            !phase_writes[a]
+                                .iter()
+                                .zip(&phase_writes[b])
+                                .any(|(x, y)| *x && *y),
+                            "phase tiles {a} and {b} overlap"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(done.iter().all(|&d| d), "some (step,row) never computed");
+    }
+
+    #[test]
+    fn covers_and_respects_deps_basic() {
+        check_schedule(32, 6, 12, 3, 1);
+    }
+
+    #[test]
+    fn single_band_taller_than_steps() {
+        check_schedule(20, 2, 10, 8, 1);
+    }
+
+    #[test]
+    fn radius_two() {
+        check_schedule(40, 4, 20, 3, 2);
+    }
+
+    #[test]
+    fn domain_smaller_than_tile() {
+        check_schedule(5, 4, 16, 2, 1);
+    }
+
+    #[test]
+    fn many_bands() {
+        check_schedule(24, 10, 12, 2, 1);
+    }
+
+    #[test]
+    fn narrow_tiles_clamp_band_height() {
+        // tile_w = 4, radius 1 ⇒ max safe band height is 2; the schedule
+        // must clamp and stay correct.
+        check_schedule(16, 4, 4, 4, 1);
+        let bands = split_time_tiling(16, 4, 4, 4, 1);
+        assert!(bands.iter().all(|b| b.steps <= 2));
+        assert_eq!(bands.len(), 2);
+    }
+
+    #[test]
+    fn radius_zero_pointwise() {
+        // Pointwise "stencil": no dependence between rows, bands never clamp.
+        check_schedule(10, 5, 4, 5, 0);
+        assert_eq!(split_time_tiling(10, 5, 4, 5, 0).len(), 1);
+    }
+
+    #[test]
+    fn band_structure() {
+        let bands = split_time_tiling(64, 10, 16, 4, 1);
+        assert_eq!(bands.len(), 3);
+        assert_eq!(bands[0].steps, 4);
+        assert_eq!(bands[2].steps, 2);
+        assert_eq!(bands[0].t0, 0);
+        assert_eq!(bands[2].t0, 8);
+        // 64/16 = 4 phase-1 tiles, 3 interior seams
+        assert_eq!(bands[0].phase1.len(), 4);
+        assert_eq!(bands[0].phase2.len(), 3);
+    }
+
+    #[test]
+    fn trapezoid_rows_clamp() {
+        let t = Trapezoid {
+            lo_base: 1,
+            lo_slope: 0,
+            hi_base: 8,
+            hi_slope: -1,
+        };
+        let dom = Interval::new(1, 32);
+        assert_eq!(t.rows_at(0, dom), Interval::new(1, 8));
+        assert_eq!(t.rows_at(2, dom), Interval::new(1, 6));
+        let t2 = Trapezoid {
+            lo_base: 9,
+            lo_slope: -1,
+            hi_base: 8,
+            hi_slope: 1,
+        };
+        assert!(t2.rows_at(0, dom).is_empty());
+        assert_eq!(t2.rows_at(1, dom), Interval::new(8, 9));
+    }
+}

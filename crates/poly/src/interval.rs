@@ -1,0 +1,170 @@
+//! Inclusive integer intervals — the 1-D building block of every domain and
+//! region in the engine.
+
+use std::fmt;
+
+/// An inclusive integer interval `[lo, hi]`. `lo > hi` encodes the empty
+/// interval (canonicalised by [`Interval::empty`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Interval {
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl Interval {
+    /// `[lo, hi]`, inclusive on both ends.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The canonical empty interval.
+    pub fn empty() -> Self {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// True when the interval contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Number of integer points in the interval.
+    pub fn len(&self) -> i64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.hi - self.lo + 1
+        }
+    }
+
+    /// Point membership.
+    pub fn contains(&self, p: i64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// True when `other` is entirely inside `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// Intersection (may be empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo > hi {
+            Interval::empty()
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// Convex hull of the union.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Translate by `d`.
+    pub fn shift(&self, d: i64) -> Interval {
+        if self.is_empty() {
+            *self
+        } else {
+            Interval {
+                lo: self.lo + d,
+                hi: self.hi + d,
+            }
+        }
+    }
+
+    /// Grow by `r` on both sides (the dependence-radius expansion that makes
+    /// overlapped tiles trapezoidal).
+    pub fn dilate(&self, r: i64) -> Interval {
+        if self.is_empty() {
+            *self
+        } else {
+            Interval {
+                lo: self.lo - r,
+                hi: self.hi + r,
+            }
+        }
+    }
+
+    /// True when the two intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = Interval::new(1, 10);
+        assert_eq!(a.len(), 10);
+        assert!(a.contains(1) && a.contains(10) && !a.contains(11));
+        assert!(!a.is_empty());
+        assert!(Interval::empty().is_empty());
+        assert_eq!(Interval::empty().len(), 0);
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = Interval::new(1, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        assert_eq!(a.hull(&b), Interval::new(1, 20));
+        let c = Interval::new(11, 12);
+        assert!(a.intersect(&c).is_empty());
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn hull_with_empty_is_identity() {
+        let a = Interval::new(3, 7);
+        assert_eq!(a.hull(&Interval::empty()), a);
+        assert_eq!(Interval::empty().hull(&a), a);
+    }
+
+    #[test]
+    fn shift_dilate() {
+        let a = Interval::new(2, 4);
+        assert_eq!(a.shift(3), Interval::new(5, 7));
+        assert_eq!(a.dilate(1), Interval::new(1, 5));
+        assert!(Interval::empty().shift(5).is_empty());
+        assert!(Interval::empty().dilate(5).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let a = Interval::new(0, 10);
+        assert!(a.contains_interval(&Interval::new(2, 5)));
+        assert!(a.contains_interval(&Interval::empty()));
+        assert!(!a.contains_interval(&Interval::new(5, 11)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(1, 3).to_string(), "[1, 3]");
+        assert_eq!(Interval::empty().to_string(), "∅");
+    }
+}

@@ -1,0 +1,139 @@
+//! Reduced rationals, used for inter-level scale relations.
+//!
+//! PolyMage's "alignment and scaling" phase assigns every pipeline function a
+//! scale relative to a reference space; across a `Restrict` the producer is
+//! finer by 2, across an `Interp` coarser by 2. In a multigrid pipeline all
+//! scales are powers of two, but we keep a general reduced rational so the
+//! machinery stays honest.
+
+/// A reduced rational `num / den` with `den > 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i64,
+    den: i64,
+}
+
+impl Ratio {
+    /// Construct and reduce. `den` must be non-zero.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        if g > 1 {
+            num /= g as i64;
+            den /= g as i64;
+        }
+        Ratio { num, den }
+    }
+
+    /// The rational 1/1.
+    pub fn one() -> Self {
+        Ratio { num: 1, den: 1 }
+    }
+
+    /// Reduced numerator.
+    pub fn num(&self) -> i64 {
+        self.num
+    }
+
+    /// Reduced (positive) denominator.
+    pub fn den(&self) -> i64 {
+        self.den
+    }
+
+    /// Multiply two ratios.
+    pub fn mul(&self, other: &Ratio) -> Ratio {
+        Ratio::new(self.num * other.num, self.den * other.den)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn inv(&self) -> Ratio {
+        assert!(self.num != 0, "inverse of zero");
+        Ratio::new(self.den, self.num)
+    }
+
+    /// True when the ratio equals 1.
+    pub fn is_one(&self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    /// Apply to an integer, requiring exact divisibility.
+    pub fn apply_exact(&self, x: i64) -> Option<i64> {
+        let p = x * self.num;
+        if p % self.den == 0 {
+            Some(p / self.den)
+        } else {
+            None
+        }
+    }
+
+    /// Apply to an integer with floor rounding.
+    pub fn apply_floor(&self, x: i64) -> i64 {
+        crate::div_floor(x * self.num, self.den)
+    }
+
+    /// Apply to an integer with ceil rounding.
+    pub fn apply_ceil(&self, x: i64) -> i64 {
+        crate::div_ceil(x * self.num, self.den)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction() {
+        let r = Ratio::new(4, 8);
+        assert_eq!((r.num(), r.den()), (1, 2));
+        let r = Ratio::new(-4, 8);
+        assert_eq!((r.num(), r.den()), (-1, 2));
+        let r = Ratio::new(4, -8);
+        assert_eq!((r.num(), r.den()), (-1, 2));
+        assert!(Ratio::new(3, 3).is_one());
+    }
+
+    #[test]
+    fn mul_inv() {
+        let half = Ratio::new(1, 2);
+        let two = Ratio::new(2, 1);
+        assert!(half.mul(&two).is_one());
+        assert_eq!(half.inv(), two);
+        assert_eq!(half.mul(&half), Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn apply() {
+        let half = Ratio::new(1, 2);
+        assert_eq!(half.apply_exact(6), Some(3));
+        assert_eq!(half.apply_exact(7), None);
+        assert_eq!(half.apply_floor(7), 3);
+        assert_eq!(half.apply_ceil(7), 4);
+        assert_eq!(half.apply_floor(-7), -4);
+        assert_eq!(half.apply_ceil(-7), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_den_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_inv_panics() {
+        let _ = Ratio::new(0, 5).inv();
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the polyhedral-lite engine.
+
+use gmg_poly::diamond::split_time_tiling;
+use gmg_poly::tiling::{evaluate_tiling, tile_partition};
+use gmg_poly::{div_ceil, div_floor, AxisFootprint, BoxDomain, Interval, Ratio};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Floor/ceil division agree with the mathematical definition.
+    #[test]
+    fn floor_ceil_consistent(a in -1000i64..1000, b in 1i64..50) {
+        let f = div_floor(a, b);
+        let c = div_ceil(a, b);
+        prop_assert!(f * b <= a && a < (f + 1) * b);
+        prop_assert!((c - 1) * b < a && a <= c * b);
+        prop_assert!(c - f <= 1);
+        prop_assert_eq!(c == f, a % b == 0);
+    }
+
+    /// `input_needed` and `consumers_of` are adjoint for arbitrary
+    /// footprints of the shapes multigrid uses.
+    #[test]
+    fn footprint_adjoint(
+        scale in 0usize..3,
+        off_min in -3i64..1,
+        extra in 0i64..4,
+        x in -30i64..30,
+        p in -60i64..60,
+    ) {
+        let (num, den) = [(1, 1), (2, 1), (1, 2)][scale];
+        let fp = AxisFootprint::new(num, den, off_min, off_min + extra);
+        let forward = fp.input_needed(&Interval::new(x, x)).contains(p);
+        let backward = fp.consumers_of(p).contains(x);
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Ratios form a commutative group under multiplication (away from 0).
+    #[test]
+    fn ratio_group_laws(
+        a in 1i64..40, b in 1i64..40,
+        c in 1i64..40, d in 1i64..40,
+    ) {
+        let r1 = Ratio::new(a, b);
+        let r2 = Ratio::new(c, d);
+        prop_assert_eq!(r1.mul(&r2), r2.mul(&r1));
+        prop_assert!(r1.mul(&r1.inv()).is_one());
+        // floor/ceil bracket the rational value
+        for x in [-7i64, 0, 13] {
+            let fl = r1.apply_floor(x);
+            let ce = r1.apply_ceil(x);
+            prop_assert!(fl as f64 <= x as f64 * a as f64 / b as f64 + 1e-9);
+            prop_assert!(ce as f64 >= x as f64 * a as f64 / b as f64 - 1e-9);
+        }
+    }
+
+    /// Box-domain intersection/hull are consistent with membership.
+    #[test]
+    fn box_ops_membership(
+        alo in 0i64..10, alen in 0i64..10,
+        blo in 0i64..10, blen in 0i64..10,
+        px in -2i64..14, py in -2i64..14,
+    ) {
+        let a = BoxDomain::new(vec![
+            Interval::new(alo, alo + alen),
+            Interval::new(alo, alo + alen),
+        ]);
+        let b = BoxDomain::new(vec![
+            Interval::new(blo, blo + blen),
+            Interval::new(blo, blo + blen),
+        ]);
+        let p = [py, px];
+        let in_i = a.intersect(&b).contains_point(&p);
+        prop_assert_eq!(in_i, a.contains_point(&p) && b.contains_point(&p));
+        if a.contains_point(&p) || b.contains_point(&p) {
+            prop_assert!(a.hull(&b).contains_point(&p));
+        }
+    }
+
+    /// Tiled redundant work never drops below the untiled baseline, and a
+    /// single full-domain tile has zero redundancy.
+    #[test]
+    fn tiling_stats_bounds(n in 8i64..40, t in 2i64..16, radius in 0i64..3) {
+        use gmg_poly::region::{GroupEdge, GroupStage};
+        use gmg_poly::Footprint;
+        let dom = BoxDomain::interior(2, n);
+        let stages = vec![
+            GroupStage { domain: dom.clone(), owned: BoxDomain::empty(2) },
+            GroupStage { domain: dom.clone(), owned: BoxDomain::empty(2) },
+        ];
+        let edges = vec![GroupEdge {
+            producer: 0,
+            consumer: 1,
+            footprint: Footprint::uniform(2, AxisFootprint::stencil(radius)),
+        }];
+        let scales = vec![vec![Ratio::one(); 2], vec![Ratio::one(); 2]];
+        let live = [false, true];
+        let tiled = evaluate_tiling(&stages, &edges, 1, &scales, &live, &[t, t]);
+        prop_assert!(tiled.work_ratio() >= 1.0 - 1e-12);
+        let whole = evaluate_tiling(&stages, &edges, 1, &scales, &live, &[n, n]);
+        prop_assert!((whole.work_ratio() - 1.0).abs() < 1e-12);
+        // smaller tiles ⇒ at least as much redundant work
+        if radius > 0 && t < n {
+            prop_assert!(tiled.tiled_points >= whole.tiled_points);
+        }
+    }
+
+    /// Split tiling is an exact space-time cover for radius 2 as well.
+    #[test]
+    fn split_tiling_cover_radius2(
+        n in 4i64..30,
+        steps in 1usize..8,
+        w in 3i64..16,
+        h in 1usize..5,
+    ) {
+        let bands = split_time_tiling(n, steps, w, h, 2);
+        let dom = Interval::new(1, n);
+        let mut count = vec![0u32; steps * n as usize];
+        for band in &bands {
+            for phase in [&band.phase1, &band.phase2] {
+                for trap in phase {
+                    for s in 0..band.steps {
+                        let rows = trap.rows_at(s as i64, dom);
+                        if rows.is_empty() { continue; }
+                        for i in rows.lo..=rows.hi {
+                            count[(band.t0 + s) * n as usize + (i - 1) as usize] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    /// Tile partitions are disjoint and total for 3-D too.
+    #[test]
+    fn tile_partition_3d(n in 1i64..12, t1 in 1i64..6, t2 in 1i64..6, t3 in 1i64..6) {
+        let dom = BoxDomain::interior(3, n);
+        let tiles = tile_partition(&dom, &[t1, t2, t3]);
+        let total: i64 = tiles.iter().map(BoxDomain::len).sum();
+        prop_assert_eq!(total, n * n * n);
+        for a in 0..tiles.len() {
+            for b in a + 1..tiles.len() {
+                prop_assert!(!tiles[a].overlaps(&tiles[b]));
+            }
+        }
+    }
+}

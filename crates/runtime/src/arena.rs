@@ -1,0 +1,140 @@
+//! Per-worker scratchpad arenas.
+//!
+//! The generated code of Figure 8 declares constant-size scratchpad buffers
+//! inside the parallel tile loop — one set per executing thread, on the
+//! thread's stack. In this runtime an arena is a heap-allocated set of
+//! scratch buffers matching a group's [`polymg::ScratchBufferSpec`]s; a
+//! lock-protected stack recycles arenas between tiles so the steady-state
+//! cost is a pop/push per tile (no allocation).
+
+use parking_lot::Mutex;
+use polymg::ScratchBufferSpec;
+
+/// One worker's scratch buffers for a group (index = scratch buffer id).
+#[derive(Debug)]
+pub struct Arena {
+    bufs: Vec<Vec<f64>>,
+}
+
+impl Arena {
+    fn new(specs: &[ScratchBufferSpec]) -> Self {
+        Arena {
+            bufs: specs.iter().map(|s| vec![0.0; s.capacity]).collect(),
+        }
+    }
+
+    /// Mutable access to buffer `i`.
+    pub fn buf(&mut self, i: usize) -> &mut Vec<f64> {
+        &mut self.bufs[i]
+    }
+
+    /// Split into individually borrowable buffers.
+    pub fn bufs_mut(&mut self) -> &mut [Vec<f64>] {
+        &mut self.bufs
+    }
+
+    /// Read-only view of all buffers (producers of the current stage).
+    pub fn bufs(&self) -> &[Vec<f64>] {
+        &self.bufs
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// True when the arena holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+}
+
+/// A recycling stack of arenas for one group execution.
+pub struct ArenaPool<'a> {
+    specs: &'a [ScratchBufferSpec],
+    stack: Mutex<Vec<Arena>>,
+    created: Mutex<usize>,
+}
+
+impl<'a> ArenaPool<'a> {
+    /// New pool for a group's buffer specs.
+    pub fn new(specs: &'a [ScratchBufferSpec]) -> Self {
+        ArenaPool {
+            specs,
+            stack: Mutex::new(Vec::new()),
+            created: Mutex::new(0),
+        }
+    }
+
+    /// Get an arena (recycled or fresh).
+    pub fn get(&self) -> Arena {
+        if let Some(a) = self.stack.lock().pop() {
+            return a;
+        }
+        *self.created.lock() += 1;
+        Arena::new(self.specs)
+    }
+
+    /// Return an arena for reuse.
+    pub fn put(&self, arena: Arena) {
+        self.stack.lock().push(arena);
+    }
+
+    /// How many arenas were actually created (≈ worker count).
+    pub fn created(&self) -> usize {
+        *self.created.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<ScratchBufferSpec> {
+        vec![
+            ScratchBufferSpec {
+                extents: vec![10, 20],
+                capacity: 200,
+            },
+            ScratchBufferSpec {
+                extents: vec![5, 8],
+                capacity: 40,
+            },
+        ]
+    }
+
+    #[test]
+    fn arena_matches_specs() {
+        let s = specs();
+        let pool = ArenaPool::new(&s);
+        let mut a = pool.get();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.buf(0).len(), 200);
+        assert_eq!(a.buf(1).len(), 40);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn recycling_avoids_creation() {
+        let s = specs();
+        let pool = ArenaPool::new(&s);
+        for _ in 0..10 {
+            let a = pool.get();
+            pool.put(a);
+        }
+        assert_eq!(pool.created(), 1);
+    }
+
+    #[test]
+    fn concurrent_get_creates_per_holder() {
+        let s = specs();
+        let pool = ArenaPool::new(&s);
+        let a = pool.get();
+        let b = pool.get();
+        assert_eq!(pool.created(), 2);
+        pool.put(a);
+        pool.put(b);
+        let _c = pool.get();
+        assert_eq!(pool.created(), 2);
+    }
+}

@@ -1,0 +1,752 @@
+//! The execution engine: runs a [`polymg::CompiledPipeline`].
+//!
+//! One [`Engine::run`] call executes one multigrid cycle: groups in plan
+//! order, with the storage behaviour selected by the plan's options —
+//! per-cycle `malloc` (naive/opt) or pooled allocation with the generated
+//! alloc/free points (§3.2.3), scratchpad arenas for overlapped tiles, and
+//! modulo-buffer diamond execution for `TStencil` chains.
+
+use crate::arena::ArenaPool;
+use crate::kernel::{
+    execute_stage, execute_stage_out, fill_outside, KernelInput, KernelOut, Space, SpaceMut,
+};
+use crate::pool::{BufferPool, PoolStats};
+use gmg_grid::Buffer;
+use gmg_ir::{StageId, StageInput};
+use gmg_poly::diamond::split_time_tiling;
+use gmg_poly::region::{propagate_regions, GroupEdge, GroupStage};
+use gmg_poly::tiling::{owned_region, tile_partition};
+use gmg_poly::{BoxDomain, Interval, Ratio};
+use polymg::{CompiledPipeline, GroupPlan, GroupTiling};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Re-export of the raw tile-write plumbing (kept at this path for
+/// compatibility; the implementation lives in [`crate::tilebuf`]).
+pub use crate::tilebuf;
+use crate::tilebuf::SharedOut;
+
+/// Statistics of one engine run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Pool statistics after the run (pooled mode only; zeroed otherwise).
+    pub pool: PoolStats,
+    /// Wall-clock time of the cycle.
+    pub elapsed: Duration,
+    /// Bytes allocated fresh during this run (malloc traffic).
+    pub fresh_bytes: usize,
+}
+
+/// Precomputed per-group runtime geometry.
+struct GroupRt {
+    /// Overlapped groups: the tile list over the reference domain.
+    tiles: Vec<BoxDomain>,
+    gstages: Vec<GroupStage>,
+    edges: Vec<GroupEdge>,
+    scales: Vec<Vec<Ratio>>,
+}
+
+/// The engine. Construct once per compiled pipeline, call
+/// [`Engine::run`] once per multigrid cycle. The pool persists across runs
+/// (the §3.2.3 cross-cycle behaviour).
+pub struct Engine {
+    plan: CompiledPipeline,
+    pool: BufferPool,
+    rayon_pool: Option<rayon::ThreadPool>,
+    groups_rt: Vec<GroupRt>,
+}
+
+enum Slot<'a> {
+    Empty,
+    Owned(Buffer),
+    In(&'a [f64]),
+    Out(&'a mut [f64]),
+}
+
+impl<'a> Slot<'a> {
+    fn read(&self) -> &[f64] {
+        match self {
+            Slot::Owned(b) => b.as_slice(),
+            Slot::In(s) => s,
+            Slot::Out(s) => s,
+            Slot::Empty => panic!("read of an array while it is being written (plan bug)"),
+        }
+    }
+
+    fn write(&mut self) -> &mut [f64] {
+        match self {
+            Slot::Owned(b) => b.as_mut_slice(),
+            Slot::Out(s) => s,
+            Slot::In(_) => panic!("write to a pipeline input"),
+            Slot::Empty => panic!("write to an unallocated array"),
+        }
+    }
+}
+
+impl Engine {
+    /// Build an engine (precomputes tile lists and group geometry).
+    pub fn new(plan: CompiledPipeline) -> Engine {
+        let rayon_pool = if plan.options.threads > 0 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(plan.options.threads)
+                    .build()
+                    .expect("failed to build thread pool"),
+            )
+        } else {
+            None
+        };
+        let consumers = plan.graph.consumers();
+        let groups_rt = plan
+            .groups
+            .iter()
+            .map(|g| Self::group_rt(&plan, g, &consumers))
+            .collect();
+        Engine {
+            plan,
+            pool: BufferPool::new(),
+            rayon_pool,
+            groups_rt,
+        }
+    }
+
+    fn group_rt(
+        plan: &CompiledPipeline,
+        group: &GroupPlan,
+        consumers: &[Vec<StageId>],
+    ) -> GroupRt {
+        let (gstages, edges, _ref, scales, _lo) =
+            polymg::grouping::group_geometry(&plan.graph, &group.stages, consumers);
+        match &group.tiling {
+            GroupTiling::Overlapped {
+                ref_stage_local,
+                tile_sizes,
+                scales: plan_scales,
+            } => GroupRt {
+                tiles: tile_partition(&gstages[*ref_stage_local].domain, tile_sizes),
+                gstages,
+                edges,
+                scales: plan_scales.clone(),
+            },
+            _ => GroupRt {
+                tiles: Vec::new(),
+                gstages,
+                edges,
+                scales,
+            },
+        }
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &CompiledPipeline {
+        &self.plan
+    }
+
+    /// Pool statistics (persist across runs).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Execute one cycle. `inputs`/`outputs` bind external arrays by stage
+    /// name; buffers are dense `(n+2)^d` with ghost rings already holding
+    /// boundary values (the multigrid driver maintains them).
+    pub fn run(
+        &mut self,
+        inputs: &[(&str, &[f64])],
+        mut outputs: Vec<(&str, &mut [f64])>,
+    ) -> RunStats {
+        let start = Instant::now();
+        let fresh0 = self.pool.stats().allocated_bytes;
+        let pooled = self.plan.options.pooled_allocation;
+
+        // array slot table
+        let mut slots: Vec<Slot<'_>> = Vec::with_capacity(self.plan.storage.arrays.len());
+        let mut fresh_bytes = 0usize;
+        for (ai, spec) in self.plan.storage.arrays.iter().enumerate() {
+            let len = spec.extents.iter().product::<i64>() as usize;
+            if spec.external {
+                // bind by tag
+                if let Some((_, data)) = inputs.iter().find(|(n, _)| *n == spec.tag) {
+                    assert_eq!(data.len(), len, "input '{}' has wrong size", spec.tag);
+                    slots.push(Slot::In(data));
+                } else if let Some(pos) = outputs.iter().position(|(n, _)| *n == spec.tag) {
+                    let (_, d) = outputs.swap_remove(pos);
+                    assert_eq!(d.len(), len, "output '{}' has wrong size", spec.tag);
+                    slots.push(Slot::Out(d));
+                } else {
+                    panic!("external array '{}' (id {ai}) not bound", spec.tag);
+                }
+            } else if pooled {
+                slots.push(Slot::Empty); // allocated at its group
+            } else {
+                // per-cycle malloc
+                fresh_bytes += len * std::mem::size_of::<f64>();
+                let mut b = Buffer::zeroed(len);
+                if spec.boundary != 0.0 {
+                    fill_ghost(b.as_mut_slice(), &spec.extents, spec.boundary);
+                }
+                slots.push(Slot::Owned(b));
+            }
+        }
+
+        // split-borrow fields so the closure-based execution can hold &mut
+        // to slots while reading plan/groups_rt
+        let plan = &self.plan;
+        let groups_rt = &self.groups_rt;
+        let pool = &mut self.pool;
+
+        let body = |slots: &mut Vec<Slot<'_>>, pool: &mut BufferPool| {
+            for (gi, group) in plan.groups.iter().enumerate() {
+                if pooled {
+                    for &a in &plan.storage.alloc_before_group[gi] {
+                        let spec = &plan.storage.arrays[a];
+                        let len = spec.extents.iter().product::<i64>() as usize;
+                        let mut b = pool.allocate(len);
+                        fill_ghost(b.as_mut_slice(), &spec.extents, spec.boundary);
+                        slots[a] = Slot::Owned(b);
+                    }
+                }
+                exec_group(plan, &groups_rt[gi], group, slots, pool, pooled);
+                if pooled {
+                    for &a in &plan.storage.free_after_group[gi] {
+                        let s = std::mem::replace(&mut slots[a], Slot::Empty);
+                        match s {
+                            Slot::Owned(b) => pool.deallocate(b),
+                            _ => panic!("pooled free of non-owned array"),
+                        }
+                    }
+                }
+            }
+        };
+
+        match &self.rayon_pool {
+            Some(rp) => rp.install(|| body(&mut slots, pool)),
+            None => body(&mut slots, pool),
+        }
+
+        RunStats {
+            pool: self.pool.stats(),
+            elapsed: start.elapsed(),
+            fresh_bytes: fresh_bytes
+                + (self.pool.stats().allocated_bytes - fresh0),
+        }
+    }
+}
+
+/// Fill the ghost ring (all cells outside the interior box) of a dense
+/// array.
+pub fn fill_ghost(data: &mut [f64], extents: &[i64], value: f64) {
+    let origin = vec![0i64; extents.len()];
+    let interior = BoxDomain::new(
+        extents.iter().map(|&e| Interval::new(1, e - 2)).collect(),
+    );
+    let mut s = SpaceMut {
+        data,
+        origin: &origin,
+        extents,
+    };
+    fill_outside(&mut s, &interior, value);
+}
+
+/// Per-tile region propagation with owned regions derived from the tile.
+fn propagate_for_tile(
+    gstages: &[GroupStage],
+    edges: &[GroupEdge],
+    scales: &[Vec<Ratio>],
+    live_out: &[bool],
+    tile: &BoxDomain,
+) -> Vec<gmg_poly::region::StageRegion> {
+    let nd = gstages[0].domain.ndims();
+    let tile_stages: Vec<GroupStage> = gstages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| GroupStage {
+            domain: s.domain.clone(),
+            owned: if live_out[i] {
+                owned_region(tile, &scales[i], &s.domain)
+            } else {
+                BoxDomain::empty(nd)
+            },
+        })
+        .collect();
+    propagate_regions(&tile_stages, edges)
+}
+
+fn exec_group(
+    plan: &CompiledPipeline,
+    rt: &GroupRt,
+    group: &GroupPlan,
+    slots: &mut [Slot<'_>],
+    pool: &mut BufferPool,
+    pooled: bool,
+) {
+    match &group.tiling {
+        GroupTiling::Untiled => exec_untiled(plan, group, slots),
+        GroupTiling::Overlapped { .. } => exec_overlapped(plan, rt, group, slots),
+        GroupTiling::Diamond {
+            tile_w,
+            band_h,
+            radius,
+        } => exec_diamond(plan, group, slots, pool, pooled, *tile_w, *band_h, *radius),
+    }
+}
+
+/// Resolve the full-array space of a stage (reads).
+fn array_space<'a>(plan: &'a CompiledPipeline, slots: &'a [Slot<'_>], sid: StageId) -> Space<'a> {
+    let a = plan.storage.array_of_stage[sid.0]
+        .unwrap_or_else(|| panic!("stage {} has no array", plan.graph.stage(sid).name));
+    let spec = &plan.storage.arrays[a];
+    let data = slots[a].read();
+    // dense full array: origin 0, extents straight from the spec
+    Space {
+        data,
+        origin: zero_origin(spec.extents.len()),
+        extents: &spec.extents,
+    }
+}
+
+// Small per-rank static origin to avoid allocating on every read.
+fn zero_origin(nd: usize) -> &'static [i64] {
+    const Z: [i64; 3] = [0, 0, 0];
+    &Z[..nd]
+}
+
+/// Kernel inputs of one stage when every producer is read from full arrays.
+fn array_inputs<'a>(
+    plan: &'a CompiledPipeline,
+    slots: &'a [Slot<'_>],
+    sid: StageId,
+) -> (Vec<KernelInput<'a>>, Vec<f64>) {
+    let stage = plan.graph.stage(sid);
+    let mut ins = Vec::with_capacity(stage.inputs.len());
+    let mut bnd = Vec::with_capacity(stage.inputs.len());
+    for inp in &stage.inputs {
+        match inp {
+            StageInput::Zero => {
+                ins.push(KernelInput::Zero);
+                bnd.push(0.0);
+            }
+            StageInput::Stage(p) => {
+                ins.push(KernelInput::Grid(array_space(plan, slots, *p)));
+                bnd.push(plan.graph.stage(*p).boundary.value());
+            }
+        }
+    }
+    (ins, bnd)
+}
+
+/// Untiled execution (single-stage groups): full-domain sweep parallel over
+/// the outermost dimension.
+fn exec_untiled(plan: &CompiledPipeline, group: &GroupPlan, slots: &mut [Slot<'_>]) {
+    assert_eq!(group.stages.len(), 1, "untiled groups are single-stage");
+    let sid = group.stages[0];
+    let stage = plan.graph.stage(sid);
+    let kernel = plan.kernels[sid.0].as_ref().expect("input stage in group");
+    let a = plan.storage.array_of_stage[sid.0].expect("untiled stage without array");
+
+    // take the output array
+    let taken = std::mem::replace(&mut slots[a], Slot::Empty);
+    let mut taken = taken;
+    {
+        let out_data = taken.write();
+        let spec = &plan.storage.arrays[a];
+        let ext: Vec<i64> = spec.extents.clone();
+        let row_block = spec.extents[1..].iter().product::<i64>() as usize;
+        let (ins, bnd) = array_inputs(plan, slots, sid);
+
+        // split interior rows into chunks
+        let outer = stage.domain.0[0];
+        let nthreads = rayon::current_num_threads().max(1);
+        let rows = outer.len();
+        let chunk = (rows + nthreads as i64 - 1) / nthreads as i64;
+        let mut bounds = Vec::new();
+        let mut lo = outer.lo;
+        while lo <= outer.hi {
+            let hi = (lo + chunk - 1).min(outer.hi);
+            bounds.push((lo, hi));
+            lo = hi + 1;
+        }
+        // split the buffer at row boundaries (whole outer-dim rows)
+        let mut pieces: Vec<(&mut [f64], (i64, i64))> = Vec::with_capacity(bounds.len());
+        let mut rest = out_data;
+        let mut covered = 0usize;
+        for &(lo, hi) in &bounds {
+            let begin = lo as usize * row_block;
+            let end = (hi as usize + 1) * row_block;
+            let (_, tail) = rest.split_at_mut(begin - covered);
+            let (mine, tail2) = tail.split_at_mut(end - begin);
+            pieces.push((mine, (lo, hi)));
+            rest = tail2;
+            covered = end;
+        }
+
+        let ext_ref = &ext;
+        let region_proto = &stage.domain;
+        pieces
+            .into_par_iter()
+            .for_each(|(data, (lo, hi))| {
+                let mut region = region_proto.clone();
+                region.0[0] = Interval::new(lo, hi);
+                let mut origin = vec![0i64; ext_ref.len()];
+                origin[0] = lo;
+                let mut extents = ext_ref.clone();
+                extents[0] = hi - lo + 1;
+                let mut out = SpaceMut {
+                    data,
+                    origin: &origin,
+                    extents: &extents,
+                };
+                execute_stage(kernel, &region, &mut out, &ins, &bnd);
+            });
+    }
+    slots[a] = taken;
+}
+
+/// Overlapped-tile execution with scratchpads.
+fn exec_overlapped(
+    plan: &CompiledPipeline,
+    rt: &GroupRt,
+    group: &GroupPlan,
+    slots: &mut [Slot<'_>],
+) {
+    // take all written arrays
+    let mut write_arrays: Vec<usize> = group
+        .stages
+        .iter()
+        .zip(&group.live_out)
+        .filter(|(_, lo)| **lo)
+        .map(|(s, _)| plan.storage.array_of_stage[s.0].expect("live-out without array"))
+        .collect();
+    write_arrays.sort();
+    write_arrays.dedup();
+    let mut taken: Vec<(usize, Slot<'_>)> = write_arrays
+        .iter()
+        .map(|&a| (a, std::mem::replace(&mut slots[a], Slot::Empty)))
+        .collect();
+
+    {
+        // shared outs
+        let outs: Vec<(usize, SharedOut)> = taken
+            .iter_mut()
+            .map(|(a, s)| (*a, SharedOut::new(s.write())))
+            .collect();
+        let shared_of = |a: usize| -> SharedOut {
+            outs.iter().find(|(aa, _)| *aa == a).unwrap().1
+        };
+
+        let arena_pool = ArenaPool::new(&group.scratch_buffers);
+        let slots_ref: &[Slot<'_>] = slots;
+
+        rt.tiles.par_iter().for_each(|tile| {
+            let regions =
+                propagate_for_tile(&rt.gstages, &rt.edges, &rt.scales, &group.live_out, tile);
+            let mut arena = arena_pool.get();
+
+            for (i, sid) in group.stages.iter().enumerate() {
+                let stage = plan.graph.stage(*sid);
+                let kernel = plan.kernels[sid.0].as_ref().expect("input in group");
+                let compute = &regions[i].compute;
+                if compute.is_empty() {
+                    continue;
+                }
+                let owned = if group.live_out[i] {
+                    owned_region(tile, &rt.scales[i], &stage.domain)
+                } else {
+                    BoxDomain::empty(compute.ndims())
+                };
+
+                // take the stage's own scratch buffer out of the arena
+                // first so producer views can borrow the arena immutably
+                let own_slot = group.scratch_slot[i];
+                let mut own_buf = own_slot.map(|sl| std::mem::take(arena.buf(sl)));
+
+                // build inputs: in-group producers from their scratchpads,
+                // everything else from full arrays
+                let mut ins: Vec<KernelInput<'_>> = Vec::with_capacity(stage.inputs.len());
+                let mut bnd: Vec<f64> = Vec::with_capacity(stage.inputs.len());
+                // owned metadata for producer scratch views
+                let mut meta: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
+                for inp in &stage.inputs {
+                    if let StageInput::Stage(p) = inp {
+                        if let Some(pi) = group.stages.iter().position(|s| s == p) {
+                            if group.scratch_slot[pi].is_some() {
+                                let alloc = &regions[pi].alloc;
+                                meta.push((
+                                    alloc.0.iter().map(|iv| iv.lo).collect(),
+                                    alloc.extents(),
+                                ));
+                            }
+                        }
+                    }
+                }
+                let mut mi = 0usize;
+                for inp in &stage.inputs {
+                    match inp {
+                        StageInput::Zero => {
+                            ins.push(KernelInput::Zero);
+                            bnd.push(0.0);
+                        }
+                        StageInput::Stage(p) => {
+                            bnd.push(plan.graph.stage(*p).boundary.value());
+                            let local = group.stages.iter().position(|s| s == p);
+                            match local.and_then(|pi| group.scratch_slot[pi].map(|b| b)) {
+                                Some(buf) => {
+                                    let (o, e) = &meta[mi];
+                                    mi += 1;
+                                    let size = e.iter().product::<i64>() as usize;
+                                    // producers are earlier stages whose
+                                    // buffers are read-only at this point
+                                    // (own buffer was taken out above and a
+                                    // producer can never alias it)
+                                    let pdata = &arena.bufs()[buf][..size];
+                                    ins.push(KernelInput::Grid(Space {
+                                        data: pdata,
+                                        origin: o,
+                                        extents: e,
+                                    }));
+                                }
+                                None => {
+                                    ins.push(KernelInput::Grid(array_space(
+                                        plan, slots_ref, *p,
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                }
+
+                if own_slot.is_some() {
+                    // compute the full overlap region into the scratchpad
+                    let alloc = regions[i].alloc.clone();
+                    let origin: Vec<i64> = alloc.0.iter().map(|iv| iv.lo).collect();
+                    let extents = alloc.extents();
+                    let size = extents.iter().product::<i64>() as usize;
+                    let own = own_buf.as_mut().unwrap();
+                    {
+                        let data = &mut own[..size];
+                        {
+                            let mut sp = SpaceMut {
+                                data,
+                                origin: &origin,
+                                extents: &extents,
+                            };
+                            fill_outside(&mut sp, compute, stage.boundary.value());
+                        }
+                        let out = KernelOut::Dense(SpaceMut {
+                            data,
+                            origin: &origin,
+                            extents: &extents,
+                        });
+                        execute_stage_out(kernel, compute, out, &ins, &bnd);
+                    }
+                    if group.live_out[i] && !owned.is_empty() {
+                        // copy the owned sub-region scratch → array
+                        let a = plan.storage.array_of_stage[sid.0].unwrap();
+                        let spec = &plan.storage.arrays[a];
+                        let src = Space {
+                            data: &own[..size],
+                            origin: &origin,
+                            extents: &extents,
+                        };
+                        // SAFETY: owned boxes partition the array across
+                        // tiles.
+                        unsafe {
+                            shared_of(a).copy_box_from(&src, &spec.extents, &owned);
+                        }
+                    }
+                } else {
+                    // live-out with no in-group consumer: write the owned
+                    // region straight into the shared array (the generated-
+                    // code behaviour of Figure 8)
+                    debug_assert!(group.live_out[i]);
+                    debug_assert_eq!(&owned, compute);
+                    let a = plan.storage.array_of_stage[sid.0].unwrap();
+                    let spec = &plan.storage.arrays[a];
+                    let out = KernelOut::Shared {
+                        out: shared_of(a),
+                        extents: &spec.extents,
+                    };
+                    execute_stage_out(kernel, compute, out, &ins, &bnd);
+                }
+
+                if let (Some(sl), Some(own)) = (own_slot, own_buf) {
+                    *arena.buf(sl) = own;
+                }
+            }
+
+            arena_pool.put(arena);
+        });
+    }
+
+    for (a, s) in taken {
+        slots[a] = s;
+    }
+}
+
+/// Diamond/split time-tiled execution of a smoother chain with two modulo
+/// buffers.
+#[allow(clippy::too_many_arguments)]
+fn exec_diamond(
+    plan: &CompiledPipeline,
+    group: &GroupPlan,
+    slots: &mut [Slot<'_>],
+    pool: &mut BufferPool,
+    pooled: bool,
+    tile_w: i64,
+    band_h: usize,
+    radius: i64,
+) {
+    let steps = group.stages.len();
+    assert!(steps >= 1);
+    let last = group.stages[steps - 1];
+    let stage0 = plan.graph.stage(group.stages[0]);
+    let domain = stage0.domain.clone();
+    let nd = domain.ndims();
+    let n_outer = domain.0[0].len();
+    assert!(
+        group.live_out.iter().take(steps - 1).all(|l| !l),
+        "diamond chain with interior live-out"
+    );
+
+    let a_out = plan.storage.array_of_stage[last.0].expect("diamond live-out without array");
+    let spec = &plan.storage.arrays[a_out];
+    let len = spec.extents.iter().product::<i64>() as usize;
+    let ext: Vec<i64> = spec.extents.clone();
+    let row_block = spec.extents[1..].iter().product::<i64>() as usize;
+
+    // temp modulo buffer (only needed for ≥2 steps)
+    let mut temp = if steps >= 2 {
+        let mut b = if pooled {
+            pool.allocate(len)
+        } else {
+            Buffer::zeroed(len)
+        };
+        fill_ghost(b.as_mut_slice(), &spec.extents, spec.boundary);
+        Some(b)
+    } else {
+        None
+    };
+
+    let taken = std::mem::replace(&mut slots[a_out], Slot::Empty);
+    let mut taken = taken;
+    {
+        let out_data = taken.write();
+        let out_shared = SharedOut::new(out_data);
+        let temp_shared = temp
+            .as_mut()
+            .map(|b| SharedOut::new(b.as_mut_slice()));
+        // buf of a step: parity p writes bufs[p]; arrange last step → out
+        let last_parity = (steps - 1) % 2;
+        let buf_of = |p: usize| -> SharedOut {
+            if p == last_parity {
+                out_shared
+            } else {
+                temp_shared.expect("temp needed")
+            }
+        };
+
+        let slots_ref: &[Slot<'_>] = slots;
+        let schedule = split_time_tiling(n_outer, steps, tile_w, band_h, radius);
+        let outer_dom = domain.0[0];
+
+        for band in &schedule {
+            for phase in [&band.phase1, &band.phase2] {
+                phase.par_iter().for_each(|trap| {
+                    for s in 0..band.steps {
+                        let t = band.t0 + s;
+                        let rows = trap.rows_at(s as i64, outer_dom);
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        let sid = group.stages[t];
+                        let stage = plan.graph.stage(sid);
+                        let kernel = plan.kernels[sid.0].as_ref().unwrap();
+
+                        // region: these rows × full inner interior
+                        let mut region = domain.clone();
+                        region.0[0] = rows;
+
+                        // destination: rows block of bufs[t%2]
+                        let dst = buf_of(t % 2);
+                        let d_off = rows.lo as usize * row_block;
+                        let d_len = rows.len() as usize * row_block;
+                        // SAFETY: trapezoids of one phase write disjoint
+                        // rows at each step (split-tiling invariant), and
+                        // cross-step writes to one parity buffer are
+                        // disjoint by the band-height clamp.
+                        let data = unsafe { dst.segment(d_off, d_len) };
+                        let mut origin = vec![0i64; nd];
+                        origin[0] = rows.lo;
+                        let mut extents = ext.clone();
+                        extents[0] = rows.len();
+                        let mut out = SpaceMut {
+                            data,
+                            origin: &origin,
+                            extents: &extents,
+                        };
+
+                        // inputs
+                        let mut ins: Vec<KernelInput<'_>> =
+                            Vec::with_capacity(stage.inputs.len());
+                        let mut bnd: Vec<f64> = Vec::with_capacity(stage.inputs.len());
+                        // read rows from the previous parity buffer,
+                        // dilated by the radius and clamped to the ghost
+                        let r_lo = (rows.lo - radius).max(0);
+                        let r_hi = (rows.hi + radius).min(ext[0] - 1);
+                        let r_off = r_lo as usize * row_block;
+                        let r_len = (r_hi - r_lo + 1) as usize * row_block;
+                        let mut r_origin = vec![0i64; nd];
+                        r_origin[0] = r_lo;
+                        let mut r_ext = ext.clone();
+                        r_ext[0] = r_hi - r_lo + 1;
+                        let (r_origin, r_ext) = (r_origin, r_ext);
+
+                        for inp in &stage.inputs {
+                            match inp {
+                                StageInput::Zero => {
+                                    ins.push(KernelInput::Zero);
+                                    bnd.push(0.0);
+                                }
+                                StageInput::Stage(p) => {
+                                    bnd.push(plan.graph.stage(*p).boundary.value());
+                                    let in_group =
+                                        group.stages.iter().position(|s| s == p);
+                                    match in_group {
+                                        Some(pi) => {
+                                            debug_assert_eq!(pi, t - 1);
+                                            let src = buf_of(pi % 2);
+                                            // SAFETY: disjoint from all
+                                            // concurrent writes by the
+                                            // band-height clamp.
+                                            let pdata = unsafe {
+                                                src.read_segment(r_off, r_len)
+                                            };
+                                            ins.push(KernelInput::Grid(Space {
+                                                data: pdata,
+                                                origin: &r_origin,
+                                                extents: &r_ext,
+                                            }));
+                                        }
+                                        None => {
+                                            ins.push(KernelInput::Grid(array_space(
+                                                plan, slots_ref, *p,
+                                            )));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        execute_stage(kernel, &region, &mut out, &ins, &bnd);
+                    }
+                });
+            }
+        }
+    }
+    slots[a_out] = taken;
+
+    if let Some(b) = temp {
+        if pooled {
+            pool.deallocate(b);
+        }
+    }
+}

@@ -1,0 +1,1054 @@
+//! Specialised execution of lowered stage kernels over box regions.
+//!
+//! A kernel executes in a *space*: a flat buffer plus the global coordinate
+//! of its first element (`origin`) and its view extents — the same type
+//! serves full arrays (origin `[0, …]`, extents `n+2`) and tile scratchpads
+//! (origin = the tile's alloc box corner). All coordinates are global grid
+//! indices, so tap addressing is uniform regardless of where values live.
+//!
+//! Linear cases run through a unit-stride fast path (per-row slices with an
+//! unrolled tap loop for up to 9 taps) or a generic strided path
+//! (restriction's stride-2 reads, interpolation's half-index reads).
+//! Non-linear cases are evaluated by the expression interpreter.
+
+use gmg_ir::{Expr, Operand, Parity, ParityPattern};
+use gmg_poly::{div_floor, BoxDomain};
+use polymg::{KernelBody, StageKernel};
+
+/// A read-only execution space.
+#[derive(Clone, Copy)]
+pub struct Space<'a> {
+    pub data: &'a [f64],
+    /// Global coordinate of `data[0]`, outermost first.
+    pub origin: &'a [i64],
+    /// View extents, outermost first (row-major, densely packed).
+    pub extents: &'a [i64],
+}
+
+impl<'a> Space<'a> {
+    /// Flat index of a global coordinate; `None` when outside the view.
+    pub fn index(&self, p: &[i64]) -> Option<usize> {
+        let mut idx = 0usize;
+        for (d, &x) in p.iter().enumerate() {
+            let rel = x - self.origin[d];
+            if rel < 0 || rel >= self.extents[d] {
+                return None;
+            }
+            idx = idx * self.extents[d] as usize + rel as usize;
+        }
+        Some(idx)
+    }
+
+    /// Value at a global coordinate, or `boundary` outside the view.
+    pub fn at_or(&self, p: &[i64], boundary: f64) -> f64 {
+        self.index(p).map_or(boundary, |i| self.data[i])
+    }
+}
+
+/// A mutable execution space.
+pub struct SpaceMut<'a> {
+    pub data: &'a mut [f64],
+    pub origin: &'a [i64],
+    pub extents: &'a [i64],
+}
+
+impl<'a> SpaceMut<'a> {
+    /// Reborrow read-only.
+    pub fn as_space(&self) -> Space<'_> {
+        Space {
+            data: self.data,
+            origin: self.origin,
+            extents: self.extents,
+        }
+    }
+}
+
+/// One input slot of a stage at execution time.
+#[derive(Clone, Copy)]
+pub enum KernelInput<'a> {
+    Grid(Space<'a>),
+    /// The implicit zero grid (reads yield the boundary value 0).
+    Zero,
+}
+
+/// First in-region coordinate matching a parity, and the step (1 or 2).
+/// Returns `None` when no point in `[lo, hi]` matches.
+fn parity_start(lo: i64, hi: i64, p: Parity) -> Option<(i64, i64)> {
+    let (start, step) = match p {
+        Parity::Any => (lo, 1),
+        Parity::Even => (if lo.rem_euclid(2) == 0 { lo } else { lo + 1 }, 2),
+        Parity::Odd => (if lo.rem_euclid(2) == 1 { lo } else { lo + 1 }, 2),
+    };
+    if start > hi {
+        None
+    } else {
+        Some((start, step))
+    }
+}
+
+/// Where a kernel writes.
+///
+/// `Dense` is an exclusive window (scratchpads, untiled sweeps). `Shared`
+/// writes straight into a full array that other tiles are writing
+/// concurrently — per-row segments are derived from the raw pointer, and
+/// soundness rests on the planner's owned-region partition (disjoint row
+/// segments per tile).
+pub enum KernelOut<'a> {
+    Dense(SpaceMut<'a>),
+    Shared {
+        out: crate::tilebuf::SharedOut,
+        /// Dense array extents; the origin is the global zero.
+        extents: &'a [i64],
+    },
+}
+
+impl<'a> KernelOut<'a> {
+    #[inline]
+    fn origin(&self, d: usize) -> i64 {
+        match self {
+            KernelOut::Dense(s) => s.origin[d],
+            KernelOut::Shared { .. } => 0,
+        }
+    }
+
+    #[inline]
+    fn extent(&self, d: usize) -> i64 {
+        match self {
+            KernelOut::Dense(s) => s.extents[d],
+            KernelOut::Shared { extents, .. } => extents[d],
+        }
+    }
+
+    /// The row segment `[off, off+len)`.
+    #[inline]
+    fn row_mut(&mut self, off: usize, len: usize) -> &mut [f64] {
+        match self {
+            KernelOut::Dense(s) => &mut s.data[off..off + len],
+            // SAFETY: concurrent writers cover disjoint owned boxes (see
+            // type-level docs); segments of one kernel execution are used
+            // strictly sequentially.
+            KernelOut::Shared { out, .. } => unsafe { out.segment(off, len) },
+        }
+    }
+}
+
+/// Execute every case of `kernel` over `region` into a dense window.
+///
+/// `slot_boundary[k]` is the ghost/boundary value of slot `k`'s producer
+/// (reads outside a producer's view resolve to it — only the interpreter
+/// path can take that branch; linear taps are in-view by construction).
+pub fn execute_stage(
+    kernel: &StageKernel,
+    region: &BoxDomain,
+    out: &mut SpaceMut<'_>,
+    ins: &[KernelInput<'_>],
+    slot_boundary: &[f64],
+) {
+    let dense = KernelOut::Dense(SpaceMut {
+        data: &mut *out.data,
+        origin: out.origin,
+        extents: out.extents,
+    });
+    execute_stage_out(kernel, region, dense, ins, slot_boundary);
+}
+
+/// Execute every case of `kernel` over `region` into any [`KernelOut`].
+pub fn execute_stage_out(
+    kernel: &StageKernel,
+    region: &BoxDomain,
+    mut out: KernelOut<'_>,
+    ins: &[KernelInput<'_>],
+    slot_boundary: &[f64],
+) {
+    if region.is_empty() {
+        return;
+    }
+    for case in &kernel.cases {
+        match &case.body {
+            KernelBody::Linear(form) => match region.ndims() {
+                2 => linear_2d(form, &case.pattern, region, &mut out, ins),
+                3 => linear_3d(form, &case.pattern, region, &mut out, ins),
+                d => panic!("unsupported rank {d}"),
+            },
+            KernelBody::Interpreted(expr) => {
+                interpret_case(expr, &case.pattern, region, &mut out, ins, slot_boundary)
+            }
+        }
+    }
+}
+
+/// Per-tap runtime addressing: value at inner-loop index `k` is
+/// `data[base + k·slope]`.
+struct RtTap<'a> {
+    data: &'a [f64],
+    base: usize,
+    slope: usize,
+    coeff: f64,
+}
+
+/// Row base index (everything except the innermost dim) of a tap input for
+/// outer coordinates `outer` (length = rank-1).
+fn tap_row_base(
+    tap: &gmg_ir::Tap,
+    input: &Space<'_>,
+    outer: &[i64],
+) -> usize {
+    let nd = input.origin.len();
+    debug_assert_eq!(outer.len(), nd - 1);
+    let mut idx: i64 = 0;
+    for d in 0..nd - 1 {
+        let a = tap.access.0[d];
+        let coord = div_floor(a.num * outer[d] + a.off, a.den);
+        let rel = coord - input.origin[d];
+        debug_assert!(rel >= 0 && rel < input.extents[d], "tap row out of view");
+        idx = idx * input.extents[d] + rel;
+    }
+    // innermost handled by base/slope; here add the row start
+    (idx * input.extents[nd - 1]) as usize
+}
+
+/// How far a tap's input coordinate moves (in that dimension's units) when
+/// the output coordinate advances by `step`: `num·step` for `/1` accesses,
+/// `step/2` for parity-pinned `/2` accesses.
+#[inline]
+fn axis_coord_delta(a: &gmg_ir::expr::AxisAccess, step: i64) -> i64 {
+    if a.den == 2 {
+        debug_assert_eq!(step % 2, 0, "/2 access requires an even step");
+        step / 2
+    } else {
+        a.num * step
+    }
+}
+
+/// Innermost-dim base and slope for a tap given the x start and step.
+fn tap_x_base_slope(
+    tap: &gmg_ir::Tap,
+    input: &Space<'_>,
+    x0: i64,
+    sx: i64,
+) -> (usize, usize) {
+    let nd = input.origin.len();
+    let a = tap.access.0[nd - 1];
+    let first = div_floor(a.num * x0 + a.off, a.den) - input.origin[nd - 1];
+    debug_assert!(first >= 0, "tap x base out of view");
+    let slope = if a.den == 2 {
+        debug_assert_eq!(sx, 2, "/2 access requires parity-stepped loop");
+        1
+    } else {
+        (a.num * sx) as usize
+    };
+    (first as usize, slope)
+}
+
+/// The innermost loop: `out[k·out_slope] = bias + Σ coeff·data[base+k·slope]`
+/// for `k` in `0..count`. Dispatches an unrolled unit-stride kernel when
+/// every stride is 1.
+fn run_row(out_row: &mut [f64], out_slope: usize, count: usize, bias: f64, taps: &[RtTap<'_>]) {
+    if out_slope == 1 && taps.iter().all(|t| t.slope == 1) {
+        let out_row = &mut out_row[..count];
+        // Coefficient-factored path: when the lowering sorted taps by
+        // coefficient (see `polymg::lowering`), adjacent equal-coefficient
+        // runs are summed before the single multiply. Measured on this
+        // host, the const-generic unrolled loops below beat this for ≤28
+        // taps (LLVM keeps everything in registers), so the factored path
+        // only engages for stencils wider than the unroll dispatch, where
+        // the alternative is the slow per-tap fallback.
+        if taps.len() > 28 {
+            let mut spans: Vec<(f64, usize, usize)> = Vec::new();
+            let mut j = 0;
+            while j < taps.len() {
+                let c = taps[j].coeff;
+                let mut k = j + 1;
+                while k < taps.len() && taps[k].coeff == c {
+                    k += 1;
+                }
+                spans.push((c, j, k));
+                j = k;
+            }
+            if spans.len() * 2 <= taps.len() {
+                let rows: Vec<&[f64]> = taps
+                    .iter()
+                    .map(|t| &t.data[t.base..t.base + count])
+                    .collect();
+                for (i, out) in out_row.iter_mut().enumerate() {
+                    let mut acc = bias;
+                    for &(c, a, b) in &spans {
+                        let mut s = 0.0;
+                        for r in &rows[a..b] {
+                            s += r[i];
+                        }
+                        acc += c * s;
+                    }
+                    *out = acc;
+                }
+                return;
+            }
+        }
+        macro_rules! fixed {
+            ($k:literal) => {{
+                let mut rows: [&[f64]; $k] = [&[]; $k];
+                let mut coeff = [0.0f64; $k];
+                for (j, t) in taps.iter().enumerate() {
+                    rows[j] = &t.data[t.base..t.base + count];
+                    coeff[j] = t.coeff;
+                }
+                for i in 0..count {
+                    let mut acc = bias;
+                    for j in 0..$k {
+                        acc += coeff[j] * rows[j][i];
+                    }
+                    out_row[i] = acc;
+                }
+            }};
+        }
+        match taps.len() {
+            0 => out_row.fill(bias),
+            1 => fixed!(1),
+            2 => fixed!(2),
+            3 => fixed!(3),
+            4 => fixed!(4),
+            5 => fixed!(5),
+            6 => fixed!(6),
+            7 => fixed!(7),
+            8 => fixed!(8),
+            9 => fixed!(9),
+            10 => fixed!(10),
+            11 => fixed!(11),
+            12 => fixed!(12),
+            13 => fixed!(13),
+            14 => fixed!(14),
+            15 => fixed!(15),
+            16 => fixed!(16),
+            17 => fixed!(17),
+            18 => fixed!(18),
+            // 3-D class stencils (NAS resid/psinv land here)
+            19 => fixed!(19),
+            20 => fixed!(20),
+            21 => fixed!(21),
+            22 => fixed!(22),
+            23 => fixed!(23),
+            24 => fixed!(24),
+            25 => fixed!(25),
+            26 => fixed!(26),
+            27 => fixed!(27),
+            28 => fixed!(28),
+            _ => {
+                for i in 0..count {
+                    let mut acc = bias;
+                    for t in taps {
+                        acc += t.coeff * t.data[t.base + i];
+                    }
+                    out_row[i] = acc;
+                }
+            }
+        }
+        return;
+    }
+    // strided path (restrict / interp)
+    for k in 0..count {
+        let mut acc = bias;
+        for t in taps {
+            acc += t.coeff * t.data[t.base + k * t.slope];
+        }
+        out_row[k * out_slope] = acc;
+    }
+}
+
+fn linear_2d(
+    form: &gmg_ir::LinearForm,
+    pattern: &ParityPattern,
+    region: &BoxDomain,
+    out: &mut KernelOut<'_>,
+    ins: &[KernelInput<'_>],
+) {
+    let Some((y0, sy)) = parity_start(region.0[0].lo, region.0[0].hi, pattern.0[0]) else {
+        return;
+    };
+    let Some((x0, sx)) = parity_start(region.0[1].lo, region.0[1].hi, pattern.0[1]) else {
+        return;
+    };
+    let count = ((region.0[1].hi - x0) / sx + 1) as usize;
+    let out_rs = out.extent(1) as usize;
+    let (oy, ox) = (out.origin(0), out.origin(1));
+
+    let inputs: Vec<&Space<'_>> = form
+        .taps
+        .iter()
+        .map(|t| match &ins[t.slot] {
+            KernelInput::Grid(s) => s,
+            KernelInput::Zero => panic!("linear tap reads the zero grid (lowering bug)"),
+        })
+        .collect();
+
+    // tap bases are affine in the row index: compute once, advance by a
+    // constant per row (no per-row allocation or division in steady state)
+    let mut taps: Vec<RtTap<'_>> = Vec::with_capacity(form.taps.len());
+    let mut deltas: Vec<usize> = Vec::with_capacity(form.taps.len());
+    for (t, s) in form.taps.iter().zip(&inputs) {
+        let row = tap_row_base(t, s, &[y0]);
+        let (xb, slope) = tap_x_base_slope(t, s, x0, sx);
+        deltas.push((axis_coord_delta(&t.access.0[0], sy) * s.extents[1]) as usize);
+        taps.push(RtTap {
+            data: s.data,
+            base: row + xb,
+            slope,
+            coeff: t.coeff,
+        });
+    }
+
+    let mut y = y0;
+    let mut ob = (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
+    let needed = if count == 0 { 0 } else { (count - 1) * sx as usize + 1 };
+    let out_delta = sy as usize * out_rs;
+    while y <= region.0[0].hi {
+        run_row(out.row_mut(ob, needed), sx as usize, count, form.bias, &taps);
+        for (t, d) in taps.iter_mut().zip(&deltas) {
+            t.base += d;
+        }
+        ob += out_delta;
+        y += sy;
+    }
+}
+
+fn linear_3d(
+    form: &gmg_ir::LinearForm,
+    pattern: &ParityPattern,
+    region: &BoxDomain,
+    out: &mut KernelOut<'_>,
+    ins: &[KernelInput<'_>],
+) {
+    let Some((z0, sz)) = parity_start(region.0[0].lo, region.0[0].hi, pattern.0[0]) else {
+        return;
+    };
+    let Some((y0, sy)) = parity_start(region.0[1].lo, region.0[1].hi, pattern.0[1]) else {
+        return;
+    };
+    let Some((x0, sx)) = parity_start(region.0[2].lo, region.0[2].hi, pattern.0[2]) else {
+        return;
+    };
+    let count = ((region.0[2].hi - x0) / sx + 1) as usize;
+    let out_rs = out.extent(2) as usize;
+    let out_ps = (out.extent(1) * out.extent(2)) as usize;
+    let (oz, oy, ox) = (out.origin(0), out.origin(1), out.origin(2));
+
+    let inputs: Vec<&Space<'_>> = form
+        .taps
+        .iter()
+        .map(|t| match &ins[t.slot] {
+            KernelInput::Grid(s) => s,
+            KernelInput::Zero => panic!("linear tap reads the zero grid (lowering bug)"),
+        })
+        .collect();
+
+    // per-tap: base at (z0, y0), Δy increment, Δz increment (affine in both)
+    let mut taps: Vec<RtTap<'_>> = Vec::with_capacity(form.taps.len());
+    let mut dy: Vec<usize> = Vec::with_capacity(form.taps.len());
+    let mut dz_wrap: Vec<i64> = Vec::with_capacity(form.taps.len());
+    let ny_rows = {
+        let mut c = 0i64;
+        let mut y = y0;
+        while y <= region.0[1].hi {
+            c += 1;
+            y += sy;
+        }
+        c
+    };
+    for (t, s) in form.taps.iter().zip(&inputs) {
+        let base = tap_row_base(t, s, &[z0, y0]);
+        let (xb, slope) = tap_x_base_slope(t, s, x0, sx);
+        let row_stride = s.extents[2];
+        let plane_stride = s.extents[1] * s.extents[2];
+        let delta_y = axis_coord_delta(&t.access.0[1], sy) * row_stride;
+        let delta_z = axis_coord_delta(&t.access.0[0], sz) * plane_stride;
+        dy.push(delta_y as usize);
+        // after ny_rows y-advances the base sits at base + ny_rows·Δy; wrap
+        // to the next z-plane start with a (possibly negative) correction
+        dz_wrap.push(delta_z - ny_rows * delta_y);
+        taps.push(RtTap {
+            data: s.data,
+            base: base + xb,
+            slope,
+            coeff: t.coeff,
+        });
+    }
+
+    let needed = if count == 0 { 0 } else { (count - 1) * sx as usize + 1 };
+    let mut z = z0;
+    let mut ob_z = (z0 - oz) as usize * out_ps + (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
+    while z <= region.0[0].hi {
+        let mut y = y0;
+        let mut ob = ob_z;
+        while y <= region.0[1].hi {
+            run_row(out.row_mut(ob, needed), sx as usize, count, form.bias, &taps);
+            for (t, d) in taps.iter_mut().zip(&dy) {
+                t.base += d;
+            }
+            ob += sy as usize * out_rs;
+            y += sy;
+        }
+        for (t, w) in taps.iter_mut().zip(&dz_wrap) {
+            t.base = (t.base as i64 + w) as usize;
+        }
+        ob_z += sz as usize * out_ps;
+        z += sz;
+    }
+}
+
+/// Interpreter fallback: evaluate the expression per point.
+fn interpret_case(
+    expr: &Expr,
+    pattern: &ParityPattern,
+    region: &BoxDomain,
+    out: &mut KernelOut<'_>,
+    ins: &[KernelInput<'_>],
+    slot_boundary: &[f64],
+) {
+    let nd = region.ndims();
+    let mut point = vec![0i64; nd];
+    iterate_parity(region, pattern, nd, &mut point, 0, &mut |p| {
+        let v = expr.eval_at(p, &mut |op, idx| {
+            let Operand::Slot(k) = op else {
+                panic!("unresolved operand at execution time")
+            };
+            match &ins[*k] {
+                KernelInput::Grid(s) => s.at_or(idx, slot_boundary[*k]),
+                KernelInput::Zero => slot_boundary[*k],
+            }
+        });
+        let mut idx = 0usize;
+        for d in 0..nd {
+            idx = idx * out.extent(d) as usize + (p[d] - out.origin(d)) as usize;
+        }
+        out.row_mut(idx, 1)[0] = v;
+    });
+}
+
+fn iterate_parity(
+    region: &BoxDomain,
+    pattern: &ParityPattern,
+    nd: usize,
+    point: &mut Vec<i64>,
+    d: usize,
+    f: &mut impl FnMut(&[i64]),
+) {
+    if d == nd {
+        f(point);
+        return;
+    }
+    let Some((start, step)) = parity_start(region.0[d].lo, region.0[d].hi, pattern.0[d]) else {
+        return;
+    };
+    let mut v = start;
+    while v <= region.0[d].hi {
+        point[d] = v;
+        iterate_parity(region, pattern, nd, point, d + 1, f);
+        v += step;
+    }
+}
+
+/// Fill every cell of `out` *outside* `inner` with `value` — the scratchpad
+/// halo initialisation (ghost/boundary ring of a tile's alloc box).
+pub fn fill_outside(out: &mut SpaceMut<'_>, inner: &BoxDomain, value: f64) {
+    let nd = out.origin.len();
+    match nd {
+        2 => {
+            let (ey, ex) = (out.extents[0], out.extents[1]);
+            let iy = inner.0[0].shift(-out.origin[0]);
+            let ix = inner.0[1].shift(-out.origin[1]);
+            for y in 0..ey {
+                let row = &mut out.data[(y * ex) as usize..((y + 1) * ex) as usize];
+                if inner.is_empty() || !iy.contains(y) {
+                    row.fill(value);
+                } else {
+                    for (x, v) in row.iter_mut().enumerate() {
+                        if !ix.contains(x as i64) {
+                            *v = value;
+                        }
+                    }
+                }
+            }
+        }
+        3 => {
+            let (ez, ey, ex) = (out.extents[0], out.extents[1], out.extents[2]);
+            let iz = inner.0[0].shift(-out.origin[0]);
+            let iy = inner.0[1].shift(-out.origin[1]);
+            let ix = inner.0[2].shift(-out.origin[2]);
+            for z in 0..ez {
+                for y in 0..ey {
+                    let base = ((z * ey + y) * ex) as usize;
+                    let row = &mut out.data[base..base + ex as usize];
+                    if inner.is_empty() || !iz.contains(z) || !iy.contains(y) {
+                        row.fill(value);
+                    } else {
+                        for (x, v) in row.iter_mut().enumerate() {
+                            if !ix.contains(x as i64) {
+                                *v = value;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        d => panic!("unsupported rank {d}"),
+    }
+}
+
+/// Copy `region` (global coordinates) from `src` to `dst`.
+pub fn copy_box(src: &Space<'_>, dst: &mut SpaceMut<'_>, region: &BoxDomain) {
+    if region.is_empty() {
+        return;
+    }
+    let nd = region.ndims();
+    match nd {
+        2 => {
+            let (xl, xh) = (region.0[1].lo, region.0[1].hi);
+            let w = (xh - xl + 1) as usize;
+            for y in region.0[0].lo..=region.0[0].hi {
+                let sb = ((y - src.origin[0]) * src.extents[1] + (xl - src.origin[1])) as usize;
+                let db = ((y - dst.origin[0]) * dst.extents[1] + (xl - dst.origin[1])) as usize;
+                dst.data[db..db + w].copy_from_slice(&src.data[sb..sb + w]);
+            }
+        }
+        3 => {
+            let (xl, xh) = (region.0[2].lo, region.0[2].hi);
+            let w = (xh - xl + 1) as usize;
+            let sps = src.extents[1] * src.extents[2];
+            let dps = dst.extents[1] * dst.extents[2];
+            for z in region.0[0].lo..=region.0[0].hi {
+                for y in region.0[1].lo..=region.0[1].hi {
+                    let sb = ((z - src.origin[0]) * sps
+                        + (y - src.origin[1]) * src.extents[2]
+                        + (xl - src.origin[2])) as usize;
+                    let db = ((z - dst.origin[0]) * dps
+                        + (y - dst.origin[1]) * dst.extents[2]
+                        + (xl - dst.origin[2])) as usize;
+                    dst.data[db..db + w].copy_from_slice(&src.data[sb..sb + w]);
+                }
+            }
+        }
+        d => panic!("unsupported rank {d}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmg_ir::expr::{Access, AxisAccess};
+    use gmg_ir::{LinearForm, Tap};
+    use gmg_poly::Interval;
+    use polymg::{KernelCase, StageKernel};
+
+    fn space<'a>(data: &'a [f64], origin: &'a [i64], extents: &'a [i64]) -> Space<'a> {
+        Space {
+            data,
+            origin,
+            extents,
+        }
+    }
+
+    #[test]
+    fn space_indexing() {
+        let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let s = space(&data, &[2, 3], &[4, 5]);
+        assert_eq!(s.index(&[2, 3]), Some(0));
+        assert_eq!(s.index(&[3, 4]), Some(6));
+        assert_eq!(s.index(&[1, 3]), None);
+        assert_eq!(s.index(&[2, 8]), None);
+        assert_eq!(s.at_or(&[3, 4], -1.0), 6.0);
+        assert_eq!(s.at_or(&[0, 0], -1.0), -1.0);
+    }
+
+    fn stencil_kernel_2d() -> StageKernel {
+        // out = 0.25 * (in(y,x-1) + in(y,x+1) + in(y-1,x) + in(y+1,x))
+        let tap = |oy: i64, ox: i64| Tap {
+            slot: 0,
+            access: Access::offsets(&[oy, ox]),
+            coeff: 0.25,
+        };
+        StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Linear(LinearForm {
+                    bias: 0.0,
+                    taps: vec![tap(0, -1), tap(0, 1), tap(-1, 0), tap(1, 0)],
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn unit_stride_stencil_2d() {
+        // 6x6 input (origin 0), linear field f(y,x) = 10y + x: the 4-point
+        // average equals the centre value.
+        let n = 4i64;
+        let input: Vec<f64> = (0..36).map(|i| (10 * (i / 6) + i % 6) as f64).collect();
+        let mut outbuf = vec![0.0; 36];
+        let origin = [0i64, 0];
+        let ext = [6i64, 6];
+        let region = BoxDomain::interior(2, n);
+        let k = stencil_kernel_2d();
+        {
+            let mut out = SpaceMut {
+                data: &mut outbuf,
+                origin: &origin,
+                extents: &ext,
+            };
+            let ins = [KernelInput::Grid(space(&input, &origin, &ext))];
+            execute_stage(&k, &region, &mut out, &ins, &[0.0]);
+        }
+        for y in 1..=n {
+            for x in 1..=n {
+                let got = outbuf[(y * 6 + x) as usize];
+                assert!(
+                    (got - (10 * y + x) as f64).abs() < 1e-12,
+                    "at ({y},{x}): {got}"
+                );
+            }
+        }
+        // ghost untouched
+        assert_eq!(outbuf[0], 0.0);
+    }
+
+    #[test]
+    fn scratch_offset_output() {
+        // Output into a small window with non-zero origin.
+        let input: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let iorigin = [0i64, 0];
+        let iext = [8i64, 8];
+        let mut scratch = vec![-1.0; 3 * 4];
+        let sorigin = [2i64, 3];
+        let sext = [3i64, 4];
+        let region = BoxDomain::new(vec![Interval::new(2, 4), Interval::new(3, 6)]);
+        let k = stencil_kernel_2d();
+        {
+            let mut out = SpaceMut {
+                data: &mut scratch,
+                origin: &sorigin,
+                extents: &sext,
+            };
+            let ins = [KernelInput::Grid(space(&input, &iorigin, &iext))];
+            execute_stage(&k, &region, &mut out, &ins, &[0.0]);
+        }
+        // f(y,x) = 8y + x is linear → average = centre
+        for y in 2..=4i64 {
+            for x in 3..=6i64 {
+                let got = scratch[((y - 2) * 4 + (x - 3)) as usize];
+                assert!((got - (8 * y + x) as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_strided_reads() {
+        // out(y,x) = in(2y, 2x): stride-2 taps.
+        let input: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let iorigin = [0i64, 0];
+        let iext = [10i64, 10];
+        let mut outbuf = vec![0.0; 36];
+        let oorigin = [0i64, 0];
+        let oext = [6i64, 6];
+        let k = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Linear(LinearForm {
+                    bias: 0.0,
+                    taps: vec![Tap {
+                        slot: 0,
+                        access: Access(vec![AxisAccess::down(0), AxisAccess::down(0)]),
+                        coeff: 1.0,
+                    }],
+                }),
+            }],
+        };
+        let region = BoxDomain::interior(2, 4);
+        {
+            let mut out = SpaceMut {
+                data: &mut outbuf,
+                origin: &oorigin,
+                extents: &oext,
+            };
+            let ins = [KernelInput::Grid(space(&input, &iorigin, &iext))];
+            execute_stage(&k, &region, &mut out, &ins, &[0.0]);
+        }
+        for y in 1..=4i64 {
+            for x in 1..=4i64 {
+                assert_eq!(outbuf[(y * 6 + x) as usize], (2 * y * 10 + 2 * x) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_case_interp_1d_like() {
+        // 2-D interp in x only: even x copies in(y, x/2), odd x averages.
+        let input: Vec<f64> = (0..36).map(|i| (i % 6) as f64).collect(); // f = x
+        let iorigin = [0i64, 0];
+        let iext = [6i64, 6];
+        let mut outbuf = vec![0.0; 12 * 12];
+        let oorigin = [0i64, 0];
+        let oext = [12i64, 12];
+        let even = KernelCase {
+            pattern: ParityPattern(vec![Parity::Any, Parity::Even]),
+            body: KernelBody::Linear(LinearForm {
+                bias: 0.0,
+                taps: vec![Tap {
+                    slot: 0,
+                    access: Access(vec![AxisAccess::offset(0), AxisAccess::up(0)]),
+                    coeff: 1.0,
+                }],
+            }),
+        };
+        let odd = KernelCase {
+            pattern: ParityPattern(vec![Parity::Any, Parity::Odd]),
+            body: KernelBody::Linear(LinearForm {
+                bias: 0.0,
+                taps: vec![
+                    Tap {
+                        slot: 0,
+                        access: Access(vec![AxisAccess::offset(0), AxisAccess::up(-1)]),
+                        coeff: 0.5,
+                    },
+                    Tap {
+                        slot: 0,
+                        access: Access(vec![AxisAccess::offset(0), AxisAccess::up(1)]),
+                        coeff: 0.5,
+                    },
+                ],
+            }),
+        };
+        let k = StageKernel {
+            cases: vec![even, odd],
+        };
+        // region rows map back into input rows directly (offset 0 access):
+        // keep y within the input's rows.
+        let region = BoxDomain::new(vec![Interval::new(1, 5), Interval::new(2, 9)]);
+        {
+            let mut out = SpaceMut {
+                data: &mut outbuf,
+                origin: &oorigin,
+                extents: &oext,
+            };
+            let ins = [KernelInput::Grid(space(&input, &iorigin, &iext))];
+            execute_stage(&k, &region, &mut out, &ins, &[0.0]);
+        }
+        for y in 1..=5i64 {
+            for x in 2..=9i64 {
+                let got = outbuf[(y * 12 + x) as usize];
+                let want = x as f64 / 2.0;
+                assert!((got - want).abs() < 1e-12, "({y},{x}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_linear() {
+        // the same 4-point average via the interpreter
+        let input: Vec<f64> = (0..36).map(|i| ((i * 7) % 11) as f64).collect();
+        let origin = [0i64, 0];
+        let ext = [6i64, 6];
+        let region = BoxDomain::interior(2, 4);
+        let lin = stencil_kernel_2d();
+        let op = Operand::Slot(0);
+        let expr = 0.25 * (op.at(&[0, -1]) + op.at(&[0, 1]) + op.at(&[-1, 0]) + op.at(&[1, 0]));
+        let itp = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Interpreted(expr),
+            }],
+        };
+        let mut a = vec![0.0; 36];
+        let mut b = vec![0.0; 36];
+        for (k, buf) in [(&lin, &mut a), (&itp, &mut b)] {
+            let mut out = SpaceMut {
+                data: buf,
+                origin: &origin,
+                extents: &ext,
+            };
+            let ins = [KernelInput::Grid(space(&input, &origin, &ext))];
+            execute_stage(k, &region, &mut out, &ins, &[0.0]);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linear_3d_seven_point() {
+        let n = 3i64;
+        let e = n + 2;
+        let input: Vec<f64> = (0..e * e * e)
+            .map(|i| {
+                let z = i / (e * e);
+                let y = (i / e) % e;
+                let x = i % e;
+                (100 * z + 10 * y + x) as f64
+            })
+            .collect();
+        let mut outbuf = vec![0.0; (e * e * e) as usize];
+        let origin = [0i64, 0, 0];
+        let ext = [e, e, e];
+        let tap = |o: [i64; 3], c: f64| Tap {
+            slot: 0,
+            access: Access::offsets(&o),
+            coeff: c,
+        };
+        let k = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(3),
+                body: KernelBody::Linear(LinearForm {
+                    bias: 0.0,
+                    taps: vec![
+                        tap([0, 0, -1], 1.0 / 6.0),
+                        tap([0, 0, 1], 1.0 / 6.0),
+                        tap([0, -1, 0], 1.0 / 6.0),
+                        tap([0, 1, 0], 1.0 / 6.0),
+                        tap([-1, 0, 0], 1.0 / 6.0),
+                        tap([1, 0, 0], 1.0 / 6.0),
+                    ],
+                }),
+            }],
+        };
+        let region = BoxDomain::interior(3, n);
+        {
+            let mut out = SpaceMut {
+                data: &mut outbuf,
+                origin: &origin,
+                extents: &ext,
+            };
+            let ins = [KernelInput::Grid(space(&input, &origin, &ext))];
+            execute_stage(&k, &region, &mut out, &ins, &[0.0]);
+        }
+        for z in 1..=n {
+            for y in 1..=n {
+                for x in 1..=n {
+                    let got = outbuf[((z * e + y) * e + x) as usize];
+                    let want = (100 * z + 10 * y + x) as f64;
+                    assert!((got - want).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_outside_2d() {
+        let mut buf = vec![1.0; 25];
+        let origin = [0i64, 0];
+        let ext = [5i64, 5];
+        let inner = BoxDomain::new(vec![Interval::new(1, 3), Interval::new(2, 3)]);
+        {
+            let mut out = SpaceMut {
+                data: &mut buf,
+                origin: &origin,
+                extents: &ext,
+            };
+            fill_outside(&mut out, &inner, 9.0);
+        }
+        for y in 0..5i64 {
+            for x in 0..5i64 {
+                let v = buf[(y * 5 + x) as usize];
+                if inner.contains_point(&[y, x]) {
+                    assert_eq!(v, 1.0);
+                } else {
+                    assert_eq!(v, 9.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_outside_3d_and_copy_box() {
+        let mut buf = vec![1.0; 27];
+        let origin = [0i64, 0, 0];
+        let ext = [3i64, 3, 3];
+        let inner = BoxDomain::new(vec![
+            Interval::new(1, 1),
+            Interval::new(1, 1),
+            Interval::new(1, 1),
+        ]);
+        {
+            let mut out = SpaceMut {
+                data: &mut buf,
+                origin: &origin,
+                extents: &ext,
+            };
+            fill_outside(&mut out, &inner, 0.0);
+        }
+        assert_eq!(buf.iter().filter(|&&v| v == 1.0).count(), 1);
+        assert_eq!(buf[13], 1.0);
+
+        // copy the centre into another 3D space
+        let mut dst = vec![0.0; 27];
+        {
+            let s = space(&buf, &origin, &ext);
+            let mut d = SpaceMut {
+                data: &mut dst,
+                origin: &origin,
+                extents: &ext,
+            };
+            copy_box(&s, &mut d, &inner);
+        }
+        assert_eq!(dst[13], 1.0);
+        assert_eq!(dst.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn copy_box_2d_offset_spaces() {
+        let src_data: Vec<f64> = (0..36).map(|i| i as f64).collect();
+        let sorigin = [0i64, 0];
+        let sext = [6i64, 6];
+        let mut dd = vec![0.0; 9];
+        let dorigin = [2i64, 2];
+        let dext = [3i64, 3];
+        let region = BoxDomain::new(vec![Interval::new(2, 4), Interval::new(2, 4)]);
+        {
+            let s = space(&src_data, &sorigin, &sext);
+            let mut d = SpaceMut {
+                data: &mut dd,
+                origin: &dorigin,
+                extents: &dext,
+            };
+            copy_box(&s, &mut d, &region);
+        }
+        assert_eq!(dd[0], 14.0); // (2,2)
+        assert_eq!(dd[8], 28.0); // (4,4)
+    }
+
+    #[test]
+    fn empty_region_is_noop() {
+        let input = vec![0.0; 16];
+        let mut outbuf = vec![5.0; 16];
+        let origin = [0i64, 0];
+        let ext = [4i64, 4];
+        let k = stencil_kernel_2d();
+        let mut out = SpaceMut {
+            data: &mut outbuf,
+            origin: &origin,
+            extents: &ext,
+        };
+        let ins = [KernelInput::Grid(space(&input, &origin, &ext))];
+        execute_stage(&k, &BoxDomain::empty(2), &mut out, &ins, &[0.0]);
+        assert!(outbuf.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn bias_only_kernel() {
+        let mut outbuf = vec![0.0; 16];
+        let origin = [0i64, 0];
+        let ext = [4i64, 4];
+        let k = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Linear(LinearForm {
+                    bias: 3.5,
+                    taps: vec![],
+                }),
+            }],
+        };
+        let region = BoxDomain::interior(2, 2);
+        let mut out = SpaceMut {
+            data: &mut outbuf,
+            origin: &origin,
+            extents: &ext,
+        };
+        execute_stage(&k, &region, &mut out, &[], &[]);
+        assert_eq!(outbuf[5], 3.5);
+        assert_eq!(outbuf[0], 0.0);
+    }
+}

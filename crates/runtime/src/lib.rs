@@ -1,0 +1,38 @@
+//! # gmg-runtime — execution substrate for compiled PolyMG pipelines
+//!
+//! This crate is the Rust counterpart of the C code PolyMG generates
+//! (paper Figure 8) plus the runtime library it links against:
+//!
+//! * [`pool`] — the pooled memory allocator of §3.2.3 (`pool_allocate` /
+//!   `pool_deallocate`): buffers live across multigrid-cycle invocations,
+//!   requests are served from a free list of previously allocated arrays.
+//! * [`arena`] — per-worker scratchpad arenas for overlapped tiles (the
+//!   stack buffers declared inside the tile loop in Figure 8).
+//! * [`kernel`] — the specialised stencil loops executing lowered
+//!   [`polymg::KernelBody`] cases over a region: parity-dispatched,
+//!   unit-stride fast paths, with a checked generic path and an interpreter
+//!   fallback.
+//! * [`exec`] — the engine: runs a [`polymg::CompiledPipeline`] group by
+//!   group — untiled sweeps, overlapped tiles in parallel with scratchpads
+//!   (rayon), or diamond/split time tiling for smoother chains.
+//! * [`interp`] — a deliberately simple reference interpreter used as the
+//!   correctness oracle in tests.
+//!
+//! ## Safety
+//!
+//! Parallel tiles write disjoint *boxes* of the same output arrays, which
+//! cannot be expressed as slice splitting. All such writes go through the
+//! [`exec::tilebuf`] wrapper, whose single `unsafe` block is justified by
+//! the owned-region partition property of the planner (each output point is
+//! owned by exactly one tile — property-tested in `gmg-poly` and asserted
+//! in the integration suite).
+
+pub mod arena;
+pub mod exec;
+pub mod interp;
+pub mod kernel;
+pub mod pool;
+pub mod tilebuf;
+
+pub use exec::{Engine, RunStats};
+pub use pool::{BufferPool, PoolStats};

@@ -1,0 +1,154 @@
+//! The pooled memory allocator of §3.2.3.
+//!
+//! "We use a pooled memory allocator with appropriate interface calls to it
+//! generated along with the output code. […] arrays are actually allocated
+//! at the entry of the first multigrid cycle, and are all freed after the
+//! last call to it."
+//!
+//! [`BufferPool::allocate`] scans the free list for a buffer of the exact
+//! requested length and recycles it, otherwise it allocates fresh (a real
+//! `malloc`). [`BufferPool::deallocate`] is a table update returning the
+//! buffer to the free list. Statistics track how many `malloc`s the pool
+//! avoided and the peak live footprint — the quantities behind Figure 11b.
+
+use gmg_grid::Buffer;
+use std::collections::HashMap;
+
+/// Allocation statistics of a pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served by recycling a free buffer.
+    pub hits: usize,
+    /// Requests that had to allocate fresh memory.
+    pub misses: usize,
+    /// Bytes currently handed out.
+    pub live_bytes: usize,
+    /// Maximum of `live_bytes` over the pool's lifetime.
+    pub peak_live_bytes: usize,
+    /// Total bytes ever allocated fresh (resident footprint of the pool).
+    pub allocated_bytes: usize,
+}
+
+/// A size-keyed pool of `f64` buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: HashMap<usize, Vec<Buffer>>,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// New, empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `pool_allocate`: get a buffer of exactly `len` doubles. Recycled
+    /// buffers keep their previous contents — callers must re-initialise
+    /// whatever they rely on (the engine refills ghost rings).
+    pub fn allocate(&mut self, len: usize) -> Buffer {
+        let bytes = len * std::mem::size_of::<f64>();
+        self.stats.live_bytes += bytes;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        if let Some(buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.stats.hits += 1;
+            buf
+        } else {
+            self.stats.misses += 1;
+            self.stats.allocated_bytes += bytes;
+            Buffer::zeroed(len)
+        }
+    }
+
+    /// `pool_deallocate`: return a buffer to the free list.
+    pub fn deallocate(&mut self, buf: Buffer) {
+        let bytes = buf.byte_len();
+        self.stats.live_bytes = self.stats.live_bytes.saturating_sub(bytes);
+        self.free.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of buffers sitting in the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+
+    /// Drop all cached buffers (the "freed after the last call" moment).
+    pub fn clear(&mut self) {
+        self.free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_exact_sizes() {
+        let mut p = BufferPool::new();
+        let a = p.allocate(100);
+        p.deallocate(a);
+        let _b = p.allocate(100);
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+        assert_eq!(p.stats().allocated_bytes, 800);
+    }
+
+    #[test]
+    fn different_sizes_do_not_mix() {
+        let mut p = BufferPool::new();
+        let a = p.allocate(100);
+        p.deallocate(a);
+        let _b = p.allocate(200);
+        assert_eq!(p.stats().hits, 0);
+        assert_eq!(p.stats().misses, 2);
+    }
+
+    #[test]
+    fn peak_tracks_concurrent_liveness() {
+        let mut p = BufferPool::new();
+        let a = p.allocate(10);
+        let b = p.allocate(10);
+        assert_eq!(p.stats().live_bytes, 160);
+        assert_eq!(p.stats().peak_live_bytes, 160);
+        p.deallocate(a);
+        p.deallocate(b);
+        assert_eq!(p.stats().live_bytes, 0);
+        let _c = p.allocate(10);
+        assert_eq!(p.stats().peak_live_bytes, 160, "peak must not reset");
+        // resident footprint: only 2 buffers were ever malloc'd
+        assert_eq!(p.stats().allocated_bytes, 160);
+    }
+
+    #[test]
+    fn across_cycles_no_new_mallocs() {
+        // the §3.2.3 scenario: after the first cycle warms the pool, later
+        // cycles allocate nothing new
+        let mut p = BufferPool::new();
+        for cycle in 0..3 {
+            let bufs: Vec<Buffer> = (0..4).map(|i| p.allocate(64 * (i + 1))).collect();
+            for b in bufs {
+                p.deallocate(b);
+            }
+            if cycle == 0 {
+                assert_eq!(p.stats().misses, 4);
+            }
+        }
+        assert_eq!(p.stats().misses, 4);
+        assert_eq!(p.stats().hits, 8);
+        assert_eq!(p.free_count(), 4);
+    }
+
+    #[test]
+    fn clear_empties_free_list() {
+        let mut p = BufferPool::new();
+        let a = p.allocate(8);
+        p.deallocate(a);
+        assert_eq!(p.free_count(), 1);
+        p.clear();
+        assert_eq!(p.free_count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Raw-pointer plumbing for tile-parallel writes into shared output arrays.
+//!
+//! Tiles write disjoint boxes of the same array; slices cannot express that,
+//! so writers go through [`SharedOut`], which derives per-row `&mut [f64]`
+//! segments from a raw pointer. Soundness rests on the planner's owned-region
+//! partition (each output point belongs to exactly one tile — property
+//! tested in `gmg-poly::tiling` and re-asserted by the integration suite)
+//! and, for diamond execution, on the band-height clamp of
+//! `gmg_poly::diamond` that keeps concurrent trapezoids on disjoint rows of
+//! each parity buffer.
+
+use crate::kernel::Space;
+use gmg_poly::BoxDomain;
+
+/// A shared, tile-writable view of one full array.
+#[derive(Clone, Copy)]
+pub struct SharedOut {
+    ptr: *mut f64,
+    len: usize,
+}
+
+unsafe impl Send for SharedOut {}
+unsafe impl Sync for SharedOut {}
+
+impl SharedOut {
+    /// Wrap an exclusive slice. The caller promises that concurrent
+    /// writers touch disjoint index ranges.
+    pub fn new(data: &mut [f64]) -> Self {
+        SharedOut {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+        }
+    }
+
+    /// Length of the underlying array.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A mutable row segment `[off, off+w)`.
+    ///
+    /// # Safety
+    /// No other live reference (read or write) may overlap the segment,
+    /// and the returned borrow must not outlive the array the
+    /// `SharedOut` was built from (the lifetime is unconstrained by
+    /// construction from a raw pointer).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn segment<'s>(&self, off: usize, w: usize) -> &'s mut [f64] {
+        debug_assert!(off + w <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(off), w)
+    }
+
+    /// A shared segment `[off, off+w)`.
+    ///
+    /// # Safety
+    /// No concurrent writer may overlap the segment; same lifetime
+    /// caveat as [`Self::segment`].
+    pub unsafe fn read_segment<'s>(&self, off: usize, w: usize) -> &'s [f64] {
+        debug_assert!(off + w <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(off), w)
+    }
+
+    /// Copy `region` (global coordinates) from `src` into this array,
+    /// which has dense extents `extents` and origin 0.
+    ///
+    /// # Safety
+    /// The region must be disjoint from every concurrent access.
+    pub unsafe fn copy_box_from(&self, src: &Space<'_>, extents: &[i64], region: &BoxDomain) {
+        if region.is_empty() {
+            return;
+        }
+        let nd = extents.len();
+        let xl = region.0[nd - 1].lo;
+        let w = region.0[nd - 1].len() as usize;
+        match nd {
+            2 => {
+                for y in region.0[0].lo..=region.0[0].hi {
+                    let off = (y * extents[1] + xl) as usize;
+                    let sb = ((y - src.origin[0]) * src.extents[1] + (xl - src.origin[1])) as usize;
+                    self.segment(off, w).copy_from_slice(&src.data[sb..sb + w]);
+                }
+            }
+            3 => {
+                let ps = extents[1] * extents[2];
+                let sps = src.extents[1] * src.extents[2];
+                for z in region.0[0].lo..=region.0[0].hi {
+                    for y in region.0[1].lo..=region.0[1].hi {
+                        let off = (z * ps + y * extents[2] + xl) as usize;
+                        let sb = ((z - src.origin[0]) * sps
+                            + (y - src.origin[1]) * src.extents[2]
+                            + (xl - src.origin[2])) as usize;
+                        self.segment(off, w).copy_from_slice(&src.data[sb..sb + w]);
+                    }
+                }
+            }
+            d => panic!("unsupported rank {d}"),
+        }
+    }
+}

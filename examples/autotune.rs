@@ -1,0 +1,51 @@
+//! Auto-tuning demo (§3.2.4): sweep the paper's tile-size × grouping-limit
+//! space for a 2-D V-cycle and report the best configuration.
+//!
+//! ```sh
+//! cargo run --release --example autotune          # strided subsample
+//! cargo run --release --example autotune -- full  # all 80 configurations
+//! ```
+
+use polymg_repro::compiler::autotune::{tune, TuneConfig};
+use polymg_repro::compiler::{PipelineOptions, Variant};
+use polymg_repro::ir::ParamBindings;
+use polymg_repro::mg::config::{CycleType, MgConfig, SmoothSteps};
+use polymg_repro::mg::cycles::build_cycle_pipeline;
+use polymg_repro::mg::solver::{setup_poisson, time_cycles, DslRunner};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let stride = if full { 1 } else { 8 };
+
+    let cfg = MgConfig::new(2, 511, CycleType::V, SmoothSteps::s1000());
+    let pipeline = build_cycle_pipeline(&cfg);
+    let (v0, f, _) = setup_poisson(&cfg);
+
+    println!(
+        "tuning {} over the §3.2.4 2-D space (stride {stride}) …",
+        cfg.tag()
+    );
+    let evaluate = |tc: &TuneConfig| -> f64 {
+        let base = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        let opts = tc.apply(&base);
+        let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+        let mut runner = DslRunner::from_plan(plan, &cfg);
+        let mut v = v0.clone();
+        let secs = time_cycles(&mut runner, &mut v, &f, 2).as_secs_f64();
+        println!(
+            "  tiles {:?} group-limit {:>2} → {secs:.4}s",
+            tc.tile_sizes, tc.group_limit
+        );
+        secs
+    };
+
+    let (samples, best) = tune(2, stride, evaluate);
+    let b = &samples[best];
+    println!(
+        "\nbest of {} configurations: tiles {:?}, group limit {} ({:.4}s)",
+        samples.len(),
+        b.config.tile_sizes,
+        b.config.group_limit,
+        b.metric
+    );
+}

@@ -1,0 +1,57 @@
+//! Simulated distributed-memory multigrid: rank decomposition, halo
+//! exchange, and the communication-aggregation trade-off (§5 of the paper:
+//! "equivalent to overlapped tiling, but applied in a distributed-memory
+//! parallelization setting").
+//!
+//! ```sh
+//! cargo run --release --example distributed
+//! ```
+
+use polymg_repro::dist::DistPoisson2D;
+use polymg_repro::mg::config::{CycleType, MgConfig, SmoothSteps};
+use polymg_repro::mg::handopt::HandOpt;
+use polymg_repro::mg::solver::setup_poisson;
+
+fn main() {
+    let cfg = MgConfig::new(2, 511, CycleType::V, SmoothSteps::s444());
+    let (v0, f, _) = setup_poisson(&cfg);
+
+    // shared-memory reference
+    let mut reference = v0.clone();
+    let mut hand = HandOpt::new(cfg.clone());
+    for _ in 0..3 {
+        hand.cycle(&mut reference, &f);
+    }
+
+    println!(
+        "V-2D-4-4-4 on 511², 3 cycles, 8 ranks — ghost depth sweep \
+         (communication aggregation):\n"
+    );
+    println!(
+        "  {:>5} {:>10} {:>14} {:>18} {:>12}",
+        "depth", "messages", "halo doubles", "redundant points", "max dev"
+    );
+    for depth in [1i64, 2, 4, 8] {
+        let mut dist = DistPoisson2D::new(cfg.clone(), 8, depth);
+        let mut v = v0.clone();
+        for _ in 0..3 {
+            dist.cycle(&mut v, &f);
+        }
+        let dev = v
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let s = dist.stats();
+        println!(
+            "  {depth:>5} {:>10} {:>14} {:>18} {:>12.2e}",
+            s.messages, s.doubles, dist.redundant_points, dev
+        );
+        assert!(dev < 1e-12);
+    }
+    println!(
+        "\ndeeper ghosts ⇒ fewer messages, more redundant smoothing work —\n\
+         the same trade-off overlapped tiling makes on shared memory; all\n\
+         depths compute the identical solution."
+    );
+}

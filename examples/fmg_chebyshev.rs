@@ -1,0 +1,90 @@
+//! Extensions demo: Full Multigrid (FMG) driving any cycle implementation,
+//! red-black Gauss–Seidel smoothing, and Chebyshev polynomial smoothing —
+//! the algorithmic directions the paper's related-work section points at
+//! (HPGMG integration, GSRB as two parity grids, polynomial smoothers).
+//!
+//! ```sh
+//! cargo run --release --example fmg_chebyshev
+//! ```
+
+use polymg_repro::compiler::{compile, PipelineOptions, Variant};
+use polymg_repro::ir::{ParamBindings, Pipeline, StageGraph};
+use polymg_repro::mg::chebyshev::build_chebyshev_chain;
+use polymg_repro::mg::config::{CycleType, MgConfig, SmoothSteps};
+use polymg_repro::mg::fmg::fmg_solve;
+use polymg_repro::mg::handopt::HandOpt;
+use polymg_repro::mg::solver::DslRunner;
+
+fn main() {
+    // ---- 1. FMG: solve to discretisation accuracy in one sweep ---------
+    let mut finest = MgConfig::new(
+        2,
+        511,
+        CycleType::V,
+        SmoothSteps {
+            pre: 3,
+            coarse: 60,
+            post: 3,
+        },
+    );
+    finest.levels = 7;
+
+    println!("FMG (one V-cycle per level), 7² → 511², Jacobi smoothing:");
+    let t0 = std::time::Instant::now();
+    let r = fmg_solve(&finest, 7, 1, |c| Box::new(HandOpt::new(c.clone())));
+    println!(
+        "  handopt      : {:?}, residual {:.2e} → {:.2e}, max error {:.2e} (h² = {:.2e})",
+        t0.elapsed(),
+        r.initial_residual,
+        r.final_residual,
+        r.max_error,
+        (1.0f64 / 512.0).powi(2)
+    );
+
+    let t0 = std::time::Instant::now();
+    let r = fmg_solve(&finest, 7, 1, |c| {
+        let opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        Box::new(DslRunner::new(c, opts, "polymg-opt+").expect("compile"))
+    });
+    println!(
+        "  polymg-opt+  : {:?}, max error {:.2e}",
+        t0.elapsed(),
+        r.max_error
+    );
+
+    // ---- 2. GSRB through the DSL's parity cases ------------------------
+    let gs = finest.clone().with_gsrb();
+    let t0 = std::time::Instant::now();
+    let r = fmg_solve(&gs, 7, 1, |c| {
+        let opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        Box::new(DslRunner::new(c, opts, "polymg-opt+/gsrb").expect("compile"))
+    });
+    println!(
+        "  opt+ / GSRB  : {:?}, max error {:.2e}",
+        t0.elapsed(),
+        r.max_error
+    );
+
+    // ---- 3. Chebyshev smoothing chain, compiled & fused ----------------
+    let cfg = MgConfig::new(2, 255, CycleType::V, SmoothSteps::s444());
+    let level = cfg.levels - 1;
+    let mut p = Pipeline::new("chebyshev-demo");
+    let v = p.input("V", 2, cfg.n_at(level), level);
+    let f = p.input("F", 2, cfg.n_at(level), level);
+    let out = build_chebyshev_chain(&mut p, &cfg, "s", Some(v), f, level, 8);
+    p.mark_output(out);
+    let graph = StageGraph::build(&p, &ParamBindings::new());
+    let plan = compile(
+        &p,
+        &ParamBindings::new(),
+        PipelineOptions::for_variant(Variant::OptPlus, 2),
+    )
+    .expect("compile");
+    println!(
+        "\nChebyshev(8) chain on 255²: {} stages fused into {} group(s), \
+         {} scratchpads after reuse",
+        graph.num_compute_stages(),
+        plan.groups.len(),
+        plan.total_scratch_buffers()
+    );
+}

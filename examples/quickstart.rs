@@ -1,0 +1,64 @@
+//! Quickstart: solve a 2-D Poisson problem with a PolyMG-compiled V-cycle.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the V-cycle pipeline in the DSL, compiles it with the full
+//! `polymg-opt+` optimization set (fusion + overlapped tiling + all storage
+//! optimizations + pooled allocation), and iterates it on the manufactured
+//! problem `−∇²u = 2π² sin(πx) sin(πy)` until the residual has dropped ten
+//! orders of magnitude.
+
+use polymg_repro::compiler::{PipelineOptions, Variant};
+use polymg_repro::mg::config::{CycleType, MgConfig, SmoothSteps};
+use polymg_repro::mg::solver::{residual_norm, setup_poisson, CycleRunner, DslRunner};
+
+fn main() {
+    // 511² interior points, V(4,·,4); 7 levels take the coarsest grid down
+    // to 7², where 100 Jacobi sweeps solve it essentially exactly
+    let mut cfg = MgConfig::new(
+        2,
+        511,
+        CycleType::V,
+        SmoothSteps {
+            pre: 4,
+            coarse: 100,
+            post: 4,
+        },
+    );
+    cfg.levels = 7;
+
+    let opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+    let mut runner =
+        DslRunner::new(&cfg, opts, "polymg-opt+").expect("pipeline failed to compile");
+
+    println!(
+        "compiled {}: {} stages in {} groups",
+        cfg.tag(),
+        runner.engine().plan().graph.num_compute_stages(),
+        runner.engine().plan().groups.len()
+    );
+
+    let (mut v, f, u_exact) = setup_poisson(&cfg);
+    let n = cfg.n_at(cfg.levels - 1);
+    let h = cfg.h_at(cfg.levels - 1);
+
+    let r0 = residual_norm(2, n, h, &v, &f);
+    println!("initial residual: {r0:.3e}");
+    for it in 1..=12 {
+        runner.cycle(&mut v, &f);
+        let r = residual_norm(2, n, h, &v, &f);
+        println!("cycle {it:>2}: residual {r:.3e}  (reduction {:.3e})", r / r0);
+        if r < r0 * 1e-10 {
+            break;
+        }
+    }
+
+    // error against the manufactured solution (bounded by discretisation)
+    let mut max_err = 0.0f64;
+    for (a, b) in v.iter().zip(&u_exact) {
+        max_err = max_err.max((a - b).abs());
+    }
+    println!("max error vs exact solution: {max_err:.3e} (O(h²) = {:.3e})", h * h);
+}

@@ -1,0 +1,159 @@
+//! Failure-injection tests: malformed programs and mis-bound executions
+//! must fail loudly with actionable diagnostics, never silently compute
+//! garbage.
+
+use polymg_repro::compiler::{compile, PipelineOptions, Variant};
+use polymg_repro::ir::expr::{Access, AxisAccess, Operand};
+use polymg_repro::ir::{ParamBindings, Parity, ParityPattern, Pipeline, StepCount};
+use polymg_repro::runtime::Engine;
+
+fn opts() -> PipelineOptions {
+    PipelineOptions::for_variant(Variant::OptPlus, 2)
+}
+
+#[test]
+fn out_of_bounds_stencil_is_a_compile_error() {
+    let mut p = Pipeline::new("oob");
+    let v = p.input("V", 2, 15, 0);
+    // radius-2 read: needs ghost depth 2, only 1 is available
+    let a = p.function("a", 2, 15, 0, Operand::Func(v).at(&[0, 2]));
+    p.mark_output(a);
+    let err = compile(&p, &ParamBindings::new(), opts()).unwrap_err();
+    assert!(
+        err.iter().any(|e| e.contains("reads of 'V'")),
+        "diagnostics: {err:?}"
+    );
+}
+
+#[test]
+fn incomplete_parity_cases_are_a_compile_error() {
+    let mut p = Pipeline::new("gap");
+    let v = p.input("V", 2, 15, 0);
+    let cases = vec![(
+        ParityPattern(vec![Parity::Even, Parity::Any]),
+        Operand::Func(v).at(&[0, 0]),
+    )];
+    let a = p.function_cases("a", 2, 15, 0, cases);
+    p.mark_output(a);
+    let err = compile(&p, &ParamBindings::new(), opts()).unwrap_err();
+    assert!(err.iter().any(|e| e.contains("no case covers")), "{err:?}");
+}
+
+#[test]
+fn ambiguous_upsampling_is_a_compile_error() {
+    let mut p = Pipeline::new("amb");
+    let v = p.input("V", 2, 7, 0);
+    // /2 access without a parity-pinned case: which coarse point?
+    let a = p.function(
+        "a",
+        2,
+        14,
+        0,
+        Operand::Func(v).read(Access(vec![AxisAccess::up(0), AxisAccess::up(0)])),
+    );
+    p.mark_output(a);
+    let err = compile(&p, &ParamBindings::new(), opts()).unwrap_err();
+    assert!(
+        err.iter().any(|e| e.contains("parity-pinned")),
+        "{err:?}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "unbound")]
+fn unbound_step_parameter_panics_at_unroll() {
+    let mut p = Pipeline::new("unb");
+    let t = p.parameter("T");
+    let v = p.input("V", 2, 15, 0);
+    let sm = p.tstencil(
+        "sm",
+        2,
+        15,
+        0,
+        StepCount::Param(t),
+        Some(v),
+        Operand::State.at(&[0, 0]) * 0.5,
+    );
+    p.mark_output(sm);
+    let _ = compile(&p, &ParamBindings::new(), opts());
+}
+
+#[test]
+#[should_panic(expected = "not bound")]
+fn missing_input_binding_panics_at_run() {
+    let mut p = Pipeline::new("miss");
+    let v = p.input("V", 2, 15, 0);
+    let a = p.function("a", 2, 15, 0, Operand::Func(v).at(&[0, 0]) * 2.0);
+    p.mark_output(a);
+    let plan = compile(&p, &ParamBindings::new(), opts()).unwrap();
+    let mut engine = Engine::new(plan);
+    let mut out = vec![0.0; 17 * 17];
+    engine.run(&[], vec![("a", &mut out)]); // V never bound
+}
+
+#[test]
+#[should_panic(expected = "wrong size")]
+fn missized_input_panics_at_run() {
+    let mut p = Pipeline::new("size");
+    let v = p.input("V", 2, 15, 0);
+    let a = p.function("a", 2, 15, 0, Operand::Func(v).at(&[0, 0]) * 2.0);
+    p.mark_output(a);
+    let plan = compile(&p, &ParamBindings::new(), opts()).unwrap();
+    let mut engine = Engine::new(plan);
+    let vin = vec![0.0; 10]; // must be 17*17
+    let mut out = vec![0.0; 17 * 17];
+    engine.run(&[("V", &vin)], vec![("a", &mut out)]);
+}
+
+#[test]
+#[should_panic(expected = "feed-forward")]
+fn forward_reference_panics_at_build() {
+    use polymg_repro::ir::FuncId;
+    let mut p = Pipeline::new("fwd");
+    let _ = p.function("a", 2, 15, 0, Operand::Func(FuncId(7)).at(&[0, 0]));
+}
+
+#[test]
+#[should_panic(expected = "duplicate function name")]
+fn duplicate_names_panic_at_build() {
+    let mut p = Pipeline::new("dup");
+    p.input("V", 2, 15, 0);
+    p.input("V", 2, 15, 0);
+}
+
+#[test]
+fn nonlinear_pipelines_still_execute_via_interpreter() {
+    // not an error path per se: nonlinear definitions must degrade
+    // gracefully to the interpreter and still match it under optimization
+    let mut p = Pipeline::new("nl");
+    let v = p.input("V", 2, 15, 0);
+    let sq = p.function(
+        "sq",
+        2,
+        15,
+        0,
+        Operand::Func(v).at(&[0, 0]) * Operand::Func(v).at(&[0, -1]) + 1.0,
+    );
+    p.mark_output(sq);
+    let plan = compile(&p, &ParamBindings::new(), opts()).unwrap();
+    assert!(!plan.kernels[1].as_ref().unwrap().fully_linear());
+    let graph = plan.graph.clone();
+    let mut engine = Engine::new(plan);
+    let e = 17usize;
+    let mut vin = vec![0.0; e * e];
+    for (i, x) in vin.iter_mut().enumerate() {
+        *x = ((i % 5) as f64) - 2.0;
+    }
+    // ghost ring to zero
+    for k in 0..e {
+        for (a, b) in [(0, k), (e - 1, k), (k, 0), (k, e - 1)] {
+            vin[a * e + b] = 0.0;
+        }
+    }
+    let mut got = vec![0.0; e * e];
+    engine.run(&[("V", &vin)], vec![("sq", &mut got)]);
+    let reference = polymg_repro::runtime::interp::run_reference(&graph, &[("V", &vin)]);
+    for (a, b) in got.iter().zip(&reference["sq"]) {
+        assert!((a - b).abs() < 1e-13);
+    }
+}
