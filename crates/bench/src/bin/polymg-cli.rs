@@ -5,6 +5,7 @@
 //! polymg-cli <benchmark> [--variant naive|opt|opt+|dtile-opt+]
 //!            [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb]
 //!            [--emit dump|dot|c|stats] [-o FILE]
+//!            [--profile OUT.json [--iters N]]
 //!
 //! <benchmark> ∈ {V-2D, W-2D, F-2D, V-3D, W-3D, F-3D} with an optional
 //! smoothing suffix, e.g. V-2D-4-4-4 or W-3D-10-0-0 (default 4-4-4).
@@ -13,6 +14,12 @@
 //! `--emit c` writes the Figure-8 C translation unit; `--emit dot` the
 //! Graphviz DAG; `--emit dump` the Figures-6/7 grouping report (default);
 //! `--emit stats` a one-line plan summary.
+//!
+//! `--profile OUT.json` additionally *executes* the compiled plan (`--iters`
+//! multigrid cycles on the manufactured Poisson problem, default 2) under a
+//! `gmg-trace` handle and writes the captured profile — per-stage times,
+//! kernel-dispatch histogram, pool/arena counters, per-cycle residuals — as
+//! JSON. It also prints the human-readable observability dump to stderr.
 
 use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
 use gmg_multigrid::cycles::build_cycle_pipeline;
@@ -21,7 +28,8 @@ use polymg::{codegen, compile, report, PipelineOptions, Variant};
 fn usage() -> ! {
     eprintln!(
         "usage: polymg-cli <V-2D[-a-b-c]|W-3D[-a-b-c]|…> [--variant naive|opt|opt+|dtile-opt+]\n\
-         \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--emit dump|dot|c|stats] [-o FILE]"
+         \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--emit dump|dot|c|stats] [-o FILE]\n\
+         \x20      [--profile OUT.json [--iters N]]"
     );
     std::process::exit(2);
 }
@@ -65,6 +73,8 @@ fn main() {
     let mut emit = "dump".to_string();
     let mut out_file: Option<String> = None;
     let mut gsrb = false;
+    let mut profile: Option<String> = None;
+    let mut profile_iters = 2usize;
 
     let mut i = 1;
     while i < args.len() {
@@ -104,6 +114,14 @@ fn main() {
             "-o" => {
                 i += 1;
                 out_file = Some(args[i].clone());
+            }
+            "--profile" => {
+                i += 1;
+                profile = Some(args[i].clone());
+            }
+            "--iters" => {
+                i += 1;
+                profile_iters = args[i].parse().unwrap_or_else(|_| usage());
             }
             _ => usage(),
         }
@@ -168,5 +186,28 @@ fn main() {
             eprintln!("wrote {f}");
         }
         None => print!("{output}"),
+    }
+
+    if let Some(path) = profile {
+        use gmg_multigrid::solver::{run_cycles_traced, setup_poisson, CycleRunner as _};
+        let trace = gmg_trace::Trace::enabled();
+        trace.set_meta("tool", "polymg-cli");
+        trace.set_meta("benchmark", cfg.tag());
+        trace.set_meta("variant", variant.label());
+        let mut runner = gmg_multigrid::solver::DslRunner::from_plan(plan, &cfg);
+        runner.set_trace(trace.clone());
+        let (mut v, f, _) = setup_poisson(&cfg);
+        let res = run_cycles_traced(&mut runner, &cfg, &mut v, &f, profile_iters, &trace);
+        match trace.report() {
+            Some(rep) => {
+                eprint!("{}", report::observability_dump(runner.engine_mut().plan(), &rep));
+                std::fs::write(&path, rep.to_json()).expect("write profile");
+                eprintln!(
+                    "wrote profile {path} ({profile_iters} cycles, final residual {:.3e})",
+                    res.norms.last().copied().unwrap_or(res.res0)
+                );
+            }
+            None => eprintln!("gmg-trace built without `capture`; {path} not written"),
+        }
     }
 }

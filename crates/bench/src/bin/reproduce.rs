@@ -3,11 +3,17 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT] [--class smoke|B|C|paperB|paperC] [--iters N]
-//!           [--repeats N] [--stride N] [--threads N]
+//!           [--repeats N] [--stride N] [--threads N] [--profile OUT.json]
 //!
 //! EXPERIMENT ∈ {table2, table3, fig9, fig10, fig11a, fig11b, fig12,
 //!               grouping, memory, all}   (default: all)
 //! ```
+//!
+//! `--profile OUT.json` attaches a `gmg-trace` handle to every engine the
+//! experiments build and writes the aggregated profile (per-stage times,
+//! tile/cell counts, kernel-dispatch histogram, pool/arena/comm counters,
+//! per-cycle residuals) as structured JSON when the run finishes. See
+//! DESIGN.md §Observability for the schema.
 //!
 //! Scaled classes are the default (see DESIGN.md). `--class C --repeats 2`
 //! reproduces the EXPERIMENTS.md numbers.
@@ -26,6 +32,7 @@ fn main() {
     let mut repeats = 2usize;
     let mut stride = 8usize;
     let mut threads = 1usize;
+    let mut profile: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -57,17 +64,38 @@ fn main() {
                 i += 1;
                 threads = args[i].parse().expect("--threads N");
             }
+            "--profile" => {
+                i += 1;
+                profile = Some(args[i].clone());
+            }
             name if !name.starts_with("--") => exp = name.to_string(),
             other => panic!("unknown flag '{other}'"),
         }
         i += 1;
     }
 
+    let trace = if profile.is_some() {
+        let t = gmg_trace::Trace::enabled();
+        if !t.is_enabled() {
+            eprintln!(
+                "warning: --profile requested but gmg-trace was built without \
+                 the `capture` feature; the profile will be empty"
+            );
+        }
+        t.set_meta("tool", "reproduce");
+        t.set_meta("experiment", &exp);
+        t.set_meta("class", class.tag());
+        t
+    } else {
+        gmg_trace::Trace::disabled()
+    };
+
     let o = ExpOptions {
         class,
         iters_override: iters,
         repeats,
         threads: vec![threads],
+        trace: trace.clone(),
     };
 
     let run = |name: &str| exp == "all" || exp == name;
@@ -116,5 +144,19 @@ fn main() {
     if run("memory") {
         print!("{}", memory_report(&o));
         println!();
+    }
+
+    if let Some(path) = profile {
+        match trace.report() {
+            Some(rep) => {
+                std::fs::write(&path, rep.to_json()).expect("write profile");
+                eprintln!(
+                    "wrote profile {path} ({} stages, {} cycles recorded)",
+                    rep.stages.len(),
+                    rep.cycles.len()
+                );
+            }
+            None => eprintln!("no profile data captured; {path} not written"),
+        }
     }
 }

@@ -11,9 +11,11 @@ use gmg_ir::stencil::{stencil_2d, stencil_3d};
 use gmg_ir::{ParamBindings, Pipeline, StepCount};
 use gmg_multigrid::config::{CycleType, MgConfig, SizeClass, SmoothSteps};
 use gmg_multigrid::cycles::build_cycle_pipeline;
+use gmg_multigrid::solver::CycleRunner as _;
 use gmg_nas::dsl::NasDsl;
 use gmg_nas::reference::NasReference;
 use gmg_runtime::Engine;
+use gmg_trace::Trace;
 use polymg::{PipelineOptions, Variant};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -28,6 +30,10 @@ pub struct ExpOptions {
     pub repeats: usize,
     /// Thread counts for scaling rows.
     pub threads: Vec<usize>,
+    /// Shared trace handle; disabled unless `--profile` asked for one.
+    /// Cloned into every engine the experiments construct, so one profile
+    /// file aggregates the whole run.
+    pub trace: Trace,
 }
 
 impl ExpOptions {
@@ -38,6 +44,7 @@ impl ExpOptions {
             iters_override: Some(2),
             repeats: 1,
             threads: vec![1],
+            trace: Trace::disabled(),
         }
     }
 
@@ -48,6 +55,7 @@ impl ExpOptions {
             iters_override: None,
             repeats: 2,
             threads: vec![1],
+            trace: Trace::disabled(),
         }
     }
 
@@ -161,6 +169,7 @@ pub fn fig_speedups(ndims: usize, o: &ExpOptions) -> String {
         let mut rows = Vec::new();
         for kind in ImplKind::all() {
             let mut r = make_runner(&cfg, kind, o.threads[0]);
+            r.set_trace(o.trace.clone());
             let t = min_time(&mut *r, &cfg, iters, o.repeats);
             rows.push((kind, t.seconds()));
         }
@@ -244,11 +253,9 @@ pub fn smoother_pipeline(ndims: usize, n: i64, steps: usize, omega: f64) -> Pipe
     let lap = match ndims {
         2 => stencil_2d(
             Op::State,
-            &vec![
-                vec![0.0, -1.0, 0.0],
+            &[vec![0.0, -1.0, 0.0],
                 vec![-1.0, 4.0, -1.0],
-                vec![0.0, -1.0, 0.0],
-            ],
+                vec![0.0, -1.0, 0.0]],
             1.0 / (h * h),
         ),
         3 => {
@@ -293,6 +300,7 @@ pub fn fig11a(o: &ExpOptions) -> String {
             opts.dtile_band = 4;
             let plan = polymg::compile(&p, &ParamBindings::new(), opts).unwrap();
             let mut engine = Engine::new(plan);
+            engine.set_trace(o.trace.clone());
             let e = (n + 2) as usize;
             let len = e * e * e;
             let vin = vec![0.0; len];
@@ -339,7 +347,8 @@ pub fn fig11b(o: &ExpOptions) -> String {
         let iters = o.iters(ndims);
         let _ = writeln!(out, " {}D ({} iters):", ndims, iters);
         let mut base = None;
-        let steps: [(&str, Box<dyn Fn(&mut PipelineOptions)>); 4] = [
+        type OptTweak = Box<dyn Fn(&mut PipelineOptions)>;
+        let steps: [(&str, OptTweak); 4] = [
             ("naive", Box::new(|o: &mut PipelineOptions| {
                 o.tiling = polymg::TilingMode::None;
                 o.group_limit = 1;
@@ -366,15 +375,26 @@ pub fn fig11b(o: &ExpOptions) -> String {
             let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
             let bytes = plan.storage.intermediate_bytes();
             let mut runner = gmg_multigrid::solver::DslRunner::from_plan(plan, &cfg);
+            runner.set_trace(o.trace.clone());
+            // One cold cycle fills the pool with fresh allocations; reset the
+            // counters afterwards so the reported row describes steady-state
+            // recycling rather than the first-touch misses.
+            min_time(&mut runner, &cfg, 1, 1);
+            runner.engine_mut().reset_pool_stats();
             let t = min_time(&mut runner, &cfg, iters, o.repeats);
+            let pool = runner.engine_mut().pool_stats();
             if base.is_none() {
                 base = Some(t.seconds());
             }
+            let total = pool.hits + pool.misses;
             let _ = writeln!(
                 out,
-                "{}   intermediates: {:>8} KiB",
+                "{}   intermediates: {:>8} KiB planned, {:>8} KiB pool peak, {}/{} pooled reuses",
                 fmt_row(label, t.seconds(), base.unwrap()),
-                bytes / 1024
+                bytes / 1024,
+                pool.peak_live_bytes / 1024,
+                pool.hits,
+                total,
             );
         }
     }
@@ -489,7 +509,10 @@ pub fn scaling(o: &ExpOptions, threads: &[usize]) -> String {
 }
 
 /// §4.2 memory claims: intermediate-storage footprint and pool behaviour
-/// per variant.
+/// per variant. Each row pairs the planner's prediction with counters
+/// observed by actually running a cycle under a per-row trace — the same
+/// `gmg-trace` counters the runtime increments during any profiled run
+/// (see `polymg::report::observed_memory`).
 pub fn memory_report(o: &ExpOptions) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -500,19 +523,41 @@ pub fn memory_report(o: &ExpOptions) -> String {
     for ndims in [2usize, 3] {
         let cfg = MgConfig::new(ndims, o.class.n(ndims), CycleType::W, SmoothSteps::s444());
         let pipeline = build_cycle_pipeline(&cfg);
+        let iters = o.iters(ndims).clamp(1, 2);
         let _ = writeln!(out, " {} :", cfg.tag());
         for kind in ImplKind::polymg() {
             let mut opts = PipelineOptions::for_variant(kind.variant().unwrap(), ndims);
             opts.tile_sizes = harness_tiles(ndims);
+            opts.threads = o.threads[0];
             let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
-            let _ = writeln!(
-                out,
-                "  {:<20} {:>4} arrays, {:>9} KiB intermediates, {:>7} KiB scratch/worker",
-                kind.label(),
+            let static_cols = format!(
+                "{:>4} arrays, {:>9} KiB intermediates, {:>7} KiB scratch/worker",
                 plan.storage.num_intermediate_arrays(),
                 plan.storage.intermediate_bytes() / 1024,
                 plan.peak_scratch_bytes() / 1024,
             );
+            // Observe the pool with a row-local trace so the numbers are
+            // per-variant, not cumulative over the table.
+            let row_trace = Trace::enabled();
+            let mut runner = gmg_multigrid::solver::DslRunner::from_plan(plan, &cfg);
+            runner.set_trace(row_trace.clone());
+            let (mut v, f, _) = gmg_multigrid::solver::setup_poisson(&cfg);
+            gmg_multigrid::solver::run_cycles_traced(
+                &mut runner, &cfg, &mut v, &f, iters, &row_trace,
+            );
+            let observed = match row_trace.report() {
+                Some(rep) => {
+                    let m = polymg::report::observed_memory(runner.engine_mut().plan(), &rep);
+                    format!(
+                        " | observed: {:>7} KiB pool peak, {:.0}% pool hits",
+                        m.pool.peak_live_bytes / 1024,
+                        100.0 * m.pool_hit_rate(),
+                    )
+                }
+                // Tracing compiled out (`gmg-trace` built without `capture`).
+                None => String::new(),
+            };
+            let _ = writeln!(out, "  {:<20} {static_cols}{observed}", kind.label());
         }
     }
     out
@@ -559,6 +604,24 @@ mod tests {
     fn memory_report_shows_reuse_gain() {
         let s = memory_report(&q());
         assert!(s.contains("polymg-opt+"));
+        // observed columns come from the runtime counters
+        assert!(s.contains("pool peak"));
+        assert!(s.contains("% pool hits"));
+    }
+
+    #[test]
+    fn fig11b_reports_live_pool_counters() {
+        let mut o = q();
+        o.trace = Trace::enabled();
+        let s = fig11b(&o);
+        assert!(s.contains("+pooled allocation"));
+        assert!(s.contains("KiB pool peak"));
+        assert!(s.contains("pooled reuses"));
+        let rep = o.trace.report().expect("capture enabled by default");
+        assert!(!rep.stages.is_empty(), "stage spans should be recorded");
+        let json = rep.to_json();
+        assert!(json.contains("\"pool\""));
+        assert!(json.contains("\"dispatch\""));
     }
 
     #[test]

@@ -21,9 +21,14 @@ impl TimingResult {
         self.total.as_secs_f64()
     }
 
-    /// Seconds per cycle.
+    /// Seconds per cycle. A zero-iteration measurement has no per-cycle
+    /// time; returning NaN (rather than clamping the divisor) keeps the
+    /// degenerate case visible instead of reporting the total as one cycle.
     pub fn per_cycle(&self) -> f64 {
-        self.seconds() / self.iters.max(1) as f64
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.seconds() / self.iters as f64
     }
 }
 
@@ -48,12 +53,16 @@ pub fn min_time(
     }
 }
 
-/// Format a speedup table row.
+/// Format a speedup table row. A non-positive or non-finite measurement
+/// (e.g. a timer too coarse to resolve the run) renders the speedup as
+/// "n/a" instead of dividing by zero.
 pub fn fmt_row(label: &str, secs: f64, base_secs: f64) -> String {
-    format!(
-        "  {label:<20} {secs:>9.3}s   speedup vs naive: {:>5.2}x",
-        base_secs / secs
-    )
+    let ratio = base_secs / secs;
+    if secs > 0.0 && ratio.is_finite() {
+        format!("  {label:<20} {secs:>9.3}s   speedup vs naive: {ratio:>5.2}x")
+    } else {
+        format!("  {label:<20} {secs:>9.3}s   speedup vs naive:   n/a")
+    }
 }
 
 #[cfg(test)]
@@ -77,5 +86,23 @@ mod tests {
     fn fmt_row_shows_speedup() {
         let s = fmt_row("x", 1.0, 3.0);
         assert!(s.contains("3.00x"));
+    }
+
+    #[test]
+    fn fmt_row_degenerate_times_render_na() {
+        assert!(fmt_row("x", 0.0, 3.0).contains("n/a"));
+        assert!(fmt_row("x", -1.0, 3.0).contains("n/a"));
+        assert!(fmt_row("x", f64::NAN, 3.0).contains("n/a"));
+        assert!(fmt_row("x", 1.0, f64::INFINITY).contains("n/a"));
+    }
+
+    #[test]
+    fn per_cycle_of_zero_iters_is_nan() {
+        let t = TimingResult {
+            label: "z".to_string(),
+            total: Duration::from_secs(1),
+            iters: 0,
+        };
+        assert!(t.per_cycle().is_nan());
     }
 }

@@ -58,20 +58,22 @@ pub fn stage_scales(stage_dom: &BoxDomain, ref_dom: &BoxDomain) -> Vec<Ratio> {
         .collect()
 }
 
-/// Build the group-local region-propagation inputs for a set of stages.
-/// Returns (stages, edges, ref_local_index, scales per stage, live_out per
-/// stage).
-pub fn group_geometry(
-    graph: &StageGraph,
-    members: &[StageId],
-    outside_consumers: &[Vec<StageId>],
-) -> (
+/// Result of [`group_geometry`]: (stages, edges, reference stage's local
+/// index, per-stage domain scales, per-stage live-out flags).
+pub type GroupGeometry = (
     Vec<GroupStage>,
     Vec<GroupEdge>,
     usize,
     Vec<Vec<Ratio>>,
     Vec<bool>,
-) {
+);
+
+/// Build the group-local region-propagation inputs for a set of stages.
+pub fn group_geometry(
+    graph: &StageGraph,
+    members: &[StageId],
+    outside_consumers: &[Vec<StageId>],
+) -> GroupGeometry {
     let local_of = |sid: StageId| members.iter().position(|m| *m == sid);
     let live = live_stages(graph);
     // reference = stage with the largest domain
@@ -177,7 +179,7 @@ fn greedy_merge(
     opts: &PipelineOptions,
     consumers: &[Vec<StageId>],
     group_of: &mut [Option<usize>],
-    members: &mut Vec<Vec<StageId>>,
+    members: &mut [Vec<StageId>],
 ) {
     let tstencil_only = |sid: StageId| {
         pipeline.func(graph.stage(sid).func).kind == FuncKind::TStencil

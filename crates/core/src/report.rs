@@ -46,6 +46,110 @@ pub fn stats(plan: &CompiledPipeline) -> PlanStats {
     }
 }
 
+/// Memory behaviour of one run, pairing the *predicted* numbers from the
+/// compiled plan with the *observed* counters the runtime incremented while
+/// executing it (via `gmg-trace`). `reproduce memory` and the Fig-11b table
+/// both derive their byte columns from this, so a mismatch between what the
+/// planner promised and what the pool actually served is visible directly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObservedMemory {
+    /// Plan-predicted bytes of full intermediate arrays.
+    pub plan_intermediate_bytes: usize,
+    /// Plan-predicted peak scratchpad bytes per thread.
+    pub plan_peak_scratch_bytes: usize,
+    /// Pool counters observed while running (hits/misses/alloc/peak).
+    pub pool: gmg_trace::PoolSnapshot,
+    /// Scratchpad arenas created vs recycled across tiles.
+    pub arena_created: u64,
+    pub arena_recycled: u64,
+}
+
+impl ObservedMemory {
+    /// Fraction of buffer requests served from the pool's free lists.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool.hits + self.pool.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool.hits as f64 / total as f64
+    }
+}
+
+/// Combine a compiled plan's static storage prediction with the runtime
+/// counters captured in a [`gmg_trace::Report`].
+pub fn observed_memory(plan: &CompiledPipeline, report: &gmg_trace::Report) -> ObservedMemory {
+    ObservedMemory {
+        plan_intermediate_bytes: plan.storage.intermediate_bytes(),
+        plan_peak_scratch_bytes: plan.peak_scratch_bytes(),
+        pool: report.pool,
+        arena_created: report.arena_created,
+        arena_recycled: report.arena_recycled,
+    }
+}
+
+/// Render a [`gmg_trace::Report`] alongside the plan's predictions as a
+/// human-readable observability section: per-stage times, the kernel
+/// dispatch histogram, and pooled-allocation behaviour.
+pub fn observability_dump(plan: &CompiledPipeline, report: &gmg_trace::Report) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "observed execution of '{}':", plan.graph.pipeline_name);
+    let total_ns: u64 = report.stages.iter().map(|s| s.ns).sum();
+    for s in &report.stages {
+        let pct = if total_ns == 0 {
+            0.0
+        } else {
+            100.0 * s.ns as f64 / total_ns as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>10.3} ms {:>5.1}%  {:>8} tiles  {:>12} cells  [{}]",
+            s.name,
+            s.ns as f64 / 1e6,
+            pct,
+            s.tiles,
+            s.cells,
+            s.kind
+        );
+    }
+    let _ = write!(out, "  dispatch:");
+    for (label, count) in gmg_trace::dispatch::LABELS.iter().zip(report.dispatch) {
+        if count > 0 {
+            let _ = write!(out, " {label}={count}");
+        }
+    }
+    let _ = writeln!(out);
+    let mem = observed_memory(plan, report);
+    let _ = writeln!(
+        out,
+        "  pool: {} hits / {} misses ({:.1}% hit), {} KiB allocated, {} KiB peak live",
+        mem.pool.hits,
+        mem.pool.misses,
+        100.0 * mem.pool_hit_rate(),
+        mem.pool.allocated_bytes / 1024,
+        mem.pool.peak_live_bytes / 1024,
+    );
+    let _ = writeln!(
+        out,
+        "  plan predicted: {} KiB intermediates, {} KiB peak scratch",
+        mem.plan_intermediate_bytes / 1024,
+        mem.plan_peak_scratch_bytes / 1024,
+    );
+    let _ = writeln!(
+        out,
+        "  arenas: {} created, {} recycled",
+        mem.arena_created, mem.arena_recycled
+    );
+    if report.comm.messages > 0 {
+        let _ = writeln!(
+            out,
+            "  comm: {} messages, {} doubles, {} collectives",
+            report.comm.messages, report.comm.doubles, report.comm.collectives
+        );
+    }
+    out
+}
+
 /// Render the Figure-6/7 style dump: one block per group listing its stages,
 /// their storage kind (scratchpad colour or full-array id) and the tiling.
 pub fn grouping_dump(plan: &CompiledPipeline) -> String {
@@ -239,6 +343,46 @@ mod tests {
         let d = grouping_dump(&pl);
         assert!(!d.contains("scratch#"));
         assert!(d.contains("untiled"));
+    }
+
+    #[test]
+    fn observability_dump_reflects_counters() {
+        let pl = plan(Variant::OptPlus);
+        let report = gmg_trace::Report {
+            meta: vec![],
+            stages: vec![gmg_trace::StageReport {
+                name: "sm_step0".to_string(),
+                kind: "overlapped".to_string(),
+                ns: 2_000_000,
+                invocations: 1,
+                tiles: 16,
+                cells: 127 * 127,
+            }],
+            dispatch: {
+                let mut d = [0u64; gmg_trace::dispatch::KINDS];
+                d[gmg_trace::dispatch::Kind::UnitUnrolled as usize] = 16;
+                d
+            },
+            pool: gmg_trace::PoolSnapshot {
+                hits: 3,
+                misses: 1,
+                allocated_bytes: 4096,
+                peak_live_bytes: 4096,
+            },
+            arena_created: 2,
+            arena_recycled: 14,
+            comm: Default::default(),
+            cycles: vec![],
+        };
+        let mem = observed_memory(&pl, &report);
+        assert_eq!(mem.pool.hits, 3);
+        assert_eq!(mem.plan_intermediate_bytes, pl.storage.intermediate_bytes());
+        assert!((mem.pool_hit_rate() - 0.75).abs() < 1e-12);
+        let d = observability_dump(&pl, &report);
+        assert!(d.contains("sm_step0"));
+        assert!(d.contains("unit_unrolled=16"));
+        assert!(d.contains("3 hits / 1 misses"));
+        assert!(d.contains("14 recycled"));
     }
 
     #[test]

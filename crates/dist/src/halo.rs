@@ -24,6 +24,15 @@ impl CommStats {
         self.doubles += other.doubles;
         self.collectives += other.collectives;
     }
+
+    /// Convert to the crate-neutral trace snapshot type.
+    pub fn snapshot(&self) -> gmg_trace::CommSnapshot {
+        gmg_trace::CommSnapshot {
+            messages: self.messages as u64,
+            doubles: self.doubles as u64,
+            collectives: self.collectives as u64,
+        }
+    }
 }
 
 /// One rank's slab of a 2-D field: rows `[lo − depth, hi + depth]` of the
@@ -144,6 +153,18 @@ pub fn exchange(grids: &mut [SubGrid], depth: i64) -> CommStats {
         }
         stats.messages += 2;
     }
+    stats
+}
+
+/// [`exchange`] that also feeds the traffic into a [`gmg_trace::Trace`]
+/// (a no-op for a disabled handle).
+pub fn exchange_traced(
+    grids: &mut [SubGrid],
+    depth: i64,
+    trace: &gmg_trace::Trace,
+) -> CommStats {
+    let stats = exchange(grids, depth);
+    trace.record_comm(&stats.snapshot());
     stats
 }
 

@@ -31,5 +31,5 @@ pub mod halo;
 pub mod solver;
 
 pub use decomp::RankLayout;
-pub use halo::{CommStats, SubGrid};
+pub use halo::{exchange, exchange_traced, CommStats, SubGrid};
 pub use solver::DistPoisson2D;

@@ -1,0 +1,65 @@
+//! Halo exchange with a ghost depth larger than what a rank actually owns.
+//! The exchange must clamp to the owned rows — sending only what exists,
+//! writing only inside the receiver's stored window, and leaving ghost rows
+//! it cannot source (they belong to a *second* neighbour) untouched.
+
+use gmg_dist::{exchange, SubGrid};
+
+#[test]
+fn depth_exceeding_owned_rows_clamps_to_owned() {
+    let n = 6i64;
+    let e = (n + 2) as usize;
+    // Three ranks owning two rows each, ghost depth 3 > 2 owned rows.
+    let mut grids = vec![
+        SubGrid::new(1, 2, 3, n),
+        SubGrid::new(3, 4, 3, n),
+        SubGrid::new(5, 6, 3, n),
+    ];
+    for g in &mut grids {
+        for y in g.lo..=g.hi {
+            g.row_mut(y).fill(y as f64);
+        }
+    }
+
+    let stats = exchange(&mut grids, 3);
+
+    // Two interior boundaries, two messages each; only the 2 owned rows per
+    // direction actually move even though depth 3 was requested.
+    assert_eq!(stats.messages, 4);
+    assert_eq!(stats.doubles, 8 * e);
+
+    // The middle rank received both neighbours' full owned slabs...
+    assert_eq!(grids[1].at(1, 1), 1.0);
+    assert_eq!(grids[1].at(2, 1), 2.0);
+    assert_eq!(grids[1].at(5, 1), 5.0);
+    assert_eq!(grids[1].at(6, 1), 6.0);
+    // ...but rank 0's depth-3 ghost row 5 belongs to rank 2 (a second
+    // neighbour) and a single nearest-neighbour exchange cannot fill it.
+    assert_eq!(grids[0].at(5, 1), 0.0);
+    // Rank 1's lowest stored row is the global boundary row 0, which no
+    // rank owns; it must stay at its Dirichlet value.
+    assert_eq!(grids[1].first_row, 0);
+    assert_eq!(grids[1].at(0, 1), 0.0);
+}
+
+#[test]
+fn single_row_rank_exchanges_without_panicking() {
+    let n = 6i64;
+    let e = (n + 2) as usize;
+    // Rank a owns a single row; depth 2 exceeds it in both directions.
+    let mut grids = vec![SubGrid::new(1, 1, 2, n), SubGrid::new(2, 5, 2, n)];
+    grids[0].row_mut(1).fill(1.0);
+    for y in 2..=5 {
+        grids[1].row_mut(y).fill(y as f64 * 10.0);
+    }
+
+    let stats = exchange(&mut grids, 2);
+
+    // a → b: one owned row; b → a: two rows (a's window reaches row 3).
+    assert_eq!(stats.messages, 2);
+    assert_eq!(stats.doubles, 3 * e);
+    assert_eq!(grids[1].at(1, 1), 1.0);
+    assert_eq!(grids[0].at(2, 1), 20.0);
+    assert_eq!(grids[0].at(3, 1), 30.0);
+    assert_eq!(grids[0].last_row(), 3, "window is clamped, row 4 not stored");
+}

@@ -85,7 +85,7 @@ impl Extents {
 
     /// True when any extent is zero.
     pub fn is_empty(&self) -> bool {
-        self.0.iter().any(|&e| e == 0)
+        self.0.contains(&0)
     }
 
     /// Rank of the extents.

@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn strided_window() {
         // 4x5 buffer, take a 2x3 window starting at element (1,1).
-        let mut buf = vec![0.0; 20];
+        let mut buf = [0.0; 20];
         for (i, v) in buf.iter_mut().enumerate() {
             *v = i as f64;
         }

@@ -227,7 +227,7 @@ mod tests {
     fn strided_window() {
         // 3x4x5 buffer, take a 2x2x3 window at (1,1,1).
         let buf: Vec<f64> = (0..60).map(|i| i as f64).collect();
-        let start = 1 * 20 + 1 * 5 + 1;
+        let start = 20 + 5 + 1;
         let w = View3::new(&buf[start..], 2, 2, 3, 20, 5);
         assert_eq!(w.at(0, 0, 0), 26.0);
         assert_eq!(w.at(1, 1, 2), 26.0 + 20.0 + 5.0 + 2.0);

@@ -133,6 +133,7 @@ impl Pipeline {
     /// [`Operand::State`] inside `defn` denotes the previous iterate. Step 0
     /// reads `state` (or zero when `None` — the error cycles start from a
     /// zero guess).
+    #[allow(clippy::too_many_arguments)]
     pub fn tstencil(
         &mut self,
         name: &str,

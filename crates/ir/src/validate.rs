@@ -133,20 +133,18 @@ fn check_reads(
                 }
             }
             match kind {
-                FuncKind::Restrict => {
-                    if a.den != 1 {
+                FuncKind::Restrict
+                    if a.den != 1 => {
                         errs.push(format!(
                             "{sname}: Restrict stage uses an upsampling access in dim {d}"
                         ));
                     }
-                }
-                FuncKind::Interp => {
-                    if a.num != 1 {
+                FuncKind::Interp
+                    if a.num != 1 => {
                         errs.push(format!(
                             "{sname}: Interp stage uses a downsampling access in dim {d}"
                         ));
                     }
-                }
                 _ => {}
             }
         }

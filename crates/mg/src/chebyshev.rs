@@ -67,11 +67,9 @@ fn apply_a(ndims: usize, v: Operand, h: f64) -> Expr {
     match ndims {
         2 => stencil_2d(
             v,
-            &vec![
-                vec![0.0, -1.0, 0.0],
+            &[vec![0.0, -1.0, 0.0],
                 vec![-1.0, 4.0, -1.0],
-                vec![0.0, -1.0, 0.0],
-            ],
+                vec![0.0, -1.0, 0.0]],
             inv_h2,
         ),
         3 => {

@@ -36,12 +36,12 @@ pub fn prolong_solution(ndims: usize, coarse: &[f64], nc: i64, fine: &mut [f64])
                     let ys: &[usize] = &if y % 2 == 0 {
                         vec![y / 2]
                     } else {
-                        vec![(y - 1) / 2, (y + 1) / 2]
+                        vec![(y - 1) / 2, y.div_ceil(2)]
                     };
                     let xs: &[usize] = &if x % 2 == 0 {
                         vec![x / 2]
                     } else {
-                        vec![(x - 1) / 2, (x + 1) / 2]
+                        vec![(x - 1) / 2, x.div_ceil(2)]
                     };
                     let mut acc = 0.0;
                     for &yc in ys {
@@ -59,10 +59,10 @@ pub fn prolong_solution(ndims: usize, coarse: &[f64], nc: i64, fine: &mut [f64])
                 for y in 1..=nf as usize {
                     for x in 1..=nf as usize {
                         let sel = |v: usize| -> Vec<usize> {
-                            if v % 2 == 0 {
+                            if v.is_multiple_of(2) {
                                 vec![v / 2]
                             } else {
-                                vec![(v - 1) / 2, (v + 1) / 2]
+                                vec![(v - 1) / 2, v.div_ceil(2)]
                             }
                         };
                         let (zs, ys, xs) = (sel(z), sel(y), sel(x));

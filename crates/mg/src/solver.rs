@@ -10,6 +10,7 @@ use crate::cycles::build_cycle_pipeline;
 use crate::handopt::HandOpt;
 use gmg_ir::ParamBindings;
 use gmg_runtime::{Engine, RunStats};
+use gmg_trace::Trace;
 use polymg::PipelineOptions;
 use std::time::{Duration, Instant};
 
@@ -21,6 +22,11 @@ pub trait CycleRunner {
 
     /// Display label of the variant.
     fn label(&self) -> String;
+
+    /// Install a trace for per-stage instrumentation. Runners without an
+    /// instrumented execution path (the hand-optimized baselines) ignore it;
+    /// per-cycle events are still recorded by [`run_cycles_traced`].
+    fn set_trace(&mut self, _trace: Trace) {}
 }
 
 /// DSL-compiled runner (any PolyMG variant).
@@ -59,6 +65,11 @@ impl DslRunner {
         &self.engine
     }
 
+    /// Mutable engine access (pool stat resets, trace installation).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
     /// Run one cycle and also report engine stats.
     pub fn cycle_with_stats(&mut self, v: &mut [f64], f: &[f64]) -> RunStats {
         let stats = self
@@ -76,6 +87,10 @@ impl CycleRunner for DslRunner {
 
     fn label(&self) -> String {
         self.label.clone()
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.engine.set_trace(trace);
     }
 }
 
@@ -206,16 +221,33 @@ pub fn run_cycles(
     f: &[f64],
     iters: usize,
 ) -> SolveResult {
+    run_cycles_traced(runner, cfg, v, f, iters, &Trace::disabled())
+}
+
+/// Like [`run_cycles`], additionally emitting one trace event per cycle
+/// (wall time of the cycle + residual norm after it) so a profile shows
+/// where convergence stalls or a variant diverges.
+pub fn run_cycles_traced(
+    runner: &mut dyn CycleRunner,
+    cfg: &MgConfig,
+    v: &mut [f64],
+    f: &[f64],
+    iters: usize,
+    trace: &Trace,
+) -> SolveResult {
     let n = cfg.n_at(cfg.levels - 1);
     let h = cfg.h_at(cfg.levels - 1);
     let res0 = residual_norm(cfg.ndims, n, h, v, f);
     let mut norms = Vec::with_capacity(iters);
     let mut elapsed = Duration::ZERO;
-    for _ in 0..iters {
+    for i in 0..iters {
         let t0 = Instant::now();
         runner.cycle(v, f);
-        elapsed += t0.elapsed();
-        norms.push(residual_norm(cfg.ndims, n, h, v, f));
+        let dt = t0.elapsed();
+        elapsed += dt;
+        let norm = residual_norm(cfg.ndims, n, h, v, f);
+        norms.push(norm);
+        trace.record_cycle(i as u64, dt.as_nanos() as u64, norm);
     }
     SolveResult {
         res0,

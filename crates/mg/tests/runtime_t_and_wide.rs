@@ -67,7 +67,7 @@ fn runtime_step_count_matches_fixed() {
         let plan_fx = compile(&p_fx, &ParamBindings::new(), opts).unwrap();
 
         let out_name = format!("sm.s{}", t - 1);
-        let mut run = |plan: polymg::CompiledPipeline| -> Vec<f64> {
+        let run = |plan: polymg::CompiledPipeline| -> Vec<f64> {
             let mut engine = Engine::new(plan);
             let mut out = vec![0.0; e * e];
             engine.run(&[("V", &vin), ("F", &fin)], vec![(&out_name, &mut out)]);

@@ -282,19 +282,19 @@ pub fn interp_add(coarse: &[f64], fine: &mut [f64], nf: i64) {
             let zs: Vec<usize> = if z % 2 == 0 {
                 vec![z / 2]
             } else {
-                vec![(z - 1) / 2, (z + 1) / 2]
+                vec![(z - 1) / 2, z.div_ceil(2)]
             };
             for y in 1..=nf as usize {
                 let ys: Vec<usize> = if y % 2 == 0 {
                     vec![y / 2]
                 } else {
-                    vec![(y - 1) / 2, (y + 1) / 2]
+                    vec![(y - 1) / 2, y.div_ceil(2)]
                 };
                 for x in 1..=nf as usize {
                     let xs: Vec<usize> = if x % 2 == 0 {
                         vec![x / 2]
                     } else {
-                        vec![(x - 1) / 2, (x + 1) / 2]
+                        vec![(x - 1) / 2, x.div_ceil(2)]
                     };
                     let mut acc = 0.0;
                     for &zc in &zs {

@@ -7,8 +7,9 @@
 //! lock-protected stack recycles arenas between tiles so the steady-state
 //! cost is a pop/push per tile (no allocation).
 
-use parking_lot::Mutex;
 use polymg::ScratchBufferSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One worker's scratch buffers for a group (index = scratch buffer id).
 #[derive(Debug)]
@@ -53,7 +54,8 @@ impl Arena {
 pub struct ArenaPool<'a> {
     specs: &'a [ScratchBufferSpec],
     stack: Mutex<Vec<Arena>>,
-    created: Mutex<usize>,
+    created: AtomicUsize,
+    gets: AtomicUsize,
 }
 
 impl<'a> ArenaPool<'a> {
@@ -62,27 +64,35 @@ impl<'a> ArenaPool<'a> {
         ArenaPool {
             specs,
             stack: Mutex::new(Vec::new()),
-            created: Mutex::new(0),
+            created: AtomicUsize::new(0),
+            gets: AtomicUsize::new(0),
         }
     }
 
     /// Get an arena (recycled or fresh).
     pub fn get(&self) -> Arena {
-        if let Some(a) = self.stack.lock().pop() {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(a) = self.stack.lock().unwrap().pop() {
             return a;
         }
-        *self.created.lock() += 1;
+        self.created.fetch_add(1, Ordering::Relaxed);
         Arena::new(self.specs)
     }
 
     /// Return an arena for reuse.
     pub fn put(&self, arena: Arena) {
-        self.stack.lock().push(arena);
+        self.stack.lock().unwrap().push(arena);
     }
 
     /// How many arenas were actually created (≈ worker count).
     pub fn created(&self) -> usize {
-        *self.created.lock()
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// How many `get` calls were served from the recycling stack rather
+    /// than a fresh allocation.
+    pub fn recycled(&self) -> usize {
+        self.gets.load(Ordering::Relaxed) - self.created()
     }
 }
 
@@ -123,6 +133,7 @@ mod tests {
             pool.put(a);
         }
         assert_eq!(pool.created(), 1);
+        assert_eq!(pool.recycled(), 9);
     }
 
     #[test]
@@ -136,5 +147,6 @@ mod tests {
         pool.put(b);
         let _c = pool.get();
         assert_eq!(pool.created(), 2);
+        assert_eq!(pool.recycled(), 1);
     }
 }

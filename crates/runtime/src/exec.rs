@@ -17,6 +17,7 @@ use gmg_poly::diamond::split_time_tiling;
 use gmg_poly::region::{propagate_regions, GroupEdge, GroupStage};
 use gmg_poly::tiling::{owned_region, tile_partition};
 use gmg_poly::{BoxDomain, Interval, Ratio};
+use gmg_trace::{PoolSnapshot, StageHandle, Trace};
 use polymg::{CompiledPipeline, GroupPlan, GroupTiling};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -54,6 +55,12 @@ pub struct Engine {
     pool: BufferPool,
     rayon_pool: Option<rayon::ThreadPool>,
     groups_rt: Vec<GroupRt>,
+    trace: Trace,
+    /// Per group, per in-group stage: interned span handles (disabled until
+    /// [`Engine::set_trace`] installs a live trace).
+    stage_handles: Vec<Vec<StageHandle>>,
+    /// Pool counters already ingested into the trace (deltas per run).
+    pool_reported: PoolStats,
 }
 
 enum Slot<'a> {
@@ -102,12 +109,49 @@ impl Engine {
             .iter()
             .map(|g| Self::group_rt(&plan, g, &consumers))
             .collect();
+        let stage_handles = plan
+            .groups
+            .iter()
+            .map(|g| vec![StageHandle::disabled(); g.stages.len()])
+            .collect();
         Engine {
             plan,
             pool: BufferPool::new(),
             rayon_pool,
             groups_rt,
+            trace: Trace::disabled(),
+            stage_handles,
+            pool_reported: PoolStats::default(),
         }
+    }
+
+    /// Install a trace: every subsequent [`Engine::run`] records per-stage
+    /// (and, for tiled groups, per-tile-aggregated) timing spans plus pool
+    /// and scratch-arena statistics into it. Passing `Trace::disabled()`
+    /// turns instrumentation back off.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.stage_handles = self
+            .plan
+            .groups
+            .iter()
+            .map(|g| {
+                let kind = match g.tiling {
+                    GroupTiling::Untiled => "untiled",
+                    GroupTiling::Overlapped { .. } => "overlapped",
+                    GroupTiling::Diamond { .. } => "diamond",
+                };
+                g.stages
+                    .iter()
+                    .map(|sid| trace.stage(&self.plan.graph.stage(*sid).name, kind))
+                    .collect()
+            })
+            .collect();
+        self.trace = trace;
+    }
+
+    /// The installed trace handle (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     fn group_rt(
@@ -145,6 +189,13 @@ impl Engine {
     /// Pool statistics (persist across runs).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Zero the pool counters (see [`BufferPool::reset_stats`]) so the next
+    /// experiment row starts a fresh footprint measurement.
+    pub fn reset_pool_stats(&mut self) {
+        self.pool.reset_stats();
+        self.pool_reported = self.pool.stats();
     }
 
     /// Execute one cycle. `inputs`/`outputs` bind external arrays by stage
@@ -194,6 +245,8 @@ impl Engine {
         let plan = &self.plan;
         let groups_rt = &self.groups_rt;
         let pool = &mut self.pool;
+        let trace = &self.trace;
+        let stage_handles = &self.stage_handles;
 
         let body = |slots: &mut Vec<Slot<'_>>, pool: &mut BufferPool| {
             for (gi, group) in plan.groups.iter().enumerate() {
@@ -206,7 +259,7 @@ impl Engine {
                         slots[a] = Slot::Owned(b);
                     }
                 }
-                exec_group(plan, &groups_rt[gi], group, slots, pool, pooled);
+                exec_group(plan, &groups_rt[gi], group, slots, pool, pooled, &stage_handles[gi], trace);
                 if pooled {
                     for &a in &plan.storage.free_after_group[gi] {
                         let s = std::mem::replace(&mut slots[a], Slot::Empty);
@@ -224,11 +277,25 @@ impl Engine {
             None => body(&mut slots, pool),
         }
 
+        let stats = self.pool.stats();
+        if self.trace.is_enabled() {
+            self.trace.record_pool(&PoolSnapshot {
+                hits: stats.hits.saturating_sub(self.pool_reported.hits) as u64,
+                misses: stats.misses.saturating_sub(self.pool_reported.misses) as u64,
+                allocated_bytes: stats
+                    .allocated_bytes
+                    .saturating_sub(self.pool_reported.allocated_bytes)
+                    as u64,
+                peak_live_bytes: stats.peak_live_bytes as u64,
+            });
+            self.pool_reported = stats;
+        }
+
         RunStats {
-            pool: self.pool.stats(),
+            pool: stats,
             elapsed: start.elapsed(),
             fresh_bytes: fresh_bytes
-                + (self.pool.stats().allocated_bytes - fresh0),
+                + (stats.allocated_bytes - fresh0),
         }
     }
 }
@@ -272,6 +339,7 @@ fn propagate_for_tile(
     propagate_regions(&tile_stages, edges)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_group(
     plan: &CompiledPipeline,
     rt: &GroupRt,
@@ -279,15 +347,17 @@ fn exec_group(
     slots: &mut [Slot<'_>],
     pool: &mut BufferPool,
     pooled: bool,
+    spans: &[StageHandle],
+    trace: &Trace,
 ) {
     match &group.tiling {
-        GroupTiling::Untiled => exec_untiled(plan, group, slots),
-        GroupTiling::Overlapped { .. } => exec_overlapped(plan, rt, group, slots),
+        GroupTiling::Untiled => exec_untiled(plan, group, slots, &spans[0]),
+        GroupTiling::Overlapped { .. } => exec_overlapped(plan, rt, group, slots, spans, trace),
         GroupTiling::Diamond {
             tile_w,
             band_h,
             radius,
-        } => exec_diamond(plan, group, slots, pool, pooled, *tile_w, *band_h, *radius),
+        } => exec_diamond(plan, group, slots, pool, pooled, *tile_w, *band_h, *radius, spans),
     }
 }
 
@@ -337,7 +407,7 @@ fn array_inputs<'a>(
 
 /// Untiled execution (single-stage groups): full-domain sweep parallel over
 /// the outermost dimension.
-fn exec_untiled(plan: &CompiledPipeline, group: &GroupPlan, slots: &mut [Slot<'_>]) {
+fn exec_untiled(plan: &CompiledPipeline, group: &GroupPlan, slots: &mut [Slot<'_>], span: &StageHandle) {
     assert_eq!(group.stages.len(), 1, "untiled groups are single-stage");
     let sid = group.stages[0];
     let stage = plan.graph.stage(sid);
@@ -382,6 +452,8 @@ fn exec_untiled(plan: &CompiledPipeline, group: &GroupPlan, slots: &mut [Slot<'_
 
         let ext_ref = &ext;
         let region_proto = &stage.domain;
+        let t0 = span.is_enabled().then(Instant::now);
+        let npieces = pieces.len() as u64;
         pieces
             .into_par_iter()
             .for_each(|(data, (lo, hi))| {
@@ -398,6 +470,9 @@ fn exec_untiled(plan: &CompiledPipeline, group: &GroupPlan, slots: &mut [Slot<'_
                 };
                 execute_stage(kernel, &region, &mut out, &ins, &bnd);
             });
+        if let Some(t0) = t0 {
+            span.record(t0.elapsed().as_nanos() as u64, npieces, stage.domain.len() as u64);
+        }
     }
     slots[a] = taken;
 }
@@ -408,6 +483,8 @@ fn exec_overlapped(
     rt: &GroupRt,
     group: &GroupPlan,
     slots: &mut [Slot<'_>],
+    spans: &[StageHandle],
+    trace: &Trace,
 ) {
     // take all written arrays
     let mut write_arrays: Vec<usize> = group
@@ -436,6 +513,7 @@ fn exec_overlapped(
 
         let arena_pool = ArenaPool::new(&group.scratch_buffers);
         let slots_ref: &[Slot<'_>] = slots;
+        let tracing = trace.is_enabled();
 
         rt.tiles.par_iter().for_each(|tile| {
             let regions =
@@ -449,6 +527,7 @@ fn exec_overlapped(
                 if compute.is_empty() {
                     continue;
                 }
+                let t0 = tracing.then(Instant::now);
                 let owned = if group.live_out[i] {
                     owned_region(tile, &rt.scales[i], &stage.domain)
                 } else {
@@ -489,7 +568,7 @@ fn exec_overlapped(
                         StageInput::Stage(p) => {
                             bnd.push(plan.graph.stage(*p).boundary.value());
                             let local = group.stages.iter().position(|s| s == p);
-                            match local.and_then(|pi| group.scratch_slot[pi].map(|b| b)) {
+                            match local.and_then(|pi| group.scratch_slot[pi]) {
                                 Some(buf) => {
                                     let (o, e) = &meta[mi];
                                     mi += 1;
@@ -572,10 +651,14 @@ fn exec_overlapped(
                 if let (Some(sl), Some(own)) = (own_slot, own_buf) {
                     *arena.buf(sl) = own;
                 }
+                if let Some(t0) = t0 {
+                    spans[i].record(t0.elapsed().as_nanos() as u64, 1, compute.len() as u64);
+                }
             }
 
             arena_pool.put(arena);
         });
+        trace.record_arena(arena_pool.created() as u64, arena_pool.recycled() as u64);
     }
 
     for (a, s) in taken {
@@ -595,6 +678,7 @@ fn exec_diamond(
     tile_w: i64,
     band_h: usize,
     radius: i64,
+    spans: &[StageHandle],
 ) {
     let steps = group.stages.len();
     assert!(steps >= 1);
@@ -648,6 +732,7 @@ fn exec_diamond(
         let slots_ref: &[Slot<'_>] = slots;
         let schedule = split_time_tiling(n_outer, steps, tile_w, band_h, radius);
         let outer_dom = domain.0[0];
+        let tracing = spans.iter().any(StageHandle::is_enabled);
 
         for band in &schedule {
             for phase in [&band.phase1, &band.phase2] {
@@ -658,6 +743,7 @@ fn exec_diamond(
                         if rows.is_empty() {
                             continue;
                         }
+                        let t0 = tracing.then(Instant::now);
                         let sid = group.stages[t];
                         let stage = plan.graph.stage(sid);
                         let kernel = plan.kernels[sid.0].as_ref().unwrap();
@@ -737,6 +823,13 @@ fn exec_diamond(
                             }
                         }
                         execute_stage(kernel, &region, &mut out, &ins, &bnd);
+                        if let Some(t0) = t0 {
+                            spans[t].record(
+                                t0.elapsed().as_nanos() as u64,
+                                1,
+                                region.len() as u64,
+                            );
+                        }
                     }
                 });
             }

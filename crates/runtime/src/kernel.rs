@@ -11,6 +11,9 @@
 //! (restriction's stride-2 reads, interpolation's half-index reads).
 //! Non-linear cases are evaluated by the expression interpreter.
 
+// Index-based loops here mirror the math (multi-slice stencil updates); clippy prefers iterators but the indices are the clearer notation.
+#![allow(clippy::needless_range_loop)]
+
 use gmg_ir::{Expr, Operand, Parity, ParityPattern};
 use gmg_poly::{div_floor, BoxDomain};
 use polymg::{KernelBody, StageKernel};
@@ -240,6 +243,35 @@ fn tap_x_base_slope(
     (first as usize, slope)
 }
 
+/// Which [`run_row`] code path a kernel case with these taps will take.
+/// Mirrors the dispatch conditions in `run_row` exactly; evaluated once per
+/// case execution (not per row) to feed the `gmg_trace::dispatch` histogram.
+fn dispatch_kind(out_slope: usize, taps: &[RtTap<'_>]) -> gmg_trace::dispatch::Kind {
+    use gmg_trace::dispatch::Kind;
+    if out_slope != 1 || taps.iter().any(|t| t.slope != 1) {
+        return Kind::Strided;
+    }
+    if taps.len() <= 28 {
+        return Kind::UnitUnrolled;
+    }
+    let mut nspans = 0usize;
+    let mut j = 0;
+    while j < taps.len() {
+        let c = taps[j].coeff;
+        let mut k = j + 1;
+        while k < taps.len() && taps[k].coeff == c {
+            k += 1;
+        }
+        nspans += 1;
+        j = k;
+    }
+    if nspans * 2 <= taps.len() {
+        Kind::UnitFactored
+    } else {
+        Kind::UnitFallback
+    }
+}
+
 /// The innermost loop: `out[k·out_slope] = bias + Σ coeff·data[base+k·slope]`
 /// for `k` in `0..count`. Dispatches an unrolled unit-stride kernel when
 /// every stride is 1.
@@ -396,6 +428,8 @@ fn linear_2d(
         });
     }
 
+    gmg_trace::dispatch::record(dispatch_kind(sx as usize, &taps), 1);
+
     let mut y = y0;
     let mut ob = (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
     let needed = if count == 0 { 0 } else { (count - 1) * sx as usize + 1 };
@@ -472,6 +506,8 @@ fn linear_3d(
         });
     }
 
+    gmg_trace::dispatch::record(dispatch_kind(sx as usize, &taps), 1);
+
     let needed = if count == 0 { 0 } else { (count - 1) * sx as usize + 1 };
     let mut z = z0;
     let mut ob_z = (z0 - oz) as usize * out_ps + (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
@@ -503,6 +539,7 @@ fn interpret_case(
     ins: &[KernelInput<'_>],
     slot_boundary: &[f64],
 ) {
+    gmg_trace::dispatch::record(gmg_trace::dispatch::Kind::Interpreter, 1);
     let nd = region.ndims();
     let mut point = vec![0i64; nd];
     iterate_parity(region, pattern, nd, &mut point, 0, &mut |p| {

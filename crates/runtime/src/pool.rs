@@ -62,6 +62,9 @@ impl BufferPool {
     /// `pool_deallocate`: return a buffer to the free list.
     pub fn deallocate(&mut self, buf: Buffer) {
         let bytes = buf.byte_len();
+        // allocate() derives bytes as len * 8 while this path trusts the
+        // buffer's own byte length; they must agree or live_bytes drifts.
+        debug_assert_eq!(buf.byte_len(), buf.len() * std::mem::size_of::<f64>());
         self.stats.live_bytes = self.stats.live_bytes.saturating_sub(bytes);
         self.free.entry(buf.len()).or_default().push(buf);
     }
@@ -77,8 +80,20 @@ impl BufferPool {
     }
 
     /// Drop all cached buffers (the "freed after the last call" moment).
+    /// Statistics survive so a finished experiment can still be reported;
+    /// use [`BufferPool::reset_stats`] to start a fresh measurement.
     pub fn clear(&mut self) {
         self.free.clear();
+    }
+
+    /// Zero all counters (including `allocated_bytes` / `peak_live_bytes`,
+    /// which `clear()` deliberately preserves). Call between experiment
+    /// rows that share one process so footprints don't accumulate.
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats {
+            live_bytes: self.stats.live_bytes,
+            ..PoolStats::default()
+        };
     }
 }
 
@@ -150,5 +165,21 @@ mod tests {
         assert_eq!(p.free_count(), 1);
         p.clear();
         assert_eq!(p.free_count(), 0);
+    }
+
+    #[test]
+    fn reset_stats_starts_a_fresh_measurement() {
+        let mut p = BufferPool::new();
+        let a = p.allocate(100);
+        let b = p.allocate(100);
+        p.deallocate(a);
+        assert!(p.stats().allocated_bytes > 0 && p.stats().peak_live_bytes > 0);
+        p.reset_stats();
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.allocated_bytes, s.peak_live_bytes), (0, 0, 0, 0));
+        // still-live bytes survive the reset so deallocate stays consistent
+        assert_eq!(s.live_bytes, 800);
+        p.deallocate(b);
+        assert_eq!(p.stats().live_bytes, 0);
     }
 }

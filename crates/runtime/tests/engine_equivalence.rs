@@ -334,5 +334,5 @@ fn naive_has_no_pool_traffic() {
     let mut out = vec![0.0; e * e];
     let stats = engine.run(&[("V", &vin)], vec![("a", &mut out)]);
     assert_eq!(stats.pool.hits + stats.pool.misses, 0);
-    assert_eq!(out[(e + 1) as usize], 2.0);
+    assert_eq!(out[e + 1], 2.0);
 }

@@ -37,11 +37,11 @@ fn fill_ghost_3d_ring() {
         })
         .collect();
     assert_eq!(interior.len(), 8);
-    for i in 0..64 {
+    for (i, &v) in buf.iter().enumerate() {
         if interior.contains(&i) {
-            assert_eq!(buf[i], 2.0);
+            assert_eq!(v, 2.0);
         } else {
-            assert_eq!(buf[i], -1.0);
+            assert_eq!(v, -1.0);
         }
     }
 }

@@ -1,0 +1,130 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crate registry, so the
+//! `[[bench]]` targets link against this shim instead. It keeps criterion's
+//! surface (`benchmark_group`, `BenchmarkId`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`) but replaces the statistics
+//! machinery with a plain min-of-N-samples timer printed to stdout — enough
+//! to compare variants by hand, not to regress on microseconds.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Bencher {
+    samples: usize,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` over the configured sample count, keeping the best run.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed());
+        }
+        self.best = Some(best);
+    }
+}
+
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(group: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{group}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{id}"), self.sample_size, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples, best: None };
+    f(&mut b);
+    match b.best {
+        Some(best) => println!("  {label}: best {best:?} of {samples} samples"),
+        None => println!("  {label}: no measurement recorded"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,294 @@
+//! Minimal in-tree stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to a crate registry, so the
+//! workspace vendors the small slice of rayon's API it actually uses:
+//! `par_iter` / `into_par_iter` / `par_chunks_mut` driven by `for_each`
+//! (optionally through `enumerate`), plus `ThreadPool::install` and
+//! `current_num_threads`. Parallelism is implemented with
+//! `std::thread::scope`, splitting the item list into one contiguous block
+//! per thread. With one thread (the harness default) everything runs inline
+//! on the caller's stack with no spawning.
+
+use std::cell::Cell;
+use std::ops::{Range, RangeInclusive};
+
+thread_local! {
+    /// 0 = "no pool installed": fall back to available_parallelism.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of threads the current scope parallelises over.
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(|c| c.get());
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// A pool is just a thread-count: `install` pins `current_num_threads`
+/// for the duration of the closure (restored even on panic).
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+struct Restore(usize);
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.threads));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Run `f` over `items` on up to `current_num_threads()` scoped threads.
+fn run_parallel<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let nthreads = current_num_threads().max(1);
+    if nthreads == 1 || items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let nblocks = nthreads.min(items.len());
+    let per = items.len().div_ceil(nblocks);
+    let mut items = items;
+    let mut blocks: Vec<Vec<I>> = Vec::with_capacity(nblocks);
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(per));
+        blocks.push(tail);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for block in blocks {
+            s.spawn(move || {
+                // Blocks inherit the sequential thread-count so nested
+                // parallel calls inside a worker run inline.
+                CURRENT_THREADS.with(|c| c.set(1));
+                for item in block {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Materialise the item list (refs, chunks, or owned values).
+    fn drain(self) -> Vec<Self::Item>;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_parallel(self.drain(), f);
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate(self)
+    }
+}
+
+pub struct Enumerate<P>(P);
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn drain(self) -> Vec<Self::Item> {
+        self.0.drain().into_iter().enumerate().collect()
+    }
+}
+
+pub struct IntoParIter<T: Send>(Vec<T>);
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn drain(self) -> Vec<T> {
+        self.0
+    }
+}
+
+pub struct ParSliceIter<'a, T: Sync>(&'a [T]);
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn drain(self) -> Vec<&'a T> {
+        self.0.iter().collect()
+    }
+}
+
+pub struct ParChunksMut<'a, T: Send>(&'a mut [T], usize);
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn drain(self) -> Vec<&'a mut [T]> {
+        self.0.chunks_mut(self.1).collect()
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        IntoParIter(self)
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = IntoParIter<$t>;
+            fn into_par_iter(self) -> Self::Iter {
+                IntoParIter(self.collect())
+            }
+        }
+        impl IntoParallelIterator for RangeInclusive<$t> {
+            type Item = $t;
+            type Iter = IntoParIter<$t>;
+            fn into_par_iter(self) -> Self::Iter {
+                IntoParIter(self.collect())
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSliceIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        ParSliceIter(self)
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSliceIter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        ParSliceIter(self)
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut(self, chunk_size)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn chunks_cover_all_rows() {
+        let mut data = vec![0.0f64; 100];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as f64 + 1.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn range_sum_matches_sequential() {
+        let total = AtomicU64::new(0);
+        (1..=100usize).into_par_iter().for_each(|i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+}

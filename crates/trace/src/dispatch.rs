@@ -1,0 +1,69 @@
+//! Process-wide kernel-dispatch histogram.
+//!
+//! `gmg-runtime::kernel` classifies every kernel-case execution into one of
+//! five dispatch classes and bumps one relaxed atomic here — once per case
+//! execution (i.e. per stage per tile), not per row, so the cost is noise.
+//! Global statics (rather than per-`Trace` state) keep the hot path free of
+//! any handle indirection; `reset()` lets harness sections scope the counts.
+
+#[cfg(feature = "capture")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which code path executed a kernel case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Kind {
+    /// Unit-stride row kernel with the tap count fully unrolled.
+    UnitUnrolled = 0,
+    /// Unit-stride kernel factored by coefficient spans (high tap counts).
+    UnitFactored = 1,
+    /// Unit-stride generic per-tap fallback loop.
+    UnitFallback = 2,
+    /// Strided row kernel (restriction / interpolation accesses).
+    Strided = 3,
+    /// Expression-tree interpreter (no linearized form).
+    Interpreter = 4,
+}
+
+pub const KINDS: usize = 5;
+
+pub const LABELS: [&str; KINDS] =
+    ["unit_unrolled", "unit_factored", "unit_fallback", "strided", "interpreter"];
+
+#[cfg(feature = "capture")]
+static COUNTS: [AtomicU64; KINDS] = [const { AtomicU64::new(0) }; KINDS];
+
+/// Count `n` executions of dispatch class `kind`.
+#[inline]
+pub fn record(kind: Kind, n: u64) {
+    #[cfg(feature = "capture")]
+    COUNTS[kind as usize].fetch_add(n, Ordering::Relaxed);
+    #[cfg(not(feature = "capture"))]
+    {
+        let _ = (kind, n);
+    }
+}
+
+/// Current histogram, indexed like [`LABELS`].
+pub fn snapshot() -> [u64; KINDS] {
+    #[cfg(feature = "capture")]
+    {
+        let mut out = [0u64; KINDS];
+        for (o, c) in out.iter_mut().zip(COUNTS.iter()) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        [0u64; KINDS]
+    }
+}
+
+/// Zero the histogram (harness sections call this between experiments).
+pub fn reset() {
+    #[cfg(feature = "capture")]
+    for c in COUNTS.iter() {
+        c.store(0, Ordering::Relaxed);
+    }
+}

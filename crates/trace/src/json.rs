@@ -1,0 +1,102 @@
+//! Hand-rolled JSON rendering for [`Report`] (no serde in the offline
+//! build). Output is deliberately flat and stable so downstream scripts can
+//! diff two profiles textually.
+
+use crate::{dispatch, Report};
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn f64_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+pub(crate) fn report_to_json(r: &Report) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n  \"meta\": {");
+    for (i, (k, v)) in r.meta.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    ");
+        esc(&mut s, k);
+        s.push_str(": ");
+        esc(&mut s, v);
+    }
+    if !r.meta.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("},\n  \"stages\": [");
+    for (i, st) in r.stages.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"name\": ");
+        esc(&mut s, &st.name);
+        s.push_str(", \"kind\": ");
+        esc(&mut s, &st.kind);
+        s.push_str(&format!(
+            ", \"seconds\": {}, \"invocations\": {}, \"tiles\": {}, \"cells\": {}}}",
+            f64_json(st.ns as f64 * 1e-9),
+            st.invocations,
+            st.tiles,
+            st.cells
+        ));
+    }
+    if !r.stages.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"dispatch\": {");
+    for (i, (label, count)) in dispatch::LABELS.iter().zip(r.dispatch.iter()).enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{label}\": {count}"));
+    }
+    s.push_str(&format!(
+        "}},\n  \"pool\": {{\"hits\": {}, \"misses\": {}, \"allocated_bytes\": {}, \"peak_live_bytes\": {}}},\n",
+        r.pool.hits, r.pool.misses, r.pool.allocated_bytes, r.pool.peak_live_bytes
+    ));
+    s.push_str(&format!(
+        "  \"arena\": {{\"created\": {}, \"recycled\": {}}},\n",
+        r.arena_created, r.arena_recycled
+    ));
+    s.push_str(&format!(
+        "  \"comm\": {{\"messages\": {}, \"doubles\": {}, \"collectives\": {}}},\n",
+        r.comm.messages, r.comm.doubles, r.comm.collectives
+    ));
+    s.push_str("  \"cycles\": [");
+    for (i, c) in r.cycles.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"index\": {}, \"seconds\": {}, \"residual\": {}}}",
+            c.index,
+            f64_json(c.ns as f64 * 1e-9),
+            f64_json(c.residual)
+        ));
+    }
+    if !r.cycles.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}");
+    s
+}

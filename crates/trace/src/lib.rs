@@ -1,0 +1,443 @@
+//! `gmg-trace` — pipeline-wide tracing and metrics for the PolyMG stack.
+//!
+//! Every layer of the execution path reports into one [`Trace`] handle:
+//!
+//! * `gmg-runtime::exec` records per-stage / per-tile timing spans through
+//!   interned [`StageHandle`]s (lock-free atomic adds on the hot path);
+//! * `gmg-runtime::kernel` counts which dispatch class fired for each
+//!   kernel case (specialized unit-stride unroll vs. coefficient-factored
+//!   vs. generic tap loop vs. strided vs. interpreter) via the global
+//!   [`dispatch`] histogram;
+//! * `gmg-runtime::pool` / `arena` feed allocator reuse statistics;
+//! * `gmg-dist::halo` feeds communication volumes;
+//! * `gmg-multigrid::solver` emits one [`CycleEvent`] (time + residual)
+//!   per multigrid cycle.
+//!
+//! The default backend is [`AtomicSink`]: plain relaxed atomics, safe to
+//! hammer from every worker thread. A [`NoopSink`] exists for plumbing
+//! tests, and compiling with `--no-default-features` (dropping the
+//! `capture` feature) turns every record path into a compile-time no-op.
+//!
+//! [`Report::to_json`] renders the collected data as the structured JSON
+//! emitted by `reproduce --profile` / `polymg-cli --profile` (schema in
+//! DESIGN.md §Observability).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub mod dispatch;
+mod json;
+
+// ---------------------------------------------------------------------------
+// Snapshot types shared across crates
+// ---------------------------------------------------------------------------
+
+/// Allocator counters, either absolute (as kept by `BufferPool`) or as a
+/// delta between two observations (as ingested by [`Trace::record_pool`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub allocated_bytes: u64,
+    /// Peak concurrently-live bytes; merged with `max`, never summed.
+    pub peak_live_bytes: u64,
+}
+
+impl PoolSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating), keeping the
+    /// later peak. Used to ingest monotonic pool counters incrementally.
+    pub fn delta_since(&self, earlier: &PoolSnapshot) -> PoolSnapshot {
+        PoolSnapshot {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            allocated_bytes: self.allocated_bytes.saturating_sub(earlier.allocated_bytes),
+            peak_live_bytes: self.peak_live_bytes,
+        }
+    }
+}
+
+/// Halo-exchange communication counters (mirrors `gmg-dist`'s `CommStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommSnapshot {
+    pub messages: u64,
+    pub doubles: u64,
+    pub collectives: u64,
+}
+
+/// One multigrid cycle: wall time and the residual norm after the cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CycleEvent {
+    pub index: u64,
+    pub ns: u64,
+    pub residual: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Sink trait + implementations
+// ---------------------------------------------------------------------------
+
+/// Backend receiving trace records. All methods must be cheap and callable
+/// concurrently from worker threads.
+pub trait TraceSink: Send + Sync {
+    fn record_span(&self, name: &str, kind: &str, ns: u64, tiles: u64, cells: u64);
+    fn record_pool(&self, delta: &PoolSnapshot);
+    fn record_arena(&self, created: u64, recycled: u64);
+    fn record_comm(&self, delta: &CommSnapshot);
+    fn record_cycle(&self, event: CycleEvent);
+}
+
+/// Sink that drops everything; useful to exercise plumbing in tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record_span(&self, _: &str, _: &str, _: u64, _: u64, _: u64) {}
+    fn record_pool(&self, _: &PoolSnapshot) {}
+    fn record_arena(&self, _: u64, _: u64) {}
+    fn record_comm(&self, _: &CommSnapshot) {}
+    fn record_cycle(&self, _: CycleEvent) {}
+}
+
+/// Per-stage aggregate. Hot-path updates are relaxed atomic adds through
+/// [`StageHandle`]; names are interned once per (name, kind) pair.
+#[derive(Debug)]
+pub struct StageAgg {
+    name: String,
+    kind: String,
+    ns: AtomicU64,
+    invocations: AtomicU64,
+    tiles: AtomicU64,
+    cells: AtomicU64,
+}
+
+impl StageAgg {
+    fn new(name: &str, kind: &str) -> Self {
+        StageAgg {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            ns: AtomicU64::new(0),
+            invocations: AtomicU64::new(0),
+            tiles: AtomicU64::new(0),
+            cells: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn add(&self, ns: u64, tiles: u64, cells: u64) {
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.tiles.fetch_add(tiles, Ordering::Relaxed);
+        self.cells.fetch_add(cells, Ordering::Relaxed);
+    }
+}
+
+/// The default lock-free collector. Locks are only taken when interning a
+/// new stage name or appending a cycle event — never per tile.
+#[derive(Debug, Default)]
+pub struct AtomicSink {
+    stages: Mutex<Vec<Arc<StageAgg>>>,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    pool_allocated: AtomicU64,
+    pool_peak: AtomicU64,
+    arena_created: AtomicU64,
+    arena_recycled: AtomicU64,
+    comm_messages: AtomicU64,
+    comm_doubles: AtomicU64,
+    comm_collectives: AtomicU64,
+    cycles: Mutex<Vec<CycleEvent>>,
+    meta: Mutex<Vec<(String, String)>>,
+}
+
+impl AtomicSink {
+    fn intern(&self, name: &str, kind: &str) -> Arc<StageAgg> {
+        let mut stages = self.stages.lock().unwrap();
+        if let Some(s) = stages.iter().find(|s| s.name == name && s.kind == kind) {
+            return Arc::clone(s);
+        }
+        let agg = Arc::new(StageAgg::new(name, kind));
+        stages.push(Arc::clone(&agg));
+        agg
+    }
+}
+
+impl TraceSink for AtomicSink {
+    fn record_span(&self, name: &str, kind: &str, ns: u64, tiles: u64, cells: u64) {
+        self.intern(name, kind).add(ns, tiles, cells);
+    }
+
+    fn record_pool(&self, delta: &PoolSnapshot) {
+        self.pool_hits.fetch_add(delta.hits, Ordering::Relaxed);
+        self.pool_misses.fetch_add(delta.misses, Ordering::Relaxed);
+        self.pool_allocated.fetch_add(delta.allocated_bytes, Ordering::Relaxed);
+        self.pool_peak.fetch_max(delta.peak_live_bytes, Ordering::Relaxed);
+    }
+
+    fn record_arena(&self, created: u64, recycled: u64) {
+        self.arena_created.fetch_add(created, Ordering::Relaxed);
+        self.arena_recycled.fetch_add(recycled, Ordering::Relaxed);
+    }
+
+    fn record_comm(&self, delta: &CommSnapshot) {
+        self.comm_messages.fetch_add(delta.messages, Ordering::Relaxed);
+        self.comm_doubles.fetch_add(delta.doubles, Ordering::Relaxed);
+        self.comm_collectives.fetch_add(delta.collectives, Ordering::Relaxed);
+    }
+
+    fn record_cycle(&self, event: CycleEvent) {
+        self.cycles.lock().unwrap().push(event);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace handle
+// ---------------------------------------------------------------------------
+
+/// Cheap-to-clone handle threaded through engine, solver, and harness.
+/// A disabled handle (`Trace::disabled()` / `Trace::default()`) reduces
+/// every record call to a `None` check.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    sink: Option<Arc<AtomicSink>>,
+}
+
+impl Trace {
+    /// A handle that records nothing (the default).
+    pub fn disabled() -> Trace {
+        Trace { sink: None }
+    }
+
+    /// A live handle backed by a fresh [`AtomicSink`]. Without the
+    /// `capture` feature this still returns a disabled handle.
+    pub fn enabled() -> Trace {
+        #[cfg(feature = "capture")]
+        {
+            Trace { sink: Some(Arc::new(AtomicSink::default())) }
+        }
+        #[cfg(not(feature = "capture"))]
+        {
+            Trace { sink: None }
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Intern a stage and return a hot-path handle for it. Call once per
+    /// stage at setup time, not per tile.
+    pub fn stage(&self, name: &str, kind: &str) -> StageHandle {
+        StageHandle { agg: self.sink.as_ref().map(|s| s.intern(name, kind)) }
+    }
+
+    /// One-shot span record (setup paths where a handle isn't worth caching).
+    pub fn record_span(&self, name: &str, kind: &str, ns: u64, tiles: u64, cells: u64) {
+        if let Some(s) = &self.sink {
+            s.record_span(name, kind, ns, tiles, cells);
+        }
+    }
+
+    pub fn record_pool(&self, delta: &PoolSnapshot) {
+        if let Some(s) = &self.sink {
+            s.record_pool(delta);
+        }
+    }
+
+    pub fn record_arena(&self, created: u64, recycled: u64) {
+        if let Some(s) = &self.sink {
+            s.record_arena(created, recycled);
+        }
+    }
+
+    pub fn record_comm(&self, delta: &CommSnapshot) {
+        if let Some(s) = &self.sink {
+            s.record_comm(delta);
+        }
+    }
+
+    pub fn record_cycle(&self, index: u64, ns: u64, residual: f64) {
+        if let Some(s) = &self.sink {
+            s.record_cycle(CycleEvent { index, ns, residual });
+        }
+    }
+
+    /// Attach a key/value to the report's `meta` section (last write wins).
+    pub fn set_meta(&self, key: &str, value: impl Into<String>) {
+        if let Some(s) = &self.sink {
+            let mut meta = s.meta.lock().unwrap();
+            let value = value.into();
+            if let Some(kv) = meta.iter_mut().find(|(k, _)| k == key) {
+                kv.1 = value;
+            } else {
+                meta.push((key.to_string(), value));
+            }
+        }
+    }
+
+    /// Snapshot everything collected so far (plus the process-wide kernel
+    /// dispatch histogram). `None` for a disabled handle.
+    pub fn report(&self) -> Option<Report> {
+        let sink = self.sink.as_ref()?;
+        let stages = sink
+            .stages
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| StageReport {
+                name: s.name.clone(),
+                kind: s.kind.clone(),
+                ns: s.ns.load(Ordering::Relaxed),
+                invocations: s.invocations.load(Ordering::Relaxed),
+                tiles: s.tiles.load(Ordering::Relaxed),
+                cells: s.cells.load(Ordering::Relaxed),
+            })
+            .collect();
+        Some(Report {
+            meta: sink.meta.lock().unwrap().clone(),
+            stages,
+            dispatch: dispatch::snapshot(),
+            pool: PoolSnapshot {
+                hits: sink.pool_hits.load(Ordering::Relaxed),
+                misses: sink.pool_misses.load(Ordering::Relaxed),
+                allocated_bytes: sink.pool_allocated.load(Ordering::Relaxed),
+                peak_live_bytes: sink.pool_peak.load(Ordering::Relaxed),
+            },
+            arena_created: sink.arena_created.load(Ordering::Relaxed),
+            arena_recycled: sink.arena_recycled.load(Ordering::Relaxed),
+            comm: CommSnapshot {
+                messages: sink.comm_messages.load(Ordering::Relaxed),
+                doubles: sink.comm_doubles.load(Ordering::Relaxed),
+                collectives: sink.comm_collectives.load(Ordering::Relaxed),
+            },
+            cycles: sink.cycles.lock().unwrap().clone(),
+        })
+    }
+}
+
+/// Hot-path handle for one stage: three relaxed atomic adds per record,
+/// or nothing at all when the owning trace is disabled.
+#[derive(Clone, Debug)]
+pub struct StageHandle {
+    agg: Option<Arc<StageAgg>>,
+}
+
+impl StageHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> StageHandle {
+        StageHandle { agg: None }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.agg.is_some()
+    }
+
+    #[inline]
+    pub fn record(&self, ns: u64, tiles: u64, cells: u64) {
+        if let Some(agg) = &self.agg {
+            agg.add(ns, tiles, cells);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    pub name: String,
+    pub kind: String,
+    pub ns: u64,
+    pub invocations: u64,
+    pub tiles: u64,
+    pub cells: u64,
+}
+
+/// A point-in-time snapshot of one [`Trace`], renderable as JSON.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub meta: Vec<(String, String)>,
+    pub stages: Vec<StageReport>,
+    pub dispatch: [u64; dispatch::KINDS],
+    pub pool: PoolSnapshot,
+    pub arena_created: u64,
+    pub arena_recycled: u64,
+    pub comm: CommSnapshot,
+    pub cycles: Vec<CycleEvent>,
+}
+
+impl Report {
+    pub fn to_json(&self) -> String {
+        json::report_to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        let h = t.stage("sm", "overlapped");
+        h.record(100, 1, 64);
+        t.record_cycle(0, 5, 1.0);
+        assert!(!t.is_enabled());
+        assert!(t.report().is_none());
+    }
+
+    #[test]
+    fn spans_aggregate_by_name_and_kind() {
+        let t = Trace::enabled();
+        let h1 = t.stage("sm", "overlapped");
+        let h2 = t.stage("sm", "overlapped");
+        h1.record(100, 2, 64);
+        h2.record(50, 1, 32);
+        t.stage("r", "untiled").record(10, 1, 16);
+        let r = t.report().unwrap();
+        assert_eq!(r.stages.len(), 2);
+        let sm = r.stages.iter().find(|s| s.name == "sm").unwrap();
+        assert_eq!((sm.ns, sm.invocations, sm.tiles, sm.cells), (150, 2, 3, 96));
+    }
+
+    #[test]
+    fn pool_deltas_sum_and_peak_maxes() {
+        let t = Trace::enabled();
+        t.record_pool(&PoolSnapshot { hits: 1, misses: 2, allocated_bytes: 100, peak_live_bytes: 80 });
+        t.record_pool(&PoolSnapshot { hits: 3, misses: 0, allocated_bytes: 0, peak_live_bytes: 40 });
+        let r = t.report().unwrap();
+        assert_eq!(r.pool.hits, 4);
+        assert_eq!(r.pool.misses, 2);
+        assert_eq!(r.pool.allocated_bytes, 100);
+        assert_eq!(r.pool.peak_live_bytes, 80);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let t = Trace::enabled();
+        t.set_meta("source", "unit-test \"quoted\"");
+        t.stage("sm", "diamond").record(1_000, 4, 256);
+        t.record_cycle(0, 2_000, 0.125);
+        t.record_comm(&CommSnapshot { messages: 2, doubles: 128, collectives: 1 });
+        let s = t.report().unwrap().to_json();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        for key in ["\"meta\"", "\"stages\"", "\"dispatch\"", "\"pool\"", "\"arena\"", "\"comm\"", "\"cycles\""] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+        assert!(s.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn noop_sink_accepts_everything() {
+        let s = NoopSink;
+        s.record_span("x", "untiled", 1, 1, 1);
+        s.record_pool(&PoolSnapshot::default());
+        s.record_arena(1, 2);
+        s.record_comm(&CommSnapshot::default());
+        s.record_cycle(CycleEvent { index: 0, ns: 1, residual: 0.0 });
+    }
+}

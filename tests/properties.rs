@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 
 use polymg_repro::compiler::storage::{remap_storage, RemapItem, StorageClass};
-use polymg_repro::ir::expr::{Access, Expr, Operand};
+use polymg_repro::ir::expr::Operand;
 use polymg_repro::ir::linearize;
 use polymg_repro::poly::diamond::split_time_tiling;
 use polymg_repro::poly::region::{propagate_regions, GroupEdge, GroupStage};
@@ -220,7 +220,7 @@ proptest! {
     }
 }
 
-/// Pool safety under a random alloc/free trace (deterministic shrinking).
+// Pool safety under a random alloc/free trace (deterministic shrinking).
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
