@@ -10,5 +10,10 @@ export CARGO_NET_OFFLINE=true
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo doc --no-deps --workspace
+
+# smoke: schedule-IR dump on a small 2-D V-cycle must produce an op stream
+cargo run --release -p gmg-bench --bin polymg-cli -- V-2D-2-2-2 --n 31 --dump-schedule \
+  | grep -q "run_" || { echo "ci: --dump-schedule produced no ops" >&2; exit 1; }
 
 echo "ci: all green"

@@ -29,7 +29,11 @@ fn bench(c: &mut Criterion) {
             let fin = vec![0.2; len];
             let mut out = vec![0.0; len];
             g.bench_function(BenchmarkId::new(format!("steps{steps}"), label), |b| {
-                b.iter(|| engine.run(&[("V", &vin), ("F", &fin)], vec![("out", &mut out)]));
+                b.iter(|| {
+                    engine
+                        .run(&[("V", &vin), ("F", &fin)], vec![("out", &mut out)])
+                        .unwrap()
+                });
             });
         }
     }

@@ -4,7 +4,7 @@
 //! ```text
 //! polymg-cli <benchmark> [--variant naive|opt|opt+|dtile-opt+]
 //!            [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb]
-//!            [--emit dump|dot|c|stats] [-o FILE]
+//!            [--emit dump|dot|c|stats] [--dump-schedule] [-o FILE]
 //!            [--profile OUT.json [--iters N]]
 //!
 //! <benchmark> ∈ {V-2D, W-2D, F-2D, V-3D, W-3D, F-3D} with an optional
@@ -13,23 +13,26 @@
 //!
 //! `--emit c` writes the Figure-8 C translation unit; `--emit dot` the
 //! Graphviz DAG; `--emit dump` the Figures-6/7 grouping report (default);
-//! `--emit stats` a one-line plan summary.
+//! `--emit stats` a one-line plan summary. `--dump-schedule` prints the
+//! lowered schedule IR instead — the flat op stream the VM interprets, with
+//! slot table and per-op geometry summaries.
 //!
 //! `--profile OUT.json` additionally *executes* the compiled plan (`--iters`
 //! multigrid cycles on the manufactured Poisson problem, default 2) under a
-//! `gmg-trace` handle and writes the captured profile — per-stage times,
-//! kernel-dispatch histogram, pool/arena counters, per-cycle residuals — as
-//! JSON. It also prints the human-readable observability dump to stderr.
+//! `gmg-trace` handle and writes the captured profile — per-stage and
+//! per-op times, kernel-dispatch histogram, pool/arena and plan-cache
+//! counters, per-cycle residuals — as JSON. It also prints the
+//! human-readable observability dump to stderr.
 
 use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
 use gmg_multigrid::cycles::build_cycle_pipeline;
-use polymg::{codegen, compile, report, PipelineOptions, Variant};
+use polymg::{codegen, report, PipelineOptions, Variant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: polymg-cli <V-2D[-a-b-c]|W-3D[-a-b-c]|…> [--variant naive|opt|opt+|dtile-opt+]\n\
-         \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--emit dump|dot|c|stats] [-o FILE]\n\
-         \x20      [--profile OUT.json [--iters N]]"
+         \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--emit dump|dot|c|stats]\n\
+         \x20      [--dump-schedule] [-o FILE] [--profile OUT.json [--iters N]]"
     );
     std::process::exit(2);
 }
@@ -75,6 +78,7 @@ fn main() {
     let mut gsrb = false;
     let mut profile: Option<String> = None;
     let mut profile_iters = 2usize;
+    let mut dump_schedule = false;
 
     let mut i = 1;
     while i < args.len() {
@@ -111,6 +115,7 @@ fn main() {
                 emit = args[i].clone();
             }
             "--gsrb" => gsrb = true,
+            "--dump-schedule" => dump_schedule = true,
             "-o" => {
                 i += 1;
                 out_file = Some(args[i].clone());
@@ -144,7 +149,7 @@ fn main() {
         }
         opts.tile_sizes = t;
     }
-    let plan = match compile(&pipeline, &gmg_ir::ParamBindings::new(), opts) {
+    let plan = match polymg::compile_cached(&pipeline, &gmg_ir::ParamBindings::new(), opts) {
         Ok(p) => p,
         Err(errs) => {
             eprintln!("compilation failed:");
@@ -155,29 +160,33 @@ fn main() {
         }
     };
 
-    let output = match emit.as_str() {
-        "dump" => report::grouping_dump(&plan),
-        "dot" => report::dot_dump(&plan),
-        "c" => codegen::emit_c(&plan),
-        "stats" => {
-            let s = report::stats(&plan);
-            format!(
-                "{} [{}]: {} stages → {} groups ({} overlapped, {} diamond, {} untiled), \
-                 {} full arrays / {} KiB intermediates, {} scratch buffers / {} KiB peak per worker\n",
-                cfg.tag(),
-                variant.label(),
-                s.num_stages,
-                s.num_groups,
-                s.num_overlapped_groups,
-                s.num_diamond_groups,
-                s.num_untiled_groups,
-                s.num_full_arrays,
-                s.intermediate_bytes / 1024,
-                s.total_scratch_buffers,
-                s.peak_scratch_bytes / 1024,
-            )
+    let output = if dump_schedule {
+        polymg::schedule::lower(&plan).dump()
+    } else {
+        match emit.as_str() {
+            "dump" => report::grouping_dump(&plan),
+            "dot" => report::dot_dump(&plan),
+            "c" => codegen::emit_c(&plan),
+            "stats" => {
+                let s = report::stats(&plan);
+                format!(
+                    "{} [{}]: {} stages → {} groups ({} overlapped, {} diamond, {} untiled), \
+                     {} full arrays / {} KiB intermediates, {} scratch buffers / {} KiB peak per worker\n",
+                    cfg.tag(),
+                    variant.label(),
+                    s.num_stages,
+                    s.num_groups,
+                    s.num_overlapped_groups,
+                    s.num_diamond_groups,
+                    s.num_untiled_groups,
+                    s.num_full_arrays,
+                    s.intermediate_bytes / 1024,
+                    s.total_scratch_buffers,
+                    s.peak_scratch_bytes / 1024,
+                )
+            }
+            _ => usage(),
         }
-        _ => usage(),
     };
 
     match out_file {
@@ -198,6 +207,8 @@ fn main() {
         runner.set_trace(trace.clone());
         let (mut v, f, _) = setup_poisson(&cfg);
         let res = run_cycles_traced(&mut runner, &cfg, &mut v, &f, profile_iters, &trace);
+        let (hits, misses) = polymg::PlanCache::global().counters();
+        trace.record_plan_cache(hits, misses);
         match trace.report() {
             Some(rep) => {
                 eprint!("{}", report::observability_dump(runner.engine_mut().plan(), &rep));

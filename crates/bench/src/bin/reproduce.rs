@@ -147,6 +147,8 @@ fn main() {
     }
 
     if let Some(path) = profile {
+        let (hits, misses) = polymg::PlanCache::global().counters();
+        trace.record_plan_cache(hits, misses);
         match trace.report() {
             Some(rep) => {
                 std::fs::write(&path, rep.to_json()).expect("write profile");

@@ -121,7 +121,7 @@ pub fn table3(o: &ExpOptions) -> String {
             let graph = gmg_ir::StageGraph::build(&pipeline, &ParamBindings::new());
             let mut opts = PipelineOptions::for_variant(Variant::OptPlus, ndims);
             opts.tile_sizes = harness_tiles(ndims);
-            let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+            let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts).unwrap();
             let stats = polymg::report::stats(&plan);
             let mut naive = make_runner(&cfg, ImplKind::PolymgNaive, 1);
             let t = min_time(&mut *naive, &cfg, o.iters(ndims), o.repeats);
@@ -298,7 +298,7 @@ pub fn fig11a(o: &ExpOptions) -> String {
             opts.tile_sizes = harness_tiles(3);
             opts.threads = o.threads[0];
             opts.dtile_band = 4;
-            let plan = polymg::compile(&p, &ParamBindings::new(), opts).unwrap();
+            let plan = polymg::compile_cached(&p, &ParamBindings::new(), opts).unwrap();
             let mut engine = Engine::new(plan);
             engine.set_trace(o.trace.clone());
             let e = (n + 2) as usize;
@@ -312,7 +312,9 @@ pub fn fig11a(o: &ExpOptions) -> String {
             let reps = o.repeats.max(1) * 2;
             let t0 = Instant::now();
             for _ in 0..reps {
-                engine.run(&[("V", &vin), ("F", &fin)], vec![("out", &mut buf)]);
+                engine
+                    .run(&[("V", &vin), ("F", &fin)], vec![("out", &mut buf)])
+                    .unwrap();
             }
             let secs = t0.elapsed().as_secs_f64() / reps as f64;
             if base.is_none() {
@@ -372,7 +374,7 @@ pub fn fig11b(o: &ExpOptions) -> String {
             opts.threads = o.threads[0];
             tweak(&mut opts);
             let pipeline = build_cycle_pipeline(&cfg);
-            let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+            let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts).unwrap();
             let bytes = plan.storage.intermediate_bytes();
             let mut runner = gmg_multigrid::solver::DslRunner::from_plan(plan, &cfg);
             runner.set_trace(o.trace.clone());
@@ -427,7 +429,7 @@ pub fn fig12(o: &ExpOptions, stride: usize) -> String {
             let mut opts = PipelineOptions::for_variant(variant, 2);
             opts = tc.apply(&opts);
             opts.threads = o.threads[0];
-            let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+            let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts).unwrap();
             let mut runner = gmg_multigrid::solver::DslRunner::from_plan(plan, &cfg);
             let t = min_time(&mut runner, &cfg, iters, 1);
             let _ = write!(row, " {:>11.3}s", t.seconds());
@@ -450,7 +452,7 @@ pub fn grouping_report(class: SizeClass) -> String {
     let pipeline = build_cycle_pipeline(&cfg);
     let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
     opts.tile_sizes = harness_tiles(2);
-    let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+    let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts).unwrap();
     format!(
         "== Figures 6/7: grouping & storage mapping (2D V-4-4-4) ==\n{}",
         polymg::report::grouping_dump(&plan)
@@ -465,7 +467,7 @@ pub fn dot_report(class: SizeClass) -> String {
         let pipeline = build_cycle_pipeline(&cfg);
         let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
         opts.tile_sizes = harness_tiles(2);
-        let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+        let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts).unwrap();
         std::fs::create_dir_all("reports").ok();
         let path = format!("reports/dag_{}.dot", cfg.tag());
         std::fs::write(&path, polymg::report::dot_dump(&plan)).expect("write dot");
@@ -529,7 +531,7 @@ pub fn memory_report(o: &ExpOptions) -> String {
             let mut opts = PipelineOptions::for_variant(kind.variant().unwrap(), ndims);
             opts.tile_sizes = harness_tiles(ndims);
             opts.threads = o.threads[0];
-            let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts).unwrap();
+            let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts).unwrap();
             let static_cols = format!(
                 "{:>4} arrays, {:>9} KiB intermediates, {:>7} KiB scratch/worker",
                 plan.storage.num_intermediate_arrays(),

@@ -1,0 +1,338 @@
+//! The plan cache: compiled pipelines keyed by a structural fingerprint of
+//! `(Pipeline, ParamBindings, PipelineOptions)`.
+//!
+//! Compiling a pipeline (lowering + grouping + tiling + storage planning)
+//! is pure: the same inputs always produce the same plan. Serving many
+//! solves therefore must not recompile per solver construction — the
+//! `DslRunner`, the NAS runner, autotuning sweeps and the bench harnesses
+//! all funnel through [`compile_cached`], which returns a shared
+//! [`Arc<CompiledPipeline>`] from the process-wide [`PlanCache`]. Hit/miss
+//! counters are published into trace reports (`plan_cache` section).
+
+use crate::compile::compile;
+use crate::options::{PipelineOptions, TilingMode};
+use crate::plan::CompiledPipeline;
+use gmg_ir::{ParamBindings, Pipeline};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// 64-bit FNV-1a, fed field by field with type tags so adjacent fields
+/// cannot alias (e.g. `group_limit=12, band=4` vs `group_limit=1, band=24`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.bytes(&[t]);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.bytes(&[v as u8]);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Structural fingerprint of one compilation request. Every
+/// [`PipelineOptions`] field participates; parameter bindings are hashed in
+/// sorted order (the map's iteration order is not deterministic).
+pub fn fingerprint(
+    pipeline: &Pipeline,
+    bindings: &ParamBindings,
+    options: &PipelineOptions,
+) -> u64 {
+    let mut h = Fnv::new();
+
+    // The pipeline is pure tree data (Vecs only), so its Debug rendering is
+    // a stable structural encoding.
+    h.tag(0x01);
+    h.str(&format!("{pipeline:?}"));
+
+    h.tag(0x02);
+    let mut pairs: Vec<(usize, i64)> = bindings.0.iter().map(|(p, v)| (p.0, *v)).collect();
+    pairs.sort_unstable();
+    h.u64(pairs.len() as u64);
+    for (p, v) in pairs {
+        h.u64(p as u64);
+        h.i64(v);
+    }
+
+    h.tag(0x03);
+    h.bool(matches!(options.tiling, TilingMode::Overlapped));
+    h.tag(0x04);
+    h.u64(options.group_limit as u64);
+    h.tag(0x05);
+    h.f64(options.overlap_threshold);
+    h.tag(0x06);
+    h.u64(options.tile_sizes.len() as u64);
+    for &t in &options.tile_sizes {
+        h.i64(t);
+    }
+    h.tag(0x07);
+    h.bool(options.intra_group_reuse);
+    h.tag(0x08);
+    h.bool(options.inter_group_reuse);
+    h.tag(0x09);
+    h.bool(options.pooled_allocation);
+    h.tag(0x0a);
+    h.bool(options.dtile_smoother);
+    h.tag(0x0b);
+    h.u64(options.dtile_band as u64);
+    h.tag(0x0c);
+    h.i64(options.scratch_quantum);
+    h.tag(0x0d);
+    h.bool(options.coeff_factoring);
+    h.tag(0x0e);
+    h.u64(options.threads as u64);
+    h.0
+}
+
+/// Fingerprint-keyed store of compiled plans with hit/miss counters.
+/// Counters are monotonic for the cache's lifetime — observers (tests,
+/// trace publishing) should work with deltas.
+#[derive(Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<u64, Arc<CompiledPipeline>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The process-wide cache shared by every runner/harness.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    /// Look up (or compile and insert) the plan for this request.
+    /// Compilation errors are returned directly and never cached.
+    pub fn get_or_compile(
+        &self,
+        pipeline: &Pipeline,
+        bindings: &ParamBindings,
+        options: PipelineOptions,
+    ) -> Result<Arc<CompiledPipeline>, Vec<String>> {
+        let key = fingerprint(pipeline, bindings, &options);
+        if let Some(plan) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        // Compile outside the lock: a miss may take milliseconds and other
+        // configurations should not serialise behind it.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(compile(pipeline, bindings, options)?);
+        let mut map = self.map.lock().unwrap();
+        // A racing thread may have inserted meanwhile; keep the first plan
+        // so every holder shares one allocation.
+        Ok(Arc::clone(map.entry(key).or_insert(plan)))
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan (counters keep running).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+/// Compile through the process-wide [`PlanCache`].
+pub fn compile_cached(
+    pipeline: &Pipeline,
+    bindings: &ParamBindings,
+    options: PipelineOptions,
+) -> Result<Arc<CompiledPipeline>, Vec<String>> {
+    PlanCache::global().get_or_compile(pipeline, bindings, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Variant;
+    use gmg_ir::expr::Operand;
+    use gmg_ir::stencil::stencil_2d;
+    use proptest::prelude::*;
+
+    fn five() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, -1.0, 0.0],
+            vec![-1.0, 4.0, -1.0],
+            vec![0.0, -1.0, 0.0],
+        ]
+    }
+
+    fn tiny_pipeline(name: &str, n: i64) -> Pipeline {
+        let mut p = Pipeline::new(name);
+        let f = p.input("F", 2, n, 0);
+        let d = p.function(
+            "defect",
+            2,
+            n,
+            0,
+            stencil_2d(Operand::Func(f), &five(), 1.0),
+        );
+        p.mark_output(d);
+        p
+    }
+
+    fn base_opts() -> PipelineOptions {
+        PipelineOptions::for_variant(Variant::OptPlus, 2)
+    }
+
+    #[test]
+    fn every_options_field_changes_the_fingerprint() {
+        let p = tiny_pipeline("fp", 63);
+        let b = ParamBindings::new();
+        let base = fingerprint(&p, &b, &base_opts());
+        type Mutation = Box<dyn Fn(&mut PipelineOptions)>;
+        let mutations: Vec<(&str, Mutation)> = vec![
+            ("tiling", Box::new(|o| o.tiling = TilingMode::None)),
+            ("group_limit", Box::new(|o| o.group_limit += 1)),
+            ("overlap_threshold", Box::new(|o| o.overlap_threshold += 0.5)),
+            ("tile_sizes", Box::new(|o| o.tile_sizes[0] += 8)),
+            ("intra_group_reuse", Box::new(|o| o.intra_group_reuse = !o.intra_group_reuse)),
+            ("inter_group_reuse", Box::new(|o| o.inter_group_reuse = !o.inter_group_reuse)),
+            ("pooled_allocation", Box::new(|o| o.pooled_allocation = !o.pooled_allocation)),
+            ("dtile_smoother", Box::new(|o| o.dtile_smoother = !o.dtile_smoother)),
+            ("dtile_band", Box::new(|o| o.dtile_band += 1)),
+            ("scratch_quantum", Box::new(|o| o.scratch_quantum += 1)),
+            ("coeff_factoring", Box::new(|o| o.coeff_factoring = !o.coeff_factoring)),
+            ("threads", Box::new(|o| o.threads += 1)),
+        ];
+        for (field, m) in mutations {
+            let mut o = base_opts();
+            m(&mut o);
+            assert_ne!(
+                fingerprint(&p, &b, &o),
+                base,
+                "mutating `{field}` must change the fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_and_bindings_change_the_fingerprint() {
+        let b = ParamBindings::new();
+        let fp1 = fingerprint(&tiny_pipeline("a", 63), &b, &base_opts());
+        let fp2 = fingerprint(&tiny_pipeline("b", 63), &b, &base_opts());
+        let fp3 = fingerprint(&tiny_pipeline("a", 127), &b, &base_opts());
+        assert_ne!(fp1, fp2);
+        assert_ne!(fp1, fp3);
+
+        let mut bound = ParamBindings::new();
+        bound.0.insert(gmg_ir::ParamId(0), 7);
+        let fp4 = fingerprint(&tiny_pipeline("a", 63), &bound, &base_opts());
+        assert_ne!(fp1, fp4);
+    }
+
+    #[test]
+    fn hits_and_misses_count() {
+        let cache = PlanCache::new();
+        let p = tiny_pipeline("counted", 63);
+        let b = ParamBindings::new();
+        let plan1 = cache.get_or_compile(&p, &b, base_opts()).unwrap();
+        assert_eq!(cache.counters(), (0, 1));
+        let plan2 = cache.get_or_compile(&p, &b, base_opts()).unwrap();
+        assert_eq!(cache.counters(), (1, 1));
+        assert!(Arc::ptr_eq(&plan1, &plan2), "a hit shares the compiled plan");
+
+        let mut other = base_opts();
+        other.tile_sizes = vec![16, 256];
+        let plan3 = cache.get_or_compile(&p, &b, other).unwrap();
+        assert_eq!(cache.counters(), (1, 2));
+        assert!(!Arc::ptr_eq(&plan1, &plan3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = PlanCache::new();
+        // radius-2 read with ghost depth 1 -> validation error
+        let mut p = Pipeline::new("bad");
+        let f = p.input("F", 2, 63, 0);
+        let s = p.function("oob", 2, 63, 0, Operand::Func(f).at(&[0, 2]));
+        p.mark_output(s);
+        let b = ParamBindings::new();
+        assert!(cache.get_or_compile(&p, &b, base_opts()).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters().0, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random single-field perturbations never collide with the base
+        /// fingerprint, and equal option sets always agree.
+        #[test]
+        fn perturbed_options_never_alias(
+            field in 0usize..12,
+            delta in 1u32..9,
+        ) {
+            let p = tiny_pipeline("prop", 63);
+            let b = ParamBindings::new();
+            let base = base_opts();
+            let mut o = base_opts();
+            let d = delta as usize;
+            match field {
+                0 => o.tiling = TilingMode::None,
+                1 => o.group_limit += d,
+                2 => o.overlap_threshold += delta as f64 * 0.25,
+                3 => o.tile_sizes[0] += delta as i64,
+                4 => o.intra_group_reuse = !o.intra_group_reuse,
+                5 => o.inter_group_reuse = !o.inter_group_reuse,
+                6 => o.pooled_allocation = !o.pooled_allocation,
+                7 => o.dtile_smoother = !o.dtile_smoother,
+                8 => o.dtile_band += d,
+                9 => o.scratch_quantum += delta as i64,
+                10 => o.coeff_factoring = !o.coeff_factoring,
+                _ => o.threads += d,
+            }
+            prop_assert_ne!(fingerprint(&p, &b, &o), fingerprint(&p, &b, &base));
+            prop_assert_eq!(fingerprint(&p, &b, &base), fingerprint(&p, &b, &base_opts()));
+        }
+    }
+}

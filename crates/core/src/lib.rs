@@ -19,14 +19,21 @@
 //! 4. **Storage optimization** ([`storage`]) — the paper's Algorithms 2 & 3:
 //!    intra-group scratchpad reuse and inter-group full-array reuse over
 //!    storage classes, plus pooled allocation/deallocation points (§3.2).
-//! 5. **Autotuning** ([`autotune`]) — enumeration of tile-size × group-limit
+//! 5. **Schedule lowering** ([`schedule`]) — the plan is flattened into an
+//!    explicit [`schedule::ExecProgram`] op stream (the analogue of the
+//!    paper's generated C, Figure 8) that the runtime VM interprets.
+//! 6. **Autotuning** ([`autotune`]) — enumeration of tile-size × group-limit
 //!    configurations (§3.2.4).
+//!
+//! Compiled plans are shared through the fingerprint-keyed [`cache`], so
+//! repeated runner construction for one configuration compiles once.
 //!
 //! The variant matrix of the paper's evaluation (`polymg-naive`,
 //! `polymg-opt`, `polymg-opt+`, `polymg-dtile-opt+`) is expressed as
 //! [`options::PipelineOptions`] presets.
 
 pub mod autotune;
+pub mod cache;
 pub mod codegen;
 pub mod compile;
 pub mod grouping;
@@ -34,9 +41,12 @@ pub mod lowering;
 pub mod options;
 pub mod plan;
 pub mod report;
+pub mod schedule;
 pub mod storage;
 
+pub use cache::{compile_cached, PlanCache};
 pub use compile::compile;
+pub use schedule::{ExecOp, ExecProgram, OpInput, SlotSpec, StageExec};
 pub use options::{PipelineOptions, TilingMode, Variant};
 pub use plan::{
     ArraySpec, CompiledPipeline, GroupPlan, GroupTiling, KernelBody, KernelCase,

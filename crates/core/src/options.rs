@@ -127,6 +127,43 @@ impl PipelineOptions {
         }
     }
 
+    /// Compact human-readable rendering of the knob set, used in runner
+    /// labels and trace metadata (e.g. `tiled32x512,g6,intra,inter,pool`).
+    pub fn summary(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        parts.push(match self.tiling {
+            TilingMode::None => "untiled".to_string(),
+            TilingMode::Overlapped => format!(
+                "tiled{}",
+                self.tile_sizes
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+            ),
+        });
+        parts.push(format!("g{}", self.group_limit));
+        if self.intra_group_reuse {
+            parts.push("intra".to_string());
+        }
+        if self.inter_group_reuse {
+            parts.push("inter".to_string());
+        }
+        if self.pooled_allocation {
+            parts.push("pool".to_string());
+        }
+        if self.dtile_smoother {
+            parts.push(format!("dtile{}", self.dtile_band));
+        }
+        if !self.coeff_factoring {
+            parts.push("nocf".to_string());
+        }
+        if self.threads > 0 {
+            parts.push(format!("th{}", self.threads));
+        }
+        parts.join(",")
+    }
+
     /// The effective tile sizes for a rank (panics if too few are set).
     pub fn tiles_for_rank(&self, ndims: usize) -> Vec<i64> {
         assert!(

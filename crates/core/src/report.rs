@@ -112,6 +112,33 @@ pub fn observability_dump(plan: &CompiledPipeline, report: &gmg_trace::Report) -
             s.kind
         );
     }
+    if !report.ops.is_empty() {
+        let op_total: u64 = report.ops.iter().map(|o| o.ns).sum();
+        let _ = writeln!(out, "  schedule timeline ({} ops):", report.ops.len());
+        for o in &report.ops {
+            let pct = if op_total == 0 {
+                0.0
+            } else {
+                100.0 * o.ns as f64 / op_total as f64
+            };
+            let _ = writeln!(
+                out,
+                "    op {:>3} {:<14} {:>10.3} ms {:>5.1}%  ×{}",
+                o.index,
+                o.mnemonic,
+                o.ns as f64 / 1e6,
+                pct,
+                o.invocations
+            );
+        }
+    }
+    if report.plan_cache.hits + report.plan_cache.misses > 0 {
+        let _ = writeln!(
+            out,
+            "  plan cache: {} hits / {} misses",
+            report.plan_cache.hits, report.plan_cache.misses
+        );
+    }
     let _ = write!(out, "  dispatch:");
     for (label, count) in gmg_trace::dispatch::LABELS.iter().zip(report.dispatch) {
         if count > 0 {
@@ -358,6 +385,13 @@ mod tests {
                 tiles: 16,
                 cells: 127 * 127,
             }],
+            ops: vec![gmg_trace::OpReport {
+                index: 2,
+                mnemonic: "run_overlapped".to_string(),
+                ns: 2_000_000,
+                invocations: 1,
+            }],
+            plan_cache: gmg_trace::PlanCacheSnapshot { hits: 4, misses: 1 },
             dispatch: {
                 let mut d = [0u64; gmg_trace::dispatch::KINDS];
                 d[gmg_trace::dispatch::Kind::UnitUnrolled as usize] = 16;
@@ -380,6 +414,8 @@ mod tests {
         assert!((mem.pool_hit_rate() - 0.75).abs() < 1e-12);
         let d = observability_dump(&pl, &report);
         assert!(d.contains("sm_step0"));
+        assert!(d.contains("run_overlapped"));
+        assert!(d.contains("plan cache: 4 hits / 1 misses"));
         assert!(d.contains("unit_unrolled=16"));
         assert!(d.contains("3 hits / 1 misses"));
         assert!(d.contains("14 recycled"));

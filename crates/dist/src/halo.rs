@@ -117,43 +117,95 @@ impl SubGrid {
     }
 }
 
+/// Geometry of one rank's slab, detached from its storage — what
+/// [`exchange_views`] needs to exchange ghost rows over raw row-major
+/// buffers (e.g. VM slot arrays during a `HaloExchange` op).
+#[derive(Clone, Copy, Debug)]
+pub struct HaloMeta {
+    /// First/last owned interior row.
+    pub lo: i64,
+    pub hi: i64,
+    /// Ghost depth toward neighbouring ranks.
+    pub depth: i64,
+    /// Global interior size per dimension.
+    pub n: i64,
+    /// First global row stored.
+    pub first_row: i64,
+    /// Last global row stored.
+    pub last_row: i64,
+}
+
+impl HaloMeta {
+    /// Geometry of a [`SubGrid`].
+    pub fn of(g: &SubGrid) -> Self {
+        HaloMeta {
+            lo: g.lo,
+            hi: g.hi,
+            depth: g.depth,
+            n: g.n,
+            first_row: g.first_row,
+            last_row: g.last_row(),
+        }
+    }
+}
+
 /// Exchange up to `depth` ghost rows between neighbouring ranks for one
-/// field (the rows adjacent to each rank boundary). Models two messages per
-/// interior boundary (one each way) and returns the traffic.
-pub fn exchange(grids: &mut [SubGrid], depth: i64) -> CommStats {
-    let e = grids
-        .first()
-        .map(|g| (g.n + 2) as usize)
-        .unwrap_or(0);
+/// field held as raw dense row-major buffers (`(rows) × (n+2)` each,
+/// described by `metas`). Models two messages per interior boundary (one
+/// each way) and returns the traffic. This is the storage-agnostic core
+/// both [`exchange`] and the schedule VM's `HaloExchange` hook drive.
+pub fn exchange_views(
+    metas: &[HaloMeta],
+    views: &mut [&mut [f64]],
+    depth: i64,
+) -> CommStats {
+    assert_eq!(metas.len(), views.len());
+    let e = metas.first().map(|m| (m.n + 2) as usize).unwrap_or(0);
+    let row = |m: &HaloMeta, buf: &[f64], y: i64| -> Vec<f64> {
+        let r = (y - m.first_row) as usize;
+        buf[r * e..(r + 1) * e].to_vec()
+    };
+    let row_mut = |m: &HaloMeta, buf: &mut [f64], y: i64, src: &[f64]| {
+        let r = (y - m.first_row) as usize;
+        buf[r * e..(r + 1) * e].copy_from_slice(src);
+    };
     let mut stats = CommStats::default();
-    for i in 0..grids.len().saturating_sub(1) {
-        let (a, b) = {
-            let (l, r) = grids.split_at_mut(i + 1);
-            (&mut l[i], &mut r[0])
-        };
-        debug_assert_eq!(a.hi + 1, b.lo, "ranks must be adjacent");
-        let d = depth.min(a.depth).min(b.depth);
+    for i in 0..metas.len().saturating_sub(1) {
+        let (ma, mb) = (metas[i], metas[i + 1]);
+        debug_assert_eq!(ma.hi + 1, mb.lo, "ranks must be adjacent");
+        let (l, r) = views.split_at_mut(i + 1);
+        let (a, b) = (&mut *l[i], &mut *r[0]);
+        let d = depth.min(ma.depth).min(mb.depth);
         // a → b: a's top-owned d rows become b's lower ghost rows
         for k in 0..d {
-            let y = a.hi - k;
-            if y >= b.first_row && y >= a.lo {
-                let src = a.row(y).to_vec();
-                b.row_mut(y).copy_from_slice(&src);
+            let y = ma.hi - k;
+            if y >= mb.first_row && y >= ma.lo {
+                let src = row(&ma, a, y);
+                row_mut(&mb, b, y, &src);
                 stats.doubles += e;
             }
         }
         // b → a: b's bottom-owned d rows become a's upper ghost rows
         for k in 0..d {
-            let y = b.lo + k;
-            if y <= a.last_row() && y <= b.hi {
-                let src = b.row(y).to_vec();
-                a.row_mut(y).copy_from_slice(&src);
+            let y = mb.lo + k;
+            if y <= ma.last_row && y <= mb.hi {
+                let src = row(&mb, b, y);
+                row_mut(&ma, a, y, &src);
                 stats.doubles += e;
             }
         }
         stats.messages += 2;
     }
     stats
+}
+
+/// Exchange up to `depth` ghost rows between neighbouring ranks for one
+/// field (the rows adjacent to each rank boundary). Models two messages per
+/// interior boundary (one each way) and returns the traffic.
+pub fn exchange(grids: &mut [SubGrid], depth: i64) -> CommStats {
+    let metas: Vec<HaloMeta> = grids.iter().map(HaloMeta::of).collect();
+    let mut views: Vec<&mut [f64]> = grids.iter_mut().map(|g| g.data.as_mut_slice()).collect();
+    exchange_views(&metas, &mut views, depth)
 }
 
 /// [`exchange`] that also feeds the traffic into a [`gmg_trace::Trace`]

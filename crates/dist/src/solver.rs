@@ -14,14 +14,29 @@
 //! a distributed-memory parallelization setting" — depth 1 is the classic
 //! exchange-every-step scheme; deeper halos trade redundant flops for
 //! fewer, larger messages.
+//!
+//! The smoother batches are *not* hand-looped: each batch size lowers once
+//! into a hand-assembled [`ExecProgram`] (a `HaloExchange` hook op followed
+//! by one `RunUntiledStage` per step per rank over the shrinking-halo
+//! domain, plus a `CopyLiveOut` parity fix-up for odd batches) and runs on
+//! the shared schedule VM ([`gmg_runtime::Engine`]); the `HaloExchange` op
+//! calls back into [`crate::halo::exchange_views`] through
+//! [`gmg_runtime::ExecHooks`].
 
 // Index-based loops here mirror the math (multi-slice stencil updates); clippy prefers iterators but the indices are the clearer notation.
 #![allow(clippy::needless_range_loop)]
 
 use crate::decomp::RankLayout;
-use crate::halo::{exchange, CommStats, SubGrid};
+use crate::halo::{exchange, exchange_views, CommStats, HaloMeta, SubGrid};
+use gmg_ir::expr::Operand;
+use gmg_ir::ParityPattern;
 use gmg_multigrid::config::{CycleType, MgConfig, SmootherKind};
 use gmg_multigrid::handopt::HandOpt;
+use gmg_poly::{BoxDomain, Interval};
+use gmg_runtime::{Engine, ExecError, ExecHooks, SlotView};
+use polymg::schedule::{ExecOp, ExecProgram, OpInput, SlotSpec, StageExec};
+use polymg::{KernelBody, KernelCase, StageKernel};
+use std::collections::HashMap;
 
 /// Distributed 2-D Poisson solver state.
 pub struct DistPoisson2D {
@@ -41,6 +56,30 @@ pub struct DistPoisson2D {
     stats: CommStats,
     /// Redundant halo points computed by aggregated smoothing.
     pub redundant_points: usize,
+    /// Schedule-VM engines for the fine-level smoother, keyed by batch size
+    /// (steps per exchange), paired with the redundant points one run adds.
+    vms: HashMap<usize, (Engine, usize)>,
+}
+
+/// [`ExecHooks`] of the distributed smoother programs: a `HaloExchange` op
+/// exchanges the iterate slots through the simulated communication layer.
+struct DistHooks<'m> {
+    metas: &'m [HaloMeta],
+    u_slots: &'m [usize],
+    stats: CommStats,
+}
+
+impl ExecHooks for DistHooks<'_> {
+    fn halo_exchange(
+        &mut self,
+        depth: usize,
+        slots: &mut SlotView<'_, '_>,
+    ) -> Result<(), ExecError> {
+        let mut views = slots.many_mut(self.u_slots)?;
+        self.stats
+            .add(exchange_views(self.metas, &mut views, depth as i64));
+        Ok(())
+    }
 }
 
 impl DistPoisson2D {
@@ -80,6 +119,7 @@ impl DistPoisson2D {
             coarse_e: vec![0.0; clen],
             stats: CommStats::default(),
             redundant_points: 0,
+            vms: HashMap::new(),
         }
     }
 
@@ -141,14 +181,14 @@ impl DistPoisson2D {
         self.smooth(steps.post);
     }
 
-    /// Aggregated smoothing: batches of up to `g` steps per exchange.
+    /// Aggregated smoothing: batches of up to `g` steps per exchange, each
+    /// batch executed as one schedule-VM program.
     fn smooth(&mut self, steps: usize) {
         let g = self.ghost_depth as usize;
         let mut done = 0usize;
         while done < steps {
             let batch = g.min(steps - done);
-            self.exchange_u(batch as i64);
-            self.smooth_batch(batch);
+            self.smooth_batch_vm(batch);
             done += batch;
         }
     }
@@ -157,41 +197,166 @@ impl DistPoisson2D {
         self.stats.add(exchange(&mut self.u, depth));
     }
 
-    /// `batch` Jacobi steps with shrinking halos.
-    fn smooth_batch(&mut self, batch: usize) {
+    /// Slot ids of the per-rank triples `(u, tmp, rhs)`.
+    fn slot_u(r: usize) -> usize {
+        3 * r
+    }
+    fn slot_tmp(r: usize) -> usize {
+        3 * r + 1
+    }
+    fn slot_rhs(r: usize) -> usize {
+        3 * r + 2
+    }
+
+    /// Lower one smoother batch into an [`ExecProgram`]: an exchange hook
+    /// op, then per step per rank one untiled Jacobi sweep over the
+    /// shrinking-halo domain, then (odd batches) a `CopyLiveOut` moving the
+    /// final iterate from the modulo partner back into `u`. Returns the
+    /// program and the redundant halo points one run computes.
+    fn build_batch_program(&self, batch: usize) -> (ExecProgram, usize) {
         let n = self.cfg.n_at(self.cfg.levels - 1);
         let h = self.cfg.h_at(self.cfg.levels - 1);
         let w = self.cfg.omega * h * h / 4.0;
         let inv_h2 = 1.0 / (h * h);
         let e = (n + 2) as usize;
         let nranks = self.layout.num_ranks();
+
+        let mut slots = Vec::with_capacity(3 * nranks);
+        for (r, g) in self.u.iter().enumerate() {
+            for tag in ["u", "tmp", "rhs"] {
+                slots.push(SlotSpec {
+                    name: format!("{tag}{r}"),
+                    origin: vec![g.first_row, 0],
+                    extents: vec![g.stored_rows(), n + 2],
+                    boundary: 0.0,
+                    external: true,
+                });
+            }
+        }
+
+        // Same per-point expression (and evaluation order) as a global
+        // Jacobi sweep, so distributed results stay bitwise identical:
+        //   a = (4·u − u_W − u_E − u_N − u_S) · h⁻²;  u − ω·h²/4 · (a − f)
+        let u = Operand::Slot(0);
+        let f = Operand::Slot(1);
+        let a = (4.0 * u.at(&[0, 0]) - u.at(&[0, -1]) - u.at(&[0, 1]) - u.at(&[-1, 0])
+            - u.at(&[1, 0]))
+            * inv_h2;
+        let expr = u.at(&[0, 0]) - w * (a - f.at(&[0, 0]));
+        let kernels = vec![StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Interpreted(expr),
+            }],
+        }];
+
+        let mut ops = vec![ExecOp::HaloExchange { depth: batch }];
+        let mut redundant = 0usize;
         for s in 0..batch {
             let shrink = (batch - 1 - s) as i64;
             for r in 0..nranks {
                 let (lo, hi) = self.layout.rows(r);
                 let ylo = (lo - shrink).max(1);
                 let yhi = (hi + shrink).min(n);
-                let src = &self.u[r];
-                let dst = &mut self.tmp[r];
-                for y in ylo..=yhi {
-                    let up = src.row(y - 1);
-                    let mid = src.row(y);
-                    let dn = src.row(y + 1);
-                    let rr = self.rhs[r].row(y);
-                    let out = dst.row_mut(y);
-                    for x in 1..=n as usize {
-                        let a = (4.0 * mid[x] - mid[x - 1] - mid[x + 1] - up[x] - dn[x])
-                            * inv_h2;
-                        out[x] = mid[x] - w * (a - rr[x]);
-                    }
-                }
-                self.redundant_points +=
-                    ((yhi - ylo + 1) - (hi - lo + 1)).max(0) as usize * e;
-            }
-            for r in 0..nranks {
-                std::mem::swap(&mut self.u[r], &mut self.tmp[r]);
+                // even steps read u and write tmp; odd steps the reverse
+                let (src, dst) = if s % 2 == 0 {
+                    (Self::slot_u(r), Self::slot_tmp(r))
+                } else {
+                    (Self::slot_tmp(r), Self::slot_u(r))
+                };
+                ops.push(ExecOp::RunUntiledStage {
+                    stage: StageExec {
+                        name: format!("jacobi.s{s}.r{r}"),
+                        kernel: 0,
+                        domain: BoxDomain::new(vec![
+                            Interval::new(ylo, yhi),
+                            Interval::new(1, n),
+                        ]),
+                        boundary: 0.0,
+                        ins: vec![
+                            OpInput::Slot {
+                                slot: src,
+                                boundary: 0.0,
+                            },
+                            OpInput::Slot {
+                                slot: Self::slot_rhs(r),
+                                boundary: 0.0,
+                            },
+                        ],
+                        slot: Some(dst),
+                    },
+                });
+                redundant += ((yhi - ylo + 1) - (hi - lo + 1)).max(0) as usize * e;
             }
         }
+        if batch % 2 == 1 {
+            // the final iterate landed in tmp: copy the owned rows (full
+            // width, matching the old buffer swap) back into u
+            for r in 0..nranks {
+                let (lo, hi) = self.layout.rows(r);
+                ops.push(ExecOp::CopyLiveOut {
+                    src: Self::slot_tmp(r),
+                    dst: Self::slot_u(r),
+                    region: BoxDomain::new(vec![
+                        Interval::new(lo, hi),
+                        Interval::new(0, n + 1),
+                    ]),
+                });
+            }
+        }
+
+        (
+            ExecProgram {
+                name: format!("dist-jacobi-b{batch}"),
+                slots,
+                kernels,
+                ops,
+                pooled: false,
+                threads: 0,
+            },
+            redundant,
+        )
+    }
+
+    /// Run one `batch`-step smoother program on the shared VM.
+    fn smooth_batch_vm(&mut self, batch: usize) {
+        if !self.vms.contains_key(&batch) {
+            let (program, redundant) = self.build_batch_program(batch);
+            self.vms
+                .insert(batch, (Engine::from_program(program), redundant));
+        }
+        let (mut engine, redundant) = self.vms.remove(&batch).unwrap();
+
+        let nranks = self.layout.num_ranks();
+        let metas: Vec<HaloMeta> = self.u.iter().map(HaloMeta::of).collect();
+        let u_slots: Vec<usize> = (0..nranks).map(Self::slot_u).collect();
+        let names: Vec<[String; 3]> = (0..nranks)
+            .map(|r| [format!("u{r}"), format!("tmp{r}"), format!("rhs{r}")])
+            .collect();
+
+        let mut outputs: Vec<(&str, &mut [f64])> = Vec::with_capacity(2 * nranks);
+        for (r, (gu, gt)) in self.u.iter_mut().zip(self.tmp.iter_mut()).enumerate() {
+            outputs.push((&names[r][0], gu.data.as_mut_slice()));
+            outputs.push((&names[r][1], gt.data.as_mut_slice()));
+        }
+        let inputs: Vec<(&str, &[f64])> = self
+            .rhs
+            .iter()
+            .enumerate()
+            .map(|(r, g)| (names[r][2].as_str(), g.data.as_slice()))
+            .collect();
+
+        let mut hooks = DistHooks {
+            metas: &metas,
+            u_slots: &u_slots,
+            stats: CommStats::default(),
+        };
+        engine
+            .run_with_hooks(&inputs, outputs, &mut hooks)
+            .expect("distributed smoother program failed");
+        self.stats.add(hooks.stats);
+        self.redundant_points += redundant;
+        self.vms.insert(batch, (engine, redundant));
     }
 
     /// `tmp ← rhs − A·u` on owned rows.

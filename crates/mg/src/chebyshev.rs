@@ -266,7 +266,9 @@ mod tests {
         let out_name = graph.stages.last().unwrap().name.clone();
         let mut engine = Engine::new(plan);
         let mut got = vec![0.0; e * e];
-        engine.run(&[("V", &v0), ("F", &f0)], vec![(&out_name, &mut got)]);
+        engine
+            .run(&[("V", &v0), ("F", &f0)], vec![(&out_name, &mut got)])
+            .unwrap();
         let reference = run_reference(&graph, &[("V", &v0), ("F", &f0)]);
         let want = &reference[&out_name];
         let max = got

@@ -15,7 +15,7 @@
 use crate::config::{CycleType, MgConfig};
 use gmg_poly::diamond::split_time_tiling;
 use gmg_poly::Interval;
-use gmg_runtime::exec::tilebuf::SharedOut;
+use gmg_runtime::tilebuf::SharedOut;
 use rayon::prelude::*;
 
 /// Per-level working set: the iterate, its modulo partner, and the RHS.

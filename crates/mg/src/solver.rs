@@ -9,9 +9,10 @@ use crate::config::MgConfig;
 use crate::cycles::build_cycle_pipeline;
 use crate::handopt::HandOpt;
 use gmg_ir::ParamBindings;
-use gmg_runtime::{Engine, RunStats};
+use gmg_runtime::{Engine, ExecError, RunStats};
 use gmg_trace::Trace;
-use polymg::PipelineOptions;
+use polymg::{CompiledPipeline, PipelineOptions};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Anything that can run one multigrid cycle in place.
@@ -37,10 +38,12 @@ pub struct DslRunner {
 }
 
 impl DslRunner {
-    /// Compile `cfg` under `opts` and wrap the engine.
+    /// Compile `cfg` under `opts` (via the global plan cache — repeated
+    /// construction with identical structure reuses the compiled plan) and
+    /// wrap the engine.
     pub fn new(cfg: &MgConfig, opts: PipelineOptions, label: &str) -> Result<Self, Vec<String>> {
         let pipeline = build_cycle_pipeline(cfg);
-        let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts)?;
+        let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts)?;
         let out_len = cfg.alloc_len(cfg.levels - 1);
         Ok(DslRunner {
             engine: Engine::new(plan),
@@ -51,8 +54,13 @@ impl DslRunner {
 
     /// Wrap an already-compiled plan (used by the harness for custom option
     /// combinations, e.g. the Figure 11b ablation).
-    pub fn from_plan(plan: polymg::CompiledPipeline, cfg: &MgConfig) -> Self {
-        let label = format!("custom({})", plan.graph.pipeline_name);
+    pub fn from_plan(plan: impl Into<Arc<CompiledPipeline>>, cfg: &MgConfig) -> Self {
+        let plan = plan.into();
+        let label = format!(
+            "custom({}, {})",
+            plan.graph.pipeline_name,
+            plan.options.summary()
+        );
         DslRunner {
             engine: Engine::new(plan),
             out: vec![0.0; cfg.alloc_len(cfg.levels - 1)],
@@ -70,19 +78,22 @@ impl DslRunner {
         &mut self.engine
     }
 
-    /// Run one cycle and also report engine stats.
-    pub fn cycle_with_stats(&mut self, v: &mut [f64], f: &[f64]) -> RunStats {
+    /// Run one cycle and also report engine stats. Binding failures (a
+    /// missing or mis-sized external array) surface as a typed
+    /// [`ExecError`] instead of a panic.
+    pub fn cycle_with_stats(&mut self, v: &mut [f64], f: &[f64]) -> Result<RunStats, ExecError> {
         let stats = self
             .engine
-            .run(&[("V", v), ("F", f)], vec![("out", &mut self.out)]);
+            .run(&[("V", v), ("F", f)], vec![("out", &mut self.out)])?;
         v.copy_from_slice(&self.out);
-        stats
+        Ok(stats)
     }
 }
 
 impl CycleRunner for DslRunner {
     fn cycle(&mut self, v: &mut [f64], f: &[f64]) {
-        let _ = self.cycle_with_stats(v, f);
+        self.cycle_with_stats(v, f)
+            .expect("cycle execution failed");
     }
 
     fn label(&self) -> String {

@@ -70,7 +70,9 @@ fn runtime_step_count_matches_fixed() {
         let run = |plan: polymg::CompiledPipeline| -> Vec<f64> {
             let mut engine = Engine::new(plan);
             let mut out = vec![0.0; e * e];
-            engine.run(&[("V", &vin), ("F", &fin)], vec![(&out_name, &mut out)]);
+            engine
+                .run(&[("V", &vin), ("F", &fin)], vec![(&out_name, &mut out)])
+                .unwrap();
             out
         };
         assert_eq!(run(plan_rt), run(plan_fx), "T = {t}");

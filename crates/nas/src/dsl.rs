@@ -160,7 +160,7 @@ impl NasDsl {
         label: &str,
     ) -> Result<Self, Vec<String>> {
         let p = build_nas_pipeline(n, nlevels);
-        let plan = polymg::compile(&p, &ParamBindings::new(), opts)?;
+        let plan = polymg::compile_cached(&p, &ParamBindings::new(), opts)?;
         let len = ((n + 2) as usize).pow(3);
         Ok(NasDsl {
             engine: Engine::new(plan),
@@ -178,7 +178,8 @@ impl NasDsl {
 impl CycleRunner for NasDsl {
     fn cycle(&mut self, u: &mut [f64], v: &[f64]) {
         self.engine
-            .run(&[("U", u), ("V", v)], vec![("u_out", &mut self.out)]);
+            .run(&[("U", u), ("V", v)], vec![("u_out", &mut self.out)])
+            .expect("NAS cycle execution failed");
         u.copy_from_slice(&self.out);
     }
 

@@ -12,9 +12,13 @@
 //!   [`polymg::KernelBody`] cases over a region: parity-dispatched,
 //!   unit-stride fast paths, with a checked generic path and an interpreter
 //!   fallback.
-//! * [`exec`] — the engine: runs a [`polymg::CompiledPipeline`] group by
-//!   group — untiled sweeps, overlapped tiles in parallel with scratchpads
-//!   (rayon), or diamond/split time tiling for smoother chains.
+//! * [`schedule`] — the VM: binds external arrays into slots and interprets
+//!   a [`polymg::schedule::ExecProgram`] op stream, recording an op-level
+//!   trace timeline; host callbacks ([`schedule::ExecHooks`]) execute
+//!   `HaloExchange` ops for distributed programs.
+//! * [`ops`] — the per-op execution bodies: untiled sweeps, overlapped
+//!   tiles in parallel with scratchpads (rayon), and diamond/split time
+//!   tiling for smoother chains.
 //! * [`interp`] — a deliberately simple reference interpreter used as the
 //!   correctness oracle in tests.
 //!
@@ -22,17 +26,18 @@
 //!
 //! Parallel tiles write disjoint *boxes* of the same output arrays, which
 //! cannot be expressed as slice splitting. All such writes go through the
-//! [`exec::tilebuf`] wrapper, whose single `unsafe` block is justified by
-//! the owned-region partition property of the planner (each output point is
+//! [`tilebuf`] wrapper, whose single `unsafe` block is justified by the
+//! owned-region partition property of the planner (each output point is
 //! owned by exactly one tile — property-tested in `gmg-poly` and asserted
 //! in the integration suite).
 
 pub mod arena;
-pub mod exec;
 pub mod interp;
 pub mod kernel;
+pub mod ops;
 pub mod pool;
+pub mod schedule;
 pub mod tilebuf;
 
-pub use exec::{Engine, RunStats};
 pub use pool::{BufferPool, PoolStats};
+pub use schedule::{fill_ghost, Engine, ExecError, ExecHooks, NoHooks, RunStats, SlotView};

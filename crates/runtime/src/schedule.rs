@@ -1,0 +1,498 @@
+//! The schedule VM: binds external arrays into program slots and interprets
+//! a [`polymg::schedule::ExecProgram`] op by op.
+//!
+//! One [`Engine::run`] call executes one program pass (one multigrid cycle
+//! for compiled pipelines). The engine owns no execution logic of its own —
+//! every op's behaviour lives in [`crate::ops`]; the loop here only
+//! dispatches, times each op for the trace's op-level timeline, and manages
+//! slot lifetimes (`malloc_fresh` / `pool_alloc` / `pool_free`).
+//!
+//! Programs normally come from [`polymg::schedule::lower`], but any
+//! hand-assembled [`ExecProgram`] runs too: `gmg-dist` drives its
+//! fine-level smoother batches through [`Engine::run_with_hooks`], whose
+//! [`ExecHooks::halo_exchange`] callback reaches back into its
+//! communication layer at every [`ExecOp::HaloExchange`] op.
+
+use crate::kernel::{copy_box, fill_outside, Space, SpaceMut};
+use crate::pool::{BufferPool, PoolStats};
+use gmg_grid::Buffer;
+use gmg_poly::{BoxDomain, Interval};
+use gmg_trace::{OpHandle, PoolSnapshot, StageHandle, Trace};
+use polymg::schedule::{ExecOp, ExecProgram};
+use polymg::CompiledPipeline;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Statistics of one engine run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Pool statistics after the run (pooled mode only; zeroed otherwise).
+    pub pool: PoolStats,
+    /// Wall-clock time of the cycle.
+    pub elapsed: Duration,
+    /// Bytes allocated fresh during this run (malloc traffic).
+    pub fresh_bytes: usize,
+}
+
+/// Typed execution failure. A serving process must not abort on a mis-bound
+/// input, so every user-reachable condition surfaces here instead of
+/// panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// An external slot had no matching entry in `inputs`/`outputs`.
+    NotBound { name: String },
+    /// A bound array's length does not match the slot's extents.
+    WrongSize {
+        name: String,
+        expected: usize,
+        got: usize,
+    },
+    /// The schedule wrote to a slot bound as a read-only input.
+    WriteToInput { name: String },
+    /// The schedule touched a slot outside its allocated lifetime.
+    Unallocated { name: String },
+    /// The program violated a schedule invariant (lowering bug).
+    PlanViolation(&'static str),
+    /// The program contains a hook op the installed [`ExecHooks`] does not
+    /// implement.
+    UnsupportedHook(&'static str),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NotBound { name } => write!(f, "external array '{name}' not bound"),
+            ExecError::WrongSize {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array '{name}' has wrong size: expected {expected} elements, got {got}"
+            ),
+            ExecError::WriteToInput { name } => {
+                write!(f, "schedule writes to read-only input '{name}'")
+            }
+            ExecError::Unallocated { name } => {
+                write!(f, "array '{name}' used outside its allocated lifetime")
+            }
+            ExecError::PlanViolation(what) => write!(f, "schedule invariant violated: {what}"),
+            ExecError::UnsupportedHook(hook) => {
+                write!(f, "program needs unsupported hook '{hook}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// One storage slot at runtime.
+pub(crate) enum Slot<'a> {
+    Empty,
+    Owned(Buffer),
+    In(&'a [f64]),
+    Out(&'a mut [f64]),
+}
+
+impl Slot<'_> {
+    pub(crate) fn try_read(&self, name: &str) -> Result<&[f64], ExecError> {
+        match self {
+            Slot::Owned(b) => Ok(b.as_slice()),
+            Slot::In(s) => Ok(s),
+            Slot::Out(s) => Ok(s),
+            Slot::Empty => Err(ExecError::Unallocated {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    pub(crate) fn try_write(&mut self, name: &str) -> Result<&mut [f64], ExecError> {
+        match self {
+            Slot::Owned(b) => Ok(b.as_mut_slice()),
+            Slot::Out(s) => Ok(s),
+            Slot::In(_) => Err(ExecError::WriteToInput {
+                name: name.to_string(),
+            }),
+            Slot::Empty => Err(ExecError::Unallocated {
+                name: name.to_string(),
+            }),
+        }
+    }
+}
+
+/// Mutable access to program slots, handed to [`ExecHooks`] callbacks.
+pub struct SlotView<'v, 'a> {
+    slots: &'v mut [Slot<'a>],
+    program: &'v ExecProgram,
+}
+
+impl SlotView<'_, '_> {
+    /// Distinct mutable views of the given slots, in request order.
+    pub fn many_mut(&mut self, ids: &[usize]) -> Result<Vec<&mut [f64]>, ExecError> {
+        for (i, a) in ids.iter().enumerate() {
+            if ids[..i].contains(a) {
+                return Err(ExecError::PlanViolation("duplicate slot in hook request"));
+            }
+        }
+        let mut picked: Vec<Option<&mut [f64]>> = ids.iter().map(|_| None).collect();
+        for (si, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(pos) = ids.iter().position(|&id| id == si) {
+                picked[pos] = Some(slot.try_write(&self.program.slots[si].name)?);
+            }
+        }
+        picked
+            .into_iter()
+            .map(|p| p.ok_or(ExecError::PlanViolation("hook requested unknown slot")))
+            .collect()
+    }
+}
+
+/// Host callbacks for ops the VM cannot execute by itself. `Send` because
+/// the interpreter loop may run inside a dedicated rayon pool.
+pub trait ExecHooks: Send {
+    /// Execute a [`ExecOp::HaloExchange`]: exchange ghost regions to
+    /// `depth` across whatever decomposition the host maintains.
+    fn halo_exchange(
+        &mut self,
+        depth: usize,
+        slots: &mut SlotView<'_, '_>,
+    ) -> Result<(), ExecError> {
+        let _ = (depth, slots);
+        Err(ExecError::UnsupportedHook("halo_exchange"))
+    }
+}
+
+/// Hook set for programs without hook ops (every compiled pipeline).
+pub struct NoHooks;
+
+impl ExecHooks for NoHooks {}
+
+/// The schedule VM. Construct once per program (or compiled plan), call
+/// [`Engine::run`] once per cycle. The pool persists across runs (the
+/// §3.2.3 cross-cycle behaviour).
+pub struct Engine {
+    plan: Option<Arc<CompiledPipeline>>,
+    program: ExecProgram,
+    pool: BufferPool,
+    rayon_pool: Option<rayon::ThreadPool>,
+    trace: Trace,
+    /// Per op: interned timeline handle (disabled until [`Engine::set_trace`]).
+    op_handles: Vec<OpHandle>,
+    /// Per op, per scheduled stage: interned span handles.
+    stage_handles: Vec<Vec<StageHandle>>,
+    /// Pool counters already ingested into the trace (deltas per run).
+    pool_reported: PoolStats,
+}
+
+impl Engine {
+    /// Lower a compiled plan and build its VM. Accepts both an owned plan
+    /// and a shared `Arc` from the plan cache.
+    pub fn new(plan: impl Into<Arc<CompiledPipeline>>) -> Engine {
+        let plan = plan.into();
+        let program = polymg::schedule::lower(&plan);
+        let mut e = Engine::from_program(program);
+        e.plan = Some(plan);
+        e
+    }
+
+    /// Build a VM for a hand-assembled program (no compiled plan attached).
+    pub fn from_program(program: ExecProgram) -> Engine {
+        let rayon_pool = if program.threads > 0 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(program.threads)
+                    .build()
+                    .expect("failed to build thread pool"),
+            )
+        } else {
+            None
+        };
+        let nops = program.ops.len();
+        Engine {
+            plan: None,
+            program,
+            pool: BufferPool::new(),
+            rayon_pool,
+            trace: Trace::disabled(),
+            op_handles: vec![OpHandle::disabled(); nops],
+            stage_handles: vec![Vec::new(); nops],
+            pool_reported: PoolStats::default(),
+        }
+    }
+
+    /// Install a trace: every subsequent [`Engine::run`] records one span
+    /// per op (the op-level timeline) plus per-stage spans for sweep ops,
+    /// pool and scratch-arena statistics. Passing `Trace::disabled()` turns
+    /// instrumentation back off.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.op_handles = self
+            .program
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| trace.op(i as u64, op.mnemonic()))
+            .collect();
+        self.stage_handles = self
+            .program
+            .ops
+            .iter()
+            .map(|op| match op {
+                ExecOp::RunUntiledStage { stage } => {
+                    vec![trace.stage(&stage.name, "untiled")]
+                }
+                ExecOp::RunOverlappedGroup { stages, .. } => stages
+                    .iter()
+                    .map(|s| trace.stage(&s.name, "overlapped"))
+                    .collect(),
+                ExecOp::RunDiamondChain { stages, .. } => stages
+                    .iter()
+                    .map(|s| trace.stage(&s.name, "diamond"))
+                    .collect(),
+                _ => Vec::new(),
+            })
+            .collect();
+        self.trace = trace;
+    }
+
+    /// The installed trace handle (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The compiled plan this engine was built from.
+    ///
+    /// # Panics
+    /// For engines built via [`Engine::from_program`].
+    pub fn plan(&self) -> &CompiledPipeline {
+        self.plan
+            .as_ref()
+            .expect("engine was built from a raw program, no compiled plan attached")
+    }
+
+    /// The schedule this engine interprets.
+    pub fn program(&self) -> &ExecProgram {
+        &self.program
+    }
+
+    /// Pool statistics (persist across runs).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Zero the pool counters (see [`BufferPool::reset_stats`]) so the next
+    /// experiment row starts a fresh footprint measurement.
+    pub fn reset_pool_stats(&mut self) {
+        self.pool.reset_stats();
+        self.pool_reported = self.pool.stats();
+    }
+
+    /// Execute one pass of the program. `inputs`/`outputs` bind external
+    /// slots by name; buffers are dense with ghost rings already holding
+    /// boundary values (the multigrid driver maintains them).
+    pub fn run(
+        &mut self,
+        inputs: &[(&str, &[f64])],
+        outputs: Vec<(&str, &mut [f64])>,
+    ) -> Result<RunStats, ExecError> {
+        self.run_with_hooks(inputs, outputs, &mut NoHooks)
+    }
+
+    /// [`Engine::run`] with host callbacks for hook ops.
+    pub fn run_with_hooks<H: ExecHooks>(
+        &mut self,
+        inputs: &[(&str, &[f64])],
+        mut outputs: Vec<(&str, &mut [f64])>,
+        hooks: &mut H,
+    ) -> Result<RunStats, ExecError> {
+        let start = Instant::now();
+        let fresh0 = self.pool.stats().allocated_bytes;
+
+        // Bind external slots; internal slots start empty and are brought to
+        // life by their MallocFresh / PoolAlloc ops.
+        let mut slots: Vec<Slot<'_>> = Vec::with_capacity(self.program.slots.len());
+        for spec in &self.program.slots {
+            if !spec.external {
+                slots.push(Slot::Empty);
+                continue;
+            }
+            let len = spec.len();
+            if let Some((_, data)) = inputs.iter().find(|(n, _)| *n == spec.name) {
+                if data.len() != len {
+                    return Err(ExecError::WrongSize {
+                        name: spec.name.clone(),
+                        expected: len,
+                        got: data.len(),
+                    });
+                }
+                slots.push(Slot::In(data));
+            } else if let Some(pos) = outputs.iter().position(|(n, _)| *n == spec.name) {
+                let (_, d) = outputs.swap_remove(pos);
+                if d.len() != len {
+                    return Err(ExecError::WrongSize {
+                        name: spec.name.clone(),
+                        expected: len,
+                        got: d.len(),
+                    });
+                }
+                slots.push(Slot::Out(d));
+            } else {
+                return Err(ExecError::NotBound {
+                    name: spec.name.clone(),
+                });
+            }
+        }
+
+        // Split-borrow fields so the interpreter closure can hold &mut to
+        // slots/pool while reading the program.
+        let program = &self.program;
+        let pool = &mut self.pool;
+        let trace = &self.trace;
+        let op_handles = &self.op_handles;
+        let stage_handles = &self.stage_handles;
+
+        let body = |slots: &mut Vec<Slot<'_>>,
+                    pool: &mut BufferPool,
+                    hooks: &mut H|
+         -> Result<usize, ExecError> {
+            let mut fresh_bytes = 0usize;
+            for (i, op) in program.ops.iter().enumerate() {
+                let oh = &op_handles[i];
+                let t0 = oh.is_enabled().then(Instant::now);
+                match op {
+                    ExecOp::MallocFresh { slot } => {
+                        let spec = &program.slots[*slot];
+                        let len = spec.len();
+                        fresh_bytes += len * std::mem::size_of::<f64>();
+                        slots[*slot] = Slot::Owned(Buffer::zeroed(len));
+                    }
+                    ExecOp::PoolAlloc { slot } => {
+                        slots[*slot] = Slot::Owned(pool.allocate(program.slots[*slot].len()));
+                    }
+                    ExecOp::FillGhost { slot } => {
+                        let spec = &program.slots[*slot];
+                        fill_ghost(
+                            slots[*slot].try_write(&spec.name)?,
+                            &spec.extents,
+                            spec.boundary,
+                        );
+                    }
+                    ExecOp::PoolFree { slot } => {
+                        match std::mem::replace(&mut slots[*slot], Slot::Empty) {
+                            Slot::Owned(b) => pool.deallocate(b),
+                            _ => return Err(ExecError::PlanViolation("pool free of non-owned array")),
+                        }
+                    }
+                    ExecOp::RunUntiledStage { stage } => {
+                        crate::ops::untiled::run(program, stage, slots, &stage_handles[i])?;
+                    }
+                    ExecOp::RunOverlappedGroup {
+                        stages,
+                        live_out,
+                        scratch_slot,
+                        scratch_buffers,
+                        geom,
+                    } => {
+                        crate::ops::overlapped::run(
+                            program,
+                            stages,
+                            live_out,
+                            scratch_slot,
+                            scratch_buffers,
+                            geom,
+                            slots,
+                            &stage_handles[i],
+                            trace,
+                        )?;
+                    }
+                    ExecOp::RunDiamondChain {
+                        stages,
+                        schedule,
+                        radius,
+                        out_slot,
+                    } => {
+                        crate::ops::diamond::run(
+                            program,
+                            stages,
+                            schedule,
+                            *radius,
+                            *out_slot,
+                            slots,
+                            pool,
+                            program.pooled,
+                            &stage_handles[i],
+                        )?;
+                    }
+                    ExecOp::CopyLiveOut { src, dst, region } => {
+                        let sspec = &program.slots[*src];
+                        let dspec = &program.slots[*dst];
+                        let mut taken = std::mem::replace(&mut slots[*dst], Slot::Empty);
+                        {
+                            let ddata = taken.try_write(&dspec.name)?;
+                            let sdata = slots[*src].try_read(&sspec.name)?;
+                            let sp = Space {
+                                data: sdata,
+                                origin: &sspec.origin,
+                                extents: &sspec.extents,
+                            };
+                            let mut dp = SpaceMut {
+                                data: ddata,
+                                origin: &dspec.origin,
+                                extents: &dspec.extents,
+                            };
+                            copy_box(&sp, &mut dp, region);
+                        }
+                        slots[*dst] = taken;
+                    }
+                    ExecOp::HaloExchange { depth } => {
+                        let mut view = SlotView { slots, program };
+                        hooks.halo_exchange(*depth, &mut view)?;
+                    }
+                }
+                if let Some(t0) = t0 {
+                    oh.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            Ok(fresh_bytes)
+        };
+
+        let fresh_bytes = match &self.rayon_pool {
+            Some(rp) => rp.install(|| body(&mut slots, pool, hooks)),
+            None => body(&mut slots, pool, hooks),
+        }?;
+
+        let stats = self.pool.stats();
+        if self.trace.is_enabled() {
+            self.trace.record_pool(&PoolSnapshot {
+                hits: stats.hits.saturating_sub(self.pool_reported.hits) as u64,
+                misses: stats.misses.saturating_sub(self.pool_reported.misses) as u64,
+                allocated_bytes: stats
+                    .allocated_bytes
+                    .saturating_sub(self.pool_reported.allocated_bytes)
+                    as u64,
+                peak_live_bytes: stats.peak_live_bytes as u64,
+            });
+            self.pool_reported = stats;
+        }
+
+        Ok(RunStats {
+            pool: stats,
+            elapsed: start.elapsed(),
+            fresh_bytes: fresh_bytes + (stats.allocated_bytes - fresh0),
+        })
+    }
+}
+
+/// Fill the ghost ring (all cells outside the interior box) of a dense
+/// array.
+pub fn fill_ghost(data: &mut [f64], extents: &[i64], value: f64) {
+    let origin = vec![0i64; extents.len()];
+    let interior = BoxDomain::new(
+        extents.iter().map(|&e| Interval::new(1, e - 2)).collect(),
+    );
+    let mut s = SpaceMut {
+        data,
+        origin: &origin,
+        extents,
+    };
+    fill_outside(&mut s, &interior, value);
+}

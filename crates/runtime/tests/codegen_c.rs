@@ -169,7 +169,9 @@ fn check_variant(variant: Variant) {
     // engine result
     let mut engine = Engine::new(plan);
     let mut want = vec![0.0; e * e];
-    engine.run(&[("V", &vin), ("F", &fin)], vec![("correct", &mut want)]);
+    engine
+        .run(&[("V", &vin), ("F", &fin)], vec![("correct", &mut want)])
+        .unwrap();
 
     // generated-C result
     let got = run_c(&c_src, "cgen", &[("V", &vin), ("F", &fin)], e * e);

@@ -69,7 +69,7 @@ fn check_equivalence(
     let graph = plan.graph.clone();
     let mut engine = Engine::new(plan);
     let mut got = vec![0.0; out_len];
-    engine.run(inputs, vec![(output_name, &mut got)]);
+    engine.run(inputs, vec![(output_name, &mut got)]).unwrap();
 
     let reference = run_reference(&graph, inputs);
     let want = &reference[output_name];
@@ -304,9 +304,13 @@ fn pool_warm_across_cycles() {
     zero_ghost_2d(&mut fin, e);
 
     let mut out1 = vec![0.0; e * e];
-    let s1 = engine.run(&[("V", &vin), ("F", &fin)], vec![("defect", &mut out1)]);
+    let s1 = engine
+        .run(&[("V", &vin), ("F", &fin)], vec![("defect", &mut out1)])
+        .unwrap();
     let mut out2 = vec![0.0; e * e];
-    let s2 = engine.run(&[("V", &vin), ("F", &fin)], vec![("defect", &mut out2)]);
+    let s2 = engine
+        .run(&[("V", &vin), ("F", &fin)], vec![("defect", &mut out2)])
+        .unwrap();
     assert_eq!(out1, out2);
     assert_eq!(
         s2.pool.allocated_bytes, s1.pool.allocated_bytes,
@@ -332,7 +336,7 @@ fn naive_has_no_pool_traffic() {
     let mut engine = Engine::new(plan);
     let vin = vec![1.0; e * e];
     let mut out = vec![0.0; e * e];
-    let stats = engine.run(&[("V", &vin)], vec![("a", &mut out)]);
+    let stats = engine.run(&[("V", &vin)], vec![("a", &mut out)]).unwrap();
     assert_eq!(stats.pool.hits + stats.pool.misses, 0);
     assert_eq!(out[e + 1], 2.0);
 }

@@ -5,7 +5,7 @@
 use gmg_ir::expr::Operand;
 use gmg_ir::stencil::stencil_2d;
 use gmg_ir::{BoundaryCond, ParamBindings, Pipeline, StepCount};
-use gmg_runtime::exec::fill_ghost;
+use gmg_runtime::fill_ghost;
 use gmg_runtime::interp::run_reference;
 use gmg_runtime::Engine;
 use polymg::{compile, PipelineOptions, Variant};
@@ -107,7 +107,9 @@ fn nonzero_dirichlet_boundary_matches_interpreter() {
                 }
             }
         }
-        engine.run(&[("V", &vin), ("F", &fin)], vec![("sm.s2", &mut got)]);
+        engine
+            .run(&[("V", &vin), ("F", &fin)], vec![("sm.s2", &mut got)])
+            .unwrap();
         let reference = run_reference(&graph, &[("V", &vin), ("F", &fin)]);
         let want = &reference["sm.s2"];
         for (i, (a, b)) in got.iter().zip(want).enumerate() {
@@ -176,14 +178,14 @@ fn pool_recycling_is_hygienic() {
     let (va, fa) = (mk_input(1), mk_input(2));
     let (vb, fb) = (mk_input(3), mk_input(4));
     let mut o1 = vec![0.0; e * e];
-    warm.run(&[("V", &va), ("F", &fa)], vec![("d", &mut o1)]);
+    warm.run(&[("V", &va), ("F", &fa)], vec![("d", &mut o1)]).unwrap();
     let mut warm_b = vec![0.0; e * e];
-    warm.run(&[("V", &vb), ("F", &fb)], vec![("d", &mut warm_b)]);
+    warm.run(&[("V", &vb), ("F", &fb)], vec![("d", &mut warm_b)]).unwrap();
 
     // fresh engine: run input B only
     let mut fresh = Engine::new(plan);
     let mut fresh_b = vec![0.0; e * e];
-    fresh.run(&[("V", &vb), ("F", &fb)], vec![("d", &mut fresh_b)]);
+    fresh.run(&[("V", &vb), ("F", &fb)], vec![("d", &mut fresh_b)]).unwrap();
 
     assert_eq!(warm_b, fresh_b, "recycled buffers leaked state");
 }

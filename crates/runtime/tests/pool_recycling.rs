@@ -50,7 +50,9 @@ fn run_once(engine: &mut Engine, n: i64, seed: u64) -> Vec<f64> {
     fill(&mut v, seed);
     fill(&mut f, seed ^ 0x9e3779b97f4a7c15);
     let mut out = vec![0.0; len];
-    engine.run(&[("V", &v), ("F", &f)], vec![("out", &mut out)]);
+    engine
+        .run(&[("V", &v), ("F", &f)], vec![("out", &mut out)])
+        .unwrap();
     out
 }
 

@@ -117,7 +117,9 @@ proptest! {
             e * e
         };
         let mut got = vec![0.0; out_len];
-        engine.run(&[("V", &vin), ("F", &fin)], vec![(&out_name, &mut got)]);
+        engine
+            .run(&[("V", &vin), ("F", &fin)], vec![(&out_name, &mut got)])
+            .unwrap();
 
         let reference = run_reference(&graph, &[("V", &vin), ("F", &fin)]);
         let want = &reference[&out_name];

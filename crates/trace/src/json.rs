@@ -63,7 +63,26 @@ pub(crate) fn report_to_json(r: &Report) -> String {
     if !r.stages.is_empty() {
         s.push_str("\n  ");
     }
-    s.push_str("],\n  \"dispatch\": {");
+    s.push_str("],\n  \"ops\": [");
+    for (i, op) in r.ops.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    {{\"index\": {}, \"mnemonic\": ", op.index));
+        esc(&mut s, &op.mnemonic);
+        s.push_str(&format!(
+            ", \"seconds\": {}, \"invocations\": {}}}",
+            f64_json(op.ns as f64 * 1e-9),
+            op.invocations
+        ));
+    }
+    if !r.ops.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "],\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}},\n  \"dispatch\": {{",
+        r.plan_cache.hits, r.plan_cache.misses
+    ));
     for (i, (label, count)) in dispatch::LABELS.iter().zip(r.dispatch.iter()).enumerate() {
         if i > 0 {
             s.push_str(", ");

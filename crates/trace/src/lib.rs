@@ -76,6 +76,14 @@ pub struct CycleEvent {
 // Sink trait + implementations
 // ---------------------------------------------------------------------------
 
+/// Plan-cache hit/miss counters (a snapshot of `polymg::cache` state; the
+/// trace stores the last published snapshot, it does not accumulate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+}
+
 /// Backend receiving trace records. All methods must be cheap and callable
 /// concurrently from worker threads.
 pub trait TraceSink: Send + Sync {
@@ -110,6 +118,33 @@ pub struct StageAgg {
     cells: AtomicU64,
 }
 
+/// Per-schedule-op aggregate: one row of the op-level timeline the VM
+/// executor records (`ExecProgram` op index + mnemonic).
+#[derive(Debug)]
+pub struct OpAgg {
+    index: u64,
+    mnemonic: String,
+    ns: AtomicU64,
+    invocations: AtomicU64,
+}
+
+impl OpAgg {
+    fn new(index: u64, mnemonic: &str) -> Self {
+        OpAgg {
+            index,
+            mnemonic: mnemonic.to_string(),
+            ns: AtomicU64::new(0),
+            invocations: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn add(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 impl StageAgg {
     fn new(name: &str, kind: &str) -> Self {
         StageAgg {
@@ -136,6 +171,9 @@ impl StageAgg {
 #[derive(Debug, Default)]
 pub struct AtomicSink {
     stages: Mutex<Vec<Arc<StageAgg>>>,
+    ops: Mutex<Vec<Arc<OpAgg>>>,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     pool_allocated: AtomicU64,
@@ -157,6 +195,19 @@ impl AtomicSink {
         }
         let agg = Arc::new(StageAgg::new(name, kind));
         stages.push(Arc::clone(&agg));
+        agg
+    }
+
+    fn intern_op(&self, index: u64, mnemonic: &str) -> Arc<OpAgg> {
+        let mut ops = self.ops.lock().unwrap();
+        if let Some(o) = ops
+            .iter()
+            .find(|o| o.index == index && o.mnemonic == mnemonic)
+        {
+            return Arc::clone(o);
+        }
+        let agg = Arc::new(OpAgg::new(index, mnemonic));
+        ops.push(Arc::clone(&agg));
         agg
     }
 }
@@ -231,6 +282,23 @@ impl Trace {
         StageHandle { agg: self.sink.as_ref().map(|s| s.intern(name, kind)) }
     }
 
+    /// Intern a schedule op (by program index + mnemonic) and return a
+    /// hot-path handle for its timeline row.
+    pub fn op(&self, index: u64, mnemonic: &str) -> OpHandle {
+        OpHandle {
+            agg: self.sink.as_ref().map(|s| s.intern_op(index, mnemonic)),
+        }
+    }
+
+    /// Publish the plan-cache hit/miss counters (a snapshot — the last
+    /// published values win; callers pass the global cache's totals).
+    pub fn record_plan_cache(&self, hits: u64, misses: u64) {
+        if let Some(s) = &self.sink {
+            s.plan_cache_hits.store(hits, Ordering::Relaxed);
+            s.plan_cache_misses.store(misses, Ordering::Relaxed);
+        }
+    }
+
     /// One-shot span record (setup paths where a handle isn't worth caching).
     pub fn record_span(&self, name: &str, kind: &str, ns: u64, tiles: u64, cells: u64) {
         if let Some(s) = &self.sink {
@@ -293,9 +361,27 @@ impl Trace {
                 cells: s.cells.load(Ordering::Relaxed),
             })
             .collect();
+        let mut ops: Vec<OpReport> = sink
+            .ops
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|o| OpReport {
+                index: o.index,
+                mnemonic: o.mnemonic.clone(),
+                ns: o.ns.load(Ordering::Relaxed),
+                invocations: o.invocations.load(Ordering::Relaxed),
+            })
+            .collect();
+        ops.sort_by_key(|o| o.index);
         Some(Report {
             meta: sink.meta.lock().unwrap().clone(),
             stages,
+            ops,
+            plan_cache: PlanCacheSnapshot {
+                hits: sink.plan_cache_hits.load(Ordering::Relaxed),
+                misses: sink.plan_cache_misses.load(Ordering::Relaxed),
+            },
             dispatch: dispatch::snapshot(),
             pool: PoolSnapshot {
                 hits: sink.pool_hits.load(Ordering::Relaxed),
@@ -341,6 +427,32 @@ impl StageHandle {
     }
 }
 
+/// Hot-path handle for one schedule op: two relaxed atomic adds per
+/// record, or nothing at all when the owning trace is disabled.
+#[derive(Clone, Debug)]
+pub struct OpHandle {
+    agg: Option<Arc<OpAgg>>,
+}
+
+impl OpHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> OpHandle {
+        OpHandle { agg: None }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.agg.is_some()
+    }
+
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        if let Some(agg) = &self.agg {
+            agg.add(ns);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Report
 // ---------------------------------------------------------------------------
@@ -355,11 +467,23 @@ pub struct StageReport {
     pub cells: u64,
 }
 
+/// One row of the op-level timeline: a schedule op's program index,
+/// mnemonic, and accumulated time over all interpreter passes.
+#[derive(Clone, Debug)]
+pub struct OpReport {
+    pub index: u64,
+    pub mnemonic: String,
+    pub ns: u64,
+    pub invocations: u64,
+}
+
 /// A point-in-time snapshot of one [`Trace`], renderable as JSON.
 #[derive(Clone, Debug)]
 pub struct Report {
     pub meta: Vec<(String, String)>,
     pub stages: Vec<StageReport>,
+    pub ops: Vec<OpReport>,
+    pub plan_cache: PlanCacheSnapshot,
     pub dispatch: [u64; dispatch::KINDS],
     pub pool: PoolSnapshot,
     pub arena_created: u64,
@@ -425,10 +549,27 @@ mod tests {
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
-        for key in ["\"meta\"", "\"stages\"", "\"dispatch\"", "\"pool\"", "\"arena\"", "\"comm\"", "\"cycles\""] {
+        for key in ["\"meta\"", "\"stages\"", "\"ops\"", "\"plan_cache\"", "\"dispatch\"", "\"pool\"", "\"arena\"", "\"comm\"", "\"cycles\""] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
         assert!(s.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn op_timeline_sorts_by_index_and_snapshots_plan_cache() {
+        let t = Trace::enabled();
+        let late = t.op(3, "run_diamond");
+        let early = t.op(0, "pool_alloc");
+        late.record(300);
+        late.record(200);
+        early.record(10);
+        t.record_plan_cache(5, 2);
+        t.record_plan_cache(7, 2); // snapshot semantics: last publish wins
+        let r = t.report().unwrap();
+        assert_eq!(r.ops.len(), 2);
+        assert_eq!((r.ops[0].index, r.ops[0].mnemonic.as_str()), (0, "pool_alloc"));
+        assert_eq!((r.ops[1].ns, r.ops[1].invocations), (500, 2));
+        assert_eq!(r.plan_cache, PlanCacheSnapshot { hits: 7, misses: 2 });
     }
 
     #[test]

@@ -88,7 +88,9 @@ fn main() {
             }
             let mut outbuf = vec![0.0; e2 * e2];
             let mut engine = Engine::new(plan);
-            let stats = engine.run(&[("V", &vin), ("F", &fin)], vec![("out", &mut outbuf)]);
+            let stats = engine
+                .run(&[("V", &vin), ("F", &fin)], vec![("out", &mut outbuf)])
+                .expect("execution failed");
             println!(
                 "executed in {:?}; centre value {:.6}",
                 stats.elapsed,

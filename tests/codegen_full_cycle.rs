@@ -46,7 +46,9 @@ fn run_c_cycle(cfg: &MgConfig, variant: Variant) {
     }
     let mut engine = Engine::new(plan);
     let mut want = vec![0.0; e * e];
-    engine.run(&[("V", &v), ("F", &f)], vec![("out", &mut want)]);
+    engine
+        .run(&[("V", &v), ("F", &f)], vec![("out", &mut want)])
+        .unwrap();
 
     // generated C
     let dir = std::env::temp_dir().join(format!(

@@ -5,7 +5,7 @@
 use polymg_repro::compiler::{compile, PipelineOptions, Variant};
 use polymg_repro::ir::expr::{Access, AxisAccess, Operand};
 use polymg_repro::ir::{ParamBindings, Parity, ParityPattern, Pipeline, StepCount};
-use polymg_repro::runtime::Engine;
+use polymg_repro::runtime::{Engine, ExecError};
 
 fn opts() -> PipelineOptions {
     PipelineOptions::for_variant(Variant::OptPlus, 2)
@@ -79,8 +79,7 @@ fn unbound_step_parameter_panics_at_unroll() {
 }
 
 #[test]
-#[should_panic(expected = "not bound")]
-fn missing_input_binding_panics_at_run() {
+fn missing_input_binding_is_a_typed_run_error() {
     let mut p = Pipeline::new("miss");
     let v = p.input("V", 2, 15, 0);
     let a = p.function("a", 2, 15, 0, Operand::Func(v).at(&[0, 0]) * 2.0);
@@ -88,12 +87,16 @@ fn missing_input_binding_panics_at_run() {
     let plan = compile(&p, &ParamBindings::new(), opts()).unwrap();
     let mut engine = Engine::new(plan);
     let mut out = vec![0.0; 17 * 17];
-    engine.run(&[], vec![("a", &mut out)]); // V never bound
+    let err = engine.run(&[], vec![("a", &mut out)]).unwrap_err(); // V never bound
+    match &err {
+        ExecError::NotBound { name } => assert_eq!(name, "V"),
+        other => panic!("expected NotBound, got {other:?}"),
+    }
+    assert!(err.to_string().contains("not bound"), "{err}");
 }
 
 #[test]
-#[should_panic(expected = "wrong size")]
-fn missized_input_panics_at_run() {
+fn missized_input_is_a_typed_run_error() {
     let mut p = Pipeline::new("size");
     let v = p.input("V", 2, 15, 0);
     let a = p.function("a", 2, 15, 0, Operand::Func(v).at(&[0, 0]) * 2.0);
@@ -102,7 +105,20 @@ fn missized_input_panics_at_run() {
     let mut engine = Engine::new(plan);
     let vin = vec![0.0; 10]; // must be 17*17
     let mut out = vec![0.0; 17 * 17];
-    engine.run(&[("V", &vin)], vec![("a", &mut out)]);
+    let err = engine.run(&[("V", &vin)], vec![("a", &mut out)]).unwrap_err();
+    match &err {
+        ExecError::WrongSize {
+            name,
+            expected,
+            got,
+        } => {
+            assert_eq!(name, "V");
+            assert_eq!(*expected, 17 * 17);
+            assert_eq!(*got, 10);
+        }
+        other => panic!("expected WrongSize, got {other:?}"),
+    }
+    assert!(err.to_string().contains("wrong size"), "{err}");
 }
 
 #[test]
@@ -151,7 +167,7 @@ fn nonlinear_pipelines_still_execute_via_interpreter() {
         }
     }
     let mut got = vec![0.0; e * e];
-    engine.run(&[("V", &vin)], vec![("sq", &mut got)]);
+    engine.run(&[("V", &vin)], vec![("sq", &mut got)]).unwrap();
     let reference = polymg_repro::runtime::interp::run_reference(&graph, &[("V", &vin)]);
     for (a, b) in got.iter().zip(&reference["sq"]) {
         assert!((a - b).abs() < 1e-13);

@@ -1,0 +1,81 @@
+//! Plan-cache integration: a cached plan must execute bitwise identically
+//! to a freshly compiled one across cycle shapes and ranks, and repeated
+//! runner construction must actually hit the global cache.
+
+use polymg_repro::compiler::{PipelineOptions, PlanCache, Variant};
+use polymg_repro::mg::config::{CycleType, MgConfig, SmoothSteps};
+use polymg_repro::mg::solver::{setup_poisson, DslRunner};
+
+fn run_two_cycles(runner: &mut DslRunner, cfg: &MgConfig) -> Vec<f64> {
+    let (mut v, f, _) = setup_poisson(cfg);
+    for _ in 0..2 {
+        runner
+            .cycle_with_stats(&mut v, &f)
+            .expect("cycle execution failed");
+    }
+    v
+}
+
+/// Cache hits return the same plan structure: results of a cache-served
+/// runner are bitwise equal to a fresh compile, across 2-D/3-D V-/W-cycles.
+#[test]
+fn cached_plan_is_bitwise_identical_to_fresh_compile() {
+    let configs = [
+        MgConfig::new(2, 63, CycleType::V, SmoothSteps::s444()),
+        MgConfig::new(2, 63, CycleType::W, SmoothSteps::s444()),
+        MgConfig::new(3, 31, CycleType::V, SmoothSteps::s444()),
+        MgConfig::new(3, 31, CycleType::W, SmoothSteps::s444()),
+    ];
+    for cfg in configs {
+        let opts = || PipelineOptions::for_variant(Variant::OptPlus, cfg.ndims);
+        // First construction fills the cache (or hits one warmed by another
+        // test in this binary — either way the second one must hit).
+        let mut fresh = DslRunner::new(&cfg, opts(), "fresh").unwrap();
+        let (hits0, _) = PlanCache::global().counters();
+        let mut cached = DslRunner::new(&cfg, opts(), "cached").unwrap();
+        let (hits1, _) = PlanCache::global().counters();
+        assert!(
+            hits1 > hits0,
+            "identical construction must hit the plan cache ({} → {})",
+            hits0,
+            hits1
+        );
+        let a = run_two_cycles(&mut fresh, &cfg);
+        let b = run_two_cycles(&mut cached, &cfg);
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "cached plan diverged from fresh compile ({}D {:?})",
+            cfg.ndims,
+            cfg.cycle
+        );
+    }
+}
+
+/// Different options never alias in the cache: a mutated option set compiles
+/// its own plan (miss), and both plans coexist.
+#[test]
+fn distinct_options_miss_the_cache() {
+    let cfg = MgConfig::new(2, 63, CycleType::V, SmoothSteps::s444());
+    // tile sizes no other compilation in this process uses, so the
+    // miss/hit deltas below are attributable to this test alone
+    let mut a = PipelineOptions::for_variant(Variant::OptPlus, 2);
+    a.tile_sizes = vec![24, 520];
+    let mut b = a.clone();
+    b.tile_sizes = vec![40, 520];
+
+    let _ = DslRunner::new(&cfg, a.clone(), "a").unwrap();
+    let (_, misses0) = PlanCache::global().counters();
+    let _ = DslRunner::new(&cfg, b, "b").unwrap();
+    let (_, misses1) = PlanCache::global().counters();
+    assert!(
+        misses1 > misses0,
+        "changed tile sizes must be a fresh fingerprint ({} → {})",
+        misses0,
+        misses1
+    );
+    // and the original keeps hitting
+    let (hits0, _) = PlanCache::global().counters();
+    let _ = DslRunner::new(&cfg, a, "a2").unwrap();
+    let (hits1, _) = PlanCache::global().counters();
+    assert!(hits1 > hits0);
+}
