@@ -16,4 +16,13 @@ cargo doc --no-deps --workspace
 cargo run --release -p gmg-bench --bin polymg-cli -- V-2D-2-2-2 --n 31 --dump-schedule \
   | grep -q "run_" || { echo "ci: --dump-schedule produced no ops" >&2; exit 1; }
 
+# perf smoke: median ns/point for generic vs specialized kernels and
+# 1-thread vs all-host-threads, written as BENCH_pr3.json. Quick settings
+# here (small grid, few repeats) — the comparisons are recorded in the JSON,
+# not asserted, so a loaded CI host cannot hard-fail the build. Regenerate
+# the checked-in artifact with the defaults: `perf-smoke -o BENCH_pr3.json`.
+cargo run --release -p gmg-bench --bin perf-smoke -- -o /tmp/bench_pr3_ci.json --n 63 --repeats 3
+grep -q '"median_ns_per_point"' /tmp/bench_pr3_ci.json \
+  || { echo "ci: perf-smoke wrote no benchmark rows" >&2; exit 1; }
+
 echo "ci: all green"

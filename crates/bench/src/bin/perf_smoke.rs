@@ -1,0 +1,152 @@
+//! `perf-smoke` — a fast CI guard for the PR-3 execution backend: median
+//! ns/point of a 2-D smoother chain and a full 2-D V-cycle, measured with
+//! specialization on vs off and with 1 thread vs all host threads, written
+//! as `BENCH_pr3.json`.
+//!
+//! ```text
+//! perf-smoke [-o OUT.json] [--n N] [--repeats R]
+//! ```
+//!
+//! Expectations encoded by the output (checked by eye / downstream tooling,
+//! not asserted here so a loaded CI host cannot hard-fail the build):
+//! specialized ≤ generic, N-thread ≤ 1-thread (equal when the host has one
+//! core — the samples are then the same configuration).
+
+use gmg_bench::runners::harness_tiles;
+use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
+use gmg_multigrid::solver::{setup_poisson, time_cycles, DslRunner};
+use polymg::{PipelineOptions, Variant};
+
+struct Row {
+    bench: &'static str,
+    threads: usize,
+    specialize: bool,
+    median_ns_per_point: f64,
+    samples: usize,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+fn build_runner(cfg: &MgConfig, threads: usize, specialize: bool) -> DslRunner {
+    let mut opts = PipelineOptions::for_variant(Variant::OptPlus, cfg.ndims);
+    opts.tile_sizes = harness_tiles(cfg.ndims);
+    opts.threads = threads;
+    opts.specialize = specialize;
+    DslRunner::new(cfg, opts, "perf-smoke").unwrap_or_else(|e| panic!("compile: {e:?}"))
+}
+
+/// Median ns/point of samples for generic vs specialized, interleaved
+/// sample-by-sample so slow drift of a shared host biases neither side.
+/// Each sample is the *minimum* of three back-to-back single-cycle timings,
+/// which filters out scheduler-preemption spikes. The first cycle of each
+/// runner is a discarded warm-up (plan lowering, worker spawn, buffer-pool
+/// fill).
+fn measure_pair(cfg: &MgConfig, threads: usize, repeats: usize) -> [(f64, usize); 2] {
+    let mut runners = [
+        build_runner(cfg, threads, false),
+        build_runner(cfg, threads, true),
+    ];
+    let (v0, f, _) = setup_poisson(cfg);
+    let points = (cfg.n as f64).powi(cfg.ndims as i32);
+    let mut samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for r in &mut runners {
+        let mut v = v0.clone();
+        time_cycles(r, &mut v, &f, 1); // warm-up
+    }
+    for _ in 0..repeats {
+        for (r, s) in runners.iter_mut().zip(&mut samples) {
+            let best = (0..3)
+                .map(|_| {
+                    let mut v = v0.clone();
+                    time_cycles(r, &mut v, &f, 1).as_nanos() as f64 / points
+                })
+                .fold(f64::INFINITY, f64::min);
+            s.push(best);
+        }
+    }
+    samples.map(|s| {
+        let n = s.len();
+        (median(s), n)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_pr3.json".to_string();
+    let mut n: i64 = 127;
+    let mut repeats = 9usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--n" => {
+                i += 1;
+                n = args[i].parse().expect("--n");
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args[i].parse().expect("--repeats");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: perf-smoke [-o OUT.json] [--n N] [--repeats R]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // smoother-dominated cycle: all smoothing on the fine level (10-0-0)
+    let smoother = MgConfig::new(2, n, CycleType::V, SmoothSteps::s1000());
+    let vcycle = MgConfig::new(2, n, CycleType::V, SmoothSteps::s444());
+    let benches: [(&'static str, &MgConfig); 2] =
+        [("smoother2d", &smoother), ("vcycle2d", &vcycle)];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, cfg) in benches {
+        for threads in [1usize, host_threads] {
+            let pair = measure_pair(cfg, threads, repeats);
+            for (specialize, (med, samples)) in [false, true].into_iter().zip(pair) {
+                eprintln!(
+                    "{name:<12} threads={threads} specialize={specialize:<5} \
+                     median {med:8.2} ns/point ({samples} samples)"
+                );
+                rows.push(Row {
+                    bench: name,
+                    threads,
+                    specialize,
+                    median_ns_per_point: med,
+                    samples,
+                });
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"n\": {n},\n  \"benchmarks\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"threads\": {}, \"specialize\": {}, \
+             \"median_ns_per_point\": {:.3}, \"samples\": {}}}{}\n",
+            r.bench,
+            r.threads,
+            r.specialize,
+            r.median_ns_per_point,
+            r.samples,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH json");
+    eprintln!("wrote {out_path}");
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! polymg-cli <benchmark> [--variant naive|opt|opt+|dtile-opt+]
 //!            [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb]
+//!            [--threads N] [--no-specialize]
 //!            [--emit dump|dot|c|stats] [--dump-schedule] [-o FILE]
 //!            [--profile OUT.json [--iters N]]
 //!
@@ -31,8 +32,9 @@ use polymg::{codegen, report, PipelineOptions, Variant};
 fn usage() -> ! {
     eprintln!(
         "usage: polymg-cli <V-2D[-a-b-c]|W-3D[-a-b-c]|…> [--variant naive|opt|opt+|dtile-opt+]\n\
-         \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--emit dump|dot|c|stats]\n\
-         \x20      [--dump-schedule] [-o FILE] [--profile OUT.json [--iters N]]"
+         \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--threads N]\n\
+         \x20      [--no-specialize] [--emit dump|dot|c|stats] [--dump-schedule] [-o FILE]\n\
+         \x20      [--profile OUT.json [--iters N]]"
     );
     std::process::exit(2);
 }
@@ -79,6 +81,8 @@ fn main() {
     let mut profile: Option<String> = None;
     let mut profile_iters = 2usize;
     let mut dump_schedule = false;
+    let mut threads: Option<usize> = None;
+    let mut specialize = true;
 
     let mut i = 1;
     while i < args.len() {
@@ -114,6 +118,11 @@ fn main() {
                 i += 1;
                 emit = args[i].clone();
             }
+            "--threads" => {
+                i += 1;
+                threads = Some(args[i].parse().unwrap_or_else(|_| usage()));
+            }
+            "--no-specialize" => specialize = false,
             "--gsrb" => gsrb = true,
             "--dump-schedule" => dump_schedule = true,
             "-o" => {
@@ -149,6 +158,10 @@ fn main() {
         }
         opts.tile_sizes = t;
     }
+    if let Some(t) = threads {
+        opts.threads = t;
+    }
+    opts.specialize = specialize;
     let plan = match polymg::compile_cached(&pipeline, &gmg_ir::ParamBindings::new(), opts) {
         Ok(p) => p,
         Err(errs) => {

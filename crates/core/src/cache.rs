@@ -110,6 +110,8 @@ pub fn fingerprint(
     h.bool(options.coeff_factoring);
     h.tag(0x0e);
     h.u64(options.threads as u64);
+    h.tag(0x0f);
+    h.bool(options.specialize);
     h.0
 }
 
@@ -242,6 +244,7 @@ mod tests {
             ("scratch_quantum", Box::new(|o| o.scratch_quantum += 1)),
             ("coeff_factoring", Box::new(|o| o.coeff_factoring = !o.coeff_factoring)),
             ("threads", Box::new(|o| o.threads += 1)),
+            ("specialize", Box::new(|o| o.specialize = !o.specialize)),
         ];
         for (field, m) in mutations {
             let mut o = base_opts();
@@ -309,7 +312,7 @@ mod tests {
         /// fingerprint, and equal option sets always agree.
         #[test]
         fn perturbed_options_never_alias(
-            field in 0usize..12,
+            field in 0usize..13,
             delta in 1u32..9,
         ) {
             let p = tiny_pipeline("prop", 63);
@@ -329,6 +332,7 @@ mod tests {
                 8 => o.dtile_band += d,
                 9 => o.scratch_quantum += delta as i64,
                 10 => o.coeff_factoring = !o.coeff_factoring,
+                11 => o.specialize = !o.specialize,
                 _ => o.threads += d,
             }
             prop_assert_ne!(fingerprint(&p, &b, &o), fingerprint(&p, &b, &base));

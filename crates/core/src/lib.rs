@@ -42,12 +42,14 @@ pub mod options;
 pub mod plan;
 pub mod report;
 pub mod schedule;
+pub mod specialize;
 pub mod storage;
 
 pub use cache::{compile_cached, PlanCache};
 pub use compile::compile;
 pub use schedule::{ExecOp, ExecProgram, OpInput, SlotSpec, StageExec};
 pub use options::{PipelineOptions, TilingMode, Variant};
+pub use specialize::KernelImpl;
 pub use plan::{
     ArraySpec, CompiledPipeline, GroupPlan, GroupTiling, KernelBody, KernelCase,
     ScratchBufferSpec, StageKernel, StoragePlan,

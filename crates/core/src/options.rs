@@ -85,6 +85,11 @@ pub struct PipelineOptions {
     pub coeff_factoring: bool,
     /// Worker threads for the runtime.
     pub threads: usize,
+    /// Emit specialized unrolled kernels for recognised constant-coefficient
+    /// stencil shapes (see `specialize::classify`). Specialized kernels are
+    /// bitwise-identical to the generic path; this knob exists for A/B
+    /// benchmarking (`--no-specialize`).
+    pub specialize: bool,
 }
 
 impl PipelineOptions {
@@ -103,6 +108,7 @@ impl PipelineOptions {
             scratch_quantum: 8,
             coeff_factoring: true,
             threads: 0, // 0 = runtime default
+            specialize: true,
         };
         match v {
             Variant::Naive => PipelineOptions {
@@ -160,6 +166,9 @@ impl PipelineOptions {
         }
         if self.threads > 0 {
             parts.push(format!("th{}", self.threads));
+        }
+        if !self.specialize {
+            parts.push("nospec".to_string());
         }
         parts.join(",")
     }

@@ -146,6 +146,29 @@ pub fn observability_dump(plan: &CompiledPipeline, report: &gmg_trace::Report) -
         }
     }
     let _ = writeln!(out);
+    if report.kernel_impls.iter().any(|&c| c > 0) {
+        let _ = write!(out, "  kernel impls:");
+        for (label, count) in gmg_trace::dispatch::IMPL_LABELS
+            .iter()
+            .zip(report.kernel_impls)
+        {
+            if count > 0 {
+                let _ = write!(out, " {label}={count}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    if report.threads.regions > 0 {
+        let _ = writeln!(
+            out,
+            "  threads: {} workers, {} regions / {} items, {} steals, {} parks",
+            report.threads.workers,
+            report.threads.regions,
+            report.threads.items,
+            report.threads.steals,
+            report.threads.parks,
+        );
+    }
     let mem = observed_memory(plan, report);
     let _ = writeln!(
         out,
@@ -403,8 +426,21 @@ mod tests {
                 allocated_bytes: 4096,
                 peak_live_bytes: 4096,
             },
+            kernel_impls: {
+                let mut k = [0u64; gmg_trace::dispatch::IMPLS];
+                k[crate::KernelImpl::Stencil2D5.index()] = 16;
+                k
+            },
+            threads: gmg_trace::ThreadsSnapshot {
+                workers: 3,
+                regions: 8,
+                items: 128,
+                steals: 5,
+                parks: 8,
+            },
             arena_created: 2,
             arena_recycled: 14,
+            arena_workers: vec![(1, 7), (1, 7)],
             comm: Default::default(),
             cycles: vec![],
         };
@@ -417,6 +453,8 @@ mod tests {
         assert!(d.contains("run_overlapped"));
         assert!(d.contains("plan cache: 4 hits / 1 misses"));
         assert!(d.contains("unit_unrolled=16"));
+        assert!(d.contains("stencil2d5=16"));
+        assert!(d.contains("3 workers, 8 regions / 128 items, 5 steals, 8 parks"));
         assert!(d.contains("3 hits / 1 misses"));
         assert!(d.contains("14 recycled"));
     }

@@ -17,6 +17,7 @@
 //!   on the same VM as shared-memory cycles.
 
 use crate::plan::{CompiledPipeline, GroupTiling, ScratchBufferSpec, StageKernel};
+use crate::specialize::{classify, KernelImpl};
 use gmg_ir::{StageId, StageInput};
 use gmg_poly::diamond::{split_time_tiling, TimeBand};
 use gmg_poly::region::{GroupEdge, GroupStage};
@@ -80,6 +81,9 @@ pub struct StageExec {
     /// Full-array slot holding the result (`None` for scratch-resident
     /// stages of overlapped groups).
     pub slot: Option<usize>,
+    /// Specialized kernel family selected at lowering time
+    /// ([`KernelImpl::Generic`] = generic tap loop / interpreter).
+    pub impl_tag: KernelImpl,
 }
 
 /// Precomputed overlapped-tiling geometry (the former per-group runtime
@@ -268,13 +272,20 @@ pub fn lower(plan: &CompiledPipeline) -> ExecProgram {
                 }
             })
             .collect();
+        let kernel = kernel_of[sid.0].expect("input stage scheduled for execution");
+        let impl_tag = if plan.options.specialize {
+            classify(&kernels[kernel], stage.domain.ndims())
+        } else {
+            KernelImpl::Generic
+        };
         StageExec {
             name: stage.name.clone(),
-            kernel: kernel_of[sid.0].expect("input stage scheduled for execution"),
+            kernel,
             domain: stage.domain.clone(),
             boundary: stage.boundary.value(),
             ins,
             slot: plan.storage.array_of_stage[sid.0],
+            impl_tag,
         }
     };
 
@@ -427,10 +438,11 @@ impl ExecProgram {
                 | ExecOp::PoolFree { slot } => format!("%{slot} ({})", self.slots[*slot].name),
                 ExecOp::RunUntiledStage { stage } => {
                     format!(
-                        "{} over {} -> %{}",
+                        "{} over {} -> %{} [{}]",
                         stage.name,
                         dom(&stage.domain),
                         stage.slot.expect("untiled stage without slot"),
+                        stage.impl_tag.label(),
                     )
                 }
                 ExecOp::RunOverlappedGroup {
@@ -711,6 +723,45 @@ mod tests {
                 .iter()
                 .any(|i| matches!(i, OpInput::Local { stage, .. } if *stage == t - 1)));
         }
+    }
+
+    #[test]
+    fn lowering_tags_stencil_restrict_and_interp_kernels() {
+        use crate::specialize::KernelImpl;
+        fn stages_of(prog: &ExecProgram) -> Vec<&StageExec> {
+            let mut out = Vec::new();
+            for op in &prog.ops {
+                match op {
+                    ExecOp::RunUntiledStage { stage } => out.push(stage),
+                    ExecOp::RunOverlappedGroup { stages, .. }
+                    | ExecOp::RunDiamondChain { stages, .. } => out.extend(stages.iter()),
+                    _ => {}
+                }
+            }
+            out
+        }
+
+        let p = two_level_pipeline(255);
+        let prog = lower_variant(&p, Variant::OptPlus, 2);
+        let tags: Vec<KernelImpl> = stages_of(&prog).iter().map(|s| s.impl_tag).collect();
+        // the V-cycle fragment exercises every 2-D family
+        assert!(tags.contains(&KernelImpl::Stencil2D5), "{tags:?}");
+        assert!(tags.contains(&KernelImpl::Restrict), "{tags:?}");
+        assert!(tags.contains(&KernelImpl::Interp), "{tags:?}");
+
+        let p3 = smoother_3d(63);
+        let prog3 = lower_variant(&p3, Variant::Naive, 3);
+        let tags3: Vec<KernelImpl> = stages_of(&prog3).iter().map(|s| s.impl_tag).collect();
+        assert!(tags3.contains(&KernelImpl::Stencil3D7), "{tags3:?}");
+
+        // the knob turns every tag off
+        let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        opts.specialize = false;
+        let plan = compile(&p, &ParamBindings::new(), opts).unwrap();
+        let off = lower(&plan);
+        assert!(stages_of(&off)
+            .iter()
+            .all(|s| s.impl_tag == KernelImpl::Generic));
     }
 
     #[test]

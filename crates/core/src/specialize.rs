@@ -1,0 +1,272 @@
+//! Lowering-time kernel specialization.
+//!
+//! The operators that dominate a multigrid cycle — Jacobi relaxation,
+//! residual, full-weighting restriction, bilinear/trilinear interpolation —
+//! are constant-coefficient linear stencils of a handful of fixed shapes.
+//! [`classify`] recognises those shapes on the lowered [`StageKernel`] and
+//! tags the scheduled stage with a [`KernelImpl`]; the runtime then
+//! dispatches the stage to a dedicated fully-unrolled row kernel (arity
+//! known at compile time, vectorization-friendly) instead of the generic
+//! tap loop. Anything unrecognised — non-linear cases, mixed up/down
+//! sampling, wide shapes, high arity — keeps [`KernelImpl::Generic`] and
+//! runs through the existing generic/interpreter paths.
+//!
+//! The specialized kernels accumulate taps in exactly the order the generic
+//! loop does, so enabling specialization never changes results (bitwise).
+
+use crate::plan::{KernelBody, StageKernel};
+use gmg_ir::expr::AxisAccess;
+
+/// Specialized row kernels above this arity would fall into the generic
+/// path's coefficient-factored regime, which sums taps in a different
+/// order; capping here keeps specialization bitwise-transparent.
+pub const MAX_SPEC_TAPS: usize = 28;
+
+/// The specialized kernel family of a scheduled stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum KernelImpl {
+    /// Generic tap loop / expression interpreter (always correct).
+    #[default]
+    Generic,
+    /// 2-D unit-stride stencil, cross shape (≤5 points: |dy|+|dx| ≤ 1).
+    Stencil2D5,
+    /// 2-D unit-stride stencil, box shape (≤9 points: |dy|,|dx| ≤ 1).
+    Stencil2D9,
+    /// 3-D unit-stride stencil, cross shape (≤7 points).
+    Stencil3D7,
+    /// 3-D unit-stride stencil, box shape (≤27 points).
+    Stencil3D27,
+    /// Stride-2 reading stencil (`in = 2·out + off`): full-weighting
+    /// restriction.
+    Restrict,
+    /// Half-index reading stencil (`in = (out + off) / 2`): linear
+    /// interpolation, executed per parity case.
+    Interp,
+}
+
+impl KernelImpl {
+    /// All implementations, indexable by [`KernelImpl::index`].
+    pub const ALL: [KernelImpl; 7] = [
+        KernelImpl::Generic,
+        KernelImpl::Stencil2D5,
+        KernelImpl::Stencil2D9,
+        KernelImpl::Stencil3D7,
+        KernelImpl::Stencil3D27,
+        KernelImpl::Restrict,
+        KernelImpl::Interp,
+    ];
+
+    /// Dense index (trace histogram bucket).
+    pub fn index(self) -> usize {
+        match self {
+            KernelImpl::Generic => 0,
+            KernelImpl::Stencil2D5 => 1,
+            KernelImpl::Stencil2D9 => 2,
+            KernelImpl::Stencil3D7 => 3,
+            KernelImpl::Stencil3D27 => 4,
+            KernelImpl::Restrict => 5,
+            KernelImpl::Interp => 6,
+        }
+    }
+
+    /// Short lowercase label (dumps, trace reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelImpl::Generic => "generic",
+            KernelImpl::Stencil2D5 => "stencil2d5",
+            KernelImpl::Stencil2D9 => "stencil2d9",
+            KernelImpl::Stencil3D7 => "stencil3d7",
+            KernelImpl::Stencil3D27 => "stencil3d27",
+            KernelImpl::Restrict => "restrict",
+            KernelImpl::Interp => "interp",
+        }
+    }
+}
+
+/// Per-axis sampling class of one access.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AxisClass {
+    /// `in = out + off` — plain stencil.
+    Id,
+    /// `in = 2·out + off` — restriction read.
+    Down,
+    /// `in = (out + off) / 2` — interpolation read.
+    Up,
+}
+
+fn axis_class(a: &AxisAccess) -> Option<AxisClass> {
+    match (a.num, a.den) {
+        (1, 1) => Some(AxisClass::Id),
+        (2, 1) => Some(AxisClass::Down),
+        (1, 2) => Some(AxisClass::Up),
+        _ => None,
+    }
+}
+
+/// Classify a lowered kernel into its specialized family (decision table in
+/// DESIGN §11). `ndims` is the rank of the stage's iteration domain.
+pub fn classify(kernel: &StageKernel, ndims: usize) -> KernelImpl {
+    let mut saw_down = false;
+    let mut saw_up = false;
+    // Widest |offset| over unit-stride axes; shape discrimination below.
+    let mut cross = true; // Σ|off| ≤ 1 per access (5/7-point shapes)
+    for case in &kernel.cases {
+        let form = match &case.body {
+            KernelBody::Linear(f) => f,
+            KernelBody::Interpreted(_) => return KernelImpl::Generic,
+        };
+        if form.taps.len() > MAX_SPEC_TAPS {
+            return KernelImpl::Generic;
+        }
+        for tap in &form.taps {
+            if tap.access.ndims() != ndims {
+                return KernelImpl::Generic;
+            }
+            let mut abs_sum = 0i64;
+            for axis in &tap.access.0 {
+                match axis_class(axis) {
+                    Some(AxisClass::Id) => {}
+                    Some(AxisClass::Down) => saw_down = true,
+                    Some(AxisClass::Up) => saw_up = true,
+                    None => return KernelImpl::Generic,
+                }
+                if axis.off.abs() > 2 {
+                    return KernelImpl::Generic;
+                }
+                abs_sum += axis.off.abs();
+            }
+            if abs_sum > 1 {
+                cross = false;
+            }
+        }
+    }
+    match (saw_down, saw_up) {
+        (true, true) => KernelImpl::Generic,
+        (true, false) => KernelImpl::Restrict,
+        (false, true) => KernelImpl::Interp,
+        (false, false) => match (ndims, cross) {
+            (2, true) => KernelImpl::Stencil2D5,
+            (2, false) => KernelImpl::Stencil2D9,
+            (3, true) => KernelImpl::Stencil3D7,
+            (3, false) => KernelImpl::Stencil3D27,
+            _ => KernelImpl::Generic,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::KernelCase;
+    use gmg_ir::expr::{Access, Expr};
+    use gmg_ir::linear::{LinearForm, Tap};
+    use gmg_ir::ParityPattern;
+
+    fn linear_kernel(taps: Vec<Tap>) -> StageKernel {
+        StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Linear(LinearForm { bias: 0.0, taps }),
+            }],
+        }
+    }
+
+    fn tap(offs: &[i64], coeff: f64) -> Tap {
+        Tap {
+            slot: 0,
+            access: Access::offsets(offs),
+            coeff,
+        }
+    }
+
+    #[test]
+    fn five_point_cross_is_2d5() {
+        let k = linear_kernel(vec![
+            tap(&[0, 0], 4.0),
+            tap(&[0, 1], -1.0),
+            tap(&[0, -1], -1.0),
+            tap(&[1, 0], -1.0),
+            tap(&[-1, 0], -1.0),
+        ]);
+        assert_eq!(classify(&k, 2), KernelImpl::Stencil2D5);
+    }
+
+    #[test]
+    fn diagonal_makes_2d9() {
+        let k = linear_kernel(vec![tap(&[0, 0], 1.0), tap(&[1, 1], 0.5)]);
+        assert_eq!(classify(&k, 2), KernelImpl::Stencil2D9);
+    }
+
+    #[test]
+    fn rank3_shapes() {
+        let cross = linear_kernel(vec![
+            tap(&[0, 0, 0], 6.0),
+            tap(&[1, 0, 0], -1.0),
+            tap(&[0, 0, 1], -1.0),
+        ]);
+        assert_eq!(classify(&cross, 3), KernelImpl::Stencil3D7);
+        let boxy = linear_kernel(vec![tap(&[0, 0, 0], 1.0), tap(&[1, 1, 1], 0.125)]);
+        assert_eq!(classify(&boxy, 3), KernelImpl::Stencil3D27);
+    }
+
+    #[test]
+    fn down_access_is_restrict_and_up_is_interp() {
+        let down = linear_kernel(vec![Tap {
+            slot: 0,
+            access: Access(vec![AxisAccess::down(0), AxisAccess::down(1)]),
+            coeff: 0.25,
+        }]);
+        assert_eq!(classify(&down, 2), KernelImpl::Restrict);
+        let up = linear_kernel(vec![Tap {
+            slot: 0,
+            access: Access(vec![AxisAccess::up(0), AxisAccess::up(1)]),
+            coeff: 1.0,
+        }]);
+        assert_eq!(classify(&up, 2), KernelImpl::Interp);
+        let mixed = linear_kernel(vec![Tap {
+            slot: 0,
+            access: Access(vec![AxisAccess::down(0), AxisAccess::up(0)]),
+            coeff: 1.0,
+        }]);
+        assert_eq!(classify(&mixed, 2), KernelImpl::Generic);
+    }
+
+    #[test]
+    fn generic_fallbacks() {
+        // interpreted case
+        let interp = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Interpreted(Expr::Const(0.0)),
+            }],
+        };
+        assert_eq!(classify(&interp, 2), KernelImpl::Generic);
+        // wide offset
+        let wide = linear_kernel(vec![tap(&[0, 3], 1.0)]);
+        assert_eq!(classify(&wide, 2), KernelImpl::Generic);
+        // arity above the bitwise-safe cap
+        let many = linear_kernel((0..(MAX_SPEC_TAPS as i64 + 1)).map(|_| tap(&[0, 0], 1.0)).collect());
+        assert_eq!(classify(&many, 2), KernelImpl::Generic);
+        // unusual stride ratio
+        let odd = linear_kernel(vec![Tap {
+            slot: 0,
+            access: Access(vec![
+                AxisAccess { num: 3, den: 1, off: 0 },
+                AxisAccess::offset(0),
+            ]),
+            coeff: 1.0,
+        }]);
+        assert_eq!(classify(&odd, 2), KernelImpl::Generic);
+        // rank 1 has no specialized family
+        let r1 = linear_kernel(vec![tap(&[0], 1.0)]);
+        assert_eq!(classify(&r1, 1), KernelImpl::Generic);
+    }
+
+    #[test]
+    fn impl_index_is_dense() {
+        for (i, k) in KernelImpl::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(KernelImpl::default(), KernelImpl::Generic);
+    }
+}

@@ -284,6 +284,7 @@ impl DistPoisson2D {
                             },
                         ],
                         slot: Some(dst),
+                        impl_tag: polymg::KernelImpl::Generic,
                     },
                 });
                 redundant += ((yhi - ylo + 1) - (hi - lo + 1)).max(0) as usize * e;

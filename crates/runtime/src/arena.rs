@@ -3,12 +3,18 @@
 //! The generated code of Figure 8 declares constant-size scratchpad buffers
 //! inside the parallel tile loop — one set per executing thread, on the
 //! thread's stack. In this runtime an arena is a heap-allocated set of
-//! scratch buffers matching a group's [`polymg::ScratchBufferSpec`]s; a
-//! lock-protected stack recycles arenas between tiles so the steady-state
-//! cost is a pop/push per tile (no allocation).
+//! scratch buffers matching a group's [`polymg::ScratchBufferSpec`]s.
+//!
+//! Recycling is worker-affine: each pool worker (identified by
+//! [`rayon::current_thread_index`]) has a dedicated slot it returns its
+//! arena to and checks first on the next tile, so in steady state a worker
+//! keeps touching the same cache-warm buffers with no cross-thread
+//! traffic. Callers outside a parallel region (or a worker whose slot is
+//! taken) fall back to a shared overflow stack, so nothing is ever leaked
+//! or allocated twice unnecessarily.
 
 use polymg::ScratchBufferSpec;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One worker's scratch buffers for a group (index = scratch buffer id).
@@ -50,49 +56,106 @@ impl Arena {
     }
 }
 
-/// A recycling stack of arenas for one group execution.
+/// Per-worker `(created, recycled)` counters.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    created: AtomicU64,
+    recycled: AtomicU64,
+}
+
+/// A recycling pool of arenas for one group execution, with one affine
+/// slot per pool worker plus a shared overflow stack.
 pub struct ArenaPool<'a> {
     specs: &'a [ScratchBufferSpec],
-    stack: Mutex<Vec<Arena>>,
-    created: AtomicUsize,
-    gets: AtomicUsize,
+    /// Slot `w` belongs to the worker with `current_thread_index() == w`.
+    slots: Vec<Mutex<Option<Arena>>>,
+    overflow: Mutex<Vec<Arena>>,
+    /// Index `w` = worker `w`; the extra trailing entry counts gets/puts
+    /// made outside any parallel region.
+    stats: Vec<WorkerStats>,
 }
 
 impl<'a> ArenaPool<'a> {
-    /// New pool for a group's buffer specs.
+    /// New pool for a group's buffer specs, sized for the current thread
+    /// count.
     pub fn new(specs: &'a [ScratchBufferSpec]) -> Self {
+        let nworkers = rayon::current_num_threads().max(1);
         ArenaPool {
             specs,
-            stack: Mutex::new(Vec::new()),
-            created: AtomicUsize::new(0),
-            gets: AtomicUsize::new(0),
+            slots: (0..nworkers).map(|_| Mutex::new(None)).collect(),
+            overflow: Mutex::new(Vec::new()),
+            stats: (0..nworkers + 1).map(|_| WorkerStats::default()).collect(),
         }
     }
 
-    /// Get an arena (recycled or fresh).
+    fn stat_index(&self) -> usize {
+        match rayon::current_thread_index() {
+            Some(w) if w < self.slots.len() => w,
+            _ => self.slots.len(),
+        }
+    }
+
+    /// Get an arena: the calling worker's affine slot first, then the
+    /// overflow stack, then a fresh allocation.
     pub fn get(&self) -> Arena {
-        self.gets.fetch_add(1, Ordering::Relaxed);
-        if let Some(a) = self.stack.lock().unwrap().pop() {
+        let si = self.stat_index();
+        if si < self.slots.len() {
+            if let Some(a) = self.slots[si].lock().unwrap().take() {
+                self.stats[si].recycled.fetch_add(1, Ordering::Relaxed);
+                return a;
+            }
+        }
+        if let Some(a) = self.overflow.lock().unwrap().pop() {
+            self.stats[si].recycled.fetch_add(1, Ordering::Relaxed);
             return a;
         }
-        self.created.fetch_add(1, Ordering::Relaxed);
+        self.stats[si].created.fetch_add(1, Ordering::Relaxed);
         Arena::new(self.specs)
     }
 
-    /// Return an arena for reuse.
+    /// Return an arena for reuse (to the caller's affine slot when free).
     pub fn put(&self, arena: Arena) {
-        self.stack.lock().unwrap().push(arena);
+        if let Some(w) = rayon::current_thread_index() {
+            if w < self.slots.len() {
+                let mut slot = self.slots[w].lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(arena);
+                    return;
+                }
+            }
+        }
+        self.overflow.lock().unwrap().push(arena);
     }
 
     /// How many arenas were actually created (≈ worker count).
     pub fn created(&self) -> usize {
-        self.created.load(Ordering::Relaxed)
+        self.stats
+            .iter()
+            .map(|s| s.created.load(Ordering::Relaxed) as usize)
+            .sum()
     }
 
-    /// How many `get` calls were served from the recycling stack rather
-    /// than a fresh allocation.
+    /// How many `get` calls were served from an affine slot or the
+    /// overflow stack rather than a fresh allocation.
     pub fn recycled(&self) -> usize {
-        self.gets.load(Ordering::Relaxed) - self.created()
+        self.stats
+            .iter()
+            .map(|s| s.recycled.load(Ordering::Relaxed) as usize)
+            .sum()
+    }
+
+    /// Per-worker `(created, recycled)` pairs: one entry per worker slot
+    /// plus a trailing entry for gets made outside any parallel region.
+    pub fn per_worker_stats(&self) -> Vec<(u64, u64)> {
+        self.stats
+            .iter()
+            .map(|s| {
+                (
+                    s.created.load(Ordering::Relaxed),
+                    s.recycled.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 }
 
@@ -148,5 +211,31 @@ mod tests {
         let _c = pool.get();
         assert_eq!(pool.created(), 2);
         assert_eq!(pool.recycled(), 1);
+    }
+
+    #[test]
+    fn worker_affine_reuse_inside_pool() {
+        let s = specs();
+        let tp = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        tp.install(|| {
+            use rayon::prelude::*;
+            let pool = ArenaPool::new(&s);
+            (0..32usize).into_par_iter().for_each(|_| {
+                let a = pool.get();
+                pool.put(a);
+            });
+            assert!(pool.created() <= 2, "at most one arena per worker");
+            assert_eq!(pool.created() + pool.recycled(), 32);
+            let per = pool.per_worker_stats();
+            // one slot per worker + the outside-region bucket
+            assert_eq!(per.len(), 3);
+            let created: u64 = per.iter().map(|(c, _)| c).sum();
+            let recycled: u64 = per.iter().map(|(_, r)| r).sum();
+            assert_eq!(created as usize, pool.created());
+            assert_eq!(recycled as usize, pool.recycled());
+        });
     }
 }

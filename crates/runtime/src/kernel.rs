@@ -16,7 +16,7 @@
 
 use gmg_ir::{Expr, Operand, Parity, ParityPattern};
 use gmg_poly::{div_floor, BoxDomain};
-use polymg::{KernelBody, StageKernel};
+use polymg::{KernelBody, KernelImpl, StageKernel};
 
 /// A read-only execution space.
 #[derive(Clone, Copy)]
@@ -147,16 +147,49 @@ pub fn execute_stage(
     ins: &[KernelInput<'_>],
     slot_boundary: &[f64],
 ) {
+    execute_stage_impl(KernelImpl::Generic, kernel, region, out, ins, slot_boundary);
+}
+
+/// [`execute_stage`] with an explicit specialized-kernel selection (the
+/// `StageExec::impl_tag` chosen at schedule lowering).
+pub fn execute_stage_impl(
+    impl_tag: KernelImpl,
+    kernel: &StageKernel,
+    region: &BoxDomain,
+    out: &mut SpaceMut<'_>,
+    ins: &[KernelInput<'_>],
+    slot_boundary: &[f64],
+) {
     let dense = KernelOut::Dense(SpaceMut {
         data: &mut *out.data,
         origin: out.origin,
         extents: out.extents,
     });
-    execute_stage_out(kernel, region, dense, ins, slot_boundary);
+    execute_stage_out_impl(impl_tag, kernel, region, dense, ins, slot_boundary);
 }
 
 /// Execute every case of `kernel` over `region` into any [`KernelOut`].
 pub fn execute_stage_out(
+    kernel: &StageKernel,
+    region: &BoxDomain,
+    out: KernelOut<'_>,
+    ins: &[KernelInput<'_>],
+    slot_boundary: &[f64],
+) {
+    execute_stage_out_impl(KernelImpl::Generic, kernel, region, out, ins, slot_boundary);
+}
+
+/// [`execute_stage_out`] with an explicit specialized-kernel selection.
+///
+/// A non-[`Generic`](KernelImpl::Generic) tag routes each linear case to a
+/// dedicated row kernel whose tap arity is a compile-time constant
+/// ([`spec_row`]), provided the case's arity has a specialized instance;
+/// anything else (interpreted cases, arities above [`spec_row_fn`]'s table)
+/// falls back to the generic [`run_row`] and is counted in the histogram's
+/// `generic` bucket. Specialized and generic kernels accumulate taps in the
+/// same order, so results are bitwise identical either way.
+pub fn execute_stage_out_impl(
+    impl_tag: KernelImpl,
     kernel: &StageKernel,
     region: &BoxDomain,
     mut out: KernelOut<'_>,
@@ -168,12 +201,22 @@ pub fn execute_stage_out(
     }
     for case in &kernel.cases {
         match &case.body {
-            KernelBody::Linear(form) => match region.ndims() {
-                2 => linear_2d(form, &case.pattern, region, &mut out, ins),
-                3 => linear_3d(form, &case.pattern, region, &mut out, ins),
-                d => panic!("unsupported rank {d}"),
-            },
+            KernelBody::Linear(form) => {
+                let row = if impl_tag != KernelImpl::Generic {
+                    spec_row_fn(form.taps.len())
+                } else {
+                    None
+                };
+                let bucket = if row.is_some() { impl_tag.index() } else { 0 };
+                gmg_trace::dispatch::record_impl(bucket, 1);
+                match region.ndims() {
+                    2 => linear_2d(form, &case.pattern, region, &mut out, ins, row),
+                    3 => linear_3d(form, &case.pattern, region, &mut out, ins, row),
+                    d => panic!("unsupported rank {d}"),
+                }
+            }
             KernelBody::Interpreted(expr) => {
+                gmg_trace::dispatch::record_impl(0, 1);
                 interpret_case(expr, &case.pattern, region, &mut out, ins, slot_boundary)
             }
         }
@@ -270,6 +313,70 @@ fn dispatch_kind(out_slope: usize, taps: &[RtTap<'_>]) -> gmg_trace::dispatch::K
     } else {
         Kind::UnitFallback
     }
+}
+
+/// The row-kernel signature shared by the generic [`run_row`] and the
+/// specialized [`spec_row`] instances: write `count` outputs spaced
+/// `out_slope` apart from `bias` plus the tap sums.
+type RowFn = for<'a, 'b, 'c> fn(&'a mut [f64], usize, usize, f64, &'b [RtTap<'c>]);
+
+/// Specialized row kernel with the tap arity `K` fixed at compile time —
+/// the "dedicated unrolled kernel" a non-generic `KernelImpl` dispatches
+/// to. Both paths visit taps in exactly the order [`run_row`] does (the
+/// unit path mirrors its `fixed!` loops, the strided path its per-tap
+/// loop), keeping specialization bitwise-transparent; the constant arity
+/// lets LLVM keep every row pointer and coefficient in registers and
+/// vectorize the inner loop without runtime tap-count checks.
+fn spec_row<const K: usize>(
+    out_row: &mut [f64],
+    out_slope: usize,
+    count: usize,
+    bias: f64,
+    taps: &[RtTap<'_>],
+) {
+    debug_assert_eq!(taps.len(), K);
+    if out_slope == 1 && taps.iter().all(|t| t.slope == 1) {
+        let out_row = &mut out_row[..count];
+        let mut rows: [&[f64]; K] = [&[]; K];
+        let mut coeff = [0.0f64; K];
+        for (j, t) in taps.iter().enumerate() {
+            rows[j] = &t.data[t.base..t.base + count];
+            coeff[j] = t.coeff;
+        }
+        for i in 0..count {
+            let mut acc = bias;
+            for j in 0..K {
+                acc += coeff[j] * rows[j][i];
+            }
+            out_row[i] = acc;
+        }
+        return;
+    }
+    // strided (restrict / interp): arity still unrolled
+    for k in 0..count {
+        let mut acc = bias;
+        for j in 0..K {
+            let t = &taps[j];
+            acc += t.coeff * t.data[t.base + k * t.slope];
+        }
+        out_row[k * out_slope] = acc;
+    }
+}
+
+/// The specialized row kernel for a tap arity, if one is instantiated.
+/// The table stops at `polymg::specialize::MAX_SPEC_TAPS` (= 28) — beyond
+/// that the generic path may choose coefficient factoring, which sums in a
+/// different order, so the classifier never tags such kernels anyway.
+fn spec_row_fn(arity: usize) -> Option<RowFn> {
+    macro_rules! table {
+        ($($k:literal)*) => {
+            match arity {
+                $($k => Some(spec_row::<$k> as RowFn),)*
+                _ => None,
+            }
+        };
+    }
+    table!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28)
 }
 
 /// The innermost loop: `out[k·out_slope] = bias + Σ coeff·data[base+k·slope]`
@@ -392,7 +499,9 @@ fn linear_2d(
     region: &BoxDomain,
     out: &mut KernelOut<'_>,
     ins: &[KernelInput<'_>],
+    spec: Option<RowFn>,
 ) {
+    let row_fn: RowFn = spec.unwrap_or(run_row as RowFn);
     let Some((y0, sy)) = parity_start(region.0[0].lo, region.0[0].hi, pattern.0[0]) else {
         return;
     };
@@ -435,7 +544,7 @@ fn linear_2d(
     let needed = if count == 0 { 0 } else { (count - 1) * sx as usize + 1 };
     let out_delta = sy as usize * out_rs;
     while y <= region.0[0].hi {
-        run_row(out.row_mut(ob, needed), sx as usize, count, form.bias, &taps);
+        row_fn(out.row_mut(ob, needed), sx as usize, count, form.bias, &taps);
         for (t, d) in taps.iter_mut().zip(&deltas) {
             t.base += d;
         }
@@ -450,7 +559,9 @@ fn linear_3d(
     region: &BoxDomain,
     out: &mut KernelOut<'_>,
     ins: &[KernelInput<'_>],
+    spec: Option<RowFn>,
 ) {
+    let row_fn: RowFn = spec.unwrap_or(run_row as RowFn);
     let Some((z0, sz)) = parity_start(region.0[0].lo, region.0[0].hi, pattern.0[0]) else {
         return;
     };
@@ -515,7 +626,7 @@ fn linear_3d(
         let mut y = y0;
         let mut ob = ob_z;
         while y <= region.0[1].hi {
-            run_row(out.row_mut(ob, needed), sx as usize, count, form.bias, &taps);
+            row_fn(out.row_mut(ob, needed), sx as usize, count, form.bias, &taps);
             for (t, d) in taps.iter_mut().zip(&dy) {
                 t.base += d;
             }
@@ -1062,6 +1173,55 @@ mod tests {
         let ins = [KernelInput::Grid(space(&input, &origin, &ext))];
         execute_stage(&k, &BoxDomain::empty(2), &mut out, &ins, &[0.0]);
         assert!(outbuf.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn specialized_impl_matches_generic_bitwise() {
+        // unit-stride stencil and a strided restrict, each run once through
+        // the generic path and once with a specialized tag: bitwise equal
+        let input: Vec<f64> = (0..100).map(|i| ((i * 31) % 17) as f64 * 0.37).collect();
+        let origin = [0i64, 0];
+        let ext = [10i64, 10];
+        let region = BoxDomain::interior(2, 8);
+        let stencil = stencil_kernel_2d();
+        let restrict = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Linear(LinearForm {
+                    bias: 0.0,
+                    taps: vec![
+                        Tap {
+                            slot: 0,
+                            access: Access(vec![AxisAccess::down(0), AxisAccess::down(0)]),
+                            coeff: 0.5,
+                        },
+                        Tap {
+                            slot: 0,
+                            access: Access(vec![AxisAccess::down(0), AxisAccess::down(1)]),
+                            coeff: 0.5,
+                        },
+                    ],
+                }),
+            }],
+        };
+        let restrict_region = BoxDomain::interior(2, 4);
+        for (k, tag, reg) in [
+            (&stencil, KernelImpl::Stencil2D5, &region),
+            (&restrict, KernelImpl::Restrict, &restrict_region),
+        ] {
+            let mut generic = vec![0.0; 100];
+            let mut spec = vec![0.0; 100];
+            for (tag, buf) in [(KernelImpl::Generic, &mut generic), (tag, &mut spec)] {
+                let mut out = SpaceMut {
+                    data: buf,
+                    origin: &origin,
+                    extents: &ext,
+                };
+                let ins = [KernelInput::Grid(space(&input, &origin, &ext))];
+                execute_stage_impl(tag, k, reg, &mut out, &ins, &[0.0]);
+            }
+            assert_eq!(generic, spec, "{tag:?} diverged from the generic path");
+        }
     }
 
     #[test]

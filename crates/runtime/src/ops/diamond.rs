@@ -3,7 +3,7 @@
 //! split-tiling band schedule is precomputed at lowering.
 
 use super::{resolve_ins, ResolvedIn};
-use crate::kernel::{execute_stage, KernelInput, Space, SpaceMut};
+use crate::kernel::{execute_stage_impl, KernelInput, Space, SpaceMut};
 use crate::pool::BufferPool;
 use crate::schedule::{fill_ghost, ExecError, Slot};
 use crate::tilebuf::SharedOut;
@@ -156,7 +156,7 @@ pub(crate) fn run(
                                 }
                             }
                         }
-                        execute_stage(kernel, &region, &mut out, &ins, &bnd);
+                        execute_stage_impl(stage.impl_tag, kernel, &region, &mut out, &ins, &bnd);
                         if let Some(t0) = t0 {
                             spans[t].record(
                                 t0.elapsed().as_nanos() as u64,

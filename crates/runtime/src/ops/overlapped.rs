@@ -4,7 +4,9 @@
 
 use super::{propagate_for_tile, resolve_ins, ResolvedIn};
 use crate::arena::ArenaPool;
-use crate::kernel::{execute_stage_out, fill_outside, KernelInput, KernelOut, Space, SpaceMut};
+use crate::kernel::{
+    execute_stage_out_impl, fill_outside, KernelInput, KernelOut, Space, SpaceMut,
+};
 use crate::schedule::{ExecError, Slot};
 use crate::tilebuf::SharedOut;
 use gmg_poly::tiling::owned_region;
@@ -152,7 +154,7 @@ pub(crate) fn run(
                             origin: &origin,
                             extents: &extents,
                         });
-                        execute_stage_out(kernel, compute, out, &ins, &bnd);
+                        execute_stage_out_impl(st.impl_tag, kernel, compute, out, &ins, &bnd);
                     }
                     if live_out[i] && !owned.is_empty() {
                         // copy the owned sub-region scratch → array
@@ -181,7 +183,7 @@ pub(crate) fn run(
                         out: shared_of(a),
                         extents: &spec.extents,
                     };
-                    execute_stage_out(kernel, compute, out, &ins, &bnd);
+                    execute_stage_out_impl(st.impl_tag, kernel, compute, out, &ins, &bnd);
                 }
 
                 if let (Some(sl), Some(own)) = (own_slot, own_buf) {
@@ -195,6 +197,7 @@ pub(crate) fn run(
             arena_pool.put(arena);
         });
         trace.record_arena(arena_pool.created() as u64, arena_pool.recycled() as u64);
+        trace.record_arena_workers(&arena_pool.per_worker_stats());
         Ok(())
     })();
 

@@ -1,7 +1,7 @@
 //! `RunUntiledStage`: one full-domain sweep, parallel over outer rows.
 
 use super::{resolve_ins, ResolvedIn};
-use crate::kernel::{execute_stage, KernelInput, SpaceMut};
+use crate::kernel::{execute_stage_impl, KernelInput, SpaceMut};
 use crate::schedule::{ExecError, Slot};
 use gmg_poly::Interval;
 use gmg_trace::StageHandle;
@@ -48,18 +48,17 @@ pub(crate) fn run(
         let row_block = ext[1..].iter().product::<i64>() as usize;
         let origin0 = spec.origin[0];
 
-        // split interior rows into chunks
+        // Split interior rows into more pieces than workers: the extra
+        // granularity is what the pool's chunked stealing rebalances when
+        // rows are skewed (boundary-heavy stages, NUMA jitter).
         let outer = stage.domain.0[0];
         let nthreads = rayon::current_num_threads().max(1);
-        let rows = outer.len();
-        let chunk = (rows + nthreads as i64 - 1) / nthreads as i64;
-        let mut bounds = Vec::new();
-        let mut lo = outer.lo;
-        while lo <= outer.hi {
-            let hi = (lo + chunk - 1).min(outer.hi);
-            bounds.push((lo, hi));
-            lo = hi + 1;
-        }
+        let npieces = if nthreads > 1 { nthreads * 4 } else { 1 };
+        let bounds: Vec<(i64, i64)> = rayon::partition_ranges(outer.len() as usize, npieces)
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| (outer.lo + r.start as i64, outer.lo + r.end as i64 - 1))
+            .collect();
         // split the buffer at row boundaries (whole outer-dim rows)
         let mut pieces: Vec<(&mut [f64], (i64, i64))> = Vec::with_capacity(bounds.len());
         let mut rest = out_data;
@@ -89,7 +88,7 @@ pub(crate) fn run(
                 origin: &origin,
                 extents: &extents,
             };
-            execute_stage(kernel, &region, &mut out, &ins, &bnd);
+            execute_stage_impl(stage.impl_tag, kernel, &region, &mut out, &ins, &bnd);
         });
         if let (Some(span), Some(t0)) = (span, t0) {
             span.record(

@@ -17,7 +17,7 @@ use crate::kernel::{copy_box, fill_outside, Space, SpaceMut};
 use crate::pool::{BufferPool, PoolStats};
 use gmg_grid::Buffer;
 use gmg_poly::{BoxDomain, Interval};
-use gmg_trace::{OpHandle, PoolSnapshot, StageHandle, Trace};
+use gmg_trace::{OpHandle, PoolSnapshot, StageHandle, ThreadsSnapshot, Trace};
 use polymg::schedule::{ExecOp, ExecProgram};
 use polymg::CompiledPipeline;
 use std::sync::Arc;
@@ -182,6 +182,9 @@ pub struct Engine {
     stage_handles: Vec<Vec<StageHandle>>,
     /// Pool counters already ingested into the trace (deltas per run).
     pool_reported: PoolStats,
+    /// Thread-pool counters already ingested into the trace (deltas per
+    /// run; `workers_spawned` is reported as a level, not a delta).
+    threads_reported: rayon::PoolCounters,
 }
 
 impl Engine {
@@ -217,6 +220,7 @@ impl Engine {
             op_handles: vec![OpHandle::disabled(); nops],
             stage_handles: vec![Vec::new(); nops],
             pool_reported: PoolStats::default(),
+            threads_reported: rayon::PoolCounters::default(),
         }
     }
 
@@ -277,6 +281,17 @@ impl Engine {
     /// Pool statistics (persist across runs).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Lifetime counters of the worker pool this engine executes on: its
+    /// dedicated pool when `threads > 0`, the process-wide pool otherwise.
+    /// `workers_spawned` staying constant across runs is the persistence
+    /// guarantee (one worker set per engine, reused by every cycle).
+    pub fn thread_counters(&self) -> rayon::PoolCounters {
+        match &self.rayon_pool {
+            Some(rp) => rp.counters(),
+            None => rayon::global_pool_counters(),
+        }
     }
 
     /// Zero the pool counters (see [`BufferPool::reset_stats`]) so the next
@@ -472,6 +487,17 @@ impl Engine {
                 peak_live_bytes: stats.peak_live_bytes as u64,
             });
             self.pool_reported = stats;
+
+            let tc = self.thread_counters();
+            let prev = self.threads_reported;
+            self.trace.record_threads(&ThreadsSnapshot {
+                workers: tc.workers_spawned,
+                regions: tc.regions.saturating_sub(prev.regions),
+                items: tc.items.saturating_sub(prev.items),
+                steals: tc.steals.saturating_sub(prev.steals),
+                parks: tc.parks.saturating_sub(prev.parks),
+            });
+            self.threads_reported = tc;
         }
 
         Ok(RunStats {

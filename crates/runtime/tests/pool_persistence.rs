@@ -1,0 +1,89 @@
+//! The execution backend must create at most one set of worker threads per
+//! engine: workers spawn lazily on the first parallel region and are parked
+//! and reused by every subsequent region, op, and cycle — never respawned.
+
+use gmg_ir::expr::Operand;
+use gmg_ir::stencil::stencil_2d;
+use gmg_ir::{ParamBindings, Pipeline, StepCount};
+use gmg_runtime::Engine;
+use polymg::{compile, PipelineOptions, Variant};
+
+fn smoother_pipeline() -> Pipeline {
+    let n = 31i64;
+    let mut p = Pipeline::new("persist");
+    let v = p.input("V", 2, n, 1);
+    let f = p.input("F", 2, n, 1);
+    let w = vec![
+        vec![0.0, 1.0, 0.0],
+        vec![1.0, -4.0, 1.0],
+        vec![0.0, 1.0, 0.0],
+    ];
+    let sm = p.tstencil(
+        "sm",
+        2,
+        n,
+        1,
+        StepCount::Fixed(3),
+        Some(v),
+        Operand::State.at(&[0, 0])
+            - 0.2 * (stencil_2d(Operand::State, &w, 1.0) - Operand::Func(f).at(&[0, 0])),
+    );
+    p.mark_output(sm);
+    p
+}
+
+#[test]
+fn engine_spawns_one_worker_set_across_runs() {
+    let p = smoother_pipeline();
+    let mut opts = PipelineOptions::for_variant(Variant::Opt, 2);
+    opts.threads = 3;
+    // several tiles per sweep so every run hits a real parallel region
+    opts.tile_sizes = vec![8, 8];
+    let plan = compile(&p, &ParamBindings::new(), opts).unwrap();
+    let out_name = plan
+        .graph
+        .stages
+        .iter()
+        .find(|s| s.is_output)
+        .unwrap()
+        .name
+        .clone();
+    let mut engine = Engine::new(plan);
+
+    assert_eq!(
+        engine.thread_counters().workers_spawned,
+        0,
+        "workers must spawn lazily, not at engine construction"
+    );
+
+    let e = 33usize;
+    let vin = vec![0.5; e * e];
+    let fin = vec![0.25; e * e];
+    let mut out = vec![0.0; e * e];
+
+    let mut spawned_after_first = 0;
+    let mut regions_prev = 0;
+    for run in 0..5 {
+        engine
+            .run(&[("V", &vin), ("F", &fin)], vec![(&out_name, &mut out)])
+            .unwrap();
+        let c = engine.thread_counters();
+        if run == 0 {
+            spawned_after_first = c.workers_spawned;
+            assert_eq!(
+                spawned_after_first, 2,
+                "threads=3 should spawn exactly threads-1 persistent workers"
+            );
+        } else {
+            assert_eq!(
+                c.workers_spawned, spawned_after_first,
+                "run {run} respawned workers — the pool is not persistent"
+            );
+        }
+        assert!(
+            c.regions > regions_prev,
+            "run {run} executed no parallel region through the pool"
+        );
+        regions_prev = c.regions;
+    }
+}

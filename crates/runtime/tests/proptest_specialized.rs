@@ -1,0 +1,295 @@
+//! Specialized-kernel equivalence fuzzing: every [`KernelImpl`] family must
+//! produce *bitwise identical* results to the expression interpreter over
+//! randomized extents, origins, ghost widths, boundaries, and coefficients.
+//! (The specialized row kernels and the generic tap loop accumulate in the
+//! same order, and the interpreter twin is built term-by-term in that same
+//! order, so exact equality is the contract — no tolerance.)
+
+use gmg_ir::expr::{Access, AxisAccess, Expr, Operand};
+use gmg_ir::{LinearForm, Parity, ParityPattern, Tap};
+use gmg_poly::{BoxDomain, Interval};
+use gmg_runtime::kernel::{execute_stage, execute_stage_impl, KernelInput, Space, SpaceMut};
+use polymg::specialize::classify;
+use polymg::{KernelBody, KernelCase, KernelImpl, StageKernel};
+use proptest::prelude::*;
+
+/// The interpreter twin of a linear kernel: the same cases, each rebuilt as
+/// `bias + c₀·read₀ + c₁·read₁ + …` so `Expr::eval_at`'s left-associated
+/// additions replay the tap loop's accumulation order exactly.
+fn interpreter_twin(k: &StageKernel) -> StageKernel {
+    StageKernel {
+        cases: k
+            .cases
+            .iter()
+            .map(|case| {
+                let form = match &case.body {
+                    KernelBody::Linear(f) => f,
+                    KernelBody::Interpreted(_) => panic!("twin of an interpreted case"),
+                };
+                let mut expr = Expr::Const(form.bias);
+                for tap in &form.taps {
+                    expr = expr
+                        + Expr::Const(tap.coeff) * Operand::Slot(tap.slot).read(tap.access.clone());
+                }
+                KernelCase {
+                    pattern: case.pattern.clone(),
+                    body: KernelBody::Interpreted(expr),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Deterministic pseudo-random fill.
+fn fill(seed: u64, data: &mut [f64]) {
+    for (i, v) in data.iter_mut().enumerate() {
+        let h = gmg_grid::init::splitmix64(seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        *v = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+}
+
+/// Run `kernel` (specialized, tag from the classifier) and its interpreter
+/// twin over `region`, both reading one input space, and assert bitwise
+/// equality of the two output buffers.
+#[allow(clippy::too_many_arguments)]
+fn assert_twin_bitwise(
+    kernel: &StageKernel,
+    expect: KernelImpl,
+    ndims: usize,
+    region: &BoxDomain,
+    in_origin: &[i64],
+    in_extents: &[i64],
+    out_origin: &[i64],
+    out_extents: &[i64],
+    boundary: f64,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let tag = classify(kernel, ndims);
+    prop_assert_eq!(tag, expect, "classifier missed the shape");
+
+    let in_len = in_extents.iter().product::<i64>() as usize;
+    let out_len = out_extents.iter().product::<i64>() as usize;
+    let mut input = vec![0.0; in_len];
+    fill(seed, &mut input);
+
+    let mut spec_buf = vec![0.0; out_len];
+    {
+        let mut out = SpaceMut {
+            data: &mut spec_buf,
+            origin: out_origin,
+            extents: out_extents,
+        };
+        let ins = [KernelInput::Grid(Space {
+            data: &input,
+            origin: in_origin,
+            extents: in_extents,
+        })];
+        execute_stage_impl(tag, kernel, region, &mut out, &ins, &[boundary]);
+    }
+
+    let twin = interpreter_twin(kernel);
+    let mut interp_buf = vec![0.0; out_len];
+    {
+        let mut out = SpaceMut {
+            data: &mut interp_buf,
+            origin: out_origin,
+            extents: out_extents,
+        };
+        let ins = [KernelInput::Grid(Space {
+            data: &input,
+            origin: in_origin,
+            extents: in_extents,
+        })];
+        execute_stage(&twin, region, &mut out, &ins, &[boundary]);
+    }
+
+    for (i, (a, b)) in spec_buf.iter().zip(&interp_buf).enumerate() {
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{:?} diverged from the interpreter at flat index {} ({} vs {})",
+            tag,
+            i,
+            a,
+            b
+        );
+    }
+    Ok(())
+}
+
+fn unit_tap(offs: &[i64], coeff: f64) -> Tap {
+    Tap {
+        slot: 0,
+        access: Access::offsets(offs),
+        coeff,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// 2-D unit-stride stencils: cross (≤5-point) and box (≤9-point).
+    #[test]
+    fn stencil_2d_matches_interpreter(
+        e in 6i64..14,
+        g in 1i64..3,
+        boxy in proptest::bool::ANY,
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 9),
+        bias in -1.0f64..1.0,
+        boundary in -1.0f64..1.0,
+        margin in 0i64..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let offsets: &[[i64; 2]] = if boxy {
+            &[[0, 0], [0, 1], [0, -1], [1, 0], [-1, 0], [1, 1], [1, -1], [-1, 1], [-1, -1]]
+        } else {
+            &[[0, 0], [0, 1], [0, -1], [1, 0], [-1, 0]]
+        };
+        let taps: Vec<Tap> = offsets
+            .iter()
+            .zip(&coeffs)
+            .map(|(o, &c)| unit_tap(o, c))
+            .collect();
+        let kernel = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Linear(LinearForm { bias, taps }),
+            }],
+        };
+        let region = BoxDomain::new(vec![
+            Interval::new(g, e - 1 - g),
+            Interval::new(g, e - 1 - g),
+        ]);
+        // output into a tight window whose origin is offset from the array's
+        let oo = [g - margin.min(g), g - margin.min(g)];
+        let oext = [e - 1 - g - oo[0] + 1, e - 1 - g - oo[1] + 1];
+        let expect = if boxy { KernelImpl::Stencil2D9 } else { KernelImpl::Stencil2D5 };
+        assert_twin_bitwise(
+            &kernel, expect, 2, &region,
+            &[0, 0], &[e, e], &oo, &oext, boundary, seed,
+        )?;
+    }
+
+    /// 3-D unit-stride stencils: cross (≤7-point) and box (27-point).
+    #[test]
+    fn stencil_3d_matches_interpreter(
+        e in 5i64..9,
+        boxy in proptest::bool::ANY,
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 27),
+        bias in -1.0f64..1.0,
+        boundary in -1.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut offsets: Vec<[i64; 3]> = Vec::new();
+        if boxy {
+            for z in -1i64..=1 {
+                for y in -1i64..=1 {
+                    for x in -1i64..=1 {
+                        offsets.push([z, y, x]);
+                    }
+                }
+            }
+        } else {
+            offsets.extend([
+                [0, 0, 0], [0, 0, 1], [0, 0, -1], [0, 1, 0], [0, -1, 0], [1, 0, 0], [-1, 0, 0],
+            ]);
+        }
+        let taps: Vec<Tap> = offsets
+            .iter()
+            .zip(&coeffs)
+            .map(|(o, &c)| unit_tap(o, c))
+            .collect();
+        let kernel = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(3),
+                body: KernelBody::Linear(LinearForm { bias, taps }),
+            }],
+        };
+        let region = BoxDomain::interior(3, e - 2);
+        let expect = if boxy { KernelImpl::Stencil3D27 } else { KernelImpl::Stencil3D7 };
+        assert_twin_bitwise(
+            &kernel, expect, 3, &region,
+            &[0, 0, 0], &[e, e, e], &[0, 0, 0], &[e, e, e], boundary, seed,
+        )?;
+    }
+
+    /// Stride-2 restriction reads (`in = 2·out + off`, |off| ≤ 2).
+    #[test]
+    fn restrict_matches_interpreter(
+        n in 5i64..10,
+        offs in proptest::collection::vec((-2i64..3, -2i64..3), 1..7),
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 7),
+        bias in -1.0f64..1.0,
+        boundary in -1.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let taps: Vec<Tap> = offs
+            .iter()
+            .zip(&coeffs)
+            .map(|(&(dy, dx), &c)| Tap {
+                slot: 0,
+                access: Access(vec![AxisAccess::down(dy), AxisAccess::down(dx)]),
+                coeff: c,
+            })
+            .collect();
+        let kernel = StageKernel {
+            cases: vec![KernelCase {
+                pattern: ParityPattern::any(2),
+                body: KernelBody::Linear(LinearForm { bias, taps }),
+            }],
+        };
+        // coarse region [1, n-2] reads fine coords 2·[1, n-2] ± 2 ⊆ [0, 2n-2]
+        let region = BoxDomain::interior(2, n - 2);
+        let fine = 2 * n;
+        assert_twin_bitwise(
+            &kernel, KernelImpl::Restrict, 2, &region,
+            &[0, 0], &[fine, fine], &[0, 0], &[n, n], boundary, seed,
+        )?;
+    }
+
+    /// Half-index interpolation reads (`in = (out + off) / 2`), executed as
+    /// per-parity cases like the lowering emits them.
+    #[test]
+    fn interp_matches_interpreter(
+        e in 8i64..16,
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 12),
+        bias in -1.0f64..1.0,
+        boundary in -1.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        // four parity cases (EE/EO/OE/OO), each up-sampling with the taps a
+        // bilinear interpolation would use for that parity
+        let par = [Parity::Even, Parity::Odd];
+        let mut cases = Vec::new();
+        let mut ci = 0usize;
+        for &py in &par {
+            for &px in &par {
+                let dys: &[i64] = if py == Parity::Even { &[0] } else { &[-1, 1] };
+                let dxs: &[i64] = if px == Parity::Even { &[0] } else { &[-1, 1] };
+                let mut taps = Vec::new();
+                for &dy in dys {
+                    for &dx in dxs {
+                        taps.push(Tap {
+                            slot: 0,
+                            access: Access(vec![AxisAccess::up(dy), AxisAccess::up(dx)]),
+                            coeff: coeffs[ci % coeffs.len()],
+                        });
+                        ci += 1;
+                    }
+                }
+                cases.push(KernelCase {
+                    pattern: ParityPattern(vec![py, px]),
+                    body: KernelBody::Linear(LinearForm { bias, taps }),
+                });
+            }
+        }
+        let kernel = StageKernel { cases };
+        // fine region [1, e-2] reads coarse coords ((x ± 1) / 2) ⊆ [0, (e-1)/2]
+        let region = BoxDomain::interior(2, e - 2);
+        let coarse = e / 2 + 2;
+        assert_twin_bitwise(
+            &kernel, KernelImpl::Interp, 2, &region,
+            &[0, 0], &[coarse, coarse], &[0, 0], &[e, e], boundary, seed,
+        )?;
+    }
+}

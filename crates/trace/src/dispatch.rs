@@ -60,10 +60,61 @@ pub fn snapshot() -> [u64; KINDS] {
     }
 }
 
-/// Zero the histogram (harness sections call this between experiments).
+/// Number of `KernelImpl` families (mirrors `polymg::specialize::KernelImpl`;
+/// index 0 is the generic path).
+pub const IMPLS: usize = 7;
+
+/// Labels indexed by `KernelImpl::index()`.
+pub const IMPL_LABELS: [&str; IMPLS] = [
+    "generic",
+    "stencil2d5",
+    "stencil2d9",
+    "stencil3d7",
+    "stencil3d27",
+    "restrict",
+    "interp",
+];
+
+#[cfg(feature = "capture")]
+static IMPL_COUNTS: [AtomicU64; IMPLS] = [const { AtomicU64::new(0) }; IMPLS];
+
+/// Count `n` case executions dispatched to kernel-impl family
+/// `impl_index` (`KernelImpl::index()`).
+#[inline]
+pub fn record_impl(impl_index: usize, n: u64) {
+    #[cfg(feature = "capture")]
+    IMPL_COUNTS[impl_index].fetch_add(n, Ordering::Relaxed);
+    #[cfg(not(feature = "capture"))]
+    {
+        let _ = (impl_index, n);
+    }
+}
+
+/// Current per-kernel-impl histogram, indexed like [`IMPL_LABELS`].
+pub fn impl_snapshot() -> [u64; IMPLS] {
+    #[cfg(feature = "capture")]
+    {
+        let mut out = [0u64; IMPLS];
+        for (o, c) in out.iter_mut().zip(IMPL_COUNTS.iter()) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        [0u64; IMPLS]
+    }
+}
+
+/// Zero both histograms (harness sections call this between experiments).
 pub fn reset() {
     #[cfg(feature = "capture")]
-    for c in COUNTS.iter() {
-        c.store(0, Ordering::Relaxed);
+    {
+        for c in COUNTS.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in IMPL_COUNTS.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 }

@@ -89,14 +89,38 @@ pub(crate) fn report_to_json(r: &Report) -> String {
         }
         s.push_str(&format!("\"{label}\": {count}"));
     }
+    s.push_str("},\n  \"kernel_impls\": {");
+    for (i, (label, count)) in dispatch::IMPL_LABELS
+        .iter()
+        .zip(r.kernel_impls.iter())
+        .enumerate()
+    {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{label}\": {count}"));
+    }
     s.push_str(&format!(
-        "}},\n  \"pool\": {{\"hits\": {}, \"misses\": {}, \"allocated_bytes\": {}, \"peak_live_bytes\": {}}},\n",
+        "}},\n  \"threads\": {{\"workers\": {}, \"regions\": {}, \"items\": {}, \"steals\": {}, \"parks\": {}}},\n",
+        r.threads.workers, r.threads.regions, r.threads.items, r.threads.steals, r.threads.parks
+    ));
+    s.push_str(&format!(
+        "  \"pool\": {{\"hits\": {}, \"misses\": {}, \"allocated_bytes\": {}, \"peak_live_bytes\": {}}},\n",
         r.pool.hits, r.pool.misses, r.pool.allocated_bytes, r.pool.peak_live_bytes
     ));
     s.push_str(&format!(
-        "  \"arena\": {{\"created\": {}, \"recycled\": {}}},\n",
+        "  \"arena\": {{\"created\": {}, \"recycled\": {}, \"workers\": [",
         r.arena_created, r.arena_recycled
     ));
+    for (i, (created, recycled)) in r.arena_workers.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"created\": {created}, \"recycled\": {recycled}}}"
+        ));
+    }
+    s.push_str("]},\n");
     s.push_str(&format!(
         "  \"comm\": {{\"messages\": {}, \"doubles\": {}, \"collectives\": {}}},\n",
         r.comm.messages, r.comm.doubles, r.comm.collectives

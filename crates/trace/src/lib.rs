@@ -56,6 +56,25 @@ impl PoolSnapshot {
     }
 }
 
+/// Work-stealing pool counters, as a delta between two observations of the
+/// pool's monotonic counters (`rayon::PoolCounters`) — except `workers`,
+/// which is the pool's total spawned-worker count and is merged with `max`
+/// (a persistent pool spawns its workers once; the value staying flat across
+/// runs *is* the signal).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadsSnapshot {
+    /// Worker threads ever spawned by the pool (max-merged).
+    pub workers: u64,
+    /// Parallel regions executed.
+    pub regions: u64,
+    /// Work items executed.
+    pub items: u64,
+    /// Chunk steals between workers.
+    pub steals: u64,
+    /// Worker park events (idle waits).
+    pub parks: u64,
+}
+
 /// Halo-exchange communication counters (mirrors `gmg-dist`'s `CommStats`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommSnapshot {
@@ -90,6 +109,8 @@ pub trait TraceSink: Send + Sync {
     fn record_span(&self, name: &str, kind: &str, ns: u64, tiles: u64, cells: u64);
     fn record_pool(&self, delta: &PoolSnapshot);
     fn record_arena(&self, created: u64, recycled: u64);
+    fn record_arena_workers(&self, per_worker: &[(u64, u64)]);
+    fn record_threads(&self, delta: &ThreadsSnapshot);
     fn record_comm(&self, delta: &CommSnapshot);
     fn record_cycle(&self, event: CycleEvent);
 }
@@ -102,6 +123,8 @@ impl TraceSink for NoopSink {
     fn record_span(&self, _: &str, _: &str, _: u64, _: u64, _: u64) {}
     fn record_pool(&self, _: &PoolSnapshot) {}
     fn record_arena(&self, _: u64, _: u64) {}
+    fn record_arena_workers(&self, _: &[(u64, u64)]) {}
+    fn record_threads(&self, _: &ThreadsSnapshot) {}
     fn record_comm(&self, _: &CommSnapshot) {}
     fn record_cycle(&self, _: CycleEvent) {}
 }
@@ -180,6 +203,13 @@ pub struct AtomicSink {
     pool_peak: AtomicU64,
     arena_created: AtomicU64,
     arena_recycled: AtomicU64,
+    /// Per-worker `(created, recycled)` arena counts, summed elementwise.
+    arena_workers: Mutex<Vec<(u64, u64)>>,
+    threads_workers: AtomicU64,
+    threads_regions: AtomicU64,
+    threads_items: AtomicU64,
+    threads_steals: AtomicU64,
+    threads_parks: AtomicU64,
     comm_messages: AtomicU64,
     comm_doubles: AtomicU64,
     comm_collectives: AtomicU64,
@@ -227,6 +257,25 @@ impl TraceSink for AtomicSink {
     fn record_arena(&self, created: u64, recycled: u64) {
         self.arena_created.fetch_add(created, Ordering::Relaxed);
         self.arena_recycled.fetch_add(recycled, Ordering::Relaxed);
+    }
+
+    fn record_arena_workers(&self, per_worker: &[(u64, u64)]) {
+        let mut merged = self.arena_workers.lock().unwrap();
+        if merged.len() < per_worker.len() {
+            merged.resize(per_worker.len(), (0, 0));
+        }
+        for (m, w) in merged.iter_mut().zip(per_worker) {
+            m.0 += w.0;
+            m.1 += w.1;
+        }
+    }
+
+    fn record_threads(&self, delta: &ThreadsSnapshot) {
+        self.threads_workers.fetch_max(delta.workers, Ordering::Relaxed);
+        self.threads_regions.fetch_add(delta.regions, Ordering::Relaxed);
+        self.threads_items.fetch_add(delta.items, Ordering::Relaxed);
+        self.threads_steals.fetch_add(delta.steals, Ordering::Relaxed);
+        self.threads_parks.fetch_add(delta.parks, Ordering::Relaxed);
     }
 
     fn record_comm(&self, delta: &CommSnapshot) {
@@ -318,6 +367,20 @@ impl Trace {
         }
     }
 
+    /// Per-worker `(created, recycled)` arena counts, indexed by worker slot.
+    pub fn record_arena_workers(&self, per_worker: &[(u64, u64)]) {
+        if let Some(s) = &self.sink {
+            s.record_arena_workers(per_worker);
+        }
+    }
+
+    /// Work-stealing-pool counter deltas (see [`ThreadsSnapshot`]).
+    pub fn record_threads(&self, delta: &ThreadsSnapshot) {
+        if let Some(s) = &self.sink {
+            s.record_threads(delta);
+        }
+    }
+
     pub fn record_comm(&self, delta: &CommSnapshot) {
         if let Some(s) = &self.sink {
             s.record_comm(delta);
@@ -383,6 +446,14 @@ impl Trace {
                 misses: sink.plan_cache_misses.load(Ordering::Relaxed),
             },
             dispatch: dispatch::snapshot(),
+            kernel_impls: dispatch::impl_snapshot(),
+            threads: ThreadsSnapshot {
+                workers: sink.threads_workers.load(Ordering::Relaxed),
+                regions: sink.threads_regions.load(Ordering::Relaxed),
+                items: sink.threads_items.load(Ordering::Relaxed),
+                steals: sink.threads_steals.load(Ordering::Relaxed),
+                parks: sink.threads_parks.load(Ordering::Relaxed),
+            },
             pool: PoolSnapshot {
                 hits: sink.pool_hits.load(Ordering::Relaxed),
                 misses: sink.pool_misses.load(Ordering::Relaxed),
@@ -391,6 +462,7 @@ impl Trace {
             },
             arena_created: sink.arena_created.load(Ordering::Relaxed),
             arena_recycled: sink.arena_recycled.load(Ordering::Relaxed),
+            arena_workers: sink.arena_workers.lock().unwrap().clone(),
             comm: CommSnapshot {
                 messages: sink.comm_messages.load(Ordering::Relaxed),
                 doubles: sink.comm_doubles.load(Ordering::Relaxed),
@@ -485,9 +557,16 @@ pub struct Report {
     pub ops: Vec<OpReport>,
     pub plan_cache: PlanCacheSnapshot,
     pub dispatch: [u64; dispatch::KINDS],
+    /// Per-`KernelImpl` case-execution histogram, indexed like
+    /// [`dispatch::IMPL_LABELS`].
+    pub kernel_impls: [u64; dispatch::IMPLS],
+    /// Work-stealing-pool utilization aggregated over the trace's lifetime.
+    pub threads: ThreadsSnapshot,
     pub pool: PoolSnapshot,
     pub arena_created: u64,
     pub arena_recycled: u64,
+    /// Per-worker `(created, recycled)` arena counts, indexed by worker slot.
+    pub arena_workers: Vec<(u64, u64)>,
     pub comm: CommSnapshot,
     pub cycles: Vec<CycleEvent>,
 }
@@ -549,7 +628,7 @@ mod tests {
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
-        for key in ["\"meta\"", "\"stages\"", "\"ops\"", "\"plan_cache\"", "\"dispatch\"", "\"pool\"", "\"arena\"", "\"comm\"", "\"cycles\""] {
+        for key in ["\"meta\"", "\"stages\"", "\"ops\"", "\"plan_cache\"", "\"dispatch\"", "\"kernel_impls\"", "\"threads\"", "\"pool\"", "\"arena\"", "\"workers\"", "\"comm\"", "\"cycles\""] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
         assert!(s.contains("\\\"quoted\\\""));
@@ -578,7 +657,24 @@ mod tests {
         s.record_span("x", "untiled", 1, 1, 1);
         s.record_pool(&PoolSnapshot::default());
         s.record_arena(1, 2);
+        s.record_arena_workers(&[(1, 0)]);
+        s.record_threads(&ThreadsSnapshot::default());
         s.record_comm(&CommSnapshot::default());
         s.record_cycle(CycleEvent { index: 0, ns: 1, residual: 0.0 });
+    }
+
+    #[test]
+    fn threads_workers_max_merge_and_arena_workers_sum() {
+        let t = Trace::enabled();
+        t.record_threads(&ThreadsSnapshot { workers: 3, regions: 2, items: 10, steals: 1, parks: 4 });
+        t.record_threads(&ThreadsSnapshot { workers: 3, regions: 1, items: 5, steals: 0, parks: 2 });
+        t.record_arena_workers(&[(2, 0), (1, 3)]);
+        t.record_arena_workers(&[(0, 2), (0, 1), (1, 0)]);
+        let r = t.report().unwrap();
+        // workers is a level (max), the rest accumulate
+        assert_eq!(r.threads, ThreadsSnapshot { workers: 3, regions: 3, items: 15, steals: 1, parks: 6 });
+        assert_eq!(r.arena_workers, vec![(2, 2), (1, 4), (1, 0)]);
+        let s = r.to_json();
+        assert!(s.contains("\"workers\": 3"));
     }
 }
