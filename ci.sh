@@ -16,6 +16,19 @@ cargo doc --no-deps --workspace
 cargo run --release -p gmg-bench --bin polymg-cli -- V-2D-2-2-2 --n 31 --dump-schedule \
   | grep -q "run_" || { echo "ci: --dump-schedule produced no ops" >&2; exit 1; }
 
+# chaos gate (DESIGN.md §12): the differential suite (random pipelines ×
+# random fault plans, plus the fixed-seed cases) must hold — bitwise after
+# recovery or a typed error, never a panic — and a CLI chaos run must
+# record its fault events in the profile JSON.
+cargo test -q --release --test chaos_differential
+cargo run --release -p gmg-bench --bin polymg-cli -- V-2D-2-2-2 --n 31 \
+  --profile /tmp/chaos_profile_ci.json --iters 2 --chaos-seed 7 --chaos-rate 1 \
+  >/dev/null 2>&1 || true   # unrecoverable faults may fail cycles; the profile must still be written
+grep -q '"chaos"' /tmp/chaos_profile_ci.json \
+  || { echo "ci: chaos profile carries no chaos block" >&2; exit 1; }
+grep -o '"fired": [0-9]*' /tmp/chaos_profile_ci.json | grep -qv '"fired": 0$' \
+  || { echo "ci: chaos run fired no faults" >&2; exit 1; }
+
 # perf smoke: median ns/point for generic vs specialized kernels and
 # 1-thread vs all-host-threads, written as BENCH_pr3.json. Quick settings
 # here (small grid, few repeats) — the comparisons are recorded in the JSON,

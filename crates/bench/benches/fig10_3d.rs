@@ -1,8 +1,8 @@
 //! Criterion wrapper for Figure 10 (3-D speedups + NAS MG).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gmg_bench::runners::{harness_tiles, make_runner, ImplKind};
 use gmg_bench::experiments::benchmarks;
+use gmg_bench::runners::{harness_tiles, make_runner, ImplKind};
 use gmg_multigrid::config::SizeClass;
 use gmg_multigrid::solver::{setup_poisson, CycleRunner};
 use gmg_nas::dsl::NasDsl;

@@ -2,8 +2,8 @@
 //! implementation on the smoke class for every 2-D benchmark.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gmg_bench::runners::{make_runner, ImplKind};
 use gmg_bench::experiments::benchmarks;
+use gmg_bench::runners::{make_runner, ImplKind};
 use gmg_multigrid::config::SizeClass;
 use gmg_multigrid::solver::setup_poisson;
 

@@ -7,6 +7,7 @@
 //!            [--threads N] [--no-specialize]
 //!            [--emit dump|dot|c|stats] [--dump-schedule] [-o FILE]
 //!            [--profile OUT.json [--iters N]]
+//!            [--chaos-seed N] [--chaos-rate R]
 //!
 //! <benchmark> ∈ {V-2D, W-2D, F-2D, V-3D, W-3D, F-3D} with an optional
 //! smoothing suffix, e.g. V-2D-4-4-4 or W-3D-10-0-0 (default 4-4-4).
@@ -24,6 +25,13 @@
 //! per-op times, kernel-dispatch histogram, pool/arena and plan-cache
 //! counters, per-cycle residuals — as JSON. It also prints the
 //! human-readable observability dump to stderr.
+//!
+//! `--chaos-seed N` arms deterministic fault injection (`polymg::chaos`)
+//! for the profiled run: pool/arena exhaustion, worker panics, per-op
+//! faults. `--chaos-rate R` sets the per-site firing probability (default
+//! 0.01). Recovered faults leave results bitwise-identical; unrecoverable
+//! ones surface as typed errors per cycle (the run continues) and every
+//! armed/fired/recovered counter lands in the profile JSON under `chaos`.
 
 use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
 use gmg_multigrid::cycles::build_cycle_pipeline;
@@ -34,7 +42,7 @@ fn usage() -> ! {
         "usage: polymg-cli <V-2D[-a-b-c]|W-3D[-a-b-c]|…> [--variant naive|opt|opt+|dtile-opt+]\n\
          \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--threads N]\n\
          \x20      [--no-specialize] [--emit dump|dot|c|stats] [--dump-schedule] [-o FILE]\n\
-         \x20      [--profile OUT.json [--iters N]]"
+         \x20      [--profile OUT.json [--iters N]] [--chaos-seed N] [--chaos-rate R]"
     );
     std::process::exit(2);
 }
@@ -83,6 +91,8 @@ fn main() {
     let mut dump_schedule = false;
     let mut threads: Option<usize> = None;
     let mut specialize = true;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_rate = 0.01f64;
 
     let mut i = 1;
     while i < args.len() {
@@ -137,6 +147,14 @@ fn main() {
                 i += 1;
                 profile_iters = args[i].parse().unwrap_or_else(|_| usage());
             }
+            "--chaos-seed" => {
+                i += 1;
+                chaos_seed = Some(args[i].parse().unwrap_or_else(|_| usage()));
+            }
+            "--chaos-rate" => {
+                i += 1;
+                chaos_rate = args[i].parse().unwrap_or_else(|_| usage());
+            }
             _ => usage(),
         }
         i += 1;
@@ -162,6 +180,8 @@ fn main() {
         opts.threads = t;
     }
     opts.specialize = specialize;
+    let chaos = chaos_seed.map(|s| polymg::ChaosOptions::new(s, chaos_rate));
+    opts.chaos = chaos; // stripped by compile — a runtime property only
     let plan = match polymg::compile_cached(&pipeline, &gmg_ir::ParamBindings::new(), opts) {
         Ok(p) => p,
         Err(errs) => {
@@ -211,24 +231,52 @@ fn main() {
     }
 
     if let Some(path) = profile {
-        use gmg_multigrid::solver::{run_cycles_traced, setup_poisson, CycleRunner as _};
+        use gmg_multigrid::solver::{
+            residual_norm, run_cycles_traced, setup_poisson, CycleRunner as _,
+        };
         let trace = gmg_trace::Trace::enabled();
         trace.set_meta("tool", "polymg-cli");
         trace.set_meta("benchmark", cfg.tag());
         trace.set_meta("variant", variant.label());
         let mut runner = gmg_multigrid::solver::DslRunner::from_plan(plan, &cfg);
         runner.set_trace(trace.clone());
+        runner.engine_mut().set_chaos(chaos);
         let (mut v, f, _) = setup_poisson(&cfg);
-        let res = run_cycles_traced(&mut runner, &cfg, &mut v, &f, profile_iters, &trace);
+        let nf = cfg.n_at(cfg.levels - 1);
+        let hf = cfg.h_at(cfg.levels - 1);
+        let final_res = if chaos.is_some() {
+            // chaos-tolerant drive: an unrecoverable injected fault ends a
+            // cycle with a typed error, the run keeps going, and the
+            // profile (with its fault counters) is still written
+            let mut faulted = 0usize;
+            let mut last = residual_norm(cfg.ndims, nf, hf, &v, &f);
+            for i in 0..profile_iters {
+                let t0 = std::time::Instant::now();
+                if let Err(e) = runner.cycle_with_stats(&mut v, &f) {
+                    faulted += 1;
+                    eprintln!("cycle {i}: {e}");
+                }
+                let dt = t0.elapsed();
+                last = residual_norm(cfg.ndims, nf, hf, &v, &f);
+                trace.record_cycle(i as u64, dt.as_nanos() as u64, last);
+            }
+            eprintln!("chaos: {faulted}/{profile_iters} cycles surfaced a typed fault");
+            last
+        } else {
+            let res = run_cycles_traced(&mut runner, &cfg, &mut v, &f, profile_iters, &trace);
+            res.norms.last().copied().unwrap_or(res.res0)
+        };
         let (hits, misses) = polymg::PlanCache::global().counters();
         trace.record_plan_cache(hits, misses);
         match trace.report() {
             Some(rep) => {
-                eprint!("{}", report::observability_dump(runner.engine_mut().plan(), &rep));
+                eprint!(
+                    "{}",
+                    report::observability_dump(runner.engine_mut().plan(), &rep)
+                );
                 std::fs::write(&path, rep.to_json()).expect("write profile");
                 eprintln!(
-                    "wrote profile {path} ({profile_iters} cycles, final residual {:.3e})",
-                    res.norms.last().copied().unwrap_or(res.res0)
+                    "wrote profile {path} ({profile_iters} cycles, final residual {final_res:.3e})"
                 );
             }
             None => eprintln!("gmg-trace built without `capture`; {path} not written"),

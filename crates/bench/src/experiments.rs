@@ -165,7 +165,13 @@ pub fn fig_speedups(ndims: usize, o: &ExpOptions) -> String {
     );
     for cfg in benchmarks(ndims, o.class) {
         let iters = o.iters(ndims);
-        let _ = writeln!(out, "{} class {} ({} iters):", cfg.tag(), o.class.tag(), iters);
+        let _ = writeln!(
+            out,
+            "{} class {} ({} iters):",
+            cfg.tag(),
+            o.class.tag(),
+            iters
+        );
         let mut rows = Vec::new();
         for kind in ImplKind::all() {
             let mut r = make_runner(&cfg, kind, o.threads[0]);
@@ -253,15 +259,24 @@ pub fn smoother_pipeline(ndims: usize, n: i64, steps: usize, omega: f64) -> Pipe
     let lap = match ndims {
         2 => stencil_2d(
             Op::State,
-            &[vec![0.0, -1.0, 0.0],
+            &[
+                vec![0.0, -1.0, 0.0],
                 vec![-1.0, 4.0, -1.0],
-                vec![0.0, -1.0, 0.0]],
+                vec![0.0, -1.0, 0.0],
+            ],
             1.0 / (h * h),
         ),
         3 => {
             let mut wts = vec![vec![vec![0.0; 3]; 3]; 3];
             wts[1][1][1] = 6.0;
-            for (z, y, x) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+            for (z, y, x) in [
+                (0, 1, 1),
+                (2, 1, 1),
+                (1, 0, 1),
+                (1, 2, 1),
+                (1, 1, 0),
+                (1, 1, 2),
+            ] {
                 wts[z][y][x] = -1.0;
             }
             stencil_3d(Op::State, &wts, 1.0 / (h * h))
@@ -340,33 +355,40 @@ pub fn fig11b(o: &ExpOptions) -> String {
         o.class.tag()
     );
     for ndims in [2usize, 3] {
-        let cfg = MgConfig::new(
-            ndims,
-            o.class.n(ndims),
-            CycleType::V,
-            SmoothSteps::s1000(),
-        );
+        let cfg = MgConfig::new(ndims, o.class.n(ndims), CycleType::V, SmoothSteps::s1000());
         let iters = o.iters(ndims);
         let _ = writeln!(out, " {}D ({} iters):", ndims, iters);
         let mut base = None;
         type OptTweak = Box<dyn Fn(&mut PipelineOptions)>;
         let steps: [(&str, OptTweak); 4] = [
-            ("naive", Box::new(|o: &mut PipelineOptions| {
-                o.tiling = polymg::TilingMode::None;
-                o.group_limit = 1;
-            })),
-            ("+intra-group reuse", Box::new(|o: &mut PipelineOptions| {
-                o.intra_group_reuse = true;
-            })),
-            ("+pooled allocation", Box::new(|o: &mut PipelineOptions| {
-                o.intra_group_reuse = true;
-                o.pooled_allocation = true;
-            })),
-            ("+inter-group reuse", Box::new(|o: &mut PipelineOptions| {
-                o.intra_group_reuse = true;
-                o.pooled_allocation = true;
-                o.inter_group_reuse = true;
-            })),
+            (
+                "naive",
+                Box::new(|o: &mut PipelineOptions| {
+                    o.tiling = polymg::TilingMode::None;
+                    o.group_limit = 1;
+                }),
+            ),
+            (
+                "+intra-group reuse",
+                Box::new(|o: &mut PipelineOptions| {
+                    o.intra_group_reuse = true;
+                }),
+            ),
+            (
+                "+pooled allocation",
+                Box::new(|o: &mut PipelineOptions| {
+                    o.intra_group_reuse = true;
+                    o.pooled_allocation = true;
+                }),
+            ),
+            (
+                "+inter-group reuse",
+                Box::new(|o: &mut PipelineOptions| {
+                    o.intra_group_reuse = true;
+                    o.pooled_allocation = true;
+                    o.inter_group_reuse = true;
+                }),
+            ),
         ];
         for (label, tweak) in steps.iter() {
             let mut opts = PipelineOptions::for_variant(Variant::Opt, ndims);
@@ -423,7 +445,10 @@ pub fn fig12(o: &ExpOptions, stride: usize) -> String {
     let mut best = (f64::MAX, String::new());
     let space = polymg::autotune::search_space(2);
     for tc in space.iter().step_by(stride) {
-        let mut row = format!("  {:<22}", format!("{:?} gl={}", tc.tile_sizes, tc.group_limit));
+        let mut row = format!(
+            "  {:<22}",
+            format!("{:?} gl={}", tc.tile_sizes, tc.group_limit)
+        );
         let mut optplus_secs = f64::MAX;
         for variant in [Variant::Opt, Variant::OptPlus] {
             let mut opts = PipelineOptions::for_variant(variant, 2);
@@ -438,7 +463,10 @@ pub fn fig12(o: &ExpOptions, stride: usize) -> String {
             }
         }
         if optplus_secs < best.0 {
-            best = (optplus_secs, format!("{:?} gl={}", tc.tile_sizes, tc.group_limit));
+            best = (
+                optplus_secs,
+                format!("{:?} gl={}", tc.tile_sizes, tc.group_limit),
+            );
         }
         let _ = writeln!(out, "{row}");
     }
@@ -545,7 +573,12 @@ pub fn memory_report(o: &ExpOptions) -> String {
             runner.set_trace(row_trace.clone());
             let (mut v, f, _) = gmg_multigrid::solver::setup_poisson(&cfg);
             gmg_multigrid::solver::run_cycles_traced(
-                &mut runner, &cfg, &mut v, &f, iters, &row_trace,
+                &mut runner,
+                &cfg,
+                &mut v,
+                &f,
+                iters,
+                &row_trace,
             );
             let observed = match row_trace.report() {
                 Some(rep) => {

@@ -112,6 +112,9 @@ pub fn fingerprint(
     h.u64(options.threads as u64);
     h.tag(0x0f);
     h.bool(options.specialize);
+    // `options.chaos` is deliberately NOT hashed: faults are a runtime
+    // property, and a chaos run must share the cached plan of its
+    // fault-free twin (the differential oracle compares the two).
     h.0
 }
 
@@ -234,15 +237,33 @@ mod tests {
         let mutations: Vec<(&str, Mutation)> = vec![
             ("tiling", Box::new(|o| o.tiling = TilingMode::None)),
             ("group_limit", Box::new(|o| o.group_limit += 1)),
-            ("overlap_threshold", Box::new(|o| o.overlap_threshold += 0.5)),
+            (
+                "overlap_threshold",
+                Box::new(|o| o.overlap_threshold += 0.5),
+            ),
             ("tile_sizes", Box::new(|o| o.tile_sizes[0] += 8)),
-            ("intra_group_reuse", Box::new(|o| o.intra_group_reuse = !o.intra_group_reuse)),
-            ("inter_group_reuse", Box::new(|o| o.inter_group_reuse = !o.inter_group_reuse)),
-            ("pooled_allocation", Box::new(|o| o.pooled_allocation = !o.pooled_allocation)),
-            ("dtile_smoother", Box::new(|o| o.dtile_smoother = !o.dtile_smoother)),
+            (
+                "intra_group_reuse",
+                Box::new(|o| o.intra_group_reuse = !o.intra_group_reuse),
+            ),
+            (
+                "inter_group_reuse",
+                Box::new(|o| o.inter_group_reuse = !o.inter_group_reuse),
+            ),
+            (
+                "pooled_allocation",
+                Box::new(|o| o.pooled_allocation = !o.pooled_allocation),
+            ),
+            (
+                "dtile_smoother",
+                Box::new(|o| o.dtile_smoother = !o.dtile_smoother),
+            ),
             ("dtile_band", Box::new(|o| o.dtile_band += 1)),
             ("scratch_quantum", Box::new(|o| o.scratch_quantum += 1)),
-            ("coeff_factoring", Box::new(|o| o.coeff_factoring = !o.coeff_factoring)),
+            (
+                "coeff_factoring",
+                Box::new(|o| o.coeff_factoring = !o.coeff_factoring),
+            ),
             ("threads", Box::new(|o| o.threads += 1)),
             ("specialize", Box::new(|o| o.specialize = !o.specialize)),
         ];
@@ -255,6 +276,20 @@ mod tests {
                 "mutating `{field}` must change the fingerprint"
             );
         }
+    }
+
+    #[test]
+    fn chaos_options_do_not_change_the_fingerprint() {
+        let p = tiny_pipeline("chaos-fp", 63);
+        let b = ParamBindings::new();
+        let base = fingerprint(&p, &b, &base_opts());
+        let mut o = base_opts();
+        o.chaos = Some(crate::chaos::ChaosOptions::new(42, 0.5));
+        assert_eq!(
+            fingerprint(&p, &b, &o),
+            base,
+            "chaos is a runtime property and must not split the plan cache"
+        );
     }
 
     #[test]
@@ -281,7 +316,10 @@ mod tests {
         assert_eq!(cache.counters(), (0, 1));
         let plan2 = cache.get_or_compile(&p, &b, base_opts()).unwrap();
         assert_eq!(cache.counters(), (1, 1));
-        assert!(Arc::ptr_eq(&plan1, &plan2), "a hit shares the compiled plan");
+        assert!(
+            Arc::ptr_eq(&plan1, &plan2),
+            "a hit shares the compiled plan"
+        );
 
         let mut other = base_opts();
         other.tile_sizes = vec![16, 256];

@@ -12,9 +12,7 @@ use crate::plan::{
     ArraySpec, CompiledPipeline, GroupPlan, GroupTiling, ScratchBufferSpec, StoragePlan,
 };
 use crate::storage::{bucket_extents, remap_storage, RemapItem, StorageClass};
-use gmg_ir::{
-    FuncKind, ParamBindings, Pipeline, StageGraph, StageId, StageKind,
-};
+use gmg_ir::{FuncKind, ParamBindings, Pipeline, StageGraph, StageId, StageKind};
 use gmg_poly::region::propagate_regions;
 use gmg_poly::tiling::{owned_region, tile_partition};
 use gmg_poly::BoxDomain;
@@ -34,6 +32,11 @@ pub fn compile(
     let grouping = auto_group(pipeline, &graph, &options);
     let groups = plan_groups(pipeline, &graph, &grouping, &options);
     let storage = plan_full_arrays(&graph, &groups, &options);
+    // chaos is a runtime property; never bake it into a (cacheable) plan
+    let options = PipelineOptions {
+        chaos: None,
+        ..options
+    };
     Ok(CompiledPipeline {
         graph,
         kernels,
@@ -78,8 +81,7 @@ fn plan_groups(
             GroupTiling::Untiled
         } else if options.dtile_smoother && is_smoother_chain {
             let radius = graph.stage(members[1]).max_unit_radius().max(1);
-            let tile_w = options
-                .tiles_for_rank(ndims)[0]
+            let tile_w = options.tiles_for_rank(ndims)[0]
                 .max(2 * radius * (options.dtile_band as i64 - 1) + 1);
             GroupTiling::Diamond {
                 tile_w,
@@ -411,7 +413,13 @@ mod tests {
             Operand::Func(f).at(&[0, 0]) - stencil_2d(Operand::Func(pre), &five(), 1.0),
         );
         let nc = (n + 1) / 2 - 1;
-        let r = p.restrict_fn("restrict", 2, nc, 0, restrict_full_weighting_2d(Operand::Func(d)));
+        let r = p.restrict_fn(
+            "restrict",
+            2,
+            nc,
+            0,
+            restrict_full_weighting_2d(Operand::Func(d)),
+        );
         let e = p.interp_fn("interp", 2, n, 1, r);
         let c = p.function(
             "correct",
@@ -556,7 +564,12 @@ mod tests {
             .count();
         assert_eq!(n_diamond, 2, "pre and post smoother chains");
         for g in &plan.groups {
-            if let GroupTiling::Diamond { tile_w, band_h, radius } = g.tiling {
+            if let GroupTiling::Diamond {
+                tile_w,
+                band_h,
+                radius,
+            } = g.tiling
+            {
                 assert!(tile_w > 2 * radius * (band_h as i64 - 1));
             }
         }

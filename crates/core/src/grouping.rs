@@ -167,7 +167,14 @@ pub fn auto_group(pipeline: &Pipeline, graph: &StageGraph, opts: &PipelineOption
 
     let fusing = opts.tiling == TilingMode::Overlapped && opts.group_limit > 1;
     if fusing {
-        greedy_merge(pipeline, graph, opts, &consumers, &mut group_of, &mut members);
+        greedy_merge(
+            pipeline,
+            graph,
+            opts,
+            &consumers,
+            &mut group_of,
+            &mut members,
+        );
     }
 
     order_groups(graph, &members, &group_of)
@@ -181,9 +188,8 @@ fn greedy_merge(
     group_of: &mut [Option<usize>],
     members: &mut [Vec<StageId>],
 ) {
-    let tstencil_only = |sid: StageId| {
-        pipeline.func(graph.stage(sid).func).kind == FuncKind::TStencil
-    };
+    let tstencil_only =
+        |sid: StageId| pipeline.func(graph.stage(sid).func).kind == FuncKind::TStencil;
 
     loop {
         let mut merged_any = false;
@@ -313,7 +319,9 @@ fn order_groups(
     members: &[Vec<StageId>],
     group_of: &[Option<usize>],
 ) -> Grouping {
-    let live: Vec<usize> = (0..members.len()).filter(|g| !members[*g].is_empty()).collect();
+    let live: Vec<usize> = (0..members.len())
+        .filter(|g| !members[*g].is_empty())
+        .collect();
     let mut indeg = vec![0usize; members.len()];
     let mut succ: Vec<Vec<usize>> = vec![Vec::new(); members.len()];
     for (p, c, _) in graph.edges() {

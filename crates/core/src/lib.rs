@@ -34,6 +34,7 @@
 
 pub mod autotune;
 pub mod cache;
+pub mod chaos;
 pub mod codegen;
 pub mod compile;
 pub mod grouping;
@@ -46,11 +47,12 @@ pub mod specialize;
 pub mod storage;
 
 pub use cache::{compile_cached, PlanCache};
+pub use chaos::{ChaosOptions, ChaosStats, FaultPlan, FaultSite};
 pub use compile::compile;
-pub use schedule::{ExecOp, ExecProgram, OpInput, SlotSpec, StageExec};
 pub use options::{PipelineOptions, TilingMode, Variant};
-pub use specialize::KernelImpl;
 pub use plan::{
-    ArraySpec, CompiledPipeline, GroupPlan, GroupTiling, KernelBody, KernelCase,
-    ScratchBufferSpec, StageKernel, StoragePlan,
+    ArraySpec, CompiledPipeline, GroupPlan, GroupTiling, KernelBody, KernelCase, ScratchBufferSpec,
+    StageKernel, StoragePlan,
 };
+pub use schedule::{ExecOp, ExecProgram, OpInput, SlotSpec, StageExec};
+pub use specialize::KernelImpl;

@@ -1,5 +1,7 @@
 //! Compilation options and the paper's variant presets.
 
+use crate::chaos::ChaosOptions;
+
 /// How multi-stage groups are executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TilingMode {
@@ -90,6 +92,11 @@ pub struct PipelineOptions {
     /// bitwise-identical to the generic path; this knob exists for A/B
     /// benchmarking (`--no-specialize`).
     pub specialize: bool,
+    /// Deterministic fault injection for chaos testing. A *runtime*
+    /// property, not a plan property: excluded from the plan-cache
+    /// fingerprint and normalized to `None` in compiled plans — runners
+    /// arm the engine's `FaultPlan` from this field at construction.
+    pub chaos: Option<ChaosOptions>,
 }
 
 impl PipelineOptions {
@@ -109,6 +116,7 @@ impl PipelineOptions {
             coeff_factoring: true,
             threads: 0, // 0 = runtime default
             specialize: true,
+            chaos: None,
         };
         match v {
             Variant::Naive => PipelineOptions {

@@ -35,7 +35,12 @@ pub fn stats(plan: &CompiledPipeline) -> PlanStats {
     PlanStats {
         num_stages: plan.graph.num_compute_stages(),
         num_groups: plan.groups.len(),
-        max_group_size: plan.groups.iter().map(|g| g.stages.len()).max().unwrap_or(0),
+        max_group_size: plan
+            .groups
+            .iter()
+            .map(|g| g.stages.len())
+            .max()
+            .unwrap_or(0),
         num_overlapped_groups: overlapped,
         num_diamond_groups: diamond,
         num_untiled_groups: untiled,
@@ -272,8 +277,7 @@ pub fn grouping_dump(plan: &CompiledPipeline) -> String {
 pub fn dot_dump(plan: &CompiledPipeline) -> String {
     use std::fmt::Write;
     let palette = [
-        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99",
-        "#1f78b4", "#33a02c",
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
     ];
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", plan.graph.pipeline_name);
@@ -442,6 +446,7 @@ mod tests {
             arena_recycled: 14,
             arena_workers: vec![(1, 7), (1, 7)],
             comm: Default::default(),
+            chaos: Default::default(),
             cycles: vec![],
         };
         let mem = observed_memory(&pl, &report);

@@ -186,7 +186,9 @@ impl ExecOp {
                     ins_slots(&mut acc, s);
                 }
             }
-            ExecOp::RunDiamondChain { stages, out_slot, .. } => {
+            ExecOp::RunDiamondChain {
+                stages, out_slot, ..
+            } => {
                 acc.push(*out_slot);
                 for s in stages {
                     ins_slots(&mut acc, s);
@@ -262,10 +264,12 @@ pub fn lower(plan: &CompiledPipeline) -> ExecProgram {
                 StageInput::Stage(p) => {
                     let boundary = graph.stage(*p).boundary.value();
                     match local_of(*p) {
-                        Some(pi) => OpInput::Local { stage: pi, boundary },
+                        Some(pi) => OpInput::Local {
+                            stage: pi,
+                            boundary,
+                        },
                         None => OpInput::Slot {
-                            slot: plan.storage.array_of_stage[p.0]
-                                .expect("producer without array"),
+                            slot: plan.storage.array_of_stage[p.0].expect("producer without array"),
                             boundary,
                         },
                     }
@@ -366,9 +370,8 @@ pub fn lower(plan: &CompiledPipeline) -> ExecProgram {
                     "diamond chain with interior live-out"
                 );
                 let members = &group.stages;
-                let local_of = |p: StageId| -> Option<usize> {
-                    members.iter().position(|s| *s == p)
-                };
+                let local_of =
+                    |p: StageId| -> Option<usize> { members.iter().position(|s| *s == p) };
                 let n_outer = graph.stage(members[0]).domain.0[0].len();
                 ops.push(ExecOp::RunDiamondChain {
                     stages: members.iter().map(|s| stage_exec(*s, &local_of)).collect(),
@@ -402,7 +405,10 @@ impl ExecProgram {
     /// `polymg-cli --dump-schedule` output).
     pub fn dump(&self) -> String {
         fn dims(v: &[i64]) -> String {
-            v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("x")
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
         }
         fn dom(d: &BoxDomain) -> String {
             d.0.iter()
@@ -453,10 +459,8 @@ impl ExecProgram {
                     ..
                 } => {
                     let names: Vec<&str> = stages.iter().map(|s| s.name.as_str()).collect();
-                    let scratch: Vec<String> = scratch_buffers
-                        .iter()
-                        .map(|b| dims(&b.extents))
-                        .collect();
+                    let scratch: Vec<String> =
+                        scratch_buffers.iter().map(|b| dims(&b.extents)).collect();
                     format!(
                         "[{}] tiles={} scratch=[{}] live_out={}/{}",
                         names.join(" "),
@@ -473,10 +477,7 @@ impl ExecProgram {
                     out_slot,
                 } => format!(
                     "{} steps={} bands={} radius={} -> %{}",
-                    stages
-                        .first()
-                        .map(|s| s.name.as_str())
-                        .unwrap_or("<empty>"),
+                    stages.first().map(|s| s.name.as_str()).unwrap_or("<empty>"),
                     stages.len(),
                     schedule.len(),
                     radius,
@@ -532,7 +533,13 @@ mod tests {
             Operand::Func(f).at(&[0, 0]) - stencil_2d(Operand::Func(pre), &five(), 1.0),
         );
         let nc = (n + 1) / 2 - 1;
-        let r = p.restrict_fn("restrict", 2, nc, 0, restrict_full_weighting_2d(Operand::Func(d)));
+        let r = p.restrict_fn(
+            "restrict",
+            2,
+            nc,
+            0,
+            restrict_full_weighting_2d(Operand::Func(d)),
+        );
         let e = p.interp_fn("interp", 2, n, 1, r);
         let c = p.function(
             "correct",
@@ -580,8 +587,7 @@ mod tests {
             Some(v),
             Operand::State.at(&[0, 0, 0])
                 - 0.8
-                    * (stencil_3d(Operand::State, &seven(), 1.0)
-                        - Operand::Func(f).at(&[0, 0, 0])),
+                    * (stencil_3d(Operand::State, &seven(), 1.0) - Operand::Func(f).at(&[0, 0, 0])),
         );
         let d = p.function(
             "defect",
@@ -595,8 +601,12 @@ mod tests {
     }
 
     fn lower_variant(p: &Pipeline, v: Variant, ndims: usize) -> ExecProgram {
-        let plan = compile(p, &ParamBindings::new(), PipelineOptions::for_variant(v, ndims))
-            .unwrap();
+        let plan = compile(
+            p,
+            &ParamBindings::new(),
+            PipelineOptions::for_variant(v, ndims),
+        )
+        .unwrap();
         lower(&plan)
     }
 
@@ -632,7 +642,11 @@ mod tests {
                 .filter(|(_, op)| matches!(op, ExecOp::PoolFree { slot } if *slot == si))
                 .map(|(i, _)| i)
                 .collect();
-            assert_eq!(allocs.len(), 1, "slot %{si} must have exactly one PoolAlloc");
+            assert_eq!(
+                allocs.len(),
+                1,
+                "slot %{si} must have exactly one PoolAlloc"
+            );
             assert_eq!(frees.len(), 1, "slot %{si} must have exactly one PoolFree");
             let (alloc, free) = (allocs[0], frees[0]);
             assert!(alloc < free, "slot %{si} freed before allocated");
@@ -703,14 +717,16 @@ mod tests {
     fn overlapped_ops_carry_tiles_and_dtile_carries_bands() {
         let p = two_level_pipeline(255);
         let prog = lower_variant(&p, Variant::OptPlus, 2);
-        let has_overlapped = prog.ops.iter().any(|op| {
-            matches!(op, ExecOp::RunOverlappedGroup { geom, .. } if !geom.tiles.is_empty())
-        });
+        let has_overlapped = prog.ops.iter().any(
+            |op| matches!(op, ExecOp::RunOverlappedGroup { geom, .. } if !geom.tiles.is_empty()),
+        );
         assert!(has_overlapped, "opt+ schedule must contain tiled groups");
 
         let prog = lower_variant(&p, Variant::DtileOptPlus, 2);
         let diamond = prog.ops.iter().find_map(|op| match op {
-            ExecOp::RunDiamondChain { stages, schedule, .. } => Some((stages, schedule)),
+            ExecOp::RunDiamondChain {
+                stages, schedule, ..
+            } => Some((stages, schedule)),
             _ => None,
         });
         let (stages, schedule) = diamond.expect("dtile schedule must contain a diamond chain");

@@ -245,13 +245,21 @@ mod tests {
         let wide = linear_kernel(vec![tap(&[0, 3], 1.0)]);
         assert_eq!(classify(&wide, 2), KernelImpl::Generic);
         // arity above the bitwise-safe cap
-        let many = linear_kernel((0..(MAX_SPEC_TAPS as i64 + 1)).map(|_| tap(&[0, 0], 1.0)).collect());
+        let many = linear_kernel(
+            (0..(MAX_SPEC_TAPS as i64 + 1))
+                .map(|_| tap(&[0, 0], 1.0))
+                .collect(),
+        );
         assert_eq!(classify(&many, 2), KernelImpl::Generic);
         // unusual stride ratio
         let odd = linear_kernel(vec![Tap {
             slot: 0,
             access: Access(vec![
-                AxisAccess { num: 3, den: 1, off: 0 },
+                AxisAccess {
+                    num: 3,
+                    den: 1,
+                    off: 0,
+                },
                 AxisAccess::offset(0),
             ]),
             coeff: 1.0,

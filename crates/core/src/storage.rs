@@ -101,17 +101,16 @@ pub fn remap_storage(items: &[RemapItem], reuse: bool) -> RemapResult {
     order.sort_by_key(|&i| items[i].time);
 
     let mut pool: HashMap<StorageClass, Vec<usize>> = HashMap::new();
-    let release = |pool: &mut HashMap<StorageClass, Vec<usize>>,
-                       buffer_of: &Vec<usize>,
-                       tt: i64| {
-        for &dead in &deaths[&tt] {
-            if buffer_of[dead] != usize::MAX {
-                pool.entry(items[dead].class.clone())
-                    .or_default()
-                    .push(buffer_of[dead]);
+    let release =
+        |pool: &mut HashMap<StorageClass, Vec<usize>>, buffer_of: &Vec<usize>, tt: i64| {
+            for &dead in &deaths[&tt] {
+                if buffer_of[dead] != usize::MAX {
+                    pool.entry(items[dead].class.clone())
+                        .or_default()
+                        .push(buffer_of[dead]);
+                }
             }
-        }
-    };
+        };
     let mut dk = 0usize; // next unreleased death time
     let mut k = 0usize;
     while k < order.len() {
@@ -299,7 +298,9 @@ mod tests {
         let mut items = Vec::new();
         let mut seed = 123u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as i64
         };
         for t in 0..40 {

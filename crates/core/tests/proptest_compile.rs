@@ -2,9 +2,7 @@
 //! pipelines must always compile into well-formed plans for every variant.
 
 use gmg_ir::expr::Operand;
-use gmg_ir::stencil::{
-    interp_bilinear_cases, restrict_full_weighting_2d, stencil_2d,
-};
+use gmg_ir::stencil::{interp_bilinear_cases, restrict_full_weighting_2d, stencil_2d};
 use gmg_ir::{FuncId, ParamBindings, Pipeline, StepCount};
 use polymg::{compile, GroupTiling, PipelineOptions, Variant};
 use proptest::prelude::*;
@@ -28,7 +26,15 @@ fn random_pipeline(pre: usize, post: usize, with_coarse: bool) -> Pipeline {
         st.at(&[0, 0]) - 0.2 * (stencil_2d(st, &five(), 1.0) - Operand::Func(fo).at(&[0, 0]))
     };
     let pre_s = if pre > 0 {
-        p.tstencil("pre", 2, n, 1, StepCount::Fixed(pre), Some(v), jac(Operand::State, f))
+        p.tstencil(
+            "pre",
+            2,
+            n,
+            1,
+            StepCount::Fixed(pre),
+            Some(v),
+            jac(Operand::State, f),
+        )
     } else {
         v
     };
@@ -39,9 +45,23 @@ fn random_pipeline(pre: usize, post: usize, with_coarse: bool) -> Pipeline {
         1,
         Operand::Func(f).at(&[0, 0]) - stencil_2d(Operand::Func(pre_s), &five(), 1.0),
     );
-    let r = p.restrict_fn("restrict", 2, nc, 0, restrict_full_weighting_2d(Operand::Func(d)));
+    let r = p.restrict_fn(
+        "restrict",
+        2,
+        nc,
+        0,
+        restrict_full_weighting_2d(Operand::Func(d)),
+    );
     let coarse = if with_coarse {
-        p.tstencil("coarse", 2, nc, 0, StepCount::Fixed(2), None, jac(Operand::State, r))
+        p.tstencil(
+            "coarse",
+            2,
+            nc,
+            0,
+            StepCount::Fixed(2),
+            None,
+            jac(Operand::State, r),
+        )
     } else {
         r
     };
@@ -55,7 +75,15 @@ fn random_pipeline(pre: usize, post: usize, with_coarse: bool) -> Pipeline {
         Operand::Func(pre_s).at(&[0, 0]) + Operand::Func(e).at(&[0, 0]),
     );
     let out = if post > 0 {
-        p.tstencil("post", 2, n, 1, StepCount::Fixed(post), Some(c), jac(Operand::State, f))
+        p.tstencil(
+            "post",
+            2,
+            n,
+            1,
+            StepCount::Fixed(post),
+            Some(c),
+            jac(Operand::State, f),
+        )
     } else {
         c
     };

@@ -35,10 +35,9 @@ impl RankLayout {
     /// Which rank owns interior row `y`.
     pub fn rank_of(&self, y: i64) -> usize {
         assert!((1..=self.n).contains(&y));
-        self.owned
-            .iter()
-            .position(|&(lo, hi)| lo <= y && y <= hi)
-            .expect("row in range")
+        // ranks own contiguous, sorted, gap-free ranges covering 1..=n, so
+        // the first rank whose upper bound reaches y is the owner
+        self.owned.partition_point(|&(_, hi)| hi < y)
     }
 
     /// Rows owned by `rank`.

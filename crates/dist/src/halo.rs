@@ -5,6 +5,43 @@
 //! bottom, and the left/right columns everywhere) hold the Dirichlet value;
 //! the inter-rank ghost rows are filled by [`exchange`], which models the
 //! point-to-point messages of a distributed run and counts them.
+//!
+//! Fault injection: [`exchange_views_chaos`] consults a
+//! [`polymg::FaultPlan`] per message. A fired `halo_drop` loses the whole
+//! message, a fired `halo_short` delivers only a prefix of its rows; both
+//! are recovered by bounded retry-with-backoff (resending only what is
+//! still missing), surfacing [`HaloError::RetriesExhausted`] after
+//! [`HALO_MAX_ATTEMPTS`]. [`CommStats`] always reports the *logical*
+//! traffic — retries never inflate `messages`/`doubles`, so a recovered
+//! chaos run is byte- and stats-identical to its fault-free twin.
+
+use polymg::{FaultPlan, FaultSite};
+use std::time::Duration;
+
+/// Bound on delivery attempts per message before a halo exchange gives up.
+pub const HALO_MAX_ATTEMPTS: usize = 8;
+
+/// Typed halo-exchange failure (only reachable with an armed fault plan).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HaloError {
+    /// A message kept failing past [`HALO_MAX_ATTEMPTS`].
+    RetriesExhausted {
+        attempts: usize,
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for HaloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HaloError::RetriesExhausted { attempts, detail } => {
+                write!(f, "halo message failed {attempts} times: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HaloError {}
 
 /// Communication statistics accumulated over a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -154,21 +191,94 @@ impl HaloMeta {
 /// described by `metas`). Models two messages per interior boundary (one
 /// each way) and returns the traffic. This is the storage-agnostic core
 /// both [`exchange`] and the schedule VM's `HaloExchange` hook drive.
-pub fn exchange_views(
+pub fn exchange_views(metas: &[HaloMeta], views: &mut [&mut [f64]], depth: i64) -> CommStats {
+    exchange_views_chaos(metas, views, depth, None)
+        .unwrap_or_else(|_| unreachable!("halo exchange without fault injection is infallible"))
+}
+
+/// Deliver one message: copy `ys` rows from `src` to `dst`, consulting the
+/// fault plan per attempt. A dropped message resends everything missing; a
+/// short read delivers a prefix of the missing rows, then resends the rest.
+/// Retries back off exponentially (micro-scale — this models, not incurs,
+/// network latency). `doubles` counts each row exactly once.
+#[allow(clippy::too_many_arguments)]
+fn deliver(
+    e: usize,
+    src_m: &HaloMeta,
+    src: &[f64],
+    dst_m: &HaloMeta,
+    dst: &mut [f64],
+    ys: &[i64],
+    stats: &mut CommStats,
+    chaos: Option<&FaultPlan>,
+) -> Result<(), HaloError> {
+    let row_range = |m: &HaloMeta, y: i64| {
+        let r = (y - m.first_row) as usize;
+        r * e..(r + 1) * e
+    };
+    let mut delivered = 0usize;
+    let mut attempt = 0usize;
+    while delivered < ys.len() {
+        attempt += 1;
+        if let Some(c) = chaos {
+            if c.should_fire(FaultSite::HaloDrop) {
+                if attempt >= HALO_MAX_ATTEMPTS {
+                    return Err(HaloError::RetriesExhausted {
+                        attempts: attempt,
+                        detail: "message dropped",
+                    });
+                }
+                std::thread::sleep(Duration::from_micros(1 << attempt.min(6)));
+                c.record_recovered(FaultSite::HaloDrop);
+                continue;
+            }
+            if c.should_fire(FaultSite::HaloShort) {
+                // a prefix of the missing rows arrives, then the read breaks
+                let take = ((ys.len() - delivered) / 2).max(1);
+                for &y in &ys[delivered..delivered + take] {
+                    let s = row_range(src_m, y);
+                    dst[row_range(dst_m, y)].copy_from_slice(&src[s]);
+                    stats.doubles += e;
+                }
+                delivered += take;
+                if delivered == ys.len() {
+                    c.record_recovered(FaultSite::HaloShort);
+                    break;
+                }
+                if attempt >= HALO_MAX_ATTEMPTS {
+                    return Err(HaloError::RetriesExhausted {
+                        attempts: attempt,
+                        detail: "short read",
+                    });
+                }
+                std::thread::sleep(Duration::from_micros(1 << attempt.min(6)));
+                c.record_recovered(FaultSite::HaloShort);
+                continue;
+            }
+        }
+        for &y in &ys[delivered..] {
+            let s = row_range(src_m, y);
+            dst[row_range(dst_m, y)].copy_from_slice(&src[s]);
+            stats.doubles += e;
+        }
+        delivered = ys.len();
+    }
+    Ok(())
+}
+
+/// [`exchange_views`] with deterministic fault injection: every message
+/// consults `chaos` at the `halo_drop` / `halo_short` sites and recovers
+/// via bounded retry. On success the result is bitwise- and stats-identical
+/// to the fault-free exchange.
+pub fn exchange_views_chaos(
     metas: &[HaloMeta],
     views: &mut [&mut [f64]],
     depth: i64,
-) -> CommStats {
+    chaos: Option<&FaultPlan>,
+) -> Result<CommStats, HaloError> {
     assert_eq!(metas.len(), views.len());
     let e = metas.first().map(|m| (m.n + 2) as usize).unwrap_or(0);
-    let row = |m: &HaloMeta, buf: &[f64], y: i64| -> Vec<f64> {
-        let r = (y - m.first_row) as usize;
-        buf[r * e..(r + 1) * e].to_vec()
-    };
-    let row_mut = |m: &HaloMeta, buf: &mut [f64], y: i64, src: &[f64]| {
-        let r = (y - m.first_row) as usize;
-        buf[r * e..(r + 1) * e].copy_from_slice(src);
-    };
+    let chaos = chaos.filter(|c| c.is_enabled());
     let mut stats = CommStats::default();
     for i in 0..metas.len().saturating_sub(1) {
         let (ma, mb) = (metas[i], metas[i + 1]);
@@ -177,26 +287,20 @@ pub fn exchange_views(
         let (a, b) = (&mut *l[i], &mut *r[0]);
         let d = depth.min(ma.depth).min(mb.depth);
         // a → b: a's top-owned d rows become b's lower ghost rows
-        for k in 0..d {
-            let y = ma.hi - k;
-            if y >= mb.first_row && y >= ma.lo {
-                let src = row(&ma, a, y);
-                row_mut(&mb, b, y, &src);
-                stats.doubles += e;
-            }
-        }
+        let ys_ab: Vec<i64> = (0..d)
+            .map(|k| ma.hi - k)
+            .filter(|&y| y >= mb.first_row && y >= ma.lo)
+            .collect();
+        deliver(e, &ma, a, &mb, b, &ys_ab, &mut stats, chaos)?;
         // b → a: b's bottom-owned d rows become a's upper ghost rows
-        for k in 0..d {
-            let y = mb.lo + k;
-            if y <= ma.last_row && y <= mb.hi {
-                let src = row(&mb, b, y);
-                row_mut(&ma, a, y, &src);
-                stats.doubles += e;
-            }
-        }
+        let ys_ba: Vec<i64> = (0..d)
+            .map(|k| mb.lo + k)
+            .filter(|&y| y <= ma.last_row && y <= mb.hi)
+            .collect();
+        deliver(e, &mb, b, &ma, a, &ys_ba, &mut stats, chaos)?;
         stats.messages += 2;
     }
-    stats
+    Ok(stats)
 }
 
 /// Exchange up to `depth` ghost rows between neighbouring ranks for one
@@ -210,11 +314,7 @@ pub fn exchange(grids: &mut [SubGrid], depth: i64) -> CommStats {
 
 /// [`exchange`] that also feeds the traffic into a [`gmg_trace::Trace`]
 /// (a no-op for a disabled handle).
-pub fn exchange_traced(
-    grids: &mut [SubGrid],
-    depth: i64,
-    trace: &gmg_trace::Trace,
-) -> CommStats {
+pub fn exchange_traced(grids: &mut [SubGrid], depth: i64, trace: &gmg_trace::Trace) -> CommStats {
     let stats = exchange(grids, depth);
     trace.record_comm(&stats.snapshot());
     stats
@@ -286,6 +386,56 @@ mod tests {
         assert_eq!(grids[1].at(4, 1), 1.0);
         // depth-2 ghost row untouched by a depth-1 exchange
         assert_eq!(grids[1].at(3, 1), 0.0);
+    }
+
+    fn two_filled_ranks(n: i64) -> Vec<SubGrid> {
+        let mut a = SubGrid::new(1, 4, 2, n);
+        let mut b = SubGrid::new(5, 8, 2, n);
+        for y in 1..=4 {
+            a.row_mut(y).fill(y as f64);
+        }
+        for y in 5..=8 {
+            b.row_mut(y).fill(y as f64 * 10.0);
+        }
+        vec![a, b]
+    }
+
+    #[test]
+    fn chaos_exchange_recovers_bitwise() {
+        use polymg::{chaos::SITE_HALO, ChaosOptions};
+        let n = 8i64;
+        let mut clean = two_filled_ranks(n);
+        let clean_stats = exchange(&mut clean, 2);
+
+        let mut chaotic = two_filled_ranks(n);
+        let plan = FaultPlan::new(ChaosOptions::new(1234, 0.5).with_sites(SITE_HALO));
+        let metas: Vec<HaloMeta> = chaotic.iter().map(HaloMeta::of).collect();
+        let mut views: Vec<&mut [f64]> =
+            chaotic.iter_mut().map(|g| g.data.as_mut_slice()).collect();
+        let stats = exchange_views_chaos(&metas, &mut views, 2, Some(&plan)).expect("must recover");
+        assert_eq!(stats, clean_stats, "retries must not inflate comm stats");
+        for (c, k) in clean.iter().zip(&chaotic) {
+            assert_eq!(
+                c.data, k.data,
+                "recovered exchange must be bitwise-identical"
+            );
+        }
+        let snap = plan.snapshot();
+        assert!(snap.total_fired() > 0, "this seed/rate must actually fire");
+        assert_eq!(snap.total_fired(), snap.total_recovered());
+    }
+
+    #[test]
+    fn chaos_exchange_rate_one_exhausts_retries() {
+        use polymg::{chaos::SITE_HALO, ChaosOptions};
+        let mut grids = two_filled_ranks(8);
+        let plan = FaultPlan::new(ChaosOptions::new(7, 1.0).with_sites(SITE_HALO));
+        let metas: Vec<HaloMeta> = grids.iter().map(HaloMeta::of).collect();
+        let mut views: Vec<&mut [f64]> = grids.iter_mut().map(|g| g.data.as_mut_slice()).collect();
+        let err = exchange_views_chaos(&metas, &mut views, 2, Some(&plan))
+            .expect_err("rate 1.0 must exhaust the bounded retry");
+        let HaloError::RetriesExhausted { attempts, .. } = err;
+        assert_eq!(attempts, HALO_MAX_ATTEMPTS);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::decomp::RankLayout;
-use crate::halo::{exchange, exchange_views, CommStats, HaloMeta, SubGrid};
+use crate::halo::{exchange, exchange_views_chaos, CommStats, HaloError, HaloMeta, SubGrid};
 use gmg_ir::expr::Operand;
 use gmg_ir::ParityPattern;
 use gmg_multigrid::config::{CycleType, MgConfig, SmootherKind};
@@ -35,8 +35,9 @@ use gmg_multigrid::handopt::HandOpt;
 use gmg_poly::{BoxDomain, Interval};
 use gmg_runtime::{Engine, ExecError, ExecHooks, SlotView};
 use polymg::schedule::{ExecOp, ExecProgram, OpInput, SlotSpec, StageExec};
-use polymg::{KernelBody, KernelCase, StageKernel};
+use polymg::{ChaosOptions, FaultPlan, KernelBody, KernelCase, StageKernel};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Distributed 2-D Poisson solver state.
 pub struct DistPoisson2D {
@@ -59,6 +60,10 @@ pub struct DistPoisson2D {
     /// Schedule-VM engines for the fine-level smoother, keyed by batch size
     /// (steps per exchange), paired with the redundant points one run adds.
     vms: HashMap<usize, (Engine, usize)>,
+    /// One fault plan shared by every smoother engine and the halo layer,
+    /// so fault decisions and counters stay globally ordered across the
+    /// whole distributed run.
+    chaos: Arc<FaultPlan>,
 }
 
 /// [`ExecHooks`] of the distributed smoother programs: a `HaloExchange` op
@@ -67,6 +72,7 @@ struct DistHooks<'m> {
     metas: &'m [HaloMeta],
     u_slots: &'m [usize],
     stats: CommStats,
+    chaos: &'m FaultPlan,
 }
 
 impl ExecHooks for DistHooks<'_> {
@@ -76,8 +82,14 @@ impl ExecHooks for DistHooks<'_> {
         slots: &mut SlotView<'_, '_>,
     ) -> Result<(), ExecError> {
         let mut views = slots.many_mut(self.u_slots)?;
-        self.stats
-            .add(exchange_views(self.metas, &mut views, depth as i64));
+        let stats = exchange_views_chaos(self.metas, &mut views, depth as i64, Some(self.chaos))
+            .map_err(|e| match e {
+                HaloError::RetriesExhausted { attempts, .. } => ExecError::HaloFailed {
+                    attempts,
+                    detail: e.to_string(),
+                },
+            })?;
+        self.stats.add(stats);
         Ok(())
     }
 }
@@ -120,6 +132,7 @@ impl DistPoisson2D {
             stats: CommStats::default(),
             redundant_points: 0,
             vms: HashMap::new(),
+            chaos: Arc::new(FaultPlan::disabled()),
         }
     }
 
@@ -128,14 +141,32 @@ impl DistPoisson2D {
         self.stats
     }
 
+    /// Arm (or with `None`, disarm) deterministic fault injection across
+    /// the whole distributed stack: one shared plan drives the halo layer
+    /// and every smoother engine.
+    pub fn set_chaos(&mut self, opts: Option<ChaosOptions>) {
+        self.chaos = Arc::new(match opts {
+            Some(o) => FaultPlan::new(o),
+            None => FaultPlan::disabled(),
+        });
+        for (engine, _) in self.vms.values_mut() {
+            engine.set_fault_plan(self.chaos.clone());
+        }
+    }
+
+    /// The shared fault plan (disabled by default) — read its counters to
+    /// see what fired and what was recovered.
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.chaos
+    }
+
     /// One multigrid cycle: `v ← cycle(v, f)` on dense global buffers
     /// (scattered to ranks, gathered back — counted as collectives, as a
     /// real driver would only do once per solve, not per cycle; callers
     /// benchmarking communication should use the per-cycle deltas of
     /// [`Self::stats`] minus the scatter/gather of this convenience entry).
-    pub fn cycle(&mut self, v: &mut [f64], f: &[f64]) {
-        for (r, g) in self.u.iter_mut().enumerate() {
-            let _ = r;
+    pub fn cycle(&mut self, v: &mut [f64], f: &[f64]) -> Result<(), ExecError> {
+        for g in self.u.iter_mut() {
             g.load_owned(v);
         }
         for g in self.rhs.iter_mut() {
@@ -146,18 +177,19 @@ impl DistPoisson2D {
         self.stats.add(exchange(&mut self.rhs, self.ghost_depth));
 
         let shape = self.cfg.cycle;
-        self.run_cycle(shape);
+        self.run_cycle(shape)?;
 
         for g in &self.u {
             g.store_owned(v);
         }
         self.stats.collectives += 1;
+        Ok(())
     }
 
-    fn run_cycle(&mut self, shape: CycleType) {
+    fn run_cycle(&mut self, shape: CycleType) -> Result<(), ExecError> {
         let steps = self.cfg.steps;
         // pre-smoothing with aggregation
-        self.smooth(steps.pre);
+        self.smooth(steps.pre)?;
         // residual into tmp (owned rows; needs u halo 1)
         self.exchange_u(1);
         self.residual_into_tmp();
@@ -178,19 +210,20 @@ impl DistPoisson2D {
         // scatter + interpolate + correct
         self.scatter_interp_correct();
         // post-smoothing
-        self.smooth(steps.post);
+        self.smooth(steps.post)
     }
 
     /// Aggregated smoothing: batches of up to `g` steps per exchange, each
     /// batch executed as one schedule-VM program.
-    fn smooth(&mut self, steps: usize) {
+    fn smooth(&mut self, steps: usize) -> Result<(), ExecError> {
         let g = self.ghost_depth as usize;
         let mut done = 0usize;
         while done < steps {
             let batch = g.min(steps - done);
-            self.smooth_batch_vm(batch);
+            self.smooth_batch_vm(batch)?;
             done += batch;
         }
+        Ok(())
     }
 
     fn exchange_u(&mut self, depth: i64) {
@@ -239,9 +272,9 @@ impl DistPoisson2D {
         //   a = (4·u − u_W − u_E − u_N − u_S) · h⁻²;  u − ω·h²/4 · (a − f)
         let u = Operand::Slot(0);
         let f = Operand::Slot(1);
-        let a = (4.0 * u.at(&[0, 0]) - u.at(&[0, -1]) - u.at(&[0, 1]) - u.at(&[-1, 0])
-            - u.at(&[1, 0]))
-            * inv_h2;
+        let a =
+            (4.0 * u.at(&[0, 0]) - u.at(&[0, -1]) - u.at(&[0, 1]) - u.at(&[-1, 0]) - u.at(&[1, 0]))
+                * inv_h2;
         let expr = u.at(&[0, 0]) - w * (a - f.at(&[0, 0]));
         let kernels = vec![StageKernel {
             cases: vec![KernelCase {
@@ -268,10 +301,7 @@ impl DistPoisson2D {
                     stage: StageExec {
                         name: format!("jacobi.s{s}.r{r}"),
                         kernel: 0,
-                        domain: BoxDomain::new(vec![
-                            Interval::new(ylo, yhi),
-                            Interval::new(1, n),
-                        ]),
+                        domain: BoxDomain::new(vec![Interval::new(ylo, yhi), Interval::new(1, n)]),
                         boundary: 0.0,
                         ins: vec![
                             OpInput::Slot {
@@ -298,10 +328,7 @@ impl DistPoisson2D {
                 ops.push(ExecOp::CopyLiveOut {
                     src: Self::slot_tmp(r),
                     dst: Self::slot_u(r),
-                    region: BoxDomain::new(vec![
-                        Interval::new(lo, hi),
-                        Interval::new(0, n + 1),
-                    ]),
+                    region: BoxDomain::new(vec![Interval::new(lo, hi), Interval::new(0, n + 1)]),
                 });
             }
         }
@@ -320,13 +347,18 @@ impl DistPoisson2D {
     }
 
     /// Run one `batch`-step smoother program on the shared VM.
-    fn smooth_batch_vm(&mut self, batch: usize) {
+    fn smooth_batch_vm(&mut self, batch: usize) -> Result<(), ExecError> {
         if !self.vms.contains_key(&batch) {
             let (program, redundant) = self.build_batch_program(batch);
-            self.vms
-                .insert(batch, (Engine::from_program(program), redundant));
+            let mut engine = Engine::from_program(program);
+            engine.set_fault_plan(self.chaos.clone());
+            self.vms.insert(batch, (engine, redundant));
         }
-        let (mut engine, redundant) = self.vms.remove(&batch).unwrap();
+        let Some((mut engine, redundant)) = self.vms.remove(&batch) else {
+            return Err(ExecError::PlanViolation(
+                "smoother VM missing right after insertion",
+            ));
+        };
 
         let nranks = self.layout.num_ranks();
         let metas: Vec<HaloMeta> = self.u.iter().map(HaloMeta::of).collect();
@@ -351,13 +383,16 @@ impl DistPoisson2D {
             metas: &metas,
             u_slots: &u_slots,
             stats: CommStats::default(),
+            chaos: &self.chaos,
         };
-        engine
-            .run_with_hooks(&inputs, outputs, &mut hooks)
-            .expect("distributed smoother program failed");
+        let run = engine.run_with_hooks(&inputs, outputs, &mut hooks);
+        // the engine goes back even when the run failed: a contained fault
+        // must leave the solver reusable
         self.stats.add(hooks.stats);
-        self.redundant_points += redundant;
         self.vms.insert(batch, (engine, redundant));
+        run?;
+        self.redundant_points += redundant;
+        Ok(())
     }
 
     /// `tmp ← rhs − A·u` on owned rows.
@@ -377,8 +412,7 @@ impl DistPoisson2D {
                 let rr = rh.row(y);
                 let out = dst.row_mut(y);
                 for x in 1..=n as usize {
-                    let a =
-                        (4.0 * mid[x] - mid[x - 1] - mid[x + 1] - up[x] - dn[x]) * inv_h2;
+                    let a = (4.0 * mid[x] - mid[x - 1] - mid[x + 1] - up[x] - dn[x]) * inv_h2;
                     out[x] = rr[x] - a;
                 }
             }
@@ -399,7 +433,10 @@ impl DistPoisson2D {
             let out = &mut self.coarse_rhs[yc as usize * ec..(yc as usize + 1) * ec];
             for xc in 1..=nc as usize {
                 let xf = 2 * xc;
-                out[xc] = (um[xf - 1] + um[xf + 1] + dm[xf - 1] + dm[xf + 1]
+                out[xc] = (um[xf - 1]
+                    + um[xf + 1]
+                    + dm[xf - 1]
+                    + dm[xf + 1]
                     + 2.0 * (um[xf] + dm[xf] + mm[xf - 1] + mm[xf + 1])
                     + 4.0 * mm[xf])
                     / 16.0;
@@ -420,8 +457,7 @@ impl DistPoisson2D {
         for r in 0..self.layout.num_ranks() {
             let (lo, hi) = self.layout.rows(r);
             // a real scatter ships coarse rows ⌊(lo−1)/2⌋ … ⌈(hi+1)/2⌉
-            self.stats.doubles +=
-                (((hi + 1) / 2 + 1) - ((lo - 1) / 2) + 1).max(0) as usize * ec;
+            self.stats.doubles += (((hi + 1) / 2 + 1) - ((lo - 1) / 2) + 1).max(0) as usize * ec;
             let g = &mut self.u[r];
             for y in lo..=hi {
                 let ys: &[usize] = &if y % 2 == 0 {
@@ -474,8 +510,8 @@ mod tests {
             for g in [1i64, 2, 4] {
                 let mut dist = DistPoisson2D::new(cfg.clone(), p, g);
                 let mut v = v0.clone();
-                dist.cycle(&mut v, &f);
-                dist.cycle(&mut v, &f);
+                dist.cycle(&mut v, &f).unwrap();
+                dist.cycle(&mut v, &f).unwrap();
                 let dev = v
                     .iter()
                     .zip(&reference)
@@ -498,7 +534,7 @@ mod tests {
         HandOpt::new(cfg.clone()).cycle(&mut reference, &f);
         let mut dist = DistPoisson2D::new(cfg.clone(), 3, 2);
         let mut v = v0;
-        dist.cycle(&mut v, &f);
+        dist.cycle(&mut v, &f).unwrap();
         let dev = v
             .iter()
             .zip(&reference)
@@ -517,7 +553,7 @@ mod tests {
         let run = |g: i64| {
             let mut d = DistPoisson2D::new(cfg.clone(), 4, g);
             let mut v = v0.clone();
-            d.cycle(&mut v, &f);
+            d.cycle(&mut v, &f).unwrap();
             (d.stats(), d.redundant_points)
         };
         let (s1, r1) = run(1);
@@ -547,9 +583,34 @@ mod tests {
         let h = cfg.h_at(cfg.levels - 1);
         let r0 = gmg_multigrid::solver::residual_norm(2, n, h, &v, &f);
         for _ in 0..5 {
-            dist.cycle(&mut v, &f);
+            dist.cycle(&mut v, &f).unwrap();
         }
         let r5 = gmg_multigrid::solver::residual_norm(2, n, h, &v, &f);
         assert!(r5 < r0 * 1e-3, "{r0} → {r5}");
+    }
+
+    /// Injected halo faults (drops + short reads) are recovered by retry:
+    /// the cycle succeeds and its result is bitwise-identical to the
+    /// fault-free run.
+    #[test]
+    fn halo_chaos_recovers_bitwise() {
+        let cfg = cfg();
+        let (v0, f, _) = setup_poisson(&cfg);
+        let mut clean = v0.clone();
+        DistPoisson2D::new(cfg.clone(), 3, 2)
+            .cycle(&mut clean, &f)
+            .unwrap();
+
+        let mut dist = DistPoisson2D::new(cfg.clone(), 3, 2);
+        dist.set_chaos(Some(
+            ChaosOptions::new(42, 0.3).with_sites(polymg::chaos::SITE_HALO),
+        ));
+        let mut v = v0;
+        dist.cycle(&mut v, &f)
+            .expect("halo faults must be recovered");
+        assert_eq!(v, clean, "recovered run must match fault-free bitwise");
+        let snap = dist.fault_plan().snapshot();
+        assert!(snap.total_fired() > 0, "this seed/rate must actually fire");
+        assert_eq!(snap.total_fired(), snap.total_recovered());
     }
 }

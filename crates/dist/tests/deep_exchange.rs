@@ -61,5 +61,9 @@ fn single_row_rank_exchanges_without_panicking() {
     assert_eq!(grids[1].at(1, 1), 1.0);
     assert_eq!(grids[0].at(2, 1), 20.0);
     assert_eq!(grids[0].at(3, 1), 30.0);
-    assert_eq!(grids[0].last_row(), 3, "window is clamped, row 4 not stored");
+    assert_eq!(
+        grids[0].last_row(),
+        3,
+        "window is clamped, row 4 not stored"
+    );
 }

@@ -58,17 +58,29 @@ pub struct AxisAccess {
 impl AxisAccess {
     /// Unit-stride access at constant offset.
     pub fn offset(off: i64) -> Self {
-        AxisAccess { num: 1, den: 1, off }
+        AxisAccess {
+            num: 1,
+            den: 1,
+            off,
+        }
     }
 
     /// Downsampling access `in = 2·out + off` (the `Restrict` pattern).
     pub fn down(off: i64) -> Self {
-        AxisAccess { num: 2, den: 1, off }
+        AxisAccess {
+            num: 2,
+            den: 1,
+            off,
+        }
     }
 
     /// Upsampling access `in = (out + off) / 2` (the `Interp` pattern).
     pub fn up(off: i64) -> Self {
-        AxisAccess { num: 1, den: 2, off }
+        AxisAccess {
+            num: 1,
+            den: 2,
+            off,
+        }
     }
 
     /// Evaluate at an output coordinate using floor division (parity-checked
@@ -107,7 +119,10 @@ pub enum Expr {
     /// A floating-point literal.
     Const(f64),
     /// A grid read.
-    Read { op: Operand, access: Access },
+    Read {
+        op: Operand,
+        access: Access,
+    },
     Add(Box<Expr>, Box<Expr>),
     Sub(Box<Expr>, Box<Expr>),
     Mul(Box<Expr>, Box<Expr>),

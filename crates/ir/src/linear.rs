@@ -142,8 +142,8 @@ mod tests {
     #[test]
     fn jacobi_linearises() {
         // v - 0.8/h² * (4v - v(±1)) + 0.8*f with h=1
-        let lap = 4.0 * s(0, &[0, 0]) - s(0, &[0, 1]) - s(0, &[0, -1]) - s(0, &[1, 0])
-            - s(0, &[-1, 0]);
+        let lap =
+            4.0 * s(0, &[0, 0]) - s(0, &[0, 1]) - s(0, &[0, -1]) - s(0, &[1, 0]) - s(0, &[-1, 0]);
         let e = s(0, &[0, 0]) - 0.8 * (lap - s(1, &[0, 0]));
         let f = linearize(&e).unwrap();
         assert_eq!(f.bias, 0.0);

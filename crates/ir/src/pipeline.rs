@@ -9,9 +9,7 @@
 //! exactly as in PolyMG: one pipeline instance describes one V-/W-cycle.
 
 use crate::expr::{Expr, Operand};
-use crate::func::{
-    BoundaryCond, FuncData, FuncId, FuncKind, ParamId, ParityPattern, StepCount,
-};
+use crate::func::{BoundaryCond, FuncData, FuncId, FuncKind, ParamId, ParityPattern, StepCount};
 use crate::stencil::{interp_bilinear_cases, interp_trilinear_cases};
 use gmg_poly::BoxDomain;
 use std::collections::HashMap;
@@ -163,7 +161,14 @@ impl Pipeline {
     /// Declare a `Restrict` function (sampling factor 1/2): the output
     /// domain has interior size `n` (the *coarse* size) and `defn` reads the
     /// fine input through downsampling accesses.
-    pub fn restrict_fn(&mut self, name: &str, ndims: usize, n: i64, level: u32, defn: Expr) -> FuncId {
+    pub fn restrict_fn(
+        &mut self,
+        name: &str,
+        ndims: usize,
+        n: i64,
+        level: u32,
+        defn: Expr,
+    ) -> FuncId {
         self.push(FuncData {
             name: name.to_string(),
             kind: FuncKind::Restrict,
@@ -180,7 +185,14 @@ impl Pipeline {
     /// Declare an `Interp` function (sampling factor 2) with the standard
     /// bi-/tri-linear parity cases reading `input`. The output interior size
     /// is `n` (the *fine* size).
-    pub fn interp_fn(&mut self, name: &str, ndims: usize, n: i64, level: u32, input: FuncId) -> FuncId {
+    pub fn interp_fn(
+        &mut self,
+        name: &str,
+        ndims: usize,
+        n: i64,
+        level: u32,
+        input: FuncId,
+    ) -> FuncId {
         let cases = match ndims {
             2 => interp_bilinear_cases(Operand::Func(input)),
             3 => interp_trilinear_cases(Operand::Func(input)),
@@ -253,10 +265,7 @@ impl Pipeline {
 
     /// Find a function by name (names are unique; enforced on insertion).
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs
-            .iter()
-            .position(|f| f.name == name)
-            .map(FuncId)
+        self.funcs.iter().position(|f| f.name == name).map(FuncId)
     }
 
     fn push(&mut self, data: FuncData) -> FuncId {
@@ -317,7 +326,9 @@ mod tests {
             StepCount::Fixed(2),
             Some(v),
             Operand::State.at(&[0, 0])
-                - 0.8 * (stencil_2d(Operand::State, &five_point(), 1.0) - Operand::Func(f).at(&[0, 0])),
+                - 0.8
+                    * (stencil_2d(Operand::State, &five_point(), 1.0)
+                        - Operand::Func(f).at(&[0, 0])),
         );
         let r = p.restrict_fn(
             "restrict",

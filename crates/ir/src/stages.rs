@@ -237,9 +237,7 @@ impl StageGraph {
         self.stages
             .iter()
             .enumerate()
-            .filter(|(i, s)| {
-                s.kind == StageKind::Compute && !s.is_output && cons[*i].is_empty()
-            })
+            .filter(|(i, s)| s.kind == StageKind::Compute && !s.is_output && cons[*i].is_empty())
             .map(|(i, _)| StageId(i))
             .collect()
     }

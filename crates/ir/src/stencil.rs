@@ -19,12 +19,7 @@ pub fn stencil_2d(f: Operand, weights: &[Vec<f64>], scale: f64) -> Expr {
 
 /// 2-D `Stencil` with an explicit centre (paper: "a stencil with its center
 /// off the default value can also be expressed").
-pub fn stencil_2d_center(
-    f: Operand,
-    weights: &[Vec<f64>],
-    scale: f64,
-    center: (i64, i64),
-) -> Expr {
+pub fn stencil_2d_center(f: Operand, weights: &[Vec<f64>], scale: f64, center: (i64, i64)) -> Expr {
     let mut acc: Option<Expr> = None;
     for (i, row) in weights.iter().enumerate() {
         for (j, &w) in row.iter().enumerate() {
@@ -47,11 +42,7 @@ pub fn stencil_2d_center(
 pub fn stencil_3d(f: Operand, weights: &[Vec<Vec<f64>>], scale: f64) -> Expr {
     let cz = (weights.len() / 2) as i64;
     let cy = (weights.first().map_or(0, Vec::len) / 2) as i64;
-    let cx = (weights
-        .first()
-        .and_then(|p| p.first())
-        .map_or(0, Vec::len)
-        / 2) as i64;
+    let cx = (weights.first().and_then(|p| p.first()).map_or(0, Vec::len) / 2) as i64;
     let mut acc: Option<Expr> = None;
     for (i, plane) in weights.iter().enumerate() {
         for (j, row) in plane.iter().enumerate() {
@@ -144,15 +135,9 @@ pub fn interp_bilinear_cases(f: Operand) -> Vec<(ParityPattern, Expr)> {
         // even, even: coincides with a coarse point
         (pat(Parity::Even, Parity::Even), rd(0, 0)),
         // even, odd: average in x
-        (
-            pat(Parity::Even, Parity::Odd),
-            0.5 * (rd(0, -1) + rd(0, 1)),
-        ),
+        (pat(Parity::Even, Parity::Odd), 0.5 * (rd(0, -1) + rd(0, 1))),
         // odd, even: average in y
-        (
-            pat(Parity::Odd, Parity::Even),
-            0.5 * (rd(-1, 0) + rd(1, 0)),
-        ),
+        (pat(Parity::Odd, Parity::Even), 0.5 * (rd(-1, 0) + rd(1, 0))),
         // odd, odd: average of the four corners
         (
             pat(Parity::Odd, Parity::Odd),
@@ -318,10 +303,7 @@ mod tests {
         for z in 0..2i64 {
             for y in 0..2i64 {
                 for x in 0..2i64 {
-                    let n = cases
-                        .iter()
-                        .filter(|(p, _)| p.matches(&[z, y, x]))
-                        .count();
+                    let n = cases.iter().filter(|(p, _)| p.matches(&[z, y, x])).count();
                     assert_eq!(n, 1);
                 }
             }

@@ -133,18 +133,16 @@ fn check_reads(
                 }
             }
             match kind {
-                FuncKind::Restrict
-                    if a.den != 1 => {
-                        errs.push(format!(
-                            "{sname}: Restrict stage uses an upsampling access in dim {d}"
-                        ));
-                    }
-                FuncKind::Interp
-                    if a.num != 1 => {
-                        errs.push(format!(
-                            "{sname}: Interp stage uses a downsampling access in dim {d}"
-                        ));
-                    }
+                FuncKind::Restrict if a.den != 1 => {
+                    errs.push(format!(
+                        "{sname}: Restrict stage uses an upsampling access in dim {d}"
+                    ));
+                }
+                FuncKind::Interp if a.num != 1 => {
+                    errs.push(format!(
+                        "{sname}: Interp stage uses a downsampling access in dim {d}"
+                    ));
+                }
                 _ => {}
             }
         }
@@ -216,7 +214,10 @@ mod tests {
         p.mark_output(a);
         let g = build(&p);
         let errs = validate(&p, &g);
-        assert!(errs.iter().any(|e| e.contains("no case covers")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("no case covers")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -280,10 +281,7 @@ mod tests {
         p.mark_output(a);
         let g = build(&p);
         let errs = validate(&p, &g);
-        assert!(
-            errs.iter().any(|e| e.contains("parity-pinned")),
-            "{errs:?}"
-        );
+        assert!(errs.iter().any(|e| e.contains("parity-pinned")), "{errs:?}");
     }
 
     use crate::expr::Expr;

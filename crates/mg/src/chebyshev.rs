@@ -67,15 +67,24 @@ fn apply_a(ndims: usize, v: Operand, h: f64) -> Expr {
     match ndims {
         2 => stencil_2d(
             v,
-            &[vec![0.0, -1.0, 0.0],
+            &[
+                vec![0.0, -1.0, 0.0],
                 vec![-1.0, 4.0, -1.0],
-                vec![0.0, -1.0, 0.0]],
+                vec![0.0, -1.0, 0.0],
+            ],
             inv_h2,
         ),
         3 => {
             let mut w = vec![vec![vec![0.0; 3]; 3]; 3];
             w[1][1][1] = 6.0;
-            for (z, y, x) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+            for (z, y, x) in [
+                (0, 1, 1),
+                (2, 1, 1),
+                (1, 0, 1),
+                (1, 2, 1),
+                (1, 1, 0),
+                (1, 1, 2),
+            ] {
                 w[z][y][x] = -1.0;
             }
             stencil_3d(v, &w, inv_h2)
@@ -115,9 +124,7 @@ pub fn build_chebyshev_chain(
     for (j, (alpha, beta)) in coeffs.iter().enumerate() {
         // r_j = f - A x_j (folds to f when x_j is the zero grid)
         let residual: Expr = match x {
-            Some(xid) => {
-                Operand::Func(f).at(&zero) - apply_a(nd, Operand::Func(xid), h)
-            }
+            Some(xid) => Operand::Func(f).at(&zero) - apply_a(nd, Operand::Func(xid), h),
             None => Operand::Func(f).at(&zero) + Expr::Const(0.0),
         };
         let mut expr = read(x, &zero) + *alpha * residual;
@@ -186,8 +193,7 @@ mod tests {
         let mut v0 = vec![0.0; e * e];
         for y in 1..=n as usize {
             for x in 1..=n as usize {
-                v0[y * e + x] =
-                    (k * y as f64 * h).sin() * (k * x as f64 * h).sin();
+                v0[y * e + x] = (k * y as f64 * h).sin() * (k * x as f64 * h).sin();
             }
         }
         let f0 = vec![0.0; e * e];
@@ -223,9 +229,7 @@ mod tests {
         let valsj = run_reference(&gj, &[("V", &v0), ("F", &f0)]);
         let jac_out = &valsj[&format!("sm.s{}", degree - 1)];
 
-        let norm = |b: &Vec<f64>| {
-            (b.iter().map(|x| x * x).sum::<f64>() / b.len() as f64).sqrt()
-        };
+        let norm = |b: &Vec<f64>| (b.iter().map(|x| x * x).sum::<f64>() / b.len() as f64).sqrt();
         let nc = norm(cheb_out);
         let nj = norm(jac_out);
         assert!(

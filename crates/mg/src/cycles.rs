@@ -28,7 +28,14 @@ fn a_weights_2d() -> Vec<Vec<f64>> {
 fn a_weights_3d() -> Vec<Vec<Vec<f64>>> {
     let mut w = vec![vec![vec![0.0; 3]; 3]; 3];
     w[1][1][1] = 6.0;
-    for (z, y, x) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+    for (z, y, x) in [
+        (0, 1, 1),
+        (2, 1, 1),
+        (1, 0, 1),
+        (1, 2, 1),
+        (1, 1, 0),
+        (1, 1, 2),
+    ] {
         w[z][y][x] = -1.0;
     }
     w
@@ -156,7 +163,10 @@ impl<'a> Builder<'a> {
             crate::config::SmootherKind::Jacobi => {
                 let name = self.fresh("smooth", level);
                 let e = jacobi_expr(nd, h, self.cfg.omega, Operand::Func(f));
-                Some(self.p.tstencil(&name, nd, n, level, StepCount::Fixed(steps), v, e))
+                Some(
+                    self.p
+                        .tstencil(&name, nd, n, level, StepCount::Fixed(steps), v, e),
+                )
             }
             crate::config::SmootherKind::GaussSeidelRB => {
                 // each step = a red half-sweep then a black half-sweep,
@@ -165,9 +175,9 @@ impl<'a> Builder<'a> {
                 let mut prev = v;
                 for _ in 0..steps {
                     let rn = self.fresh("gsrb_red", level);
-                    let red = self
-                        .p
-                        .function_cases(&rn, nd, n, level, gsrb_cases(nd, h, true, prev, f));
+                    let red =
+                        self.p
+                            .function_cases(&rn, nd, n, level, gsrb_cases(nd, h, true, prev, f));
                     let bn = self.fresh("gsrb_black", level);
                     let black = self.p.function_cases(
                         &bn,
@@ -232,7 +242,13 @@ impl<'a> Builder<'a> {
     /// The recursive cycle (Algorithm 1 / Figure 3). Returns the function
     /// holding the updated solution at `level` (or `None` when the cycle is
     /// provably a no-op on a zero guess).
-    fn cycle(&mut self, v: Option<FuncId>, f: FuncId, level: u32, shape: CycleType) -> Option<FuncId> {
+    fn cycle(
+        &mut self,
+        v: Option<FuncId>,
+        f: FuncId,
+        level: u32,
+        shape: CycleType,
+    ) -> Option<FuncId> {
         let steps = self.cfg.steps;
         if level == 0 {
             // coarsest: relax only

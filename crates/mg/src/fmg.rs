@@ -74,8 +74,7 @@ pub fn prolong_solution(ndims: usize, coarse: &[f64], nc: i64, fine: &mut [f64])
                                 }
                             }
                         }
-                        fine[(z * ef + y) * ef + x] =
-                            acc / (zs.len() * ys.len() * xs.len()) as f64;
+                        fine[(z * ef + y) * ef + x] = acc / (zs.len() * ys.len() * xs.len()) as f64;
                     }
                 }
             }
@@ -203,11 +202,7 @@ mod tests {
         let r = fmg_solve(&finest, 7, 1, |c| Box::new(HandOpt::new(c.clone())));
         // FMG with a single V-cycle per level lands near discretisation
         // error: O(h²) with h = 1/128 → ~6e-5·C
-        assert!(
-            r.max_error < 5e-4,
-            "FMG error too large: {}",
-            r.max_error
-        );
+        assert!(r.max_error < 5e-4, "FMG error too large: {}", r.max_error);
         assert!(r.final_residual < r.initial_residual * 1e-2);
     }
 
@@ -239,9 +234,7 @@ mod tests {
         let finest = cfg(63);
         let r = fmg_solve(&finest, 7, 2, |c| {
             let opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
-            Box::new(
-                crate::solver::DslRunner::new(c, opts, "polymg-opt+").expect("compile failed"),
-            )
+            Box::new(crate::solver::DslRunner::new(c, opts, "polymg-opt+").expect("compile failed"))
         });
         assert!(r.max_error < 5e-3, "{}", r.max_error);
     }

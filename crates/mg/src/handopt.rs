@@ -283,9 +283,7 @@ fn gsrb_half_2d(u: &mut [f64], rhs: &[f64], n: i64, h2: f64, red: bool) {
         let first = 1 + ((start_parity + y + 1) % 2);
         let mut x = first;
         while x <= n as usize {
-            row[x] = (row[x - 1] + row[x + 1] + above[x] + below[x]
-                + h2 * rhs[y * e + x])
-                / 4.0;
+            row[x] = (row[x - 1] + row[x + 1] + above[x] + below[x] + h2 * rhs[y * e + x]) / 4.0;
             x += 2;
         }
     });
@@ -376,8 +374,8 @@ fn jacobi_row_2d(
     let s = y * e;
     for x in 1..=n {
         let c = src[s + x];
-        let a = (4.0 * c - src[s + x - 1] - src[s + x + 1] - src[s - e + x] - src[s + e + x])
-            * inv_h2;
+        let a =
+            (4.0 * c - src[s + x - 1] - src[s + x + 1] - src[s - e + x] - src[s + e + x]) * inv_h2;
         drow[x] = c - w * (a - rhs[s + x]);
     }
 }
@@ -391,9 +389,9 @@ fn residual_2d(u: &[f64], rhs: &[f64], r: &mut [f64], n: i64, inv_h2: f64) {
             let y = i + 1;
             let s = y * e;
             for x in 1..=n as usize {
-                let a = (4.0 * u[s + x] - u[s + x - 1] - u[s + x + 1] - u[s - e + x]
-                    - u[s + e + x])
-                    * inv_h2;
+                let a =
+                    (4.0 * u[s + x] - u[s + x - 1] - u[s + x + 1] - u[s - e + x] - u[s + e + x])
+                        * inv_h2;
                 rrow[x] = rhs[s + x] - a;
             }
         });
@@ -413,7 +411,10 @@ fn restrict_2d(fine: &[f64], coarse: &mut [f64], nc: i64) {
                 let at = |dy: isize, dx: isize| {
                     fine[(yf as isize + dy) as usize * ef + (xf as isize + dx) as usize]
                 };
-                crow[xc] = (at(-1, -1) + at(-1, 1) + at(1, -1) + at(1, 1)
+                crow[xc] = (at(-1, -1)
+                    + at(-1, 1)
+                    + at(1, -1)
+                    + at(1, 1)
                     + 2.0 * (at(-1, 0) + at(1, 0) + at(0, -1) + at(0, 1))
                     + 4.0 * at(0, 0))
                     / 16.0;
@@ -438,8 +439,7 @@ fn interp_add_2d(coarse: &[f64], fine: &mut [f64], nf: i64) {
                             + coarse[(y / 2) * ec + x.div_ceil(2)])
                     }
                 } else if x % 2 == 0 {
-                    0.5 * (coarse[((y - 1) / 2) * ec + x / 2]
-                        + coarse[y.div_ceil(2) * ec + x / 2])
+                    0.5 * (coarse[((y - 1) / 2) * ec + x / 2] + coarse[y.div_ceil(2) * ec + x / 2])
                 } else {
                     0.25 * (coarse[((y - 1) / 2) * ec + (x - 1) / 2]
                         + coarse[((y - 1) / 2) * ec + x.div_ceil(2)]
@@ -829,7 +829,11 @@ mod gsrb_tests {
             2,
             63,
             CycleType::V,
-            SmoothSteps { pre: 2, coarse: 40, post: 2 },
+            SmoothSteps {
+                pre: 2,
+                coarse: 40,
+                post: 2,
+            },
         );
         let run = |cfg: MgConfig| {
             let mut h = HandOpt::new(cfg.clone());

@@ -43,10 +43,15 @@ impl DslRunner {
     /// wrap the engine.
     pub fn new(cfg: &MgConfig, opts: PipelineOptions, label: &str) -> Result<Self, Vec<String>> {
         let pipeline = build_cycle_pipeline(cfg);
+        // chaos is a runtime property: it is stripped from the (cacheable)
+        // plan by compile, so arm the engine with it directly
+        let chaos = opts.chaos;
         let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts)?;
         let out_len = cfg.alloc_len(cfg.levels - 1);
+        let mut engine = Engine::new(plan);
+        engine.set_chaos(chaos);
         Ok(DslRunner {
-            engine: Engine::new(plan),
+            engine,
             out: vec![0.0; out_len],
             label: label.to_string(),
         })
@@ -92,8 +97,7 @@ impl DslRunner {
 
 impl CycleRunner for DslRunner {
     fn cycle(&mut self, v: &mut [f64], f: &[f64]) {
-        self.cycle_with_stats(v, f)
-            .expect("cycle execution failed");
+        self.cycle_with_stats(v, f).expect("cycle execution failed");
     }
 
     fn label(&self) -> String {
@@ -126,7 +130,10 @@ pub fn residual_norm(ndims: usize, n: i64, h: f64, v: &[f64], f: &[f64]) -> f64 
             for y in 1..=n as usize {
                 let s = y * e;
                 for x in 1..=n as usize {
-                    let a = (4.0 * v[s + x] - v[s + x - 1] - v[s + x + 1] - v[s - e + x]
+                    let a = (4.0 * v[s + x]
+                        - v[s + x - 1]
+                        - v[s + x + 1]
+                        - v[s - e + x]
                         - v[s + e + x])
                         * inv_h2;
                     let r = f[s + x] - a;
@@ -320,7 +327,11 @@ mod tests {
             2,
             63,
             CycleType::V,
-            SmoothSteps { pre: 4, coarse: 50, post: 4 },
+            SmoothSteps {
+                pre: 4,
+                coarse: 50,
+                post: 4,
+            },
         );
         let mut runner = DslRunner::new(
             &cfg,
@@ -344,7 +355,11 @@ mod tests {
             3,
             31,
             CycleType::V,
-            SmoothSteps { pre: 4, coarse: 50, post: 4 },
+            SmoothSteps {
+                pre: 4,
+                coarse: 50,
+                post: 4,
+            },
         );
         let mut runner = HandOpt::new(cfg.clone());
         let (mut v, f, _) = setup_poisson(&cfg);
@@ -400,7 +415,11 @@ mod tests {
             2,
             63,
             CycleType::V,
-            SmoothSteps { pre: 4, coarse: 50, post: 4 },
+            SmoothSteps {
+                pre: 4,
+                coarse: 50,
+                post: 4,
+            },
         );
         let mut runner = HandOpt::new(cfg.clone());
         let (mut v, f, u_exact) = setup_poisson(&cfg);

@@ -27,8 +27,7 @@ fn rprj3_expr(fine: Operand) -> Expr {
     for dz in -1i64..=1 {
         for dy in -1i64..=1 {
             for dx in -1i64..=1 {
-                let cls =
-                    (dz != 0) as usize + (dy != 0) as usize + (dx != 0) as usize;
+                let cls = (dz != 0) as usize + (dy != 0) as usize + (dx != 0) as usize;
                 let read = fine.read(Access(vec![
                     AxisAccess::down(dz),
                     AxisAccess::down(dy),

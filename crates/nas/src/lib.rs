@@ -83,13 +83,12 @@ mod tests {
         assert_eq!(w[0][1][1], 0.0); // face
         assert_eq!(w[0][0][1], 1.0 / 6.0); // edge
         assert_eq!(w[0][0][0], 1.0 / 12.0); // corner
-        // 1 centre + 6 faces + 12 edges + 8 corners
+                                            // 1 centre + 6 faces + 12 edges + 8 corners
         let mut counts = [0usize; 4];
         for z in 0..3 {
             for y in 0..3 {
                 for x in 0..3 {
-                    let cls =
-                        usize::from(z != 1) + usize::from(y != 1) + usize::from(x != 1);
+                    let cls = usize::from(z != 1) + usize::from(y != 1) + usize::from(x != 1);
                     counts[cls] += 1;
                     assert_eq!(w[z][y][x], A_COEFF[cls]);
                 }

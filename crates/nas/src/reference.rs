@@ -252,9 +252,8 @@ pub fn rprj3(fine: &[f64], nc: i64, coarse: &mut [f64]) {
                     for dz in -1i64..=1 {
                         for dy in -1i64..=1 {
                             for dx in -1i64..=1 {
-                                let cls = (dz != 0) as usize
-                                    + (dy != 0) as usize
-                                    + (dx != 0) as usize;
+                                let cls =
+                                    (dz != 0) as usize + (dy != 0) as usize + (dx != 0) as usize;
                                 acc += R_COEFF[cls]
                                     * fine[((zf as i64 + dz) as usize) * pf
                                         + ((yf as i64 + dy) as usize) * ef
@@ -408,9 +407,6 @@ mod tests {
             nas.iteration();
         }
         let r4 = nas.rnm2();
-        assert!(
-            r4 < r0 * 0.05,
-            "NAS MG failed to converge: {r0} → {r4}"
-        );
+        assert!(r4 < r0 * 0.05, "NAS MG failed to converge: {r0} → {r4}");
     }
 }

@@ -184,10 +184,7 @@ mod tests {
         // exact cover: every point in exactly one tile
         for y in 1..=10 {
             for x in 1..=10 {
-                let n = tiles
-                    .iter()
-                    .filter(|t| t.contains_point(&[y, x]))
-                    .count();
+                let n = tiles.iter().filter(|t| t.contains_point(&[y, x])).count();
                 assert_eq!(n, 1, "point ({y},{x}) covered {n} times");
             }
         }
@@ -255,14 +252,7 @@ mod tests {
             domain: dom,
             owned: BoxDomain::empty(2),
         }];
-        let stats = evaluate_tiling(
-            &stages,
-            &[],
-            0,
-            &[vec![Ratio::one(); 2]],
-            &[true],
-            &[8, 8],
-        );
+        let stats = evaluate_tiling(&stages, &[], 0, &[vec![Ratio::one(); 2]], &[true], &[8, 8]);
         assert_eq!(stats.tiled_points, 256);
         assert_eq!(stats.base_points, 256);
         assert_eq!(stats.num_tiles, 4);

@@ -13,9 +13,17 @@
 //! taken) fall back to a shared overflow stack, so nothing is ever leaked
 //! or allocated twice unnecessarily.
 
-use polymg::ScratchBufferSpec;
+use polymg::{FaultPlan, FaultSite, ScratchBufferSpec};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Poison-tolerant lock: the slot/overflow mutexes guard plain
+/// `Option<Arena>` / `Vec<Arena>` state that is consistent at every await
+/// point, so after a worker panic (e.g. an injected one) the data is still
+/// valid and recovery must keep going rather than propagate the poison.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One worker's scratch buffers for a group (index = scratch buffer id).
 #[derive(Debug)]
@@ -73,18 +81,27 @@ pub struct ArenaPool<'a> {
     /// Index `w` = worker `w`; the extra trailing entry counts gets/puts
     /// made outside any parallel region.
     stats: Vec<WorkerStats>,
+    /// Armed fault schedule: `get` may be forced onto the fresh-allocation
+    /// path (recycling "fails"), which is counted and recovered, not fatal.
+    chaos: Option<&'a FaultPlan>,
 }
 
 impl<'a> ArenaPool<'a> {
     /// New pool for a group's buffer specs, sized for the current thread
     /// count.
     pub fn new(specs: &'a [ScratchBufferSpec]) -> Self {
+        Self::with_chaos(specs, None)
+    }
+
+    /// [`ArenaPool::new`] with an armed fault schedule.
+    pub fn with_chaos(specs: &'a [ScratchBufferSpec], chaos: Option<&'a FaultPlan>) -> Self {
         let nworkers = rayon::current_num_threads().max(1);
         ArenaPool {
             specs,
             slots: (0..nworkers).map(|_| Mutex::new(None)).collect(),
             overflow: Mutex::new(Vec::new()),
             stats: (0..nworkers + 1).map(|_| WorkerStats::default()).collect(),
+            chaos,
         }
     }
 
@@ -99,13 +116,21 @@ impl<'a> ArenaPool<'a> {
     /// overflow stack, then a fresh allocation.
     pub fn get(&self) -> Arena {
         let si = self.stat_index();
+        if let Some(c) = self.chaos {
+            if c.should_fire(FaultSite::ArenaAlloc) {
+                // injected recycling failure: degrade to a fresh arena
+                self.stats[si].created.fetch_add(1, Ordering::Relaxed);
+                c.record_recovered(FaultSite::ArenaAlloc);
+                return Arena::new(self.specs);
+            }
+        }
         if si < self.slots.len() {
-            if let Some(a) = self.slots[si].lock().unwrap().take() {
+            if let Some(a) = relock(&self.slots[si]).take() {
                 self.stats[si].recycled.fetch_add(1, Ordering::Relaxed);
                 return a;
             }
         }
-        if let Some(a) = self.overflow.lock().unwrap().pop() {
+        if let Some(a) = relock(&self.overflow).pop() {
             self.stats[si].recycled.fetch_add(1, Ordering::Relaxed);
             return a;
         }
@@ -117,14 +142,14 @@ impl<'a> ArenaPool<'a> {
     pub fn put(&self, arena: Arena) {
         if let Some(w) = rayon::current_thread_index() {
             if w < self.slots.len() {
-                let mut slot = self.slots[w].lock().unwrap();
+                let mut slot = relock(&self.slots[w]);
                 if slot.is_none() {
                     *slot = Some(arena);
                     return;
                 }
             }
         }
-        self.overflow.lock().unwrap().push(arena);
+        relock(&self.overflow).push(arena);
     }
 
     /// How many arenas were actually created (≈ worker count).
@@ -211,6 +236,23 @@ mod tests {
         let _c = pool.get();
         assert_eq!(pool.created(), 2);
         assert_eq!(pool.recycled(), 1);
+    }
+
+    #[test]
+    fn chaos_forces_fresh_arenas_and_counts_recovery() {
+        let s = specs();
+        let plan =
+            FaultPlan::new(polymg::ChaosOptions::new(9, 1.0).with_sites(polymg::chaos::SITE_ARENA));
+        let pool = ArenaPool::with_chaos(&s, Some(&plan));
+        for _ in 0..4 {
+            let a = pool.get();
+            pool.put(a);
+        }
+        assert_eq!(pool.created(), 4, "every get must degrade to a fresh arena");
+        assert_eq!(pool.recycled(), 0);
+        let snap = plan.snapshot();
+        assert_eq!(snap.fired[FaultSite::ArenaAlloc.index()], 4);
+        assert_eq!(snap.recovered[FaultSite::ArenaAlloc.index()], 4);
     }
 
     #[test]

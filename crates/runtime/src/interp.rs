@@ -210,10 +210,7 @@ mod tests {
             for x in 3..=(nf - 3) as usize {
                 let got = out[y * ef + x];
                 let want = y as f64 + 2.0 * x as f64;
-                assert!(
-                    (got - want).abs() < 1e-12,
-                    "({y},{x}): {got} vs {want}"
-                );
+                assert!((got - want).abs() < 1e-12, "({y},{x}): {got} vs {want}");
             }
         }
     }

@@ -234,11 +234,7 @@ struct RtTap<'a> {
 
 /// Row base index (everything except the innermost dim) of a tap input for
 /// outer coordinates `outer` (length = rank-1).
-fn tap_row_base(
-    tap: &gmg_ir::Tap,
-    input: &Space<'_>,
-    outer: &[i64],
-) -> usize {
+fn tap_row_base(tap: &gmg_ir::Tap, input: &Space<'_>, outer: &[i64]) -> usize {
     let nd = input.origin.len();
     debug_assert_eq!(outer.len(), nd - 1);
     let mut idx: i64 = 0;
@@ -267,12 +263,7 @@ fn axis_coord_delta(a: &gmg_ir::expr::AxisAccess, step: i64) -> i64 {
 }
 
 /// Innermost-dim base and slope for a tap given the x start and step.
-fn tap_x_base_slope(
-    tap: &gmg_ir::Tap,
-    input: &Space<'_>,
-    x0: i64,
-    sx: i64,
-) -> (usize, usize) {
+fn tap_x_base_slope(tap: &gmg_ir::Tap, input: &Space<'_>, x0: i64, sx: i64) -> (usize, usize) {
     let nd = input.origin.len();
     let a = tap.access.0[nd - 1];
     let first = div_floor(a.num * x0 + a.off, a.den) - input.origin[nd - 1];
@@ -541,10 +532,20 @@ fn linear_2d(
 
     let mut y = y0;
     let mut ob = (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
-    let needed = if count == 0 { 0 } else { (count - 1) * sx as usize + 1 };
+    let needed = if count == 0 {
+        0
+    } else {
+        (count - 1) * sx as usize + 1
+    };
     let out_delta = sy as usize * out_rs;
     while y <= region.0[0].hi {
-        row_fn(out.row_mut(ob, needed), sx as usize, count, form.bias, &taps);
+        row_fn(
+            out.row_mut(ob, needed),
+            sx as usize,
+            count,
+            form.bias,
+            &taps,
+        );
         for (t, d) in taps.iter_mut().zip(&deltas) {
             t.base += d;
         }
@@ -619,14 +620,24 @@ fn linear_3d(
 
     gmg_trace::dispatch::record(dispatch_kind(sx as usize, &taps), 1);
 
-    let needed = if count == 0 { 0 } else { (count - 1) * sx as usize + 1 };
+    let needed = if count == 0 {
+        0
+    } else {
+        (count - 1) * sx as usize + 1
+    };
     let mut z = z0;
     let mut ob_z = (z0 - oz) as usize * out_ps + (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
     while z <= region.0[0].hi {
         let mut y = y0;
         let mut ob = ob_z;
         while y <= region.0[1].hi {
-            row_fn(out.row_mut(ob, needed), sx as usize, count, form.bias, &taps);
+            row_fn(
+                out.row_mut(ob, needed),
+                sx as usize,
+                count,
+                form.bias,
+                &taps,
+            );
             for (t, d) in taps.iter_mut().zip(&dy) {
                 t.base += d;
             }

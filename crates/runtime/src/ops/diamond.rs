@@ -2,7 +2,7 @@
 //! chain with two modulo buffers (the `polymg-dtile-opt+` strategy). The
 //! split-tiling band schedule is precomputed at lowering.
 
-use super::{resolve_ins, ResolvedIn};
+use super::{panic_detail, resolve_ins, ResolvedIn};
 use crate::kernel::{execute_stage_impl, KernelInput, Space, SpaceMut};
 use crate::pool::BufferPool;
 use crate::schedule::{fill_ghost, ExecError, Slot};
@@ -11,7 +11,9 @@ use gmg_grid::Buffer;
 use gmg_poly::diamond::TimeBand;
 use gmg_trace::StageHandle;
 use polymg::schedule::{ExecProgram, StageExec};
+use polymg::{FaultPlan, FaultSite};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 #[allow(clippy::too_many_arguments)]
@@ -25,7 +27,14 @@ pub(crate) fn run(
     pool: &mut BufferPool,
     pooled: bool,
     spans: &[StageHandle],
+    chaos: &FaultPlan,
 ) -> Result<(), ExecError> {
+    if chaos.should_fire(FaultSite::OpDiamond) {
+        return Err(ExecError::FaultInjected {
+            site: FaultSite::OpDiamond.label(),
+            op: "run_diamond",
+        });
+    }
     let steps = stages.len();
     if steps == 0 {
         return Err(ExecError::PlanViolation("empty diamond chain"));
@@ -45,7 +54,12 @@ pub(crate) fn run(
     // temp modulo buffer (only needed for ≥2 steps); allocated here rather
     // than via slot ops because its lifetime is exactly this op
     let mut temp = if steps >= 2 {
-        let mut b = if pooled {
+        let mut b = if pooled && chaos.should_fire(FaultSite::PoolAlloc) {
+            // injected pool exhaustion: degrade to a fresh malloc
+            let b = pool.allocate_fallback_fresh(len);
+            chaos.record_recovered(FaultSite::PoolAlloc);
+            b
+        } else if pooled {
             pool.allocate(len)
         } else {
             Buffer::zeroed(len)
@@ -61,13 +75,16 @@ pub(crate) fn run(
         let out_data = taken.try_write(&spec.name)?;
         let out_shared = SharedOut::new(out_data);
         let temp_shared = temp.as_mut().map(|b| SharedOut::new(b.as_mut_slice()));
-        // buf of a step: parity p writes bufs[p]; arrange last step → out
+        // buf of a step: parity p writes bufs[p]; arrange last step → out.
+        // With a single step both parities resolve to `out` (the off parity
+        // is never read or written then), so no unwrap is needed.
         let last_parity = (steps - 1) % 2;
+        let temp_or_out = temp_shared.unwrap_or(out_shared);
         let buf_of = |p: usize| -> SharedOut {
             if p == last_parity {
                 out_shared
             } else {
-                temp_shared.expect("temp needed")
+                temp_or_out
             }
         };
 
@@ -80,94 +97,112 @@ pub(crate) fn run(
         let outer_dom = domain.0[0];
         let tracing = spans.iter().any(StageHandle::is_enabled);
 
-        for band in schedule {
-            for phase in [&band.phase1, &band.phase2] {
-                phase.par_iter().for_each(|trap| {
-                    for s in 0..band.steps {
-                        let t = band.t0 + s;
-                        let rows = trap.rows_at(s as i64, outer_dom);
-                        if rows.is_empty() {
-                            continue;
+        // Catching here (slot taken, restore pending below) contains worker
+        // panics so the slot restore and temp deallocation always run.
+        catch_unwind(AssertUnwindSafe(|| {
+            for band in schedule {
+                for phase in [&band.phase1, &band.phase2] {
+                    phase.par_iter().for_each(|trap| {
+                        if chaos.should_fire(FaultSite::WorkerPanic) {
+                            panic!("chaos: injected worker panic");
                         }
-                        let t0 = tracing.then(Instant::now);
-                        let stage = &stages[t];
-                        let kernel = &program.kernels[stage.kernel];
+                        for s in 0..band.steps {
+                            let t = band.t0 + s;
+                            let rows = trap.rows_at(s as i64, outer_dom);
+                            if rows.is_empty() {
+                                continue;
+                            }
+                            let t0 = tracing.then(Instant::now);
+                            let stage = &stages[t];
+                            let kernel = &program.kernels[stage.kernel];
 
-                        // region: these rows × full inner interior
-                        let mut region = domain.clone();
-                        region.0[0] = rows;
+                            // region: these rows × full inner interior
+                            let mut region = domain.clone();
+                            region.0[0] = rows;
 
-                        // destination: rows block of bufs[t%2]
-                        let dst = buf_of(t % 2);
-                        let d_off = rows.lo as usize * row_block;
-                        let d_len = rows.len() as usize * row_block;
-                        // SAFETY: trapezoids of one phase write disjoint
-                        // rows at each step (split-tiling invariant), and
-                        // cross-step writes to one parity buffer are
-                        // disjoint by the band-height clamp.
-                        let data = unsafe { dst.segment(d_off, d_len) };
-                        let mut origin = vec![0i64; nd];
-                        origin[0] = rows.lo;
-                        let mut extents = ext.clone();
-                        extents[0] = rows.len();
-                        let mut out = SpaceMut {
-                            data,
-                            origin: &origin,
-                            extents: &extents,
-                        };
+                            // destination: rows block of bufs[t%2]
+                            let dst = buf_of(t % 2);
+                            let d_off = rows.lo as usize * row_block;
+                            let d_len = rows.len() as usize * row_block;
+                            // SAFETY: trapezoids of one phase write disjoint
+                            // rows at each step (split-tiling invariant), and
+                            // cross-step writes to one parity buffer are
+                            // disjoint by the band-height clamp.
+                            let data = unsafe { dst.segment(d_off, d_len) };
+                            let mut origin = vec![0i64; nd];
+                            origin[0] = rows.lo;
+                            let mut extents = ext.clone();
+                            extents[0] = rows.len();
+                            let mut out = SpaceMut {
+                                data,
+                                origin: &origin,
+                                extents: &extents,
+                            };
 
-                        // inputs: read rows from the previous parity buffer,
-                        // dilated by the radius and clamped to the ghost
-                        let r_lo = (rows.lo - radius).max(0);
-                        let r_hi = (rows.hi + radius).min(ext[0] - 1);
-                        let r_off = r_lo as usize * row_block;
-                        let r_len = (r_hi - r_lo + 1) as usize * row_block;
-                        let mut r_origin = vec![0i64; nd];
-                        r_origin[0] = r_lo;
-                        let mut r_ext = ext.clone();
-                        r_ext[0] = r_hi - r_lo + 1;
-                        let (r_origin, r_ext) = (r_origin, r_ext);
+                            // inputs: read rows from the previous parity buffer,
+                            // dilated by the radius and clamped to the ghost
+                            let r_lo = (rows.lo - radius).max(0);
+                            let r_hi = (rows.hi + radius).min(ext[0] - 1);
+                            let r_off = r_lo as usize * row_block;
+                            let r_len = (r_hi - r_lo + 1) as usize * row_block;
+                            let mut r_origin = vec![0i64; nd];
+                            r_origin[0] = r_lo;
+                            let mut r_ext = ext.clone();
+                            r_ext[0] = r_hi - r_lo + 1;
+                            let (r_origin, r_ext) = (r_origin, r_ext);
 
-                        let mut ins: Vec<KernelInput<'_>> =
-                            Vec::with_capacity(resolved[t].len());
-                        let mut bnd: Vec<f64> = Vec::with_capacity(resolved[t].len());
-                        for r in &resolved[t] {
-                            match r {
-                                ResolvedIn::Zero => {
-                                    ins.push(KernelInput::Zero);
-                                    bnd.push(0.0);
-                                }
-                                ResolvedIn::Array(sp, b) => {
-                                    ins.push(KernelInput::Grid(*sp));
-                                    bnd.push(*b);
-                                }
-                                ResolvedIn::Local(pi, b) => {
-                                    debug_assert_eq!(*pi, t - 1);
-                                    bnd.push(*b);
-                                    let src = buf_of(pi % 2);
-                                    // SAFETY: disjoint from all concurrent
-                                    // writes by the band-height clamp.
-                                    let pdata = unsafe { src.read_segment(r_off, r_len) };
-                                    ins.push(KernelInput::Grid(Space {
-                                        data: pdata,
-                                        origin: &r_origin,
-                                        extents: &r_ext,
-                                    }));
+                            let mut ins: Vec<KernelInput<'_>> =
+                                Vec::with_capacity(resolved[t].len());
+                            let mut bnd: Vec<f64> = Vec::with_capacity(resolved[t].len());
+                            for r in &resolved[t] {
+                                match r {
+                                    ResolvedIn::Zero => {
+                                        ins.push(KernelInput::Zero);
+                                        bnd.push(0.0);
+                                    }
+                                    ResolvedIn::Array(sp, b) => {
+                                        ins.push(KernelInput::Grid(*sp));
+                                        bnd.push(*b);
+                                    }
+                                    ResolvedIn::Local(pi, b) => {
+                                        debug_assert_eq!(*pi, t - 1);
+                                        bnd.push(*b);
+                                        let src = buf_of(pi % 2);
+                                        // SAFETY: disjoint from all concurrent
+                                        // writes by the band-height clamp.
+                                        let pdata = unsafe { src.read_segment(r_off, r_len) };
+                                        ins.push(KernelInput::Grid(Space {
+                                            data: pdata,
+                                            origin: &r_origin,
+                                            extents: &r_ext,
+                                        }));
+                                    }
                                 }
                             }
-                        }
-                        execute_stage_impl(stage.impl_tag, kernel, &region, &mut out, &ins, &bnd);
-                        if let Some(t0) = t0 {
-                            spans[t].record(
-                                t0.elapsed().as_nanos() as u64,
-                                1,
-                                region.len() as u64,
+                            execute_stage_impl(
+                                stage.impl_tag,
+                                kernel,
+                                &region,
+                                &mut out,
+                                &ins,
+                                &bnd,
                             );
+                            if let Some(t0) = t0 {
+                                spans[t].record(
+                                    t0.elapsed().as_nanos() as u64,
+                                    1,
+                                    region.len() as u64,
+                                );
+                            }
                         }
-                    }
-                });
+                    });
+                }
             }
-        }
+        }))
+        .map_err(|p| ExecError::WorkerPanicked {
+            op: "run_diamond",
+            detail: panic_detail(p),
+        })?;
         Ok(())
     })();
     slots[out_slot] = taken;

@@ -16,6 +16,19 @@ use gmg_poly::region::{propagate_regions, GroupEdge, GroupStage, StageRegion};
 use gmg_poly::tiling::owned_region;
 use gmg_poly::{BoxDomain, Ratio};
 use polymg::schedule::{ExecProgram, OpInput, StageExec};
+use std::any::Any;
+
+/// Best-effort rendering of a caught panic payload for
+/// [`ExecError::WorkerPanicked`] details.
+pub(crate) fn panic_detail(p: Box<dyn Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A stage input with its full-array reads resolved to spaces (done before
 /// entering any parallel section; op-local inputs stay symbolic).

@@ -2,7 +2,7 @@
 //! scratchpads (the paper's §3.1 strategy, geometry precomputed at
 //! lowering).
 
-use super::{propagate_for_tile, resolve_ins, ResolvedIn};
+use super::{panic_detail, propagate_for_tile, resolve_ins, ResolvedIn};
 use crate::arena::ArenaPool;
 use crate::kernel::{
     execute_stage_out_impl, fill_outside, KernelInput, KernelOut, Space, SpaceMut,
@@ -13,8 +13,9 @@ use gmg_poly::tiling::owned_region;
 use gmg_poly::BoxDomain;
 use gmg_trace::{StageHandle, Trace};
 use polymg::schedule::{ExecProgram, OverlappedGeom, StageExec};
-use polymg::ScratchBufferSpec;
+use polymg::{FaultPlan, FaultSite, ScratchBufferSpec};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 #[allow(clippy::too_many_arguments)]
@@ -28,7 +29,14 @@ pub(crate) fn run(
     slots: &mut [Slot<'_>],
     spans: &[StageHandle],
     trace: &Trace,
+    chaos: &FaultPlan,
 ) -> Result<(), ExecError> {
+    if chaos.should_fire(FaultSite::OpOverlapped) {
+        return Err(ExecError::FaultInjected {
+            site: FaultSite::OpOverlapped.label(),
+            op: "run_overlapped",
+        });
+    }
     // take all written arrays
     let mut write_arrays = Vec::new();
     for (st, lo) in stages.iter().zip(live_out) {
@@ -51,9 +59,18 @@ pub(crate) fn run(
         for (a, s) in taken.iter_mut() {
             outs.push((*a, SharedOut::new(s.try_write(&program.slots[*a].name)?)));
         }
-        let shared_of = |a: usize| -> SharedOut {
-            outs.iter().find(|(aa, _)| *aa == a).unwrap().1
+        let shared_of = |a: usize| -> Option<SharedOut> {
+            outs.iter().find(|(aa, _)| *aa == a).map(|(_, s)| *s)
         };
+        // every live-out stage must map to a taken output (checked here so
+        // the tile closures below can use `if let` instead of unwrapping)
+        for (st, lo) in stages.iter().zip(live_out) {
+            if *lo && st.slot.and_then(shared_of).is_none() {
+                return Err(ExecError::PlanViolation(
+                    "live-out stage slot was not taken for writing",
+                ));
+            }
+        }
 
         // pre-resolve every full-array read
         let resolved: Vec<Vec<ResolvedIn<'_>>> = stages
@@ -61,141 +78,170 @@ pub(crate) fn run(
             .map(|st| resolve_ins(program, st, slots))
             .collect::<Result<_, _>>()?;
 
-        let arena_pool = ArenaPool::new(scratch_buffers);
+        // scratch-slot index of each op-local input, in input order per
+        // stage — validated serially so the parallel section can't fail
+        let local_slot: Vec<Vec<usize>> = resolved
+            .iter()
+            .map(|rs| {
+                rs.iter()
+                    .filter_map(|r| match r {
+                        ResolvedIn::Local(pi, _) => Some(scratch_slot[*pi].ok_or(
+                            ExecError::PlanViolation("op-local producer without scratch slot"),
+                        )),
+                        _ => None,
+                    })
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+
+        let arena_pool = ArenaPool::with_chaos(scratch_buffers, Some(chaos));
         let tracing = trace.is_enabled();
 
-        geom.tiles.par_iter().for_each(|tile| {
-            let regions =
-                propagate_for_tile(&geom.gstages, &geom.edges, &geom.scales, live_out, tile);
-            let mut arena = arena_pool.get();
-
-            for (i, st) in stages.iter().enumerate() {
-                let kernel = &program.kernels[st.kernel];
-                let compute = &regions[i].compute;
-                if compute.is_empty() {
-                    continue;
+        // Catching here (after the slots were taken, before they are
+        // restored by the caller below) contains worker panics: the slot
+        // restore always runs, so no pooled buffer is stranded.
+        catch_unwind(AssertUnwindSafe(|| {
+            geom.tiles.par_iter().for_each(|tile| {
+                if chaos.should_fire(FaultSite::WorkerPanic) {
+                    panic!("chaos: injected worker panic");
                 }
-                let t0 = tracing.then(Instant::now);
-                let owned = if live_out[i] {
-                    owned_region(tile, &geom.scales[i], &st.domain)
-                } else {
-                    BoxDomain::empty(compute.ndims())
-                };
+                let regions =
+                    propagate_for_tile(&geom.gstages, &geom.edges, &geom.scales, live_out, tile);
+                let mut arena = arena_pool.get();
 
-                // take the stage's own scratch buffer out of the arena
-                // first so producer views can borrow the arena immutably
-                let own_slot = scratch_slot[i];
-                let mut own_buf = own_slot.map(|sl| std::mem::take(arena.buf(sl)));
-
-                // owned metadata for producer scratch views (built first so
-                // the spaces borrowing it live long enough)
-                let mut meta: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
-                for r in &resolved[i] {
-                    if let ResolvedIn::Local(pi, _) = r {
-                        let alloc = &regions[*pi].alloc;
-                        meta.push((
-                            alloc.0.iter().map(|iv| iv.lo).collect(),
-                            alloc.extents(),
-                        ));
+                for (i, st) in stages.iter().enumerate() {
+                    let kernel = &program.kernels[st.kernel];
+                    let compute = &regions[i].compute;
+                    if compute.is_empty() {
+                        continue;
                     }
-                }
-                let mut ins: Vec<KernelInput<'_>> = Vec::with_capacity(resolved[i].len());
-                let mut bnd: Vec<f64> = Vec::with_capacity(resolved[i].len());
-                let mut mi = 0usize;
-                for r in &resolved[i] {
-                    match r {
-                        ResolvedIn::Zero => {
-                            ins.push(KernelInput::Zero);
-                            bnd.push(0.0);
-                        }
-                        ResolvedIn::Array(sp, b) => {
-                            ins.push(KernelInput::Grid(*sp));
-                            bnd.push(*b);
-                        }
-                        ResolvedIn::Local(pi, b) => {
-                            bnd.push(*b);
-                            let buf = scratch_slot[*pi]
-                                .expect("op-local producer without scratch slot");
-                            let (o, e) = &meta[mi];
-                            mi += 1;
-                            let size = e.iter().product::<i64>() as usize;
-                            // producers are earlier stages whose buffers are
-                            // read-only at this point (own buffer was taken
-                            // out above and a producer can never alias it)
-                            let pdata = &arena.bufs()[buf][..size];
-                            ins.push(KernelInput::Grid(Space {
-                                data: pdata,
-                                origin: o,
-                                extents: e,
-                            }));
+                    let t0 = tracing.then(Instant::now);
+                    let owned = if live_out[i] {
+                        owned_region(tile, &geom.scales[i], &st.domain)
+                    } else {
+                        BoxDomain::empty(compute.ndims())
+                    };
+
+                    // take the stage's own scratch buffer out of the arena
+                    // first so producer views can borrow the arena immutably
+                    let own_slot = scratch_slot[i];
+                    let mut own_buf = own_slot.map(|sl| std::mem::take(arena.buf(sl)));
+
+                    // owned metadata for producer scratch views (built first so
+                    // the spaces borrowing it live long enough)
+                    let mut meta: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
+                    for r in &resolved[i] {
+                        if let ResolvedIn::Local(pi, _) = r {
+                            let alloc = &regions[*pi].alloc;
+                            meta.push((alloc.0.iter().map(|iv| iv.lo).collect(), alloc.extents()));
                         }
                     }
-                }
+                    let mut ins: Vec<KernelInput<'_>> = Vec::with_capacity(resolved[i].len());
+                    let mut bnd: Vec<f64> = Vec::with_capacity(resolved[i].len());
+                    let mut mi = 0usize;
+                    for r in &resolved[i] {
+                        match r {
+                            ResolvedIn::Zero => {
+                                ins.push(KernelInput::Zero);
+                                bnd.push(0.0);
+                            }
+                            ResolvedIn::Array(sp, b) => {
+                                ins.push(KernelInput::Grid(*sp));
+                                bnd.push(*b);
+                            }
+                            ResolvedIn::Local(_, b) => {
+                                bnd.push(*b);
+                                let buf = local_slot[i][mi];
+                                let (o, e) = &meta[mi];
+                                mi += 1;
+                                let size = e.iter().product::<i64>() as usize;
+                                // producers are earlier stages whose buffers are
+                                // read-only at this point (own buffer was taken
+                                // out above and a producer can never alias it)
+                                let pdata = &arena.bufs()[buf][..size];
+                                ins.push(KernelInput::Grid(Space {
+                                    data: pdata,
+                                    origin: o,
+                                    extents: e,
+                                }));
+                            }
+                        }
+                    }
 
-                if own_slot.is_some() {
-                    // compute the full overlap region into the scratchpad
-                    let alloc = regions[i].alloc.clone();
-                    let origin: Vec<i64> = alloc.0.iter().map(|iv| iv.lo).collect();
-                    let extents = alloc.extents();
-                    let size = extents.iter().product::<i64>() as usize;
-                    let own = own_buf.as_mut().unwrap();
-                    {
-                        let data = &mut own[..size];
+                    if let Some(own) = own_buf.as_mut() {
+                        // compute the full overlap region into the scratchpad
+                        let alloc = regions[i].alloc.clone();
+                        let origin: Vec<i64> = alloc.0.iter().map(|iv| iv.lo).collect();
+                        let extents = alloc.extents();
+                        let size = extents.iter().product::<i64>() as usize;
                         {
-                            let mut sp = SpaceMut {
+                            let data = &mut own[..size];
+                            {
+                                let mut sp = SpaceMut {
+                                    data,
+                                    origin: &origin,
+                                    extents: &extents,
+                                };
+                                fill_outside(&mut sp, compute, st.boundary);
+                            }
+                            let out = KernelOut::Dense(SpaceMut {
                                 data,
                                 origin: &origin,
                                 extents: &extents,
+                            });
+                            execute_stage_out_impl(st.impl_tag, kernel, compute, out, &ins, &bnd);
+                        }
+                        if live_out[i] && !owned.is_empty() {
+                            // copy the owned sub-region scratch → array (the
+                            // live-out/shared-out pairing was validated above)
+                            if let Some((a, sh)) =
+                                st.slot.and_then(|a| shared_of(a).map(|sh| (a, sh)))
+                            {
+                                let spec = &program.slots[a];
+                                let src = Space {
+                                    data: &own[..size],
+                                    origin: &origin,
+                                    extents: &extents,
+                                };
+                                // SAFETY: owned boxes partition the array across
+                                // tiles.
+                                unsafe {
+                                    sh.copy_box_from(&src, &spec.extents, &owned);
+                                }
+                            }
+                        }
+                    } else {
+                        // live-out with no in-group consumer: write the owned
+                        // region straight into the shared array (the generated-
+                        // code behaviour of Figure 8)
+                        debug_assert!(live_out[i]);
+                        debug_assert_eq!(&owned, compute);
+                        if let Some((a, sh)) = st.slot.and_then(|a| shared_of(a).map(|sh| (a, sh)))
+                        {
+                            let spec = &program.slots[a];
+                            let out = KernelOut::Shared {
+                                out: sh,
+                                extents: &spec.extents,
                             };
-                            fill_outside(&mut sp, compute, st.boundary);
-                        }
-                        let out = KernelOut::Dense(SpaceMut {
-                            data,
-                            origin: &origin,
-                            extents: &extents,
-                        });
-                        execute_stage_out_impl(st.impl_tag, kernel, compute, out, &ins, &bnd);
-                    }
-                    if live_out[i] && !owned.is_empty() {
-                        // copy the owned sub-region scratch → array
-                        let a = st.slot.unwrap();
-                        let spec = &program.slots[a];
-                        let src = Space {
-                            data: &own[..size],
-                            origin: &origin,
-                            extents: &extents,
-                        };
-                        // SAFETY: owned boxes partition the array across
-                        // tiles.
-                        unsafe {
-                            shared_of(a).copy_box_from(&src, &spec.extents, &owned);
+                            execute_stage_out_impl(st.impl_tag, kernel, compute, out, &ins, &bnd);
                         }
                     }
-                } else {
-                    // live-out with no in-group consumer: write the owned
-                    // region straight into the shared array (the generated-
-                    // code behaviour of Figure 8)
-                    debug_assert!(live_out[i]);
-                    debug_assert_eq!(&owned, compute);
-                    let a = st.slot.unwrap();
-                    let spec = &program.slots[a];
-                    let out = KernelOut::Shared {
-                        out: shared_of(a),
-                        extents: &spec.extents,
-                    };
-                    execute_stage_out_impl(st.impl_tag, kernel, compute, out, &ins, &bnd);
+
+                    if let (Some(sl), Some(own)) = (own_slot, own_buf) {
+                        *arena.buf(sl) = own;
+                    }
+                    if let Some(t0) = t0 {
+                        spans[i].record(t0.elapsed().as_nanos() as u64, 1, compute.len() as u64);
+                    }
                 }
 
-                if let (Some(sl), Some(own)) = (own_slot, own_buf) {
-                    *arena.buf(sl) = own;
-                }
-                if let Some(t0) = t0 {
-                    spans[i].record(t0.elapsed().as_nanos() as u64, 1, compute.len() as u64);
-                }
-            }
-
-            arena_pool.put(arena);
-        });
+                arena_pool.put(arena);
+            });
+        }))
+        .map_err(|p| ExecError::WorkerPanicked {
+            op: "run_overlapped",
+            detail: panic_detail(p),
+        })?;
         trace.record_arena(arena_pool.created() as u64, arena_pool.recycled() as u64);
         trace.record_arena_workers(&arena_pool.per_worker_stats());
         Ok(())

@@ -1,12 +1,14 @@
 //! `RunUntiledStage`: one full-domain sweep, parallel over outer rows.
 
-use super::{resolve_ins, ResolvedIn};
+use super::{panic_detail, resolve_ins, ResolvedIn};
 use crate::kernel::{execute_stage_impl, KernelInput, SpaceMut};
 use crate::schedule::{ExecError, Slot};
 use gmg_poly::Interval;
 use gmg_trace::StageHandle;
 use polymg::schedule::{ExecProgram, StageExec};
+use polymg::{FaultPlan, FaultSite};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 pub(crate) fn run(
@@ -14,10 +16,17 @@ pub(crate) fn run(
     stage: &StageExec,
     slots: &mut [Slot<'_>],
     spans: &[StageHandle],
+    chaos: &FaultPlan,
 ) -> Result<(), ExecError> {
-    let a = stage
-        .slot
-        .ok_or(ExecError::PlanViolation("untiled stage without output slot"))?;
+    if chaos.should_fire(FaultSite::OpUntiled) {
+        return Err(ExecError::FaultInjected {
+            site: FaultSite::OpUntiled.label(),
+            op: "run_untiled",
+        });
+    }
+    let a = stage.slot.ok_or(ExecError::PlanViolation(
+        "untiled stage without output slot",
+    ))?;
     let spec = &program.slots[a];
     let kernel = &program.kernels[stage.kernel];
     let span = spans.first();
@@ -39,7 +48,9 @@ pub(crate) fn run(
                     bnd.push(*b);
                 }
                 ResolvedIn::Local(..) => {
-                    return Err(ExecError::PlanViolation("untiled stage with op-local input"))
+                    return Err(ExecError::PlanViolation(
+                        "untiled stage with op-local input",
+                    ))
                 }
             }
         }
@@ -76,20 +87,32 @@ pub(crate) fn run(
         let region_proto = &stage.domain;
         let t0 = span.is_some_and(StageHandle::is_enabled).then(Instant::now);
         let npieces = pieces.len() as u64;
-        pieces.into_par_iter().for_each(|(data, (lo, hi))| {
-            let mut region = region_proto.clone();
-            region.0[0] = Interval::new(lo, hi);
-            let mut origin = spec.origin.clone();
-            origin[0] = lo;
-            let mut extents = ext.clone();
-            extents[0] = hi - lo + 1;
-            let mut out = SpaceMut {
-                data,
-                origin: &origin,
-                extents: &extents,
-            };
-            execute_stage_impl(stage.impl_tag, kernel, &region, &mut out, &ins, &bnd);
-        });
+        // Catching here (inside the op, after the slot was taken and before
+        // it is restored below) keeps a worker panic contained: the restore
+        // always runs, so no pooled buffer is stranded in a taken slot.
+        catch_unwind(AssertUnwindSafe(|| {
+            pieces.into_par_iter().for_each(|(data, (lo, hi))| {
+                if chaos.should_fire(FaultSite::WorkerPanic) {
+                    panic!("chaos: injected worker panic");
+                }
+                let mut region = region_proto.clone();
+                region.0[0] = Interval::new(lo, hi);
+                let mut origin = spec.origin.clone();
+                origin[0] = lo;
+                let mut extents = ext.clone();
+                extents[0] = hi - lo + 1;
+                let mut out = SpaceMut {
+                    data,
+                    origin: &origin,
+                    extents: &extents,
+                };
+                execute_stage_impl(stage.impl_tag, kernel, &region, &mut out, &ins, &bnd);
+            });
+        }))
+        .map_err(|p| ExecError::WorkerPanicked {
+            op: "run_untiled",
+            detail: panic_detail(p),
+        })?;
         if let (Some(span), Some(t0)) = (span, t0) {
             span.record(
                 t0.elapsed().as_nanos() as u64,

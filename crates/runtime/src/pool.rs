@@ -27,6 +27,12 @@ pub struct PoolStats {
     pub peak_live_bytes: usize,
     /// Total bytes ever allocated fresh (resident footprint of the pool).
     pub allocated_bytes: usize,
+    /// Requests served by [`BufferPool::allocate_fallback_fresh`] — the
+    /// graceful-degradation path taken when an injected fault (or a real
+    /// exhaustion condition) makes the free list unusable. Counted apart
+    /// from `hits`/`misses` so chaos runs don't distort the Figure-11b
+    /// reuse statistics.
+    pub fallback_fresh: usize,
 }
 
 /// A size-keyed pool of `f64` buffers.
@@ -57,6 +63,21 @@ impl BufferPool {
             self.stats.allocated_bytes += bytes;
             Buffer::zeroed(len)
         }
+    }
+
+    /// Degraded allocation: bypass the free list and malloc fresh, as if
+    /// the pool were exhausted. Used to recover from injected pool faults
+    /// — the run stays correct (the engine refills ghost rings and every
+    /// interior cell is overwritten), it just pays malloc traffic, which
+    /// `fallback_fresh` counts. The buffer is a normal pool citizen:
+    /// `deallocate` returns it to the free list like any other.
+    pub fn allocate_fallback_fresh(&mut self, len: usize) -> Buffer {
+        let bytes = len * std::mem::size_of::<f64>();
+        self.stats.live_bytes += bytes;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        self.stats.allocated_bytes += bytes;
+        self.stats.fallback_fresh += 1;
+        Buffer::zeroed(len)
     }
 
     /// `pool_deallocate`: return a buffer to the free list.
@@ -158,6 +179,24 @@ mod tests {
     }
 
     #[test]
+    fn fallback_fresh_skips_free_list_but_stays_accounted() {
+        let mut p = BufferPool::new();
+        let a = p.allocate(100);
+        p.deallocate(a);
+        // a recycled buffer is available, but the fallback must not touch it
+        let b = p.allocate_fallback_fresh(100);
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.fallback_fresh), (0, 1, 1));
+        assert_eq!(s.allocated_bytes, 1600);
+        assert_eq!(s.live_bytes, 800);
+        assert_eq!(p.free_count(), 1, "free list untouched");
+        // the fallback buffer deallocates like any pool buffer
+        p.deallocate(b);
+        assert_eq!(p.stats().live_bytes, 0);
+        assert_eq!(p.free_count(), 2);
+    }
+
+    #[test]
     fn clear_empties_free_list() {
         let mut p = BufferPool::new();
         let a = p.allocate(8);
@@ -176,7 +215,10 @@ mod tests {
         assert!(p.stats().allocated_bytes > 0 && p.stats().peak_live_bytes > 0);
         p.reset_stats();
         let s = p.stats();
-        assert_eq!((s.hits, s.misses, s.allocated_bytes, s.peak_live_bytes), (0, 0, 0, 0));
+        assert_eq!(
+            (s.hits, s.misses, s.allocated_bytes, s.peak_live_bytes),
+            (0, 0, 0, 0)
+        );
         // still-live bytes survive the reset so deallocate stays consistent
         assert_eq!(s.live_bytes, 800);
         p.deallocate(b);

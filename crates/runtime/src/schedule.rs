@@ -19,7 +19,8 @@ use gmg_grid::Buffer;
 use gmg_poly::{BoxDomain, Interval};
 use gmg_trace::{OpHandle, PoolSnapshot, StageHandle, ThreadsSnapshot, Trace};
 use polymg::schedule::{ExecOp, ExecProgram};
-use polymg::CompiledPipeline;
+use polymg::{ChaosOptions, ChaosStats, CompiledPipeline, FaultPlan, FaultSite};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,6 +57,18 @@ pub enum ExecError {
     /// The program contains a hook op the installed [`ExecHooks`] does not
     /// implement.
     UnsupportedHook(&'static str),
+    /// A worker panicked inside a parallel section of the named op. The
+    /// panic was contained to that op (slots restored, pooled buffers
+    /// recovered); the engine and its pools stay usable.
+    WorkerPanicked { op: &'static str, detail: String },
+    /// An armed [`FaultPlan`] injected an unrecoverable fault at the named
+    /// site (sites with a recovery policy never surface here).
+    FaultInjected {
+        site: &'static str,
+        op: &'static str,
+    },
+    /// A halo exchange failed after exhausting its bounded retries.
+    HaloFailed { attempts: usize, detail: String },
 }
 
 impl std::fmt::Display for ExecError {
@@ -79,6 +92,18 @@ impl std::fmt::Display for ExecError {
             ExecError::PlanViolation(what) => write!(f, "schedule invariant violated: {what}"),
             ExecError::UnsupportedHook(hook) => {
                 write!(f, "program needs unsupported hook '{hook}'")
+            }
+            ExecError::WorkerPanicked { op, detail } => {
+                write!(f, "worker panicked in op '{op}': {detail}")
+            }
+            ExecError::FaultInjected { site, op } => {
+                write!(f, "injected fault at site '{site}' in op '{op}'")
+            }
+            ExecError::HaloFailed { attempts, detail } => {
+                write!(
+                    f,
+                    "halo exchange failed after {attempts} attempts: {detail}"
+                )
             }
         }
     }
@@ -185,6 +210,12 @@ pub struct Engine {
     /// Thread-pool counters already ingested into the trace (deltas per
     /// run; `workers_spawned` is reported as a level, not a delta).
     threads_reported: rayon::PoolCounters,
+    /// Armed fault schedule (disabled by default). Shared as an `Arc` so a
+    /// distributed driver can arm one plan across several engines plus its
+    /// own halo layer and read one merged set of counters.
+    chaos: Arc<FaultPlan>,
+    /// Chaos counters already ingested into the trace (deltas per run).
+    chaos_reported: ChaosStats,
 }
 
 impl Engine {
@@ -201,12 +232,12 @@ impl Engine {
     /// Build a VM for a hand-assembled program (no compiled plan attached).
     pub fn from_program(program: ExecProgram) -> Engine {
         let rayon_pool = if program.threads > 0 {
-            Some(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(program.threads)
-                    .build()
-                    .expect("failed to build thread pool"),
-            )
+            // a dedicated pool is a performance feature, not a correctness
+            // one: if the build fails, degrade to the process-wide pool
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(program.threads)
+                .build()
+                .ok()
         } else {
             None
         };
@@ -221,6 +252,8 @@ impl Engine {
             stage_handles: vec![Vec::new(); nops],
             pool_reported: PoolStats::default(),
             threads_reported: rayon::PoolCounters::default(),
+            chaos: Arc::new(FaultPlan::disabled()),
+            chaos_reported: ChaosStats::default(),
         }
     }
 
@@ -266,11 +299,44 @@ impl Engine {
     /// The compiled plan this engine was built from.
     ///
     /// # Panics
-    /// For engines built via [`Engine::from_program`].
+    /// For engines built via [`Engine::from_program`]; use
+    /// [`Engine::try_plan`] to probe without panicking.
     pub fn plan(&self) -> &CompiledPipeline {
-        self.plan
-            .as_ref()
+        self.try_plan()
             .expect("engine was built from a raw program, no compiled plan attached")
+    }
+
+    /// The compiled plan, or `None` for engines built from a raw program.
+    pub fn try_plan(&self) -> Option<&CompiledPipeline> {
+        self.plan.as_deref()
+    }
+
+    /// Arm (or with `None`, disarm) deterministic fault injection for every
+    /// subsequent run. Chaos is a runtime property — it never affects the
+    /// compiled plan or its cache fingerprint.
+    pub fn set_chaos(&mut self, opts: Option<ChaosOptions>) {
+        self.set_fault_plan(Arc::new(match opts {
+            Some(o) => FaultPlan::new(o),
+            None => FaultPlan::disabled(),
+        }));
+    }
+
+    /// Install a (possibly shared) fault plan directly. A distributed
+    /// driver arms one plan across all its engines and its halo layer so
+    /// fault decisions and counters stay globally ordered.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.chaos_reported = plan.snapshot();
+        self.chaos = plan;
+    }
+
+    /// The engine's current fault plan (disabled by default).
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.chaos
+    }
+
+    /// Lifetime chaos counters of the installed fault plan.
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.chaos.snapshot()
     }
 
     /// The schedule this engine interprets.
@@ -364,6 +430,7 @@ impl Engine {
         let trace = &self.trace;
         let op_handles = &self.op_handles;
         let stage_handles = &self.stage_handles;
+        let chaos: &FaultPlan = &self.chaos;
 
         let body = |slots: &mut Vec<Slot<'_>>,
                     pool: &mut BufferPool,
@@ -381,7 +448,19 @@ impl Engine {
                         slots[*slot] = Slot::Owned(Buffer::zeroed(len));
                     }
                     ExecOp::PoolAlloc { slot } => {
-                        slots[*slot] = Slot::Owned(pool.allocate(program.slots[*slot].len()));
+                        let len = program.slots[*slot].len();
+                        let buf = if chaos.should_fire(FaultSite::PoolAlloc) {
+                            // injected pool exhaustion: recycling "fails",
+                            // degrade to a counted fresh malloc (the later
+                            // FillGhost + full interior overwrite make the
+                            // zeroed buffer bitwise-equivalent)
+                            let b = pool.allocate_fallback_fresh(len);
+                            chaos.record_recovered(FaultSite::PoolAlloc);
+                            b
+                        } else {
+                            pool.allocate(len)
+                        };
+                        slots[*slot] = Slot::Owned(buf);
                     }
                     ExecOp::FillGhost { slot } => {
                         let spec = &program.slots[*slot];
@@ -394,11 +473,15 @@ impl Engine {
                     ExecOp::PoolFree { slot } => {
                         match std::mem::replace(&mut slots[*slot], Slot::Empty) {
                             Slot::Owned(b) => pool.deallocate(b),
-                            _ => return Err(ExecError::PlanViolation("pool free of non-owned array")),
+                            _ => {
+                                return Err(ExecError::PlanViolation(
+                                    "pool free of non-owned array",
+                                ))
+                            }
                         }
                     }
                     ExecOp::RunUntiledStage { stage } => {
-                        crate::ops::untiled::run(program, stage, slots, &stage_handles[i])?;
+                        crate::ops::untiled::run(program, stage, slots, &stage_handles[i], chaos)?;
                     }
                     ExecOp::RunOverlappedGroup {
                         stages,
@@ -417,6 +500,7 @@ impl Engine {
                             slots,
                             &stage_handles[i],
                             trace,
+                            chaos,
                         )?;
                     }
                     ExecOp::RunDiamondChain {
@@ -435,6 +519,7 @@ impl Engine {
                             pool,
                             program.pooled,
                             &stage_handles[i],
+                            chaos,
                         )?;
                     }
                     ExecOp::CopyLiveOut { src, dst, region } => {
@@ -470,11 +555,45 @@ impl Engine {
             Ok(fresh_bytes)
         };
 
-        let fresh_bytes = match &self.rayon_pool {
-            Some(rp) => rp.install(|| body(&mut slots, pool, hooks)),
-            None => body(&mut slots, pool, hooks),
-        }?;
+        // Last line of defence: an op-level catch_unwind already contains
+        // worker panics, but a panic in serial interpreter code (or a hook)
+        // must not unwind through the caller either — the engine owns a
+        // pool whose accounting has to stay consistent.
+        let outcome: Result<usize, ExecError> =
+            match catch_unwind(AssertUnwindSafe(|| match &self.rayon_pool {
+                Some(rp) => rp.install(|| body(&mut slots, pool, hooks)),
+                None => body(&mut slots, pool, hooks),
+            })) {
+                Ok(r) => r,
+                Err(p) => Err(ExecError::WorkerPanicked {
+                    op: "engine",
+                    detail: crate::ops::panic_detail(p),
+                }),
+            };
 
+        if outcome.is_err() {
+            // A failed pass stops mid-program, so its PoolFree ops never
+            // ran. Sweep pooled slots (known statically from the program)
+            // back into the free list: nothing leaks, live_bytes returns
+            // to its pre-run level, and the pool stays reusable.
+            let mut pooled_slot = vec![false; self.program.slots.len()];
+            for op in &self.program.ops {
+                if let ExecOp::PoolAlloc { slot } = op {
+                    pooled_slot[*slot] = true;
+                }
+            }
+            for (i, is_pooled) in pooled_slot.into_iter().enumerate() {
+                if is_pooled {
+                    if let Slot::Owned(b) = std::mem::replace(&mut slots[i], Slot::Empty) {
+                        self.pool.deallocate(b);
+                    }
+                }
+            }
+        }
+
+        // Publish trace deltas on both paths: a chaos run that ends in a
+        // typed error still shows its armed/fired/recovered counters in
+        // the --profile JSON.
         let stats = self.pool.stats();
         if self.trace.is_enabled() {
             self.trace.record_pool(&PoolSnapshot {
@@ -498,8 +617,29 @@ impl Engine {
                 parks: tc.parks.saturating_sub(prev.parks),
             });
             self.threads_reported = tc;
+
+            let snap = self.chaos.snapshot();
+            let delta = snap.delta_since(&self.chaos_reported);
+            self.chaos_reported = snap;
+            if delta.total_armed() > 0 {
+                let sites = FaultSite::all()
+                    .iter()
+                    .filter_map(|site| {
+                        let i = site.index();
+                        let (a, fi, r) = (delta.armed[i], delta.fired[i], delta.recovered[i]);
+                        (a | fi | r != 0).then(|| gmg_trace::ChaosSiteSnapshot {
+                            site: site.label().to_string(),
+                            armed: a,
+                            fired: fi,
+                            recovered: r,
+                        })
+                    })
+                    .collect();
+                self.trace.record_chaos(&gmg_trace::ChaosSnapshot { sites });
+            }
         }
 
+        let fresh_bytes = outcome?;
         Ok(RunStats {
             pool: stats,
             elapsed: start.elapsed(),
@@ -512,9 +652,7 @@ impl Engine {
 /// array.
 pub fn fill_ghost(data: &mut [f64], extents: &[i64], value: f64) {
     let origin = vec![0i64; extents.len()];
-    let interior = BoxDomain::new(
-        extents.iter().map(|&e| Interval::new(1, e - 2)).collect(),
-    );
+    let interior = BoxDomain::new(extents.iter().map(|&e| Interval::new(1, e - 2)).collect());
     let mut s = SpaceMut {
         data,
         origin: &origin,

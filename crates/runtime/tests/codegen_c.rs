@@ -45,7 +45,13 @@ fn two_level(n: i64, nc: i64) -> Pipeline {
         1,
         Op::Func(f).at(&[0, 0]) - stencil_2d(Op::Func(pre), &five(), 1.0),
     );
-    let r = p.restrict_fn("restrict", 2, nc, 0, restrict_full_weighting_2d(Op::Func(d)));
+    let r = p.restrict_fn(
+        "restrict",
+        2,
+        nc,
+        0,
+        restrict_full_weighting_2d(Op::Func(d)),
+    );
     let e = p.interp_fn("interp", 2, n, 1, r);
     let c = p.function(
         "correct",
@@ -82,10 +88,7 @@ fn run_c(c_src: &str, fn_name: &str, inputs: &[(&str, &[f64])], out_len: usize) 
     main_src.push_str("int main(void) {\n");
     let mut args = Vec::new();
     for (name, data) in inputs {
-        main_src.push_str(&format!(
-            "  static double {name}[{}];\n",
-            data.len()
-        ));
+        main_src.push_str(&format!("  static double {name}[{}];\n", data.len()));
         args.push((*name).to_string());
     }
     main_src.push_str(&format!("  static double OUT[{out_len}];\n"));

@@ -3,7 +3,9 @@
 //! whole stack: DSL → compile → plan → parallel execution.
 
 use gmg_ir::expr::Operand as Op;
-use gmg_ir::stencil::{restrict_full_weighting_2d, restrict_full_weighting_3d, stencil_2d, stencil_3d};
+use gmg_ir::stencil::{
+    restrict_full_weighting_2d, restrict_full_weighting_3d, stencil_2d, stencil_3d,
+};
 use gmg_ir::{ParamBindings, Pipeline, StepCount};
 use gmg_runtime::interp::run_reference;
 use gmg_runtime::Engine;
@@ -20,7 +22,14 @@ fn five() -> Vec<Vec<f64>> {
 fn seven() -> Vec<Vec<Vec<f64>>> {
     let mut w = vec![vec![vec![0.0; 3]; 3]; 3];
     w[1][1][1] = 6.0;
-    for (z, y, x) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+    for (z, y, x) in [
+        (0, 1, 1),
+        (2, 1, 1),
+        (1, 0, 1),
+        (1, 2, 1),
+        (1, 1, 0),
+        (1, 1, 2),
+    ] {
         w[z][y][x] = -1.0;
     }
     w
@@ -122,7 +131,14 @@ fn smoother_chain_2d() {
     fill(&mut fin, 2);
     zero_ghost_2d(&mut vin, e);
     zero_ghost_2d(&mut fin, e);
-    check_all_variants(&p, 2, vec![8, 16], &[("V", &vin), ("F", &fin)], "sm.s3", e * e);
+    check_all_variants(
+        &p,
+        2,
+        vec![8, 16],
+        &[("V", &vin), ("F", &fin)],
+        "sm.s3",
+        e * e,
+    );
 }
 
 #[test]
@@ -139,7 +155,15 @@ fn two_level_fragment_2d() {
     let jac = |state: Op, fop: Op| {
         state.at(&[0, 0]) - 0.2 * (stencil_2d(state, &five(), 1.0) - fop.at(&[0, 0]))
     };
-    let pre = p.tstencil("pre", 2, n, 1, StepCount::Fixed(2), Some(v), jac(Op::State, Op::Func(f)));
+    let pre = p.tstencil(
+        "pre",
+        2,
+        n,
+        1,
+        StepCount::Fixed(2),
+        Some(v),
+        jac(Op::State, Op::Func(f)),
+    );
     let d = p.function(
         "defect",
         2,
@@ -147,7 +171,13 @@ fn two_level_fragment_2d() {
         1,
         Op::Func(f).at(&[0, 0]) - stencil_2d(Op::Func(pre), &five(), 1.0),
     );
-    let r = p.restrict_fn("restrict", 2, nc, 0, restrict_full_weighting_2d(Op::Func(d)));
+    let r = p.restrict_fn(
+        "restrict",
+        2,
+        nc,
+        0,
+        restrict_full_weighting_2d(Op::Func(d)),
+    );
     let cs = p.tstencil(
         "coarse",
         2,
@@ -165,7 +195,15 @@ fn two_level_fragment_2d() {
         1,
         Op::Func(pre).at(&[0, 0]) + Op::Func(it).at(&[0, 0]),
     );
-    let post = p.tstencil("post", 2, n, 1, StepCount::Fixed(2), Some(c), jac(Op::State, Op::Func(f)));
+    let post = p.tstencil(
+        "post",
+        2,
+        n,
+        1,
+        StepCount::Fixed(2),
+        Some(c),
+        jac(Op::State, Op::Func(f)),
+    );
     p.mark_output(post);
 
     let mut vin = vec![0.0; e * e];
@@ -174,7 +212,14 @@ fn two_level_fragment_2d() {
     fill(&mut fin, 4);
     zero_ghost_2d(&mut vin, e);
     zero_ghost_2d(&mut fin, e);
-    check_all_variants(&p, 2, vec![8, 8], &[("V", &vin), ("F", &fin)], "post.s1", e * e);
+    check_all_variants(
+        &p,
+        2,
+        vec![8, 8],
+        &[("V", &vin), ("F", &fin)],
+        "post.s1",
+        e * e,
+    );
 }
 
 #[test]

@@ -178,14 +178,18 @@ fn pool_recycling_is_hygienic() {
     let (va, fa) = (mk_input(1), mk_input(2));
     let (vb, fb) = (mk_input(3), mk_input(4));
     let mut o1 = vec![0.0; e * e];
-    warm.run(&[("V", &va), ("F", &fa)], vec![("d", &mut o1)]).unwrap();
+    warm.run(&[("V", &va), ("F", &fa)], vec![("d", &mut o1)])
+        .unwrap();
     let mut warm_b = vec![0.0; e * e];
-    warm.run(&[("V", &vb), ("F", &fb)], vec![("d", &mut warm_b)]).unwrap();
+    warm.run(&[("V", &vb), ("F", &fb)], vec![("d", &mut warm_b)])
+        .unwrap();
 
     // fresh engine: run input B only
     let mut fresh = Engine::new(plan);
     let mut fresh_b = vec![0.0; e * e];
-    fresh.run(&[("V", &vb), ("F", &fb)], vec![("d", &mut fresh_b)]).unwrap();
+    fresh
+        .run(&[("V", &vb), ("F", &fb)], vec![("d", &mut fresh_b)])
+        .unwrap();
 
     assert_eq!(warm_b, fresh_b, "recycled buffers leaked state");
 }

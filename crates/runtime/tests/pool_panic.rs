@@ -1,0 +1,116 @@
+//! Chaos satellite: a worker panic inside the persistent pool must neither
+//! deadlock nor strand workers. The panic is contained to the op (region
+//! poisoning), surfaces as [`ExecError::WorkerPanicked`] from
+//! [`Engine::run`], and the same engine — same worker set, same buffer
+//! pool — must produce correct results on the next, fault-free run.
+
+use gmg_ir::expr::Operand;
+use gmg_ir::stencil::stencil_2d;
+use gmg_ir::{ParamBindings, Pipeline, StepCount};
+use gmg_runtime::{Engine, ExecError};
+use polymg::chaos::SITE_PANIC;
+use polymg::{compile, ChaosOptions, PipelineOptions, Variant};
+
+fn smoother_pipeline() -> Pipeline {
+    let n = 31i64;
+    let mut p = Pipeline::new("panic-pool");
+    let v = p.input("V", 2, n, 1);
+    let f = p.input("F", 2, n, 1);
+    let w = vec![
+        vec![0.0, 1.0, 0.0],
+        vec![1.0, -4.0, 1.0],
+        vec![0.0, 1.0, 0.0],
+    ];
+    let sm = p.tstencil(
+        "sm",
+        2,
+        n,
+        1,
+        StepCount::Fixed(3),
+        Some(v),
+        Operand::State.at(&[0, 0])
+            - 0.2 * (stencil_2d(Operand::State, &w, 1.0) - Operand::Func(f).at(&[0, 0])),
+    );
+    p.mark_output(sm);
+    p
+}
+
+fn opts() -> PipelineOptions {
+    let mut o = PipelineOptions::for_variant(Variant::Opt, 2);
+    o.threads = 3;
+    // several tiles per sweep so every run hits a real parallel region
+    o.tile_sizes = vec![8, 8];
+    o
+}
+
+fn run_once(engine: &mut Engine, out_name: &str) -> Result<Vec<f64>, ExecError> {
+    let e = 33usize;
+    let v = vec![0.5; e * e];
+    let f = vec![0.25; e * e];
+    let mut out = vec![0.0; e * e];
+    engine.run(&[("V", &v), ("F", &f)], vec![(out_name, &mut out)])?;
+    Ok(out)
+}
+
+#[test]
+fn worker_panic_is_contained_and_pool_stays_usable() {
+    let plan = compile(&smoother_pipeline(), &ParamBindings::new(), opts()).unwrap();
+    let out_name = plan
+        .graph
+        .stages
+        .iter()
+        .find(|s| s.is_output)
+        .unwrap()
+        .name
+        .clone();
+
+    // fault-free reference from an independent engine
+    let mut ref_engine = Engine::new(plan.clone());
+    let reference = run_once(&mut ref_engine, &out_name).unwrap();
+
+    let mut engine = Engine::new(plan);
+    let clean = run_once(&mut engine, &out_name).unwrap();
+    assert_eq!(clean, reference);
+    let workers_before = engine.thread_counters().workers_spawned;
+    assert_eq!(
+        workers_before, 2,
+        "threads=3 should have spawned exactly threads-1 persistent workers"
+    );
+
+    // every parallel item panics; the run must return a typed error, not
+    // deadlock and not unwind through Engine::run
+    engine.set_chaos(Some(ChaosOptions::new(11, 1.0).with_sites(SITE_PANIC)));
+    let err = run_once(&mut engine, &out_name)
+        .expect_err("an injected worker panic must surface as an error");
+    assert!(
+        matches!(err, ExecError::WorkerPanicked { .. }),
+        "expected WorkerPanicked, got: {err}"
+    );
+    assert_eq!(
+        engine.thread_counters().workers_spawned,
+        workers_before,
+        "the panic must not kill or respawn pool workers"
+    );
+    let snap = engine.chaos_stats();
+    assert!(snap.total_fired() > 0, "the panic site must have fired");
+
+    // disarmed: the very same engine (workers, pool) computes the correct
+    // result again — nothing was deadlocked, stranded, or poisoned for good
+    engine.set_chaos(None);
+    let regions_before = engine.thread_counters().regions;
+    let recovered = run_once(&mut engine, &out_name).expect("engine must stay usable");
+    assert_eq!(
+        recovered, reference,
+        "post-panic run must be bitwise-identical to the fault-free result"
+    );
+    let counters = engine.thread_counters();
+    assert_eq!(
+        counters.workers_spawned, workers_before,
+        "recovery must reuse the existing worker set"
+    );
+    assert!(
+        counters.regions > regions_before,
+        "the recovery run must have executed real parallel regions"
+    );
+    assert_eq!(engine.pool_stats().live_bytes, 0, "no pool slot leaked");
+}

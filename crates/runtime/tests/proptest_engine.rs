@@ -10,12 +10,7 @@ use gmg_runtime::Engine;
 use polymg::{compile, PipelineOptions, Variant};
 use proptest::prelude::*;
 
-fn build(
-    weights: &[Vec<f64>],
-    steps: usize,
-    with_restrict: bool,
-    with_interp: bool,
-) -> Pipeline {
+fn build(weights: &[Vec<f64>], steps: usize, with_restrict: bool, with_interp: bool) -> Pipeline {
     let n = 15i64;
     let nc = 7i64;
     let mut p = Pipeline::new("fuzz");

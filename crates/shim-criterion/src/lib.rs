@@ -38,11 +38,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(group: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { text: format!("{group}/{parameter}") }
+        BenchmarkId {
+            text: format!("{group}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -66,7 +70,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group {name}");
-        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
@@ -102,7 +110,10 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
-    let mut b = Bencher { samples, best: None };
+    let mut b = Bencher {
+        samples,
+        best: None,
+    };
     f(&mut b);
     match b.best {
         Some(best) => println!("  {label}: best {best:?} of {samples} samples"),

@@ -152,14 +152,20 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_excl: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_excl: n + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi_excl: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_excl: r.end,
+            }
         }
     }
 
@@ -167,7 +173,10 @@ pub mod collection {
     impl From<Range<i32>> for SizeRange {
         fn from(r: Range<i32>) -> Self {
             assert!(0 <= r.start && r.start < r.end, "bad size range");
-            SizeRange { lo: r.start as usize, hi_excl: r.end as usize }
+            SizeRange {
+                lo: r.start as usize,
+                hi_excl: r.end as usize,
+            }
         }
     }
 
@@ -177,7 +186,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

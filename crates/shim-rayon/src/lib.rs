@@ -31,7 +31,7 @@
 use std::cell::{Cell, RefCell};
 use std::ops::{Range, RangeInclusive};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
@@ -45,7 +45,9 @@ thread_local! {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Number of threads the current scope parallelises over.
@@ -103,6 +105,9 @@ pub struct PoolCounters {
     pub steals: u64,
     /// Times a worker parked waiting for work.
     pub parks: u64,
+    /// Items claimed but dropped unexecuted because their region was
+    /// poisoned by an earlier panic.
+    pub cancelled: u64,
 }
 
 /// Counters of the process-wide pool (zeros until its first region).
@@ -202,6 +207,12 @@ struct RegionHeader {
     /// Persistent workers currently inside the region's `participate`.
     active: AtomicUsize,
     steals: AtomicU64,
+    /// Set by the first panicking item; later items of this region are
+    /// claimed and dropped instead of executed, so the region drains fast
+    /// and the damage never spreads past its own item list.
+    poisoned: AtomicBool,
+    /// Items cancelled because the region was poisoned.
+    cancelled: AtomicU64,
     done: Mutex<()>,
     done_cv: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
@@ -255,6 +266,7 @@ struct PoolInner {
     items: AtomicU64,
     steals: AtomicU64,
     parks: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 /// True while any queue of the region still holds unclaimed items.
@@ -283,7 +295,12 @@ unsafe fn participate<I: Send, F: Fn(I) + Sync>(ctx: *const (), slot: usize) {
         // Claim the item by value; a panicking closure drops it during
         // unwinding, so nothing leaks and the region still completes.
         let item = std::ptr::read(ctx.items.add(idx));
-        if let Err(e) = catch_unwind(AssertUnwindSafe(|| f(item))) {
+        if header.poisoned.load(Ordering::Acquire) {
+            // A sibling item already panicked: drop this one unexecuted.
+            drop(item);
+            header.cancelled.fetch_add(1, Ordering::Relaxed);
+        } else if let Err(e) = catch_unwind(AssertUnwindSafe(|| f(item))) {
+            header.poisoned.store(true, Ordering::Release);
             let mut first = header.panic.lock().unwrap();
             if first.is_none() {
                 *first = Some(e);
@@ -374,6 +391,7 @@ impl PoolInner {
             items: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         })
     }
 
@@ -405,6 +423,7 @@ impl PoolInner {
             items: self.items.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
         }
     }
 
@@ -422,6 +441,8 @@ impl PoolInner {
             remaining: AtomicUsize::new(len),
             active: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            cancelled: AtomicU64::new(0),
             done: Mutex::new(()),
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
@@ -480,6 +501,8 @@ impl PoolInner {
         }
         self.steals
             .fetch_add(header.steals.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.cancelled
+            .fetch_add(header.cancelled.load(Ordering::Relaxed), Ordering::Relaxed);
         drop(items);
         let p = header.panic.lock().unwrap().take();
         if let Some(p) = p {
@@ -539,8 +562,7 @@ impl Drop for Restore {
 impl ThreadPool {
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
         let prev_threads = CURRENT_THREADS.with(|c| c.replace(self.inner.threads));
-        let prev_pool =
-            CURRENT_POOL.with(|c| c.replace(Some(Arc::clone(&self.inner))));
+        let prev_pool = CURRENT_POOL.with(|c| c.replace(Some(Arc::clone(&self.inner))));
         let _restore = Restore(prev_threads, prev_pool);
         op()
     }
@@ -882,6 +904,40 @@ mod tests {
         let seen = seen.lock().unwrap();
         assert!(seen.iter().all(|&i| i < 3), "indices within 0..threads");
         assert!(seen.contains(&0), "the caller participates as slot 0");
+    }
+
+    #[test]
+    fn poisoned_region_cancels_remaining_items() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let executed = AtomicUsize::new(0);
+        let len = 256usize;
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..len).into_par_iter().for_each(|i| {
+                    if i == 0 {
+                        // first item of the caller's queue: poisons the
+                        // region before its ~127 siblings run
+                        panic!("first item exploded");
+                    }
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                });
+            });
+        }));
+        assert!(r.is_err(), "the first panic must reach the caller");
+        assert!(
+            executed.load(Ordering::Relaxed) < len - 1,
+            "poisoning should cancel at least some queued items"
+        );
+        assert!(pool.counters().cancelled >= 1, "no cancellation recorded");
+        // no worker deadlocked or died: the pool serves the next region
+        let total = AtomicU64::new(0);
+        pool.install(|| {
+            (0..16usize).into_par_iter().for_each(|i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 120);
     }
 
     #[test]

@@ -27,8 +27,13 @@ pub enum Kind {
 
 pub const KINDS: usize = 5;
 
-pub const LABELS: [&str; KINDS] =
-    ["unit_unrolled", "unit_factored", "unit_fallback", "strided", "interpreter"];
+pub const LABELS: [&str; KINDS] = [
+    "unit_unrolled",
+    "unit_factored",
+    "unit_fallback",
+    "strided",
+    "interpreter",
+];
 
 #[cfg(feature = "capture")]
 static COUNTS: [AtomicU64; KINDS] = [const { AtomicU64::new(0) }; KINDS];

@@ -125,6 +125,27 @@ pub(crate) fn report_to_json(r: &Report) -> String {
         "  \"comm\": {{\"messages\": {}, \"doubles\": {}, \"collectives\": {}}},\n",
         r.comm.messages, r.comm.doubles, r.comm.collectives
     ));
+    s.push_str(&format!(
+        "  \"chaos\": {{\"armed\": {}, \"fired\": {}, \"recovered\": {}, \"sites\": [",
+        r.chaos.total_armed(),
+        r.chaos.total_fired(),
+        r.chaos.total_recovered()
+    ));
+    for (i, site) in r.chaos.sites.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"site\": ");
+        esc(&mut s, &site.site);
+        s.push_str(&format!(
+            ", \"armed\": {}, \"fired\": {}, \"recovered\": {}}}",
+            site.armed, site.fired, site.recovered
+        ));
+    }
+    if !r.chaos.sites.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]},\n");
     s.push_str("  \"cycles\": [");
     for (i, c) in r.cycles.iter().enumerate() {
         if i > 0 {

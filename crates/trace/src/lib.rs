@@ -91,6 +91,47 @@ pub struct CycleEvent {
     pub residual: f64,
 }
 
+/// Fault-injection counters for one chaos site (`polymg::chaos` sites are
+/// identified by their stable label, e.g. `"pool_alloc"`, `"halo_drop"`,
+/// so this crate stays free of a `polymg` dependency).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosSiteSnapshot {
+    /// Stable site label (`FaultSite::label()`).
+    pub site: String,
+    /// Times the site was consulted.
+    pub armed: u64,
+    /// Times the site fired a fault.
+    pub fired: u64,
+    /// Times a fired fault was recovered from.
+    pub recovered: u64,
+}
+
+/// Delta of chaos counters between two observations, merged per site.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosSnapshot {
+    pub sites: Vec<ChaosSiteSnapshot>,
+}
+
+impl ChaosSnapshot {
+    pub fn total_armed(&self) -> u64 {
+        self.sites.iter().map(|s| s.armed).sum()
+    }
+
+    pub fn total_fired(&self) -> u64 {
+        self.sites.iter().map(|s| s.fired).sum()
+    }
+
+    pub fn total_recovered(&self) -> u64 {
+        self.sites.iter().map(|s| s.recovered).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sites
+            .iter()
+            .all(|s| s.armed == 0 && s.fired == 0 && s.recovered == 0)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Sink trait + implementations
 // ---------------------------------------------------------------------------
@@ -113,6 +154,7 @@ pub trait TraceSink: Send + Sync {
     fn record_threads(&self, delta: &ThreadsSnapshot);
     fn record_comm(&self, delta: &CommSnapshot);
     fn record_cycle(&self, event: CycleEvent);
+    fn record_chaos(&self, delta: &ChaosSnapshot);
 }
 
 /// Sink that drops everything; useful to exercise plumbing in tests.
@@ -127,6 +169,7 @@ impl TraceSink for NoopSink {
     fn record_threads(&self, _: &ThreadsSnapshot) {}
     fn record_comm(&self, _: &CommSnapshot) {}
     fn record_cycle(&self, _: CycleEvent) {}
+    fn record_chaos(&self, _: &ChaosSnapshot) {}
 }
 
 /// Per-stage aggregate. Hot-path updates are relaxed atomic adds through
@@ -214,6 +257,7 @@ pub struct AtomicSink {
     comm_doubles: AtomicU64,
     comm_collectives: AtomicU64,
     cycles: Mutex<Vec<CycleEvent>>,
+    chaos: Mutex<Vec<ChaosSiteSnapshot>>,
     meta: Mutex<Vec<(String, String)>>,
 }
 
@@ -250,8 +294,10 @@ impl TraceSink for AtomicSink {
     fn record_pool(&self, delta: &PoolSnapshot) {
         self.pool_hits.fetch_add(delta.hits, Ordering::Relaxed);
         self.pool_misses.fetch_add(delta.misses, Ordering::Relaxed);
-        self.pool_allocated.fetch_add(delta.allocated_bytes, Ordering::Relaxed);
-        self.pool_peak.fetch_max(delta.peak_live_bytes, Ordering::Relaxed);
+        self.pool_allocated
+            .fetch_add(delta.allocated_bytes, Ordering::Relaxed);
+        self.pool_peak
+            .fetch_max(delta.peak_live_bytes, Ordering::Relaxed);
     }
 
     fn record_arena(&self, created: u64, recycled: u64) {
@@ -271,21 +317,40 @@ impl TraceSink for AtomicSink {
     }
 
     fn record_threads(&self, delta: &ThreadsSnapshot) {
-        self.threads_workers.fetch_max(delta.workers, Ordering::Relaxed);
-        self.threads_regions.fetch_add(delta.regions, Ordering::Relaxed);
+        self.threads_workers
+            .fetch_max(delta.workers, Ordering::Relaxed);
+        self.threads_regions
+            .fetch_add(delta.regions, Ordering::Relaxed);
         self.threads_items.fetch_add(delta.items, Ordering::Relaxed);
-        self.threads_steals.fetch_add(delta.steals, Ordering::Relaxed);
+        self.threads_steals
+            .fetch_add(delta.steals, Ordering::Relaxed);
         self.threads_parks.fetch_add(delta.parks, Ordering::Relaxed);
     }
 
     fn record_comm(&self, delta: &CommSnapshot) {
-        self.comm_messages.fetch_add(delta.messages, Ordering::Relaxed);
-        self.comm_doubles.fetch_add(delta.doubles, Ordering::Relaxed);
-        self.comm_collectives.fetch_add(delta.collectives, Ordering::Relaxed);
+        self.comm_messages
+            .fetch_add(delta.messages, Ordering::Relaxed);
+        self.comm_doubles
+            .fetch_add(delta.doubles, Ordering::Relaxed);
+        self.comm_collectives
+            .fetch_add(delta.collectives, Ordering::Relaxed);
     }
 
     fn record_cycle(&self, event: CycleEvent) {
         self.cycles.lock().unwrap().push(event);
+    }
+
+    fn record_chaos(&self, delta: &ChaosSnapshot) {
+        let mut merged = self.chaos.lock().unwrap();
+        for d in &delta.sites {
+            if let Some(m) = merged.iter_mut().find(|m| m.site == d.site) {
+                m.armed += d.armed;
+                m.fired += d.fired;
+                m.recovered += d.recovered;
+            } else {
+                merged.push(d.clone());
+            }
+        }
     }
 }
 
@@ -312,7 +377,9 @@ impl Trace {
     pub fn enabled() -> Trace {
         #[cfg(feature = "capture")]
         {
-            Trace { sink: Some(Arc::new(AtomicSink::default())) }
+            Trace {
+                sink: Some(Arc::new(AtomicSink::default())),
+            }
         }
         #[cfg(not(feature = "capture"))]
         {
@@ -328,7 +395,9 @@ impl Trace {
     /// Intern a stage and return a hot-path handle for it. Call once per
     /// stage at setup time, not per tile.
     pub fn stage(&self, name: &str, kind: &str) -> StageHandle {
-        StageHandle { agg: self.sink.as_ref().map(|s| s.intern(name, kind)) }
+        StageHandle {
+            agg: self.sink.as_ref().map(|s| s.intern(name, kind)),
+        }
     }
 
     /// Intern a schedule op (by program index + mnemonic) and return a
@@ -389,7 +458,18 @@ impl Trace {
 
     pub fn record_cycle(&self, index: u64, ns: u64, residual: f64) {
         if let Some(s) = &self.sink {
-            s.record_cycle(CycleEvent { index, ns, residual });
+            s.record_cycle(CycleEvent {
+                index,
+                ns,
+                residual,
+            });
+        }
+    }
+
+    /// Fault-injection counter deltas, merged per site label.
+    pub fn record_chaos(&self, delta: &ChaosSnapshot) {
+        if let Some(s) = &self.sink {
+            s.record_chaos(delta);
         }
     }
 
@@ -467,6 +547,9 @@ impl Trace {
                 messages: sink.comm_messages.load(Ordering::Relaxed),
                 doubles: sink.comm_doubles.load(Ordering::Relaxed),
                 collectives: sink.comm_collectives.load(Ordering::Relaxed),
+            },
+            chaos: ChaosSnapshot {
+                sites: sink.chaos.lock().unwrap().clone(),
             },
             cycles: sink.cycles.lock().unwrap().clone(),
         })
@@ -568,6 +651,8 @@ pub struct Report {
     /// Per-worker `(created, recycled)` arena counts, indexed by worker slot.
     pub arena_workers: Vec<(u64, u64)>,
     pub comm: CommSnapshot,
+    /// Fault-injection counters per chaos site (empty when chaos is off).
+    pub chaos: ChaosSnapshot,
     pub cycles: Vec<CycleEvent>,
 }
 
@@ -608,8 +693,18 @@ mod tests {
     #[test]
     fn pool_deltas_sum_and_peak_maxes() {
         let t = Trace::enabled();
-        t.record_pool(&PoolSnapshot { hits: 1, misses: 2, allocated_bytes: 100, peak_live_bytes: 80 });
-        t.record_pool(&PoolSnapshot { hits: 3, misses: 0, allocated_bytes: 0, peak_live_bytes: 40 });
+        t.record_pool(&PoolSnapshot {
+            hits: 1,
+            misses: 2,
+            allocated_bytes: 100,
+            peak_live_bytes: 80,
+        });
+        t.record_pool(&PoolSnapshot {
+            hits: 3,
+            misses: 0,
+            allocated_bytes: 0,
+            peak_live_bytes: 40,
+        });
         let r = t.report().unwrap();
         assert_eq!(r.pool.hits, 4);
         assert_eq!(r.pool.misses, 2);
@@ -623,12 +718,30 @@ mod tests {
         t.set_meta("source", "unit-test \"quoted\"");
         t.stage("sm", "diamond").record(1_000, 4, 256);
         t.record_cycle(0, 2_000, 0.125);
-        t.record_comm(&CommSnapshot { messages: 2, doubles: 128, collectives: 1 });
+        t.record_comm(&CommSnapshot {
+            messages: 2,
+            doubles: 128,
+            collectives: 1,
+        });
         let s = t.report().unwrap().to_json();
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
-        for key in ["\"meta\"", "\"stages\"", "\"ops\"", "\"plan_cache\"", "\"dispatch\"", "\"kernel_impls\"", "\"threads\"", "\"pool\"", "\"arena\"", "\"workers\"", "\"comm\"", "\"cycles\""] {
+        for key in [
+            "\"meta\"",
+            "\"stages\"",
+            "\"ops\"",
+            "\"plan_cache\"",
+            "\"dispatch\"",
+            "\"kernel_impls\"",
+            "\"threads\"",
+            "\"pool\"",
+            "\"arena\"",
+            "\"workers\"",
+            "\"comm\"",
+            "\"chaos\"",
+            "\"cycles\"",
+        ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
         assert!(s.contains("\\\"quoted\\\""));
@@ -646,7 +759,10 @@ mod tests {
         t.record_plan_cache(7, 2); // snapshot semantics: last publish wins
         let r = t.report().unwrap();
         assert_eq!(r.ops.len(), 2);
-        assert_eq!((r.ops[0].index, r.ops[0].mnemonic.as_str()), (0, "pool_alloc"));
+        assert_eq!(
+            (r.ops[0].index, r.ops[0].mnemonic.as_str()),
+            (0, "pool_alloc")
+        );
         assert_eq!((r.ops[1].ns, r.ops[1].invocations), (500, 2));
         assert_eq!(r.plan_cache, PlanCacheSnapshot { hits: 7, misses: 2 });
     }
@@ -660,19 +776,88 @@ mod tests {
         s.record_arena_workers(&[(1, 0)]);
         s.record_threads(&ThreadsSnapshot::default());
         s.record_comm(&CommSnapshot::default());
-        s.record_cycle(CycleEvent { index: 0, ns: 1, residual: 0.0 });
+        s.record_cycle(CycleEvent {
+            index: 0,
+            ns: 1,
+            residual: 0.0,
+        });
+        s.record_chaos(&ChaosSnapshot::default());
+    }
+
+    #[test]
+    fn chaos_deltas_merge_per_site() {
+        let t = Trace::enabled();
+        t.record_chaos(&ChaosSnapshot {
+            sites: vec![
+                ChaosSiteSnapshot {
+                    site: "pool_alloc".into(),
+                    armed: 4,
+                    fired: 2,
+                    recovered: 2,
+                },
+                ChaosSiteSnapshot {
+                    site: "halo_drop".into(),
+                    armed: 1,
+                    fired: 1,
+                    recovered: 1,
+                },
+            ],
+        });
+        t.record_chaos(&ChaosSnapshot {
+            sites: vec![ChaosSiteSnapshot {
+                site: "pool_alloc".into(),
+                armed: 2,
+                fired: 1,
+                recovered: 1,
+            }],
+        });
+        let r = t.report().unwrap();
+        assert_eq!(r.chaos.sites.len(), 2);
+        let pa = r
+            .chaos
+            .sites
+            .iter()
+            .find(|s| s.site == "pool_alloc")
+            .unwrap();
+        assert_eq!((pa.armed, pa.fired, pa.recovered), (6, 3, 3));
+        assert_eq!(r.chaos.total_fired(), 4);
+        let s = r.to_json();
+        assert!(s.contains("\"chaos\""));
+        assert!(s.contains("\"pool_alloc\""));
+        assert!(s.contains("\"fired\": 4"), "totals line missing in {s}");
     }
 
     #[test]
     fn threads_workers_max_merge_and_arena_workers_sum() {
         let t = Trace::enabled();
-        t.record_threads(&ThreadsSnapshot { workers: 3, regions: 2, items: 10, steals: 1, parks: 4 });
-        t.record_threads(&ThreadsSnapshot { workers: 3, regions: 1, items: 5, steals: 0, parks: 2 });
+        t.record_threads(&ThreadsSnapshot {
+            workers: 3,
+            regions: 2,
+            items: 10,
+            steals: 1,
+            parks: 4,
+        });
+        t.record_threads(&ThreadsSnapshot {
+            workers: 3,
+            regions: 1,
+            items: 5,
+            steals: 0,
+            parks: 2,
+        });
         t.record_arena_workers(&[(2, 0), (1, 3)]);
         t.record_arena_workers(&[(0, 2), (0, 1), (1, 0)]);
         let r = t.report().unwrap();
         // workers is a level (max), the rest accumulate
-        assert_eq!(r.threads, ThreadsSnapshot { workers: 3, regions: 3, items: 15, steals: 1, parks: 6 });
+        assert_eq!(
+            r.threads,
+            ThreadsSnapshot {
+                workers: 3,
+                regions: 3,
+                items: 15,
+                steals: 1,
+                parks: 6
+            }
+        );
         assert_eq!(r.arena_workers, vec![(2, 2), (1, 4), (1, 0)]);
         let s = r.to_json();
         assert!(s.contains("\"workers\": 3"));

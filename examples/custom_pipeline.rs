@@ -38,8 +38,7 @@ fn main() {
         StepCount::Fixed(6),
         Some(v),
         Op::State.at(&[0, 0])
-            + w * (stencil_2d(Op::State, &nine, 1.0 / (6.0 * h * h))
-                + Op::Func(f).at(&[0, 0])),
+            + w * (stencil_2d(Op::State, &nine, 1.0 / (6.0 * h * h)) + Op::Func(f).at(&[0, 0])),
     );
     let d = p.function(
         "defect",
@@ -48,7 +47,13 @@ fn main() {
         1,
         Op::Func(f).at(&[0, 0]) + stencil_2d(Op::Func(smooth), &nine, 1.0 / (6.0 * h * h)),
     );
-    let r = p.restrict_fn("restrict", 2, nc, 0, restrict_full_weighting_2d(Op::Func(d)));
+    let r = p.restrict_fn(
+        "restrict",
+        2,
+        nc,
+        0,
+        restrict_full_weighting_2d(Op::Func(d)),
+    );
     let e = p.interp_fn("interp", 2, n, 1, r);
     let out = p.function(
         "out",

@@ -35,7 +35,8 @@ fn main() {
         let mut dist = DistPoisson2D::new(cfg.clone(), 8, depth);
         let mut v = v0.clone();
         for _ in 0..3 {
-            dist.cycle(&mut v, &f);
+            dist.cycle(&mut v, &f)
+                .expect("fault-free distributed cycle");
         }
         let dev = v
             .iter()

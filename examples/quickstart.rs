@@ -30,8 +30,7 @@ fn main() {
     cfg.levels = 7;
 
     let opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
-    let mut runner =
-        DslRunner::new(&cfg, opts, "polymg-opt+").expect("pipeline failed to compile");
+    let mut runner = DslRunner::new(&cfg, opts, "polymg-opt+").expect("pipeline failed to compile");
 
     println!(
         "compiled {}: {} stages in {} groups",
@@ -49,7 +48,10 @@ fn main() {
     for it in 1..=12 {
         runner.cycle(&mut v, &f);
         let r = residual_norm(2, n, h, &v, &f);
-        println!("cycle {it:>2}: residual {r:.3e}  (reduction {:.3e})", r / r0);
+        println!(
+            "cycle {it:>2}: residual {r:.3e}  (reduction {:.3e})",
+            r / r0
+        );
         if r < r0 * 1e-10 {
             break;
         }
@@ -60,5 +62,8 @@ fn main() {
     for (a, b) in v.iter().zip(&u_exact) {
         max_err = max_err.max((a - b).abs());
     }
-    println!("max error vs exact solution: {max_err:.3e} (O(h²) = {:.3e})", h * h);
+    println!(
+        "max error vs exact solution: {max_err:.3e} (O(h²) = {:.3e})",
+        h * h
+    );
 }

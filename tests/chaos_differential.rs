@@ -1,0 +1,149 @@
+//! Chaos differential suite (DESIGN.md §12): random multigrid pipelines ×
+//! random fault plans. The invariant is three-sided:
+//!
+//! * a run whose injected faults were all *recovered* (pool/arena
+//!   exhaustion, halo retries) is bitwise-identical to the fault-free run;
+//! * an *unrecoverable* fault (op fault, worker panic) surfaces as a typed
+//!   [`ExecError`] — never a panic, never a deadlock — and the same engine
+//!   keeps working for subsequent cycles;
+//! * chaos never changes what is compiled: the fault-free and chaos
+//!   runners share one cached plan (chaos is excluded from the plan
+//!   fingerprint), so any divergence is an execution bug, not a plan diff.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use polymg_repro::compiler::chaos::SITE_ALL;
+use polymg_repro::compiler::{ChaosOptions, PipelineOptions, Variant};
+use polymg_repro::mg::config::{CycleType, MgConfig, SmoothSteps};
+use polymg_repro::mg::solver::{setup_poisson, DslRunner};
+
+const CYCLES: usize = 2;
+
+fn config(ndims: usize, cycle: CycleType) -> MgConfig {
+    let n = if ndims == 2 { 31 } else { 15 };
+    let steps = SmoothSteps {
+        pre: 2,
+        coarse: 2,
+        post: 2,
+    };
+    let mut cfg = MgConfig::new(ndims, n, cycle, steps);
+    cfg.levels = 3;
+    cfg
+}
+
+fn options(variant: Variant, ndims: usize, specialize: bool) -> PipelineOptions {
+    let mut opts = PipelineOptions::for_variant(variant, ndims);
+    opts.tile_sizes = if ndims == 2 {
+        vec![8, 16]
+    } else {
+        vec![4, 4, 8]
+    };
+    opts.threads = 2;
+    opts.specialize = specialize;
+    opts
+}
+
+/// Fault-free reference trajectory.
+fn reference(cfg: &MgConfig, opts: PipelineOptions) -> Vec<f64> {
+    let (mut v, f, _) = setup_poisson(cfg);
+    let mut runner = DslRunner::new(cfg, opts, "ref").expect("reference compile");
+    for _ in 0..CYCLES {
+        runner
+            .cycle_with_stats(&mut v, &f)
+            .expect("fault-free cycle");
+    }
+    v
+}
+
+/// Drive `CYCLES` cycles under an armed fault plan. Typed errors are
+/// tolerated (and the engine is re-driven afterwards — it must stay
+/// usable); a panic escaping `Engine::run` fails the property.
+/// Returns `(final_v, every_cycle_ok)` or the panic payload.
+fn chaos_run(cfg: &MgConfig, opts: PipelineOptions) -> Result<(Vec<f64>, bool), String> {
+    let (mut v, f, _) = setup_poisson(cfg);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut runner = DslRunner::new(cfg, opts, "chaos").expect("chaos compile");
+        let mut all_ok = true;
+        for _ in 0..CYCLES {
+            if runner.cycle_with_stats(&mut v, &f).is_err() {
+                all_ok = false;
+            }
+        }
+        all_ok
+    }));
+    match outcome {
+        Ok(all_ok) => Ok((v, all_ok)),
+        Err(p) => Err(p
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into())),
+    }
+}
+
+fn check_case(
+    ndims: usize,
+    cycle: CycleType,
+    variant: Variant,
+    specialize: bool,
+    seed: u64,
+    rate: f64,
+    sites: u8,
+) -> Result<(), String> {
+    let cfg = config(ndims, cycle);
+    let clean = reference(&cfg, options(variant, ndims, specialize));
+
+    let mut opts = options(variant, ndims, specialize);
+    opts.chaos = Some(ChaosOptions::new(seed, rate).with_sites(sites & SITE_ALL));
+    let (v, all_ok) =
+        chaos_run(&cfg, opts).map_err(|p| format!("panic escaped Engine::run under chaos: {p}"))?;
+    if all_ok && v != clean {
+        return Err(format!(
+            "every fault was recovered (all cycles Ok) but the result diverged \
+             from the fault-free run ({} {:?} {:?} seed={seed} rate={rate} sites={sites:#07b})",
+            cfg.tag(),
+            variant,
+            specialize,
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random pipeline × random fault plan: bitwise after recovery, or a
+    /// typed error — never a panic.
+    #[test]
+    fn chaos_is_bitwise_recoverable_or_typed(
+        ndims_sel in 0u8..2,
+        cycle_sel in 0u8..2,
+        variant_sel in 0u8..2,
+        spec_sel in 0u8..2,
+        seed in 0u64..1_000_000_000,
+        rate in 0.0f64..0.5,
+        sites in 1u8..=SITE_ALL,
+    ) {
+        let ndims = if ndims_sel == 0 { 2 } else { 3 };
+        let cycle = if cycle_sel == 0 { CycleType::V } else { CycleType::W };
+        let variant = if variant_sel == 0 { Variant::OptPlus } else { Variant::DtileOptPlus };
+        let specialize = spec_sel == 1;
+        if let Err(msg) = check_case(ndims, cycle, variant, specialize, seed, rate, sites) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+/// Deterministic CI gate (`ci.sh` runs this suite): three fixed seeds over
+/// a fixed config with every site armed at a fault-heavy rate.
+#[test]
+fn fixed_seeds_gate() {
+    for seed in [1u64, 2, 3] {
+        for &(ndims, variant) in &[(2, Variant::OptPlus), (3, Variant::DtileOptPlus)] {
+            check_case(ndims, CycleType::V, variant, true, seed, 0.2, SITE_ALL)
+                .unwrap_or_else(|msg| panic!("seed {seed}: {msg}"));
+        }
+    }
+}

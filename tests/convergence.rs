@@ -32,10 +32,7 @@ fn h_independent_convergence_2d() {
     }
     let max = factors.iter().cloned().fold(0.0f64, f64::max);
     let min = factors.iter().cloned().fold(1.0f64, f64::min);
-    assert!(
-        max < 0.2,
-        "V-cycle factor degraded with size: {factors:?}"
-    );
+    assert!(max < 0.2, "V-cycle factor degraded with size: {factors:?}");
     assert!(
         max / min.max(1e-9) < 4.0,
         "convergence not h-independent: {factors:?}"

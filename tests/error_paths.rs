@@ -53,10 +53,7 @@ fn ambiguous_upsampling_is_a_compile_error() {
     );
     p.mark_output(a);
     let err = compile(&p, &ParamBindings::new(), opts()).unwrap_err();
-    assert!(
-        err.iter().any(|e| e.contains("parity-pinned")),
-        "{err:?}"
-    );
+    assert!(err.iter().any(|e| e.contains("parity-pinned")), "{err:?}");
 }
 
 #[test]
@@ -105,7 +102,9 @@ fn missized_input_is_a_typed_run_error() {
     let mut engine = Engine::new(plan);
     let vin = vec![0.0; 10]; // must be 17*17
     let mut out = vec![0.0; 17 * 17];
-    let err = engine.run(&[("V", &vin)], vec![("a", &mut out)]).unwrap_err();
+    let err = engine
+        .run(&[("V", &vin)], vec![("a", &mut out)])
+        .unwrap_err();
     match &err {
         ExecError::WrongSize {
             name,

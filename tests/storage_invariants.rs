@@ -49,7 +49,11 @@ fn groups_partition_live_stages() {
         let live = polymg::grouping::live_stages(&plan.graph);
         for (i, st) in plan.graph.stages.iter().enumerate() {
             let expected = usize::from(st.kind == StageKind::Compute && live[i]);
-            assert_eq!(seen[i], expected, "{tag}: stage {} seen {}x", st.name, seen[i]);
+            assert_eq!(
+                seen[i], expected,
+                "{tag}: stage {} seen {}x",
+                st.name, seen[i]
+            );
         }
     }
 }
@@ -89,7 +93,10 @@ fn every_group_stage_has_storage() {
         for (i, st) in plan.graph.stages.iter().enumerate() {
             if st.is_output {
                 let a = plan.storage.array_of_stage[i].expect("output without array");
-                assert!(plan.storage.arrays[a].external, "{tag}: output not external");
+                assert!(
+                    plan.storage.arrays[a].external,
+                    "{tag}: output not external"
+                );
             }
         }
     }
@@ -169,10 +176,16 @@ fn pool_schedule_respects_uses() {
                     continue;
                 }
                 if let Some(al) = alloc_at[a] {
-                    assert!(al <= gi, "{tag}: array {a} used in group {gi} before alloc {al}");
+                    assert!(
+                        al <= gi,
+                        "{tag}: array {a} used in group {gi} before alloc {al}"
+                    );
                 }
                 if let Some(fr) = free_at[a] {
-                    assert!(fr >= gi, "{tag}: array {a} used in group {gi} after free {fr}");
+                    assert!(
+                        fr >= gi,
+                        "{tag}: array {a} used in group {gi} after free {fr}"
+                    );
                 }
             }
         }
@@ -188,7 +201,11 @@ fn storage_monotone_across_variants() {
         let pipeline = build_cycle_pipeline(&cfg);
         let bytes = |v: Variant| {
             let mut opts = PipelineOptions::for_variant(v, ndims);
-            opts.tile_sizes = if ndims == 2 { vec![16, 32] } else { vec![8, 8, 16] };
+            opts.tile_sizes = if ndims == 2 {
+                vec![16, 32]
+            } else {
+                vec![8, 8, 16]
+            };
             compile(&pipeline, &ParamBindings::new(), opts)
                 .unwrap()
                 .storage
