@@ -38,4 +38,27 @@ cargo run --release -p gmg-bench --bin perf-smoke -- -o /tmp/bench_pr3_ci.json -
 grep -q '"median_ns_per_point"' /tmp/bench_pr3_ci.json \
   || { echo "ci: perf-smoke wrote no benchmark rows" >&2; exit 1; }
 
+# serving gate (DESIGN.md §13): start the solve service on loopback, drive
+# it with the verifying load generator (every response checked bitwise
+# against an in-process engine run), drain it with the protocol's shutdown
+# frame, and require the server counters in the profile JSON. loadgen exits
+# non-zero on any verification failure or unexpected error frame.
+rm -f /tmp/gmg_ci.port
+cargo run --release -p gmg-bench --bin polymg-cli -- serve --port 0 \
+  --port-file /tmp/gmg_ci.port --workers 2 --profile /tmp/server_profile_ci.json &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s /tmp/gmg_ci.port ] && break; sleep 0.1; done
+[ -s /tmp/gmg_ci.port ] || { echo "ci: server never wrote its port file" >&2; exit 1; }
+cargo run --release -p gmg-bench --bin polymg-cli -- loadgen \
+  --port-file /tmp/gmg_ci.port --connections 3 --requests 6 -o /tmp/bench_pr5_ci.json \
+  || { echo "ci: loadgen reported verification failures" >&2; kill $SERVE_PID 2>/dev/null; exit 1; }
+wait $SERVE_PID || { echo "ci: server did not drain cleanly" >&2; exit 1; }
+grep -q '"verify_failures": 0' /tmp/bench_pr5_ci.json \
+  || { echo "ci: loadgen report carries verification failures" >&2; exit 1; }
+grep -q '"server"' /tmp/server_profile_ci.json \
+  || { echo "ci: server profile carries no server counter block" >&2; exit 1; }
+if grep -q '"session_hits": 0,' /tmp/server_profile_ci.json; then
+  echo "ci: warm-session reuse never happened" >&2; exit 1
+fi
+
 echo "ci: all green"

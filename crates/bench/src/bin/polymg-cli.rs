@@ -2,6 +2,8 @@
 //! result, without writing any Rust:
 //!
 //! ```text
+//! polymg-cli serve   [--port N] [--workers N] [...]    # solve service
+//! polymg-cli loadgen [--port N] [--connections N] [...] # verifying client
 //! polymg-cli <benchmark> [--variant naive|opt|opt+|dtile-opt+]
 //!            [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb]
 //!            [--threads N] [--no-specialize]
@@ -51,6 +53,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+
+    // serving subcommands (see gmg-server and DESIGN.md §13)
+    match args[0].as_str() {
+        "serve" => std::process::exit(gmg_server::cli::serve_main(&args[1..])),
+        "loadgen" => std::process::exit(gmg_server::cli::loadgen_main(&args[1..])),
+        _ => {}
     }
 
     // benchmark spec: CYCLE-RANK[-pre-coarse-post]
@@ -267,7 +276,7 @@ fn main() {
             res.norms.last().copied().unwrap_or(res.res0)
         };
         let (hits, misses) = polymg::PlanCache::global().counters();
-        trace.record_plan_cache(hits, misses);
+        trace.record_plan_cache(hits, misses, polymg::PlanCache::global().evictions());
         match trace.report() {
             Some(rep) => {
                 eprint!(

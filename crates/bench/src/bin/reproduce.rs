@@ -148,7 +148,7 @@ fn main() {
 
     if let Some(path) = profile {
         let (hits, misses) = polymg::PlanCache::global().counters();
-        trace.record_plan_cache(hits, misses);
+        trace.record_plan_cache(hits, misses, polymg::PlanCache::global().evictions());
         match trace.report() {
             Some(rep) => {
                 std::fs::write(&path, rep.to_json()).expect("write profile");

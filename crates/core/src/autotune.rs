@@ -8,6 +8,7 @@
 //! 80 configurations for 2-D and 135 for 3-D — reproduced exactly by
 //! [`search_space`].
 
+use crate::jsonio::{self, JsonValue};
 use crate::options::PipelineOptions;
 
 /// One auto-tuning configuration.
@@ -110,6 +111,178 @@ pub fn tune(
     (samples, best)
 }
 
+/// One persisted tuning result: the winning [`TuneConfig`] for a pipeline
+/// structure (keyed by [`crate::cache::pipeline_fingerprint`] + rank) and
+/// the metric it achieved.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunedEntry {
+    /// Structural fingerprint of the pipeline + bindings the sweep ran on.
+    pub fingerprint: u64,
+    /// Spatial rank (2 or 3) — fingerprints are rank-specific already, but
+    /// keeping it explicit makes the stored file self-describing.
+    pub ndims: usize,
+    pub config: TuneConfig,
+    /// The metric the winning configuration achieved (seconds; informative
+    /// only, not used by lookups).
+    pub metric: f64,
+}
+
+/// JSON-persisted store of autotuning winners, so a solve server can
+/// warm-start sessions with tuned tile sizes instead of the §3.2.4
+/// defaults. One entry per `(fingerprint, ndims)` key; re-recording a key
+/// replaces it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TunedStore {
+    entries: Vec<TunedEntry>,
+}
+
+impl TunedStore {
+    pub fn new() -> TunedStore {
+        TunedStore::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[TunedEntry] {
+        &self.entries
+    }
+
+    /// Insert or replace the tuned configuration for one pipeline key.
+    pub fn record(&mut self, fingerprint: u64, ndims: usize, config: TuneConfig, metric: f64) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint == fingerprint && e.ndims == ndims)
+        {
+            e.config = config;
+            e.metric = metric;
+        } else {
+            self.entries.push(TunedEntry {
+                fingerprint,
+                ndims,
+                config,
+                metric,
+            });
+        }
+    }
+
+    /// The stored winner for a pipeline key, if any.
+    pub fn lookup(&self, fingerprint: u64, ndims: usize) -> Option<&TunedEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.fingerprint == fingerprint && e.ndims == ndims)
+    }
+
+    /// Render as JSON. Fingerprints are hex strings: a u64 does not survive
+    /// a round-trip through an f64 JSON number.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"tuned\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let tiles = e
+                .config
+                .tile_sizes
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "\n    {{\"fingerprint\": \"{:016x}\", \"ndims\": {}, \"tile_sizes\": [{}], \
+                 \"group_limit\": {}, \"metric\": {}}}",
+                e.fingerprint,
+                e.ndims,
+                tiles,
+                e.config.group_limit,
+                if e.metric.is_finite() {
+                    format!("{}", e.metric)
+                } else {
+                    "null".to_string()
+                },
+            ));
+        }
+        if !self.entries.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parse a store previously written by [`TunedStore::to_json`].
+    pub fn from_json(text: &str) -> Result<TunedStore, String> {
+        let doc = jsonio::parse(text)?;
+        let list = doc
+            .get("tuned")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing 'tuned' array")?;
+        let mut store = TunedStore::new();
+        for (i, item) in list.iter().enumerate() {
+            let fail = |what: &str| format!("tuned[{i}]: {what}");
+            let fp_text = item
+                .get("fingerprint")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| fail("missing fingerprint"))?;
+            let fingerprint = u64::from_str_radix(fp_text, 16)
+                .map_err(|_| fail("fingerprint is not a hex u64"))?;
+            let ndims = item
+                .get("ndims")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| fail("missing ndims"))? as usize;
+            if ndims != 2 && ndims != 3 {
+                return Err(fail("ndims must be 2 or 3"));
+            }
+            let tile_sizes: Vec<i64> = item
+                .get("tile_sizes")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| fail("missing tile_sizes"))?
+                .iter()
+                .map(|t| t.as_i64().filter(|&v| v > 0))
+                .collect::<Option<_>>()
+                .ok_or_else(|| fail("tile_sizes must be positive integers"))?;
+            if tile_sizes.len() < ndims {
+                return Err(fail("fewer tile sizes than dimensions"));
+            }
+            let group_limit =
+                item.get("group_limit")
+                    .and_then(JsonValue::as_u64)
+                    .filter(|&g| g >= 1)
+                    .ok_or_else(|| fail("missing or zero group_limit"))? as usize;
+            let metric = item
+                .get("metric")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(f64::NAN);
+            store.record(
+                fingerprint,
+                ndims,
+                TuneConfig {
+                    tile_sizes,
+                    group_limit,
+                },
+                metric,
+            );
+        }
+        Ok(store)
+    }
+
+    /// Write the store to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read a store from a file (missing file or bad JSON are both errors).
+    pub fn load(path: &std::path::Path) -> Result<TunedStore, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        TunedStore::from_json(&text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +324,83 @@ mod tests {
     fn stride_subsamples() {
         let (samples, _) = tune(3, 10, |_| 1.0);
         assert_eq!(samples.len(), 14);
+    }
+
+    #[test]
+    fn tuned_store_round_trips() {
+        let mut store = TunedStore::new();
+        store.record(
+            0xdead_beef_0123_4567,
+            2,
+            TuneConfig {
+                tile_sizes: vec![16, 256],
+                group_limit: 4,
+            },
+            0.0125,
+        );
+        store.record(
+            u64::MAX, // extremes must survive the hex round-trip
+            3,
+            TuneConfig {
+                tile_sizes: vec![8, 16, 128],
+                group_limit: 11,
+            },
+            3.5e-3,
+        );
+        // replacement: re-recording a key overwrites, not duplicates
+        store.record(
+            0xdead_beef_0123_4567,
+            2,
+            TuneConfig {
+                tile_sizes: vec![32, 512],
+                group_limit: 6,
+            },
+            0.011,
+        );
+        assert_eq!(store.len(), 2);
+
+        let back = TunedStore::from_json(&store.to_json()).unwrap();
+        assert_eq!(back, store);
+        let e = back.lookup(0xdead_beef_0123_4567, 2).unwrap();
+        assert_eq!(e.config.tile_sizes, vec![32, 512]);
+        assert_eq!(e.config.group_limit, 6);
+        assert!(back.lookup(0xdead_beef_0123_4567, 3).is_none());
+        assert!(back.lookup(1, 2).is_none());
+    }
+
+    #[test]
+    fn tuned_store_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{}",
+            "{\"tuned\": [{}]}",
+            "{\"tuned\": [{\"fingerprint\": \"xyz\", \"ndims\": 2, \"tile_sizes\": [8, 64], \"group_limit\": 2}]}",
+            "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 4, \"tile_sizes\": [8, 64, 64, 64], \"group_limit\": 2}]}",
+            "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 3, \"tile_sizes\": [8, 64], \"group_limit\": 2}]}",
+            "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 2, \"tile_sizes\": [8, -64], \"group_limit\": 2}]}",
+            "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 2, \"tile_sizes\": [8, 64], \"group_limit\": 0}]}",
+        ] {
+            assert!(TunedStore::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn tuned_store_file_round_trip() {
+        let mut store = TunedStore::new();
+        store.record(
+            42,
+            2,
+            TuneConfig {
+                tile_sizes: vec![8, 128],
+                group_limit: 2,
+            },
+            1.0,
+        );
+        let path = std::env::temp_dir().join("gmg_tuned_store_test.json");
+        store.save(&path).unwrap();
+        let back = TunedStore::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, store);
+        assert!(TunedStore::load(std::path::Path::new("/nonexistent/tuned.json")).is_err());
     }
 }

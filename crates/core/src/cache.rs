@@ -15,7 +15,7 @@ use crate::plan::CompiledPipeline;
 use gmg_ir::{ParamBindings, Pipeline};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// 64-bit FNV-1a, fed field by field with type tags so adjacent fields
 /// cannot alias (e.g. `group_limit=12, band=4` vs `group_limit=1, band=24`).
@@ -118,25 +118,172 @@ pub fn fingerprint(
     h.0
 }
 
-/// Fingerprint-keyed store of compiled plans with hit/miss counters.
-/// Counters are monotonic for the cache's lifetime — observers (tests,
-/// trace publishing) should work with deltas.
-#[derive(Default)]
+/// Structural fingerprint of the pipeline and bindings alone — no options.
+/// This is the key for *tuned-configuration* persistence
+/// ([`crate::autotune::TunedStore`]): tile sizes and grouping limits are
+/// what the tuner varies, so they must not participate in the key that
+/// looks the tuned values up.
+pub fn pipeline_fingerprint(pipeline: &Pipeline, bindings: &ParamBindings) -> u64 {
+    let mut h = Fnv::new();
+    h.tag(0x01);
+    h.str(&format!("{pipeline:?}"));
+    h.tag(0x02);
+    let mut pairs: Vec<(usize, i64)> = bindings.0.iter().map(|(p, v)| (p.0, *v)).collect();
+    pairs.sort_unstable();
+    h.u64(pairs.len() as u64);
+    for (p, v) in pairs {
+        h.u64(p as u64);
+        h.i64(v);
+    }
+    h.0
+}
+
+/// Default resident-plan bound of [`PlanCache::new`] and the global cache:
+/// large enough that a full §3.2.4 autotuning sweep (80/135 configurations)
+/// plus the benchmark matrix stays warm, small enough that a long-lived
+/// server compiling arbitrary shapes cannot grow without bound.
+pub const DEFAULT_PLAN_CAPACITY: usize = 256;
+
+/// A plan being compiled by one thread while others wait for it (the
+/// single-flight slot that prevents cache stampedes).
+struct InFlight {
+    done: Mutex<Option<Result<Arc<CompiledPipeline>, Vec<String>>>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn new() -> InFlight {
+        InFlight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<Arc<CompiledPipeline>, Vec<String>>) {
+        *self.done.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<CompiledPipeline>, Vec<String>> {
+        let mut g = self.done.lock().unwrap();
+        loop {
+            if let Some(r) = g.as_ref() {
+                return r.clone();
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+enum Entry {
+    /// Resident compiled plan with its LRU stamp.
+    Ready {
+        plan: Arc<CompiledPipeline>,
+        last_used: u64,
+    },
+    /// Compilation in progress on another thread; join it instead of
+    /// compiling the same plan twice.
+    InFlight(Arc<InFlight>),
+}
+
+struct State {
+    map: HashMap<u64, Entry>,
+    /// Monotonic access clock for LRU stamps.
+    tick: u64,
+    capacity: usize,
+}
+
+impl State {
+    /// Resident (`Ready`) plans only — in-flight slots hold no plan yet.
+    fn resident(&self) -> usize {
+        self.map
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count()
+    }
+}
+
+/// Fingerprint-keyed store of compiled plans with hit/miss/eviction
+/// counters. Counters are monotonic for the cache's lifetime — observers
+/// (tests, trace publishing) should work with deltas.
+///
+/// The cache is **bounded**: at most `capacity` plans stay resident, with
+/// least-recently-used eviction (a long-lived solve server churning through
+/// distinct shapes must not leak plans forever). While a plan is resident,
+/// every `get_or_compile` returns the same `Arc`. Concurrent misses on one
+/// key are **single-flight**: the first thread compiles, the rest wait and
+/// share the result (counted as hits).
 pub struct PlanCache {
-    map: Mutex<HashMap<u64, Arc<CompiledPipeline>>>,
+    state: Mutex<State>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
 }
 
 impl PlanCache {
     pub fn new() -> PlanCache {
-        PlanCache::default()
+        PlanCache::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
+
+    /// A cache bounded to `capacity` resident plans (min 1).
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            state: Mutex::new(State {
+                map: HashMap::new(),
+                tick: 0,
+                capacity: capacity.max(1),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The process-wide cache shared by every runner/harness.
     pub fn global() -> &'static PlanCache {
         static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
         GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    /// The resident-plan bound.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().unwrap().capacity
+    }
+
+    /// Change the resident-plan bound (min 1), evicting LRU plans
+    /// immediately if the cache is over the new bound.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.capacity = capacity.max(1);
+        self.evict_over_capacity(&mut st);
+    }
+
+    /// Evict least-recently-used `Ready` entries until within capacity.
+    fn evict_over_capacity(&self, st: &mut State) {
+        while st.resident() > st.capacity {
+            let victim = st
+                .map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*last_used, *k)),
+                    Entry::InFlight(_) => None,
+                })
+                .min()
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => {
+                    st.map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
     }
 
     /// Look up (or compile and insert) the plan for this request.
@@ -148,18 +295,63 @@ impl PlanCache {
         options: PipelineOptions,
     ) -> Result<Arc<CompiledPipeline>, Vec<String>> {
         let key = fingerprint(pipeline, bindings, &options);
-        if let Some(plan) = self.map.lock().unwrap().get(&key) {
+        let flight = {
+            let mut st = self.state.lock().unwrap();
+            st.tick += 1;
+            let tick = st.tick;
+            match st.map.get_mut(&key) {
+                Some(Entry::Ready { plan, last_used }) => {
+                    *last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(plan));
+                }
+                Some(Entry::InFlight(fl)) => Some(Arc::clone(fl)),
+                None => {
+                    // We own the compile for this key: park a single-flight
+                    // slot so concurrent requests join instead of racing.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let fl = Arc::new(InFlight::new());
+                    st.map.insert(key, Entry::InFlight(Arc::clone(&fl)));
+                    drop(st);
+                    // Compile outside the lock: a miss may take milliseconds
+                    // and other configurations should not serialise behind it.
+                    let result = compile(pipeline, bindings, options).map(Arc::new);
+                    let mut st = self.state.lock().unwrap();
+                    // Our slot may have been dropped by a concurrent clear();
+                    // only replace it if it is still ours.
+                    let still_ours = matches!(
+                        st.map.get(&key),
+                        Some(Entry::InFlight(cur)) if Arc::ptr_eq(cur, &fl)
+                    );
+                    if still_ours {
+                        st.map.remove(&key);
+                    }
+                    if let Ok(plan) = &result {
+                        st.tick += 1;
+                        let last_used = st.tick;
+                        st.map.insert(
+                            key,
+                            Entry::Ready {
+                                plan: Arc::clone(plan),
+                                last_used,
+                            },
+                        );
+                        self.evict_over_capacity(&mut st);
+                    }
+                    drop(st);
+                    fl.publish(result.clone());
+                    return result;
+                }
+            }
+        };
+        // Another thread is compiling this exact plan: wait for it and share
+        // the result — a hit from this thread's perspective (no compile).
+        let flight = flight.expect("in-flight slot");
+        let result = flight.wait();
+        if result.is_ok() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(plan));
         }
-        // Compile outside the lock: a miss may take milliseconds and other
-        // configurations should not serialise behind it.
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(compile(pipeline, bindings, options)?);
-        let mut map = self.map.lock().unwrap();
-        // A racing thread may have inserted meanwhile; keep the first plan
-        // so every holder shares one allocation.
-        Ok(Arc::clone(map.entry(key).or_insert(plan)))
+        result
     }
 
     /// `(hits, misses)` so far.
@@ -170,18 +362,25 @@ impl PlanCache {
         )
     }
 
-    /// Number of cached plans.
+    /// Plans evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident plans (in-flight compilations excluded).
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.state.lock().unwrap().resident()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drop every cached plan (counters keep running).
+    /// Drop every cached plan (counters keep running). In-flight
+    /// compilations are detached: their waiters still receive the result,
+    /// it is just not retained here.
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
+        self.state.lock().unwrap().map.clear();
     }
 }
 
@@ -327,6 +526,108 @@ mod tests {
         assert_eq!(cache.counters(), (1, 2));
         assert!(!Arc::ptr_eq(&plan1, &plan3));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_misses_compile_once() {
+        // The cache-stampede property: N threads racing on one uncached
+        // pipeline must produce exactly one compile (miss count 1) and all
+        // receive pointer-equal Arcs of the same plan.
+        let cache = Arc::new(PlanCache::new());
+        let p = Arc::new(tiny_pipeline("stampede", 127));
+        let n_threads = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(n_threads));
+        let plans: Vec<Arc<CompiledPipeline>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let p = Arc::clone(&p);
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        cache
+                            .get_or_compile(&p, &ParamBindings::new(), base_opts())
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let (hits, misses) = cache.counters();
+        assert_eq!(misses, 1, "stampede must compile exactly once");
+        assert_eq!(hits, n_threads as u64 - 1, "waiters/hits share the plan");
+        for plan in &plans[1..] {
+            assert!(
+                Arc::ptr_eq(&plans[0], plan),
+                "all racers must share one allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn lru_eviction_bounds_residency() {
+        let cache = PlanCache::with_capacity(2);
+        let b = ParamBindings::new();
+        let p1 = tiny_pipeline("lru-1", 63);
+        let p2 = tiny_pipeline("lru-2", 63);
+        let p3 = tiny_pipeline("lru-3", 63);
+        let plan1 = cache.get_or_compile(&p1, &b, base_opts()).unwrap();
+        let _plan2 = cache.get_or_compile(&p2, &b, base_opts()).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+
+        // Touch p1 so p2 becomes the LRU victim when p3 arrives.
+        let plan1_again = cache.get_or_compile(&p1, &b, base_opts()).unwrap();
+        assert!(Arc::ptr_eq(&plan1, &plan1_again));
+        let _plan3 = cache.get_or_compile(&p3, &b, base_opts()).unwrap();
+        assert_eq!(cache.len(), 2, "capacity must bound residency");
+        assert_eq!(cache.evictions(), 1);
+
+        // p1 survived (recently used): same Arc, a hit.
+        let (hits0, _) = cache.counters();
+        let plan1_resident = cache.get_or_compile(&p1, &b, base_opts()).unwrap();
+        assert!(Arc::ptr_eq(&plan1, &plan1_resident));
+        assert_eq!(cache.counters().0, hits0 + 1);
+
+        // p2 was evicted: recompiles (a miss), residency still bounded.
+        let (_, misses0) = cache.counters();
+        let _ = cache.get_or_compile(&p2, &b, base_opts()).unwrap();
+        assert_eq!(cache.counters().1, misses0 + 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn shape_churn_never_exceeds_capacity() {
+        let cache = PlanCache::with_capacity(3);
+        let b = ParamBindings::new();
+        for round in 0..4 {
+            for i in 0..6 {
+                let p = tiny_pipeline(&format!("churn-{i}"), 63);
+                let _ = cache.get_or_compile(&p, &b, base_opts()).unwrap();
+                assert!(
+                    cache.len() <= 3,
+                    "round {round}: resident {} > capacity 3",
+                    cache.len()
+                );
+            }
+        }
+        assert!(cache.evictions() > 0, "churn past capacity must evict");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let cache = PlanCache::with_capacity(4);
+        let b = ParamBindings::new();
+        for i in 0..4 {
+            let p = tiny_pipeline(&format!("shrink-{i}"), 63);
+            let _ = cache.get_or_compile(&p, &b, base_opts()).unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        cache.set_capacity(2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.capacity(), 2);
     }
 
     #[test]

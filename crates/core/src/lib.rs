@@ -38,6 +38,7 @@ pub mod chaos;
 pub mod codegen;
 pub mod compile;
 pub mod grouping;
+pub mod jsonio;
 pub mod lowering;
 pub mod options;
 pub mod plan;
@@ -46,7 +47,8 @@ pub mod schedule;
 pub mod specialize;
 pub mod storage;
 
-pub use cache::{compile_cached, PlanCache};
+pub use autotune::{TuneConfig, TunedStore};
+pub use cache::{compile_cached, pipeline_fingerprint, PlanCache};
 pub use chaos::{ChaosOptions, ChaosStats, FaultPlan, FaultSite};
 pub use compile::compile;
 pub use options::{PipelineOptions, TilingMode, Variant};

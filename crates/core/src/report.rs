@@ -418,7 +418,11 @@ mod tests {
                 ns: 2_000_000,
                 invocations: 1,
             }],
-            plan_cache: gmg_trace::PlanCacheSnapshot { hits: 4, misses: 1 },
+            plan_cache: gmg_trace::PlanCacheSnapshot {
+                hits: 4,
+                misses: 1,
+                evictions: 0,
+            },
             dispatch: {
                 let mut d = [0u64; gmg_trace::dispatch::KINDS];
                 d[gmg_trace::dispatch::Kind::UnitUnrolled as usize] = 16;
@@ -447,6 +451,7 @@ mod tests {
             arena_workers: vec![(1, 7), (1, 7)],
             comm: Default::default(),
             chaos: Default::default(),
+            server: Default::default(),
             cycles: vec![],
         };
         let mem = observed_memory(&pl, &report);

@@ -1,0 +1,262 @@
+//! `polymg-cli serve` / `polymg-cli loadgen` entry points.
+//!
+//! ```text
+//! polymg-cli serve   [--addr H:P | --port N] [--port-file PATH]
+//!                    [--workers N] [--queue-cap N] [--tenant-cap N]
+//!                    [--engine-threads N] [--tuned FILE]
+//!                    [--chaos-seed N] [--chaos-rate R] [--profile OUT.json]
+//!
+//! polymg-cli loadgen [--addr H:P | --port N | --port-file PATH]
+//!                    [--connections N] [--requests N] [--tenants N]
+//!                    [--retries N] [--no-shutdown] [-o OUT.json]
+//! ```
+//!
+//! `serve` blocks until a client sends the drain-and-stop frame (which
+//! `loadgen` does by default when the run ends), then writes the profile
+//! JSON — request spans, queue-wait spans, server counters, plan-cache
+//! counters — if `--profile` was given. `loadgen` exits non-zero unless the
+//! run was clean: every response bitwise-verified or a typed error frame.
+
+use std::path::Path;
+
+use gmg_trace::Trace;
+use polymg::{ChaosOptions, TunedStore};
+
+use crate::loadgen::{self, LoadgenOptions};
+use crate::server::{self, summarize, ServerConfig};
+
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Resolve `--addr`/`--port`/`--port-file` style arguments to `host:port`.
+fn resolve_addr(
+    addr: Option<String>,
+    port: Option<u16>,
+    port_file: Option<&str>,
+) -> Result<String, String> {
+    if let Some(a) = addr {
+        return Ok(a);
+    }
+    if let Some(p) = port {
+        return Ok(format!("127.0.0.1:{p}"));
+    }
+    if let Some(pf) = port_file {
+        let text = std::fs::read_to_string(pf)
+            .map_err(|e| format!("reading port file {pf} failed: {e}"))?;
+        let port: u16 = text
+            .trim()
+            .parse()
+            .map_err(|_| format!("port file {pf} does not contain a port"))?;
+        return Ok(format!("127.0.0.1:{port}"));
+    }
+    Err("no server address: pass --addr, --port or --port-file".to_string())
+}
+
+/// `polymg-cli serve …` — returns the process exit code.
+pub fn serve_main(args: &[String]) -> i32 {
+    let mut cfg = ServerConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut profile: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_rate = 0.01f64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let r: Result<(), String> = (|| {
+            match args[i].as_str() {
+                "--addr" => cfg.addr = flag_value(args, &mut i, "--addr")?.to_string(),
+                "--port" => {
+                    let p: u16 = flag_value(args, &mut i, "--port")?
+                        .parse()
+                        .map_err(|_| "--port needs a number".to_string())?;
+                    cfg.addr = format!("127.0.0.1:{p}");
+                }
+                "--port-file" => {
+                    port_file = Some(flag_value(args, &mut i, "--port-file")?.to_string())
+                }
+                "--workers" => {
+                    cfg.workers = flag_value(args, &mut i, "--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs a number".to_string())?
+                }
+                "--queue-cap" => {
+                    cfg.queue_capacity = flag_value(args, &mut i, "--queue-cap")?
+                        .parse()
+                        .map_err(|_| "--queue-cap needs a number".to_string())?
+                }
+                "--tenant-cap" => {
+                    cfg.tenant_cap = flag_value(args, &mut i, "--tenant-cap")?
+                        .parse()
+                        .map_err(|_| "--tenant-cap needs a number".to_string())?
+                }
+                "--engine-threads" => {
+                    cfg.engine_threads = flag_value(args, &mut i, "--engine-threads")?
+                        .parse()
+                        .map_err(|_| "--engine-threads needs a number".to_string())?
+                }
+                "--tuned" => {
+                    let path = flag_value(args, &mut i, "--tuned")?;
+                    cfg.tuned = Some(
+                        TunedStore::load(Path::new(path))
+                            .map_err(|e| format!("loading {path} failed: {e}"))?,
+                    );
+                }
+                "--chaos-seed" => {
+                    chaos_seed = Some(
+                        flag_value(args, &mut i, "--chaos-seed")?
+                            .parse()
+                            .map_err(|_| "--chaos-seed needs a number".to_string())?,
+                    )
+                }
+                "--chaos-rate" => {
+                    chaos_rate = flag_value(args, &mut i, "--chaos-rate")?
+                        .parse()
+                        .map_err(|_| "--chaos-rate needs a number".to_string())?
+                }
+                "--profile" => profile = Some(flag_value(args, &mut i, "--profile")?.to_string()),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+        i += 1;
+    }
+    cfg.chaos = chaos_seed.map(|s| ChaosOptions::new(s, chaos_rate));
+    if profile.is_some() {
+        let t = Trace::enabled();
+        t.set_meta("tool", "gmg-server");
+        cfg.trace = t;
+    }
+
+    let trace = cfg.trace.clone();
+    let handle = match server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            return 1;
+        }
+    };
+    eprintln!("gmg-server listening on {}", handle.addr());
+    if let Some(pf) = port_file {
+        // Written after bind so a waiting client never reads a stale port.
+        if let Err(e) = std::fs::write(&pf, format!("{}\n", handle.addr().port())) {
+            eprintln!("serve: writing port file failed: {e}");
+            return 1;
+        }
+    }
+
+    let snap = handle.join();
+    let _ = summarize(&snap, &mut std::io::stderr());
+    if let Some(path) = profile {
+        match trace.report() {
+            Some(rep) => {
+                if let Err(e) = std::fs::write(&path, rep.to_json()) {
+                    eprintln!("serve: writing profile failed: {e}");
+                    return 1;
+                }
+                eprintln!("wrote profile {path}");
+            }
+            None => eprintln!("gmg-trace built without `capture`; {path} not written"),
+        }
+    }
+    0
+}
+
+/// `polymg-cli loadgen …` — returns the process exit code.
+pub fn loadgen_main(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut port: Option<u16> = None;
+    let mut port_file: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut opts = LoadgenOptions {
+        // The CLI client drains the server when its run completes; tests
+        // driving a shared in-process server opt out instead.
+        shutdown: true,
+        ..LoadgenOptions::default()
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        let r: Result<(), String> = (|| {
+            match args[i].as_str() {
+                "--addr" => addr = Some(flag_value(args, &mut i, "--addr")?.to_string()),
+                "--port" => {
+                    port = Some(
+                        flag_value(args, &mut i, "--port")?
+                            .parse()
+                            .map_err(|_| "--port needs a number".to_string())?,
+                    )
+                }
+                "--port-file" => {
+                    port_file = Some(flag_value(args, &mut i, "--port-file")?.to_string())
+                }
+                "--connections" => {
+                    opts.connections = flag_value(args, &mut i, "--connections")?
+                        .parse()
+                        .map_err(|_| "--connections needs a number".to_string())?
+                }
+                "--requests" => {
+                    opts.requests_per_conn = flag_value(args, &mut i, "--requests")?
+                        .parse()
+                        .map_err(|_| "--requests needs a number".to_string())?
+                }
+                "--tenants" => {
+                    opts.tenants = flag_value(args, &mut i, "--tenants")?
+                        .parse()
+                        .map_err(|_| "--tenants needs a number".to_string())?
+                }
+                "--retries" => {
+                    opts.retries = flag_value(args, &mut i, "--retries")?
+                        .parse()
+                        .map_err(|_| "--retries needs a number".to_string())?
+                }
+                "--no-shutdown" => opts.shutdown = false,
+                "--shutdown" => opts.shutdown = true,
+                "-o" => out = Some(flag_value(args, &mut i, "-o")?.to_string()),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("loadgen: {e}");
+            return 2;
+        }
+        i += 1;
+    }
+    opts.addr = match resolve_addr(addr, port, port_file.as_deref()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return 2;
+        }
+    };
+
+    let report = match loadgen::run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return 1;
+        }
+    };
+    eprintln!("{}", report.summary());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("loadgen: writing {path} failed: {e}");
+            return 1;
+        }
+        eprintln!("wrote {path}");
+    }
+    if report.is_clean() {
+        0
+    } else {
+        eprintln!("loadgen: run was NOT clean");
+        1
+    }
+}

@@ -1,0 +1,29 @@
+//! # gmg-server — a multi-tenant solve service over compiled plans
+//!
+//! The serving layer of the reproduction: a std-only TCP service that
+//! accepts multigrid solve requests over a length-prefixed binary protocol
+//! ([`protocol`]), executes them on warm per-shape sessions ([`session`]) —
+//! a shared `Arc<CompiledPipeline>` out of the global plan cache plus
+//! leased engines whose persistent worker pools and `BufferPool`s survive
+//! between requests — under bounded admission control ([`server`]): a
+//! capacity-limited queue with typed `QueueFull` rejection, per-tenant
+//! in-flight caps, and graceful drain on shutdown.
+//!
+//! [`loadgen`] is the in-crate client: it drives concurrent connections of
+//! mixed 2-D/3-D problems and verifies every response *bitwise* against a
+//! direct in-process engine run — the engine's bitwise determinism turns
+//! end-to-end serving correctness into an exact equality check.
+//!
+//! Everything is std: no async runtime, no serialization framework, no new
+//! dependencies. See DESIGN.md §13 for the architecture discussion.
+
+pub mod cli;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use loadgen::{default_mix, LoadgenOptions, LoadgenReport, MixItem};
+pub use protocol::{ErrorCode, Frame, FrameError, SolveRequest, SolveResponse};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use session::SessionManager;

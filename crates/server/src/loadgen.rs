@@ -1,0 +1,419 @@
+//! Load-generating client with end-to-end bitwise verification.
+//!
+//! For every item in the request mix the generator first computes the
+//! *expected* answer with a direct in-process [`DslRunner`] — the same
+//! compiled-plan path the server uses, no network involved. It then drives
+//! N concurrent connections of mixed 2-D/3-D shapes and cycle types against
+//! the server and compares every `SOLVE_OK` response against the expected
+//! grid with `f64::to_bits` equality. Because the engine is
+//! bitwise-deterministic (regardless of thread count, tiling, or pooled
+//! storage), *any* discrepancy — one ULP anywhere in the grid — is a
+//! serving bug, not noise.
+//!
+//! Typed error frames are part of the contract, not failures: `QueueFull`
+//! and `TenantLimit` are retried with backoff (and counted), `ExecFailed`
+//! (chaos faults) is counted and accepted. Anything else unexpected fails
+//! the run. Latency is recorded per successful request; the report renders
+//! throughput and p50/p95/p99 as JSON for `BENCH_pr5.json`.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
+use gmg_multigrid::solver::{setup_poisson, DslRunner};
+use polymg::{PipelineOptions, Variant};
+
+use crate::protocol::{self, ErrorCode, SolveRequest};
+
+/// One entry of the request mix.
+#[derive(Clone)]
+pub struct MixItem {
+    pub cfg: MgConfig,
+    pub variant: Variant,
+    /// Multigrid cycles per request.
+    pub iters: u16,
+}
+
+/// The default mix: small 2-D and 3-D problems, V and W cycles, two
+/// variants — enough shape diversity to exercise several sessions while
+/// staying fast enough for CI.
+pub fn default_mix() -> Vec<MixItem> {
+    let mut v3 = MgConfig::new(3, 15, CycleType::V, SmoothSteps::s444());
+    v3.levels = 3;
+    let mut w3 = MgConfig::new(3, 15, CycleType::W, SmoothSteps::s1000());
+    w3.levels = 3;
+    vec![
+        MixItem {
+            cfg: MgConfig::new(2, 63, CycleType::V, SmoothSteps::s444()),
+            variant: Variant::OptPlus,
+            iters: 2,
+        },
+        MixItem {
+            cfg: MgConfig::new(2, 31, CycleType::W, SmoothSteps::s444()),
+            variant: Variant::Opt,
+            iters: 2,
+        },
+        MixItem {
+            cfg: v3,
+            variant: Variant::OptPlus,
+            iters: 2,
+        },
+        MixItem {
+            cfg: w3,
+            variant: Variant::OptPlus,
+            iters: 1,
+        },
+    ]
+}
+
+/// Loadgen options.
+pub struct LoadgenOptions {
+    pub addr: String,
+    pub connections: usize,
+    pub requests_per_conn: usize,
+    /// Tenant ids cycle over `0..tenants`.
+    pub tenants: u32,
+    /// Max retries for `QueueFull`/`TenantLimit` before counting a drop.
+    pub retries: usize,
+    /// Send a drain-and-stop frame once the load completes.
+    pub shutdown: bool,
+    pub mix: Vec<MixItem>,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            addr: String::new(),
+            connections: 4,
+            requests_per_conn: 8,
+            tenants: 2,
+            retries: 200,
+            shutdown: false,
+            mix: default_mix(),
+        }
+    }
+}
+
+/// Aggregated outcome of one loadgen run.
+#[derive(Debug, Default)]
+pub struct LoadgenReport {
+    pub requests: u64,
+    pub ok: u64,
+    /// `SOLVE_OK` responses whose grid was not bitwise-identical to the
+    /// in-process reference. Must be zero for a healthy server.
+    pub verify_failures: u64,
+    /// Typed `ExecFailed` frames (injected chaos faults surface here).
+    pub exec_error_frames: u64,
+    /// Requests dropped after exhausting backpressure retries.
+    pub dropped: u64,
+    /// Total backpressure retries performed.
+    pub retries: u64,
+    /// Responses that were neither `SOLVE_OK` nor an accepted typed error.
+    pub unexpected: u64,
+    pub elapsed: Duration,
+    /// Per-request latency (successful solves only), nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Server counters fetched over `STATS` after the run.
+    pub server_stats: Vec<(String, u64)>,
+}
+
+impl LoadgenReport {
+    /// The run is clean when every response was bitwise-correct or a typed,
+    /// accepted error.
+    pub fn is_clean(&self) -> bool {
+        self.verify_failures == 0 && self.unexpected == 0 && self.ok + self.exec_error_frames > 0
+    }
+
+    pub fn percentile_ns(&self, pct: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut xs = self.latencies_ns.clone();
+        xs.sort_unstable();
+        let rank = ((pct / 100.0) * xs.len() as f64).ceil() as usize;
+        xs[rank.clamp(1, xs.len()) - 1]
+    }
+
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.ok as f64 / self.elapsed.as_secs_f64()
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!("  \"ok\": {},\n", self.ok));
+        s.push_str(&format!(
+            "  \"verify_failures\": {},\n",
+            self.verify_failures
+        ));
+        s.push_str(&format!(
+            "  \"exec_error_frames\": {},\n",
+            self.exec_error_frames
+        ));
+        s.push_str(&format!("  \"dropped\": {},\n", self.dropped));
+        s.push_str(&format!("  \"retries\": {},\n", self.retries));
+        s.push_str(&format!("  \"unexpected\": {},\n", self.unexpected));
+        s.push_str(&format!(
+            "  \"elapsed_seconds\": {},\n",
+            self.elapsed.as_secs_f64()
+        ));
+        s.push_str(&format!(
+            "  \"throughput_rps\": {},\n",
+            self.throughput_rps()
+        ));
+        s.push_str(&format!(
+            "  \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+            self.percentile_ns(50.0),
+            self.percentile_ns(95.0),
+            self.percentile_ns(99.0),
+            self.latencies_ns.iter().copied().max().unwrap_or(0)
+        ));
+        s.push_str("  \"server\": {");
+        for (i, (k, v)) in self.server_stats.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": {v}"));
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    pub fn summary(&self) -> String {
+        format!(
+            "loadgen: {} requests, {} ok ({} verify failures, {} exec-error frames, \
+             {} dropped, {} unexpected), {} retries, {:.2} req/s, \
+             p50 {:.2} ms / p95 {:.2} ms / p99 {:.2} ms",
+            self.requests,
+            self.ok,
+            self.verify_failures,
+            self.exec_error_frames,
+            self.dropped,
+            self.unexpected,
+            self.retries,
+            self.throughput_rps(),
+            self.percentile_ns(50.0) as f64 * 1e-6,
+            self.percentile_ns(95.0) as f64 * 1e-6,
+            self.percentile_ns(99.0) as f64 * 1e-6,
+        )
+    }
+}
+
+/// The precomputed ground truth for one mix item.
+struct Expected {
+    item: MixItem,
+    v0: Vec<f64>,
+    f: Vec<f64>,
+    bits: Vec<u64>,
+}
+
+/// Run each mix item locally (through the same plan cache and engine the
+/// server uses) to establish the bitwise-exact expected answer.
+fn compute_expected(mix: &[MixItem]) -> Result<Vec<Expected>, String> {
+    mix.iter()
+        .map(|item| {
+            let (v0, f, _) = setup_poisson(&item.cfg);
+            let opts = PipelineOptions::for_variant(item.variant, item.cfg.ndims);
+            let mut runner = DslRunner::new(&item.cfg, opts, "loadgen-ref")
+                .map_err(|e| format!("reference compile failed: {}", e.join("; ")))?;
+            let mut v = v0.clone();
+            for _ in 0..item.iters {
+                runner
+                    .cycle_with_stats(&mut v, &f)
+                    .map_err(|e| format!("reference cycle failed: {e}"))?;
+            }
+            Ok(Expected {
+                item: item.clone(),
+                v0,
+                f,
+                bits: v.iter().map(|x| x.to_bits()).collect(),
+            })
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct SharedCounts {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    verify_failures: AtomicU64,
+    exec_error_frames: AtomicU64,
+    dropped: AtomicU64,
+    retries: AtomicU64,
+    unexpected: AtomicU64,
+}
+
+/// Per-connection knobs (the subset of [`LoadgenOptions`] a client thread
+/// needs).
+#[derive(Clone)]
+struct ConnOptions {
+    addr: String,
+    requests_per_conn: usize,
+    tenants: u32,
+    retries: usize,
+}
+
+/// One client connection's request loop.
+fn drive_connection(
+    conn_idx: usize,
+    opts: &ConnOptions,
+    expected: &[Expected],
+    counts: &SharedCounts,
+    latencies: &mut Vec<u64>,
+) -> Result<(), String> {
+    let mut stream =
+        TcpStream::connect(&opts.addr).map_err(|e| format!("connect {} failed: {e}", opts.addr))?;
+    let tenant = conn_idx as u32 % opts.tenants.max(1);
+    for r in 0..opts.requests_per_conn {
+        let exp = &expected[(conn_idx + r) % expected.len()];
+        let req = SolveRequest::from_config(
+            &exp.item.cfg,
+            exp.item.variant,
+            tenant,
+            exp.item.iters,
+            exp.v0.clone(),
+            exp.f.clone(),
+        );
+        let payload = req.encode();
+        counts.requests.fetch_add(1, Ordering::Relaxed);
+        let mut attempt = 0usize;
+        loop {
+            let t0 = Instant::now();
+            protocol::write_frame(&mut stream, protocol::OP_SOLVE, &payload)
+                .map_err(|e| format!("send failed: {e}"))?;
+            let frame = protocol::read_frame(&mut stream)
+                .map_err(|e| format!("response read failed: {e}"))?;
+            match frame.opcode {
+                protocol::OP_SOLVE_OK => {
+                    let resp = protocol::SolveResponse::decode(&frame.payload)
+                        .map_err(|e| format!("response decode failed: {e}"))?;
+                    let same = resp.v.len() == exp.bits.len()
+                        && resp
+                            .v
+                            .iter()
+                            .zip(exp.bits.iter())
+                            .all(|(x, &b)| x.to_bits() == b);
+                    if same {
+                        counts.ok.fetch_add(1, Ordering::Relaxed);
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                    } else {
+                        counts.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                protocol::OP_ERROR => match protocol::decode_error(&frame.payload) {
+                    Some((ErrorCode::QueueFull, _)) | Some((ErrorCode::TenantLimit, _)) => {
+                        attempt += 1;
+                        if attempt > opts.retries {
+                            counts.dropped.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        counts.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis((1 + attempt as u64 % 8) * 2));
+                    }
+                    Some((ErrorCode::ExecFailed, _)) => {
+                        counts.exec_error_frames.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    _ => {
+                        counts.unexpected.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                },
+                _ => {
+                    counts.unexpected.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drive the configured load against `opts.addr` and verify every response.
+pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
+    let expected = Arc::new(compute_expected(&opts.mix)?);
+    let counts = Arc::new(SharedCounts::default());
+    let t0 = Instant::now();
+
+    let conn_opts = ConnOptions {
+        addr: opts.addr.clone(),
+        requests_per_conn: opts.requests_per_conn,
+        tenants: opts.tenants,
+        retries: opts.retries,
+    };
+    let handles: Vec<_> = (0..opts.connections.max(1))
+        .map(|c| {
+            let expected = Arc::clone(&expected);
+            let counts = Arc::clone(&counts);
+            let o = conn_opts.clone();
+            std::thread::spawn(move || {
+                let mut lats = Vec::new();
+                let res = drive_connection(c, &o, &expected, &counts, &mut lats);
+                (res, lats)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok((Ok(()), lats)) => latencies.extend(lats),
+            Ok((Err(e), lats)) => {
+                latencies.extend(lats);
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                first_err.get_or_insert("connection thread panicked".to_string());
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+
+    // Control connection: fetch counters, optionally drain the server.
+    let mut server_stats = Vec::new();
+    if let Ok(mut ctrl) = TcpStream::connect(&opts.addr) {
+        if protocol::write_frame(&mut ctrl, protocol::OP_STATS, b"").is_ok() {
+            if let Ok(f) = protocol::read_frame(&mut ctrl) {
+                if f.opcode == protocol::OP_STATS_OK {
+                    server_stats = protocol::decode_stats(&f.payload);
+                }
+            }
+        }
+        if opts.shutdown && protocol::write_frame(&mut ctrl, protocol::OP_SHUTDOWN, b"").is_ok() {
+            match protocol::read_frame(&mut ctrl) {
+                Ok(f) if f.opcode == protocol::OP_SHUTDOWN_ACK => {}
+                other => {
+                    first_err
+                        .get_or_insert(format!("server did not acknowledge shutdown: {other:?}"));
+                }
+            }
+        }
+    } else if opts.shutdown {
+        first_err.get_or_insert("control connection failed".to_string());
+    }
+
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    Ok(LoadgenReport {
+        requests: counts.requests.load(Ordering::Relaxed),
+        ok: counts.ok.load(Ordering::Relaxed),
+        verify_failures: counts.verify_failures.load(Ordering::Relaxed),
+        exec_error_frames: counts.exec_error_frames.load(Ordering::Relaxed),
+        dropped: counts.dropped.load(Ordering::Relaxed),
+        retries: counts.retries.load(Ordering::Relaxed),
+        unexpected: counts.unexpected.load(Ordering::Relaxed),
+        elapsed,
+        latencies_ns: latencies,
+        server_stats,
+    })
+}

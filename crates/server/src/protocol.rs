@@ -1,0 +1,600 @@
+//! Wire protocol for the solve service.
+//!
+//! Every message is one length-prefixed frame:
+//!
+//! ```text
+//! [u32 payload_len LE] [u8 opcode] [payload bytes …]
+//! ```
+//!
+//! `payload_len` counts only the payload (not the opcode byte), and is
+//! bounded by [`MAX_FRAME`] so a corrupt or hostile header cannot make the
+//! server allocate gigabytes. Multi-byte integers are little-endian
+//! throughout; grids travel as raw `f64` bit patterns, which is what makes
+//! the end-to-end bitwise verification in `loadgen` meaningful.
+//!
+//! Request opcodes are `0x0_`, responses `0x8_`; [`OP_ERROR`] is the single
+//! typed-failure response (`[u16 code][utf8 message]`). A malformed *frame*
+//! (truncated header, oversized length) poisons the connection and it is
+//! closed after an error frame is attempted; a malformed *payload* inside a
+//! well-formed frame only fails that request — the connection stays usable.
+
+use std::io::{Read, Write};
+
+use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
+use polymg::Variant;
+
+/// Hard bound on a frame payload (64 MiB — a 2047² 2-D grid pair with
+/// headroom). Anything larger is rejected before allocation.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Request: run a solve (payload = [`SolveRequest`]).
+pub const OP_SOLVE: u8 = 0x01;
+/// Request: liveness probe; payload is echoed back.
+pub const OP_PING: u8 = 0x02;
+/// Request: server counters as `key value` lines.
+pub const OP_STATS: u8 = 0x03;
+/// Request: drain in-flight solves, then acknowledge and stop.
+pub const OP_SHUTDOWN: u8 = 0x04;
+
+/// Response to [`OP_SOLVE`] (payload = [`SolveResponse`]).
+pub const OP_SOLVE_OK: u8 = 0x81;
+/// Response to [`OP_PING`].
+pub const OP_PONG: u8 = 0x82;
+/// Response to [`OP_STATS`].
+pub const OP_STATS_OK: u8 = 0x83;
+/// Response to [`OP_SHUTDOWN`], sent once the server is drained.
+pub const OP_SHUTDOWN_ACK: u8 = 0x84;
+/// Typed failure: `[u16 code][utf8 message]`.
+pub const OP_ERROR: u8 = 0xEE;
+
+/// Typed reasons a request can fail without killing the connection or the
+/// server. The `u16` values are the wire encoding and must stay stable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame itself was unreadable (truncated, oversized). The
+    /// connection is closed after this is sent.
+    BadFrame = 1,
+    /// The payload of a well-formed SOLVE frame failed to decode/validate.
+    BadRequest = 2,
+    /// The admission queue is at capacity — back off and retry.
+    QueueFull = 3,
+    /// The tenant already has its maximum number of solves in flight.
+    TenantLimit = 4,
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown = 5,
+    /// Plan compilation failed for the requested configuration.
+    CompileFailed = 6,
+    /// The solve started but surfaced a typed `ExecError` (including
+    /// injected chaos faults).
+    ExecFailed = 7,
+    /// The request frame's opcode is not part of the protocol.
+    UnknownOpcode = 8,
+    /// Server-side invariant failure (reply channel died, …).
+    Internal = 9,
+}
+
+impl ErrorCode {
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::QueueFull,
+            4 => ErrorCode::TenantLimit,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::CompileFailed,
+            7 => ErrorCode::ExecFailed,
+            8 => ErrorCode::UnknownOpcode,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::TenantLimit => "tenant-limit",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::CompileFailed => "compile-failed",
+            ErrorCode::ExecFailed => "exec-failed",
+            ErrorCode::UnknownOpcode => "unknown-opcode",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    pub opcode: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Why [`read_frame`] could not produce a frame. `Closed` is the clean
+/// case (EOF exactly at a frame boundary); everything else is a protocol
+/// violation or transport failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Peer closed the connection between frames.
+    Closed,
+    /// Peer disconnected mid-frame (inside the header or payload).
+    Truncated(&'static str),
+    /// Declared payload length exceeds [`MAX_FRAME`].
+    Oversized(u32),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated(at) => write!(f, "frame truncated in {at}"),
+            FrameError::Oversized(len) => {
+                write!(f, "declared payload of {len} bytes exceeds {MAX_FRAME}")
+            }
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Read until `buf` is full. Distinguishes EOF-before-any-byte (`Ok(false)`
+/// when `allow_clean_eof`) from EOF mid-buffer (`Truncated`).
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: &'static str,
+    allow_clean_eof: bool,
+) -> Result<bool, FrameError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && allow_clean_eof {
+                    return Ok(false);
+                }
+                return Err(FrameError::Truncated(what));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. Blocks until a full frame arrives or the peer fails.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut head = [0u8; 5];
+    if !read_full(r, &mut head, "header", true)? {
+        return Err(FrameError::Closed);
+    }
+    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let opcode = head[4];
+    let mut payload = vec![0u8; len as usize];
+    read_full(r, &mut payload, "payload", false)?;
+    Ok(Frame { opcode, payload })
+}
+
+/// Write one frame (single buffered write so a frame is never interleaved).
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.push(opcode);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Encode an [`OP_ERROR`] payload.
+pub fn encode_error(code: ErrorCode, msg: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + msg.len());
+    p.extend_from_slice(&(code as u16).to_le_bytes());
+    p.extend_from_slice(msg.as_bytes());
+    p
+}
+
+/// Decode an [`OP_ERROR`] payload.
+pub fn decode_error(payload: &[u8]) -> Option<(ErrorCode, String)> {
+    if payload.len() < 2 {
+        return None;
+    }
+    let code = ErrorCode::from_u16(u16::from_le_bytes([payload[0], payload[1]]))?;
+    Some((code, String::from_utf8_lossy(&payload[2..]).into_owned()))
+}
+
+/// Little-endian cursor over a payload; every accessor is bounds-checked so
+/// a short payload yields a typed decode error, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "payload too short: need {n} bytes for {what} at offset {}",
+                self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, String> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64_vec(&mut self, n: usize, what: &str) -> Result<Vec<f64>, String> {
+        let b = self.take(n * 8, what)?;
+        Ok(b.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A solve request: one multigrid configuration plus the initial guess `v`
+/// and right-hand side `f` (ghost layers included, finest level).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveRequest {
+    /// Tenant id for per-tenant admission control.
+    pub tenant: u32,
+    /// 2 or 3.
+    pub ndims: u8,
+    /// 0 = V, 1 = W, 2 = F.
+    pub cycle: u8,
+    /// 0 = naive, 1 = opt, 2 = opt+, 3 = dtile-opt+.
+    pub variant: u8,
+    pub pre: u8,
+    pub coarse: u8,
+    pub post: u8,
+    /// Cycles to run (each full multigrid cycle updates `v` in place).
+    pub iters: u16,
+    /// Finest interior size per dimension; must be `2^k − 1`.
+    pub n: u32,
+    /// Multigrid levels; 0 selects the default (4, clamped to fit `n`).
+    pub levels: u32,
+    pub v: Vec<f64>,
+    pub f: Vec<f64>,
+}
+
+impl SolveRequest {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(24 + 16 * self.v.len());
+        p.extend_from_slice(&self.tenant.to_le_bytes());
+        p.push(self.ndims);
+        p.push(self.cycle);
+        p.push(self.variant);
+        p.push(self.pre);
+        p.push(self.coarse);
+        p.push(self.post);
+        p.extend_from_slice(&self.iters.to_le_bytes());
+        p.extend_from_slice(&self.n.to_le_bytes());
+        p.extend_from_slice(&self.levels.to_le_bytes());
+        p.extend_from_slice(&(self.v.len() as u32).to_le_bytes());
+        for &x in &self.v {
+            p.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in &self.f {
+            p.extend_from_slice(&x.to_le_bytes());
+        }
+        p
+    }
+
+    /// Decode and fully validate. The checks mirror `MgConfig::new`'s
+    /// assertions so a hostile payload can never panic the server.
+    pub fn decode(payload: &[u8]) -> Result<SolveRequest, String> {
+        let mut c = Cursor::new(payload);
+        let tenant = c.u32("tenant")?;
+        let ndims = c.u8("ndims")?;
+        let cycle = c.u8("cycle")?;
+        let variant = c.u8("variant")?;
+        let pre = c.u8("pre")?;
+        let coarse = c.u8("coarse")?;
+        let post = c.u8("post")?;
+        let iters = c.u16("iters")?;
+        let n = c.u32("n")?;
+        let levels = c.u32("levels")?;
+        let elems = c.u32("elems")? as usize;
+
+        if ndims != 2 && ndims != 3 {
+            return Err(format!("ndims must be 2 or 3, got {ndims}"));
+        }
+        if cycle > 2 {
+            return Err(format!("cycle must be 0 (V), 1 (W) or 2 (F), got {cycle}"));
+        }
+        if variant > 3 {
+            return Err(format!("variant must be 0..=3, got {variant}"));
+        }
+        if iters == 0 || iters > 64 {
+            return Err(format!("iters must be in 1..=64, got {iters}"));
+        }
+        if !(3..=8191).contains(&n) || !(n + 1).is_power_of_two() {
+            return Err(format!("n must be 2^k - 1 in 3..=8191, got {n}"));
+        }
+        let levels = if levels == 0 {
+            // default 4, clamped to the deepest hierarchy n supports
+            4u32.min((n + 1).trailing_zeros().max(1))
+        } else {
+            levels
+        };
+        if !(1..=16).contains(&levels) {
+            return Err(format!("levels must be in 1..=16, got {levels}"));
+        }
+        // same bound MgConfig::n_at asserts: coarsest (n+1) >> (levels-1)
+        // must keep at least one interior point
+        if (n + 1) >> (levels - 1) < 2 {
+            return Err(format!("{levels} levels is too deep for n = {n}"));
+        }
+        if pre as usize + coarse as usize + post as usize == 0 {
+            return Err("at least one smoothing step is required".to_string());
+        }
+        let e = n as usize + 2;
+        let expect = e.pow(ndims as u32);
+        if elems != expect {
+            return Err(format!(
+                "grid length {elems} does not match (n+2)^ndims = {expect}"
+            ));
+        }
+        let v = c.f64_vec(elems, "v")?;
+        let f = c.f64_vec(elems, "f")?;
+        c.done()?;
+        Ok(SolveRequest {
+            tenant,
+            ndims,
+            cycle,
+            variant,
+            pre,
+            coarse,
+            post,
+            iters,
+            n,
+            levels,
+            v,
+            f,
+        })
+    }
+
+    /// The multigrid configuration this request describes. Only valid after
+    /// [`SolveRequest::decode`]'s checks (construction asserts otherwise).
+    pub fn config(&self) -> MgConfig {
+        let cycle = match self.cycle {
+            0 => CycleType::V,
+            1 => CycleType::W,
+            _ => CycleType::F,
+        };
+        let steps = SmoothSteps {
+            pre: self.pre as usize,
+            coarse: self.coarse as usize,
+            post: self.post as usize,
+        };
+        let mut cfg = MgConfig::new(self.ndims as usize, self.n as i64, cycle, steps);
+        cfg.levels = self.levels;
+        cfg
+    }
+
+    pub fn variant_enum(&self) -> Variant {
+        match self.variant {
+            0 => Variant::Naive,
+            1 => Variant::Opt,
+            2 => Variant::OptPlus,
+            _ => Variant::DtileOptPlus,
+        }
+    }
+
+    /// Build a request from a configuration and grids (client side).
+    pub fn from_config(
+        cfg: &MgConfig,
+        variant: Variant,
+        tenant: u32,
+        iters: u16,
+        v: Vec<f64>,
+        f: Vec<f64>,
+    ) -> SolveRequest {
+        let cycle = match cfg.cycle {
+            CycleType::V => 0,
+            CycleType::W => 1,
+            CycleType::F => 2,
+        };
+        let variant = match variant {
+            Variant::Naive => 0,
+            Variant::Opt => 1,
+            Variant::OptPlus => 2,
+            Variant::DtileOptPlus => 3,
+        };
+        SolveRequest {
+            tenant,
+            ndims: cfg.ndims as u8,
+            cycle,
+            variant,
+            pre: cfg.steps.pre as u8,
+            coarse: cfg.steps.coarse as u8,
+            post: cfg.steps.post as u8,
+            iters,
+            n: cfg.n as u32,
+            levels: cfg.levels,
+            v,
+            f,
+        }
+    }
+}
+
+/// A successful solve: the updated fine-grid solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveResponse {
+    /// Server-side service time (excludes queue wait).
+    pub elapsed_ns: u64,
+    pub v: Vec<f64>,
+}
+
+impl SolveResponse {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(12 + 8 * self.v.len());
+        p.extend_from_slice(&self.elapsed_ns.to_le_bytes());
+        p.extend_from_slice(&(self.v.len() as u32).to_le_bytes());
+        for &x in &self.v {
+            p.extend_from_slice(&x.to_le_bytes());
+        }
+        p
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<SolveResponse, String> {
+        let mut c = Cursor::new(payload);
+        let elapsed_ns = c.u64("elapsed_ns")?;
+        let elems = c.u32("elems")? as usize;
+        let v = c.f64_vec(elems, "v")?;
+        c.done()?;
+        Ok(SolveResponse { elapsed_ns, v })
+    }
+}
+
+/// Parse an [`OP_STATS_OK`] payload (`key value` lines) into pairs.
+pub fn decode_stats(payload: &[u8]) -> Vec<(String, u64)> {
+    let text = String::from_utf8_lossy(payload);
+    text.lines()
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            let k = it.next()?;
+            let v = it.next()?.parse().ok()?;
+            Some((k.to_string(), v))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_request() -> SolveRequest {
+        let cfg = MgConfig::new(2, 7, CycleType::V, SmoothSteps::s444());
+        let len = (7 + 2) * (7 + 2);
+        let mut cfg = cfg;
+        cfg.levels = 2;
+        SolveRequest::from_config(&cfg, Variant::OptPlus, 3, 2, vec![0.5; len], vec![1.5; len])
+    }
+
+    #[test]
+    fn solve_request_round_trips() {
+        let req = small_request();
+        let back = SolveRequest::decode(&req.encode()).expect("decode");
+        assert_eq!(back, req);
+        assert_eq!(back.config().tag(), "V-2D-4-4-4");
+    }
+
+    #[test]
+    fn solve_response_round_trips() {
+        let resp = SolveResponse {
+            elapsed_ns: 123_456,
+            v: vec![1.0, -2.5, f64::MIN_POSITIVE],
+        };
+        let back = SolveResponse::decode(&resp.encode()).expect("decode");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_requests() {
+        let good = small_request().encode();
+        // truncated payload
+        assert!(SolveRequest::decode(&good[..10]).is_err());
+        // trailing garbage
+        let mut long = good.clone();
+        long.push(0);
+        assert!(SolveRequest::decode(&long).is_err());
+        // n not 2^k - 1
+        let mut req = small_request();
+        req.n = 8;
+        assert!(SolveRequest::decode(&req.encode())
+            .unwrap_err()
+            .contains("2^k"));
+        // grid length mismatch
+        let mut req = small_request();
+        req.v.pop();
+        req.f.pop();
+        assert!(SolveRequest::decode(&req.encode()).is_err());
+        // too many levels for n
+        let mut req = small_request();
+        req.levels = 5;
+        assert!(SolveRequest::decode(&req.encode())
+            .unwrap_err()
+            .contains("too deep"));
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_PING, b"hello").unwrap();
+        write_frame(&mut buf, OP_STATS, b"").unwrap();
+        let mut r = &buf[..];
+        let f1 = read_frame(&mut r).unwrap();
+        assert_eq!((f1.opcode, f1.payload.as_slice()), (OP_PING, &b"hello"[..]));
+        let f2 = read_frame(&mut r).unwrap();
+        assert_eq!(f2.opcode, OP_STATS);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+
+        // header declaring an absurd length is rejected without allocating
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut bad = huge.to_vec();
+        bad.push(OP_PING);
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(FrameError::Oversized(_))
+        ));
+
+        // EOF inside the header is Truncated, not Closed
+        let partial = [1u8, 0];
+        assert!(matches!(
+            read_frame(&mut &partial[..]),
+            Err(FrameError::Truncated("header"))
+        ));
+    }
+
+    #[test]
+    fn error_frames_round_trip() {
+        let p = encode_error(ErrorCode::QueueFull, "busy");
+        let (code, msg) = decode_error(&p).unwrap();
+        assert_eq!(code, ErrorCode::QueueFull);
+        assert_eq!(msg, "busy");
+        assert!(decode_error(&[1]).is_none());
+    }
+
+    #[test]
+    fn stats_payload_parses() {
+        let pairs = decode_stats(b"requests 10\nok 9\nbad-line\nexec_errors 1\n");
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], ("requests".to_string(), 10));
+    }
+}

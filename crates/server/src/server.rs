@@ -1,0 +1,579 @@
+//! The solve service: accept loop, bounded admission queue, solve workers,
+//! per-tenant caps, and graceful drain.
+//!
+//! Threading model (all std):
+//!
+//! ```text
+//! accept thread ──spawns──▶ connection threads (one per client)
+//!                                │  read frame, admit, enqueue Job
+//!                                ▼
+//!                    bounded queue (Mutex<VecDeque> + Condvar)
+//!                                │
+//!                 solve workers ─┴─▶ SessionManager lease → cycles →
+//!                                    reply over the job's channel
+//! ```
+//!
+//! Connection threads are thin: they parse frames, enforce admission
+//! (queue capacity, per-tenant in-flight cap, shutdown), and block on the
+//! reply channel — requests on one connection are answered in order.
+//! Workers do all solving through [`SessionManager`] leases, so engines and
+//! their pools stay warm across requests.
+//!
+//! Rejections are *responses*, not failures: `QueueFull`, `TenantLimit` and
+//! `ShuttingDown` error frames leave the connection open (the 429 shape).
+//! A typed `ExecError` — including injected chaos faults — becomes an
+//! `ExecFailed` error frame; it never kills the connection, the worker, or
+//! the server. Only an unreadable *frame* closes a connection.
+//!
+//! Shutdown ([`OP_SHUTDOWN`] or [`ServerHandle::begin_shutdown`]) flips the
+//! drain flag: new solves are rejected, queued and in-flight solves finish,
+//! workers exit once the queue is dry, and the accept loop is unblocked by
+//! a self-connection. [`ServerHandle::join`] then publishes the final
+//! counters into the trace sink.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gmg_trace::{ServerSnapshot, Trace};
+use polymg::{ChaosOptions, TunedStore};
+
+use crate::protocol::{self, ErrorCode, Frame, FrameError, SolveRequest, SolveResponse};
+use crate::session::SessionManager;
+
+/// Server construction options.
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Solve worker threads.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue rejects with `QueueFull`.
+    pub queue_capacity: usize,
+    /// Maximum in-flight solves per tenant; beyond it, `TenantLimit`.
+    pub tenant_cap: usize,
+    /// Engine worker threads per leased runner.
+    pub engine_threads: usize,
+    /// Deterministic fault injection armed on every engine.
+    pub chaos: Option<ChaosOptions>,
+    /// Persisted autotuned configurations, applied at session creation.
+    pub tuned: Option<TunedStore>,
+    /// Trace sink for request spans and final counters.
+    pub trace: Trace,
+    /// Artificial per-solve service delay (tests use it to hold the queue
+    /// at a known depth; never set on a production path).
+    pub service_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            tenant_cap: 4,
+            engine_threads: 1,
+            chaos: None,
+            tuned: None,
+            trace: Trace::disabled(),
+            service_delay: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    exec_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_tenant: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    queue_max_depth: AtomicU64,
+}
+
+impl Counters {
+    fn bump_depth(&self, depth: u64) {
+        self.queue_max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// One admitted solve travelling from a connection thread to a worker.
+struct Job {
+    req: SolveRequest,
+    reply: mpsc::Sender<Frame>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    addr: SocketAddr,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    tenant_cap: usize,
+    tenants: Mutex<HashMap<u32, usize>>,
+    /// Admitted solves not yet answered (queued + executing).
+    inflight: AtomicUsize,
+    shutting_down: AtomicBool,
+    sessions: SessionManager,
+    counters: Counters,
+    trace: Trace,
+    service_delay: Option<Duration>,
+    /// Streams of live connections, so `join` can close them out.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            ok: self.counters.ok.load(Ordering::Relaxed),
+            exec_errors: self.counters.exec_errors.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            rejected_queue_full: self.counters.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_tenant: self.counters.rejected_tenant.load(Ordering::Relaxed),
+            rejected_shutdown: self.counters.rejected_shutdown.load(Ordering::Relaxed),
+            session_hits: self.sessions.session_hits.load(Ordering::Relaxed),
+            session_misses: self.sessions.session_misses.load(Ordering::Relaxed),
+            engines_created: self.sessions.engines_created.load(Ordering::Relaxed),
+            queue_max_depth: self.counters.queue_max_depth.load(Ordering::Relaxed),
+            tuned_applied: self.sessions.tuned_applied.load(Ordering::Relaxed),
+        }
+    }
+
+    fn stats_text(&self) -> String {
+        let s = self.snapshot();
+        let mut t = String::new();
+        for (k, v) in [
+            ("requests", s.requests),
+            ("ok", s.ok),
+            ("exec_errors", s.exec_errors),
+            ("protocol_errors", s.protocol_errors),
+            ("rejected_queue_full", s.rejected_queue_full),
+            ("rejected_tenant", s.rejected_tenant),
+            ("rejected_shutdown", s.rejected_shutdown),
+            ("session_hits", s.session_hits),
+            ("session_misses", s.session_misses),
+            ("engines_created", s.engines_created),
+            ("queue_max_depth", s.queue_max_depth),
+            ("tuned_applied", s.tuned_applied),
+            ("sessions", self.sessions.len() as u64),
+        ] {
+            t.push_str(&format!("{k} {v}\n"));
+        }
+        t
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake workers parked on an empty queue so they observe the flag,
+        // and unblock the accept loop with a throwaway self-connection.
+        self.queue_cv.notify_all();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until every admitted solve has been answered.
+    fn wait_drained(&self) {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if q.is_empty() && self.inflight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let (guard, _) = self
+                .queue_cv
+                .wait_timeout(q, Duration::from_millis(20))
+                .unwrap();
+            q = guard;
+        }
+    }
+
+    /// Worker side: run one admitted solve and answer it.
+    fn process(&self, job: Job) {
+        let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+        if let Some(d) = self.service_delay {
+            std::thread::sleep(d);
+        }
+        let t0 = Instant::now();
+        let cfg = job.req.config();
+        let tag = format!("{}[{}]", cfg.tag(), job.req.variant_enum().label());
+        let frame = match self.solve(&job.req) {
+            Ok(v) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                Frame {
+                    opcode: protocol::OP_SOLVE_OK,
+                    payload: SolveResponse {
+                        elapsed_ns: t0.elapsed().as_nanos() as u64,
+                        v,
+                    }
+                    .encode(),
+                }
+            }
+            Err((code, msg)) => {
+                if code == ErrorCode::ExecFailed {
+                    self.counters.exec_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Frame {
+                    opcode: protocol::OP_ERROR,
+                    payload: protocol::encode_error(code, &msg),
+                }
+            }
+        };
+        let cells = job.req.v.len() as u64 * job.req.iters as u64;
+        self.trace
+            .record_span(&tag, "request", t0.elapsed().as_nanos() as u64, 0, cells);
+        self.trace
+            .record_span("admission-queue", "server", wait_ns, 0, 0);
+        // A dead reply channel means the connection already went away; the
+        // solve result is simply dropped.
+        let _ = job.reply.send(frame);
+        self.retire(job.req.tenant);
+    }
+
+    fn solve(&self, req: &SolveRequest) -> Result<Vec<f64>, (ErrorCode, String)> {
+        let cfg = req.config();
+        let mut lease = self
+            .sessions
+            .acquire(&cfg, req.variant_enum())
+            .map_err(|errs| (ErrorCode::CompileFailed, errs.join("; ")))?;
+        let mut v = req.v.clone();
+        for i in 0..req.iters {
+            if let Err(e) = lease.runner.cycle_with_stats(&mut v, &req.f) {
+                // Typed errors leave the engine usable; keep the warm state.
+                self.sessions.release(lease);
+                return Err((ErrorCode::ExecFailed, format!("cycle {i}: {e}")));
+            }
+        }
+        self.sessions.release(lease);
+        Ok(v)
+    }
+
+    /// Release one unit of tenant budget and wake drain/depth waiters.
+    fn retire(&self, tenant: u32) {
+        {
+            let mut t = self.tenants.lock().unwrap();
+            if let Some(c) = t.get_mut(&tenant) {
+                *c -= 1;
+                if *c == 0 {
+                    t.remove(&tenant);
+                }
+            }
+        }
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    /// Admission for one decoded solve. On success the job is queued and
+    /// the caller must await the reply channel.
+    fn admit(&self, req: SolveRequest) -> Result<mpsc::Receiver<Frame>, (ErrorCode, String)> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            self.counters
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            return Err((ErrorCode::ShuttingDown, "server is draining".to_string()));
+        }
+        {
+            let mut t = self.tenants.lock().unwrap();
+            let c = t.entry(req.tenant).or_insert(0);
+            if *c >= self.tenant_cap {
+                drop(t);
+                self.counters
+                    .rejected_tenant
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err((
+                    ErrorCode::TenantLimit,
+                    format!(
+                        "tenant {} already has {} solves in flight",
+                        req.tenant, self.tenant_cap
+                    ),
+                ));
+            }
+            *c += 1;
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.queue.lock().unwrap();
+            if q.len() >= self.queue_capacity {
+                drop(q);
+                self.counters
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                self.retire_tenant_only(req.tenant);
+                return Err((
+                    ErrorCode::QueueFull,
+                    format!("admission queue at capacity {}", self.queue_capacity),
+                ));
+            }
+            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            self.inflight.fetch_add(1, Ordering::SeqCst);
+            q.push_back(Job {
+                req,
+                reply: tx,
+                enqueued: Instant::now(),
+            });
+            self.counters.bump_depth(q.len() as u64);
+        }
+        self.queue_cv.notify_one();
+        Ok(rx)
+    }
+
+    fn retire_tenant_only(&self, tenant: u32) {
+        let mut t = self.tenants.lock().unwrap();
+        if let Some(c) = t.get_mut(&tenant) {
+            *c -= 1;
+            if *c == 0 {
+                t.remove(&tenant);
+            }
+        }
+    }
+}
+
+fn worker_loop(sh: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = sh.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if sh.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = sh.queue_cv.wait(q).unwrap();
+            }
+        };
+        sh.process(job);
+    }
+}
+
+/// Serve one connection until it closes, fails, or shutdown completes.
+fn conn_loop(sh: Arc<Shared>, mut stream: TcpStream) {
+    loop {
+        let frame = match protocol::read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+            Err(e @ (FrameError::Truncated(_) | FrameError::Oversized(_))) => {
+                // Framing is broken: we can no longer find frame boundaries
+                // on this connection. Answer once, then hang up.
+                sh.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = protocol::write_frame(
+                    &mut stream,
+                    protocol::OP_ERROR,
+                    &protocol::encode_error(ErrorCode::BadFrame, &e.to_string()),
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let ok = match frame.opcode {
+            protocol::OP_PING => {
+                protocol::write_frame(&mut stream, protocol::OP_PONG, &frame.payload).is_ok()
+            }
+            protocol::OP_STATS => protocol::write_frame(
+                &mut stream,
+                protocol::OP_STATS_OK,
+                sh.stats_text().as_bytes(),
+            )
+            .is_ok(),
+            protocol::OP_SHUTDOWN => {
+                // Deregister this connection before flipping the drain flag:
+                // `join` force-closes every registered stream once workers
+                // exit, which otherwise races the ACK write below. The order
+                // is safe — `join` only reaches that close after the accept
+                // thread exits, which `begin_shutdown`'s self-connect causes.
+                if let Ok(peer) = stream.peer_addr() {
+                    sh.conns
+                        .lock()
+                        .unwrap()
+                        .retain(|c| c.peer_addr().map(|p| p != peer).unwrap_or(true));
+                }
+                sh.begin_shutdown();
+                sh.wait_drained();
+                let _ =
+                    protocol::write_frame(&mut stream, protocol::OP_SHUTDOWN_ACK, &frame.payload);
+                return;
+            }
+            protocol::OP_SOLVE => {
+                let reply = match SolveRequest::decode(&frame.payload) {
+                    Err(msg) => {
+                        sh.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        Frame {
+                            opcode: protocol::OP_ERROR,
+                            payload: protocol::encode_error(ErrorCode::BadRequest, &msg),
+                        }
+                    }
+                    Ok(req) => match sh.admit(req) {
+                        Err((code, msg)) => Frame {
+                            opcode: protocol::OP_ERROR,
+                            payload: protocol::encode_error(code, &msg),
+                        },
+                        Ok(rx) => rx.recv().unwrap_or(Frame {
+                            opcode: protocol::OP_ERROR,
+                            payload: protocol::encode_error(
+                                ErrorCode::Internal,
+                                "worker dropped the request",
+                            ),
+                        }),
+                    },
+                };
+                protocol::write_frame(&mut stream, reply.opcode, &reply.payload).is_ok()
+            }
+            other => {
+                sh.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                protocol::write_frame(
+                    &mut stream,
+                    protocol::OP_ERROR,
+                    &protocol::encode_error(
+                        ErrorCode::UnknownOpcode,
+                        &format!("opcode {other:#04x}"),
+                    ),
+                )
+                .is_ok()
+            }
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::begin_shutdown`] (or send an [`protocol::OP_SHUTDOWN`]
+/// frame) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Flip the drain flag (the in-process equivalent of an
+    /// [`protocol::OP_SHUTDOWN`] frame, or of SIGTERM in a supervisor).
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the drain to complete, stop every thread, close remaining
+    /// connections, publish final counters into the trace, and return them.
+    pub fn join(mut self) -> ServerSnapshot {
+        // If nobody initiated shutdown, this blocks until someone does —
+        // that is the serve-forever mode of the CLI.
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.shared.wait_drained();
+        self.shared.queue_cv.notify_all();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        // Connection threads may still be parked in read_frame; closing the
+        // sockets turns that into a clean EOF and they exit.
+        for c in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        let snap = self.shared.snapshot();
+        self.shared.trace.record_server(&snap);
+        let cache = polymg::PlanCache::global();
+        let (hits, misses) = cache.counters();
+        self.shared
+            .trace
+            .record_plan_cache(hits, misses, cache.evictions());
+        snap
+    }
+}
+
+/// Bind and start the service.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        addr,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        queue_capacity: config.queue_capacity.max(1),
+        tenant_cap: config.tenant_cap.max(1),
+        tenants: Mutex::new(HashMap::new()),
+        inflight: AtomicUsize::new(0),
+        shutting_down: AtomicBool::new(false),
+        sessions: SessionManager::new(config.tuned, config.chaos, config.engine_threads, workers),
+        counters: Counters::default(),
+        trace: config.trace,
+        service_delay: config.service_delay,
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("gmg-server-worker-{i}"))
+                .spawn(move || worker_loop(sh))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("gmg-server-accept".to_string())
+        .spawn(move || {
+            for res in listener.incoming() {
+                if accept_shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match res {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                if let Ok(clone) = stream.try_clone() {
+                    accept_shared.conns.lock().unwrap().push(clone);
+                }
+                let sh = Arc::clone(&accept_shared);
+                let _ = std::thread::Builder::new()
+                    .name("gmg-server-conn".to_string())
+                    .spawn(move || conn_loop(sh, stream));
+            }
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+/// Render a one-line human summary of a snapshot (CLI shutdown banner).
+pub fn summarize(s: &ServerSnapshot, out: &mut impl Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "gmg-server: {} requests ({} ok, {} exec errors), rejected {} queue-full / {} tenant / {} shutdown, \
+         sessions {} hits / {} misses ({} engines), peak queue depth {}, tuned applied {}",
+        s.requests,
+        s.ok,
+        s.exec_errors,
+        s.rejected_queue_full,
+        s.rejected_tenant,
+        s.rejected_shutdown,
+        s.session_hits,
+        s.session_misses,
+        s.engines_created,
+        s.queue_max_depth,
+        s.tuned_applied
+    )
+}

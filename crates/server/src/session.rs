@@ -1,0 +1,232 @@
+//! Warm solve sessions keyed on the plan-cache fingerprint.
+//!
+//! A *session* is everything reusable about one compilation request: the
+//! shared [`CompiledPipeline`] (an `Arc` out of the global plan cache) plus
+//! a pool of idle [`DslRunner`]s — each holding an `Engine` whose persistent
+//! worker pool and `BufferPool` stay warm between requests. Repeat requests
+//! for the same shape therefore skip both compilation *and* allocation: the
+//! first request pays the full cost, the steady state is pure execution.
+//!
+//! The key is [`polymg::cache::fingerprint`] over (pipeline, bindings,
+//! options) — exactly the plan cache's notion of identity — so two requests
+//! share a session iff they would share a compiled plan. Tuned
+//! configurations (satellite: `--tuned FILE`) are applied *before* the key
+//! is computed, so a tuned and an untuned request for the same shape are
+//! correctly distinct sessions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gmg_ir::ParamBindings;
+use gmg_multigrid::config::MgConfig;
+use gmg_multigrid::cycles::build_cycle_pipeline;
+use gmg_multigrid::solver::DslRunner;
+use polymg::{cache, ChaosOptions, CompiledPipeline, PipelineOptions, TunedStore, Variant};
+
+struct Session {
+    plan: Arc<CompiledPipeline>,
+    /// Warm runners not currently leased. Bounded by `max_idle`; a release
+    /// beyond the bound drops the runner (its pools with it).
+    idle: Vec<DslRunner>,
+}
+
+/// Shared session registry. All methods are `&self`; internal locking keeps
+/// the registry consistent under concurrent workers.
+pub struct SessionManager {
+    sessions: Mutex<HashMap<u64, Session>>,
+    tuned: Option<TunedStore>,
+    chaos: Option<ChaosOptions>,
+    /// Worker threads per engine (the runtime's own parallelism, distinct
+    /// from the server's solve workers).
+    engine_threads: usize,
+    /// Idle runners retained per session.
+    max_idle: usize,
+    pub session_hits: AtomicU64,
+    pub session_misses: AtomicU64,
+    pub engines_created: AtomicU64,
+    pub tuned_applied: AtomicU64,
+}
+
+/// A leased runner. Return it with [`SessionManager::release`] so the next
+/// request for the same shape reuses its warm pools.
+pub struct Lease {
+    pub key: u64,
+    pub runner: DslRunner,
+    /// True when this acquire created the session (compile path).
+    pub created_session: bool,
+}
+
+impl SessionManager {
+    pub fn new(
+        tuned: Option<TunedStore>,
+        chaos: Option<ChaosOptions>,
+        engine_threads: usize,
+        max_idle: usize,
+    ) -> SessionManager {
+        SessionManager {
+            sessions: Mutex::new(HashMap::new()),
+            tuned,
+            chaos,
+            engine_threads: engine_threads.max(1),
+            max_idle: max_idle.max(1),
+            session_hits: AtomicU64::new(0),
+            session_misses: AtomicU64::new(0),
+            engines_created: AtomicU64::new(0),
+            tuned_applied: AtomicU64::new(0),
+        }
+    }
+
+    /// The pipeline options a request resolves to: the variant preset, the
+    /// server's engine thread count, and — when a tuned entry matches the
+    /// pipeline fingerprint — the persisted tile/group configuration.
+    fn resolve_options(
+        &self,
+        cfg: &MgConfig,
+        variant: Variant,
+        pipeline: &gmg_ir::Pipeline,
+    ) -> (PipelineOptions, bool) {
+        let mut opts = PipelineOptions::for_variant(variant, cfg.ndims);
+        opts.threads = self.engine_threads;
+        if let Some(store) = &self.tuned {
+            let pfp = cache::pipeline_fingerprint(pipeline, &ParamBindings::new());
+            if let Some(entry) = store.lookup(pfp, cfg.ndims) {
+                opts = entry.config.apply(&opts);
+                return (opts, true);
+            }
+        }
+        (opts, false)
+    }
+
+    /// Lease a warm runner for this configuration, creating the session
+    /// (compiling through the global plan cache) on first sight.
+    pub fn acquire(&self, cfg: &MgConfig, variant: Variant) -> Result<Lease, Vec<String>> {
+        let pipeline = build_cycle_pipeline(cfg);
+        let bindings = ParamBindings::new();
+        let (opts, tuned) = self.resolve_options(cfg, variant, &pipeline);
+        let key = cache::fingerprint(&pipeline, &bindings, &opts);
+
+        let (plan, created) = {
+            let sessions = self.sessions.lock().unwrap();
+            match sessions.get(&key) {
+                Some(s) => (Some(Arc::clone(&s.plan)), false),
+                None => (None, true),
+            }
+        };
+
+        let (plan, runner) = match plan {
+            Some(plan) => {
+                self.session_hits.fetch_add(1, Ordering::Relaxed);
+                let runner = self
+                    .sessions
+                    .lock()
+                    .unwrap()
+                    .get_mut(&key)
+                    .and_then(|s| s.idle.pop());
+                (plan, runner)
+            }
+            None => {
+                self.session_misses.fetch_add(1, Ordering::Relaxed);
+                if tuned {
+                    self.tuned_applied.fetch_add(1, Ordering::Relaxed);
+                }
+                // Compile outside the sessions lock; the plan cache's
+                // single-flight slot already serialises concurrent misses
+                // on the same key without serialising different keys.
+                let plan = polymg::compile_cached(&pipeline, &bindings, opts)?;
+                let mut sessions = self.sessions.lock().unwrap();
+                sessions.entry(key).or_insert_with(|| Session {
+                    plan: Arc::clone(&plan),
+                    idle: Vec::new(),
+                });
+                (plan, None)
+            }
+        };
+
+        let runner = match runner {
+            Some(r) => r,
+            None => {
+                self.engines_created.fetch_add(1, Ordering::Relaxed);
+                let mut r = DslRunner::from_plan(Arc::clone(&plan), cfg);
+                r.engine_mut().set_chaos(self.chaos);
+                r
+            }
+        };
+        Ok(Lease {
+            key,
+            runner,
+            created_session: created,
+        })
+    }
+
+    /// Return a leased runner to its session's idle pool. Runners surviving
+    /// a typed `ExecError` stay usable (the engine recovers its pools), so
+    /// errors do not forfeit the warm state.
+    pub fn release(&self, lease: Lease) {
+        let mut sessions = self.sessions.lock().unwrap();
+        if let Some(s) = sessions.get_mut(&lease.key) {
+            if s.idle.len() < self.max_idle {
+                s.idle.push(lease.runner);
+            }
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmg_multigrid::config::{CycleType, SmoothSteps};
+    use gmg_multigrid::solver::setup_poisson;
+
+    fn cfg2d() -> MgConfig {
+        MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444())
+    }
+
+    #[test]
+    fn acquire_release_reuses_warm_runner() {
+        let mgr = SessionManager::new(None, None, 1, 4);
+        let cfg = cfg2d();
+        let lease = mgr.acquire(&cfg, Variant::OptPlus).expect("compile");
+        assert!(lease.created_session);
+        mgr.release(lease);
+        let lease2 = mgr.acquire(&cfg, Variant::OptPlus).expect("hit");
+        assert!(!lease2.created_session);
+        assert_eq!(mgr.engines_created.load(Ordering::Relaxed), 1);
+        assert_eq!(mgr.session_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(mgr.session_misses.load(Ordering::Relaxed), 1);
+        mgr.release(lease2);
+        assert_eq!(mgr.len(), 1);
+    }
+
+    #[test]
+    fn distinct_variants_get_distinct_sessions() {
+        let mgr = SessionManager::new(None, None, 1, 4);
+        let cfg = cfg2d();
+        let a = mgr.acquire(&cfg, Variant::OptPlus).expect("compile");
+        let b = mgr.acquire(&cfg, Variant::Naive).expect("compile");
+        assert_ne!(a.key, b.key);
+        mgr.release(a);
+        mgr.release(b);
+        assert_eq!(mgr.len(), 2);
+    }
+
+    #[test]
+    fn leased_runner_actually_solves() {
+        let mgr = SessionManager::new(None, None, 1, 4);
+        let cfg = cfg2d();
+        let mut lease = mgr.acquire(&cfg, Variant::OptPlus).expect("compile");
+        let (mut v, f, _) = setup_poisson(&cfg);
+        lease.runner.cycle_with_stats(&mut v, &f).expect("cycle");
+        assert!(v.iter().all(|x| x.is_finite()));
+        mgr.release(lease);
+    }
+}

@@ -1,0 +1,64 @@
+//! Chaos under load: with deterministic fault injection armed on every
+//! server engine, each response must be either bitwise-correct or a typed
+//! `ExecFailed` error frame. No partial grids, no closed connections, no
+//! dead workers — and the server still drains cleanly afterwards.
+
+use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
+use gmg_server::loadgen::{self, LoadgenOptions, MixItem};
+use gmg_server::{start, ServerConfig};
+use polymg::{ChaosOptions, Variant};
+
+#[test]
+fn chaos_faults_surface_as_typed_errors_not_corruption() {
+    let handle = start(ServerConfig {
+        workers: 2,
+        // ~40% of cycles fault at this rate — plenty of both outcomes
+        chaos: Some(ChaosOptions::new(0xC4A05, 0.03)),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+
+    let mix = vec![
+        MixItem {
+            cfg: MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()),
+            variant: Variant::OptPlus,
+            iters: 1,
+        },
+        MixItem {
+            cfg: MgConfig::new(2, 31, CycleType::W, SmoothSteps::s444()),
+            variant: Variant::OptPlus,
+            iters: 1,
+        },
+    ];
+    let opts = LoadgenOptions {
+        addr: handle.addr().to_string(),
+        connections: 3,
+        requests_per_conn: 8,
+        tenants: 3,
+        shutdown: true,
+        mix,
+        ..LoadgenOptions::default()
+    };
+    let report = loadgen::run(&opts).expect("loadgen under chaos");
+
+    // The whole point: chaos may fail solves, but it may never corrupt one.
+    assert_eq!(
+        report.verify_failures,
+        0,
+        "a response under chaos was wrong but not an error: {}",
+        report.summary()
+    );
+    assert_eq!(report.unexpected, 0, "{}", report.summary());
+    // every admitted request was answered one way or the other
+    assert_eq!(
+        report.ok + report.exec_error_frames + report.dropped,
+        report.requests,
+        "{}",
+        report.summary()
+    );
+    assert!(report.ok > 0, "nothing succeeded: {}", report.summary());
+
+    let snap = handle.join();
+    assert_eq!(snap.exec_errors, report.exec_error_frames);
+    assert_eq!(snap.ok, report.ok);
+}

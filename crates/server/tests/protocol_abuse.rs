@@ -1,0 +1,176 @@
+//! Protocol-abuse tests: malformed frames must produce typed errors or a
+//! clean close — never a panic, a hung accept loop, or a wedged server.
+//! One server instance survives the whole gauntlet and still drains
+//! gracefully at the end.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gmg_server::protocol::{self, ErrorCode};
+use gmg_server::{start, ServerConfig};
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    s
+}
+
+/// The liveness probe: a PING round-trip proves the accept loop and a
+/// fresh connection thread still work.
+fn assert_alive(addr: std::net::SocketAddr) {
+    let mut s = connect(addr);
+    protocol::write_frame(&mut s, protocol::OP_PING, b"alive?").unwrap();
+    let f = protocol::read_frame(&mut s).expect("pong");
+    assert_eq!(f.opcode, protocol::OP_PONG);
+    assert_eq!(f.payload, b"alive?");
+}
+
+#[test]
+fn malformed_frames_never_kill_the_server() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    // 1. truncated header: two bytes, then disconnect
+    {
+        let mut s = connect(addr);
+        s.write_all(&[0x05, 0x00]).unwrap();
+    }
+    assert_alive(addr);
+
+    // 2. oversized declared length → typed BadFrame error, then close
+    {
+        let mut s = connect(addr);
+        s.write_all(&(protocol::MAX_FRAME + 1).to_le_bytes())
+            .unwrap();
+        s.write_all(&[protocol::OP_PING]).unwrap();
+        let f = protocol::read_frame(&mut s).expect("error frame");
+        assert_eq!(f.opcode, protocol::OP_ERROR);
+        let (code, msg) = protocol::decode_error(&f.payload).unwrap();
+        assert_eq!(code, ErrorCode::BadFrame);
+        assert!(msg.contains("exceeds"), "got: {msg}");
+        // the connection is then closed from the server side
+        assert!(matches!(
+            protocol::read_frame(&mut s),
+            Err(protocol::FrameError::Closed) | Err(protocol::FrameError::Io(_))
+        ));
+    }
+    assert_alive(addr);
+
+    // 3. mid-frame disconnect: header promises 100 payload bytes, send 10
+    {
+        let mut s = connect(addr);
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&[protocol::OP_SOLVE]).unwrap();
+        s.write_all(&[0u8; 10]).unwrap();
+    }
+    assert_alive(addr);
+
+    // 4. unknown opcode → typed error, connection STAYS usable
+    {
+        let mut s = connect(addr);
+        protocol::write_frame(&mut s, 0x7f, b"???").unwrap();
+        let f = protocol::read_frame(&mut s).expect("error frame");
+        assert_eq!(f.opcode, protocol::OP_ERROR);
+        let (code, _) = protocol::decode_error(&f.payload).unwrap();
+        assert_eq!(code, ErrorCode::UnknownOpcode);
+        protocol::write_frame(&mut s, protocol::OP_PING, b"still-here").unwrap();
+        let f = protocol::read_frame(&mut s).expect("pong after error");
+        assert_eq!(f.opcode, protocol::OP_PONG);
+    }
+
+    // 5. well-formed frame, garbage SOLVE payload → BadRequest, conn usable
+    {
+        let mut s = connect(addr);
+        protocol::write_frame(&mut s, protocol::OP_SOLVE, &[1, 2, 3, 4]).unwrap();
+        let f = protocol::read_frame(&mut s).expect("error frame");
+        assert_eq!(f.opcode, protocol::OP_ERROR);
+        let (code, _) = protocol::decode_error(&f.payload).unwrap();
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert_alive(addr);
+    }
+
+    // 6. SOLVE with a structurally invalid config (n not 2^k − 1)
+    {
+        use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
+        let cfg = MgConfig::new(2, 7, CycleType::V, SmoothSteps::s444());
+        let len = 9 * 9;
+        let mut req = gmg_server::SolveRequest::from_config(
+            &cfg,
+            polymg::Variant::OptPlus,
+            0,
+            1,
+            vec![0.0; len],
+            vec![0.0; len],
+        );
+        req.n = 10; // not 2^k − 1
+        let mut s = connect(addr);
+        protocol::write_frame(&mut s, protocol::OP_SOLVE, &req.encode()).unwrap();
+        let f = protocol::read_frame(&mut s).expect("error frame");
+        let (code, msg) = protocol::decode_error(&f.payload).unwrap();
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(msg.contains("2^k"), "got: {msg}");
+    }
+
+    let snap = handle.snapshot();
+    assert!(
+        snap.protocol_errors >= 4,
+        "expected protocol errors recorded, got {}",
+        snap.protocol_errors
+    );
+    assert_eq!(snap.requests, 0, "nothing malformed may be admitted");
+
+    // graceful drain still works after the gauntlet
+    let mut s = connect(addr);
+    protocol::write_frame(&mut s, protocol::OP_SHUTDOWN, b"").unwrap();
+    let f = protocol::read_frame(&mut s).expect("shutdown ack");
+    assert_eq!(f.opcode, protocol::OP_SHUTDOWN_ACK);
+    handle.join();
+}
+
+#[test]
+fn shutdown_rejects_new_solves_and_acks_drain() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+    handle.begin_shutdown();
+
+    // a SOLVE racing the drain gets the typed ShuttingDown rejection
+    // (connections accepted before the accept loop exits still answer)
+    let cfg = gmg_multigrid::config::MgConfig::new(
+        2,
+        7,
+        gmg_multigrid::config::CycleType::V,
+        gmg_multigrid::config::SmoothSteps::s444(),
+    );
+    let mut cfg = cfg;
+    cfg.levels = 2;
+    let len = 9 * 9;
+    let req = gmg_server::SolveRequest::from_config(
+        &cfg,
+        polymg::Variant::OptPlus,
+        0,
+        1,
+        vec![0.0; len],
+        vec![0.0; len],
+    );
+    if let Ok(mut s) = TcpStream::connect(addr) {
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        if protocol::write_frame(&mut s, protocol::OP_SOLVE, &req.encode()).is_ok() {
+            if let Ok(f) = protocol::read_frame(&mut s) {
+                assert_eq!(f.opcode, protocol::OP_ERROR);
+                let (code, _) = protocol::decode_error(&f.payload).unwrap();
+                assert_eq!(code, ErrorCode::ShuttingDown);
+            }
+        }
+    }
+    let snap = handle.join();
+    assert_eq!(snap.ok, 0);
+}

@@ -80,9 +80,30 @@ pub(crate) fn report_to_json(r: &Report) -> String {
         s.push_str("\n  ");
     }
     s.push_str(&format!(
-        "],\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}},\n  \"dispatch\": {{",
-        r.plan_cache.hits, r.plan_cache.misses
+        "],\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n",
+        r.plan_cache.hits, r.plan_cache.misses, r.plan_cache.evictions
     ));
+    if !r.server.is_empty() {
+        s.push_str(&format!(
+            "  \"server\": {{\"requests\": {}, \"ok\": {}, \"exec_errors\": {}, \
+             \"protocol_errors\": {}, \"rejected_queue_full\": {}, \"rejected_tenant\": {}, \
+             \"rejected_shutdown\": {}, \"session_hits\": {}, \"session_misses\": {}, \
+             \"engines_created\": {}, \"queue_max_depth\": {}, \"tuned_applied\": {}}},\n",
+            r.server.requests,
+            r.server.ok,
+            r.server.exec_errors,
+            r.server.protocol_errors,
+            r.server.rejected_queue_full,
+            r.server.rejected_tenant,
+            r.server.rejected_shutdown,
+            r.server.session_hits,
+            r.server.session_misses,
+            r.server.engines_created,
+            r.server.queue_max_depth,
+            r.server.tuned_applied
+        ));
+    }
+    s.push_str("  \"dispatch\": {");
     for (i, (label, count)) in dispatch::LABELS.iter().zip(r.dispatch.iter()).enumerate() {
         if i > 0 {
             s.push_str(", ");

@@ -136,12 +136,53 @@ impl ChaosSnapshot {
 // Sink trait + implementations
 // ---------------------------------------------------------------------------
 
-/// Plan-cache hit/miss counters (a snapshot of `polymg::cache` state; the
-/// trace stores the last published snapshot, it does not accumulate).
+/// Plan-cache hit/miss/eviction counters (a snapshot of `polymg::cache`
+/// state; the trace stores the last published snapshot, it does not
+/// accumulate).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PlanCacheSnapshot {
     pub hits: u64,
     pub misses: u64,
+    /// Plans dropped by the cache's LRU capacity bound.
+    pub evictions: u64,
+}
+
+/// Solve-service counters (a snapshot of `gmg-server` state: last published
+/// values win, mirroring [`PlanCacheSnapshot`] semantics). All-zero until a
+/// server publishes, in which case the `server` block is omitted from the
+/// JSON report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// Solve requests admitted (whether they later succeeded or failed).
+    pub requests: u64,
+    /// Solve requests answered with a result frame.
+    pub ok: u64,
+    /// Solve requests answered with a typed execution-error frame.
+    pub exec_errors: u64,
+    /// Frames rejected at the protocol layer (malformed, oversized, …).
+    pub protocol_errors: u64,
+    /// Solves rejected because the admission queue was full (the 429 path).
+    pub rejected_queue_full: u64,
+    /// Solves rejected by the per-tenant in-flight cap.
+    pub rejected_tenant: u64,
+    /// Solves rejected because the server was draining for shutdown.
+    pub rejected_shutdown: u64,
+    /// Requests that found a warm session (plan + engine reuse).
+    pub session_hits: u64,
+    /// Requests that created a new session.
+    pub session_misses: u64,
+    /// Engines ever constructed across all sessions.
+    pub engines_created: u64,
+    /// High-water mark of the admission queue depth.
+    pub queue_max_depth: u64,
+    /// Sessions whose options were warm-started from a tuned-config store.
+    pub tuned_applied: u64,
+}
+
+impl ServerSnapshot {
+    pub fn is_empty(&self) -> bool {
+        *self == ServerSnapshot::default()
+    }
 }
 
 /// Backend receiving trace records. All methods must be cheap and callable
@@ -240,6 +281,9 @@ pub struct AtomicSink {
     ops: Mutex<Vec<Arc<OpAgg>>>,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    plan_cache_evictions: AtomicU64,
+    /// Last-published solve-service counters (snapshot semantics).
+    server: Mutex<ServerSnapshot>,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     pool_allocated: AtomicU64,
@@ -408,12 +452,21 @@ impl Trace {
         }
     }
 
-    /// Publish the plan-cache hit/miss counters (a snapshot — the last
-    /// published values win; callers pass the global cache's totals).
-    pub fn record_plan_cache(&self, hits: u64, misses: u64) {
+    /// Publish the plan-cache hit/miss/eviction counters (a snapshot — the
+    /// last published values win; callers pass the global cache's totals).
+    pub fn record_plan_cache(&self, hits: u64, misses: u64, evictions: u64) {
         if let Some(s) = &self.sink {
             s.plan_cache_hits.store(hits, Ordering::Relaxed);
             s.plan_cache_misses.store(misses, Ordering::Relaxed);
+            s.plan_cache_evictions.store(evictions, Ordering::Relaxed);
+        }
+    }
+
+    /// Publish solve-service counters (a snapshot — the last published
+    /// values win; the server passes its lifetime totals).
+    pub fn record_server(&self, snap: &ServerSnapshot) {
+        if let Some(s) = &self.sink {
+            *s.server.lock().unwrap() = *snap;
         }
     }
 
@@ -524,7 +577,9 @@ impl Trace {
             plan_cache: PlanCacheSnapshot {
                 hits: sink.plan_cache_hits.load(Ordering::Relaxed),
                 misses: sink.plan_cache_misses.load(Ordering::Relaxed),
+                evictions: sink.plan_cache_evictions.load(Ordering::Relaxed),
             },
+            server: *sink.server.lock().unwrap(),
             dispatch: dispatch::snapshot(),
             kernel_impls: dispatch::impl_snapshot(),
             threads: ThreadsSnapshot {
@@ -639,6 +694,9 @@ pub struct Report {
     pub stages: Vec<StageReport>,
     pub ops: Vec<OpReport>,
     pub plan_cache: PlanCacheSnapshot,
+    /// Solve-service counters; all-zero (and omitted from the JSON) unless
+    /// a `gmg-server` instance published into this trace.
+    pub server: ServerSnapshot,
     pub dispatch: [u64; dispatch::KINDS],
     /// Per-`KernelImpl` case-execution histogram, indexed like
     /// [`dispatch::IMPL_LABELS`].
@@ -755,8 +813,8 @@ mod tests {
         late.record(300);
         late.record(200);
         early.record(10);
-        t.record_plan_cache(5, 2);
-        t.record_plan_cache(7, 2); // snapshot semantics: last publish wins
+        t.record_plan_cache(5, 2, 0);
+        t.record_plan_cache(7, 2, 1); // snapshot semantics: last publish wins
         let r = t.report().unwrap();
         assert_eq!(r.ops.len(), 2);
         assert_eq!(
@@ -764,7 +822,48 @@ mod tests {
             (0, "pool_alloc")
         );
         assert_eq!((r.ops[1].ns, r.ops[1].invocations), (500, 2));
-        assert_eq!(r.plan_cache, PlanCacheSnapshot { hits: 7, misses: 2 });
+        assert_eq!(
+            r.plan_cache,
+            PlanCacheSnapshot {
+                hits: 7,
+                misses: 2,
+                evictions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn server_snapshot_last_publish_wins_and_renders() {
+        let t = Trace::enabled();
+        assert!(t.report().unwrap().server.is_empty());
+        // empty snapshot → no "server" block in the JSON
+        assert!(!t.report().unwrap().to_json().contains("\"server\""));
+
+        t.record_server(&ServerSnapshot {
+            requests: 5,
+            ok: 4,
+            ..Default::default()
+        });
+        t.record_server(&ServerSnapshot {
+            requests: 9,
+            ok: 7,
+            exec_errors: 1,
+            rejected_queue_full: 2,
+            session_hits: 6,
+            session_misses: 3,
+            engines_created: 3,
+            queue_max_depth: 4,
+            tuned_applied: 1,
+            ..Default::default()
+        });
+        let r = t.report().unwrap();
+        assert_eq!(r.server.requests, 9, "snapshot semantics: last wins");
+        let s = r.to_json();
+        assert!(s.contains("\"server\""));
+        assert!(s.contains("\"rejected_queue_full\": 2"));
+        assert!(s.contains("\"session_hits\": 6"));
+        assert!(s.contains("\"queue_max_depth\": 4"));
+        assert!(s.contains("\"evictions\""));
     }
 
     #[test]
