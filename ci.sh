@@ -61,4 +61,33 @@ if grep -q '"session_hits": 0,' /tmp/server_profile_ci.json; then
   echo "ci: warm-session reuse never happened" >&2; exit 1
 fi
 
+# batch serving gate (DESIGN.md §14): one worker with a coalescing window,
+# loadgen mixing SOLVE_BATCH frames with same-shape singles — every grid
+# verified bitwise, and the profile must record multi-RHS passes and at
+# least one coalesced merge.
+rm -f /tmp/gmg_ci_batch.port
+cargo run --release -p gmg-bench --bin polymg-cli -- serve --port 0 \
+  --port-file /tmp/gmg_ci_batch.port --workers 1 --coalesce-window-ms 40 --max-batch 8 \
+  --tenant-cap 16 --queue-cap 64 --profile /tmp/server_profile_batch_ci.json &
+BATCH_PID=$!
+for _ in $(seq 1 100); do [ -s /tmp/gmg_ci_batch.port ] && break; sleep 0.1; done
+[ -s /tmp/gmg_ci_batch.port ] || { echo "ci: batch server never wrote its port file" >&2; exit 1; }
+cargo run --release -p gmg-bench --bin polymg-cli -- loadgen \
+  --port-file /tmp/gmg_ci_batch.port --connections 4 --requests 6 --batch 4 \
+  -o /tmp/bench_pr6_loadgen_ci.json \
+  || { echo "ci: batch loadgen reported verification failures" >&2; kill $BATCH_PID 2>/dev/null; exit 1; }
+wait $BATCH_PID || { echo "ci: batch server did not drain cleanly" >&2; exit 1; }
+grep -q '"verify_failures": 0' /tmp/bench_pr6_loadgen_ci.json \
+  || { echo "ci: batch loadgen report carries verification failures" >&2; exit 1; }
+grep -q '"batches": [1-9]' /tmp/server_profile_batch_ci.json \
+  || { echo "ci: batch server profile recorded no multi-RHS passes" >&2; exit 1; }
+grep -q '"coalesced": [1-9]' /tmp/server_profile_batch_ci.json \
+  || { echo "ci: coalescing window merged nothing" >&2; exit 1; }
+
+# sequential-vs-batched serving rows (quick settings; regenerate the
+# checked-in artifact with the defaults: `perf-smoke --batch-out BENCH_pr6.json`)
+cargo run --release -p gmg-bench --bin perf-smoke -- --batch-out /tmp/bench_pr6_ci.json
+grep -q '"ratio_vs_sequential"' /tmp/bench_pr6_ci.json \
+  || { echo "ci: perf-smoke wrote no batch rows" >&2; exit 1; }
+
 echo "ci: all green"

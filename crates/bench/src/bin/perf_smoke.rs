@@ -5,16 +5,28 @@
 //!
 //! ```text
 //! perf-smoke [-o OUT.json] [--n N] [--repeats R]
+//! perf-smoke --batch-out OUT.json     # sequential-vs-batched serving rows
 //! ```
 //!
 //! Expectations encoded by the output (checked by eye / downstream tooling,
 //! not asserted here so a loaded CI host cannot hard-fail the build):
 //! specialized ≤ generic, N-thread ≤ 1-thread (equal when the host has one
 //! core — the samples are then the same configuration).
+//!
+//! `--batch-out` switches to the PR-6 serving benchmark instead: a
+//! one-worker in-process server answers the same 32 same-shape RHS first
+//! as 32 single `SOLVE` frames, then as `SOLVE_BATCH` frames of 4 and 8
+//! grids, every grid verified bitwise against an independent single-RHS
+//! reference. Rows carry grids/s and the batched:sequential ratio.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use gmg_bench::runners::harness_tiles;
 use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
 use gmg_multigrid::solver::{setup_poisson, time_cycles, DslRunner};
+use gmg_server::protocol::{self, BatchSolveRequest, BatchSolveResponse, SolveRequest};
+use gmg_server::{start, ServerConfig};
 use polymg::{PipelineOptions, Variant};
 
 struct Row {
@@ -73,10 +85,209 @@ fn measure_pair(cfg: &MgConfig, threads: usize, repeats: usize) -> [(f64, usize)
     })
 }
 
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+struct BatchRow {
+    mode: &'static str,
+    batch: usize,
+    frames: usize,
+    grids_per_s: f64,
+    ratio_vs_sequential: f64,
+    service_p50_ns: u64,
+    service_p99_ns: u64,
+}
+
+fn pctl(xs: &mut [u64], pct: f64) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    xs.sort_unstable();
+    let rank = ((pct / 100.0) * xs.len() as f64).ceil() as usize;
+    xs[rank.clamp(1, xs.len()) - 1]
+}
+
+/// One pre-encoded request frame: opcode, payload, grids it carries.
+type FrameSpec = (u8, Vec<u8>, usize);
+
+/// Answer all `payloads` back-to-back on one connection, verifying each
+/// response's grids bitwise against `refs` (flattened in send order).
+/// Returns (elapsed, per-frame service latencies).
+fn drive_frames(
+    addr: std::net::SocketAddr,
+    payloads: &[FrameSpec],
+    refs: &[Vec<u64>],
+) -> (Duration, Vec<u64>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let mut service = Vec::with_capacity(payloads.len());
+    let mut grid = 0usize;
+    let t0 = Instant::now();
+    for (opcode, payload, ngrids) in payloads {
+        let f0 = Instant::now();
+        protocol::write_frame(&mut s, *opcode, payload).expect("send");
+        let frame = protocol::read_frame(&mut s).expect("response");
+        service.push(f0.elapsed().as_nanos() as u64);
+        let vs: Vec<Vec<f64>> = if frame.opcode == protocol::OP_SOLVE_OK {
+            vec![protocol::SolveResponse::decode(&frame.payload).expect("decode").v]
+        } else if frame.opcode == protocol::OP_SOLVE_BATCH_OK {
+            BatchSolveResponse::decode(&frame.payload).expect("decode").vs
+        } else {
+            panic!(
+                "unexpected opcode {:#x}: {:?}",
+                frame.opcode,
+                protocol::decode_error(&frame.payload)
+            );
+        };
+        assert_eq!(vs.len(), *ngrids);
+        for v in vs {
+            let bits: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits, refs[grid], "grid {grid} diverged from reference");
+            grid += 1;
+        }
+    }
+    (t0.elapsed(), service)
+}
+
+/// The PR-6 serving benchmark: 32 RHS of one shape, sequential singles vs
+/// `SOLVE_BATCH` frames of 4 and 8, best-of-3, every grid bitwise-verified.
+fn batch_bench(out_path: &str, n: i64) {
+    const RHS: usize = 32;
+    const ITERS: u16 = 1;
+    let cfg = MgConfig::new(2, n, CycleType::V, SmoothSteps::s444());
+
+    // perturbed problems + independent single-RHS references
+    let (v0, f, _) = setup_poisson(&cfg);
+    let mut problems = Vec::with_capacity(RHS);
+    let mut refs = Vec::with_capacity(RHS);
+    let opts = PipelineOptions::for_variant(Variant::OptPlus, cfg.ndims);
+    let mut runner = DslRunner::new(&cfg, opts, "batch-ref").expect("reference compile");
+    for k in 0..RHS {
+        let mut fk = f.clone();
+        for (i, x) in fk.iter_mut().enumerate() {
+            let r = splitmix64((k as u64) << 32 | i as u64);
+            *x += (r % 1000) as f64 * 1e-6;
+        }
+        let mut v = v0.clone();
+        for _ in 0..ITERS {
+            runner.cycle_with_stats(&mut v, &fk).expect("reference cycle");
+        }
+        refs.push(v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>());
+        problems.push((v0.clone(), fk));
+    }
+    let mk_req = |k: usize| {
+        let (v0, fk) = &problems[k];
+        SolveRequest::from_config(&cfg, Variant::OptPlus, 0, ITERS, v0.clone(), fk.clone())
+    };
+
+    let handle = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // frame sets: 32 singles, then 32/B batch frames per batch size
+    let mut modes: Vec<(&'static str, usize, Vec<FrameSpec>)> = Vec::new();
+    let singles: Vec<FrameSpec> = (0..RHS)
+        .map(|k| (protocol::OP_SOLVE, mk_req(k).encode(), 1))
+        .collect();
+    modes.push(("sequential", 1, singles));
+    for b in [4usize, 8] {
+        let frames: Vec<FrameSpec> = (0..RHS / b)
+            .map(|i| {
+                let reqs: Vec<SolveRequest> = (i * b..(i + 1) * b).map(mk_req).collect();
+                (protocol::OP_SOLVE_BATCH, BatchSolveRequest { reqs }.encode(), b)
+            })
+            .collect();
+        modes.push(("batched", b, frames));
+    }
+
+    // warm the session (compile + engine) off the clock
+    drive_frames(addr, &modes[0].2[..1], &refs[..1]);
+
+    let mut rows: Vec<BatchRow> = Vec::new();
+    let mut sequential_rps = 0.0f64;
+    for (mode, b, payloads) in &modes {
+        let mut best: Option<(Duration, Vec<u64>)> = None;
+        for _ in 0..3 {
+            let (elapsed, service) = drive_frames(addr, payloads, &refs);
+            if best.as_ref().is_none_or(|(e, _)| elapsed < *e) {
+                best = Some((elapsed, service));
+            }
+        }
+        let (elapsed, mut service) = best.unwrap();
+        let rps = RHS as f64 / elapsed.as_secs_f64();
+        if *b == 1 {
+            sequential_rps = rps;
+        }
+        let row = BatchRow {
+            mode,
+            batch: *b,
+            frames: payloads.len(),
+            grids_per_s: rps,
+            ratio_vs_sequential: if sequential_rps > 0.0 {
+                rps / sequential_rps
+            } else {
+                1.0
+            },
+            service_p50_ns: pctl(&mut service, 50.0),
+            service_p99_ns: pctl(&mut service, 99.0),
+        };
+        eprintln!(
+            "{:<10} batch={:<2} {:8.1} grids/s  ratio {:.2}x  frame p50 {:.2} ms",
+            row.mode,
+            row.batch,
+            row.grids_per_s,
+            row.ratio_vs_sequential,
+            row.service_p50_ns as f64 * 1e-6
+        );
+        rows.push(row);
+    }
+
+    let mut s = TcpStream::connect(addr).expect("connect");
+    protocol::write_frame(&mut s, protocol::OP_SHUTDOWN, b"").expect("drain");
+    let _ = protocol::read_frame(&mut s);
+    let snap = handle.join();
+    assert!(snap.batches > 0, "server recorded no multi-RHS passes");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"n\": {n},\n  \"iters\": {ITERS},\n  \"rhs\": {RHS},\n  \"verified_bitwise\": true,\n"
+    ));
+    json.push_str(&format!(
+        "  \"server\": {{\"batches\": {}, \"coalesced\": {}}},\n  \"rows\": [\n",
+        snap.batches, snap.coalesced
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"batch\": {}, \"frames\": {}, \"grids_per_s\": {:.1}, \
+             \"ratio_vs_sequential\": {:.3}, \"service_p50_ns\": {}, \"service_p99_ns\": {}}}{}\n",
+            r.mode,
+            r.batch,
+            r.frames,
+            r.grids_per_s,
+            r.ratio_vs_sequential,
+            r.service_p50_ns,
+            r.service_p99_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, json).expect("write batch BENCH json");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_pr3.json".to_string();
+    let mut batch_out: Option<String> = None;
     let mut n: i64 = 127;
+    let mut batch_n: i64 = 31;
     let mut repeats = 9usize;
     let mut i = 0;
     while i < args.len() {
@@ -84,6 +295,14 @@ fn main() {
             "-o" => {
                 i += 1;
                 out_path = args[i].clone();
+            }
+            "--batch-out" => {
+                i += 1;
+                batch_out = Some(args[i].clone());
+            }
+            "--batch-n" => {
+                i += 1;
+                batch_n = args[i].parse().expect("--batch-n");
             }
             "--n" => {
                 i += 1;
@@ -95,11 +314,19 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: perf-smoke [-o OUT.json] [--n N] [--repeats R]");
+                eprintln!(
+                    "usage: perf-smoke [-o OUT.json] [--n N] [--repeats R] \
+                     [--batch-out OUT.json [--batch-n N]]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = batch_out {
+        batch_bench(&path, batch_n);
+        return;
     }
 
     let host_threads = std::thread::available_parallelism()

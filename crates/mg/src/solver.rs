@@ -9,7 +9,7 @@ use crate::config::MgConfig;
 use crate::cycles::build_cycle_pipeline;
 use crate::handopt::HandOpt;
 use gmg_ir::ParamBindings;
-use gmg_runtime::{Engine, ExecError, RunStats};
+use gmg_runtime::{BatchRhs, Engine, ExecError, RunStats};
 use gmg_trace::Trace;
 use polymg::{CompiledPipeline, PipelineOptions};
 use std::sync::Arc;
@@ -34,6 +34,8 @@ pub trait CycleRunner {
 pub struct DslRunner {
     engine: Engine,
     out: Vec<f64>,
+    /// Per-RHS live-out staging for batched cycles (lazily sized).
+    outs: Vec<Vec<f64>>,
     label: String,
 }
 
@@ -53,6 +55,7 @@ impl DslRunner {
         Ok(DslRunner {
             engine,
             out: vec![0.0; out_len],
+            outs: Vec::new(),
             label: label.to_string(),
         })
     }
@@ -69,6 +72,7 @@ impl DslRunner {
         DslRunner {
             engine: Engine::new(plan),
             out: vec![0.0; cfg.alloc_len(cfg.levels - 1)],
+            outs: Vec::new(),
             label,
         }
     }
@@ -91,6 +95,38 @@ impl DslRunner {
             .engine
             .run(&[("V", v), ("F", f)], vec![("out", &mut self.out)])?;
         v.copy_from_slice(&self.out);
+        Ok(stats)
+    }
+
+    /// Run one cycle over a batch of right-hand sides in a single engine
+    /// pass: `vs[k] ← cycle(vs[k], fs[k])` for every k, bitwise-identical
+    /// to calling [`DslRunner::cycle_with_stats`] per RHS but with one
+    /// allocation/ghost-fill setup amortised across the sweep.
+    pub fn cycle_batch_with_stats(
+        &mut self,
+        vs: &mut [Vec<f64>],
+        fs: &[&[f64]],
+    ) -> Result<RunStats, ExecError> {
+        if vs.is_empty() || vs.len() != fs.len() {
+            return Err(ExecError::PlanViolation(
+                "batch needs equal, nonzero v and f counts",
+            ));
+        }
+        let out_len = self.out.len();
+        self.outs.resize_with(vs.len(), || vec![0.0; out_len]);
+        let batch = vs
+            .iter()
+            .zip(fs)
+            .zip(self.outs.iter_mut())
+            .map(|((v, f), out)| BatchRhs {
+                inputs: vec![("V", v.as_slice()), ("F", *f)],
+                outputs: vec![("out", out.as_mut_slice())],
+            })
+            .collect();
+        let stats = self.engine.run_batch(batch)?;
+        for (v, out) in vs.iter_mut().zip(&self.outs) {
+            v.copy_from_slice(out);
+        }
         Ok(stats)
     }
 }

@@ -40,4 +40,6 @@ pub mod schedule;
 pub mod tilebuf;
 
 pub use pool::{BufferPool, PoolStats};
-pub use schedule::{fill_ghost, Engine, ExecError, ExecHooks, NoHooks, RunStats, SlotView};
+pub use schedule::{
+    fill_ghost, BatchRhs, Engine, ExecError, ExecHooks, NoHooks, RunStats, SlotView,
+};

@@ -192,6 +192,120 @@ pub struct NoHooks;
 
 impl ExecHooks for NoHooks {}
 
+/// External bindings of one right-hand side in a batched pass (see
+/// [`Engine::run_batch`]). Each RHS binds the same external slot *names*
+/// the program declares, just to different arrays.
+pub struct BatchRhs<'a> {
+    pub inputs: Vec<(&'a str, &'a [f64])>,
+    pub outputs: Vec<(&'a str, &'a mut [f64])>,
+}
+
+/// Per slot: is the ghost ring left untouched by a full program pass?
+///
+/// A slot's ring is *stable* when every write the program performs on it —
+/// stage sweeps, diamond outputs, live-out copies — stays inside the
+/// interior box `[origin+1, origin+extent−2]`. For a stable slot the fill
+/// value written before the first RHS of a batch is still in place when the
+/// next RHS starts, so the batch sweep can skip the re-fill (the interior
+/// needs no care either: the recycling invariant guarantees every interior
+/// cell is overwritten before it is read). `HaloExchange` hands slots to
+/// host hooks that write ghost rows by design, so its presence disables
+/// the analysis wholesale.
+fn ghost_stable_slots(program: &ExecProgram) -> Vec<bool> {
+    let n = program.slots.len();
+    if program
+        .ops
+        .iter()
+        .any(|op| matches!(op, ExecOp::HaloExchange { .. }))
+    {
+        return vec![false; n];
+    }
+    let mut stable = vec![true; n];
+    let note_write = |stable: &mut Vec<bool>, slot: usize, region: &BoxDomain| {
+        let spec = &program.slots[slot];
+        let inside = region
+            .0
+            .iter()
+            .zip(spec.origin.iter().zip(&spec.extents))
+            .all(|(iv, (&o, &e))| iv.lo > o && iv.hi <= o + e - 2);
+        if !inside {
+            stable[slot] = false;
+        }
+    };
+    for op in &program.ops {
+        match op {
+            ExecOp::RunUntiledStage { stage } => {
+                if let Some(s) = stage.slot {
+                    note_write(&mut stable, s, &stage.domain);
+                }
+            }
+            ExecOp::RunOverlappedGroup { stages, .. } => {
+                for st in stages {
+                    if let Some(s) = st.slot {
+                        note_write(&mut stable, s, &st.domain);
+                    }
+                }
+            }
+            ExecOp::RunDiamondChain {
+                stages, out_slot, ..
+            } => {
+                for st in stages {
+                    if let Some(s) = st.slot {
+                        note_write(&mut stable, s, &st.domain);
+                    }
+                }
+                if let Some(last) = stages.last() {
+                    note_write(&mut stable, *out_slot, &last.domain);
+                }
+            }
+            ExecOp::CopyLiveOut { dst, region, .. } => note_write(&mut stable, *dst, region),
+            _ => {}
+        }
+    }
+    stable
+}
+
+/// Rebind the program's external slots to one RHS's arrays, replacing the
+/// previous RHS's bindings in place. Internal slots are untouched.
+fn bind_externals<'a>(
+    program: &ExecProgram,
+    slots: &mut [Slot<'a>],
+    inputs: &[(&'a str, &'a [f64])],
+    mut outputs: Vec<(&'a str, &'a mut [f64])>,
+) -> Result<(), ExecError> {
+    for (i, spec) in program.slots.iter().enumerate() {
+        if !spec.external {
+            continue;
+        }
+        let len = spec.len();
+        if let Some((_, data)) = inputs.iter().find(|(n, _)| *n == spec.name) {
+            if data.len() != len {
+                return Err(ExecError::WrongSize {
+                    name: spec.name.clone(),
+                    expected: len,
+                    got: data.len(),
+                });
+            }
+            slots[i] = Slot::In(data);
+        } else if let Some(pos) = outputs.iter().position(|(n, _)| *n == spec.name) {
+            let (_, d) = outputs.swap_remove(pos);
+            if d.len() != len {
+                return Err(ExecError::WrongSize {
+                    name: spec.name.clone(),
+                    expected: len,
+                    got: d.len(),
+                });
+            }
+            slots[i] = Slot::Out(d);
+        } else {
+            return Err(ExecError::NotBound {
+                name: spec.name.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The schedule VM. Construct once per program (or compiled plan), call
 /// [`Engine::run`] once per cycle. The pool persists across runs (the
 /// §3.2.3 cross-cycle behaviour).
@@ -216,6 +330,9 @@ pub struct Engine {
     chaos: Arc<FaultPlan>,
     /// Chaos counters already ingested into the trace (deltas per run).
     chaos_reported: ChaosStats,
+    /// Per slot: ghost ring provably untouched by a program pass (see
+    /// [`ghost_stable_slots`]); lets batched runs skip per-RHS re-fills.
+    ghost_stable: Vec<bool>,
 }
 
 impl Engine {
@@ -242,6 +359,7 @@ impl Engine {
             None
         };
         let nops = program.ops.len();
+        let ghost_stable = ghost_stable_slots(&program);
         Engine {
             plan: None,
             program,
@@ -254,6 +372,7 @@ impl Engine {
             threads_reported: rayon::PoolCounters::default(),
             chaos: Arc::new(FaultPlan::disabled()),
             chaos_reported: ChaosStats::default(),
+            ghost_stable,
         }
     }
 
@@ -382,46 +501,48 @@ impl Engine {
     pub fn run_with_hooks<H: ExecHooks>(
         &mut self,
         inputs: &[(&str, &[f64])],
-        mut outputs: Vec<(&str, &mut [f64])>,
+        outputs: Vec<(&str, &mut [f64])>,
         hooks: &mut H,
     ) -> Result<RunStats, ExecError> {
+        self.run_batch_with_hooks(
+            vec![BatchRhs {
+                inputs: inputs.to_vec(),
+                outputs,
+            }],
+            hooks,
+        )
+    }
+
+    /// Execute one pass of the program over every RHS in `batch`
+    /// (one [`BatchRhs`] binds one right-hand side's external arrays).
+    ///
+    /// The first RHS runs the full op stream; later RHS reuse its
+    /// allocations (`PoolAlloc` buffers stay live until the last RHS frees
+    /// them, `MallocFresh` buffers are retained, not re-zeroed) and skip
+    /// ghost re-fills for slots whose rings provably survive a pass. Results
+    /// are bitwise-identical to running each RHS through [`Engine::run`]
+    /// one at a time.
+    pub fn run_batch(&mut self, batch: Vec<BatchRhs<'_>>) -> Result<RunStats, ExecError> {
+        self.run_batch_with_hooks(batch, &mut NoHooks)
+    }
+
+    /// [`Engine::run_batch`] with host callbacks for hook ops.
+    pub fn run_batch_with_hooks<'a, H: ExecHooks>(
+        &mut self,
+        batch: Vec<BatchRhs<'a>>,
+        hooks: &mut H,
+    ) -> Result<RunStats, ExecError> {
+        if batch.is_empty() {
+            return Err(ExecError::PlanViolation("empty batch"));
+        }
         let start = Instant::now();
         let fresh0 = self.pool.stats().allocated_bytes;
 
-        // Bind external slots; internal slots start empty and are brought to
-        // life by their MallocFresh / PoolAlloc ops.
-        let mut slots: Vec<Slot<'_>> = Vec::with_capacity(self.program.slots.len());
-        for spec in &self.program.slots {
-            if !spec.external {
-                slots.push(Slot::Empty);
-                continue;
-            }
-            let len = spec.len();
-            if let Some((_, data)) = inputs.iter().find(|(n, _)| *n == spec.name) {
-                if data.len() != len {
-                    return Err(ExecError::WrongSize {
-                        name: spec.name.clone(),
-                        expected: len,
-                        got: data.len(),
-                    });
-                }
-                slots.push(Slot::In(data));
-            } else if let Some(pos) = outputs.iter().position(|(n, _)| *n == spec.name) {
-                let (_, d) = outputs.swap_remove(pos);
-                if d.len() != len {
-                    return Err(ExecError::WrongSize {
-                        name: spec.name.clone(),
-                        expected: len,
-                        got: d.len(),
-                    });
-                }
-                slots.push(Slot::Out(d));
-            } else {
-                return Err(ExecError::NotBound {
-                    name: spec.name.clone(),
-                });
-            }
-        }
+        // All slots start empty; externals are (re)bound per RHS, internal
+        // slots are brought to life by their MallocFresh / PoolAlloc ops on
+        // the first RHS. Declared outside the interpreter closure so the
+        // error path can sweep pooled buffers back.
+        let mut slots: Vec<Slot<'a>> = self.program.slots.iter().map(|_| Slot::Empty).collect();
 
         // Split-borrow fields so the interpreter closure can hold &mut to
         // slots/pool while reading the program.
@@ -431,125 +552,160 @@ impl Engine {
         let op_handles = &self.op_handles;
         let stage_handles = &self.stage_handles;
         let chaos: &FaultPlan = &self.chaos;
+        let ghost_stable = &self.ghost_stable;
+        let nrhs = batch.len();
 
-        let body = |slots: &mut Vec<Slot<'_>>,
-                    pool: &mut BufferPool,
-                    hooks: &mut H|
+        let body = move |slots: &mut Vec<Slot<'a>>,
+                         pool: &mut BufferPool,
+                         hooks: &mut H|
          -> Result<usize, ExecError> {
             let mut fresh_bytes = 0usize;
-            for (i, op) in program.ops.iter().enumerate() {
-                let oh = &op_handles[i];
-                let t0 = oh.is_enabled().then(Instant::now);
-                match op {
-                    ExecOp::MallocFresh { slot } => {
-                        let spec = &program.slots[*slot];
-                        let len = spec.len();
-                        fresh_bytes += len * std::mem::size_of::<f64>();
-                        slots[*slot] = Slot::Owned(Buffer::zeroed(len));
-                    }
-                    ExecOp::PoolAlloc { slot } => {
-                        let len = program.slots[*slot].len();
-                        let buf = if chaos.should_fire(FaultSite::PoolAlloc) {
-                            // injected pool exhaustion: recycling "fails",
-                            // degrade to a counted fresh malloc (the later
-                            // FillGhost + full interior overwrite make the
-                            // zeroed buffer bitwise-equivalent)
-                            let b = pool.allocate_fallback_fresh(len);
-                            chaos.record_recovered(FaultSite::PoolAlloc);
-                            b
-                        } else {
-                            pool.allocate(len)
-                        };
-                        slots[*slot] = Slot::Owned(buf);
-                    }
-                    ExecOp::FillGhost { slot } => {
-                        let spec = &program.slots[*slot];
-                        fill_ghost(
-                            slots[*slot].try_write(&spec.name)?,
-                            &spec.extents,
-                            spec.boundary,
-                        );
-                    }
-                    ExecOp::PoolFree { slot } => {
-                        match std::mem::replace(&mut slots[*slot], Slot::Empty) {
-                            Slot::Owned(b) => pool.deallocate(b),
-                            _ => {
-                                return Err(ExecError::PlanViolation(
-                                    "pool free of non-owned array",
-                                ))
+            for (k, rhs) in batch.into_iter().enumerate() {
+                let first = k == 0;
+                let last = k + 1 == nrhs;
+                bind_externals(program, slots, &rhs.inputs, rhs.outputs)?;
+                for (i, op) in program.ops.iter().enumerate() {
+                    let oh = &op_handles[i];
+                    let t0 = oh.is_enabled().then(Instant::now);
+                    match op {
+                        ExecOp::MallocFresh { slot } => {
+                            let spec = &program.slots[*slot];
+                            if first {
+                                let len = spec.len();
+                                fresh_bytes += len * std::mem::size_of::<f64>();
+                                slots[*slot] = Slot::Owned(Buffer::zeroed(len));
+                            } else if !ghost_stable[*slot] {
+                                // Retained buffer, but the previous RHS may
+                                // have dirtied the ring: restore the
+                                // zero-init state a fresh malloc provides.
+                                // (A gated FillGhost op follows for non-zero
+                                // boundaries; interiors never carry data
+                                // across a pass — pooled mode recycles them
+                                // stale and stays bitwise-identical.)
+                                fill_ghost(
+                                    slots[*slot].try_write(&spec.name)?,
+                                    &spec.extents,
+                                    0.0,
+                                );
                             }
                         }
-                    }
-                    ExecOp::RunUntiledStage { stage } => {
-                        crate::ops::untiled::run(program, stage, slots, &stage_handles[i], chaos)?;
-                    }
-                    ExecOp::RunOverlappedGroup {
-                        stages,
-                        live_out,
-                        scratch_slot,
-                        scratch_buffers,
-                        geom,
-                    } => {
-                        crate::ops::overlapped::run(
-                            program,
+                        ExecOp::PoolAlloc { slot } => {
+                            if first {
+                                let len = program.slots[*slot].len();
+                                let buf = if chaos.should_fire(FaultSite::PoolAlloc) {
+                                    // injected pool exhaustion: recycling
+                                    // "fails", degrade to a counted fresh
+                                    // malloc (the later FillGhost + full
+                                    // interior overwrite make the zeroed
+                                    // buffer bitwise-equivalent)
+                                    let b = pool.allocate_fallback_fresh(len);
+                                    chaos.record_recovered(FaultSite::PoolAlloc);
+                                    b
+                                } else {
+                                    pool.allocate(len)
+                                };
+                                slots[*slot] = Slot::Owned(buf);
+                            }
+                        }
+                        ExecOp::FillGhost { slot } => {
+                            if first || !ghost_stable[*slot] {
+                                let spec = &program.slots[*slot];
+                                fill_ghost(
+                                    slots[*slot].try_write(&spec.name)?,
+                                    &spec.extents,
+                                    spec.boundary,
+                                );
+                            }
+                        }
+                        ExecOp::PoolFree { slot } => {
+                            if last {
+                                match std::mem::replace(&mut slots[*slot], Slot::Empty) {
+                                    Slot::Owned(b) => pool.deallocate(b),
+                                    _ => {
+                                        return Err(ExecError::PlanViolation(
+                                            "pool free of non-owned array",
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        ExecOp::RunUntiledStage { stage } => {
+                            crate::ops::untiled::run(
+                                program,
+                                stage,
+                                slots,
+                                &stage_handles[i],
+                                chaos,
+                            )?;
+                        }
+                        ExecOp::RunOverlappedGroup {
                             stages,
                             live_out,
                             scratch_slot,
                             scratch_buffers,
                             geom,
-                            slots,
-                            &stage_handles[i],
-                            trace,
-                            chaos,
-                        )?;
-                    }
-                    ExecOp::RunDiamondChain {
-                        stages,
-                        schedule,
-                        radius,
-                        out_slot,
-                    } => {
-                        crate::ops::diamond::run(
-                            program,
+                        } => {
+                            crate::ops::overlapped::run(
+                                program,
+                                stages,
+                                live_out,
+                                scratch_slot,
+                                scratch_buffers,
+                                geom,
+                                slots,
+                                &stage_handles[i],
+                                trace,
+                                chaos,
+                            )?;
+                        }
+                        ExecOp::RunDiamondChain {
                             stages,
                             schedule,
-                            *radius,
-                            *out_slot,
-                            slots,
-                            pool,
-                            program.pooled,
-                            &stage_handles[i],
-                            chaos,
-                        )?;
-                    }
-                    ExecOp::CopyLiveOut { src, dst, region } => {
-                        let sspec = &program.slots[*src];
-                        let dspec = &program.slots[*dst];
-                        let mut taken = std::mem::replace(&mut slots[*dst], Slot::Empty);
-                        {
-                            let ddata = taken.try_write(&dspec.name)?;
-                            let sdata = slots[*src].try_read(&sspec.name)?;
-                            let sp = Space {
-                                data: sdata,
-                                origin: &sspec.origin,
-                                extents: &sspec.extents,
-                            };
-                            let mut dp = SpaceMut {
-                                data: ddata,
-                                origin: &dspec.origin,
-                                extents: &dspec.extents,
-                            };
-                            copy_box(&sp, &mut dp, region);
+                            radius,
+                            out_slot,
+                        } => {
+                            crate::ops::diamond::run(
+                                program,
+                                stages,
+                                schedule,
+                                *radius,
+                                *out_slot,
+                                slots,
+                                pool,
+                                program.pooled,
+                                &stage_handles[i],
+                                chaos,
+                            )?;
                         }
-                        slots[*dst] = taken;
+                        ExecOp::CopyLiveOut { src, dst, region } => {
+                            let sspec = &program.slots[*src];
+                            let dspec = &program.slots[*dst];
+                            let mut taken = std::mem::replace(&mut slots[*dst], Slot::Empty);
+                            {
+                                let ddata = taken.try_write(&dspec.name)?;
+                                let sdata = slots[*src].try_read(&sspec.name)?;
+                                let sp = Space {
+                                    data: sdata,
+                                    origin: &sspec.origin,
+                                    extents: &sspec.extents,
+                                };
+                                let mut dp = SpaceMut {
+                                    data: ddata,
+                                    origin: &dspec.origin,
+                                    extents: &dspec.extents,
+                                };
+                                copy_box(&sp, &mut dp, region);
+                            }
+                            slots[*dst] = taken;
+                        }
+                        ExecOp::HaloExchange { depth } => {
+                            let mut view = SlotView { slots, program };
+                            hooks.halo_exchange(*depth, &mut view)?;
+                        }
                     }
-                    ExecOp::HaloExchange { depth } => {
-                        let mut view = SlotView { slots, program };
-                        hooks.halo_exchange(*depth, &mut view)?;
+                    if let Some(t0) = t0 {
+                        oh.record(t0.elapsed().as_nanos() as u64);
                     }
-                }
-                if let Some(t0) = t0 {
-                    oh.record(t0.elapsed().as_nanos() as u64);
                 }
             }
             Ok(fresh_bytes)

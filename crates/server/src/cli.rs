@@ -4,11 +4,12 @@
 //! polymg-cli serve   [--addr H:P | --port N] [--port-file PATH]
 //!                    [--workers N] [--queue-cap N] [--tenant-cap N]
 //!                    [--engine-threads N] [--tuned FILE]
+//!                    [--coalesce-window-ms N] [--max-batch N]
 //!                    [--chaos-seed N] [--chaos-rate R] [--profile OUT.json]
 //!
 //! polymg-cli loadgen [--addr H:P | --port N | --port-file PATH]
 //!                    [--connections N] [--requests N] [--tenants N]
-//!                    [--retries N] [--no-shutdown] [-o OUT.json]
+//!                    [--retries N] [--batch N] [--no-shutdown] [-o OUT.json]
 //! ```
 //!
 //! `serve` blocks until a client sends the drain-and-stop frame (which
@@ -97,6 +98,18 @@ pub fn serve_main(args: &[String]) -> i32 {
                     cfg.engine_threads = flag_value(args, &mut i, "--engine-threads")?
                         .parse()
                         .map_err(|_| "--engine-threads needs a number".to_string())?
+                }
+                "--coalesce-window-ms" => {
+                    // 0 is meaningful: opportunistic drain with no waiting.
+                    let ms: u64 = flag_value(args, &mut i, "--coalesce-window-ms")?
+                        .parse()
+                        .map_err(|_| "--coalesce-window-ms needs a number".to_string())?;
+                    cfg.coalesce_window = Some(std::time::Duration::from_millis(ms));
+                }
+                "--max-batch" => {
+                    cfg.max_batch = flag_value(args, &mut i, "--max-batch")?
+                        .parse()
+                        .map_err(|_| "--max-batch needs a number".to_string())?
                 }
                 "--tuned" => {
                     let path = flag_value(args, &mut i, "--tuned")?;
@@ -216,6 +229,16 @@ pub fn loadgen_main(args: &[String]) -> i32 {
                     opts.retries = flag_value(args, &mut i, "--retries")?
                         .parse()
                         .map_err(|_| "--retries needs a number".to_string())?
+                }
+                "--batch" => {
+                    opts.batch = flag_value(args, &mut i, "--batch")?
+                        .parse()
+                        .map_err(|_| "--batch needs a number".to_string())?
+                }
+                "--backoff-seed" => {
+                    opts.backoff_seed = flag_value(args, &mut i, "--backoff-seed")?
+                        .parse()
+                        .map_err(|_| "--backoff-seed needs a number".to_string())?
                 }
                 "--no-shutdown" => opts.shutdown = false,
                 "--shutdown" => opts.shutdown = true,

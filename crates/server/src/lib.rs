@@ -23,7 +23,10 @@ pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use loadgen::{default_mix, LoadgenOptions, LoadgenReport, MixItem};
-pub use protocol::{ErrorCode, Frame, FrameError, SolveRequest, SolveResponse};
+pub use loadgen::{default_mix, retry_backoff_ms, LoadgenOptions, LoadgenReport, MixItem};
+pub use protocol::{
+    BatchSolveRequest, BatchSolveResponse, ErrorCode, Frame, FrameError, SolveRequest,
+    SolveResponse,
+};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use session::SessionManager;

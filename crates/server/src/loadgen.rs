@@ -10,11 +10,23 @@
 //! storage), *any* discrepancy — one ULP anywhere in the grid — is a
 //! serving bug, not noise.
 //!
+//! With `batch >= 2` the mix also carries `SOLVE_BATCH` frames: each mix
+//! item gets `batch` RHS-perturbed variants, every one independently
+//! reference-solved, and the batched response is verified per grid. Batch
+//! frames alternate with same-shape singles so a coalescing server sees
+//! mergeable traffic. Counters are *grid*-granular (`requests`, `ok`,
+//! `verify_failures`, `dropped`, `exec_error_grids` all count grids);
+//! `exec_error_frames` and `batch_frames` count protocol frames.
+//!
 //! Typed error frames are part of the contract, not failures: `QueueFull`
-//! and `TenantLimit` are retried with backoff (and counted), `ExecFailed`
-//! (chaos faults) is counted and accepted. Anything else unexpected fails
-//! the run. Latency is recorded per successful request; the report renders
-//! throughput and p50/p95/p99 as JSON for `BENCH_pr5.json`.
+//! and `TenantLimit` are retried with capped exponential backoff
+//! ([`retry_backoff_ms`]), `ExecFailed` (chaos faults) is counted and
+//! accepted. Anything else unexpected fails the run. Two latency
+//! distributions are kept apart: *service* latency spans one
+//! request/response exchange on the wire, *end-to-end* latency spans the
+//! whole logical request including backpressure retries and backoff sleeps.
+//! Conflating them (the old single `latency_ns`) let retry sleeps masquerade
+//! as server time and inflated the published p99.
 
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,7 +37,30 @@ use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
 use gmg_multigrid::solver::{setup_poisson, DslRunner};
 use polymg::{PipelineOptions, Variant};
 
-use crate::protocol::{self, ErrorCode, SolveRequest};
+use crate::protocol::{self, BatchSolveRequest, ErrorCode, SolveRequest};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Backoff (milliseconds) before retry number `attempt` (0-based) of a
+/// backpressured request: exponential from 2 ms doubling to a 64 ms cap,
+/// plus seeded jitter of up to half the base so concurrent clients
+/// desynchronise instead of thundering back in lockstep.
+///
+/// The jitter is strictly smaller than the doubling gap, so below the cap
+/// the schedule is monotone for any seed: max(attempt) = 1.5·base <
+/// 2·base = min(attempt+1). The old schedule `(1 + attempt % 8) * 2`
+/// applied `%` before `+` (precedence bug) and cycled 2–16 ms forever —
+/// retry 100 slept *less* than retry 7.
+pub fn retry_backoff_ms(attempt: usize, seed: u64) -> u64 {
+    let base = 2u64 << attempt.min(5) as u64;
+    let jitter = splitmix64(seed ^ (attempt as u64).wrapping_mul(0x9e37)) % (base / 2).max(1);
+    base + jitter
+}
 
 /// One entry of the request mix.
 #[derive(Clone)]
@@ -79,6 +114,12 @@ pub struct LoadgenOptions {
     pub retries: usize,
     /// Send a drain-and-stop frame once the load completes.
     pub shutdown: bool,
+    /// Grids per `SOLVE_BATCH` frame; `0` or `1` disables batch frames.
+    /// When enabled, every other request on a connection is a batch frame,
+    /// the rest stay same-shape singles.
+    pub batch: usize,
+    /// Seed for backoff jitter (mixed with the connection index).
+    pub backoff_seed: u64,
     pub mix: Vec<MixItem>,
 }
 
@@ -91,32 +132,68 @@ impl Default for LoadgenOptions {
             tenants: 2,
             retries: 200,
             shutdown: false,
+            batch: 0,
+            backoff_seed: 0x676d675f6c67,
             mix: default_mix(),
         }
     }
 }
 
-/// Aggregated outcome of one loadgen run.
+/// Aggregated outcome of one loadgen run. `requests`, `ok`,
+/// `verify_failures`, `dropped` and `exec_error_grids` count *grids* (a
+/// batch frame of B grids contributes B); `exec_error_frames` and
+/// `batch_frames` count protocol frames. For every run,
+/// `ok + verify_failures + exec_error_grids + dropped + unexpected ==
+/// requests`.
 #[derive(Debug, Default)]
 pub struct LoadgenReport {
     pub requests: u64,
     pub ok: u64,
-    /// `SOLVE_OK` responses whose grid was not bitwise-identical to the
+    /// `SOLVE_OK`/`SOLVE_BATCH_OK` grids not bitwise-identical to the
     /// in-process reference. Must be zero for a healthy server.
     pub verify_failures: u64,
     /// Typed `ExecFailed` frames (injected chaos faults surface here).
     pub exec_error_frames: u64,
-    /// Requests dropped after exhausting backpressure retries.
+    /// Grids lost to `ExecFailed` frames (== frames for singles; a failed
+    /// batch frame loses all its grids to the one error frame).
+    pub exec_error_grids: u64,
+    /// `SOLVE_BATCH` frames sent (not counting backpressure resends).
+    pub batch_frames: u64,
+    /// Grids dropped after exhausting backpressure retries.
     pub dropped: u64,
     /// Total backpressure retries performed.
     pub retries: u64,
-    /// Responses that were neither `SOLVE_OK` nor an accepted typed error.
+    /// Responses that were neither solve-ok nor an accepted typed error.
     pub unexpected: u64,
     pub elapsed: Duration,
-    /// Per-request latency (successful solves only), nanoseconds.
-    pub latencies_ns: Vec<u64>,
+    /// Per-exchange service latency (write → response read) of verified
+    /// frames, nanoseconds. Excludes retry sleeps by construction.
+    pub service_ns: Vec<u64>,
+    /// End-to-end latency of verified logical requests, including
+    /// backpressure retries and backoff sleeps, nanoseconds.
+    pub e2e_ns: Vec<u64>,
     /// Server counters fetched over `STATS` after the run.
     pub server_stats: Vec<(String, u64)>,
+}
+
+fn percentile(xs: &[u64], pct: f64) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mut xs = xs.to_vec();
+    xs.sort_unstable();
+    let rank = ((pct / 100.0) * xs.len() as f64).ceil() as usize;
+    xs[rank.clamp(1, xs.len()) - 1]
+}
+
+fn latency_json(xs: &[u64]) -> String {
+    format!(
+        "{{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+        percentile(xs, 50.0),
+        percentile(xs, 95.0),
+        percentile(xs, 99.0),
+        xs.iter().copied().max().unwrap_or(0)
+    )
 }
 
 impl LoadgenReport {
@@ -126,14 +203,15 @@ impl LoadgenReport {
         self.verify_failures == 0 && self.unexpected == 0 && self.ok + self.exec_error_frames > 0
     }
 
+    /// Service-latency percentile (the distribution that reflects the
+    /// server, not client-side backoff sleeps).
     pub fn percentile_ns(&self, pct: f64) -> u64 {
-        if self.latencies_ns.is_empty() {
-            return 0;
-        }
-        let mut xs = self.latencies_ns.clone();
-        xs.sort_unstable();
-        let rank = ((pct / 100.0) * xs.len() as f64).ceil() as usize;
-        xs[rank.clamp(1, xs.len()) - 1]
+        percentile(&self.service_ns, pct)
+    }
+
+    /// End-to-end latency percentile, retries and sleeps included.
+    pub fn e2e_percentile_ns(&self, pct: f64) -> u64 {
+        percentile(&self.e2e_ns, pct)
     }
 
     pub fn throughput_rps(&self) -> f64 {
@@ -156,6 +234,11 @@ impl LoadgenReport {
             "  \"exec_error_frames\": {},\n",
             self.exec_error_frames
         ));
+        s.push_str(&format!(
+            "  \"exec_error_grids\": {},\n",
+            self.exec_error_grids
+        ));
+        s.push_str(&format!("  \"batch_frames\": {},\n", self.batch_frames));
         s.push_str(&format!("  \"dropped\": {},\n", self.dropped));
         s.push_str(&format!("  \"retries\": {},\n", self.retries));
         s.push_str(&format!("  \"unexpected\": {},\n", self.unexpected));
@@ -168,11 +251,12 @@ impl LoadgenReport {
             self.throughput_rps()
         ));
         s.push_str(&format!(
-            "  \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
-            self.percentile_ns(50.0),
-            self.percentile_ns(95.0),
-            self.percentile_ns(99.0),
-            self.latencies_ns.iter().copied().max().unwrap_or(0)
+            "  \"service_latency_ns\": {},\n",
+            latency_json(&self.service_ns)
+        ));
+        s.push_str(&format!(
+            "  \"e2e_latency_ns\": {},\n",
+            latency_json(&self.e2e_ns)
         ));
         s.push_str("  \"server\": {");
         for (i, (k, v)) in self.server_stats.iter().enumerate() {
@@ -187,22 +271,34 @@ impl LoadgenReport {
 
     pub fn summary(&self) -> String {
         format!(
-            "loadgen: {} requests, {} ok ({} verify failures, {} exec-error frames, \
-             {} dropped, {} unexpected), {} retries, {:.2} req/s, \
-             p50 {:.2} ms / p95 {:.2} ms / p99 {:.2} ms",
+            "loadgen: {} grids, {} ok ({} verify failures, {} exec-error frames / {} grids, \
+             {} dropped, {} unexpected), {} batch frames, {} retries, {:.2} grids/s, \
+             service p50 {:.2} ms / p95 {:.2} ms / p99 {:.2} ms, \
+             e2e p50 {:.2} ms / p99 {:.2} ms",
             self.requests,
             self.ok,
             self.verify_failures,
             self.exec_error_frames,
+            self.exec_error_grids,
             self.dropped,
             self.unexpected,
+            self.batch_frames,
             self.retries,
             self.throughput_rps(),
             self.percentile_ns(50.0) as f64 * 1e-6,
             self.percentile_ns(95.0) as f64 * 1e-6,
             self.percentile_ns(99.0) as f64 * 1e-6,
+            self.e2e_percentile_ns(50.0) as f64 * 1e-6,
+            self.e2e_percentile_ns(99.0) as f64 * 1e-6,
         )
     }
+}
+
+/// One RHS-perturbed variant of a mix item, with its own reference answer.
+struct BatchGrid {
+    v0: Vec<f64>,
+    f: Vec<f64>,
+    bits: Vec<u64>,
 }
 
 /// The precomputed ground truth for one mix item.
@@ -211,28 +307,56 @@ struct Expected {
     v0: Vec<f64>,
     f: Vec<f64>,
     bits: Vec<u64>,
+    /// `batch` perturbed variants (empty when batch frames are disabled).
+    /// Each is reference-solved independently, single-RHS, so batched
+    /// serving is verified against answers the batch path never produced.
+    batch: Vec<BatchGrid>,
 }
 
 /// Run each mix item locally (through the same plan cache and engine the
 /// server uses) to establish the bitwise-exact expected answer.
-fn compute_expected(mix: &[MixItem]) -> Result<Vec<Expected>, String> {
+fn compute_expected(mix: &[MixItem], batch: usize) -> Result<Vec<Expected>, String> {
     mix.iter()
-        .map(|item| {
+        .enumerate()
+        .map(|(mi, item)| {
             let (v0, f, _) = setup_poisson(&item.cfg);
             let opts = PipelineOptions::for_variant(item.variant, item.cfg.ndims);
             let mut runner = DslRunner::new(&item.cfg, opts, "loadgen-ref")
                 .map_err(|e| format!("reference compile failed: {}", e.join("; ")))?;
-            let mut v = v0.clone();
-            for _ in 0..item.iters {
-                runner
-                    .cycle_with_stats(&mut v, &f)
-                    .map_err(|e| format!("reference cycle failed: {e}"))?;
+            let mut solve = |v0: &[f64], f: &[f64]| -> Result<Vec<u64>, String> {
+                let mut v = v0.to_vec();
+                for _ in 0..item.iters {
+                    runner
+                        .cycle_with_stats(&mut v, f)
+                        .map_err(|e| format!("reference cycle failed: {e}"))?;
+                }
+                Ok(v.iter().map(|x| x.to_bits()).collect())
+            };
+            let bits = solve(&v0, &f)?;
+            let mut grids = Vec::new();
+            if batch >= 2 {
+                for b in 0..batch {
+                    // distinct RHS per grid; both sides see identical bytes,
+                    // so the perturbation itself needs no ghost-ring care
+                    let mut fb = f.clone();
+                    for (i, x) in fb.iter_mut().enumerate() {
+                        let r = splitmix64((mi as u64) << 48 | (b as u64) << 32 | i as u64);
+                        *x += (r % 1000) as f64 * 1e-6;
+                    }
+                    let bits = solve(&v0, &fb)?;
+                    grids.push(BatchGrid {
+                        v0: v0.clone(),
+                        f: fb,
+                        bits,
+                    });
+                }
             }
             Ok(Expected {
                 item: item.clone(),
                 v0,
                 f,
-                bits: v.iter().map(|x| x.to_bits()).collect(),
+                bits,
+                batch: grids,
             })
         })
         .collect()
@@ -244,6 +368,8 @@ struct SharedCounts {
     ok: AtomicU64,
     verify_failures: AtomicU64,
     exec_error_frames: AtomicU64,
+    exec_error_grids: AtomicU64,
+    batch_frames: AtomicU64,
     dropped: AtomicU64,
     retries: AtomicU64,
     unexpected: AtomicU64,
@@ -257,6 +383,81 @@ struct ConnOptions {
     requests_per_conn: usize,
     tenants: u32,
     retries: usize,
+    batch: usize,
+    backoff_seed: u64,
+}
+
+/// Latency samples a connection thread collects.
+#[derive(Default)]
+struct Lats {
+    service_ns: Vec<u64>,
+    e2e_ns: Vec<u64>,
+}
+
+/// Send one frame (retrying through backpressure) and verify the response
+/// against `grids` (one entry per expected grid, `(len, bits)` pairs come
+/// from the caller via a closure over the decoded response).
+#[allow(clippy::too_many_arguments)]
+fn exchange(
+    stream: &mut TcpStream,
+    opcode: u8,
+    payload: &[u8],
+    ngrids: u64,
+    verify: impl Fn(&protocol::Frame, &SharedCounts),
+    o: &ConnOptions,
+    seed: u64,
+    counts: &SharedCounts,
+    lats: &mut Lats,
+) -> Result<(), String> {
+    let req_t0 = Instant::now();
+    let mut attempt = 0usize;
+    loop {
+        let t0 = Instant::now();
+        protocol::write_frame(stream, opcode, payload).map_err(|e| format!("send failed: {e}"))?;
+        let frame =
+            protocol::read_frame(stream).map_err(|e| format!("response read failed: {e}"))?;
+        let service = t0.elapsed().as_nanos() as u64;
+        match frame.opcode {
+            protocol::OP_SOLVE_OK | protocol::OP_SOLVE_BATCH_OK => {
+                verify(&frame, counts);
+                lats.service_ns.push(service);
+                lats.e2e_ns.push(req_t0.elapsed().as_nanos() as u64);
+                return Ok(());
+            }
+            protocol::OP_ERROR => match protocol::decode_error(&frame.payload) {
+                Some((ErrorCode::QueueFull, _)) | Some((ErrorCode::TenantLimit, _)) => {
+                    if attempt >= o.retries {
+                        counts.dropped.fetch_add(ngrids, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    counts.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(retry_backoff_ms(attempt, seed)));
+                    attempt += 1;
+                }
+                Some((ErrorCode::ExecFailed, _)) => {
+                    counts.exec_error_frames.fetch_add(1, Ordering::Relaxed);
+                    counts.exec_error_grids.fetch_add(ngrids, Ordering::Relaxed);
+                    return Ok(());
+                }
+                _ => {
+                    counts.unexpected.fetch_add(ngrids, Ordering::Relaxed);
+                    return Ok(());
+                }
+            },
+            _ => {
+                counts.unexpected.fetch_add(ngrids, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn verify_grid(got: &[f64], want_bits: &[u64]) -> bool {
+    got.len() == want_bits.len()
+        && got
+            .iter()
+            .zip(want_bits.iter())
+            .all(|(x, &b)| x.to_bits() == b)
 }
 
 /// One client connection's request loop.
@@ -265,72 +466,87 @@ fn drive_connection(
     opts: &ConnOptions,
     expected: &[Expected],
     counts: &SharedCounts,
-    latencies: &mut Vec<u64>,
+    lats: &mut Lats,
 ) -> Result<(), String> {
     let mut stream =
         TcpStream::connect(&opts.addr).map_err(|e| format!("connect {} failed: {e}", opts.addr))?;
     let tenant = conn_idx as u32 % opts.tenants.max(1);
+    let seed = opts.backoff_seed ^ splitmix64(conn_idx as u64);
     for r in 0..opts.requests_per_conn {
         let exp = &expected[(conn_idx + r) % expected.len()];
-        let req = SolveRequest::from_config(
-            &exp.item.cfg,
-            exp.item.variant,
-            tenant,
-            exp.item.iters,
-            exp.v0.clone(),
-            exp.f.clone(),
-        );
-        let payload = req.encode();
-        counts.requests.fetch_add(1, Ordering::Relaxed);
-        let mut attempt = 0usize;
-        loop {
-            let t0 = Instant::now();
-            protocol::write_frame(&mut stream, protocol::OP_SOLVE, &payload)
-                .map_err(|e| format!("send failed: {e}"))?;
-            let frame = protocol::read_frame(&mut stream)
-                .map_err(|e| format!("response read failed: {e}"))?;
-            match frame.opcode {
-                protocol::OP_SOLVE_OK => {
-                    let resp = protocol::SolveResponse::decode(&frame.payload)
-                        .map_err(|e| format!("response decode failed: {e}"))?;
-                    let same = resp.v.len() == exp.bits.len()
-                        && resp
-                            .v
-                            .iter()
-                            .zip(exp.bits.iter())
-                            .all(|(x, &b)| x.to_bits() == b);
-                    if same {
-                        counts.ok.fetch_add(1, Ordering::Relaxed);
-                        latencies.push(t0.elapsed().as_nanos() as u64);
-                    } else {
-                        counts.verify_failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                    break;
-                }
-                protocol::OP_ERROR => match protocol::decode_error(&frame.payload) {
-                    Some((ErrorCode::QueueFull, _)) | Some((ErrorCode::TenantLimit, _)) => {
-                        attempt += 1;
-                        if attempt > opts.retries {
-                            counts.dropped.fetch_add(1, Ordering::Relaxed);
-                            break;
+        let batched = opts.batch >= 2 && !exp.batch.is_empty() && r % 2 == 1;
+        if batched {
+            let reqs: Vec<SolveRequest> = exp
+                .batch
+                .iter()
+                .map(|g| {
+                    SolveRequest::from_config(
+                        &exp.item.cfg,
+                        exp.item.variant,
+                        tenant,
+                        exp.item.iters,
+                        g.v0.clone(),
+                        g.f.clone(),
+                    )
+                })
+                .collect();
+            let ngrids = reqs.len() as u64;
+            let payload = BatchSolveRequest { reqs }.encode();
+            counts.requests.fetch_add(ngrids, Ordering::Relaxed);
+            counts.batch_frames.fetch_add(1, Ordering::Relaxed);
+            exchange(
+                &mut stream,
+                protocol::OP_SOLVE_BATCH,
+                &payload,
+                ngrids,
+                |frame, counts| match protocol::BatchSolveResponse::decode(&frame.payload) {
+                    Ok(resp) if resp.vs.len() == exp.batch.len() => {
+                        for (got, g) in resp.vs.iter().zip(exp.batch.iter()) {
+                            if verify_grid(got, &g.bits) {
+                                counts.ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                counts.verify_failures.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
-                        counts.retries.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(Duration::from_millis((1 + attempt as u64 % 8) * 2));
-                    }
-                    Some((ErrorCode::ExecFailed, _)) => {
-                        counts.exec_error_frames.fetch_add(1, Ordering::Relaxed);
-                        break;
                     }
                     _ => {
-                        counts.unexpected.fetch_add(1, Ordering::Relaxed);
-                        break;
+                        counts.unexpected.fetch_add(ngrids, Ordering::Relaxed);
                     }
                 },
-                _ => {
-                    counts.unexpected.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
-            }
+                opts,
+                seed ^ r as u64,
+                counts,
+                lats,
+            )?;
+        } else {
+            let req = SolveRequest::from_config(
+                &exp.item.cfg,
+                exp.item.variant,
+                tenant,
+                exp.item.iters,
+                exp.v0.clone(),
+                exp.f.clone(),
+            );
+            let payload = req.encode();
+            counts.requests.fetch_add(1, Ordering::Relaxed);
+            exchange(
+                &mut stream,
+                protocol::OP_SOLVE,
+                &payload,
+                1,
+                |frame, counts| match protocol::SolveResponse::decode(&frame.payload) {
+                    Ok(resp) if verify_grid(&resp.v, &exp.bits) => {
+                        counts.ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        counts.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                opts,
+                seed ^ r as u64,
+                counts,
+                lats,
+            )?;
         }
     }
     Ok(())
@@ -338,7 +554,7 @@ fn drive_connection(
 
 /// Drive the configured load against `opts.addr` and verify every response.
 pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
-    let expected = Arc::new(compute_expected(&opts.mix)?);
+    let expected = Arc::new(compute_expected(&opts.mix, opts.batch)?);
     let counts = Arc::new(SharedCounts::default());
     let t0 = Instant::now();
 
@@ -347,6 +563,8 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         requests_per_conn: opts.requests_per_conn,
         tenants: opts.tenants,
         retries: opts.retries,
+        batch: opts.batch,
+        backoff_seed: opts.backoff_seed,
     };
     let handles: Vec<_> = (0..opts.connections.max(1))
         .map(|c| {
@@ -354,21 +572,23 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
             let counts = Arc::clone(&counts);
             let o = conn_opts.clone();
             std::thread::spawn(move || {
-                let mut lats = Vec::new();
+                let mut lats = Lats::default();
                 let res = drive_connection(c, &o, &expected, &counts, &mut lats);
                 (res, lats)
             })
         })
         .collect();
 
-    let mut latencies = Vec::new();
+    let mut all = Lats::default();
     let mut first_err = None;
     for h in handles {
         match h.join() {
-            Ok((Ok(()), lats)) => latencies.extend(lats),
-            Ok((Err(e), lats)) => {
-                latencies.extend(lats);
-                first_err.get_or_insert(e);
+            Ok((res, lats)) => {
+                all.service_ns.extend(lats.service_ns);
+                all.e2e_ns.extend(lats.e2e_ns);
+                if let Err(e) = res {
+                    first_err.get_or_insert(e);
+                }
             }
             Err(_) => {
                 first_err.get_or_insert("connection thread panicked".to_string());
@@ -409,11 +629,66 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         ok: counts.ok.load(Ordering::Relaxed),
         verify_failures: counts.verify_failures.load(Ordering::Relaxed),
         exec_error_frames: counts.exec_error_frames.load(Ordering::Relaxed),
+        exec_error_grids: counts.exec_error_grids.load(Ordering::Relaxed),
+        batch_frames: counts.batch_frames.load(Ordering::Relaxed),
         dropped: counts.dropped.load(Ordering::Relaxed),
         retries: counts.retries.load(Ordering::Relaxed),
         unexpected: counts.unexpected.load(Ordering::Relaxed),
         elapsed,
-        latencies_ns: latencies,
+        service_ns: all.service_ns,
+        e2e_ns: all.e2e_ns,
         server_stats,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_monotone_up_to_the_cap() {
+        // The schedule doubles 2→64 ms; jitter (< base/2) never exceeds the
+        // doubling gap, so each retry below the cap waits at least as long
+        // as the one before it — for ANY seed. The old `(1 + a % 8) * 2`
+        // schedule violated this at attempt 8 (wrapped back to 4 ms).
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX, 0x676d675f6c67] {
+            let xs: Vec<u64> = (0..16).map(|a| retry_backoff_ms(a, seed)).collect();
+            for a in 0..5 {
+                assert!(
+                    xs[a + 1] >= xs[a],
+                    "seed {seed:#x}: backoff({}) = {} < backoff({a}) = {}",
+                    a + 1,
+                    xs[a + 1],
+                    xs[a]
+                );
+            }
+            assert_eq!(xs[0], 2, "first retry is the 2 ms floor (zero jitter)");
+            for (a, &x) in xs.iter().enumerate() {
+                assert!((2..96).contains(&x), "attempt {a}: {x} ms outside [2, 96)");
+            }
+            for &x in &xs[5..] {
+                assert!(x >= 64, "capped attempts stay at the 64 ms base");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_varies_with_seed() {
+        let spread: std::collections::HashSet<u64> =
+            (0..64).map(|s| retry_backoff_ms(8, s)).collect();
+        assert!(
+            spread.len() > 8,
+            "64 seeds produced only {} distinct capped backoffs",
+            spread.len()
+        );
+    }
+
+    #[test]
+    fn percentile_ranks_are_stable() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50.0), 50);
+        assert_eq!(percentile(&xs, 99.0), 99);
+        assert_eq!(percentile(&xs, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
 }

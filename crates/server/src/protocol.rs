@@ -35,6 +35,10 @@ pub const OP_PING: u8 = 0x02;
 pub const OP_STATS: u8 = 0x03;
 /// Request: drain in-flight solves, then acknowledge and stop.
 pub const OP_SHUTDOWN: u8 = 0x04;
+/// Request: run N same-shape solves in one batched engine pass (payload =
+/// [`BatchSolveRequest`]). Answered by [`OP_SOLVE_BATCH_OK`] with all N
+/// results, or by one [`OP_ERROR`] frame for the whole batch.
+pub const OP_SOLVE_BATCH: u8 = 0x05;
 
 /// Response to [`OP_SOLVE`] (payload = [`SolveResponse`]).
 pub const OP_SOLVE_OK: u8 = 0x81;
@@ -44,8 +48,15 @@ pub const OP_PONG: u8 = 0x82;
 pub const OP_STATS_OK: u8 = 0x83;
 /// Response to [`OP_SHUTDOWN`], sent once the server is drained.
 pub const OP_SHUTDOWN_ACK: u8 = 0x84;
+/// Response to [`OP_SOLVE_BATCH`] (payload = [`BatchSolveResponse`]).
+pub const OP_SOLVE_BATCH_OK: u8 = 0x85;
 /// Typed failure: `[u16 code][utf8 message]`.
 pub const OP_ERROR: u8 = 0xEE;
+
+/// Hard bound on the RHS count of one [`OP_SOLVE_BATCH`] frame. A batch of
+/// 64 finest 2-D grids already saturates [`MAX_FRAME`]; anything above is a
+/// hostile or buggy client.
+pub const MAX_BATCH: usize = 64;
 
 /// Typed reasons a request can fail without killing the connection or the
 /// server. The `u16` values are the wire encoding and must stay stable.
@@ -453,6 +464,119 @@ impl SolveRequest {
     }
 }
 
+impl SolveRequest {
+    /// Do two requests compile to the same plan and run the same iteration
+    /// count — i.e. can they share one batched engine pass? Tenant is
+    /// deliberately excluded: coalescing across tenants is allowed (each
+    /// keeps its own admission charge).
+    pub fn same_plan_shape(&self, other: &SolveRequest) -> bool {
+        self.ndims == other.ndims
+            && self.cycle == other.cycle
+            && self.variant == other.variant
+            && self.pre == other.pre
+            && self.coarse == other.coarse
+            && self.post == other.post
+            && self.iters == other.iters
+            && self.n == other.n
+            && self.levels == other.levels
+    }
+}
+
+/// N same-shape solves in one frame: `[u16 count]` then per request
+/// `[u32 len][SolveRequest bytes]`. All embedded requests must agree on
+/// plan shape (they run as one batched engine pass) and tenant (the frame
+/// is admitted as one unit of the sender's quota).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSolveRequest {
+    pub reqs: Vec<SolveRequest>,
+}
+
+impl BatchSolveRequest {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        p.extend_from_slice(&(self.reqs.len() as u16).to_le_bytes());
+        for req in &self.reqs {
+            let bytes = req.encode();
+            p.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            p.extend_from_slice(&bytes);
+        }
+        p
+    }
+
+    /// Decode and fully validate: every embedded request passes
+    /// [`SolveRequest::decode`]'s checks, the count matches the payload,
+    /// and the batch is shape- and tenant-homogeneous.
+    pub fn decode(payload: &[u8]) -> Result<BatchSolveRequest, String> {
+        let mut c = Cursor::new(payload);
+        let count = c.u16("batch count")? as usize;
+        if count == 0 {
+            return Err("batch count must be at least 1".to_string());
+        }
+        if count > MAX_BATCH {
+            return Err(format!("batch count {count} exceeds maximum {MAX_BATCH}"));
+        }
+        let mut reqs = Vec::with_capacity(count);
+        for i in 0..count {
+            let len = c.u32("embedded request length")? as usize;
+            let bytes = c.take(len, "embedded request")?;
+            let req = SolveRequest::decode(bytes).map_err(|e| format!("batch request {i}: {e}"))?;
+            reqs.push(req);
+        }
+        c.done()?;
+        for (i, req) in reqs.iter().enumerate().skip(1) {
+            if !req.same_plan_shape(&reqs[0]) {
+                return Err(format!(
+                    "mixed-shape batch: request {i} differs from request 0"
+                ));
+            }
+            if req.tenant != reqs[0].tenant {
+                return Err(format!(
+                    "mixed-tenant batch: request {i} has tenant {}, request 0 has {}",
+                    req.tenant, reqs[0].tenant
+                ));
+            }
+        }
+        Ok(BatchSolveRequest { reqs })
+    }
+}
+
+/// Response to a batch: every grid solved, in request order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSolveResponse {
+    /// Server-side service time of the whole batched pass.
+    pub elapsed_ns: u64,
+    pub vs: Vec<Vec<f64>>,
+}
+
+impl BatchSolveResponse {
+    pub fn encode(&self) -> Vec<u8> {
+        let grid: usize = self.vs.first().map(|v| v.len()).unwrap_or(0);
+        let mut p = Vec::with_capacity(10 + self.vs.len() * (4 + 8 * grid));
+        p.extend_from_slice(&self.elapsed_ns.to_le_bytes());
+        p.extend_from_slice(&(self.vs.len() as u16).to_le_bytes());
+        for v in &self.vs {
+            p.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            for &x in v {
+                p.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        p
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<BatchSolveResponse, String> {
+        let mut c = Cursor::new(payload);
+        let elapsed_ns = c.u64("elapsed_ns")?;
+        let count = c.u16("batch count")? as usize;
+        let mut vs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let elems = c.u32("elems")? as usize;
+            vs.push(c.f64_vec(elems, "v")?);
+        }
+        c.done()?;
+        Ok(BatchSolveResponse { elapsed_ns, vs })
+    }
+}
+
 /// A successful solve: the updated fine-grid solution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolveResponse {
@@ -589,6 +713,103 @@ mod tests {
         assert_eq!(code, ErrorCode::QueueFull);
         assert_eq!(msg, "busy");
         assert!(decode_error(&[1]).is_none());
+    }
+
+    #[test]
+    fn batch_request_round_trips() {
+        let mut r0 = small_request();
+        let mut r1 = small_request();
+        r0.f[5] = 7.25;
+        r1.v[3] = -1.5;
+        let batch = BatchSolveRequest {
+            reqs: vec![r0, r1],
+        };
+        let back = BatchSolveRequest::decode(&batch.encode()).expect("decode");
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn batch_response_round_trips() {
+        let resp = BatchSolveResponse {
+            elapsed_ns: 42,
+            vs: vec![vec![1.0, 2.0], vec![-0.5, f64::MIN_POSITIVE]],
+        };
+        let back = BatchSolveResponse::decode(&resp.encode()).expect("decode");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn batch_decode_rejects_malformed() {
+        // zero count
+        assert!(BatchSolveRequest::decode(&0u16.to_le_bytes())
+            .unwrap_err()
+            .contains("at least 1"));
+        // oversized count
+        let mut p = ((MAX_BATCH + 1) as u16).to_le_bytes().to_vec();
+        p.extend_from_slice(&[0; 64]);
+        assert!(BatchSolveRequest::decode(&p)
+            .unwrap_err()
+            .contains("exceeds maximum"));
+        // count/payload mismatch: declares 2, carries 1
+        let one = small_request().encode();
+        let mut p = 2u16.to_le_bytes().to_vec();
+        p.extend_from_slice(&(one.len() as u32).to_le_bytes());
+        p.extend_from_slice(&one);
+        assert!(BatchSolveRequest::decode(&p).is_err());
+        // embedded length overruns the payload
+        let mut p = 1u16.to_le_bytes().to_vec();
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        p.extend_from_slice(&one[..8]);
+        assert!(BatchSolveRequest::decode(&p).is_err());
+        // trailing garbage after the last embedded request
+        let good = BatchSolveRequest {
+            reqs: vec![small_request()],
+        }
+        .encode();
+        let mut p = good.clone();
+        p.push(0);
+        assert!(BatchSolveRequest::decode(&p)
+            .unwrap_err()
+            .contains("trailing"));
+        // a malformed embedded request names its index
+        let mut bad_inner = small_request();
+        bad_inner.n = 8;
+        let batch = BatchSolveRequest {
+            reqs: vec![small_request(), bad_inner],
+        };
+        assert!(BatchSolveRequest::decode(&batch.encode())
+            .unwrap_err()
+            .contains("batch request 1"));
+        // mixed shapes are rejected
+        let mut other = small_request();
+        other.iters += 1;
+        let batch = BatchSolveRequest {
+            reqs: vec![small_request(), other],
+        };
+        assert!(BatchSolveRequest::decode(&batch.encode())
+            .unwrap_err()
+            .contains("mixed-shape"));
+        // mixed tenants are rejected
+        let mut other = small_request();
+        other.tenant += 1;
+        let batch = BatchSolveRequest {
+            reqs: vec![small_request(), other],
+        };
+        assert!(BatchSolveRequest::decode(&batch.encode())
+            .unwrap_err()
+            .contains("mixed-tenant"));
+    }
+
+    #[test]
+    fn same_plan_shape_ignores_tenant_only() {
+        let a = small_request();
+        let mut b = small_request();
+        b.tenant += 9;
+        b.v[0] += 1.0;
+        assert!(a.same_plan_shape(&b));
+        let mut c = small_request();
+        c.levels += 1;
+        assert!(!a.same_plan_shape(&c));
     }
 
     #[test]

@@ -38,10 +38,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use gmg_trace::{ServerSnapshot, Trace};
+use gmg_trace::{batch_hist_bucket, ServerSnapshot, Trace, BATCH_HIST_BUCKETS};
 use polymg::{ChaosOptions, TunedStore};
 
-use crate::protocol::{self, ErrorCode, Frame, FrameError, SolveRequest, SolveResponse};
+use crate::protocol::{
+    self, BatchSolveRequest, BatchSolveResponse, ErrorCode, Frame, FrameError, SolveRequest,
+    SolveResponse,
+};
 use crate::session::SessionManager;
 
 /// Server construction options.
@@ -66,6 +69,17 @@ pub struct ServerConfig {
     /// Artificial per-solve service delay (tests use it to hold the queue
     /// at a known depth; never set on a production path).
     pub service_delay: Option<Duration>,
+    /// Admission coalescing window. `None` (the default) disables
+    /// coalescing entirely: every queued request runs as its own engine
+    /// pass. `Some(ZERO)` merges only what is already queued when a worker
+    /// picks up a request; `Some(d)` additionally lets the worker wait up
+    /// to `d` for more same-shape requests to arrive. The window is also
+    /// the fairness bound: no request is delayed by coalescing for more
+    /// than `d` beyond its natural queue residency.
+    pub coalesce_window: Option<Duration>,
+    /// Maximum right-hand sides per coalesced engine pass (a single
+    /// `SOLVE_BATCH` frame may still carry up to [`protocol::MAX_BATCH`]).
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -80,33 +94,92 @@ impl Default for ServerConfig {
             tuned: None,
             trace: Trace::disabled(),
             service_delay: None,
+            coalesce_window: None,
+            max_batch: 16,
         }
     }
 }
 
 #[derive(Default)]
 struct Counters {
+    /// Grids admitted (a batch frame of N counts N).
     requests: AtomicU64,
+    /// Grids answered inside a result frame.
     ok: AtomicU64,
+    /// Typed exec-error frames sent (one per job, whatever its size).
     exec_errors: AtomicU64,
     protocol_errors: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_tenant: AtomicU64,
     rejected_shutdown: AtomicU64,
     queue_max_depth: AtomicU64,
+    /// Engine passes that swept ≥ 2 right-hand sides.
+    batches: AtomicU64,
+    /// Queued jobs merged into another job's engine pass.
+    coalesced: AtomicU64,
+    /// Engine-pass RHS-count histogram (see [`batch_hist_bucket`]).
+    batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
 }
 
 impl Counters {
     fn bump_depth(&self, depth: u64) {
         self.queue_max_depth.fetch_max(depth, Ordering::Relaxed);
     }
+
+    /// Record one engine pass of `total_rhs` grids merged from `njobs`
+    /// queued jobs.
+    fn record_pass(&self, total_rhs: usize, njobs: usize) {
+        if total_rhs >= 2 {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        if njobs > 1 {
+            self.coalesced.fetch_add((njobs - 1) as u64, Ordering::Relaxed);
+        }
+        self.batch_hist[batch_hist_bucket(total_rhs)].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-/// One admitted solve travelling from a connection thread to a worker.
+/// One admitted job travelling from a connection thread to a worker: a
+/// single solve (`batched == false`, one request) or a client batch
+/// (`batched == true`, shape-homogeneous by decode). Either way it is
+/// answered with exactly one frame.
 struct Job {
-    req: SolveRequest,
+    reqs: Vec<SolveRequest>,
+    /// Whether the reply must be a [`BatchSolveResponse`] frame.
+    batched: bool,
+    /// Plan-shape hash for coalescing candidate lookup (verified by
+    /// [`SolveRequest::same_plan_shape`] before any merge).
+    key: u64,
     reply: mpsc::Sender<Frame>,
     enqueued: Instant,
+}
+
+impl Job {
+    fn rhs(&self) -> usize {
+        self.reqs.len()
+    }
+}
+
+/// FNV-1a over the plan-shape fields (everything
+/// [`SolveRequest::same_plan_shape`] compares; tenant excluded).
+fn shape_key(req: &SolveRequest) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(req.ndims as u64);
+    eat(req.cycle as u64);
+    eat(req.variant as u64);
+    eat(req.pre as u64);
+    eat(req.coarse as u64);
+    eat(req.post as u64);
+    eat(req.iters as u64);
+    eat(req.n as u64);
+    eat(req.levels as u64);
+    h
 }
 
 struct Shared {
@@ -123,6 +196,8 @@ struct Shared {
     counters: Counters,
     trace: Trace,
     service_delay: Option<Duration>,
+    coalesce_window: Option<Duration>,
+    max_batch: usize,
     /// Streams of live connections, so `join` can close them out.
     conns: Mutex<Vec<TcpStream>>,
 }
@@ -142,6 +217,11 @@ impl Shared {
             engines_created: self.sessions.engines_created.load(Ordering::Relaxed),
             queue_max_depth: self.counters.queue_max_depth.load(Ordering::Relaxed),
             tuned_applied: self.sessions.tuned_applied.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            batch_hist: std::array::from_fn(|i| {
+                self.counters.batch_hist[i].load(Ordering::Relaxed)
+            }),
         }
     }
 
@@ -161,6 +241,8 @@ impl Shared {
             ("engines_created", s.engines_created),
             ("queue_max_depth", s.queue_max_depth),
             ("tuned_applied", s.tuned_applied),
+            ("batches", s.batches),
+            ("coalesced", s.coalesced),
             ("sessions", self.sessions.len() as u64),
         ] {
             t.push_str(&format!("{k} {v}\n"));
@@ -193,64 +275,107 @@ impl Shared {
         }
     }
 
-    /// Worker side: run one admitted solve and answer it.
-    fn process(&self, job: Job) {
-        let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+    /// Worker side: run one engine pass over every grid of `jobs` (all
+    /// plan-shape-equal — a single job, or several coalesced by the window)
+    /// and answer each job with exactly one frame.
+    fn process_batch(&self, jobs: Vec<Job>) {
+        let total_rhs: usize = jobs.iter().map(Job::rhs).sum();
+        self.counters.record_pass(total_rhs, jobs.len());
+        for job in &jobs {
+            let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+            self.trace
+                .record_span("admission-queue", "server", wait_ns, 0, 0);
+        }
         if let Some(d) = self.service_delay {
             std::thread::sleep(d);
         }
         let t0 = Instant::now();
-        let cfg = job.req.config();
-        let tag = format!("{}[{}]", cfg.tag(), job.req.variant_enum().label());
-        let frame = match self.solve(&job.req) {
-            Ok(v) => {
-                self.counters.ok.fetch_add(1, Ordering::Relaxed);
-                Frame {
-                    opcode: protocol::OP_SOLVE_OK,
-                    payload: SolveResponse {
-                        elapsed_ns: t0.elapsed().as_nanos() as u64,
-                        v,
-                    }
-                    .encode(),
+        let req0 = &jobs[0].reqs[0];
+        let tag = format!("{}[{}]", req0.config().tag(), req0.variant_enum().label());
+        match self.solve_batch(&jobs) {
+            Ok(mut vs) => {
+                let elapsed_ns = t0.elapsed().as_nanos() as u64;
+                // Hand grids back in request order, draining front to back.
+                for job in &jobs {
+                    let rest = vs.split_off(job.rhs());
+                    let grids = std::mem::replace(&mut vs, rest);
+                    self.counters.ok.fetch_add(job.rhs() as u64, Ordering::Relaxed);
+                    let frame = if job.batched {
+                        Frame {
+                            opcode: protocol::OP_SOLVE_BATCH_OK,
+                            payload: BatchSolveResponse {
+                                elapsed_ns,
+                                vs: grids,
+                            }
+                            .encode(),
+                        }
+                    } else {
+                        let v = grids.into_iter().next().expect("one grid per single job");
+                        Frame {
+                            opcode: protocol::OP_SOLVE_OK,
+                            payload: SolveResponse { elapsed_ns, v }.encode(),
+                        }
+                    };
+                    // A dead reply channel means the connection already went
+                    // away; the solve result is simply dropped.
+                    let _ = job.reply.send(frame);
                 }
             }
             Err((code, msg)) => {
-                if code == ErrorCode::ExecFailed {
-                    self.counters.exec_errors.fetch_add(1, Ordering::Relaxed);
-                }
-                Frame {
-                    opcode: protocol::OP_ERROR,
-                    payload: protocol::encode_error(code, &msg),
+                // One typed error frame per job: a mid-batch fault fails
+                // every grid of the pass, but each job still gets exactly
+                // one answer on its own channel.
+                for job in &jobs {
+                    if code == ErrorCode::ExecFailed {
+                        self.counters.exec_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = job.reply.send(Frame {
+                        opcode: protocol::OP_ERROR,
+                        payload: protocol::encode_error(code, &msg),
+                    });
                 }
             }
-        };
-        let cells = job.req.v.len() as u64 * job.req.iters as u64;
+        }
+        let cells: u64 = jobs
+            .iter()
+            .flat_map(|j| j.reqs.iter())
+            .map(|r| r.v.len() as u64 * r.iters as u64)
+            .sum();
         self.trace
             .record_span(&tag, "request", t0.elapsed().as_nanos() as u64, 0, cells);
-        self.trace
-            .record_span("admission-queue", "server", wait_ns, 0, 0);
-        // A dead reply channel means the connection already went away; the
-        // solve result is simply dropped.
-        let _ = job.reply.send(frame);
-        self.retire(job.req.tenant);
+        for job in &jobs {
+            self.retire(job.reqs[0].tenant);
+        }
     }
 
-    fn solve(&self, req: &SolveRequest) -> Result<Vec<f64>, (ErrorCode, String)> {
-        let cfg = req.config();
+    /// One lease, one batched engine pass per cycle, every grid of every
+    /// job swept together. Grids come back flattened in job order.
+    fn solve_batch(&self, jobs: &[Job]) -> Result<Vec<Vec<f64>>, (ErrorCode, String)> {
+        let req0 = &jobs[0].reqs[0];
+        let cfg = req0.config();
         let mut lease = self
             .sessions
-            .acquire(&cfg, req.variant_enum())
+            .acquire(&cfg, req0.variant_enum())
             .map_err(|errs| (ErrorCode::CompileFailed, errs.join("; ")))?;
-        let mut v = req.v.clone();
-        for i in 0..req.iters {
-            if let Err(e) = lease.runner.cycle_with_stats(&mut v, &req.f) {
+        let mut vs: Vec<Vec<f64>> = jobs
+            .iter()
+            .flat_map(|j| j.reqs.iter())
+            .map(|r| r.v.clone())
+            .collect();
+        let fs: Vec<&[f64]> = jobs
+            .iter()
+            .flat_map(|j| j.reqs.iter())
+            .map(|r| r.f.as_slice())
+            .collect();
+        for i in 0..req0.iters {
+            if let Err(e) = lease.runner.cycle_batch_with_stats(&mut vs, &fs) {
                 // Typed errors leave the engine usable; keep the warm state.
                 self.sessions.release(lease);
                 return Err((ErrorCode::ExecFailed, format!("cycle {i}: {e}")));
             }
         }
         self.sessions.release(lease);
-        Ok(v)
+        Ok(vs)
     }
 
     /// Release one unit of tenant budget and wake drain/depth waiters.
@@ -268,9 +393,16 @@ impl Shared {
         self.queue_cv.notify_all();
     }
 
-    /// Admission for one decoded solve. On success the job is queued and
-    /// the caller must await the reply channel.
-    fn admit(&self, req: SolveRequest) -> Result<mpsc::Receiver<Frame>, (ErrorCode, String)> {
+    /// Admission for one decoded job (a single solve or a client batch,
+    /// which occupies one queue slot and one unit of tenant budget). On
+    /// success the job is queued and the caller must await the reply
+    /// channel.
+    fn admit(
+        &self,
+        reqs: Vec<SolveRequest>,
+        batched: bool,
+    ) -> Result<mpsc::Receiver<Frame>, (ErrorCode, String)> {
+        let tenant = reqs[0].tenant;
         if self.shutting_down.load(Ordering::SeqCst) {
             self.counters
                 .rejected_shutdown
@@ -279,7 +411,7 @@ impl Shared {
         }
         {
             let mut t = self.tenants.lock().unwrap();
-            let c = t.entry(req.tenant).or_insert(0);
+            let c = t.entry(tenant).or_insert(0);
             if *c >= self.tenant_cap {
                 drop(t);
                 self.counters
@@ -289,7 +421,7 @@ impl Shared {
                     ErrorCode::TenantLimit,
                     format!(
                         "tenant {} already has {} solves in flight",
-                        req.tenant, self.tenant_cap
+                        tenant, self.tenant_cap
                     ),
                 ));
             }
@@ -303,16 +435,20 @@ impl Shared {
                 self.counters
                     .rejected_queue_full
                     .fetch_add(1, Ordering::Relaxed);
-                self.retire_tenant_only(req.tenant);
+                self.retire_tenant_only(tenant);
                 return Err((
                     ErrorCode::QueueFull,
                     format!("admission queue at capacity {}", self.queue_capacity),
                 ));
             }
-            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .requests
+                .fetch_add(reqs.len() as u64, Ordering::Relaxed);
             self.inflight.fetch_add(1, Ordering::SeqCst);
             q.push_back(Job {
-                req,
+                key: shape_key(&reqs[0]),
+                reqs,
+                batched,
                 reply: tx,
                 enqueued: Instant::now(),
             });
@@ -333,11 +469,32 @@ impl Shared {
     }
 }
 
+/// Pull queued jobs whose plan shape equals `jobs[0]`'s into `jobs`, up to
+/// `max_batch` total grids. The hash key is a fast filter; the field-level
+/// [`SolveRequest::same_plan_shape`] check guards against collisions.
+fn drain_same_shape(q: &mut VecDeque<Job>, jobs: &mut Vec<Job>, max_batch: usize) {
+    let mut total: usize = jobs.iter().map(Job::rhs).sum();
+    let mut i = 0;
+    while i < q.len() && total < max_batch {
+        let candidate = &q[i];
+        if candidate.key == jobs[0].key
+            && candidate.reqs[0].same_plan_shape(&jobs[0].reqs[0])
+            && total + candidate.rhs() <= max_batch
+        {
+            let job = q.remove(i).expect("index checked");
+            total += job.rhs();
+            jobs.push(job);
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn worker_loop(sh: Arc<Shared>) {
     loop {
-        let job = {
+        let jobs = {
             let mut q = sh.queue.lock().unwrap();
-            loop {
+            let first = loop {
                 if let Some(j) = q.pop_front() {
                     break j;
                 }
@@ -345,9 +502,52 @@ fn worker_loop(sh: Arc<Shared>) {
                     return;
                 }
                 q = sh.queue_cv.wait(q).unwrap();
+            };
+            let mut jobs = vec![first];
+            if let Some(window) = sh.coalesce_window {
+                // Coalesce same-shape queued jobs into this pass: merge
+                // whatever is already queued, then (window > 0) keep the
+                // pass open until the deadline or the batch is full. The
+                // deadline bounds the added latency — no request waits more
+                // than `window` beyond its natural queue residency.
+                let deadline = Instant::now() + window;
+                loop {
+                    drain_same_shape(&mut q, &mut jobs, sh.max_batch);
+                    let total: usize = jobs.iter().map(Job::rhs).sum();
+                    if total >= sh.max_batch || sh.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) =
+                        sh.queue_cv.wait_timeout(q, deadline - now).unwrap();
+                    q = guard;
+                    if timeout.timed_out() {
+                        drain_same_shape(&mut q, &mut jobs, sh.max_batch);
+                        break;
+                    }
+                }
             }
+            jobs
         };
-        sh.process(job);
+        sh.process_batch(jobs);
+    }
+}
+
+/// Admit a decoded job and block on its reply (the per-connection
+/// request/response discipline).
+fn solve_reply(sh: &Shared, reqs: Vec<SolveRequest>, batched: bool) -> Frame {
+    match sh.admit(reqs, batched) {
+        Err((code, msg)) => Frame {
+            opcode: protocol::OP_ERROR,
+            payload: protocol::encode_error(code, &msg),
+        },
+        Ok(rx) => rx.recv().unwrap_or(Frame {
+            opcode: protocol::OP_ERROR,
+            payload: protocol::encode_error(ErrorCode::Internal, "worker dropped the request"),
+        }),
     }
 }
 
@@ -407,19 +607,20 @@ fn conn_loop(sh: Arc<Shared>, mut stream: TcpStream) {
                             payload: protocol::encode_error(ErrorCode::BadRequest, &msg),
                         }
                     }
-                    Ok(req) => match sh.admit(req) {
-                        Err((code, msg)) => Frame {
+                    Ok(req) => solve_reply(&sh, vec![req], false),
+                };
+                protocol::write_frame(&mut stream, reply.opcode, &reply.payload).is_ok()
+            }
+            protocol::OP_SOLVE_BATCH => {
+                let reply = match BatchSolveRequest::decode(&frame.payload) {
+                    Err(msg) => {
+                        sh.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        Frame {
                             opcode: protocol::OP_ERROR,
-                            payload: protocol::encode_error(code, &msg),
-                        },
-                        Ok(rx) => rx.recv().unwrap_or(Frame {
-                            opcode: protocol::OP_ERROR,
-                            payload: protocol::encode_error(
-                                ErrorCode::Internal,
-                                "worker dropped the request",
-                            ),
-                        }),
-                    },
+                            payload: protocol::encode_error(ErrorCode::BadRequest, &msg),
+                        }
+                    }
+                    Ok(batch) => solve_reply(&sh, batch.reqs, true),
                 };
                 protocol::write_frame(&mut stream, reply.opcode, &reply.payload).is_ok()
             }
@@ -515,6 +716,8 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         counters: Counters::default(),
         trace: config.trace,
         service_delay: config.service_delay,
+        coalesce_window: config.coalesce_window,
+        max_batch: config.max_batch.max(1),
         conns: Mutex::new(Vec::new()),
     });
 
@@ -563,7 +766,8 @@ pub fn summarize(s: &ServerSnapshot, out: &mut impl Write) -> std::io::Result<()
     writeln!(
         out,
         "gmg-server: {} requests ({} ok, {} exec errors), rejected {} queue-full / {} tenant / {} shutdown, \
-         sessions {} hits / {} misses ({} engines), peak queue depth {}, tuned applied {}",
+         sessions {} hits / {} misses ({} engines), peak queue depth {}, tuned applied {}, \
+         {} batched passes ({} coalesced)",
         s.requests,
         s.ok,
         s.exec_errors,
@@ -574,6 +778,8 @@ pub fn summarize(s: &ServerSnapshot, out: &mut impl Write) -> std::io::Result<()
         s.session_misses,
         s.engines_created,
         s.queue_max_depth,
-        s.tuned_applied
+        s.tuned_applied,
+        s.batches,
+        s.coalesced
     )
 }

@@ -106,40 +106,46 @@ impl SessionManager {
         let (opts, tuned) = self.resolve_options(cfg, variant, &pipeline);
         let key = cache::fingerprint(&pipeline, &bindings, &opts);
 
-        let (plan, created) = {
-            let sessions = self.sessions.lock().unwrap();
-            match sessions.get(&key) {
-                Some(s) => (Some(Arc::clone(&s.plan)), false),
-                None => (None, true),
+        // Decide hit/miss, count it, and pop an idle runner under ONE lock
+        // hold. Splitting these (check, count, pop as separate acquisitions)
+        // is a TOCTOU: a hit could be counted for a session that no longer
+        // exists, and two threads racing the same first-touch could each see
+        // "exists" after only one counted the miss — breaking the
+        // `hits + misses == acquires` accounting the trace publishes.
+        let found = {
+            let mut sessions = self.sessions.lock().unwrap();
+            match sessions.get_mut(&key) {
+                Some(s) => {
+                    self.session_hits.fetch_add(1, Ordering::Relaxed);
+                    Some((Arc::clone(&s.plan), s.idle.pop()))
+                }
+                None => {
+                    self.session_misses.fetch_add(1, Ordering::Relaxed);
+                    if tuned {
+                        self.tuned_applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None
+                }
             }
         };
 
-        let (plan, runner) = match plan {
-            Some(plan) => {
-                self.session_hits.fetch_add(1, Ordering::Relaxed);
-                let runner = self
-                    .sessions
-                    .lock()
-                    .unwrap()
-                    .get_mut(&key)
-                    .and_then(|s| s.idle.pop());
-                (plan, runner)
-            }
+        let created = found.is_none();
+        let (plan, runner) = match found {
+            Some((plan, runner)) => (plan, runner),
             None => {
-                self.session_misses.fetch_add(1, Ordering::Relaxed);
-                if tuned {
-                    self.tuned_applied.fetch_add(1, Ordering::Relaxed);
-                }
                 // Compile outside the sessions lock; the plan cache's
                 // single-flight slot already serialises concurrent misses
                 // on the same key without serialising different keys.
                 let plan = polymg::compile_cached(&pipeline, &bindings, opts)?;
                 let mut sessions = self.sessions.lock().unwrap();
-                sessions.entry(key).or_insert_with(|| Session {
+                let session = sessions.entry(key).or_insert_with(|| Session {
                     plan: Arc::clone(&plan),
                     idle: Vec::new(),
                 });
-                (plan, None)
+                // Two concurrent first-touches both count a miss (each saw
+                // the empty registry under the lock); the loser adopts the
+                // winner's session here.
+                (Arc::clone(&session.plan), session.idle.pop())
             }
         };
 
@@ -217,6 +223,51 @@ mod tests {
         mgr.release(a);
         mgr.release(b);
         assert_eq!(mgr.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_acquires_count_exactly() {
+        // hits + misses must equal acquires EXACTLY, even when many threads
+        // race first-touch and warm paths across several shapes — the
+        // single-lock decide-and-count in `acquire` is what guarantees it.
+        let mgr = Arc::new(SessionManager::new(None, None, 1, 4));
+        let shapes = [
+            (cfg2d(), Variant::OptPlus),
+            (cfg2d(), Variant::Opt),
+            (
+                MgConfig::new(2, 15, CycleType::V, SmoothSteps::s444()),
+                Variant::OptPlus,
+            ),
+        ];
+        let threads = 8;
+        let per_thread = 12;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let mgr = Arc::clone(&mgr);
+                let shapes = shapes.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let (cfg, variant) = &shapes[(t + i) % shapes.len()];
+                        let lease = mgr.acquire(cfg, *variant).expect("acquire");
+                        if i % 2 == 0 {
+                            mgr.release(lease);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let hits = mgr.session_hits.load(Ordering::Relaxed);
+        let misses = mgr.session_misses.load(Ordering::Relaxed);
+        assert_eq!(
+            hits + misses,
+            (threads * per_thread) as u64,
+            "hits ({hits}) + misses ({misses}) must equal acquires exactly"
+        );
+        assert!(misses >= shapes.len() as u64, "each shape misses at least once");
+        assert_eq!(mgr.len(), shapes.len());
     }
 
     #[test]

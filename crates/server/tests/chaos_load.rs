@@ -62,3 +62,56 @@ fn chaos_faults_surface_as_typed_errors_not_corruption() {
     assert_eq!(snap.exec_errors, report.exec_error_frames);
     assert_eq!(snap.ok, report.ok);
 }
+
+#[test]
+fn chaos_with_batch_mix_fails_whole_batches_typed() {
+    // Batched frames under chaos: a mid-batch fault must fail exactly that
+    // batch with ONE typed error frame — every other response stays
+    // bitwise-correct, and the grid accounting closes exactly.
+    let handle = start(ServerConfig {
+        workers: 2,
+        chaos: Some(ChaosOptions::new(0xBA7C7A05, 0.02)),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+
+    let mix = vec![MixItem {
+        cfg: MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()),
+        variant: Variant::OptPlus,
+        iters: 1,
+    }];
+    let opts = LoadgenOptions {
+        addr: handle.addr().to_string(),
+        connections: 3,
+        requests_per_conn: 8,
+        tenants: 3,
+        shutdown: true,
+        batch: 4,
+        mix,
+        ..LoadgenOptions::default()
+    };
+    let report = loadgen::run(&opts).expect("batched loadgen under chaos");
+
+    assert_eq!(report.verify_failures, 0, "{}", report.summary());
+    assert_eq!(report.unexpected, 0, "{}", report.summary());
+    assert!(report.batch_frames > 0, "{}", report.summary());
+    // grid-granular accounting: every grid sent is ok, lost to a typed
+    // batch failure, or dropped on backpressure — nothing vanishes
+    assert_eq!(
+        report.ok + report.exec_error_grids + report.dropped,
+        report.requests,
+        "{}",
+        report.summary()
+    );
+    assert!(report.ok > 0, "nothing succeeded: {}", report.summary());
+
+    let snap = handle.join();
+    // error FRAMES match server-side error count (one per failed job);
+    // grids answered match exactly
+    assert_eq!(snap.exec_errors, report.exec_error_frames);
+    assert_eq!(snap.ok, report.ok);
+    assert!(snap.batches > 0, "server saw no batched passes");
+    // chaos must not leak pooled slots: a failed batch releases its lease
+    // and the next solve on that engine still verifies — implied by
+    // verify_failures == 0 with ok > 0 above.
+}

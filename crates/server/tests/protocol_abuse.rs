@@ -116,13 +116,76 @@ fn malformed_frames_never_kill_the_server() {
         assert!(msg.contains("2^k"), "got: {msg}");
     }
 
+    // 7. SOLVE_BATCH abuse: every malformed batch gets a typed BadRequest
+    // on a connection that stays usable, and none is ever admitted.
+    {
+        use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
+        use gmg_server::{BatchSolveRequest, SolveRequest};
+
+        let mk = |n: i64| {
+            let cfg = MgConfig::new(2, n, CycleType::V, SmoothSteps::s444());
+            let len = ((n + 2) * (n + 2)) as usize;
+            SolveRequest::from_config(
+                &cfg,
+                polymg::Variant::OptPlus,
+                0,
+                1,
+                vec![0.0; len],
+                vec![0.0; len],
+            )
+        };
+
+        // (a) zero-count batch
+        let mut payloads: Vec<(&str, Vec<u8>)> = vec![("zero-count", 0u16.to_le_bytes().to_vec())];
+        // (b) count says 2, payload carries 1 request
+        let mut short = BatchSolveRequest {
+            reqs: vec![mk(15)],
+        }
+        .encode();
+        short[0..2].copy_from_slice(&2u16.to_le_bytes());
+        payloads.push(("count/payload mismatch", short));
+        // (c) count above MAX_BATCH
+        let mut oversized = ((protocol::MAX_BATCH + 1) as u16).to_le_bytes().to_vec();
+        oversized.extend_from_slice(&[0u8; 16]);
+        payloads.push(("oversized count", oversized));
+        // (d) mixed shapes in one batch
+        payloads.push((
+            "mixed-shape",
+            BatchSolveRequest {
+                reqs: vec![mk(15), mk(31)],
+            }
+            .encode(),
+        ));
+        // (e) trailing garbage after the last request
+        let mut trailing = BatchSolveRequest {
+            reqs: vec![mk(15)],
+        }
+        .encode();
+        trailing.extend_from_slice(b"junk");
+        payloads.push(("trailing garbage", trailing));
+
+        for (what, payload) in payloads {
+            let mut s = connect(addr);
+            protocol::write_frame(&mut s, protocol::OP_SOLVE_BATCH, &payload).unwrap();
+            let f = protocol::read_frame(&mut s).expect("error frame");
+            assert_eq!(f.opcode, protocol::OP_ERROR, "{what}: expected OP_ERROR");
+            let (code, msg) = protocol::decode_error(&f.payload).unwrap();
+            assert_eq!(code, ErrorCode::BadRequest, "{what}: got {code:?}: {msg}");
+            // connection survives the typed rejection
+            protocol::write_frame(&mut s, protocol::OP_PING, b"post-batch").unwrap();
+            let f = protocol::read_frame(&mut s).expect("pong after batch error");
+            assert_eq!(f.opcode, protocol::OP_PONG, "{what}: conn wedged");
+        }
+    }
+
     let snap = handle.snapshot();
     assert!(
-        snap.protocol_errors >= 4,
+        snap.protocol_errors >= 9,
         "expected protocol errors recorded, got {}",
         snap.protocol_errors
     );
     assert_eq!(snap.requests, 0, "nothing malformed may be admitted");
+    assert_eq!(snap.batches, 0, "no malformed batch may count as a pass");
 
     // graceful drain still works after the gauntlet
     let mut s = connect(addr);

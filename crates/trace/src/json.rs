@@ -84,11 +84,19 @@ pub(crate) fn report_to_json(r: &Report) -> String {
         r.plan_cache.hits, r.plan_cache.misses, r.plan_cache.evictions
     ));
     if !r.server.is_empty() {
+        let hist = r
+            .server
+            .batch_hist
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
             "  \"server\": {{\"requests\": {}, \"ok\": {}, \"exec_errors\": {}, \
              \"protocol_errors\": {}, \"rejected_queue_full\": {}, \"rejected_tenant\": {}, \
              \"rejected_shutdown\": {}, \"session_hits\": {}, \"session_misses\": {}, \
-             \"engines_created\": {}, \"queue_max_depth\": {}, \"tuned_applied\": {}}},\n",
+             \"engines_created\": {}, \"queue_max_depth\": {}, \"tuned_applied\": {}, \
+             \"batches\": {}, \"coalesced\": {}, \"batch_hist\": [{}]}},\n",
             r.server.requests,
             r.server.ok,
             r.server.exec_errors,
@@ -100,7 +108,10 @@ pub(crate) fn report_to_json(r: &Report) -> String {
             r.server.session_misses,
             r.server.engines_created,
             r.server.queue_max_depth,
-            r.server.tuned_applied
+            r.server.tuned_applied,
+            r.server.batches,
+            r.server.coalesced,
+            hist
         ));
     }
     s.push_str("  \"dispatch\": {");

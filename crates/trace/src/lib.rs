@@ -177,6 +177,30 @@ pub struct ServerSnapshot {
     pub queue_max_depth: u64,
     /// Sessions whose options were warm-started from a tuned-config store.
     pub tuned_applied: u64,
+    /// Engine passes that swept two or more right-hand sides.
+    pub batches: u64,
+    /// Queued requests merged into another request's engine pass by the
+    /// admission coalescing window.
+    pub coalesced: u64,
+    /// Engine-pass size histogram: RHS count bucketed as
+    /// 1 / 2 / 3–4 / 5–8 / 9–16 / 17–32 / 33+.
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+}
+
+/// Bucket count of [`ServerSnapshot::batch_hist`].
+pub const BATCH_HIST_BUCKETS: usize = 7;
+
+/// Histogram bucket index for an engine pass of `rhs` right-hand sides.
+pub fn batch_hist_bucket(rhs: usize) -> usize {
+    match rhs {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        _ => 6,
+    }
 }
 
 impl ServerSnapshot {
