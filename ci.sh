@@ -84,6 +84,36 @@ grep -q '"batches": [1-9]' /tmp/server_profile_batch_ci.json \
 grep -q '"coalesced": [1-9]' /tmp/server_profile_batch_ci.json \
   || { echo "ci: coalescing window merged nothing" >&2; exit 1; }
 
+# event-core gate (DESIGN.md §15): two shards behind one nonblocking
+# acceptor, 500 mostly-idle connections with reconnect churn riding on
+# mixed latency/batch traffic — every grid bitwise-verified, idle churn
+# must actually cycle connections, and the profile must carry per-shard
+# counters with warm-session reuse on at least one shard.
+rm -f /tmp/gmg_ci_shard.port
+cargo run --release -p gmg-bench --bin polymg-cli -- serve --port 0 \
+  --port-file /tmp/gmg_ci_shard.port --shards 2 --workers 2 --qos-weight 4 \
+  --profile /tmp/server_profile_shard_ci.json &
+SHARD_PID=$!
+for _ in $(seq 1 100); do [ -s /tmp/gmg_ci_shard.port ] && break; sleep 0.1; done
+[ -s /tmp/gmg_ci_shard.port ] || { echo "ci: sharded server never wrote its port file" >&2; exit 1; }
+cargo run --release -p gmg-bench --bin polymg-cli -- loadgen \
+  --port-file /tmp/gmg_ci_shard.port --connections 4 --requests 6 --batch 3 --idle 500 \
+  -o /tmp/bench_pr7_loadgen_ci.json \
+  || { echo "ci: sharded loadgen reported verification failures" >&2; kill $SHARD_PID 2>/dev/null; exit 1; }
+wait $SHARD_PID || { echo "ci: sharded server did not drain cleanly" >&2; exit 1; }
+grep -q '"verify_failures": 0' /tmp/bench_pr7_loadgen_ci.json \
+  || { echo "ci: sharded loadgen report carries verification failures" >&2; exit 1; }
+grep -q '"reconnects": [1-9]' /tmp/bench_pr7_loadgen_ci.json \
+  || { echo "ci: idle churn never reconnected" >&2; exit 1; }
+grep -q '"shards": \[' /tmp/server_profile_shard_ci.json \
+  || { echo "ci: server profile carries no per-shard block" >&2; exit 1; }
+grep -o '"shards": \[[^]]*\]' /tmp/server_profile_shard_ci.json | grep -q '"session_hits": [1-9]' \
+  || { echo "ci: no shard recorded warm-session reuse" >&2; exit 1; }
+
+# the abuse, chaos-under-load, and QoS gauntlets must hold against the
+# event-driven core
+cargo test -q --release -p gmg-server --test protocol_abuse --test chaos_load --test shard_qos
+
 # sequential-vs-batched serving rows (quick settings; regenerate the
 # checked-in artifact with the defaults: `perf-smoke --batch-out BENCH_pr6.json`)
 cargo run --release -p gmg-bench --bin perf-smoke -- --batch-out /tmp/bench_pr6_ci.json

@@ -452,6 +452,7 @@ mod tests {
             comm: Default::default(),
             chaos: Default::default(),
             server: Default::default(),
+            shards: vec![],
             cycles: vec![],
         };
         let mem = observed_memory(&pl, &report);

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! polymg-cli serve   [--addr H:P | --port N] [--port-file PATH]
-//!                    [--workers N] [--queue-cap N] [--tenant-cap N]
+//!                    [--shards N] [--workers N] [--qos-weight N]
+//!                    [--queue-cap N] [--tenant-cap N]
 //!                    [--engine-threads N] [--tuned FILE]
 //!                    [--coalesce-window-ms N] [--max-batch N]
 //!                    [--chaos-seed N] [--chaos-rate R] [--profile OUT.json]
 //!
 //! polymg-cli loadgen [--addr H:P | --port N | --port-file PATH]
 //!                    [--connections N] [--requests N] [--tenants N]
-//!                    [--retries N] [--batch N] [--no-shutdown] [-o OUT.json]
+//!                    [--retries N] [--batch N] [--idle N]
+//!                    [--no-shutdown] [-o OUT.json]
 //! ```
 //!
 //! `serve` blocks until a client sends the drain-and-stop frame (which
@@ -79,10 +81,20 @@ pub fn serve_main(args: &[String]) -> i32 {
                 "--port-file" => {
                     port_file = Some(flag_value(args, &mut i, "--port-file")?.to_string())
                 }
+                "--shards" => {
+                    cfg.shards = flag_value(args, &mut i, "--shards")?
+                        .parse()
+                        .map_err(|_| "--shards needs a number".to_string())?
+                }
                 "--workers" => {
                     cfg.workers = flag_value(args, &mut i, "--workers")?
                         .parse()
                         .map_err(|_| "--workers needs a number".to_string())?
+                }
+                "--qos-weight" => {
+                    cfg.qos_weight = flag_value(args, &mut i, "--qos-weight")?
+                        .parse()
+                        .map_err(|_| "--qos-weight needs a number".to_string())?
                 }
                 "--queue-cap" => {
                     cfg.queue_capacity = flag_value(args, &mut i, "--queue-cap")?
@@ -234,6 +246,11 @@ pub fn loadgen_main(args: &[String]) -> i32 {
                     opts.batch = flag_value(args, &mut i, "--batch")?
                         .parse()
                         .map_err(|_| "--batch needs a number".to_string())?
+                }
+                "--idle" => {
+                    opts.idle = flag_value(args, &mut i, "--idle")?
+                        .parse()
+                        .map_err(|_| "--idle needs a number".to_string())?
                 }
                 "--backoff-seed" => {
                     opts.backoff_seed = flag_value(args, &mut i, "--backoff-seed")?

@@ -29,7 +29,7 @@
 //! as server time and inflated the published p99.
 
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -118,6 +118,13 @@ pub struct LoadgenOptions {
     /// When enabled, every other request on a connection is a batch frame,
     /// the rest stay same-shape singles.
     pub batch: usize,
+    /// Mostly-idle connections held open for the whole hot phase (`0`
+    /// disables). Each is verified live with a `PING` at setup, and a
+    /// churn thread keeps closing and reopening them round-robin while the
+    /// solve load runs — the readiness-loop stress case: thousands of
+    /// registered-but-quiet fds plus continuous accept traffic, none of
+    /// which may cost a hot-path thread or widen solve tail latency.
+    pub idle: usize,
     /// Seed for backoff jitter (mixed with the connection index).
     pub backoff_seed: u64,
     pub mix: Vec<MixItem>,
@@ -133,6 +140,7 @@ impl Default for LoadgenOptions {
             retries: 200,
             shutdown: false,
             batch: 0,
+            idle: 0,
             backoff_seed: 0x676d675f6c67,
             mix: default_mix(),
         }
@@ -172,6 +180,16 @@ pub struct LoadgenReport {
     /// End-to-end latency of verified logical requests, including
     /// backpressure retries and backoff sleeps, nanoseconds.
     pub e2e_ns: Vec<u64>,
+    /// Idle connections held open through the hot phase (0 = disabled).
+    pub idle_conns: u64,
+    /// Churn reconnects performed while the hot phase ran.
+    pub idle_reconnects: u64,
+    /// Connection-setup throughput of the churn thread (reconnects per
+    /// second of churn wall time).
+    pub setup_per_sec: f64,
+    /// Connection-setup latency samples (TCP connect + PING round trip),
+    /// nanoseconds — initial fill and churn reconnects together.
+    pub setup_ns: Vec<u64>,
     /// Server counters fetched over `STATS` after the run.
     pub server_stats: Vec<(String, u64)>,
 }
@@ -258,6 +276,16 @@ impl LoadgenReport {
             "  \"e2e_latency_ns\": {},\n",
             latency_json(&self.e2e_ns)
         ));
+        if self.idle_conns > 0 {
+            s.push_str(&format!(
+                "  \"idle\": {{\"connections\": {}, \"reconnects\": {}, \
+                 \"setup_per_sec\": {}, \"setup_latency_ns\": {}}},\n",
+                self.idle_conns,
+                self.idle_reconnects,
+                self.setup_per_sec,
+                latency_json(&self.setup_ns)
+            ));
+        }
         s.push_str("  \"server\": {");
         for (i, (k, v)) in self.server_stats.iter().enumerate() {
             if i > 0 {
@@ -270,7 +298,7 @@ impl LoadgenReport {
     }
 
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "loadgen: {} grids, {} ok ({} verify failures, {} exec-error frames / {} grids, \
              {} dropped, {} unexpected), {} batch frames, {} retries, {:.2} grids/s, \
              service p50 {:.2} ms / p95 {:.2} ms / p99 {:.2} ms, \
@@ -290,7 +318,17 @@ impl LoadgenReport {
             self.percentile_ns(99.0) as f64 * 1e-6,
             self.e2e_percentile_ns(50.0) as f64 * 1e-6,
             self.e2e_percentile_ns(99.0) as f64 * 1e-6,
-        )
+        );
+        if self.idle_conns > 0 {
+            s.push_str(&format!(
+                ", idle {} conns / {} reconnects ({:.1} setups/s, setup p99 {:.2} ms)",
+                self.idle_conns,
+                self.idle_reconnects,
+                self.setup_per_sec,
+                percentile(&self.setup_ns, 99.0) as f64 * 1e-6,
+            ));
+        }
+        s
     }
 }
 
@@ -460,6 +498,63 @@ fn verify_grid(got: &[f64], want_bits: &[u64]) -> bool {
             .all(|(x, &b)| x.to_bits() == b)
 }
 
+/// Open one idle connection and verify it live with a `PING` round trip.
+/// Returns the stream and the setup latency (connect + ping) in ns.
+fn open_idle(addr: &str) -> Result<(TcpStream, u64), String> {
+    let t0 = Instant::now();
+    let mut s =
+        TcpStream::connect(addr).map_err(|e| format!("idle connect {addr} failed: {e}"))?;
+    protocol::write_frame(&mut s, protocol::OP_PING, b"idle")
+        .map_err(|e| format!("idle ping failed: {e}"))?;
+    let f = protocol::read_frame(&mut s).map_err(|e| format!("idle pong read failed: {e}"))?;
+    if f.opcode != protocol::OP_PONG {
+        return Err(format!("idle ping answered with opcode {:#04x}", f.opcode));
+    }
+    Ok((s, t0.elapsed().as_nanos() as u64))
+}
+
+/// What the churn thread hands back when the hot phase ends.
+struct ChurnOutcome {
+    setups_ns: Vec<u64>,
+    reconnects: u64,
+    churn_secs: f64,
+}
+
+/// Close and reopen connections of `pool` round-robin until told to stop,
+/// paced at roughly one reconnect per millisecond. The pacing keeps churn
+/// a background property — setup latency is measured *under* the solve
+/// load, not competing with it for the whole host — while still cycling
+/// hundreds of connections per second through the readiness loops.
+fn churn_idle(
+    addr: &str,
+    mut pool: Vec<TcpStream>,
+    stop: &AtomicBool,
+) -> ChurnOutcome {
+    let mut setups_ns = Vec::new();
+    let mut reconnects = 0u64;
+    let t0 = Instant::now();
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) && !pool.is_empty() {
+        let idx = i % pool.len();
+        i += 1;
+        match open_idle(addr) {
+            Ok((s, ns)) => {
+                // the replaced stream drops here: a clean frame-boundary EOF
+                pool[idx] = s;
+                setups_ns.push(ns);
+                reconnects += 1;
+            }
+            Err(_) => break, // server draining or refusing; end the churn
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    ChurnOutcome {
+        setups_ns,
+        reconnects,
+        churn_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
 /// One client connection's request loop.
 fn drive_connection(
     conn_idx: usize,
@@ -556,6 +651,24 @@ fn drive_connection(
 pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
     let expected = Arc::new(compute_expected(&opts.mix, opts.batch)?);
     let counts = Arc::new(SharedCounts::default());
+
+    // Idle fleet: fill before the hot phase starts (setup cost must not
+    // leak into hot-path throughput), then churn it while the load runs.
+    let mut setup_ns = Vec::new();
+    let idle_stop = Arc::new(AtomicBool::new(false));
+    let mut churn_handle = None;
+    if opts.idle > 0 {
+        let mut pool = Vec::with_capacity(opts.idle);
+        for _ in 0..opts.idle {
+            let (s, ns) = open_idle(&opts.addr)?;
+            pool.push(s);
+            setup_ns.push(ns);
+        }
+        let addr = opts.addr.clone();
+        let stop = Arc::clone(&idle_stop);
+        churn_handle = Some(std::thread::spawn(move || churn_idle(&addr, pool, &stop)));
+    }
+
     let t0 = Instant::now();
 
     let conn_opts = ConnOptions {
@@ -597,6 +710,23 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
     }
     let elapsed = t0.elapsed();
 
+    // Stop the churn and fold its samples in (the idle pool closes with
+    // the churn thread, before any shutdown request goes out).
+    let mut idle_reconnects = 0u64;
+    let mut setup_per_sec = 0.0f64;
+    idle_stop.store(true, Ordering::Relaxed);
+    if let Some(h) = churn_handle {
+        if let Ok(outcome) = h.join() {
+            setup_ns.extend(outcome.setups_ns);
+            idle_reconnects = outcome.reconnects;
+            if outcome.churn_secs > 0.0 {
+                setup_per_sec = outcome.reconnects as f64 / outcome.churn_secs;
+            }
+        } else {
+            first_err.get_or_insert("idle churn thread panicked".to_string());
+        }
+    }
+
     // Control connection: fetch counters, optionally drain the server.
     let mut server_stats = Vec::new();
     if let Ok(mut ctrl) = TcpStream::connect(&opts.addr) {
@@ -637,6 +767,10 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         elapsed,
         service_ns: all.service_ns,
         e2e_ns: all.e2e_ns,
+        idle_conns: opts.idle as u64,
+        idle_reconnects,
+        setup_per_sec,
+        setup_ns,
         server_stats,
     })
 }

@@ -190,14 +190,38 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     Ok(Frame { opcode, payload })
 }
 
-/// Write one frame (single buffered write so a frame is never interleaved).
-pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> std::io::Result<()> {
+/// Encode one frame (header + payload) into a single buffer.
+pub fn frame_bytes(opcode: u8, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(5 + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.push(opcode);
     buf.extend_from_slice(payload);
-    w.write_all(&buf)?;
+    buf
+}
+
+/// Write one frame (single buffered write so a frame is never interleaved).
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&frame_bytes(opcode, payload))?;
     w.flush()
+}
+
+/// Incremental frame boundary check against a receive buffer.
+///
+/// * `Ok(None)` — not enough bytes yet to know (header incomplete).
+/// * `Ok(Some((opcode, total)))` — a frame starts at `buf[0]` and spans
+///   `total` bytes (`5 + payload_len`); the payload may still be partial
+///   (`buf.len() < total`), but the caller now knows how much to wait for.
+/// * `Err(len)` — the header declares a payload larger than [`MAX_FRAME`];
+///   the connection must be poisoned without allocating.
+pub fn frame_boundary(buf: &[u8]) -> Result<Option<(u8, usize)>, u32> {
+    if buf.len() < 5 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_FRAME {
+        return Err(len);
+    }
+    Ok(Some((buf[4], 5 + len as usize)))
 }
 
 /// Encode an [`OP_ERROR`] payload.
@@ -704,6 +728,26 @@ mod tests {
             read_frame(&mut &partial[..]),
             Err(FrameError::Truncated("header"))
         ));
+    }
+
+    #[test]
+    fn frame_boundary_tracks_partial_frames() {
+        let buf = frame_bytes(OP_PING, b"hello");
+        // fewer than 5 bytes: undecidable
+        assert_eq!(frame_boundary(&buf[..4]), Ok(None));
+        // header visible: boundary known even while the payload is partial
+        assert_eq!(frame_boundary(&buf[..5]), Ok(Some((OP_PING, 10))));
+        assert_eq!(frame_boundary(&buf[..7]), Ok(Some((OP_PING, 10))));
+        assert_eq!(frame_boundary(&buf), Ok(Some((OP_PING, 10))));
+        // trailing bytes of a following frame do not confuse the boundary
+        let mut two = buf.clone();
+        two.extend_from_slice(&frame_bytes(OP_STATS, b""));
+        assert_eq!(frame_boundary(&two), Ok(Some((OP_PING, 10))));
+        assert_eq!(frame_boundary(&two[10..]), Ok(Some((OP_STATS, 5))));
+        // oversized declarations are rejected before any allocation
+        let mut bad = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        bad.push(OP_PING);
+        assert_eq!(frame_boundary(&bad), Err(MAX_FRAME + 1));
     }
 
     #[test]

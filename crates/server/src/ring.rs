@@ -1,0 +1,155 @@
+//! Per-connection receive ring: a compacting, contiguous byte buffer that
+//! nonblocking reads append to and the incremental frame parser consumes
+//! from.
+//!
+//! "Ring" here is logical, not a power-of-two circular buffer: frames must
+//! be decoded from one contiguous slice (the zero-copy `f64` decode reads
+//! straight out of it), so instead of wrapping, the buffer compacts —
+//! consumed bytes at the front are reclaimed by a `copy_within` only when
+//! the tail runs out of space, which for the dominant small-frame traffic
+//! never happens (consuming the whole buffer resets the head for free).
+//!
+//! The buffer starts empty, grows to whatever the largest in-flight frame
+//! needs (bounded by `MAX_FRAME` because the parser rejects oversized
+//! declarations before asking for capacity), and snaps back after a large
+//! frame so thousands of mostly-idle connections do not pin big allocations.
+
+use std::io::{self, Read};
+
+/// Bytes of tail headroom guaranteed before each read.
+const MIN_READ: usize = 4096;
+
+/// Retained capacity bound: a buffer that grew past this is released when
+/// it empties (idle connections go back to costing nothing).
+const RETAIN_MAX: usize = 256 * 1024;
+
+pub(crate) struct RingBuf {
+    buf: Vec<u8>,
+    head: usize,
+    len: usize,
+}
+
+impl RingBuf {
+    pub fn new() -> RingBuf {
+        RingBuf {
+            buf: Vec::new(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The unconsumed bytes, contiguous.
+    pub fn available(&self) -> &[u8] {
+        &self.buf[self.head..self.head + self.len]
+    }
+
+    /// Drop `n` bytes from the front (a parsed frame).
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len, "consume past end of buffered data");
+        self.head += n;
+        self.len -= n;
+        if self.len == 0 {
+            self.head = 0;
+            if self.buf.len() > RETAIN_MAX {
+                self.buf = Vec::new();
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.head > 0 {
+            self.buf.copy_within(self.head..self.head + self.len, 0);
+            self.head = 0;
+        }
+    }
+
+    /// Guarantee that a frame of `total` bytes can become contiguous
+    /// without further compaction (called when a parsed header promises
+    /// more payload than is buffered).
+    pub fn ensure_capacity(&mut self, total: usize) {
+        if self.buf.len() - self.head >= total {
+            return;
+        }
+        self.compact();
+        if self.buf.len() < total {
+            self.buf.resize(total, 0);
+        }
+    }
+
+    /// One read into the tail (nonblocking semantics are the reader's).
+    /// Returns `Ok(0)` only on EOF — the buffer always has headroom, so a
+    /// zero read is never "buffer full".
+    pub fn fill_from(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        if self.buf.len() - (self.head + self.len) < MIN_READ {
+            self.compact();
+            if self.buf.len() - self.len < MIN_READ {
+                let grown = (self.buf.len() * 2).max(self.len + MIN_READ);
+                self.buf.resize(grown, 0);
+            }
+        }
+        let tail = self.head + self.len;
+        let n = r.read(&mut self.buf[tail..])?;
+        self.len += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_consume_roundtrip_with_compaction() {
+        let mut ring = RingBuf::new();
+        assert!(ring.is_empty());
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut src = &data[..];
+        while ring.fill_from(&mut src).unwrap() > 0 {}
+        assert_eq!(ring.available(), &data[..]);
+
+        // consume in odd chunks; remaining view always matches the source
+        let mut off = 0usize;
+        for chunk in [1usize, 37, 4096, 999] {
+            ring.consume(chunk);
+            off += chunk;
+            assert_eq!(ring.available(), &data[off..]);
+        }
+        ring.consume(ring.available().len());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn interleaved_fill_and_consume_keeps_order() {
+        let mut ring = RingBuf::new();
+        let a = vec![1u8; 3000];
+        let b = vec![2u8; 5000];
+        let mut src = &a[..];
+        while ring.fill_from(&mut src).unwrap() > 0 {}
+        ring.consume(2500); // head advances; tail space shrinks
+        let mut src = &b[..];
+        while ring.fill_from(&mut src).unwrap() > 0 {}
+        let avail = ring.available();
+        assert_eq!(avail.len(), 500 + 5000);
+        assert!(avail[..500].iter().all(|&x| x == 1));
+        assert!(avail[500..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn ensure_capacity_makes_large_frames_contiguous_and_releases_after() {
+        let mut ring = RingBuf::new();
+        let big = RETAIN_MAX + 64;
+        ring.ensure_capacity(big);
+        let payload = vec![7u8; big];
+        let mut src = &payload[..];
+        while ring.fill_from(&mut src).unwrap() > 0 {}
+        assert_eq!(ring.available().len(), big);
+        ring.consume(big);
+        assert!(ring.is_empty());
+        // the oversized buffer was released once drained
+        assert_eq!(ring.buf.capacity(), 0);
+    }
+}

@@ -1,63 +1,83 @@
-//! The solve service: accept loop, bounded admission queue, solve workers,
-//! per-tenant caps, and graceful drain.
+//! The solve service: an event-driven core of shard-per-core readiness
+//! loops feeding per-shard QoS admission queues and solve workers.
 //!
-//! Threading model (all std):
+//! Threading model (all std; the epoll surface comes from the in-tree
+//! `shim-epoll` crate):
 //!
 //! ```text
-//! accept thread ──spawns──▶ connection threads (one per client)
-//!                                │  read frame, admit, enqueue Job
-//!                                ▼
-//!                    bounded queue (Mutex<VecDeque> + Condvar)
-//!                                │
-//!                 solve workers ─┴─▶ SessionManager lease → cycles →
-//!                                    reply over the job's channel
+//!            ┌─ shard 0 event loop ── epoll(listener, waker, conns)
+//!            │     │ nonblocking accept → round-robin to a shard
+//!            │     │ ring-buffer frame decode → admit → QoS queues
+//! N shards ──┤     ▼
+//!            │  per-shard {latency, batch} queues (Mutex + Condvar)
+//!            │     │ weighted dequeue (latency gets `qos_weight`
+//!            │     ▼  pops per batch pop when both classes wait)
+//!            └─ shard workers ──▶ shard SessionManager lease → cycles →
+//!                                 Complete message → shard waker →
+//!                                 event loop flushes in request order
 //! ```
 //!
-//! Connection threads are thin: they parse frames, enforce admission
-//! (queue capacity, per-tenant in-flight cap, shutdown), and block on the
-//! reply channel — requests on one connection are answered in order.
-//! Workers do all solving through [`SessionManager`] leases, so engines and
-//! their pools stay warm across requests.
+//! Every shard owns its listener share, connections, admission queues,
+//! tenant budgets, and `SessionManager` outright — there is no cross-shard
+//! lock on the steady-state path. Connections land on a shard round-robin
+//! at accept (the tenant is unknown until the first solve payload) and
+//! migrate once to `shard_for_tenant(tenant)` when the first solve frame
+//! names one, so a tenant's warm engines stay shard-local across
+//! reconnects.
 //!
 //! Rejections are *responses*, not failures: `QueueFull`, `TenantLimit` and
-//! `ShuttingDown` error frames leave the connection open (the 429 shape).
-//! A typed `ExecError` — including injected chaos faults — becomes an
-//! `ExecFailed` error frame; it never kills the connection, the worker, or
-//! the server. Only an unreadable *frame* closes a connection.
+//! `ShuttingDown` error frames leave the connection open (the 429 shape),
+//! and `QueueFull` is per-QoS-class — a batch flood fills the batch queue
+//! without consuming latency-class admission slots. A typed `ExecError` —
+//! including injected chaos faults — becomes an `ExecFailed` error frame;
+//! it never kills the connection, the worker, or the server. Only an
+//! unreadable *frame* closes a connection.
 //!
 //! Shutdown ([`OP_SHUTDOWN`] or [`ServerHandle::begin_shutdown`]) flips the
-//! drain flag: new solves are rejected, queued and in-flight solves finish,
-//! workers exit once the queue is dry, and the accept loop is unblocked by
-//! a self-connection. [`ServerHandle::join`] then publishes the final
-//! counters into the trace sink.
+//! drain flag and wakes every shard through its eventfd waker (no
+//! self-connection): new solves are rejected, queued and in-flight solves
+//! finish, a drain watcher marks the server drained once the last solve
+//! retires, and the event loops then release parked shutdown ACKs, flush,
+//! and close every connection. [`ServerHandle::join`] publishes the final
+//! global and per-shard counters into the trace sink.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use gmg_trace::{batch_hist_bucket, ServerSnapshot, Trace, BATCH_HIST_BUCKETS};
+use gmg_trace::{batch_hist_bucket, ServerSnapshot, ShardSnapshot, Trace, BATCH_HIST_BUCKETS};
 use polymg::{ChaosOptions, TunedStore};
+use shim_epoll::{Poller, Waker};
 
-use crate::protocol::{
-    self, BatchSolveRequest, BatchSolveResponse, ErrorCode, Frame, FrameError, SolveRequest,
-    SolveResponse,
-};
+use crate::protocol::{self, ErrorCode, SolveRequest};
 use crate::session::SessionManager;
+use crate::shard::ShardMsg;
 
 /// Server construction options.
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`ServerHandle::addr`]).
     pub addr: String,
-    /// Solve worker threads.
+    /// Event-loop shards. Each shard owns its connections, admission
+    /// queues, tenant budgets, session manager, and `workers` solve
+    /// threads; connections are pinned to `shard_for_tenant` of their
+    /// tenant so warm engines stay shard-local.
+    pub shards: usize,
+    /// Solve worker threads *per shard*.
     pub workers: usize,
-    /// Admission queue capacity; a full queue rejects with `QueueFull`.
+    /// Per-class admission queue capacity (each shard has one latency and
+    /// one batch queue); a full class queue rejects with `QueueFull`.
     pub queue_capacity: usize,
     /// Maximum in-flight solves per tenant; beyond it, `TenantLimit`.
     pub tenant_cap: usize,
+    /// Weighted round-robin credit for the latency class: when both QoS
+    /// queues are nonempty, `qos_weight` latency jobs are dequeued for
+    /// every batch job (work-conserving — an empty peer class never idles
+    /// a worker).
+    pub qos_weight: u32,
     /// Engine worker threads per leased runner.
     pub engine_threads: usize,
     /// Deterministic fault injection armed on every engine.
@@ -75,7 +95,8 @@ pub struct ServerConfig {
     /// picks up a request; `Some(d)` additionally lets the worker wait up
     /// to `d` for more same-shape requests to arrive. The window is also
     /// the fairness bound: no request is delayed by coalescing for more
-    /// than `d` beyond its natural queue residency.
+    /// than `d` beyond its natural queue residency. Coalescing never
+    /// crosses QoS classes.
     pub coalesce_window: Option<Duration>,
     /// Maximum right-hand sides per coalesced engine pass (a single
     /// `SOLVE_BATCH` frame may still carry up to [`protocol::MAX_BATCH`]).
@@ -86,9 +107,11 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            shards: 1,
             workers: 2,
             queue_capacity: 16,
             tenant_cap: 4,
+            qos_weight: 4,
             engine_threads: 1,
             chaos: None,
             tuned: None,
@@ -96,6 +119,41 @@ impl Default for ServerConfig {
             service_delay: None,
             coalesce_window: None,
             max_batch: 16,
+        }
+    }
+}
+
+/// Stable shard assignment for a tenant: a splitmix64 finalizer over the
+/// tenant id, so the mapping survives reconnects and server restarts (the
+/// point of shard-local warm sessions).
+pub fn shard_for_tenant(tenant: u32, nshards: usize) -> usize {
+    if nshards <= 1 {
+        return 0;
+    }
+    let mut z = (tenant as u64).wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z % nshards as u64) as usize
+}
+
+/// Admission QoS class of a job, derived from its opcode: interactive
+/// single solves are latency-sensitive, client batches are throughput
+/// work that may wait behind them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QosClass {
+    /// Single `OP_SOLVE` requests.
+    Latency,
+    /// `OP_SOLVE_BATCH` requests.
+    Batch,
+}
+
+impl QosClass {
+    /// Lowercase label used in error messages and stats.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::Latency => "latency",
+            QosClass::Batch => "batch",
         }
     }
 }
@@ -139,24 +197,51 @@ impl Counters {
     }
 }
 
-/// One admitted job travelling from a connection thread to a worker: a
-/// single solve (`batched == false`, one request) or a client batch
-/// (`batched == true`, shape-homogeneous by decode). Either way it is
-/// answered with exactly one frame.
-struct Job {
-    reqs: Vec<SolveRequest>,
-    /// Whether the reply must be a [`BatchSolveResponse`] frame.
-    batched: bool,
+/// Per-shard event-core counters (lock-free; snapshotted into
+/// [`ShardSnapshot`] at join).
+#[derive(Default)]
+pub(crate) struct ShardCounters {
+    pub accepted: AtomicU64,
+    pub adopted: AtomicU64,
+    pub frames: AtomicU64,
+    pub wakeups: AtomicU64,
+    pub dequeued_latency: AtomicU64,
+    pub dequeued_batch: AtomicU64,
+    pub queue_max_depth: AtomicU64,
+}
+
+/// One admitted job travelling from a shard's readiness loop to one of its
+/// workers: a single solve (`batched == false`, one request) or a client
+/// batch (`batched == true`, shape-homogeneous by decode). Either way it
+/// is answered with exactly one frame, routed back to `(shard, conn, seq)`.
+pub(crate) struct Job {
+    pub reqs: Vec<SolveRequest>,
+    /// Whether the reply must be a [`protocol::BatchSolveResponse`] frame.
+    pub batched: bool,
     /// Plan-shape hash for coalescing candidate lookup (verified by
     /// [`SolveRequest::same_plan_shape`] before any merge).
-    key: u64,
-    reply: mpsc::Sender<Frame>,
-    enqueued: Instant,
+    pub key: u64,
+    /// Shard owning the requesting connection (reply routing).
+    pub shard: usize,
+    /// Connection token on that shard.
+    pub conn: u64,
+    /// Per-connection response sequence number (responses are transmitted
+    /// strictly in request order even under pipelining).
+    pub seq: u64,
+    pub enqueued: Instant,
 }
 
 impl Job {
     fn rhs(&self) -> usize {
         self.reqs.len()
+    }
+
+    fn class(&self) -> QosClass {
+        if self.batched {
+            QosClass::Batch
+        } else {
+            QosClass::Latency
+        }
     }
 }
 
@@ -182,28 +267,124 @@ fn shape_key(req: &SolveRequest) -> u64 {
     h
 }
 
-struct Shared {
-    addr: SocketAddr,
-    queue: Mutex<VecDeque<Job>>,
-    queue_cv: Condvar,
-    queue_capacity: usize,
-    tenant_cap: usize,
+/// The two admission queues of one shard plus the weighted-round-robin
+/// credit that arbitrates between them.
+pub(crate) struct QosQueues {
+    latency: VecDeque<Job>,
+    batch: VecDeque<Job>,
+    /// Remaining latency pops before the next batch pop (only consulted
+    /// when both queues are nonempty).
+    credit: u32,
+}
+
+impl QosQueues {
+    fn new(weight: u32) -> QosQueues {
+        QosQueues {
+            latency: VecDeque::new(),
+            batch: VecDeque::new(),
+            credit: weight,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.latency.len() + self.batch.len()
+    }
+
+    fn class_len(&self, class: QosClass) -> usize {
+        match class {
+            QosClass::Latency => self.latency.len(),
+            QosClass::Batch => self.batch.len(),
+        }
+    }
+
+    pub(crate) fn deque_mut(&mut self, class: QosClass) -> &mut VecDeque<Job> {
+        match class {
+            QosClass::Latency => &mut self.latency,
+            QosClass::Batch => &mut self.batch,
+        }
+    }
+
+    /// Work-conserving weighted dequeue: with both classes waiting, serve
+    /// `weight` latency jobs per batch job; with one class waiting, serve
+    /// it unconditionally (and refill the credit on a batch pop so a later
+    /// contention round starts with a full latency budget).
+    fn pop_weighted(&mut self, weight: u32) -> Option<Job> {
+        match (self.latency.is_empty(), self.batch.is_empty()) {
+            (true, true) => None,
+            (false, true) => self.latency.pop_front(),
+            (true, false) => {
+                self.credit = weight;
+                self.batch.pop_front()
+            }
+            (false, false) => {
+                if self.credit > 0 {
+                    self.credit -= 1;
+                    self.latency.pop_front()
+                } else {
+                    self.credit = weight;
+                    self.batch.pop_front()
+                }
+            }
+        }
+    }
+}
+
+/// Everything one shard owns: its readiness loop's poller and waker, the
+/// message inbox other threads reach it through, its QoS queues, tenant
+/// budgets, and warm sessions.
+pub(crate) struct Shard {
+    pub poller: Poller,
+    pub waker: Waker,
+    /// Cross-thread mailbox (connection adoptions, solve completions);
+    /// drained by the shard's event loop after each wakeup.
+    inbox: Mutex<Vec<ShardMsg>>,
+    pub queues: Mutex<QosQueues>,
+    pub queue_cv: Condvar,
     tenants: Mutex<HashMap<u32, usize>>,
+    pub sessions: SessionManager,
+    pub counters: ShardCounters,
+}
+
+impl Shard {
+    /// Post a message to this shard and wake its event loop.
+    pub(crate) fn send(&self, msg: ShardMsg) {
+        self.inbox.lock().unwrap().push(msg);
+        self.waker.wake();
+    }
+
+    pub(crate) fn take_inbox(&self) -> Vec<ShardMsg> {
+        std::mem::take(&mut *self.inbox.lock().unwrap())
+    }
+}
+
+pub(crate) struct Shared {
+    pub addr: SocketAddr,
+    pub queue_capacity: usize,
+    pub tenant_cap: usize,
+    pub qos_weight: u32,
+    pub max_batch: usize,
+    pub service_delay: Option<Duration>,
+    pub coalesce_window: Option<Duration>,
+    pub shutting_down: AtomicBool,
+    /// Set by the drain watcher once every admitted solve has retired;
+    /// event loops then flush and close out.
+    pub drained: AtomicBool,
     /// Admitted solves not yet answered (queued + executing).
     inflight: AtomicUsize,
-    shutting_down: AtomicBool,
-    sessions: SessionManager,
+    drain_mx: Mutex<()>,
+    drain_cv: Condvar,
     counters: Counters,
     trace: Trace,
-    service_delay: Option<Duration>,
-    coalesce_window: Option<Duration>,
-    max_batch: usize,
-    /// Streams of live connections, so `join` can close them out.
-    conns: Mutex<Vec<TcpStream>>,
+    pub shards: Vec<Shard>,
 }
 
 impl Shared {
+    pub(crate) fn count_protocol_error(&self) {
+        self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> ServerSnapshot {
+        let sum = |f: &dyn Fn(&Shard) -> u64| -> u64 { self.shards.iter().map(f).sum() };
         ServerSnapshot {
             requests: self.counters.requests.load(Ordering::Relaxed),
             ok: self.counters.ok.load(Ordering::Relaxed),
@@ -212,11 +393,11 @@ impl Shared {
             rejected_queue_full: self.counters.rejected_queue_full.load(Ordering::Relaxed),
             rejected_tenant: self.counters.rejected_tenant.load(Ordering::Relaxed),
             rejected_shutdown: self.counters.rejected_shutdown.load(Ordering::Relaxed),
-            session_hits: self.sessions.session_hits.load(Ordering::Relaxed),
-            session_misses: self.sessions.session_misses.load(Ordering::Relaxed),
-            engines_created: self.sessions.engines_created.load(Ordering::Relaxed),
+            session_hits: sum(&|s| s.sessions.session_hits.load(Ordering::Relaxed)),
+            session_misses: sum(&|s| s.sessions.session_misses.load(Ordering::Relaxed)),
+            engines_created: sum(&|s| s.sessions.engines_created.load(Ordering::Relaxed)),
             queue_max_depth: self.counters.queue_max_depth.load(Ordering::Relaxed),
-            tuned_applied: self.sessions.tuned_applied.load(Ordering::Relaxed),
+            tuned_applied: sum(&|s| s.sessions.tuned_applied.load(Ordering::Relaxed)),
             batches: self.counters.batches.load(Ordering::Relaxed),
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             batch_hist: std::array::from_fn(|i| {
@@ -225,8 +406,26 @@ impl Shared {
         }
     }
 
-    fn stats_text(&self) -> String {
+    fn shard_snapshot(&self, i: usize) -> ShardSnapshot {
+        let sh = &self.shards[i];
+        ShardSnapshot {
+            shard: i as u64,
+            accepted: sh.counters.accepted.load(Ordering::Relaxed),
+            adopted: sh.counters.adopted.load(Ordering::Relaxed),
+            frames: sh.counters.frames.load(Ordering::Relaxed),
+            wakeups: sh.counters.wakeups.load(Ordering::Relaxed),
+            dequeued_latency: sh.counters.dequeued_latency.load(Ordering::Relaxed),
+            dequeued_batch: sh.counters.dequeued_batch.load(Ordering::Relaxed),
+            session_hits: sh.sessions.session_hits.load(Ordering::Relaxed),
+            session_misses: sh.sessions.session_misses.load(Ordering::Relaxed),
+            engines_created: sh.sessions.engines_created.load(Ordering::Relaxed),
+            queue_max_depth: sh.counters.queue_max_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn stats_text(&self) -> String {
         let s = self.snapshot();
+        let sessions: u64 = self.shards.iter().map(|sh| sh.sessions.len() as u64).sum();
         let mut t = String::new();
         for (k, v) in [
             ("requests", s.requests),
@@ -243,42 +442,47 @@ impl Shared {
             ("tuned_applied", s.tuned_applied),
             ("batches", s.batches),
             ("coalesced", s.coalesced),
-            ("sessions", self.sessions.len() as u64),
+            ("sessions", sessions),
+            ("shards", self.shards.len() as u64),
         ] {
             t.push_str(&format!("{k} {v}\n"));
         }
         t
     }
 
-    fn begin_shutdown(&self) {
+    /// Flip the drain flag and wake everything that needs to observe it:
+    /// the drain watcher, parked workers, and every shard's event loop
+    /// (which closes the listener). No self-connection — the eventfd waker
+    /// interrupts a blocked `epoll_wait` directly.
+    pub(crate) fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake workers parked on an empty queue so they observe the flag,
-        // and unblock the accept loop with a throwaway self-connection.
-        self.queue_cv.notify_all();
-        let _ = TcpStream::connect(self.addr);
+        {
+            let _g = self.drain_mx.lock().unwrap();
+            self.drain_cv.notify_all();
+        }
+        for shard in &self.shards {
+            shard.queue_cv.notify_all();
+            shard.waker.wake();
+        }
     }
 
-    /// Block until every admitted solve has been answered.
-    fn wait_drained(&self) {
-        let mut q = self.queue.lock().unwrap();
-        loop {
-            if q.is_empty() && self.inflight.load(Ordering::SeqCst) == 0 {
-                return;
-            }
-            let (guard, _) = self
-                .queue_cv
-                .wait_timeout(q, Duration::from_millis(20))
-                .unwrap();
-            q = guard;
-        }
+    /// Route a finished response frame back to the connection that asked
+    /// for it (crossing from a worker thread into the owning shard's event
+    /// loop). If the connection died meanwhile, the frame is dropped there.
+    fn complete(&self, shard: usize, conn: u64, seq: u64, opcode: u8, payload: &[u8]) {
+        self.shards[shard].send(ShardMsg::Complete {
+            conn,
+            seq,
+            frame: protocol::frame_bytes(opcode, payload),
+        });
     }
 
     /// Worker side: run one engine pass over every grid of `jobs` (all
     /// plan-shape-equal — a single job, or several coalesced by the window)
     /// and answer each job with exactly one frame.
-    fn process_batch(&self, jobs: Vec<Job>) {
+    fn process_batch(&self, shard_id: usize, mut jobs: Vec<Job>) {
         let total_rhs: usize = jobs.iter().map(Job::rhs).sum();
         self.counters.record_pass(total_rhs, jobs.len());
         for job in &jobs {
@@ -292,7 +496,7 @@ impl Shared {
         let t0 = Instant::now();
         let req0 = &jobs[0].reqs[0];
         let tag = format!("{}[{}]", req0.config().tag(), req0.variant_enum().label());
-        match self.solve_batch(&jobs) {
+        match self.solve_batch(shard_id, &mut jobs) {
             Ok(mut vs) => {
                 let elapsed_ns = t0.elapsed().as_nanos() as u64;
                 // Hand grids back in request order, draining front to back.
@@ -300,88 +504,99 @@ impl Shared {
                     let rest = vs.split_off(job.rhs());
                     let grids = std::mem::replace(&mut vs, rest);
                     self.counters.ok.fetch_add(job.rhs() as u64, Ordering::Relaxed);
-                    let frame = if job.batched {
-                        Frame {
-                            opcode: protocol::OP_SOLVE_BATCH_OK,
-                            payload: BatchSolveResponse {
-                                elapsed_ns,
-                                vs: grids,
-                            }
-                            .encode(),
+                    if job.batched {
+                        let payload = protocol::BatchSolveResponse {
+                            elapsed_ns,
+                            vs: grids,
                         }
+                        .encode();
+                        self.complete(
+                            job.shard,
+                            job.conn,
+                            job.seq,
+                            protocol::OP_SOLVE_BATCH_OK,
+                            &payload,
+                        );
                     } else {
                         let v = grids.into_iter().next().expect("one grid per single job");
-                        Frame {
-                            opcode: protocol::OP_SOLVE_OK,
-                            payload: SolveResponse { elapsed_ns, v }.encode(),
-                        }
-                    };
-                    // A dead reply channel means the connection already went
-                    // away; the solve result is simply dropped.
-                    let _ = job.reply.send(frame);
+                        let payload = protocol::SolveResponse { elapsed_ns, v }.encode();
+                        self.complete(job.shard, job.conn, job.seq, protocol::OP_SOLVE_OK, &payload);
+                    }
                 }
             }
             Err((code, msg)) => {
                 // One typed error frame per job: a mid-batch fault fails
                 // every grid of the pass, but each job still gets exactly
-                // one answer on its own channel.
+                // one answer on its own connection.
                 for job in &jobs {
                     if code == ErrorCode::ExecFailed {
                         self.counters.exec_errors.fetch_add(1, Ordering::Relaxed);
                     }
-                    let _ = job.reply.send(Frame {
-                        opcode: protocol::OP_ERROR,
-                        payload: protocol::encode_error(code, &msg),
-                    });
+                    let payload = protocol::encode_error(code, &msg);
+                    self.complete(job.shard, job.conn, job.seq, protocol::OP_ERROR, &payload);
                 }
             }
         }
         let cells: u64 = jobs
             .iter()
             .flat_map(|j| j.reqs.iter())
-            .map(|r| r.v.len() as u64 * r.iters as u64)
+            .map(|r| r.f.len() as u64 * r.iters as u64)
             .sum();
         self.trace
             .record_span(&tag, "request", t0.elapsed().as_nanos() as u64, 0, cells);
+        // Retire strictly after every completion is posted: the drain
+        // watcher may observe inflight == 0 the instant the last retire
+        // lands, and the event loops must then find the completions already
+        // in their inboxes.
         for job in &jobs {
-            self.retire(job.reqs[0].tenant);
+            self.retire(job.shard, job.reqs[0].tenant);
         }
     }
 
-    /// One lease, one batched engine pass per cycle, every grid of every
-    /// job swept together. Grids come back flattened in job order.
-    fn solve_batch(&self, jobs: &[Job]) -> Result<Vec<Vec<f64>>, (ErrorCode, String)> {
-        let req0 = &jobs[0].reqs[0];
-        let cfg = req0.config();
-        let mut lease = self
-            .sessions
-            .acquire(&cfg, req0.variant_enum())
+    /// One lease from the executing shard's session manager, one batched
+    /// engine pass per cycle, every grid of every job swept together.
+    /// Grids come back flattened in job order. The request `v` vectors are
+    /// *taken* (not cloned) as the initial guesses — the wire payload was
+    /// already the only copy, so the whole path from socket to engine is
+    /// one decode copy.
+    fn solve_batch(
+        &self,
+        shard_id: usize,
+        jobs: &mut [Job],
+    ) -> Result<Vec<Vec<f64>>, (ErrorCode, String)> {
+        let (cfg, variant, iters) = {
+            let req0 = &jobs[0].reqs[0];
+            (req0.config(), req0.variant_enum(), req0.iters)
+        };
+        let sessions = &self.shards[shard_id].sessions;
+        let mut lease = sessions
+            .acquire(&cfg, variant)
             .map_err(|errs| (ErrorCode::CompileFailed, errs.join("; ")))?;
         let mut vs: Vec<Vec<f64>> = jobs
-            .iter()
-            .flat_map(|j| j.reqs.iter())
-            .map(|r| r.v.clone())
+            .iter_mut()
+            .flat_map(|j| j.reqs.iter_mut())
+            .map(|r| std::mem::take(&mut r.v))
             .collect();
         let fs: Vec<&[f64]> = jobs
             .iter()
             .flat_map(|j| j.reqs.iter())
             .map(|r| r.f.as_slice())
             .collect();
-        for i in 0..req0.iters {
+        for i in 0..iters {
             if let Err(e) = lease.runner.cycle_batch_with_stats(&mut vs, &fs) {
                 // Typed errors leave the engine usable; keep the warm state.
-                self.sessions.release(lease);
+                sessions.release(lease);
                 return Err((ErrorCode::ExecFailed, format!("cycle {i}: {e}")));
             }
         }
-        self.sessions.release(lease);
+        sessions.release(lease);
         Ok(vs)
     }
 
-    /// Release one unit of tenant budget and wake drain/depth waiters.
-    fn retire(&self, tenant: u32) {
+    /// Release one unit of tenant budget and wake the drain watcher.
+    fn retire(&self, shard_id: usize, tenant: u32) {
         {
-            let mut t = self.tenants.lock().unwrap();
+            let mut t = self.shards[shard_id].tenants.lock().unwrap();
             if let Some(c) = t.get_mut(&tenant) {
                 *c -= 1;
                 if *c == 0 {
@@ -390,18 +605,25 @@ impl Shared {
             }
         }
         self.inflight.fetch_sub(1, Ordering::SeqCst);
-        self.queue_cv.notify_all();
+        if self.shutting_down.load(Ordering::SeqCst) {
+            let _g = self.drain_mx.lock().unwrap();
+            self.drain_cv.notify_all();
+        }
     }
 
     /// Admission for one decoded job (a single solve or a client batch,
-    /// which occupies one queue slot and one unit of tenant budget). On
-    /// success the job is queued and the caller must await the reply
-    /// channel.
-    fn admit(
+    /// which occupies one queue slot and one unit of tenant budget) into
+    /// `shard_id`'s queues. On success the job is queued; the response
+    /// will arrive at `(conn, seq)` via a [`ShardMsg::Complete`].
+    pub(crate) fn admit(
         &self,
+        shard_id: usize,
+        conn: u64,
+        seq: u64,
         reqs: Vec<SolveRequest>,
         batched: bool,
-    ) -> Result<mpsc::Receiver<Frame>, (ErrorCode, String)> {
+    ) -> Result<(), (ErrorCode, String)> {
+        let shard = &self.shards[shard_id];
         let tenant = reqs[0].tenant;
         if self.shutting_down.load(Ordering::SeqCst) {
             self.counters
@@ -410,7 +632,7 @@ impl Shared {
             return Err((ErrorCode::ShuttingDown, "server is draining".to_string()));
         }
         {
-            let mut t = self.tenants.lock().unwrap();
+            let mut t = shard.tenants.lock().unwrap();
             let c = t.entry(tenant).or_insert(0);
             if *c >= self.tenant_cap {
                 drop(t);
@@ -427,39 +649,51 @@ impl Shared {
             }
             *c += 1;
         }
-        let (tx, rx) = mpsc::channel();
+        let class = if batched {
+            QosClass::Batch
+        } else {
+            QosClass::Latency
+        };
         {
-            let mut q = self.queue.lock().unwrap();
-            if q.len() >= self.queue_capacity {
+            let mut q = shard.queues.lock().unwrap();
+            if q.class_len(class) >= self.queue_capacity {
                 drop(q);
                 self.counters
                     .rejected_queue_full
                     .fetch_add(1, Ordering::Relaxed);
-                self.retire_tenant_only(tenant);
+                self.retire_tenant_only(shard_id, tenant);
                 return Err((
                     ErrorCode::QueueFull,
-                    format!("admission queue at capacity {}", self.queue_capacity),
+                    format!(
+                        "{} admission queue at capacity {}",
+                        class.label(),
+                        self.queue_capacity
+                    ),
                 ));
             }
             self.counters
                 .requests
                 .fetch_add(reqs.len() as u64, Ordering::Relaxed);
             self.inflight.fetch_add(1, Ordering::SeqCst);
-            q.push_back(Job {
+            q.deque_mut(class).push_back(Job {
                 key: shape_key(&reqs[0]),
                 reqs,
                 batched,
-                reply: tx,
+                shard: shard_id,
+                conn,
+                seq,
                 enqueued: Instant::now(),
             });
-            self.counters.bump_depth(q.len() as u64);
+            let depth = q.len() as u64;
+            self.counters.bump_depth(depth);
+            shard.counters.queue_max_depth.fetch_max(depth, Ordering::Relaxed);
         }
-        self.queue_cv.notify_one();
-        Ok(rx)
+        shard.queue_cv.notify_one();
+        Ok(())
     }
 
-    fn retire_tenant_only(&self, tenant: u32) {
-        let mut t = self.tenants.lock().unwrap();
+    fn retire_tenant_only(&self, shard_id: usize, tenant: u32) {
+        let mut t = self.shards[shard_id].tenants.lock().unwrap();
         if let Some(c) = t.get_mut(&tenant) {
             *c -= 1;
             if *c == 0 {
@@ -490,29 +724,32 @@ fn drain_same_shape(q: &mut VecDeque<Job>, jobs: &mut Vec<Job>, max_batch: usize
     }
 }
 
-fn worker_loop(sh: Arc<Shared>) {
+fn worker_loop(sh: Arc<Shared>, shard_id: usize) {
+    let shard = &sh.shards[shard_id];
     loop {
         let jobs = {
-            let mut q = sh.queue.lock().unwrap();
+            let mut q = shard.queues.lock().unwrap();
             let first = loop {
-                if let Some(j) = q.pop_front() {
+                if let Some(j) = q.pop_weighted(sh.qos_weight) {
                     break j;
                 }
                 if sh.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
-                q = sh.queue_cv.wait(q).unwrap();
+                q = shard.queue_cv.wait(q).unwrap();
             };
+            let class = first.class();
             let mut jobs = vec![first];
             if let Some(window) = sh.coalesce_window {
-                // Coalesce same-shape queued jobs into this pass: merge
-                // whatever is already queued, then (window > 0) keep the
-                // pass open until the deadline or the batch is full. The
-                // deadline bounds the added latency — no request waits more
-                // than `window` beyond its natural queue residency.
+                // Coalesce same-shape queued jobs of the same QoS class
+                // into this pass: merge whatever is already queued, then
+                // (window > 0) keep the pass open until the deadline or the
+                // batch is full. The deadline bounds the added latency — no
+                // request waits more than `window` beyond its natural queue
+                // residency.
                 let deadline = Instant::now() + window;
                 loop {
-                    drain_same_shape(&mut q, &mut jobs, sh.max_batch);
+                    drain_same_shape(q.deque_mut(class), &mut jobs, sh.max_batch);
                     let total: usize = jobs.iter().map(Job::rhs).sum();
                     if total >= sh.max_batch || sh.shutting_down.load(Ordering::SeqCst) {
                         break;
@@ -522,124 +759,50 @@ fn worker_loop(sh: Arc<Shared>) {
                         break;
                     }
                     let (guard, timeout) =
-                        sh.queue_cv.wait_timeout(q, deadline - now).unwrap();
+                        shard.queue_cv.wait_timeout(q, deadline - now).unwrap();
                     q = guard;
                     if timeout.timed_out() {
-                        drain_same_shape(&mut q, &mut jobs, sh.max_batch);
+                        drain_same_shape(q.deque_mut(class), &mut jobs, sh.max_batch);
                         break;
                     }
                 }
             }
             jobs
         };
-        sh.process_batch(jobs);
+        let n = jobs.len() as u64;
+        match jobs[0].class() {
+            QosClass::Latency => shard.counters.dequeued_latency.fetch_add(n, Ordering::Relaxed),
+            QosClass::Batch => shard.counters.dequeued_batch.fetch_add(n, Ordering::Relaxed),
+        };
+        sh.process_batch(shard_id, jobs);
     }
 }
 
-/// Admit a decoded job and block on its reply (the per-connection
-/// request/response discipline).
-fn solve_reply(sh: &Shared, reqs: Vec<SolveRequest>, batched: bool) -> Frame {
-    match sh.admit(reqs, batched) {
-        Err((code, msg)) => Frame {
-            opcode: protocol::OP_ERROR,
-            payload: protocol::encode_error(code, &msg),
-        },
-        Ok(rx) => rx.recv().unwrap_or(Frame {
-            opcode: protocol::OP_ERROR,
-            payload: protocol::encode_error(ErrorCode::Internal, "worker dropped the request"),
-        }),
-    }
-}
-
-/// Serve one connection until it closes, fails, or shutdown completes.
-fn conn_loop(sh: Arc<Shared>, mut stream: TcpStream) {
-    loop {
-        let frame = match protocol::read_frame(&mut stream) {
-            Ok(f) => f,
-            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
-            Err(e @ (FrameError::Truncated(_) | FrameError::Oversized(_))) => {
-                // Framing is broken: we can no longer find frame boundaries
-                // on this connection. Answer once, then hang up.
-                sh.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = protocol::write_frame(
-                    &mut stream,
-                    protocol::OP_ERROR,
-                    &protocol::encode_error(ErrorCode::BadFrame, &e.to_string()),
-                );
-                let _ = stream.shutdown(Shutdown::Both);
-                return;
-            }
-        };
-        let ok = match frame.opcode {
-            protocol::OP_PING => {
-                protocol::write_frame(&mut stream, protocol::OP_PONG, &frame.payload).is_ok()
-            }
-            protocol::OP_STATS => protocol::write_frame(
-                &mut stream,
-                protocol::OP_STATS_OK,
-                sh.stats_text().as_bytes(),
-            )
-            .is_ok(),
-            protocol::OP_SHUTDOWN => {
-                // Deregister this connection before flipping the drain flag:
-                // `join` force-closes every registered stream once workers
-                // exit, which otherwise races the ACK write below. The order
-                // is safe — `join` only reaches that close after the accept
-                // thread exits, which `begin_shutdown`'s self-connect causes.
-                if let Ok(peer) = stream.peer_addr() {
-                    sh.conns
-                        .lock()
-                        .unwrap()
-                        .retain(|c| c.peer_addr().map(|p| p != peer).unwrap_or(true));
-                }
-                sh.begin_shutdown();
-                sh.wait_drained();
-                let _ =
-                    protocol::write_frame(&mut stream, protocol::OP_SHUTDOWN_ACK, &frame.payload);
-                return;
-            }
-            protocol::OP_SOLVE => {
-                let reply = match SolveRequest::decode(&frame.payload) {
-                    Err(msg) => {
-                        sh.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        Frame {
-                            opcode: protocol::OP_ERROR,
-                            payload: protocol::encode_error(ErrorCode::BadRequest, &msg),
-                        }
-                    }
-                    Ok(req) => solve_reply(&sh, vec![req], false),
-                };
-                protocol::write_frame(&mut stream, reply.opcode, &reply.payload).is_ok()
-            }
-            protocol::OP_SOLVE_BATCH => {
-                let reply = match BatchSolveRequest::decode(&frame.payload) {
-                    Err(msg) => {
-                        sh.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        Frame {
-                            opcode: protocol::OP_ERROR,
-                            payload: protocol::encode_error(ErrorCode::BadRequest, &msg),
-                        }
-                    }
-                    Ok(batch) => solve_reply(&sh, batch.reqs, true),
-                };
-                protocol::write_frame(&mut stream, reply.opcode, &reply.payload).is_ok()
-            }
-            other => {
-                sh.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                protocol::write_frame(
-                    &mut stream,
-                    protocol::OP_ERROR,
-                    &protocol::encode_error(
-                        ErrorCode::UnknownOpcode,
-                        &format!("opcode {other:#04x}"),
-                    ),
-                )
-                .is_ok()
-            }
-        };
-        if !ok {
-            return;
+/// Waits out the drain: once shutdown begins, watches `inflight` fall to
+/// zero, then publishes `drained` and wakes every shard so the event loops
+/// release parked shutdown ACKs and close out.
+fn drain_watcher(sh: Arc<Shared>) {
+    {
+        let mut g = sh.drain_mx.lock().unwrap();
+        while !sh.shutting_down.load(Ordering::SeqCst) {
+            g = sh.drain_cv.wait(g).unwrap();
         }
+        while sh.inflight.load(Ordering::SeqCst) != 0 {
+            let (guard, _) = sh
+                .drain_cv
+                .wait_timeout(g, Duration::from_millis(10))
+                .unwrap();
+            g = guard;
+        }
+    }
+    sh.drained.store(true, Ordering::SeqCst);
+    {
+        let _g = sh.drain_mx.lock().unwrap();
+        sh.drain_cv.notify_all();
+    }
+    for shard in &sh.shards {
+        shard.queue_cv.notify_all();
+        shard.waker.wake();
     }
 }
 
@@ -648,8 +811,7 @@ fn conn_loop(sh: Arc<Shared>, mut stream: TcpStream) {
 /// frame) and then [`ServerHandle::join`].
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -663,32 +825,39 @@ impl ServerHandle {
         self.shared.snapshot()
     }
 
+    /// Current per-shard event-core counters, one entry per shard.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        (0..self.shared.shards.len())
+            .map(|i| self.shared.shard_snapshot(i))
+            .collect()
+    }
+
     /// Flip the drain flag (the in-process equivalent of an
     /// [`protocol::OP_SHUTDOWN`] frame, or of SIGTERM in a supervisor).
     pub fn begin_shutdown(&self) {
         self.shared.begin_shutdown();
     }
 
-    /// Wait for the drain to complete, stop every thread, close remaining
-    /// connections, publish final counters into the trace, and return them.
+    /// Wait for the drain to complete, stop every thread, publish final
+    /// counters into the trace, and return them.
     pub fn join(mut self) -> ServerSnapshot {
         // If nobody initiated shutdown, this blocks until someone does —
         // that is the serve-forever mode of the CLI.
-        if let Some(t) = self.accept.take() {
-            let _ = t.join();
+        {
+            let mut g = self.shared.drain_mx.lock().unwrap();
+            while !self.shared.shutting_down.load(Ordering::SeqCst) {
+                g = self.shared.drain_cv.wait(g).unwrap();
+            }
         }
-        self.shared.wait_drained();
-        self.shared.queue_cv.notify_all();
-        for t in self.workers.drain(..) {
+        for t in self.threads.drain(..) {
             let _ = t.join();
-        }
-        // Connection threads may still be parked in read_frame; closing the
-        // sockets turns that into a clean EOF and they exit.
-        for c in self.shared.conns.lock().unwrap().drain(..) {
-            let _ = c.shutdown(Shutdown::Both);
         }
         let snap = self.shared.snapshot();
         self.shared.trace.record_server(&snap);
+        let shards: Vec<ShardSnapshot> = (0..self.shared.shards.len())
+            .map(|i| self.shared.shard_snapshot(i))
+            .collect();
+        self.shared.trace.record_shards(&shards);
         let cache = polymg::PlanCache::global();
         let (hits, misses) = cache.counters();
         self.shared
@@ -701,64 +870,76 @@ impl ServerHandle {
 /// Bind and start the service.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    let nshards = config.shards.max(1);
+    let mut shards = Vec::with_capacity(nshards);
+    for _ in 0..nshards {
+        shards.push(Shard {
+            poller: Poller::new()?,
+            waker: Waker::new()?,
+            inbox: Mutex::new(Vec::new()),
+            queues: Mutex::new(QosQueues::new(config.qos_weight.max(1))),
+            queue_cv: Condvar::new(),
+            tenants: Mutex::new(HashMap::new()),
+            sessions: SessionManager::new(
+                config.tuned.clone(),
+                config.chaos,
+                config.engine_threads,
+                workers,
+            ),
+            counters: ShardCounters::default(),
+        });
+    }
     let shared = Arc::new(Shared {
         addr,
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
         queue_capacity: config.queue_capacity.max(1),
         tenant_cap: config.tenant_cap.max(1),
-        tenants: Mutex::new(HashMap::new()),
-        inflight: AtomicUsize::new(0),
-        shutting_down: AtomicBool::new(false),
-        sessions: SessionManager::new(config.tuned, config.chaos, config.engine_threads, workers),
-        counters: Counters::default(),
-        trace: config.trace,
+        qos_weight: config.qos_weight.max(1),
+        max_batch: config.max_batch.max(1),
         service_delay: config.service_delay,
         coalesce_window: config.coalesce_window,
-        max_batch: config.max_batch.max(1),
-        conns: Mutex::new(Vec::new()),
+        shutting_down: AtomicBool::new(false),
+        drained: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
+        drain_mx: Mutex::new(()),
+        drain_cv: Condvar::new(),
+        counters: Counters::default(),
+        trace: config.trace,
+        shards,
     });
 
-    let worker_handles: Vec<_> = (0..workers)
-        .map(|i| {
-            let sh = Arc::clone(&shared);
+    let mut threads = Vec::with_capacity(nshards * (workers + 1) + 1);
+    let mut listener = Some(listener);
+    for id in 0..nshards {
+        let sh = Arc::clone(&shared);
+        let l = if id == 0 { listener.take() } else { None };
+        threads.push(
             std::thread::Builder::new()
-                .name(format!("gmg-server-worker-{i}"))
-                .spawn(move || worker_loop(sh))
-                .expect("spawn worker")
-        })
-        .collect();
+                .name(format!("gmg-server-shard-{id}"))
+                .spawn(move || crate::shard::event_loop(sh, id, l))
+                .expect("spawn shard event loop"),
+        );
+        for w in 0..workers {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gmg-server-worker-{id}-{w}"))
+                    .spawn(move || worker_loop(sh, id))
+                    .expect("spawn worker"),
+            );
+        }
+    }
+    let sh = Arc::clone(&shared);
+    threads.push(
+        std::thread::Builder::new()
+            .name("gmg-server-drain".to_string())
+            .spawn(move || drain_watcher(sh))
+            .expect("spawn drain watcher"),
+    );
 
-    let accept_shared = Arc::clone(&shared);
-    let accept = std::thread::Builder::new()
-        .name("gmg-server-accept".to_string())
-        .spawn(move || {
-            for res in listener.incoming() {
-                if accept_shared.shutting_down.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match res {
-                    Ok(s) => s,
-                    Err(_) => continue,
-                };
-                if let Ok(clone) = stream.try_clone() {
-                    accept_shared.conns.lock().unwrap().push(clone);
-                }
-                let sh = Arc::clone(&accept_shared);
-                let _ = std::thread::Builder::new()
-                    .name("gmg-server-conn".to_string())
-                    .spawn(move || conn_loop(sh, stream));
-            }
-        })
-        .expect("spawn accept loop");
-
-    Ok(ServerHandle {
-        shared,
-        accept: Some(accept),
-        workers: worker_handles,
-    })
+    Ok(ServerHandle { shared, threads })
 }
 
 /// Render a one-line human summary of a snapshot (CLI shutdown banner).
@@ -782,4 +963,69 @@ pub fn summarize(s: &ServerSnapshot, out: &mut impl Write) -> std::io::Result<()
         s.batches,
         s.coalesced
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_for_tenant_is_stable_and_in_range() {
+        for nshards in [1usize, 2, 3, 8] {
+            for tenant in 0..64u32 {
+                let s = shard_for_tenant(tenant, nshards);
+                assert!(s < nshards);
+                assert_eq!(s, shard_for_tenant(tenant, nshards), "must be deterministic");
+            }
+        }
+        // single shard degenerates to 0 for every tenant
+        assert!(
+            (0..100u32).all(|t| shard_for_tenant(t, 1) == 0),
+            "nshards=1 must pin everything to shard 0"
+        );
+        // a handful of tenants spread over >1 shard (not all colliding)
+        let spread: std::collections::HashSet<usize> =
+            (0..32u32).map(|t| shard_for_tenant(t, 4)).collect();
+        assert!(spread.len() > 1, "hash must actually distribute tenants");
+    }
+
+    #[test]
+    fn weighted_dequeue_interleaves_and_stays_work_conserving() {
+        fn job(batched: bool, tag: u64) -> Job {
+            Job {
+                reqs: Vec::new(),
+                batched,
+                key: tag,
+                shard: 0,
+                conn: 0,
+                seq: tag,
+                enqueued: Instant::now(),
+            }
+        }
+        let weight = 2;
+        let mut q = QosQueues::new(weight);
+        for i in 0..6 {
+            q.deque_mut(QosClass::Latency).push_back(job(false, i));
+        }
+        for i in 0..6 {
+            q.deque_mut(QosClass::Batch).push_back(job(true, 100 + i));
+        }
+        // contention: weight latency pops, then one batch pop, repeating
+        let order: Vec<bool> = std::iter::from_fn(|| q.pop_weighted(weight))
+            .map(|j| j.batched)
+            .collect();
+        assert_eq!(order.len(), 12);
+        assert_eq!(
+            &order[..9],
+            &[false, false, true, false, false, true, false, false, true],
+            "2:1 weighted interleave while both classes wait"
+        );
+        // after latency empties, remaining batch jobs run back to back
+        assert!(order[9..].iter().all(|&b| b), "work-conserving tail");
+
+        // batch alone never starves with an empty latency queue
+        let mut q = QosQueues::new(weight);
+        q.deque_mut(QosClass::Batch).push_back(job(true, 0));
+        assert!(q.pop_weighted(weight).is_some());
+    }
 }

@@ -114,6 +114,32 @@ pub(crate) fn report_to_json(r: &Report) -> String {
             hist
         ));
     }
+    if !r.shards.is_empty() {
+        s.push_str("  \"shards\": [");
+        for (i, sh) in r.shards.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"shard\": {}, \"accepted\": {}, \"adopted\": {}, \"frames\": {}, \
+                 \"wakeups\": {}, \"dequeued_latency\": {}, \"dequeued_batch\": {}, \
+                 \"session_hits\": {}, \"session_misses\": {}, \"engines_created\": {}, \
+                 \"queue_max_depth\": {}}}",
+                sh.shard,
+                sh.accepted,
+                sh.adopted,
+                sh.frames,
+                sh.wakeups,
+                sh.dequeued_latency,
+                sh.dequeued_batch,
+                sh.session_hits,
+                sh.session_misses,
+                sh.engines_created,
+                sh.queue_max_depth
+            ));
+        }
+        s.push_str("],\n");
+    }
     s.push_str("  \"dispatch\": {");
     for (i, (label, count)) in dispatch::LABELS.iter().zip(r.dispatch.iter()).enumerate() {
         if i > 0 {

@@ -187,6 +187,36 @@ pub struct ServerSnapshot {
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
 }
 
+/// Per-shard counters from the event-driven server core (one entry per
+/// shard, published alongside the aggregate [`ServerSnapshot`]). Snapshot
+/// semantics: the last published vector wins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: u64,
+    /// Connections first registered on this shard by the acceptor.
+    pub accepted: u64,
+    /// Connections migrated in from another shard once their tenant hash
+    /// resolved here.
+    pub adopted: u64,
+    /// Complete frames decoded by this shard's readiness loop.
+    pub frames: u64,
+    /// Readiness-loop iterations (epoll wakeups).
+    pub wakeups: u64,
+    /// Jobs dequeued from the latency-sensitive admission queue.
+    pub dequeued_latency: u64,
+    /// Jobs dequeued from the batch admission queue.
+    pub dequeued_batch: u64,
+    /// Warm-session hits on this shard's `SessionManager`.
+    pub session_hits: u64,
+    /// Session misses (cold compiles) on this shard.
+    pub session_misses: u64,
+    /// Engines constructed by this shard's sessions.
+    pub engines_created: u64,
+    /// High-water mark of this shard's combined admission-queue depth.
+    pub queue_max_depth: u64,
+}
+
 /// Bucket count of [`ServerSnapshot::batch_hist`].
 pub const BATCH_HIST_BUCKETS: usize = 7;
 
@@ -308,6 +338,8 @@ pub struct AtomicSink {
     plan_cache_evictions: AtomicU64,
     /// Last-published solve-service counters (snapshot semantics).
     server: Mutex<ServerSnapshot>,
+    /// Last-published per-shard counters (snapshot semantics).
+    shards: Mutex<Vec<ShardSnapshot>>,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     pool_allocated: AtomicU64,
@@ -494,6 +526,14 @@ impl Trace {
         }
     }
 
+    /// Publish per-shard event-core counters (a snapshot — the last
+    /// published vector wins; the server passes one entry per shard).
+    pub fn record_shards(&self, shards: &[ShardSnapshot]) {
+        if let Some(s) = &self.sink {
+            *s.shards.lock().unwrap() = shards.to_vec();
+        }
+    }
+
     /// One-shot span record (setup paths where a handle isn't worth caching).
     pub fn record_span(&self, name: &str, kind: &str, ns: u64, tiles: u64, cells: u64) {
         if let Some(s) = &self.sink {
@@ -604,6 +644,7 @@ impl Trace {
                 evictions: sink.plan_cache_evictions.load(Ordering::Relaxed),
             },
             server: *sink.server.lock().unwrap(),
+            shards: sink.shards.lock().unwrap().clone(),
             dispatch: dispatch::snapshot(),
             kernel_impls: dispatch::impl_snapshot(),
             threads: ThreadsSnapshot {
@@ -721,6 +762,9 @@ pub struct Report {
     /// Solve-service counters; all-zero (and omitted from the JSON) unless
     /// a `gmg-server` instance published into this trace.
     pub server: ServerSnapshot,
+    /// Per-shard event-core counters; empty unless the sharded server
+    /// published them.
+    pub shards: Vec<ShardSnapshot>,
     pub dispatch: [u64; dispatch::KINDS],
     /// Per-`KernelImpl` case-execution histogram, indexed like
     /// [`dispatch::IMPL_LABELS`].
