@@ -29,14 +29,40 @@ grep -q '"chaos"' /tmp/chaos_profile_ci.json \
 grep -o '"fired": [0-9]*' /tmp/chaos_profile_ci.json | grep -qv '"fired": 0$' \
   || { echo "ci: chaos run fired no faults" >&2; exit 1; }
 
-# perf smoke: median ns/point for generic vs specialized kernels and
-# 1-thread vs all-host-threads, written as BENCH_pr3.json. Quick settings
-# here (small grid, few repeats) — the comparisons are recorded in the JSON,
-# not asserted, so a loaded CI host cannot hard-fail the build. Regenerate
-# the checked-in artifact with the defaults: `perf-smoke -o BENCH_pr3.json`.
-cargo run --release -p gmg-bench --bin perf-smoke -- -o /tmp/bench_pr3_ci.json --n 63 --repeats 3
-grep -q '"median_ns_per_point"' /tmp/bench_pr3_ci.json \
+# SIMD-tier gate (DESIGN.md §16): the lane-safe tier must stay bitwise
+# with the interpreter (including under cache blocking) and the
+# reassociating fast-math tier must hold the magnitude-scaled ULP bound.
+# Then profiled runs must actually *dispatch* the new tiers — the
+# kernel_tiers histogram in the profile JSON is the witness, so a silent
+# fallback to the scalar tier fails CI rather than shipping as a perf
+# regression.
+cargo test -q -p gmg-runtime --test proptest_specialized --test proptest_fastmath_ulp
+cargo run --release -p gmg-bench --bin polymg-cli -- V-2D-4-4-4 --n 63 \
+  --profile /tmp/simd_profile_ci.json --iters 2 >/dev/null
+grep -q '"lane_safe": [1-9]' /tmp/simd_profile_ci.json \
+  || { echo "ci: default profile dispatched no lane-safe kernels" >&2; exit 1; }
+cargo run --release -p gmg-bench --bin polymg-cli -- V-2D-4-4-4 --n 63 --fast-math \
+  --profile /tmp/fastmath_profile_ci.json --iters 2 >/dev/null
+grep -q '"fast_math": [1-9]' /tmp/fastmath_profile_ci.json \
+  || { echo "ci: --fast-math profile dispatched no fast-math kernels" >&2; exit 1; }
+
+# perf smoke: median ns/point across the kernel-tier trajectory (generic →
+# scalar-specialized → lane-safe SIMD → fast-math SIMD) on 2-D/3-D smoother
+# chains and V-cycles. Quick settings here (small grids, few repeats) — the
+# tier comparisons are recorded in the JSON, not asserted, so a loaded CI
+# host cannot hard-fail the build; the bitwise witness IS asserted (by the
+# binary and re-checked here). Regenerate the checked-in artifact with the
+# defaults: `perf-smoke -o BENCH_pr8.json`.
+cargo run --release -p gmg-bench --bin perf-smoke -- \
+  -o /tmp/bench_pr8_ci.json --n 63 --n3 31 --repeats 3
+grep -q '"schema": "perf-smoke/v2"' /tmp/bench_pr8_ci.json \
+  || { echo "ci: perf-smoke JSON carries no schema tag" >&2; exit 1; }
+grep -q '"median_ns_per_point"' /tmp/bench_pr8_ci.json \
   || { echo "ci: perf-smoke wrote no benchmark rows" >&2; exit 1; }
+grep -q '"bitwise_default_ok": true' /tmp/bench_pr8_ci.json \
+  || { echo "ci: a default tier diverged bitwise from the generic interpreter" >&2; exit 1; }
+grep -q '"tier": "fast_math"' /tmp/bench_pr8_ci.json \
+  || { echo "ci: perf-smoke recorded no fast-math rows" >&2; exit 1; }
 
 # serving gate (DESIGN.md §13): start the solve service on loopback, drive
 # it with the verifying load generator (every response checked bitwise

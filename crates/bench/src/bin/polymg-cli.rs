@@ -6,7 +6,7 @@
 //! polymg-cli loadgen [--port N] [--connections N] [...] # verifying client
 //! polymg-cli <benchmark> [--variant naive|opt|opt+|dtile-opt+]
 //!            [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb]
-//!            [--threads N] [--no-specialize]
+//!            [--threads N] [--no-specialize] [--fast-math] [--no-simd]
 //!            [--emit dump|dot|c|stats] [--dump-schedule] [-o FILE]
 //!            [--profile OUT.json [--iters N]]
 //!            [--chaos-seed N] [--chaos-rate R]
@@ -43,7 +43,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: polymg-cli <V-2D[-a-b-c]|W-3D[-a-b-c]|…> [--variant naive|opt|opt+|dtile-opt+]\n\
          \x20      [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb] [--threads N]\n\
-         \x20      [--no-specialize] [--emit dump|dot|c|stats] [--dump-schedule] [-o FILE]\n\
+         \x20      [--no-specialize] [--fast-math] [--no-simd]\n\
+         \x20      [--emit dump|dot|c|stats] [--dump-schedule] [-o FILE]\n\
          \x20      [--profile OUT.json [--iters N]] [--chaos-seed N] [--chaos-rate R]"
     );
     std::process::exit(2);
@@ -100,6 +101,8 @@ fn main() {
     let mut dump_schedule = false;
     let mut threads: Option<usize> = None;
     let mut specialize = true;
+    let mut simd = true;
+    let mut fast_math = false;
     let mut chaos_seed: Option<u64> = None;
     let mut chaos_rate = 0.01f64;
 
@@ -142,6 +145,8 @@ fn main() {
                 threads = Some(args[i].parse().unwrap_or_else(|_| usage()));
             }
             "--no-specialize" => specialize = false,
+            "--no-simd" => simd = false,
+            "--fast-math" => fast_math = true,
             "--gsrb" => gsrb = true,
             "--dump-schedule" => dump_schedule = true,
             "-o" => {
@@ -189,6 +194,8 @@ fn main() {
         opts.threads = t;
     }
     opts.specialize = specialize;
+    opts.simd = simd;
+    opts.fast_math = fast_math;
     let chaos = chaos_seed.map(|s| polymg::ChaosOptions::new(s, chaos_rate));
     opts.chaos = chaos; // stripped by compile — a runtime property only
     let plan = match polymg::compile_cached(&pipeline, &gmg_ir::ParamBindings::new(), opts) {

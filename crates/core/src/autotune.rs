@@ -125,6 +125,11 @@ pub struct TunedEntry {
     /// The metric the winning configuration achieved (seconds; informative
     /// only, not used by lookups).
     pub metric: f64,
+    /// Whether the sweep ran (and the stored metric was achieved) with the
+    /// reassociating fast-math kernel tier. Round-trips through the JSON
+    /// store so a serving deployment warm-starts with the same tier the
+    /// tuner measured; absent in pre-tier store files (defaults to false).
+    pub fast_math: bool,
 }
 
 /// JSON-persisted store of autotuning winners, so a solve server can
@@ -153,8 +158,23 @@ impl TunedStore {
         &self.entries
     }
 
-    /// Insert or replace the tuned configuration for one pipeline key.
+    /// Insert or replace the tuned configuration for one pipeline key
+    /// (measured at the default bitwise tiers; see [`record_fast_math`]).
+    ///
+    /// [`record_fast_math`]: TunedStore::record_fast_math
     pub fn record(&mut self, fingerprint: u64, ndims: usize, config: TuneConfig, metric: f64) {
+        self.record_fast_math(fingerprint, ndims, config, metric, false);
+    }
+
+    /// [`record`](TunedStore::record) with an explicit fast-math marker.
+    pub fn record_fast_math(
+        &mut self,
+        fingerprint: u64,
+        ndims: usize,
+        config: TuneConfig,
+        metric: f64,
+        fast_math: bool,
+    ) {
         if let Some(e) = self
             .entries
             .iter_mut()
@@ -162,12 +182,14 @@ impl TunedStore {
         {
             e.config = config;
             e.metric = metric;
+            e.fast_math = fast_math;
         } else {
             self.entries.push(TunedEntry {
                 fingerprint,
                 ndims,
                 config,
                 metric,
+                fast_math,
             });
         }
     }
@@ -196,7 +218,7 @@ impl TunedStore {
                 .join(", ");
             s.push_str(&format!(
                 "\n    {{\"fingerprint\": \"{:016x}\", \"ndims\": {}, \"tile_sizes\": [{}], \
-                 \"group_limit\": {}, \"metric\": {}}}",
+                 \"group_limit\": {}, \"metric\": {}, \"fast_math\": {}}}",
                 e.fingerprint,
                 e.ndims,
                 tiles,
@@ -206,6 +228,7 @@ impl TunedStore {
                 } else {
                     "null".to_string()
                 },
+                e.fast_math,
             ));
         }
         if !self.entries.is_empty() {
@@ -258,7 +281,12 @@ impl TunedStore {
                 .get("metric")
                 .and_then(JsonValue::as_f64)
                 .unwrap_or(f64::NAN);
-            store.record(
+            // absent in store files written before the tier split
+            let fast_math = item
+                .get("fast_math")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false);
+            store.record_fast_math(
                 fingerprint,
                 ndims,
                 TuneConfig {
@@ -266,6 +294,7 @@ impl TunedStore {
                     group_limit,
                 },
                 metric,
+                fast_math,
             );
         }
         Ok(store)
@@ -338,7 +367,7 @@ mod tests {
             },
             0.0125,
         );
-        store.record(
+        store.record_fast_math(
             u64::MAX, // extremes must survive the hex round-trip
             3,
             TuneConfig {
@@ -346,6 +375,7 @@ mod tests {
                 group_limit: 11,
             },
             3.5e-3,
+            true,
         );
         // replacement: re-recording a key overwrites, not duplicates
         store.record(
@@ -364,8 +394,16 @@ mod tests {
         let e = back.lookup(0xdead_beef_0123_4567, 2).unwrap();
         assert_eq!(e.config.tile_sizes, vec![32, 512]);
         assert_eq!(e.config.group_limit, 6);
+        assert!(!e.fast_math);
+        assert!(back.lookup(u64::MAX, 3).unwrap().fast_math);
         assert!(back.lookup(0xdead_beef_0123_4567, 3).is_none());
         assert!(back.lookup(1, 2).is_none());
+
+        // pre-tier store files carry no fast_math key: defaults to false
+        let legacy = "{\"tuned\": [{\"fingerprint\": \"2a\", \"ndims\": 2, \
+                      \"tile_sizes\": [8, 64], \"group_limit\": 2, \"metric\": 1.0}]}";
+        let old = TunedStore::from_json(legacy).unwrap();
+        assert!(!old.lookup(0x2a, 2).unwrap().fast_math);
     }
 
     #[test]

@@ -112,6 +112,13 @@ pub fn fingerprint(
     h.u64(options.threads as u64);
     h.tag(0x0f);
     h.bool(options.specialize);
+    h.tag(0x10);
+    h.bool(options.simd);
+    // `fast_math` changes the numerical results a plan produces (the
+    // reassociating tier), so unlike `chaos` it MUST split the cache: a
+    // fast-math run and its bitwise twin are different plans.
+    h.tag(0x11);
+    h.bool(options.fast_math);
     // `options.chaos` is deliberately NOT hashed: faults are a runtime
     // property, and a chaos run must share the cached plan of its
     // fault-free twin (the differential oracle compares the two).
@@ -465,6 +472,8 @@ mod tests {
             ),
             ("threads", Box::new(|o| o.threads += 1)),
             ("specialize", Box::new(|o| o.specialize = !o.specialize)),
+            ("simd", Box::new(|o| o.simd = !o.simd)),
+            ("fast_math", Box::new(|o| o.fast_math = !o.fast_math)),
         ];
         for (field, m) in mutations {
             let mut o = base_opts();
@@ -651,7 +660,7 @@ mod tests {
         /// fingerprint, and equal option sets always agree.
         #[test]
         fn perturbed_options_never_alias(
-            field in 0usize..13,
+            field in 0usize..15,
             delta in 1u32..9,
         ) {
             let p = tiny_pipeline("prop", 63);
@@ -672,6 +681,8 @@ mod tests {
                 9 => o.scratch_quantum += delta as i64,
                 10 => o.coeff_factoring = !o.coeff_factoring,
                 11 => o.specialize = !o.specialize,
+                12 => o.simd = !o.simd,
+                13 => o.fast_math = !o.fast_math,
                 _ => o.threads += d,
             }
             prop_assert_ne!(fingerprint(&p, &b, &o), fingerprint(&p, &b, &base));

@@ -57,4 +57,4 @@ pub use plan::{
     StageKernel, StoragePlan,
 };
 pub use schedule::{ExecOp, ExecProgram, OpInput, SlotSpec, StageExec};
-pub use specialize::KernelImpl;
+pub use specialize::{KernelImpl, KernelSel, KernelTier};

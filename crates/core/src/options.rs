@@ -92,6 +92,20 @@ pub struct PipelineOptions {
     /// bitwise-identical to the generic path; this knob exists for A/B
     /// benchmarking (`--no-specialize`).
     pub specialize: bool,
+    /// Lower specialized kernels to the explicit f64-lane (SIMD) tier with
+    /// cache blocking of the unit-stride dimension. The default lane-safe
+    /// tier preserves the generic accumulation order per output point, so
+    /// it stays bitwise-identical to the generic path; this knob exists for
+    /// A/B benchmarking (`--no-simd`). Ignored when `specialize` is off.
+    pub simd: bool,
+    /// Select the reassociating lane tier: per-point tap chains are split
+    /// into independent partial sums (and fused where the host supports
+    /// FMA). Results differ from the generic path at round-off level, so
+    /// this is opt-in (`--fast-math`), part of the plan-cache fingerprint,
+    /// and verified by a ULP-bounded differential suite rather than
+    /// bitwise equality. Implies nothing unless `specialize` and `simd`
+    /// are on.
+    pub fast_math: bool,
     /// Deterministic fault injection for chaos testing. A *runtime*
     /// property, not a plan property: excluded from the plan-cache
     /// fingerprint and normalized to `None` in compiled plans — runners
@@ -116,6 +130,8 @@ impl PipelineOptions {
             coeff_factoring: true,
             threads: 0, // 0 = runtime default
             specialize: true,
+            simd: true,
+            fast_math: false,
             chaos: None,
         };
         match v {
@@ -177,6 +193,12 @@ impl PipelineOptions {
         }
         if !self.specialize {
             parts.push("nospec".to_string());
+        }
+        if !self.simd {
+            parts.push("nosimd".to_string());
+        }
+        if self.fast_math {
+            parts.push("fm".to_string());
         }
         parts.join(",")
     }

@@ -163,6 +163,18 @@ pub fn observability_dump(plan: &CompiledPipeline, report: &gmg_trace::Report) -
         }
         let _ = writeln!(out);
     }
+    if report.kernel_tiers.iter().any(|&c| c > 0) {
+        let _ = write!(out, "  kernel tiers:");
+        for (label, count) in gmg_trace::dispatch::TIER_LABELS
+            .iter()
+            .zip(report.kernel_tiers)
+        {
+            if count > 0 {
+                let _ = write!(out, " {label}={count}");
+            }
+        }
+        let _ = writeln!(out);
+    }
     if report.threads.regions > 0 {
         let _ = writeln!(
             out,
@@ -439,6 +451,11 @@ mod tests {
                 k[crate::KernelImpl::Stencil2D5.index()] = 16;
                 k
             },
+            kernel_tiers: {
+                let mut k = [0u64; gmg_trace::dispatch::TIERS];
+                k[crate::KernelTier::LaneSafe.index()] = 16;
+                k
+            },
             threads: gmg_trace::ThreadsSnapshot {
                 workers: 3,
                 regions: 8,
@@ -465,6 +482,7 @@ mod tests {
         assert!(d.contains("plan cache: 4 hits / 1 misses"));
         assert!(d.contains("unit_unrolled=16"));
         assert!(d.contains("stencil2d5=16"));
+        assert!(d.contains("lane_safe=16"));
         assert!(d.contains("3 workers, 8 regions / 128 items, 5 steals, 8 parks"));
         assert!(d.contains("3 hits / 1 misses"));
         assert!(d.contains("14 recycled"));

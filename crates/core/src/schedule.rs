@@ -17,7 +17,7 @@
 //!   on the same VM as shared-memory cycles.
 
 use crate::plan::{CompiledPipeline, GroupTiling, ScratchBufferSpec, StageKernel};
-use crate::specialize::{classify, KernelImpl};
+use crate::specialize::{classify, unit_block, KernelImpl, KernelSel, KernelTier};
 use gmg_ir::{StageId, StageInput};
 use gmg_poly::diamond::{split_time_tiling, TimeBand};
 use gmg_poly::region::{GroupEdge, GroupStage};
@@ -84,6 +84,23 @@ pub struct StageExec {
     /// Specialized kernel family selected at lowering time
     /// ([`KernelImpl::Generic`] = generic tap loop / interpreter).
     pub impl_tag: KernelImpl,
+    /// Implementation tier of the specialized kernel (scalar unrolled vs
+    /// the explicit-lane tiers), also selected at lowering time.
+    pub tier: KernelTier,
+    /// Unit-stride cache-block length for the lane tiers, derived from the
+    /// pipeline's innermost tile extent at lowering.
+    pub xblock: usize,
+}
+
+impl StageExec {
+    /// The runtime kernel selection this stage was lowered to.
+    pub fn sel(&self) -> KernelSel {
+        KernelSel {
+            impl_tag: self.impl_tag,
+            tier: self.tier,
+            xblock: self.xblock,
+        }
+    }
 }
 
 /// Precomputed overlapped-tiling geometry (the former per-group runtime
@@ -277,11 +294,16 @@ pub fn lower(plan: &CompiledPipeline) -> ExecProgram {
             })
             .collect();
         let kernel = kernel_of[sid.0].expect("input stage scheduled for execution");
+        let ndims = stage.domain.ndims();
         let impl_tag = if plan.options.specialize {
-            classify(&kernels[kernel], stage.domain.ndims())
+            classify(&kernels[kernel], ndims)
         } else {
             KernelImpl::Generic
         };
+        let tier = KernelTier::select(impl_tag, plan.options.simd, plan.options.fast_math);
+        // Unit-stride cache block from the innermost tile extent the planner
+        // already chose (scalar stages ignore it).
+        let xblock = unit_block(*plan.options.tiles_for_rank(ndims).last().expect("rank >= 1"));
         StageExec {
             name: stage.name.clone(),
             kernel,
@@ -290,6 +312,8 @@ pub fn lower(plan: &CompiledPipeline) -> ExecProgram {
             ins,
             slot: plan.storage.array_of_stage[sid.0],
             impl_tag,
+            tier,
+            xblock,
         }
     };
 
@@ -444,11 +468,12 @@ impl ExecProgram {
                 | ExecOp::PoolFree { slot } => format!("%{slot} ({})", self.slots[*slot].name),
                 ExecOp::RunUntiledStage { stage } => {
                     format!(
-                        "{} over {} -> %{} [{}]",
+                        "{} over {} -> %{} [{}/{}]",
                         stage.name,
                         dom(&stage.domain),
                         stage.slot.expect("untiled stage without slot"),
                         stage.impl_tag.label(),
+                        stage.tier.label(),
                     )
                 }
                 ExecOp::RunOverlappedGroup {
@@ -778,6 +803,73 @@ mod tests {
         assert!(stages_of(&off)
             .iter()
             .all(|s| s.impl_tag == KernelImpl::Generic));
+    }
+
+    #[test]
+    fn lowering_selects_tiers_and_blocks_from_the_knobs() {
+        use crate::specialize::{KernelImpl, KernelTier};
+        fn stages_of(prog: &ExecProgram) -> Vec<&StageExec> {
+            let mut out = Vec::new();
+            for op in &prog.ops {
+                match op {
+                    ExecOp::RunUntiledStage { stage } => out.push(stage),
+                    ExecOp::RunOverlappedGroup { stages, .. }
+                    | ExecOp::RunDiamondChain { stages, .. } => out.extend(stages.iter()),
+                    _ => {}
+                }
+            }
+            out
+        }
+
+        let p = two_level_pipeline(255);
+
+        // default: every specialized stage is lane-safe, generic stays scalar
+        let prog = lower_variant(&p, Variant::OptPlus, 2);
+        for st in stages_of(&prog) {
+            if st.impl_tag == KernelImpl::Generic {
+                assert_eq!(st.tier, KernelTier::Scalar, "{}", st.name);
+            } else {
+                assert_eq!(st.tier, KernelTier::LaneSafe, "{}", st.name);
+            }
+            // 2-D default tiles are 32x512 -> innermost 512, clamped up to
+            // the minimum useful block
+            assert_eq!(st.xblock, 1024, "{}", st.name);
+        }
+        assert!(stages_of(&prog)
+            .iter()
+            .any(|s| s.tier == KernelTier::LaneSafe));
+
+        // --no-simd: everything scalar, tags untouched
+        let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        opts.simd = false;
+        let plan = compile(&p, &ParamBindings::new(), opts).unwrap();
+        let off = lower(&plan);
+        assert!(stages_of(&off).iter().all(|s| s.tier == KernelTier::Scalar));
+        assert!(stages_of(&off)
+            .iter()
+            .any(|s| s.impl_tag != KernelImpl::Generic));
+
+        // --fast-math: specialized stages move to the reassociating tier
+        let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        opts.fast_math = true;
+        let plan = compile(&p, &ParamBindings::new(), opts).unwrap();
+        let fm = lower(&plan);
+        for st in stages_of(&fm) {
+            if st.impl_tag == KernelImpl::Generic {
+                assert_eq!(st.tier, KernelTier::Scalar, "{}", st.name);
+            } else {
+                assert_eq!(st.tier, KernelTier::FastMath, "{}", st.name);
+            }
+        }
+
+        // tiny innermost tiles clamp up to the minimum block
+        let mut opts = PipelineOptions::for_variant(Variant::OptPlus, 2);
+        opts.tile_sizes = vec![8, 16];
+        let plan = compile(&p, &ParamBindings::new(), opts).unwrap();
+        let small = lower(&plan);
+        assert!(stages_of(&small)
+            .iter()
+            .all(|s| s.xblock == crate::specialize::UNIT_BLOCK_MIN));
     }
 
     #[test]

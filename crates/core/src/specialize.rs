@@ -44,6 +44,132 @@ pub enum KernelImpl {
     Interp,
 }
 
+/// The implementation tier a specialized stage executes at, selected at
+/// lowering time *underneath* the [`KernelImpl`] family classification:
+/// the family says *which* unrolled kernel shape fires, the tier says *how*
+/// its inner loop is generated.
+///
+/// - [`Scalar`](KernelTier::Scalar): the PR-3 unrolled row kernels (and the
+///   generic tap loop / interpreter — `Generic` stages are always scalar).
+/// - [`LaneSafe`](KernelTier::LaneSafe): explicit-width f64-lane inner
+///   loops with fixed-width array accumulators plus cache blocking of the
+///   unit-stride dimension. Each output point still accumulates its taps in
+///   exactly the generic order (lanes are *output points*, not taps), so
+///   this tier is bitwise-identical to `Scalar` and is the default wherever
+///   specialization fires.
+/// - [`FastMath`](KernelTier::FastMath): the lane kernels with the per-point
+///   tap chain reassociated into independent partial sums (and fused
+///   multiply-add where the host supports it). Results differ from the
+///   generic path at round-off level — gated behind
+///   `PipelineOptions::fast_math` and verified by a ULP-bounded
+///   differential suite instead of bitwise equality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum KernelTier {
+    /// Unrolled scalar row kernels (bitwise-identical to generic).
+    #[default]
+    Scalar,
+    /// Explicit f64-lane kernels, generic accumulation order per point
+    /// (bitwise-identical to generic).
+    LaneSafe,
+    /// Lane kernels with reassociated partial-sum accumulation (round-off
+    /// level differences; ULP-verified).
+    FastMath,
+}
+
+impl KernelTier {
+    /// All tiers, indexable by [`KernelTier::index`].
+    pub const ALL: [KernelTier; 3] = [
+        KernelTier::Scalar,
+        KernelTier::LaneSafe,
+        KernelTier::FastMath,
+    ];
+
+    /// Dense index (trace histogram bucket).
+    pub fn index(self) -> usize {
+        match self {
+            KernelTier::Scalar => 0,
+            KernelTier::LaneSafe => 1,
+            KernelTier::FastMath => 2,
+        }
+    }
+
+    /// Short lowercase label (dumps, trace reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::LaneSafe => "lane_safe",
+            KernelTier::FastMath => "fast_math",
+        }
+    }
+
+    /// The tier a stage executes at, given its family classification and
+    /// the `simd` / `fast_math` knobs: `Generic` stages and `simd = false`
+    /// pipelines stay scalar; specialized stages run lane-safe by default
+    /// and reassociating only when `fast_math` is set.
+    pub fn select(impl_tag: KernelImpl, simd: bool, fast_math: bool) -> KernelTier {
+        if impl_tag == KernelImpl::Generic || !simd {
+            KernelTier::Scalar
+        } else if fast_math {
+            KernelTier::FastMath
+        } else {
+            KernelTier::LaneSafe
+        }
+    }
+}
+
+/// Full runtime kernel selection of one scheduled stage: the family, the
+/// tier, and the unit-stride cache-block length (output points per block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelSel {
+    pub impl_tag: KernelImpl,
+    pub tier: KernelTier,
+    /// Cache-block length of the innermost (unit-stride) dimension for the
+    /// lane tiers, derived from the pipeline's tile geometry at lowering
+    /// ([`unit_block`]). Ignored by the scalar tier.
+    pub xblock: usize,
+}
+
+impl KernelSel {
+    /// The always-correct generic selection.
+    pub fn generic() -> KernelSel {
+        KernelSel::scalar(KernelImpl::Generic)
+    }
+
+    /// A scalar-tier selection of a family (the PR-3 dispatch).
+    pub fn scalar(impl_tag: KernelImpl) -> KernelSel {
+        KernelSel {
+            impl_tag,
+            tier: KernelTier::Scalar,
+            xblock: 0,
+        }
+    }
+}
+
+/// Smallest unit-stride cache block the lane tiers will use. Blocks are
+/// multiples of the widest lane count (8) so whole blocks vectorize without
+/// a remainder loop. The floor is deliberately high: blocking only fires
+/// when a row is *longer* than the block, and rows below ~1 K points fit
+/// the streamed slab in L1/L2 anyway, so splitting them just pays the
+/// per-block dispatch again (measured as a pure loss down to ≲128-point
+/// blocks). 1024 points = one 8 KiB slab per input row.
+pub const UNIT_BLOCK_MIN: usize = 1024;
+
+/// Largest unit-stride cache block: 4096 points keeps a block's row slab at
+/// 32 KiB — within L1 for a single row, within L2 for the ≲9 rows a 2-D box
+/// stencil streams — while long enough to amortize loop overhead.
+pub const UNIT_BLOCK_MAX: usize = 4096;
+
+/// The unit-stride cache-block length for the lane tiers, derived from the
+/// innermost tile extent the planner already chose (the paper's tile
+/// geometry is cache-driven, so it is the right size signal): rounded up to
+/// a multiple of 8 lanes and clamped to
+/// [`UNIT_BLOCK_MIN`]..=[`UNIT_BLOCK_MAX`].
+pub fn unit_block(inner_tile: i64) -> usize {
+    let t = inner_tile.max(0) as usize;
+    let rounded = t.div_ceil(8) * 8;
+    rounded.clamp(UNIT_BLOCK_MIN, UNIT_BLOCK_MAX)
+}
+
 impl KernelImpl {
     /// All implementations, indexable by [`KernelImpl::index`].
     pub const ALL: [KernelImpl; 7] = [

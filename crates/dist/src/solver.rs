@@ -315,6 +315,8 @@ impl DistPoisson2D {
                         ],
                         slot: Some(dst),
                         impl_tag: polymg::KernelImpl::Generic,
+                        tier: polymg::KernelTier::Scalar,
+                        xblock: 0,
                     },
                 });
                 redundant += ((yhi - ylo + 1) - (hi - lo + 1)).max(0) as usize * e;

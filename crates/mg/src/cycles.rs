@@ -8,7 +8,7 @@
 //! zero-initial-guess recursion (`v = None`) are expressed naturally and
 //! folded by the compiler.
 
-use crate::config::{CycleType, MgConfig};
+use crate::config::{CycleType, MgConfig, OperatorKind};
 use gmg_ir::expr::{Expr, Operand};
 use gmg_ir::stencil::{
     restrict_full_weighting_2d, restrict_full_weighting_3d, stencil_2d, stencil_3d,
@@ -41,24 +41,64 @@ fn a_weights_3d() -> Vec<Vec<Vec<f64>>> {
     w
 }
 
+/// The Mehrstellen (compact 9-point) 2-D operator `A = −∇²` (times `h²`):
+/// `(1/6)·[−1 −4 −1; −4 20 −4; −1 −4 −1]`.
+fn dense_weights_2d() -> Vec<Vec<f64>> {
+    vec![
+        vec![-1.0 / 6.0, -4.0 / 6.0, -1.0 / 6.0],
+        vec![-4.0 / 6.0, 20.0 / 6.0, -4.0 / 6.0],
+        vec![-1.0 / 6.0, -4.0 / 6.0, -1.0 / 6.0],
+    ]
+}
+
+/// The Mehrstellen (compact 27-point) 3-D operator: center `128/30`, faces
+/// `−14/30`, edges `−3/30`, corners `−1/30` (weights sum to zero).
+fn dense_weights_3d() -> Vec<Vec<Vec<f64>>> {
+    let mut w = vec![vec![vec![0.0; 3]; 3]; 3];
+    for (z, row) in w.iter_mut().enumerate() {
+        for (y, col) in row.iter_mut().enumerate() {
+            for (x, v) in col.iter_mut().enumerate() {
+                let off_axis =
+                    (z != 1) as usize + (y != 1) as usize + (x != 1) as usize;
+                *v = match off_axis {
+                    0 => 128.0 / 30.0,
+                    1 => -14.0 / 30.0,
+                    2 => -3.0 / 30.0,
+                    _ => -1.0 / 30.0,
+                };
+            }
+        }
+    }
+    w
+}
+
+/// Diagonal (center weight) of `A` — the Jacobi damping denominator.
+fn a_diag(ndims: usize, op: OperatorKind) -> f64 {
+    match (op, ndims) {
+        (OperatorKind::Star, d) => 2.0 * d as f64,
+        (OperatorKind::Dense, 2) => 20.0 / 6.0,
+        (OperatorKind::Dense, _) => 128.0 / 30.0,
+    }
+}
+
 /// `A·v` scaled by `1/h²` as an expression.
-fn apply_a(ndims: usize, v: Operand, h: f64) -> Expr {
+fn apply_a(ndims: usize, op: OperatorKind, v: Operand, h: f64) -> Expr {
     let inv_h2 = 1.0 / (h * h);
-    match ndims {
-        2 => stencil_2d(v, &a_weights_2d(), inv_h2),
-        3 => stencil_3d(v, &a_weights_3d(), inv_h2),
-        _ => unreachable!(),
+    match (op, ndims) {
+        (OperatorKind::Star, 2) => stencil_2d(v, &a_weights_2d(), inv_h2),
+        (OperatorKind::Star, _) => stencil_3d(v, &a_weights_3d(), inv_h2),
+        (OperatorKind::Dense, 2) => stencil_2d(v, &dense_weights_2d(), inv_h2),
+        (OperatorKind::Dense, _) => stencil_3d(v, &dense_weights_3d(), inv_h2),
     }
 }
 
 /// Weighted-Jacobi step expression: `v − w·(A v − f)` with
-/// `w = ω h² / (2d)` (the paper's Figure 3 smoother with the canonical
+/// `w = ω h² / diag(A)` (the paper's Figure 3 smoother with the canonical
 /// weight).
-fn jacobi_expr(ndims: usize, h: f64, omega: f64, f: Operand) -> Expr {
-    let diag = 2.0 * ndims as f64;
-    let w = omega * h * h / diag;
+fn jacobi_expr(ndims: usize, op: OperatorKind, h: f64, omega: f64, f: Operand) -> Expr {
+    let w = omega * h * h / a_diag(ndims, op);
     Operand::State.at(&vec![0; ndims])
-        - w * (apply_a(ndims, Operand::State, h) - f.at(&vec![0; ndims]))
+        - w * (apply_a(ndims, op, Operand::State, h) - f.at(&vec![0; ndims]))
 }
 
 /// Is a parity combination a "red" point (coordinate sum even)?
@@ -162,7 +202,7 @@ impl<'a> Builder<'a> {
         match self.cfg.smoother {
             crate::config::SmootherKind::Jacobi => {
                 let name = self.fresh("smooth", level);
-                let e = jacobi_expr(nd, h, self.cfg.omega, Operand::Func(f));
+                let e = jacobi_expr(nd, self.cfg.operator, h, self.cfg.omega, Operand::Func(f));
                 Some(
                     self.p
                         .tstencil(&name, nd, n, level, StepCount::Fixed(steps), v, e),
@@ -200,7 +240,9 @@ impl<'a> Builder<'a> {
         let name = self.fresh("defect", level);
         let zero = vec![0i64; nd];
         let e = match v {
-            Some(v) => Operand::Func(f).at(&zero) - apply_a(nd, Operand::Func(v), h),
+            Some(v) => {
+                Operand::Func(f).at(&zero) - apply_a(nd, self.cfg.operator, Operand::Func(v), h)
+            }
             // zero guess: r = f
             None => Operand::Func(f).at(&zero) + Expr::Const(0.0),
         };
@@ -383,7 +425,7 @@ mod tests {
     fn jacobi_expr_consistency() {
         // the Jacobi expression must be a fixed point when A v = f
         let h: f64 = 0.5;
-        let e = jacobi_expr(2, h, 0.8, Operand::Func(FuncId(0)));
+        let e = jacobi_expr(2, OperatorKind::Star, h, 0.8, Operand::Func(FuncId(0)));
         // fields: v = constant c (A v = 0 away from boundary... choose v
         // linear so A v = 0) and f = 0 → v unchanged
         let v = e.eval_at(&[5, 5], &mut |op, idx| match op {

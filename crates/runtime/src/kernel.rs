@@ -16,7 +16,7 @@
 
 use gmg_ir::{Expr, Operand, Parity, ParityPattern};
 use gmg_poly::{div_floor, BoxDomain};
-use polymg::{KernelBody, KernelImpl, StageKernel};
+use polymg::{KernelBody, KernelImpl, KernelSel, KernelTier, StageKernel};
 
 /// A read-only execution space.
 #[derive(Clone, Copy)]
@@ -151,9 +151,28 @@ pub fn execute_stage(
 }
 
 /// [`execute_stage`] with an explicit specialized-kernel selection (the
-/// `StageExec::impl_tag` chosen at schedule lowering).
+/// `StageExec::impl_tag` chosen at schedule lowering), at the scalar tier.
 pub fn execute_stage_impl(
     impl_tag: KernelImpl,
+    kernel: &StageKernel,
+    region: &BoxDomain,
+    out: &mut SpaceMut<'_>,
+    ins: &[KernelInput<'_>],
+    slot_boundary: &[f64],
+) {
+    execute_stage_sel(
+        KernelSel::scalar(impl_tag),
+        kernel,
+        region,
+        out,
+        ins,
+        slot_boundary,
+    );
+}
+
+/// [`execute_stage`] with a full kernel selection (family + tier + block).
+pub fn execute_stage_sel(
+    sel: KernelSel,
     kernel: &StageKernel,
     region: &BoxDomain,
     out: &mut SpaceMut<'_>,
@@ -165,7 +184,7 @@ pub fn execute_stage_impl(
         origin: out.origin,
         extents: out.extents,
     });
-    execute_stage_out_impl(impl_tag, kernel, region, dense, ins, slot_boundary);
+    execute_stage_out_sel(sel, kernel, region, dense, ins, slot_boundary);
 }
 
 /// Execute every case of `kernel` over `region` into any [`KernelOut`].
@@ -176,20 +195,44 @@ pub fn execute_stage_out(
     ins: &[KernelInput<'_>],
     slot_boundary: &[f64],
 ) {
-    execute_stage_out_impl(KernelImpl::Generic, kernel, region, out, ins, slot_boundary);
+    execute_stage_out_sel(KernelSel::generic(), kernel, region, out, ins, slot_boundary);
 }
 
-/// [`execute_stage_out`] with an explicit specialized-kernel selection.
-///
-/// A non-[`Generic`](KernelImpl::Generic) tag routes each linear case to a
-/// dedicated row kernel whose tap arity is a compile-time constant
-/// ([`spec_row`]), provided the case's arity has a specialized instance;
-/// anything else (interpreted cases, arities above [`spec_row_fn`]'s table)
-/// falls back to the generic [`run_row`] and is counted in the histogram's
-/// `generic` bucket. Specialized and generic kernels accumulate taps in the
-/// same order, so results are bitwise identical either way.
+/// [`execute_stage_out`] with an explicit specialized-kernel family, at the
+/// scalar tier (the PR-3 entry point, kept for differential tests and
+/// callers that pre-date tiers).
 pub fn execute_stage_out_impl(
     impl_tag: KernelImpl,
+    kernel: &StageKernel,
+    region: &BoxDomain,
+    out: KernelOut<'_>,
+    ins: &[KernelInput<'_>],
+    slot_boundary: &[f64],
+) {
+    execute_stage_out_sel(
+        KernelSel::scalar(impl_tag),
+        kernel,
+        region,
+        out,
+        ins,
+        slot_boundary,
+    );
+}
+
+/// [`execute_stage_out`] with a full kernel selection.
+///
+/// A non-[`Generic`](KernelImpl::Generic) family routes each linear case to
+/// a dedicated row kernel whose tap arity is a compile-time constant —
+/// scalar-unrolled ([`spec_row`]), lane-safe SIMD ([`lane_row`]) or
+/// reassociating SIMD ([`fast_row`]) depending on the selection's tier —
+/// provided the case's arity has a specialized instance; anything else
+/// (interpreted cases, arities above the tables) falls back to the generic
+/// [`run_row`] and is counted in the histograms' `generic`/`scalar`
+/// buckets. The scalar and lane-safe tiers accumulate each output point's
+/// taps in the generic order, so their results are bitwise identical to the
+/// generic path; only the fast-math tier reassociates.
+pub fn execute_stage_out_sel(
+    sel: KernelSel,
     kernel: &StageKernel,
     region: &BoxDomain,
     mut out: KernelOut<'_>,
@@ -202,21 +245,36 @@ pub fn execute_stage_out_impl(
     for case in &kernel.cases {
         match &case.body {
             KernelBody::Linear(form) => {
-                let row = if impl_tag != KernelImpl::Generic {
-                    spec_row_fn(form.taps.len())
+                let arity = form.taps.len();
+                let row = if sel.impl_tag != KernelImpl::Generic {
+                    match sel.tier {
+                        KernelTier::Scalar => spec_row_fn(arity),
+                        KernelTier::LaneSafe => lane_row_fn(arity),
+                        KernelTier::FastMath => fast_row_fn(arity),
+                    }
                 } else {
                     None
                 };
-                let bucket = if row.is_some() { impl_tag.index() } else { 0 };
+                let bucket = if row.is_some() { sel.impl_tag.index() } else { 0 };
+                let tier = if row.is_some() { sel.tier.index() } else { 0 };
                 gmg_trace::dispatch::record_impl(bucket, 1);
+                gmg_trace::dispatch::record_tier(tier, 1);
+                // Cache blocking only pays off (and is only wired up) for
+                // the lane tiers; the scalar/generic paths keep flat rows.
+                let xblock = if row.is_some() && sel.tier != KernelTier::Scalar {
+                    sel.xblock
+                } else {
+                    0
+                };
                 match region.ndims() {
-                    2 => linear_2d(form, &case.pattern, region, &mut out, ins, row),
-                    3 => linear_3d(form, &case.pattern, region, &mut out, ins, row),
+                    2 => linear_2d(form, &case.pattern, region, &mut out, ins, row, xblock),
+                    3 => linear_3d(form, &case.pattern, region, &mut out, ins, row, xblock),
                     d => panic!("unsupported rank {d}"),
                 }
             }
             KernelBody::Interpreted(expr) => {
                 gmg_trace::dispatch::record_impl(0, 1);
+                gmg_trace::dispatch::record_tier(0, 1);
                 interpret_case(expr, &case.pattern, region, &mut out, ins, slot_boundary)
             }
         }
@@ -370,6 +428,519 @@ fn spec_row_fn(arity: usize) -> Option<RowFn> {
     table!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28)
 }
 
+// ---------------------------------------------------------------------------
+// Lane tiers: explicit-width SIMD row kernels
+// ---------------------------------------------------------------------------
+
+/// f64 lanes per inner-loop step of the lane tiers. Eight lanes is one
+/// AVX-512 register / two AVX2 registers; the fixed-width array accumulators
+/// below lower to full-width vector ops under either ISA.
+pub const LANES: usize = 8;
+
+/// Host vector ISA, detected once. The lane bodies are compiled three ways
+/// (baseline / AVX2 / AVX-512) via `#[target_feature]` multiversioning —
+/// without this the workspace's baseline `x86-64` target would pin every
+/// lane loop to 2-wide SSE2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Isa {
+    Baseline,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+fn isa() -> Isa {
+    use std::sync::OnceLock;
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        // `GMG_SIMD_ISA=baseline|avx2|avx512` pins the lane codepath —
+        // for differential debugging and for overriding the default width
+        // choice. A pin is honored only if the host has the features.
+        //
+        // AVX2 is preferred even where AVX-512 is available: on the
+        // Skylake-SP generation, 512-bit ops trigger license-based
+        // frequency downclocking that penalizes the scalar/dispatch code
+        // between row calls, and measured chain throughput was
+        // consistently better at 256-bit. `GMG_SIMD_ISA=avx512` opts into
+        // zmm for hosts (Ice Lake+) where the license penalty is gone.
+        let pin = std::env::var("GMG_SIMD_ISA").ok();
+        let pin = pin.as_deref();
+        if pin == Some("baseline") {
+            return Isa::Baseline;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let has512 = std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("fma");
+            // fma alongside avx2: the fast-math variants use `mul_add`,
+            // which must never fall back to the (slow) software fma.
+            let has2 = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            if has512 && pin == Some("avx512") {
+                return Isa::Avx512;
+            }
+            if has2 {
+                return Isa::Avx2;
+            }
+            if has512 {
+                return Isa::Avx512;
+            }
+        }
+        Isa::Baseline
+    })
+}
+
+/// Lane-safe unit-stride body: vectorizes ACROSS output points. Each lane
+/// computes its own point's full tap sum in exactly the generic order
+/// (`bias + c₀·r₀[i] + c₁·r₁[i] + …`), and the scalar remainder loop is
+/// that same order — so this body is bitwise-identical to [`run_row`]'s
+/// unit path for every element. (Rust never contracts `a*b + c` into an
+/// fma, so enabling wider ISAs cannot change the rounding.)
+#[inline(always)]
+fn lane_safe_body<const K: usize>(
+    out_row: &mut [f64],
+    count: usize,
+    bias: f64,
+    rows: &[&[f64]; K],
+    coeff: &[f64; K],
+) {
+    let mut i = 0;
+    while i + LANES <= count {
+        let mut acc = [bias; LANES];
+        for j in 0..K {
+            let c = coeff[j];
+            let r = &rows[j][i..i + LANES];
+            for l in 0..LANES {
+                acc[l] += c * r[l];
+            }
+        }
+        out_row[i..i + LANES].copy_from_slice(&acc);
+        i += LANES;
+    }
+    while i < count {
+        let mut acc = bias;
+        for j in 0..K {
+            acc += coeff[j] * rows[j][i];
+        }
+        out_row[i] = acc;
+        i += 1;
+    }
+}
+
+/// Reassociating unit-stride body: the per-point tap chain is split into
+/// two independent partial sums (breaking the serial add dependence the
+/// lane-safe body carries), folded as `bias + (even + odd)` at the end, and
+/// fused multiply-adds are used when `FMA` (only instantiated inside
+/// `target_feature(fma)` variants — software fma would be a libm call per
+/// tap). Results differ from the generic path at round-off level; the ULP
+/// differential suite bounds the divergence.
+#[inline(always)]
+fn fast_math_body<const K: usize, const FMA: bool>(
+    out_row: &mut [f64],
+    count: usize,
+    bias: f64,
+    rows: &[&[f64]; K],
+    coeff: &[f64; K],
+) {
+    let mut i = 0;
+    while i + LANES <= count {
+        let mut acc0 = [0.0f64; LANES];
+        let mut acc1 = [0.0f64; LANES];
+        let mut j = 0;
+        while j + 1 < K {
+            let (c0, c1) = (coeff[j], coeff[j + 1]);
+            let r0 = &rows[j][i..i + LANES];
+            let r1 = &rows[j + 1][i..i + LANES];
+            for l in 0..LANES {
+                if FMA {
+                    acc0[l] = c0.mul_add(r0[l], acc0[l]);
+                    acc1[l] = c1.mul_add(r1[l], acc1[l]);
+                } else {
+                    acc0[l] += c0 * r0[l];
+                    acc1[l] += c1 * r1[l];
+                }
+            }
+            j += 2;
+        }
+        if j < K {
+            let c = coeff[j];
+            let r = &rows[j][i..i + LANES];
+            for l in 0..LANES {
+                if FMA {
+                    acc0[l] = c.mul_add(r[l], acc0[l]);
+                } else {
+                    acc0[l] += c * r[l];
+                }
+            }
+        }
+        for l in 0..LANES {
+            out_row[i + l] = bias + (acc0[l] + acc1[l]);
+        }
+        i += LANES;
+    }
+    while i < count {
+        let (mut acc0, mut acc1) = (0.0f64, 0.0f64);
+        let mut j = 0;
+        while j + 1 < K {
+            if FMA {
+                acc0 = coeff[j].mul_add(rows[j][i], acc0);
+                acc1 = coeff[j + 1].mul_add(rows[j + 1][i], acc1);
+            } else {
+                acc0 += coeff[j] * rows[j][i];
+                acc1 += coeff[j + 1] * rows[j + 1][i];
+            }
+            j += 2;
+        }
+        if j < K {
+            if FMA {
+                acc0 = coeff[j].mul_add(rows[j][i], acc0);
+            } else {
+                acc0 += coeff[j] * rows[j][i];
+            }
+        }
+        out_row[i] = bias + (acc0 + acc1);
+        i += 1;
+    }
+}
+
+// ISA-multiversioned variants: same `#[inline(always)]` body recompiled
+// under wider target features, selected once per row through [`isa`].
+// SAFETY (all four): only called after `is_x86_feature_detected!` confirmed
+// the enabled features at [`isa`] init.
+
+// The lane-safe wide variants are also explicit-intrinsic: each vector
+// lane performs `((bias + c₀·r₀) + c₁·r₁) + …` — the exact scalar
+// association, separate mul then add, never fma — so every lane is
+// bitwise-equal to the generic per-point chain. Hand-written packed ops
+// sidestep the autovectorizer's shuffle-heavy lowering of the portable
+// lane-array body.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lane_safe_avx2<const K: usize>(
+    out_row: &mut [f64],
+    count: usize,
+    bias: f64,
+    rows: &[&[f64]; K],
+    coeff: &[f64; K],
+) {
+    use core::arch::x86_64::*;
+    let b = _mm256_set1_pd(bias);
+    let mut i = 0;
+    // Two vectors per iteration: each point's add chain is serial (the
+    // bitwise contract), but chains of different points are independent —
+    // interleaving two hides the add latency without reassociating.
+    while i + 8 <= count {
+        let mut acc0 = b;
+        let mut acc1 = b;
+        for j in 0..K {
+            let c = _mm256_set1_pd(coeff[j]);
+            let p = rows[j].as_ptr().add(i);
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(c, _mm256_loadu_pd(p)));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(c, _mm256_loadu_pd(p.add(4))));
+        }
+        _mm256_storeu_pd(out_row.as_mut_ptr().add(i), acc0);
+        _mm256_storeu_pd(out_row.as_mut_ptr().add(i + 4), acc1);
+        i += 8;
+    }
+    while i + 4 <= count {
+        let mut acc = b;
+        for j in 0..K {
+            acc = _mm256_add_pd(
+                acc,
+                _mm256_mul_pd(
+                    _mm256_set1_pd(coeff[j]),
+                    _mm256_loadu_pd(rows[j].as_ptr().add(i)),
+                ),
+            );
+        }
+        _mm256_storeu_pd(out_row.as_mut_ptr().add(i), acc);
+        i += 4;
+    }
+    lane_safe_tail::<K>(out_row, i, count, bias, rows, coeff);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn lane_safe_avx512<const K: usize>(
+    out_row: &mut [f64],
+    count: usize,
+    bias: f64,
+    rows: &[&[f64]; K],
+    coeff: &[f64; K],
+) {
+    use core::arch::x86_64::*;
+    let b = _mm512_set1_pd(bias);
+    let mut i = 0;
+    // Same two-chain interleave as the AVX2 body (see comment there).
+    while i + 16 <= count {
+        let mut acc0 = b;
+        let mut acc1 = b;
+        for j in 0..K {
+            let c = _mm512_set1_pd(coeff[j]);
+            let p = rows[j].as_ptr().add(i);
+            acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(c, _mm512_loadu_pd(p)));
+            acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(c, _mm512_loadu_pd(p.add(8))));
+        }
+        _mm512_storeu_pd(out_row.as_mut_ptr().add(i), acc0);
+        _mm512_storeu_pd(out_row.as_mut_ptr().add(i + 8), acc1);
+        i += 16;
+    }
+    while i + 8 <= count {
+        let mut acc = b;
+        for j in 0..K {
+            acc = _mm512_add_pd(
+                acc,
+                _mm512_mul_pd(
+                    _mm512_set1_pd(coeff[j]),
+                    _mm512_loadu_pd(rows[j].as_ptr().add(i)),
+                ),
+            );
+        }
+        _mm512_storeu_pd(out_row.as_mut_ptr().add(i), acc);
+        i += 8;
+    }
+    lane_safe_tail::<K>(out_row, i, count, bias, rows, coeff);
+}
+
+/// Scalar remainder of the wide lane-safe kernels — the generic tap chain
+/// verbatim, so the tail is bitwise-identical too.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn lane_safe_tail<const K: usize>(
+    out_row: &mut [f64],
+    from: usize,
+    count: usize,
+    bias: f64,
+    rows: &[&[f64]; K],
+    coeff: &[f64; K],
+) {
+    for i in from..count {
+        let mut acc = bias;
+        for j in 0..K {
+            acc += coeff[j] * rows[j][i];
+        }
+        out_row[i] = acc;
+    }
+}
+
+// The fast-math wide variants are written with explicit (stable) packed
+// intrinsics rather than through `fast_math_body`: LLVM's SLP pass does
+// not re-vectorize the `mul_add` lane arrays and would otherwise emit a
+// fully scalar-fma unroll — measured ~3× slower than the lane-safe tier
+// instead of faster.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn fast_math_avx2<const K: usize>(
+    out_row: &mut [f64],
+    count: usize,
+    bias: f64,
+    rows: &[&[f64]; K],
+    coeff: &[f64; K],
+) {
+    use core::arch::x86_64::*;
+    let b = _mm256_set1_pd(bias);
+    let mut i = 0;
+    while i + 4 <= count {
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut j = 0;
+        while j + 1 < K {
+            acc0 = _mm256_fmadd_pd(
+                _mm256_set1_pd(coeff[j]),
+                _mm256_loadu_pd(rows[j].as_ptr().add(i)),
+                acc0,
+            );
+            acc1 = _mm256_fmadd_pd(
+                _mm256_set1_pd(coeff[j + 1]),
+                _mm256_loadu_pd(rows[j + 1].as_ptr().add(i)),
+                acc1,
+            );
+            j += 2;
+        }
+        if j < K {
+            acc0 = _mm256_fmadd_pd(
+                _mm256_set1_pd(coeff[j]),
+                _mm256_loadu_pd(rows[j].as_ptr().add(i)),
+                acc0,
+            );
+        }
+        _mm256_storeu_pd(
+            out_row.as_mut_ptr().add(i),
+            _mm256_add_pd(b, _mm256_add_pd(acc0, acc1)),
+        );
+        i += 4;
+    }
+    fast_math_tail::<K>(out_row, i, count, bias, rows, coeff);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn fast_math_avx512<const K: usize>(
+    out_row: &mut [f64],
+    count: usize,
+    bias: f64,
+    rows: &[&[f64]; K],
+    coeff: &[f64; K],
+) {
+    use core::arch::x86_64::*;
+    let b = _mm512_set1_pd(bias);
+    let mut i = 0;
+    while i + 8 <= count {
+        let mut acc0 = _mm512_setzero_pd();
+        let mut acc1 = _mm512_setzero_pd();
+        let mut j = 0;
+        while j + 1 < K {
+            acc0 = _mm512_fmadd_pd(
+                _mm512_set1_pd(coeff[j]),
+                _mm512_loadu_pd(rows[j].as_ptr().add(i)),
+                acc0,
+            );
+            acc1 = _mm512_fmadd_pd(
+                _mm512_set1_pd(coeff[j + 1]),
+                _mm512_loadu_pd(rows[j + 1].as_ptr().add(i)),
+                acc1,
+            );
+            j += 2;
+        }
+        if j < K {
+            acc0 = _mm512_fmadd_pd(
+                _mm512_set1_pd(coeff[j]),
+                _mm512_loadu_pd(rows[j].as_ptr().add(i)),
+                acc0,
+            );
+        }
+        _mm512_storeu_pd(
+            out_row.as_mut_ptr().add(i),
+            _mm512_add_pd(b, _mm512_add_pd(acc0, acc1)),
+        );
+        i += 8;
+    }
+    fast_math_tail::<K>(out_row, i, count, bias, rows, coeff);
+}
+
+/// Scalar remainder of the wide fast-math kernels: same two-partial-sum
+/// association and fma contraction as the vector loop, so the tail stays
+/// inside the same rounding model (`#[inline(always)]` into the
+/// fma-enabled callers keeps `mul_add` a hardware instruction).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn fast_math_tail<const K: usize>(
+    out_row: &mut [f64],
+    from: usize,
+    count: usize,
+    bias: f64,
+    rows: &[&[f64]; K],
+    coeff: &[f64; K],
+) {
+    for i in from..count {
+        let (mut acc0, mut acc1) = (0.0f64, 0.0f64);
+        let mut j = 0;
+        while j + 1 < K {
+            acc0 = coeff[j].mul_add(rows[j][i], acc0);
+            acc1 = coeff[j + 1].mul_add(rows[j + 1][i], acc1);
+            j += 2;
+        }
+        if j < K {
+            acc0 = coeff[j].mul_add(rows[j][i], acc0);
+        }
+        out_row[i] = bias + (acc0 + acc1);
+    }
+}
+
+/// Lane-safe SIMD row kernel (the [`KernelTier::LaneSafe`] dispatch
+/// target). The unit path runs the multiversioned [`lane_safe_body`];
+/// strided accesses (restrict / interp reads) keep the unrolled scalar
+/// loop — their gathers don't vectorize profitably.
+fn lane_row<const K: usize>(
+    out_row: &mut [f64],
+    out_slope: usize,
+    count: usize,
+    bias: f64,
+    taps: &[RtTap<'_>],
+) {
+    debug_assert_eq!(taps.len(), K);
+    if out_slope == 1 && taps.iter().all(|t| t.slope == 1) {
+        let out_row = &mut out_row[..count];
+        let mut rows: [&[f64]; K] = [&[]; K];
+        let mut coeff = [0.0f64; K];
+        for (j, t) in taps.iter().enumerate() {
+            rows[j] = &t.data[t.base..t.base + count];
+            coeff[j] = t.coeff;
+        }
+        match isa() {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => unsafe { lane_safe_avx512::<K>(out_row, count, bias, &rows, &coeff) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => unsafe { lane_safe_avx2::<K>(out_row, count, bias, &rows, &coeff) },
+            Isa::Baseline => lane_safe_body::<K>(out_row, count, bias, &rows, &coeff),
+        }
+        return;
+    }
+    spec_row::<K>(out_row, out_slope, count, bias, taps)
+}
+
+/// Reassociating SIMD row kernel (the [`KernelTier::FastMath`] dispatch
+/// target). Strided accesses fall back to the unrolled scalar loop exactly
+/// like [`lane_row`] — so strided cases stay bitwise-identical even under
+/// fast-math.
+fn fast_row<const K: usize>(
+    out_row: &mut [f64],
+    out_slope: usize,
+    count: usize,
+    bias: f64,
+    taps: &[RtTap<'_>],
+) {
+    debug_assert_eq!(taps.len(), K);
+    if out_slope == 1 && taps.iter().all(|t| t.slope == 1) {
+        let out_row = &mut out_row[..count];
+        let mut rows: [&[f64]; K] = [&[]; K];
+        let mut coeff = [0.0f64; K];
+        for (j, t) in taps.iter().enumerate() {
+            rows[j] = &t.data[t.base..t.base + count];
+            coeff[j] = t.coeff;
+        }
+        match isa() {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => unsafe { fast_math_avx512::<K>(out_row, count, bias, &rows, &coeff) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => unsafe { fast_math_avx2::<K>(out_row, count, bias, &rows, &coeff) },
+            Isa::Baseline => fast_math_body::<K, false>(out_row, count, bias, &rows, &coeff),
+        }
+        return;
+    }
+    spec_row::<K>(out_row, out_slope, count, bias, taps)
+}
+
+/// The lane-safe row kernel for a tap arity, if one is instantiated (same
+/// 1..=28 table as [`spec_row_fn`]).
+fn lane_row_fn(arity: usize) -> Option<RowFn> {
+    macro_rules! table {
+        ($($k:literal)*) => {
+            match arity {
+                $($k => Some(lane_row::<$k> as RowFn),)*
+                _ => None,
+            }
+        };
+    }
+    table!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28)
+}
+
+/// The reassociating row kernel for a tap arity, if one is instantiated.
+fn fast_row_fn(arity: usize) -> Option<RowFn> {
+    macro_rules! table {
+        ($($k:literal)*) => {
+            match arity {
+                $($k => Some(fast_row::<$k> as RowFn),)*
+                _ => None,
+            }
+        };
+    }
+    table!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28)
+}
+
 /// The innermost loop: `out[k·out_slope] = bias + Σ coeff·data[base+k·slope]`
 /// for `k` in `0..count`. Dispatches an unrolled unit-stride kernel when
 /// every stride is 1.
@@ -491,6 +1062,7 @@ fn linear_2d(
     out: &mut KernelOut<'_>,
     ins: &[KernelInput<'_>],
     spec: Option<RowFn>,
+    xblock: usize,
 ) {
     let row_fn: RowFn = spec.unwrap_or(run_row as RowFn);
     let Some((y0, sy)) = parity_start(region.0[0].lo, region.0[0].hi, pattern.0[0]) else {
@@ -530,14 +1102,49 @@ fn linear_2d(
 
     gmg_trace::dispatch::record(dispatch_kind(sx as usize, &taps), 1);
 
+    let ob0 = (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
+    let out_delta = sy as usize * out_rs;
+
+    // Cache-blocked nest for the lane tiers: split the unit-stride
+    // dimension into `xblock`-point slabs and sweep all rows of one slab
+    // before moving on, so a slab's input rows stay cache-resident across
+    // the y loop. Per-point arithmetic is untouched (each point sees the
+    // same taps in the same order), so blocking is bitwise-transparent.
+    if xblock > 0 && sx == 1 && count > xblock && taps.iter().all(|t| t.slope == 1) {
+        let mut start = 0usize;
+        while start < count {
+            let len = (count - start).min(xblock);
+            let mut btaps: Vec<RtTap<'_>> = taps
+                .iter()
+                .map(|t| RtTap {
+                    data: t.data,
+                    base: t.base + start,
+                    slope: t.slope,
+                    coeff: t.coeff,
+                })
+                .collect();
+            let mut y = y0;
+            let mut ob = ob0 + start;
+            while y <= region.0[0].hi {
+                row_fn(out.row_mut(ob, len), 1, len, form.bias, &btaps);
+                for (t, d) in btaps.iter_mut().zip(&deltas) {
+                    t.base += d;
+                }
+                ob += out_delta;
+                y += sy;
+            }
+            start += len;
+        }
+        return;
+    }
+
     let mut y = y0;
-    let mut ob = (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
+    let mut ob = ob0;
     let needed = if count == 0 {
         0
     } else {
         (count - 1) * sx as usize + 1
     };
-    let out_delta = sy as usize * out_rs;
     while y <= region.0[0].hi {
         row_fn(
             out.row_mut(ob, needed),
@@ -561,6 +1168,7 @@ fn linear_3d(
     out: &mut KernelOut<'_>,
     ins: &[KernelInput<'_>],
     spec: Option<RowFn>,
+    xblock: usize,
 ) {
     let row_fn: RowFn = spec.unwrap_or(run_row as RowFn);
     let Some((z0, sz)) = parity_start(region.0[0].lo, region.0[0].hi, pattern.0[0]) else {
@@ -620,13 +1228,54 @@ fn linear_3d(
 
     gmg_trace::dispatch::record(dispatch_kind(sx as usize, &taps), 1);
 
+    let ob0 = (z0 - oz) as usize * out_ps + (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
+
+    // Cache-blocked nest for the lane tiers: x-slabs outer, z/y rows inner
+    // (see `linear_2d` — same bitwise-transparency argument).
+    if xblock > 0 && sx == 1 && count > xblock && taps.iter().all(|t| t.slope == 1) {
+        let mut start = 0usize;
+        while start < count {
+            let len = (count - start).min(xblock);
+            let mut btaps: Vec<RtTap<'_>> = taps
+                .iter()
+                .map(|t| RtTap {
+                    data: t.data,
+                    base: t.base + start,
+                    slope: t.slope,
+                    coeff: t.coeff,
+                })
+                .collect();
+            let mut z = z0;
+            let mut ob_z = ob0 + start;
+            while z <= region.0[0].hi {
+                let mut y = y0;
+                let mut ob = ob_z;
+                while y <= region.0[1].hi {
+                    row_fn(out.row_mut(ob, len), 1, len, form.bias, &btaps);
+                    for (t, d) in btaps.iter_mut().zip(&dy) {
+                        t.base += d;
+                    }
+                    ob += sy as usize * out_rs;
+                    y += sy;
+                }
+                for (t, w) in btaps.iter_mut().zip(&dz_wrap) {
+                    t.base = (t.base as i64 + w) as usize;
+                }
+                ob_z += sz as usize * out_ps;
+                z += sz;
+            }
+            start += len;
+        }
+        return;
+    }
+
     let needed = if count == 0 {
         0
     } else {
         (count - 1) * sx as usize + 1
     };
     let mut z = z0;
-    let mut ob_z = (z0 - oz) as usize * out_ps + (y0 - oy) as usize * out_rs + (x0 - ox) as usize;
+    let mut ob_z = ob0;
     while z <= region.0[0].hi {
         let mut y = y0;
         let mut ob = ob_z;

@@ -3,7 +3,7 @@
 //! split-tiling band schedule is precomputed at lowering.
 
 use super::{panic_detail, resolve_ins, ResolvedIn};
-use crate::kernel::{execute_stage_impl, KernelInput, Space, SpaceMut};
+use crate::kernel::{execute_stage_sel, KernelInput, Space, SpaceMut};
 use crate::pool::BufferPool;
 use crate::schedule::{fill_ghost, ExecError, Slot};
 use crate::tilebuf::SharedOut;
@@ -179,8 +179,8 @@ pub(crate) fn run(
                                     }
                                 }
                             }
-                            execute_stage_impl(
-                                stage.impl_tag,
+                            execute_stage_sel(
+                                stage.sel(),
                                 kernel,
                                 &region,
                                 &mut out,

@@ -5,7 +5,7 @@
 use super::{panic_detail, propagate_for_tile, resolve_ins, ResolvedIn};
 use crate::arena::ArenaPool;
 use crate::kernel::{
-    execute_stage_out_impl, fill_outside, KernelInput, KernelOut, Space, SpaceMut,
+    execute_stage_out_sel, fill_outside, KernelInput, KernelOut, Space, SpaceMut,
 };
 use crate::schedule::{ExecError, Slot};
 use crate::tilebuf::SharedOut;
@@ -189,7 +189,7 @@ pub(crate) fn run(
                                 origin: &origin,
                                 extents: &extents,
                             });
-                            execute_stage_out_impl(st.impl_tag, kernel, compute, out, &ins, &bnd);
+                            execute_stage_out_sel(st.sel(), kernel, compute, out, &ins, &bnd);
                         }
                         if live_out[i] && !owned.is_empty() {
                             // copy the owned sub-region scratch → array (the
@@ -223,7 +223,7 @@ pub(crate) fn run(
                                 out: sh,
                                 extents: &spec.extents,
                             };
-                            execute_stage_out_impl(st.impl_tag, kernel, compute, out, &ins, &bnd);
+                            execute_stage_out_sel(st.sel(), kernel, compute, out, &ins, &bnd);
                         }
                     }
 

@@ -1,7 +1,7 @@
 //! `RunUntiledStage`: one full-domain sweep, parallel over outer rows.
 
 use super::{panic_detail, resolve_ins, ResolvedIn};
-use crate::kernel::{execute_stage_impl, KernelInput, SpaceMut};
+use crate::kernel::{execute_stage_sel, KernelInput, SpaceMut};
 use crate::schedule::{ExecError, Slot};
 use gmg_poly::Interval;
 use gmg_trace::StageHandle;
@@ -106,7 +106,7 @@ pub(crate) fn run(
                     origin: &origin,
                     extents: &extents,
                 };
-                execute_stage_impl(stage.impl_tag, kernel, &region, &mut out, &ins, &bnd);
+                execute_stage_sel(stage.sel(), kernel, &region, &mut out, &ins, &bnd);
             });
         }))
         .map_err(|p| ExecError::WorkerPanicked {

@@ -4,13 +4,24 @@
 //! (The specialized row kernels and the generic tap loop accumulate in the
 //! same order, and the interpreter twin is built term-by-term in that same
 //! order, so exact equality is the contract — no tolerance.)
+//!
+//! The lane-safe SIMD tier (PR 8) is held to the same contract: it
+//! vectorizes *across* output points, so each lane still accumulates its
+//! own point in generic tap order, and cache blocking of the unit-stride
+//! dimension only re-orders which points are visited when — never the
+//! arithmetic within one. Every case below therefore also runs
+//! `KernelTier::LaneSafe` (unblocked and with a deliberately tiny block so
+//! the blocked nests actually fire at test extents) and asserts exact
+//! equality against the same interpreter twin.
 
 use gmg_ir::expr::{Access, AxisAccess, Expr, Operand};
 use gmg_ir::{LinearForm, Parity, ParityPattern, Tap};
 use gmg_poly::{BoxDomain, Interval};
-use gmg_runtime::kernel::{execute_stage, execute_stage_impl, KernelInput, Space, SpaceMut};
+use gmg_runtime::kernel::{
+    execute_stage, execute_stage_impl, execute_stage_sel, KernelInput, Space, SpaceMut,
+};
 use polymg::specialize::classify;
-use polymg::{KernelBody, KernelCase, KernelImpl, StageKernel};
+use polymg::{KernelBody, KernelCase, KernelImpl, KernelSel, KernelTier, StageKernel};
 use proptest::prelude::*;
 
 /// The interpreter twin of a linear kernel: the same cases, each rebuilt as
@@ -113,6 +124,44 @@ fn assert_twin_bitwise(
             a,
             b
         );
+    }
+
+    // lane-safe SIMD tier: same exact-equality contract, unblocked and with
+    // a tiny cache block (test extents are far below the production
+    // UNIT_BLOCK_MIN, so only a tiny block exercises the blocked nests)
+    for xblock in [0usize, 4] {
+        let mut lane_buf = vec![0.0; out_len];
+        {
+            let mut out = SpaceMut {
+                data: &mut lane_buf,
+                origin: out_origin,
+                extents: out_extents,
+            };
+            let ins = [KernelInput::Grid(Space {
+                data: &input,
+                origin: in_origin,
+                extents: in_extents,
+            })];
+            let sel = KernelSel {
+                impl_tag: tag,
+                tier: KernelTier::LaneSafe,
+                xblock,
+            };
+            execute_stage_sel(sel, kernel, region, &mut out, &ins, &[boundary]);
+        }
+        for (i, (a, b)) in lane_buf.iter().zip(&interp_buf).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{:?} lane-safe (xblock {}) diverged from the interpreter at flat index {} \
+                 ({} vs {})",
+                tag,
+                xblock,
+                i,
+                a,
+                b
+            );
+        }
     }
     Ok(())
 }

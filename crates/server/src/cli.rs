@@ -6,13 +6,20 @@
 //!                    [--queue-cap N] [--tenant-cap N]
 //!                    [--engine-threads N] [--tuned FILE]
 //!                    [--coalesce-window-ms N] [--max-batch N]
+//!                    [--fast-math] [--no-simd]
 //!                    [--chaos-seed N] [--chaos-rate R] [--profile OUT.json]
 //!
 //! polymg-cli loadgen [--addr H:P | --port N | --port-file PATH]
 //!                    [--connections N] [--requests N] [--tenants N]
 //!                    [--retries N] [--batch N] [--idle N]
+//!                    [--fast-math] [--no-simd]
 //!                    [--no-shutdown] [-o OUT.json]
 //! ```
+//!
+//! `--fast-math` / `--no-simd` select the server's kernel tier (see
+//! `DESIGN.md` §16). Loadgen takes the same flags because its verification
+//! is bitwise: pass to loadgen exactly what the server was started with so
+//! the in-process reference solves run the same tier.
 //!
 //! `serve` blocks until a client sends the drain-and-stop frame (which
 //! `loadgen` does by default when the run ends), then writes the profile
@@ -130,6 +137,8 @@ pub fn serve_main(args: &[String]) -> i32 {
                             .map_err(|e| format!("loading {path} failed: {e}"))?,
                     );
                 }
+                "--fast-math" => cfg.fast_math = true,
+                "--no-simd" => cfg.simd = false,
                 "--chaos-seed" => {
                     chaos_seed = Some(
                         flag_value(args, &mut i, "--chaos-seed")?
@@ -257,6 +266,8 @@ pub fn loadgen_main(args: &[String]) -> i32 {
                         .parse()
                         .map_err(|_| "--backoff-seed needs a number".to_string())?
                 }
+                "--fast-math" => opts.fast_math = true,
+                "--no-simd" => opts.simd = false,
                 "--no-shutdown" => opts.shutdown = false,
                 "--shutdown" => opts.shutdown = true,
                 "-o" => out = Some(flag_value(args, &mut i, "-o")?.to_string()),

@@ -127,6 +127,12 @@ pub struct LoadgenOptions {
     pub idle: usize,
     /// Seed for backoff jitter (mixed with the connection index).
     pub backoff_seed: u64,
+    /// Kernel-tier knobs the *server under test* was started with. The
+    /// reference solves mirror them: verification is bitwise, so the
+    /// reference must run the exact same tier (`--fast-math` changes
+    /// numerics; a default-tier reference would flag every response).
+    pub simd: bool,
+    pub fast_math: bool,
     pub mix: Vec<MixItem>,
 }
 
@@ -142,6 +148,8 @@ impl Default for LoadgenOptions {
             batch: 0,
             idle: 0,
             backoff_seed: 0x676d675f6c67,
+            simd: true,
+            fast_math: false,
             mix: default_mix(),
         }
     }
@@ -353,12 +361,19 @@ struct Expected {
 
 /// Run each mix item locally (through the same plan cache and engine the
 /// server uses) to establish the bitwise-exact expected answer.
-fn compute_expected(mix: &[MixItem], batch: usize) -> Result<Vec<Expected>, String> {
+fn compute_expected(
+    mix: &[MixItem],
+    batch: usize,
+    simd: bool,
+    fast_math: bool,
+) -> Result<Vec<Expected>, String> {
     mix.iter()
         .enumerate()
         .map(|(mi, item)| {
             let (v0, f, _) = setup_poisson(&item.cfg);
-            let opts = PipelineOptions::for_variant(item.variant, item.cfg.ndims);
+            let mut opts = PipelineOptions::for_variant(item.variant, item.cfg.ndims);
+            opts.simd = simd;
+            opts.fast_math = fast_math;
             let mut runner = DslRunner::new(&item.cfg, opts, "loadgen-ref")
                 .map_err(|e| format!("reference compile failed: {}", e.join("; ")))?;
             let mut solve = |v0: &[f64], f: &[f64]| -> Result<Vec<u64>, String> {
@@ -649,7 +664,12 @@ fn drive_connection(
 
 /// Drive the configured load against `opts.addr` and verify every response.
 pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
-    let expected = Arc::new(compute_expected(&opts.mix, opts.batch)?);
+    let expected = Arc::new(compute_expected(
+        &opts.mix,
+        opts.batch,
+        opts.simd,
+        opts.fast_math,
+    )?);
     let counts = Arc::new(SharedCounts::default());
 
     // Idle fleet: fill before the hot phase starts (setup cost must not

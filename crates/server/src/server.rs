@@ -84,6 +84,12 @@ pub struct ServerConfig {
     pub chaos: Option<ChaosOptions>,
     /// Persisted autotuned configurations, applied at session creation.
     pub tuned: Option<TunedStore>,
+    /// Enable the vectorized kernel tier (`--no-simd` clears it). Part of
+    /// every session's plan fingerprint.
+    pub simd: bool,
+    /// Enable the reassociating fast-math kernel tier (`--fast-math`).
+    /// Changes numerics, so it splits sessions and the plan cache.
+    pub fast_math: bool,
     /// Trace sink for request spans and final counters.
     pub trace: Trace,
     /// Artificial per-solve service delay (tests use it to hold the queue
@@ -115,6 +121,8 @@ impl Default for ServerConfig {
             engine_threads: 1,
             chaos: None,
             tuned: None,
+            simd: true,
+            fast_math: false,
             trace: Trace::disabled(),
             service_delay: None,
             coalesce_window: None,
@@ -883,11 +891,13 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             queues: Mutex::new(QosQueues::new(config.qos_weight.max(1))),
             queue_cv: Condvar::new(),
             tenants: Mutex::new(HashMap::new()),
-            sessions: SessionManager::new(
+            sessions: SessionManager::with_kernel_opts(
                 config.tuned.clone(),
                 config.chaos,
                 config.engine_threads,
                 workers,
+                config.simd,
+                config.fast_math,
             ),
             counters: ShardCounters::default(),
         });

@@ -42,6 +42,10 @@ pub struct SessionManager {
     engine_threads: usize,
     /// Idle runners retained per session.
     max_idle: usize,
+    /// Kernel-tier knobs applied to every session's options (`--no-simd` /
+    /// `--fast-math`). Part of the session key via the plan fingerprint.
+    simd: bool,
+    fast_math: bool,
     pub session_hits: AtomicU64,
     pub session_misses: AtomicU64,
     pub engines_created: AtomicU64,
@@ -64,12 +68,27 @@ impl SessionManager {
         engine_threads: usize,
         max_idle: usize,
     ) -> SessionManager {
+        SessionManager::with_kernel_opts(tuned, chaos, engine_threads, max_idle, true, false)
+    }
+
+    /// [`new`](SessionManager::new) with explicit kernel-tier knobs
+    /// (`simd`, `fast_math`).
+    pub fn with_kernel_opts(
+        tuned: Option<TunedStore>,
+        chaos: Option<ChaosOptions>,
+        engine_threads: usize,
+        max_idle: usize,
+        simd: bool,
+        fast_math: bool,
+    ) -> SessionManager {
         SessionManager {
             sessions: Mutex::new(HashMap::new()),
             tuned,
             chaos,
             engine_threads: engine_threads.max(1),
             max_idle: max_idle.max(1),
+            simd,
+            fast_math,
             session_hits: AtomicU64::new(0),
             session_misses: AtomicU64::new(0),
             engines_created: AtomicU64::new(0),
@@ -88,10 +107,14 @@ impl SessionManager {
     ) -> (PipelineOptions, bool) {
         let mut opts = PipelineOptions::for_variant(variant, cfg.ndims);
         opts.threads = self.engine_threads;
+        opts.simd = self.simd;
+        opts.fast_math = self.fast_math;
         if let Some(store) = &self.tuned {
             let pfp = cache::pipeline_fingerprint(pipeline, &ParamBindings::new());
             if let Some(entry) = store.lookup(pfp, cfg.ndims) {
                 opts = entry.config.apply(&opts);
+                // the tuned metric was measured at this tier; honor it
+                opts.fast_math = opts.fast_math || entry.fast_math;
                 return (opts, true);
             }
         }
@@ -268,6 +291,22 @@ mod tests {
         );
         assert!(misses >= shapes.len() as u64, "each shape misses at least once");
         assert_eq!(mgr.len(), shapes.len());
+    }
+
+    #[test]
+    fn kernel_tier_knobs_split_sessions() {
+        // fast_math (and simd) participate in the plan fingerprint, so a
+        // fast-math server and a default server must not share sessions.
+        let default_mgr = SessionManager::new(None, None, 1, 4);
+        let fm_mgr = SessionManager::with_kernel_opts(None, None, 1, 4, true, true);
+        let nosimd_mgr = SessionManager::with_kernel_opts(None, None, 1, 4, false, false);
+        let cfg = cfg2d();
+        let a = default_mgr.acquire(&cfg, Variant::OptPlus).expect("compile");
+        let b = fm_mgr.acquire(&cfg, Variant::OptPlus).expect("compile");
+        let c = nosimd_mgr.acquire(&cfg, Variant::OptPlus).expect("compile");
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, c.key);
+        assert_ne!(b.key, c.key);
     }
 
     #[test]

@@ -111,7 +111,46 @@ pub fn impl_snapshot() -> [u64; IMPLS] {
     }
 }
 
-/// Zero both histograms (harness sections call this between experiments).
+/// Number of implementation tiers (mirrors `polymg::specialize::KernelTier`;
+/// index 0 is the scalar tier).
+pub const TIERS: usize = 3;
+
+/// Labels indexed by `KernelTier::index()`.
+pub const TIER_LABELS: [&str; TIERS] = ["scalar", "lane_safe", "fast_math"];
+
+#[cfg(feature = "capture")]
+static TIER_COUNTS: [AtomicU64; TIERS] = [const { AtomicU64::new(0) }; TIERS];
+
+/// Count `n` case executions run at implementation tier `tier_index`
+/// (`KernelTier::index()`). Recorded alongside [`record_impl`], so the two
+/// histograms share a total.
+#[inline]
+pub fn record_tier(tier_index: usize, n: u64) {
+    #[cfg(feature = "capture")]
+    TIER_COUNTS[tier_index].fetch_add(n, Ordering::Relaxed);
+    #[cfg(not(feature = "capture"))]
+    {
+        let _ = (tier_index, n);
+    }
+}
+
+/// Current per-tier histogram, indexed like [`TIER_LABELS`].
+pub fn tier_snapshot() -> [u64; TIERS] {
+    #[cfg(feature = "capture")]
+    {
+        let mut out = [0u64; TIERS];
+        for (o, c) in out.iter_mut().zip(TIER_COUNTS.iter()) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        [0u64; TIERS]
+    }
+}
+
+/// Zero all histograms (harness sections call this between experiments).
 pub fn reset() {
     #[cfg(feature = "capture")]
     {
@@ -119,6 +158,9 @@ pub fn reset() {
             c.store(0, Ordering::Relaxed);
         }
         for c in IMPL_COUNTS.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in TIER_COUNTS.iter() {
             c.store(0, Ordering::Relaxed);
         }
     }

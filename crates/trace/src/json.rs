@@ -158,6 +158,17 @@ pub(crate) fn report_to_json(r: &Report) -> String {
         }
         s.push_str(&format!("\"{label}\": {count}"));
     }
+    s.push_str("},\n  \"kernel_tiers\": {");
+    for (i, (label, count)) in dispatch::TIER_LABELS
+        .iter()
+        .zip(r.kernel_tiers.iter())
+        .enumerate()
+    {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{label}\": {count}"));
+    }
     s.push_str(&format!(
         "}},\n  \"threads\": {{\"workers\": {}, \"regions\": {}, \"items\": {}, \"steals\": {}, \"parks\": {}}},\n",
         r.threads.workers, r.threads.regions, r.threads.items, r.threads.steals, r.threads.parks

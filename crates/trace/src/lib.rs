@@ -647,6 +647,7 @@ impl Trace {
             shards: sink.shards.lock().unwrap().clone(),
             dispatch: dispatch::snapshot(),
             kernel_impls: dispatch::impl_snapshot(),
+            kernel_tiers: dispatch::tier_snapshot(),
             threads: ThreadsSnapshot {
                 workers: sink.threads_workers.load(Ordering::Relaxed),
                 regions: sink.threads_regions.load(Ordering::Relaxed),
@@ -769,6 +770,10 @@ pub struct Report {
     /// Per-`KernelImpl` case-execution histogram, indexed like
     /// [`dispatch::IMPL_LABELS`].
     pub kernel_impls: [u64; dispatch::IMPLS],
+    /// Per-`KernelTier` case-execution histogram (scalar-unrolled vs
+    /// lane-safe vs fast-math), indexed like [`dispatch::TIER_LABELS`].
+    /// Shares its total with `kernel_impls`.
+    pub kernel_tiers: [u64; dispatch::TIERS],
     /// Work-stealing-pool utilization aggregated over the trace's lifetime.
     pub threads: ThreadsSnapshot,
     pub pool: PoolSnapshot,
@@ -860,6 +865,7 @@ mod tests {
             "\"plan_cache\"",
             "\"dispatch\"",
             "\"kernel_impls\"",
+            "\"kernel_tiers\"",
             "\"threads\"",
             "\"pool\"",
             "\"arena\"",
