@@ -146,4 +146,48 @@ cargo run --release -p gmg-bench --bin perf-smoke -- --batch-out /tmp/bench_pr6_
 grep -q '"ratio_vs_sequential"' /tmp/bench_pr6_ci.json \
   || { echo "ci: perf-smoke wrote no batch rows" >&2; exit 1; }
 
+# online-tuning gate (DESIGN.md §17): the seeded-search suites must hold
+# offline, then a live server with `--tune-online` must (a) answer a
+# bitwise-verified load while trials run, (b) record a winner into the
+# TunedStore file without ever starting a trial while work was queued,
+# and (c) publish the tuner counters in STATS and the profile JSON.
+cargo test -q --release -p polymg --test search_proptest
+cargo test -q --release -p gmg-server --test online_tuning
+rm -f /tmp/gmg_ci_tune.port /tmp/gmg_ci_tuned.json
+cargo run --release -p gmg-bench --bin polymg-cli -- serve --port 0 \
+  --port-file /tmp/gmg_ci_tune.port --workers 2 --tuned /tmp/gmg_ci_tuned.json \
+  --tune-online --tune-seed 42 --tune-budget 6 \
+  --profile /tmp/server_profile_tune_ci.json &
+TUNE_PID=$!
+for _ in $(seq 1 100); do [ -s /tmp/gmg_ci_tune.port ] && break; sleep 0.1; done
+[ -s /tmp/gmg_ci_tune.port ] || { echo "ci: tuning server never wrote its port file" >&2; exit 1; }
+cargo run --release -p gmg-bench --bin polymg-cli -- loadgen \
+  --port-file /tmp/gmg_ci_tune.port --connections 2 --requests 6 --no-shutdown \
+  -o /tmp/bench_pr9_loadgen_ci.json \
+  || { echo "ci: tuning loadgen reported verification failures" >&2; kill $TUNE_PID 2>/dev/null; exit 1; }
+TUNE_OK=""
+for _ in $(seq 1 300); do
+  if cargo run --release -p gmg-bench --bin polymg-cli -- stats \
+       --port-file /tmp/gmg_ci_tune.port 2>/dev/null \
+     | grep -q '^tuner_winners [1-9]'; then TUNE_OK=1; break; fi
+  sleep 0.2
+done
+[ -n "$TUNE_OK" ] \
+  || { echo "ci: online tuner never recorded a winner" >&2; kill $TUNE_PID 2>/dev/null; exit 1; }
+cargo run --release -p gmg-bench --bin polymg-cli -- stats \
+  --port-file /tmp/gmg_ci_tune.port --shutdown >/dev/null
+wait $TUNE_PID || { echo "ci: tuning server did not drain cleanly" >&2; exit 1; }
+grep -q '"verify_failures": 0' /tmp/bench_pr9_loadgen_ci.json \
+  || { echo "ci: loadgen during online tuning carries verification failures" >&2; exit 1; }
+grep -q '"tuner"' /tmp/server_profile_tune_ci.json \
+  || { echo "ci: tuning server profile carries no tuner block" >&2; exit 1; }
+grep -q '"trials": [1-9]' /tmp/server_profile_tune_ci.json \
+  || { echo "ci: tuner profile recorded no trials" >&2; exit 1; }
+grep -q '"discarded_faulted"' /tmp/server_profile_tune_ci.json \
+  || { echo "ci: tuner profile does not account discarded trials" >&2; exit 1; }
+grep -q '"trial_queue_peak": 0' /tmp/server_profile_tune_ci.json \
+  || { echo "ci: a tuning trial started while requests were queued" >&2; exit 1; }
+grep -q '"fingerprint"' /tmp/gmg_ci_tuned.json \
+  || { echo "ci: online tuner persisted no TunedStore entry" >&2; exit 1; }
+
 echo "ci: all green"

@@ -7,6 +7,7 @@
 //! ```text
 //! perf-smoke [-o OUT.json] [--n N] [--n3 N] [--repeats R]
 //! perf-smoke --batch-out OUT.json     # sequential-vs-batched serving rows
+//! perf-smoke --tune-out OUT.json      # search-vs-sweep + tuned-vs-default rows
 //! ```
 //!
 //! Expectations encoded by the output (checked by eye / downstream tooling,
@@ -22,6 +23,15 @@
 //! as 32 single `SOLVE` frames, then as `SOLVE_BATCH` frames of 4 and 8
 //! grids, every grid verified bitwise against an independent single-RHS
 //! reference. Rows carry grids/s and the batched:sequential ratio.
+//!
+//! `--tune-out` switches to the PR-9 autotuning benchmark: (a) for each
+//! rank, the full §3.2.4 sweep is timed (memoized, min-of-3 real cycle
+//! timings) and the seeded evolutionary search runs against the *same*
+//! memoized evaluator under its 25% budget — the row records both optima
+//! and the eval counts; (b) an online-tuned server (`--tune-online`
+//! in-process) is driven to convergence with every response bitwise-
+//! verified, then its post-convergence throughput is compared against an
+//! identical untuned server.
 
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -331,10 +341,221 @@ fn batch_bench(out_path: &str, n: i64) {
     eprintln!("wrote {out_path}");
 }
 
+/// Real-timing evaluator over tuning configs, memoized so the sweep and
+/// the search judge shared configurations by the *same* measurement (the
+/// comparison is then about which points each method visits, not about
+/// timing noise between visits). Each fresh measurement is the minimum of
+/// five single-cycle timings on a throwaway engine.
+struct TuneEval {
+    cfg: MgConfig,
+    v0: Vec<f64>,
+    f: Vec<f64>,
+    memo: std::collections::BTreeMap<String, f64>,
+    evals: usize,
+}
+
+impl TuneEval {
+    fn new(cfg: MgConfig) -> TuneEval {
+        let (v0, f, _) = setup_poisson(&cfg);
+        TuneEval {
+            cfg,
+            v0,
+            f,
+            memo: std::collections::BTreeMap::new(),
+            evals: 0,
+        }
+    }
+
+    fn measure(&mut self, tc: &polymg::TuneConfig) -> f64 {
+        let key = format!("{tc:?}");
+        if let Some(&ns) = self.memo.get(&key) {
+            return ns;
+        }
+        self.evals += 1;
+        let pipeline = gmg_multigrid::cycles::build_cycle_pipeline(&self.cfg);
+        let opts = tc.apply(&PipelineOptions::for_variant(Variant::OptPlus, self.cfg.ndims));
+        let plan = polymg::compile(&pipeline, &gmg_ir::ParamBindings::new(), opts)
+            .unwrap_or_else(|e| panic!("candidate {tc:?} failed to compile: {e:?}"));
+        let mut runner = DslRunner::from_plan(plan, &self.cfg);
+        let mut v = self.v0.clone();
+        time_cycles(&mut runner, &mut v, &self.f, 1); // warm-up
+        let ns = (0..5)
+            .map(|_| {
+                let mut v = self.v0.clone();
+                time_cycles(&mut runner, &mut v, &self.f, 1).as_nanos() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        self.memo.insert(key, ns);
+        ns
+    }
+}
+
+/// The PR-9 autotuning benchmark: search-vs-sweep rows on real timings for
+/// both ranks, then a tuned-vs-default serving row driven through an
+/// online-tuning server with every response bitwise-verified.
+fn tune_bench(out_path: &str, n: i64, n3: i64) {
+    use polymg::autotune::search::{search, SearchParams};
+    use polymg::autotune::search_space;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"perf-smoke-tune/v1\",\n  \"pr\": 9,\n");
+    json.push_str(&format!("  \"n\": {n},\n  \"n3\": {n3},\n"));
+    json.push_str("  \"search_vs_sweep\": [\n");
+
+    for (i, (ndims, nn)) in [(2usize, n), (3usize, n3)].into_iter().enumerate() {
+        let cfg = MgConfig::new(ndims, nn, CycleType::V, SmoothSteps::s444());
+        let mut eval = TuneEval::new(cfg);
+        let space = search_space(ndims).expect("supported rank");
+
+        let sweep_best = space
+            .iter()
+            .map(|tc| eval.measure(tc))
+            .fold(f64::INFINITY, f64::min);
+        let sweep_evals = eval.evals;
+
+        let params = SearchParams::for_rank(ndims).expect("supported rank");
+        let before = eval.evals;
+        let out = search(ndims, &params, |tc| eval.measure(tc)).expect("search");
+        let fresh = eval.evals - before;
+        let ratio = out.best.metric / sweep_best;
+        eprintln!(
+            "{ndims}-D sweep: {sweep_evals} evals, best {:.2} ms | search: {} evals \
+             ({fresh} fresh), best {:.2} ms, ratio {ratio:.3}",
+            sweep_best * 1e-6,
+            out.evals,
+            out.best.metric * 1e-6,
+        );
+        assert!(
+            out.evals * 4 <= sweep_evals,
+            "search used more than 25% of the sweep budget"
+        );
+        json.push_str(&format!(
+            "    {{\"ndims\": {ndims}, \"n\": {nn}, \"sweep_evals\": {sweep_evals}, \
+             \"sweep_best_ns\": {:.0}, \"search_evals\": {}, \"search_fresh_evals\": {fresh}, \
+             \"search_best_ns\": {:.0}, \"search_vs_sweep_ratio\": {ratio:.4}, \
+             \"search_best\": \"tiles {:?} group {} band {} tier {:?}\"}}{}\n",
+            sweep_best,
+            out.evals,
+            out.best.metric,
+            out.best.config.tile_sizes,
+            out.best.config.group_limit,
+            out.best.config.smooth_band,
+            out.best.config.tier,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+
+    // tuned-vs-default serving: identical shape and load against (a) an
+    // untuned baseline server and (b) a server that converged online
+    const REQS: usize = 16;
+    let cfg = MgConfig::new(2, 63, CycleType::V, SmoothSteps::s444());
+    let (v0, f, _) = setup_poisson(&cfg);
+    let opts = PipelineOptions::for_variant(Variant::OptPlus, cfg.ndims);
+    let mut reference = DslRunner::new(&cfg, opts, "tune-ref").expect("reference compile");
+    let mut v = v0.clone();
+    reference.cycle_with_stats(&mut v, &f).expect("reference cycle");
+    let reference_bits: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+    let refs: Vec<Vec<u64>> = (0..REQS).map(|_| reference_bits.clone()).collect();
+    let frames: Vec<FrameSpec> = (0..REQS)
+        .map(|_| {
+            let req = SolveRequest::from_config(&cfg, Variant::OptPlus, 0, 1, v0.clone(), f.clone());
+            (protocol::OP_SOLVE, req.encode(), 1)
+        })
+        .collect();
+    let throughput = |addr: std::net::SocketAddr| -> f64 {
+        drive_frames(addr, &frames[..1], &refs[..1]); // warm off the clock
+        (0..3)
+            .map(|_| {
+                let (elapsed, _) = drive_frames(addr, &frames, &refs);
+                REQS as f64 / elapsed.as_secs_f64()
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let shutdown = |handle: gmg_server::ServerHandle| {
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        protocol::write_frame(&mut s, protocol::OP_SHUTDOWN, b"").expect("drain");
+        let _ = protocol::read_frame(&mut s);
+        handle.join()
+    };
+
+    let baseline = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start baseline");
+    let default_rps = throughput(baseline.addr());
+    shutdown(baseline);
+
+    let store_path = std::env::temp_dir().join(format!(
+        "polymg-tune-bench-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&store_path);
+    let tuned = start(ServerConfig {
+        workers: 1,
+        tuner: Some(gmg_server::TunerConfig {
+            budget: 0, // rank default: 25% of the sweep
+            seed: 0x9e3c_0901,
+            store_path: Some(store_path.clone()),
+            trial_iters: 2,
+        }),
+        ..ServerConfig::default()
+    })
+    .expect("start tuned");
+    // every response during tuning is bitwise-verified by drive_frames
+    let during_tuning_rps = throughput(tuned.addr());
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let snap = loop {
+        let snap = tuned.tuner_snapshot().expect("tuner armed");
+        if snap.winners > 0 {
+            break snap;
+        }
+        assert!(Instant::now() < deadline, "tuner never converged: {snap:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(snap.trial_queue_peak, 0, "trial overlapped queued work");
+    assert_eq!(snap.leaked_trials, 0);
+    let tuned_rps = throughput(tuned.addr());
+    let store = tuned.tuned_store().expect("shared store");
+    let winner = store.entries().first().expect("winner recorded").clone();
+    shutdown(tuned);
+    let _ = std::fs::remove_file(&store_path);
+
+    let ratio = tuned_rps / default_rps;
+    eprintln!(
+        "serving: default {default_rps:.1} grids/s | during tuning {during_tuning_rps:.1} | \
+         tuned {tuned_rps:.1} ({ratio:.3}x) — winner tiles {:?} group {} band {} ({} trials)",
+        winner.config.tile_sizes,
+        winner.config.group_limit,
+        winner.config.smooth_band,
+        snap.trials,
+    );
+    json.push_str(&format!(
+        "  \"serving\": {{\"n\": 63, \"requests_per_wave\": {REQS}, \"waves\": 3, \
+         \"verified_bitwise\": true, \"default_grids_per_s\": {default_rps:.1}, \
+         \"during_tuning_grids_per_s\": {during_tuning_rps:.1}, \
+         \"tuned_grids_per_s\": {tuned_rps:.1}, \"tuned_vs_default_ratio\": {ratio:.4}, \
+         \"trials\": {}, \"trial_queue_peak\": {}, \"winner\": \"tiles {:?} group {} band {} \
+         tier {:?} evals {}\"}}\n",
+        snap.trials,
+        snap.trial_queue_peak,
+        winner.config.tile_sizes,
+        winner.config.group_limit,
+        winner.config.smooth_band,
+        winner.config.tier,
+        winner.evals,
+    ));
+    json.push_str("}\n");
+    std::fs::write(out_path, json).expect("write tune BENCH json");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_pr8.json".to_string();
     let mut batch_out: Option<String> = None;
+    let mut tune_out: Option<String> = None;
     let mut n: i64 = 127;
     let mut n3: i64 = 63;
     let mut batch_n: i64 = 31;
@@ -349,6 +570,10 @@ fn main() {
             "--batch-out" => {
                 i += 1;
                 batch_out = Some(args[i].clone());
+            }
+            "--tune-out" => {
+                i += 1;
+                tune_out = Some(args[i].clone());
             }
             "--batch-n" => {
                 i += 1;
@@ -370,7 +595,7 @@ fn main() {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: perf-smoke [-o OUT.json] [--n N] [--n3 N] [--repeats R] \
-                     [--batch-out OUT.json [--batch-n N]]"
+                     [--batch-out OUT.json [--batch-n N]] [--tune-out OUT.json]"
                 );
                 std::process::exit(2);
             }
@@ -380,6 +605,10 @@ fn main() {
 
     if let Some(path) = batch_out {
         batch_bench(&path, batch_n);
+        return;
+    }
+    if let Some(path) = tune_out {
+        tune_bench(&path, n, n3);
         return;
     }
 

@@ -4,6 +4,7 @@
 //! ```text
 //! polymg-cli serve   [--port N] [--workers N] [...]    # solve service
 //! polymg-cli loadgen [--port N] [--connections N] [...] # verifying client
+//! polymg-cli stats   [--addr A | --port-file F] [--shutdown] # query a server
 //! polymg-cli <benchmark> [--variant naive|opt|opt+|dtile-opt+]
 //!            [--n N] [--levels L] [--tiles A,B[,C]] [--gsrb]
 //!            [--threads N] [--no-specialize] [--fast-math] [--no-simd]
@@ -60,6 +61,7 @@ fn main() {
     match args[0].as_str() {
         "serve" => std::process::exit(gmg_server::cli::serve_main(&args[1..])),
         "loadgen" => std::process::exit(gmg_server::cli::loadgen_main(&args[1..])),
+        "stats" => std::process::exit(gmg_server::cli::stats_main(&args[1..])),
         _ => {}
     }
 

@@ -443,7 +443,7 @@ pub fn fig12(o: &ExpOptions, stride: usize) -> String {
     );
     let pipeline = build_cycle_pipeline(&cfg);
     let mut best = (f64::MAX, String::new());
-    let space = polymg::autotune::search_space(2);
+    let space = polymg::autotune::search_space(2).expect("2-D search space");
     for tc in space.iter().step_by(stride) {
         let mut row = format!(
             "  {:<22}",

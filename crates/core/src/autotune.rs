@@ -7,23 +7,97 @@
 //! 3-D outer two dims 8:32, inner 64:256; five grouping limits. That yields
 //! 80 configurations for 2-D and 135 for 3-D — reproduced exactly by
 //! [`search_space`].
+//!
+//! [`search`] replaces the exhaustive sweep with a seeded evolutionary
+//! search over the same space *extended* with the smoother time-band height
+//! and the kernel tier — see that module for the operators and the
+//! determinism contract.
 
 use crate::jsonio::{self, JsonValue};
 use crate::options::PipelineOptions;
+use crate::specialize::KernelTier;
+
+pub mod search;
+
+/// Typed failure of the tuning space / sweep entry points. A serving
+/// process drives these from request parameters, so an unsupported rank
+/// must be a value, not a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TuneError {
+    /// Only 2-D and 3-D pipelines have a defined search space.
+    UnsupportedRank(usize),
+    /// `tune` was called with a stride of zero.
+    ZeroStride,
+    /// The (strided) space produced no samples to pick a winner from.
+    EmptySpace,
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::UnsupportedRank(n) => write!(f, "unsupported rank {n} (need 2 or 3)"),
+            TuneError::ZeroStride => write!(f, "tuning stride must be >= 1"),
+            TuneError::EmptySpace => write!(f, "tuning space is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
 
 /// One auto-tuning configuration.
+///
+/// `tile_sizes`, `group_limit` and `smooth_band` are *schedule-only* knobs:
+/// they change execution order and storage, never the computed values, so a
+/// tuned plan stays bitwise-identical to the default one. `tier` selects
+/// the specialized-kernel lowering; [`KernelTier::Scalar`] and
+/// [`KernelTier::LaneSafe`] are bitwise with the generic interpreter, while
+/// [`KernelTier::FastMath`] reassociates and is only legal where the caller
+/// already opted into fast-math numerics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TuneConfig {
     pub tile_sizes: Vec<i64>,
     pub group_limit: usize,
+    /// Smoother steps fused per diamond/split time band
+    /// ([`PipelineOptions::dtile_band`]) — the Schmitt-et-al.-style
+    /// "smoother steps" axis, expressed as the schedule-only band height.
+    pub smooth_band: usize,
+    /// Specialized-kernel tier the configuration was tuned at.
+    pub tier: KernelTier,
 }
 
 impl TuneConfig {
+    /// A configuration with the pre-search defaults for the new axes
+    /// (band 4, lane-safe tier — exactly what [`PipelineOptions`] presets
+    /// carry), matching the paper's original two-axis sweep entries.
+    pub fn new(tile_sizes: Vec<i64>, group_limit: usize) -> TuneConfig {
+        TuneConfig {
+            tile_sizes,
+            group_limit,
+            smooth_band: 4,
+            tier: KernelTier::LaneSafe,
+        }
+    }
+
     /// Apply this configuration onto a base option set.
     pub fn apply(&self, base: &PipelineOptions) -> PipelineOptions {
         let mut o = base.clone();
         o.tile_sizes = self.tile_sizes.clone();
         o.group_limit = self.group_limit;
+        o.dtile_band = self.smooth_band;
+        match self.tier {
+            KernelTier::Scalar => {
+                o.simd = false;
+                o.fast_math = false;
+            }
+            KernelTier::LaneSafe => {
+                o.simd = true;
+                o.fast_math = false;
+            }
+            KernelTier::FastMath => {
+                o.simd = true;
+                o.fast_math = true;
+            }
+        }
         o
     }
 }
@@ -31,8 +105,9 @@ impl TuneConfig {
 /// The grouping limits swept ("five different values of grouping limit").
 pub const GROUP_LIMITS: [usize; 5] = [2, 4, 6, 8, 11];
 
-/// The paper's §3.2.4 search space for the given rank.
-pub fn search_space(ndims: usize) -> Vec<TuneConfig> {
+/// The paper's §3.2.4 search space for the given rank (band and tier held
+/// at their defaults; [`search`] explores those axes).
+pub fn search_space(ndims: usize) -> Result<Vec<TuneConfig>, TuneError> {
     let mut out = Vec::new();
     match ndims {
         2 => {
@@ -41,10 +116,7 @@ pub fn search_space(ndims: usize) -> Vec<TuneConfig> {
                 while outer <= 64 {
                     let mut inner = 64i64;
                     while inner <= 512 {
-                        out.push(TuneConfig {
-                            tile_sizes: vec![outer, inner],
-                            group_limit: gl,
-                        });
+                        out.push(TuneConfig::new(vec![outer, inner], gl));
                         inner *= 2;
                     }
                     outer *= 2;
@@ -59,10 +131,7 @@ pub fn search_space(ndims: usize) -> Vec<TuneConfig> {
                     while o2 <= 32 {
                         let mut inner = 64i64;
                         while inner <= 256 {
-                            out.push(TuneConfig {
-                                tile_sizes: vec![o1, o2, inner],
-                                group_limit: gl,
-                            });
+                            out.push(TuneConfig::new(vec![o1, o2, inner], gl));
                             inner *= 2;
                         }
                         o2 *= 2;
@@ -71,9 +140,9 @@ pub fn search_space(ndims: usize) -> Vec<TuneConfig> {
                 }
             }
         }
-        _ => panic!("unsupported rank {ndims}"),
+        other => return Err(TuneError::UnsupportedRank(other)),
     }
-    out
+    Ok(out)
 }
 
 /// Result of one evaluated configuration.
@@ -85,15 +154,19 @@ pub struct TuneSample {
     pub metric: f64,
 }
 
-/// Run the tuner: evaluate every configuration (optionally subsampled by
-/// `stride` for quick runs) and return all samples plus the best index.
+/// Run the exhaustive tuner: evaluate every configuration (optionally
+/// subsampled by `stride` for quick runs) and return all samples plus the
+/// index of the best *sample* (an index into the returned vector, not into
+/// the unstrided space).
 pub fn tune(
     ndims: usize,
     stride: usize,
     mut eval: impl FnMut(&TuneConfig) -> f64,
-) -> (Vec<TuneSample>, usize) {
-    assert!(stride >= 1);
-    let space = search_space(ndims);
+) -> Result<(Vec<TuneSample>, usize), TuneError> {
+    if stride == 0 {
+        return Err(TuneError::ZeroStride);
+    }
+    let space = search_space(ndims)?;
     let mut samples = Vec::new();
     for cfg in space.into_iter().step_by(stride) {
         let metric = eval(&cfg);
@@ -107,13 +180,43 @@ pub fn tune(
         .enumerate()
         .min_by(|a, b| a.1.metric.total_cmp(&b.1.metric))
         .map(|(i, _)| i)
-        .expect("empty tuning space");
-    (samples, best)
+        .ok_or(TuneError::EmptySpace)?;
+    Ok((samples, best))
+}
+
+/// How a stored winner was found (provenance; see `DESIGN.md` §17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuneSource {
+    /// The §3.2.4 exhaustive grid sweep.
+    Sweep,
+    /// The offline evolutionary [`search`].
+    Search,
+    /// The server's online tuner (idle-capacity background trials).
+    Online,
+}
+
+impl TuneSource {
+    pub fn label(self) -> &'static str {
+        match self {
+            TuneSource::Sweep => "sweep",
+            TuneSource::Search => "search",
+            TuneSource::Online => "online",
+        }
+    }
+
+    fn parse(s: &str) -> Option<TuneSource> {
+        match s {
+            "sweep" => Some(TuneSource::Sweep),
+            "search" => Some(TuneSource::Search),
+            "online" => Some(TuneSource::Online),
+            _ => None,
+        }
+    }
 }
 
 /// One persisted tuning result: the winning [`TuneConfig`] for a pipeline
-/// structure (keyed by [`crate::cache::pipeline_fingerprint`] + rank) and
-/// the metric it achieved.
+/// structure (keyed by [`crate::cache::pipeline_fingerprint`] + rank), the
+/// metric it achieved, and where it came from.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TunedEntry {
     /// Structural fingerprint of the pipeline + bindings the sweep ran on.
@@ -125,11 +228,22 @@ pub struct TunedEntry {
     /// The metric the winning configuration achieved (seconds; informative
     /// only, not used by lookups).
     pub metric: f64,
-    /// Whether the sweep ran (and the stored metric was achieved) with the
-    /// reassociating fast-math kernel tier. Round-trips through the JSON
-    /// store so a serving deployment warm-starts with the same tier the
-    /// tuner measured; absent in pre-tier store files (defaults to false).
-    pub fast_math: bool,
+    /// Provenance: sweep, offline search, or the server's online tuner.
+    pub source: TuneSource,
+    /// Configurations evaluated before this winner was picked (0 for
+    /// legacy sweep entries that predate provenance).
+    pub evals: u64,
+    /// Seed of the search that found it (0 for sweeps).
+    pub seed: u64,
+}
+
+impl TunedEntry {
+    /// Whether the stored metric was achieved at the reassociating
+    /// fast-math tier (which changes numerics — a server only honors it for
+    /// sessions that already opted in).
+    pub fn fast_math(&self) -> bool {
+        self.config.tier == KernelTier::FastMath
+    }
 }
 
 /// JSON-persisted store of autotuning winners, so a solve server can
@@ -166,31 +280,44 @@ impl TunedStore {
         self.record_fast_math(fingerprint, ndims, config, metric, false);
     }
 
-    /// [`record`](TunedStore::record) with an explicit fast-math marker.
+    /// [`record`](TunedStore::record) with an explicit fast-math marker:
+    /// forces the stored tier to [`KernelTier::FastMath`] (the sweep ran
+    /// there) or clamps a fast-math tier back to lane-safe.
     pub fn record_fast_math(
         &mut self,
         fingerprint: u64,
         ndims: usize,
-        config: TuneConfig,
+        mut config: TuneConfig,
         metric: f64,
         fast_math: bool,
     ) {
+        config.tier = match (fast_math, config.tier) {
+            (true, _) => KernelTier::FastMath,
+            (false, KernelTier::FastMath) => KernelTier::LaneSafe,
+            (false, t) => t,
+        };
+        self.record_entry(TunedEntry {
+            fingerprint,
+            ndims,
+            config,
+            metric,
+            source: TuneSource::Sweep,
+            evals: 0,
+            seed: 0,
+        });
+    }
+
+    /// Insert or replace a winner with full provenance (the search and the
+    /// server's online tuner record through this).
+    pub fn record_entry(&mut self, entry: TunedEntry) {
         if let Some(e) = self
             .entries
             .iter_mut()
-            .find(|e| e.fingerprint == fingerprint && e.ndims == ndims)
+            .find(|e| e.fingerprint == entry.fingerprint && e.ndims == entry.ndims)
         {
-            e.config = config;
-            e.metric = metric;
-            e.fast_math = fast_math;
+            *e = entry;
         } else {
-            self.entries.push(TunedEntry {
-                fingerprint,
-                ndims,
-                config,
-                metric,
-                fast_math,
-            });
+            self.entries.push(entry);
         }
     }
 
@@ -202,7 +329,7 @@ impl TunedStore {
     }
 
     /// Render as JSON. Fingerprints are hex strings: a u64 does not survive
-    /// a round-trip through an f64 JSON number.
+    /// a round-trip through an f64 JSON number (seeds likewise).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n  \"tuned\": [");
         for (i, e) in self.entries.iter().enumerate() {
@@ -218,17 +345,23 @@ impl TunedStore {
                 .join(", ");
             s.push_str(&format!(
                 "\n    {{\"fingerprint\": \"{:016x}\", \"ndims\": {}, \"tile_sizes\": [{}], \
-                 \"group_limit\": {}, \"metric\": {}, \"fast_math\": {}}}",
+                 \"group_limit\": {}, \"smooth_band\": {}, \"tier\": \"{}\", \"metric\": {}, \
+                 \"fast_math\": {}, \"source\": \"{}\", \"evals\": {}, \"seed\": \"{:016x}\"}}",
                 e.fingerprint,
                 e.ndims,
                 tiles,
                 e.config.group_limit,
+                e.config.smooth_band,
+                e.config.tier.label(),
                 if e.metric.is_finite() {
                     format!("{}", e.metric)
                 } else {
                     "null".to_string()
                 },
-                e.fast_math,
+                e.fast_math(),
+                e.source.label(),
+                e.evals,
+                e.seed,
             ));
         }
         if !self.entries.is_empty() {
@@ -238,7 +371,8 @@ impl TunedStore {
         s
     }
 
-    /// Parse a store previously written by [`TunedStore::to_json`].
+    /// Parse a store previously written by [`TunedStore::to_json`] (or by a
+    /// pre-provenance release: the new keys all have legacy defaults).
     pub fn from_json(text: &str) -> Result<TunedStore, String> {
         let doc = jsonio::parse(text)?;
         let list = doc
@@ -277,6 +411,16 @@ impl TunedStore {
                     .and_then(JsonValue::as_u64)
                     .filter(|&g| g >= 1)
                     .ok_or_else(|| fail("missing or zero group_limit"))? as usize;
+            // absent before the search-axis extension: defaults to the
+            // PipelineOptions preset band
+            let smooth_band = match item.get("smooth_band") {
+                None => 4,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|&b| b >= 1)
+                    .ok_or_else(|| fail("smooth_band must be a positive integer"))?
+                    as usize,
+            };
             let metric = item
                 .get("metric")
                 .and_then(JsonValue::as_f64)
@@ -286,16 +430,52 @@ impl TunedStore {
                 .get("fast_math")
                 .and_then(JsonValue::as_bool)
                 .unwrap_or(false);
-            store.record_fast_math(
+            let tier = match item.get("tier") {
+                None => {
+                    if fast_math {
+                        KernelTier::FastMath
+                    } else {
+                        KernelTier::LaneSafe
+                    }
+                }
+                Some(v) => {
+                    let label = v.as_str().ok_or_else(|| fail("tier must be a string"))?;
+                    KernelTier::ALL
+                        .into_iter()
+                        .find(|t| t.label() == label)
+                        .ok_or_else(|| fail("unknown kernel tier"))?
+                }
+            };
+            let source = match item.get("source") {
+                None => TuneSource::Sweep,
+                Some(v) => v
+                    .as_str()
+                    .and_then(TuneSource::parse)
+                    .ok_or_else(|| fail("unknown tuning source"))?,
+            };
+            let evals = item.get("evals").and_then(JsonValue::as_u64).unwrap_or(0);
+            let seed = match item.get("seed") {
+                None => 0,
+                Some(v) => {
+                    let text = v.as_str().ok_or_else(|| fail("seed must be a hex string"))?;
+                    u64::from_str_radix(text, 16)
+                        .map_err(|_| fail("seed is not a hex u64"))?
+                }
+            };
+            store.record_entry(TunedEntry {
                 fingerprint,
                 ndims,
-                TuneConfig {
+                config: TuneConfig {
                     tile_sizes,
                     group_limit,
+                    smooth_band,
+                    tier,
                 },
                 metric,
-                fast_math,
-            );
+                source,
+                evals,
+                seed,
+            });
         }
         Ok(store)
     }
@@ -320,9 +500,23 @@ mod tests {
     #[test]
     fn space_sizes_match_paper() {
         // 2-D: outer {8,16,32,64} × inner {64..512} (4) × 5 limits = 80
-        assert_eq!(search_space(2).len(), 80);
+        assert_eq!(search_space(2).unwrap().len(), 80);
         // 3-D: {8,16,32}² × inner {64,128,256} × 5 = 135
-        assert_eq!(search_space(3).len(), 135);
+        assert_eq!(search_space(3).unwrap().len(), 135);
+    }
+
+    #[test]
+    fn unsupported_rank_is_a_typed_error_not_a_panic() {
+        for bad in [0usize, 1, 4, 7] {
+            assert_eq!(search_space(bad), Err(TuneError::UnsupportedRank(bad)));
+            assert_eq!(
+                tune(bad, 1, |_| 1.0).unwrap_err(),
+                TuneError::UnsupportedRank(bad)
+            );
+        }
+        assert_eq!(tune(2, 0, |_| 1.0).unwrap_err(), TuneError::ZeroStride);
+        // errors render (a server embeds them in error frames)
+        assert!(TuneError::UnsupportedRank(4).to_string().contains("rank 4"));
     }
 
     #[test]
@@ -331,11 +525,26 @@ mod tests {
         let cfg = TuneConfig {
             tile_sizes: vec![16, 128],
             group_limit: 4,
+            smooth_band: 2,
+            tier: KernelTier::Scalar,
         };
         let o = cfg.apply(&base);
         assert_eq!(o.tile_sizes, vec![16, 128]);
         assert_eq!(o.group_limit, 4);
+        assert_eq!(o.dtile_band, 2);
+        assert!(!o.simd && !o.fast_math);
         assert!(o.intra_group_reuse); // rest preserved
+
+        // tier mapping covers all three levels
+        let fm = TuneConfig {
+            tier: KernelTier::FastMath,
+            ..cfg.clone()
+        }
+        .apply(&base);
+        assert!(fm.simd && fm.fast_math);
+        let ls = TuneConfig::new(vec![16, 128], 4).apply(&base);
+        assert!(ls.simd && !ls.fast_math);
+        assert_eq!(ls.dtile_band, 4, "TuneConfig::new keeps the preset band");
     }
 
     #[test]
@@ -343,7 +552,8 @@ mod tests {
         // metric: distance of the tile area from 32*128
         let (samples, best) = tune(2, 1, |c| {
             ((c.tile_sizes[0] * c.tile_sizes[1]) as f64 - (32.0 * 128.0)).abs()
-        });
+        })
+        .unwrap();
         assert_eq!(samples.len(), 80);
         let b = &samples[best];
         assert_eq!(b.config.tile_sizes[0] * b.config.tile_sizes[1], 32 * 128);
@@ -351,8 +561,31 @@ mod tests {
 
     #[test]
     fn stride_subsamples() {
-        let (samples, _) = tune(3, 10, |_| 1.0);
+        let (samples, _) = tune(3, 10, |_| 1.0).unwrap();
         assert_eq!(samples.len(), 14);
+    }
+
+    #[test]
+    fn stride_best_indexes_the_samples_not_the_space() {
+        // stride 7 over the 80-point 2-D space → samples at space indices
+        // 0, 7, …, 77 (12 samples). Make the 9th *sample* the minimum and
+        // check the returned index is 9 (the position in the strided sample
+        // vector), carrying the config from space index 63.
+        let mut k = 0u32;
+        let (samples, best) = tune(2, 7, |_| {
+            let m = (f64::from(k) - 9.0).abs();
+            k += 1;
+            m
+        })
+        .unwrap();
+        assert_eq!(samples.len(), 12);
+        assert_eq!(best, 9);
+        let space = search_space(2).unwrap();
+        assert_eq!(samples[best].config, space[63]);
+        // and the winner really is the minimum over what was sampled
+        assert!(samples
+            .iter()
+            .all(|s| samples[best].metric <= s.metric));
     }
 
     #[test]
@@ -361,19 +594,13 @@ mod tests {
         store.record(
             0xdead_beef_0123_4567,
             2,
-            TuneConfig {
-                tile_sizes: vec![16, 256],
-                group_limit: 4,
-            },
+            TuneConfig::new(vec![16, 256], 4),
             0.0125,
         );
         store.record_fast_math(
             u64::MAX, // extremes must survive the hex round-trip
             3,
-            TuneConfig {
-                tile_sizes: vec![8, 16, 128],
-                group_limit: 11,
-            },
+            TuneConfig::new(vec![8, 16, 128], 11),
             3.5e-3,
             true,
         );
@@ -381,29 +608,63 @@ mod tests {
         store.record(
             0xdead_beef_0123_4567,
             2,
-            TuneConfig {
-                tile_sizes: vec![32, 512],
-                group_limit: 6,
-            },
+            TuneConfig::new(vec![32, 512], 6),
             0.011,
         );
-        assert_eq!(store.len(), 2);
+        // full-provenance entry with non-default band/tier
+        store.record_entry(TunedEntry {
+            fingerprint: 7,
+            ndims: 2,
+            config: TuneConfig {
+                tile_sizes: vec![8, 64],
+                group_limit: 2,
+                smooth_band: 8,
+                tier: KernelTier::Scalar,
+            },
+            metric: 0.5,
+            source: TuneSource::Online,
+            evals: 17,
+            seed: u64::MAX,
+        });
+        assert_eq!(store.len(), 3);
 
         let back = TunedStore::from_json(&store.to_json()).unwrap();
         assert_eq!(back, store);
         let e = back.lookup(0xdead_beef_0123_4567, 2).unwrap();
         assert_eq!(e.config.tile_sizes, vec![32, 512]);
         assert_eq!(e.config.group_limit, 6);
-        assert!(!e.fast_math);
-        assert!(back.lookup(u64::MAX, 3).unwrap().fast_math);
+        assert!(!e.fast_math());
+        assert_eq!(e.source, TuneSource::Sweep);
+        assert!(back.lookup(u64::MAX, 3).unwrap().fast_math());
         assert!(back.lookup(0xdead_beef_0123_4567, 3).is_none());
         assert!(back.lookup(1, 2).is_none());
+        let online = back.lookup(7, 2).unwrap();
+        assert_eq!(
+            (online.source, online.evals, online.seed),
+            (TuneSource::Online, 17, u64::MAX)
+        );
+        assert_eq!(online.config.smooth_band, 8);
+        assert_eq!(online.config.tier, KernelTier::Scalar);
 
-        // pre-tier store files carry no fast_math key: defaults to false
+        // pre-provenance store files carry none of the new keys: band,
+        // tier, source, evals and seed all take their legacy defaults
         let legacy = "{\"tuned\": [{\"fingerprint\": \"2a\", \"ndims\": 2, \
                       \"tile_sizes\": [8, 64], \"group_limit\": 2, \"metric\": 1.0}]}";
         let old = TunedStore::from_json(legacy).unwrap();
-        assert!(!old.lookup(0x2a, 2).unwrap().fast_math);
+        let e = old.lookup(0x2a, 2).unwrap();
+        assert!(!e.fast_math());
+        assert_eq!(e.config.smooth_band, 4);
+        assert_eq!(e.config.tier, KernelTier::LaneSafe);
+        assert_eq!((e.source, e.evals, e.seed), (TuneSource::Sweep, 0, 0));
+        // legacy fast_math flag still selects the fast-math tier
+        let legacy_fm = "{\"tuned\": [{\"fingerprint\": \"2a\", \"ndims\": 2, \
+                         \"tile_sizes\": [8, 64], \"group_limit\": 2, \"metric\": 1.0, \
+                         \"fast_math\": true}]}";
+        assert!(TunedStore::from_json(legacy_fm)
+            .unwrap()
+            .lookup(0x2a, 2)
+            .unwrap()
+            .fast_math());
     }
 
     #[test]
@@ -417,6 +678,10 @@ mod tests {
             "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 3, \"tile_sizes\": [8, 64], \"group_limit\": 2}]}",
             "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 2, \"tile_sizes\": [8, -64], \"group_limit\": 2}]}",
             "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 2, \"tile_sizes\": [8, 64], \"group_limit\": 0}]}",
+            "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 2, \"tile_sizes\": [8, 64], \"group_limit\": 2, \"smooth_band\": 0}]}",
+            "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 2, \"tile_sizes\": [8, 64], \"group_limit\": 2, \"tier\": \"warp\"}]}",
+            "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 2, \"tile_sizes\": [8, 64], \"group_limit\": 2, \"source\": \"oracle\"}]}",
+            "{\"tuned\": [{\"fingerprint\": \"ff\", \"ndims\": 2, \"tile_sizes\": [8, 64], \"group_limit\": 2, \"seed\": \"zz\"}]}",
         ] {
             assert!(TunedStore::from_json(bad).is_err(), "accepted {bad:?}");
         }
@@ -425,15 +690,7 @@ mod tests {
     #[test]
     fn tuned_store_file_round_trip() {
         let mut store = TunedStore::new();
-        store.record(
-            42,
-            2,
-            TuneConfig {
-                tile_sizes: vec![8, 128],
-                group_limit: 2,
-            },
-            1.0,
-        );
+        store.record(42, 2, TuneConfig::new(vec![8, 128], 2), 1.0);
         let path = std::env::temp_dir().join("gmg_tuned_store_test.json");
         store.save(&path).unwrap();
         let back = TunedStore::load(&path).unwrap();

@@ -470,6 +470,7 @@ mod tests {
             chaos: Default::default(),
             server: Default::default(),
             shards: vec![],
+            tuner: Default::default(),
             cycles: vec![],
         };
         let mem = observed_memory(&pl, &report);

@@ -1,0 +1,239 @@
+//! Property tests over the evolutionary autotuning search (§3.2.4 online
+//! variant): seeded determinism of the candidate trajectory, validity of
+//! every emitted configuration against the extended parameter bounds, and
+//! convergence — the search must match or beat the full-sweep optimum on a
+//! deterministic synthetic cost surface while spending at most 25% of the
+//! sweep's evaluations.
+
+use gmg_ir::expr::Operand;
+use gmg_ir::stencil::{interp_bilinear_cases, restrict_full_weighting_2d, stencil_2d};
+use gmg_ir::{FuncId, ParamBindings, Pipeline, StepCount};
+use polymg::autotune::search::{search, SearchParams, SMOOTH_BANDS};
+use polymg::autotune::{search_space, GROUP_LIMITS};
+use polymg::{KernelTier, PipelineOptions, TuneConfig, Variant};
+use proptest::prelude::*;
+
+/// Deterministic synthetic cost: a separable convex bowl over the lattice.
+/// It depends only on the axes the §3.2.4 sweep also explores (tiles and
+/// grouping limit), so the sweep optimum is a lower bound the search must
+/// reach; the extra online axes (band, tier) are cost-neutral at their
+/// respective optima and penalised elsewhere, so the surface is still
+/// strictly separable in every axis.
+fn bowl(cfg: &TuneConfig) -> f64 {
+    let nd = cfg.tile_sizes.len();
+    let mut m = 0.0;
+    // inner tile axes want 16, the unit-stride axis wants 256
+    for &t in &cfg.tile_sizes[..nd - 1] {
+        m += ((t as f64).log2() - 4.0).abs();
+    }
+    m += ((cfg.tile_sizes[nd - 1] as f64).log2() - 8.0).abs();
+    m += (cfg.group_limit as f64 - 8.0).abs() / 2.0;
+    m += ((cfg.smooth_band as f64).log2() - 1.0).abs() / 4.0;
+    m += match cfg.tier {
+        KernelTier::LaneSafe => 0.0,
+        _ => 0.125,
+    };
+    m
+}
+
+fn in_bounds(cfg: &TuneConfig, ndims: usize, allow_fast_math: bool) {
+    let tile_axes: Vec<Vec<i64>> = match ndims {
+        2 => vec![vec![8, 16, 32, 64], vec![64, 128, 256, 512]],
+        _ => vec![vec![8, 16, 32], vec![8, 16, 32], vec![64, 128, 256]],
+    };
+    assert_eq!(cfg.tile_sizes.len(), ndims, "tile rank mismatch: {cfg:?}");
+    for (axis, &t) in tile_axes.iter().zip(&cfg.tile_sizes) {
+        assert!(axis.contains(&t), "tile {t} outside §3.2.4 axis {axis:?}");
+    }
+    assert!(
+        GROUP_LIMITS.contains(&cfg.group_limit),
+        "group limit {} outside bounds",
+        cfg.group_limit
+    );
+    assert!(
+        SMOOTH_BANDS.contains(&cfg.smooth_band),
+        "smoother band {} outside bounds",
+        cfg.smooth_band
+    );
+    if !allow_fast_math {
+        assert_ne!(
+            cfg.tier,
+            KernelTier::FastMath,
+            "fast-math tier emitted without opt-in"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed ⇒ bit-identical candidate trajectory. The decision stream
+    /// is a pure function of the seed and the reported metrics; nothing in
+    /// the search consults a clock or an unseeded RNG.
+    #[test]
+    fn same_seed_same_trajectory(
+        seed in 0u64..=u64::MAX,
+        ndims in 2usize..4,
+        fast_math in proptest::bool::ANY,
+    ) {
+        let params = SearchParams::for_rank(ndims)
+            .unwrap()
+            .with_seed(seed)
+            .with_fast_math(fast_math);
+        let a = search(ndims, &params, bowl).unwrap();
+        let b = search(ndims, &params, bowl).unwrap();
+        prop_assert_eq!(a.evals, b.evals);
+        prop_assert_eq!(a.trajectory.len(), b.trajectory.len());
+        for (x, y) in a.trajectory.iter().zip(&b.trajectory) {
+            prop_assert_eq!(&x.config, &y.config, "trajectories diverged");
+            prop_assert_eq!(x.metric.to_bits(), y.metric.to_bits());
+        }
+        prop_assert_eq!(a.best.config, b.best.config);
+    }
+
+    /// Every emitted candidate stays inside the extended §3.2.4 bounds,
+    /// never duplicates, and never exceeds the evaluation budget.
+    #[test]
+    fn emitted_candidates_stay_in_bounds(
+        seed in 0u64..=u64::MAX,
+        ndims in 2usize..4,
+        fast_math in proptest::bool::ANY,
+    ) {
+        let params = SearchParams::for_rank(ndims)
+            .unwrap()
+            .with_seed(seed)
+            .with_fast_math(fast_math);
+        let out = search(ndims, &params, bowl).unwrap();
+        prop_assert!(out.evals <= params.max_evals);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &out.trajectory {
+            in_bounds(&s.config, ndims, fast_math);
+            prop_assert!(
+                seen.insert(format!("{:?}", s.config)),
+                "duplicate candidate {:?}",
+                s.config
+            );
+        }
+    }
+}
+
+/// A small but structurally complete 2-level V-cycle pipeline (same shape
+/// as `proptest_compile.rs` uses) for compiling emitted candidates.
+fn vcycle_pipeline() -> Pipeline {
+    let five = vec![
+        vec![0.0, -1.0, 0.0],
+        vec![-1.0, 4.0, -1.0],
+        vec![0.0, -1.0, 0.0],
+    ];
+    let n = 31i64;
+    let nc = 15i64;
+    let mut p = Pipeline::new("search_prop");
+    let v = p.input("V", 2, n, 1);
+    let f = p.input("F", 2, n, 1);
+    let jac = |st: Operand, fo: FuncId| {
+        st.at(&[0, 0]) - 0.2 * (stencil_2d(st, &five, 1.0) - Operand::Func(fo).at(&[0, 0]))
+    };
+    let pre = p.tstencil(
+        "pre",
+        2,
+        n,
+        1,
+        StepCount::Fixed(2),
+        Some(v),
+        jac(Operand::State, f),
+    );
+    let d = p.function(
+        "defect",
+        2,
+        n,
+        1,
+        Operand::Func(f).at(&[0, 0]) - stencil_2d(Operand::Func(pre), &five, 1.0),
+    );
+    let r = p.restrict_fn(
+        "restrict",
+        2,
+        nc,
+        0,
+        restrict_full_weighting_2d(Operand::Func(d)),
+    );
+    let coarse = p.tstencil(
+        "coarse",
+        2,
+        nc,
+        0,
+        StepCount::Fixed(2),
+        None,
+        jac(Operand::State, r),
+    );
+    let e = p.interp_fn_cases("interp", 2, n, 1, interp_bilinear_cases(Operand::Func(coarse)));
+    let c = p.function(
+        "correct",
+        2,
+        n,
+        1,
+        Operand::Func(pre).at(&[0, 0]) + Operand::Func(e).at(&[0, 0]),
+    );
+    let post = p.tstencil(
+        "post",
+        2,
+        n,
+        1,
+        StepCount::Fixed(2),
+        Some(c),
+        jac(Operand::State, f),
+    );
+    p.mark_output(post);
+    p
+}
+
+/// Every configuration one search run emits round-trips through
+/// [`TuneConfig::apply`] into a `PipelineOptions` the compiler accepts —
+/// the knobs are real, not merely well-typed.
+#[test]
+fn emitted_candidates_apply_into_compilable_options() {
+    let pipeline = vcycle_pipeline();
+    let params = SearchParams::for_rank(2).unwrap().with_seed(0xA11D);
+    let out = search(2, &params, bowl).unwrap();
+    assert!(out.evals > 0);
+    for s in &out.trajectory {
+        let opts = s.config.apply(&PipelineOptions::for_variant(Variant::OptPlus, 2));
+        assert_eq!(opts.tile_sizes, s.config.tile_sizes);
+        assert_eq!(opts.group_limit, s.config.group_limit);
+        assert_eq!(opts.dtile_band, s.config.smooth_band);
+        let plan = polymg::compile(&pipeline, &ParamBindings::new(), opts)
+            .unwrap_or_else(|e| panic!("candidate {:?} failed to compile: {e:?}", s.config));
+        assert!(!plan.groups.is_empty());
+    }
+}
+
+/// On the deterministic bowl the search must find a configuration at least
+/// as good as the best of the *full* §3.2.4 sweep, while evaluating at most
+/// 25% as many candidates — the headline claim of the online tuner.
+#[test]
+fn search_matches_sweep_optimum_with_quarter_budget() {
+    for ndims in [2usize, 3] {
+        let space = search_space(ndims).expect("sweep space");
+        let sweep_best = space
+            .iter()
+            .map(bowl)
+            .min_by(f64::total_cmp)
+            .unwrap();
+        let sweep_evals = space.len();
+
+        let params = SearchParams::for_rank(ndims).unwrap();
+        assert!(
+            params.max_evals * 4 <= sweep_evals,
+            "{ndims}-D default budget {} exceeds 25% of the {sweep_evals}-point sweep",
+            params.max_evals
+        );
+        let out = search(ndims, &params, bowl).unwrap();
+        assert!(
+            out.best.metric <= sweep_best,
+            "{ndims}-D search best {} worse than sweep best {sweep_best} \
+             after {} evals",
+            out.best.metric,
+            out.evals
+        );
+        assert!(out.evals <= params.max_evals);
+    }
+}

@@ -5,6 +5,7 @@
 //!                    [--shards N] [--workers N] [--qos-weight N]
 //!                    [--queue-cap N] [--tenant-cap N]
 //!                    [--engine-threads N] [--tuned FILE]
+//!                    [--tune-online] [--tune-budget N] [--tune-seed N]
 //!                    [--coalesce-window-ms N] [--max-batch N]
 //!                    [--fast-math] [--no-simd]
 //!                    [--chaos-seed N] [--chaos-rate R] [--profile OUT.json]
@@ -14,7 +15,19 @@
 //!                    [--retries N] [--batch N] [--idle N]
 //!                    [--fast-math] [--no-simd]
 //!                    [--no-shutdown] [-o OUT.json]
+//!
+//! polymg-cli stats   [--addr H:P | --port N | --port-file PATH]
+//!                    [--shutdown]
 //! ```
+//!
+//! `--tune-online` starts the background evolutionary tuner (DESIGN.md
+//! §17): trials run only on idle capacity, winners land in the `--tuned`
+//! FILE (which then need not exist yet — it is created on the first
+//! winner). `--tune-budget` caps trials per pipeline fingerprint (0 = the
+//! rank default, 25% of the §3.2.4 sweep); `--tune-seed` fixes the search
+//! decision stream. `stats` prints the live `key value` counter text (one
+//! OP_STATS round-trip; `--shutdown` drains the server afterwards) — the
+//! ci gate polls it to wait for tuner trials without killing the server.
 //!
 //! `--fast-math` / `--no-simd` select the server's kernel tier (see
 //! `DESIGN.md` §16). Loadgen takes the same flags because its verification
@@ -34,6 +47,7 @@ use polymg::{ChaosOptions, TunedStore};
 
 use crate::loadgen::{self, LoadgenOptions};
 use crate::server::{self, summarize, ServerConfig};
+use crate::tuner::TunerConfig;
 
 fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
     *i += 1;
@@ -73,6 +87,9 @@ pub fn serve_main(args: &[String]) -> i32 {
     let mut profile: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut chaos_rate = 0.01f64;
+    let mut tuned_path: Option<String> = None;
+    let mut tune_online = false;
+    let mut tuner_cfg = TunerConfig::default();
 
     let mut i = 0;
     while i < args.len() {
@@ -131,11 +148,21 @@ pub fn serve_main(args: &[String]) -> i32 {
                         .map_err(|_| "--max-batch needs a number".to_string())?
                 }
                 "--tuned" => {
-                    let path = flag_value(args, &mut i, "--tuned")?;
-                    cfg.tuned = Some(
-                        TunedStore::load(Path::new(path))
-                            .map_err(|e| format!("loading {path} failed: {e}"))?,
-                    );
+                    // Loading is deferred past the flag loop: with
+                    // --tune-online a missing file is fine (the tuner
+                    // creates it), without it is still an error.
+                    tuned_path = Some(flag_value(args, &mut i, "--tuned")?.to_string());
+                }
+                "--tune-online" => tune_online = true,
+                "--tune-budget" => {
+                    tuner_cfg.budget = flag_value(args, &mut i, "--tune-budget")?
+                        .parse()
+                        .map_err(|_| "--tune-budget needs a number".to_string())?
+                }
+                "--tune-seed" => {
+                    tuner_cfg.seed = flag_value(args, &mut i, "--tune-seed")?
+                        .parse()
+                        .map_err(|_| "--tune-seed needs a number".to_string())?
                 }
                 "--fast-math" => cfg.fast_math = true,
                 "--no-simd" => cfg.simd = false,
@@ -163,6 +190,24 @@ pub fn serve_main(args: &[String]) -> i32 {
         i += 1;
     }
     cfg.chaos = chaos_seed.map(|s| ChaosOptions::new(s, chaos_rate));
+    if let Some(path) = &tuned_path {
+        if Path::new(path).exists() {
+            match TunedStore::load(Path::new(path)) {
+                Ok(store) => cfg.tuned = Some(store),
+                Err(e) => {
+                    eprintln!("serve: loading {path} failed: {e}");
+                    return 2;
+                }
+            }
+        } else if !tune_online {
+            eprintln!("serve: loading {path} failed: no such file (use --tune-online to grow one)");
+            return 2;
+        }
+    }
+    if tune_online {
+        tuner_cfg.store_path = tuned_path.as_ref().map(std::path::PathBuf::from);
+        cfg.tuner = Some(tuner_cfg);
+    }
     if profile.is_some() {
         let t = Trace::enabled();
         t.set_meta("tool", "gmg-server");
@@ -309,5 +354,73 @@ pub fn loadgen_main(args: &[String]) -> i32 {
     } else {
         eprintln!("loadgen: run was NOT clean");
         1
+    }
+}
+
+/// `polymg-cli stats …` — one OP_STATS round-trip, printing the server's
+/// live `key value` counter text to stdout (scripts grep it; the ci gate
+/// polls it to wait for online-tuner trials). `--shutdown` additionally
+/// drains and stops the server before returning.
+pub fn stats_main(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut port: Option<u16> = None;
+    let mut port_file: Option<String> = None;
+    let mut shutdown = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let r: Result<(), String> = (|| {
+            match args[i].as_str() {
+                "--addr" => addr = Some(flag_value(args, &mut i, "--addr")?.to_string()),
+                "--port" => {
+                    port = Some(
+                        flag_value(args, &mut i, "--port")?
+                            .parse()
+                            .map_err(|_| "--port needs a number".to_string())?,
+                    )
+                }
+                "--port-file" => {
+                    port_file = Some(flag_value(args, &mut i, "--port-file")?.to_string())
+                }
+                "--shutdown" => shutdown = true,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("stats: {e}");
+            return 2;
+        }
+        i += 1;
+    }
+    let addr = match resolve_addr(addr, port, port_file.as_deref()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("stats: {e}");
+            return 2;
+        }
+    };
+    let run = || -> Result<(), String> {
+        let mut s = std::net::TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+        crate::protocol::write_frame(&mut s, crate::protocol::OP_STATS, b"")
+            .map_err(|e| format!("send: {e}"))?;
+        let frame = crate::protocol::read_frame(&mut s).map_err(|e| format!("recv: {e:?}"))?;
+        if frame.opcode != crate::protocol::OP_STATS_OK {
+            return Err(format!("unexpected response opcode {:#04x}", frame.opcode));
+        }
+        print!("{}", String::from_utf8_lossy(&frame.payload));
+        if shutdown {
+            crate::protocol::write_frame(&mut s, crate::protocol::OP_SHUTDOWN, b"")
+                .map_err(|e| format!("send shutdown: {e}"))?;
+            let _ = crate::protocol::read_frame(&mut s); // ack after drain
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("stats: {e}");
+            1
+        }
     }
 }

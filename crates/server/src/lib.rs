@@ -36,6 +36,7 @@ mod ring;
 pub mod server;
 pub mod session;
 mod shard;
+pub mod tuner;
 
 pub use loadgen::{default_mix, retry_backoff_ms, LoadgenOptions, LoadgenReport, MixItem};
 pub use protocol::{
@@ -44,3 +45,4 @@ pub use protocol::{
 };
 pub use server::{shard_for_tenant, start, QosClass, ServerConfig, ServerHandle};
 pub use session::SessionManager;
+pub use tuner::TunerConfig;

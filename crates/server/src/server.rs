@@ -55,6 +55,7 @@ use shim_epoll::{Poller, Waker};
 use crate::protocol::{self, ErrorCode, SolveRequest};
 use crate::session::SessionManager;
 use crate::shard::ShardMsg;
+use crate::tuner::{Observation, Tuner, TunerConfig};
 
 /// Server construction options.
 pub struct ServerConfig {
@@ -84,6 +85,10 @@ pub struct ServerConfig {
     pub chaos: Option<ChaosOptions>,
     /// Persisted autotuned configurations, applied at session creation.
     pub tuned: Option<TunedStore>,
+    /// Online evolutionary autotuning (`--tune-online`): background search
+    /// trials on idle worker capacity, winners recorded into the shared
+    /// tuned store (and persisted to its path). `None` disables the tuner.
+    pub tuner: Option<TunerConfig>,
     /// Enable the vectorized kernel tier (`--no-simd` clears it). Part of
     /// every session's plan fingerprint.
     pub simd: bool,
@@ -121,6 +126,7 @@ impl Default for ServerConfig {
             engine_threads: 1,
             chaos: None,
             tuned: None,
+            tuner: None,
             simd: true,
             fast_math: false,
             trace: Trace::disabled(),
@@ -294,7 +300,7 @@ impl QosQueues {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.latency.len() + self.batch.len()
     }
 
@@ -384,11 +390,27 @@ pub(crate) struct Shared {
     counters: Counters,
     trace: Trace,
     pub shards: Vec<Shard>,
+    /// Online tuner (counters + observation mailbox + winner store);
+    /// `None` unless the server runs with `--tune-online`.
+    pub(crate) tuner: Option<Arc<Tuner>>,
 }
 
 impl Shared {
     pub(crate) fn count_protocol_error(&self) {
         self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admitted solves not yet answered (the tuner's idle gate reads this).
+    pub(crate) fn inflight_now(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn tuner_handle(&self) -> Option<Arc<Tuner>> {
+        self.tuner.clone()
     }
 
     fn snapshot(&self) -> ServerSnapshot {
@@ -454,6 +476,23 @@ impl Shared {
             ("shards", self.shards.len() as u64),
         ] {
             t.push_str(&format!("{k} {v}\n"));
+        }
+        if let Some(tuner) = &self.tuner {
+            let ts = tuner.snapshot();
+            let entries = tuner.store.lock().unwrap().len() as u64;
+            for (k, v) in [
+                ("tuner_trials", ts.trials),
+                ("tuner_discarded_faulted", ts.discarded_faulted),
+                ("tuner_deferred_busy", ts.deferred_busy),
+                ("tuner_winners", ts.winners),
+                ("tuner_fingerprints", ts.fingerprints),
+                ("tuner_observed", ts.observed),
+                ("tuner_trial_queue_peak", ts.trial_queue_peak),
+                ("tuner_leaked_trials", ts.leaked_trials),
+                ("tuner_store_entries", entries),
+            ] {
+                t.push_str(&format!("{k} {v}\n"));
+            }
         }
         t
     }
@@ -596,6 +635,15 @@ impl Shared {
                 sessions.release(lease);
                 return Err((ErrorCode::ExecFailed, format!("cycle {i}: {e}")));
             }
+        }
+        // Sample the successful solve for the online tuner (cheap push; the
+        // tuner thread opens/advances the per-fingerprint search).
+        if let Some(tuner) = &self.tuner {
+            tuner.observe(Observation {
+                pfp: lease.plan_fp,
+                cfg: cfg.clone(),
+                variant,
+            });
         }
         sessions.release(lease);
         Ok(vs)
@@ -840,6 +888,20 @@ impl ServerHandle {
             .collect()
     }
 
+    /// Current online-tuner counters (`None` unless `--tune-online`).
+    pub fn tuner_snapshot(&self) -> Option<gmg_trace::TunerSnapshot> {
+        self.shared.tuner.as_ref().map(|t| t.snapshot())
+    }
+
+    /// A copy of the shared tuned store as the tuner has grown it so far
+    /// (`None` when the server has no store at all).
+    pub fn tuned_store(&self) -> Option<TunedStore> {
+        self.shared
+            .tuner
+            .as_ref()
+            .map(|t| t.store.lock().unwrap().clone())
+    }
+
     /// Flip the drain flag (the in-process equivalent of an
     /// [`protocol::OP_SHUTDOWN`] frame, or of SIGTERM in a supervisor).
     pub fn begin_shutdown(&self) {
@@ -866,6 +928,9 @@ impl ServerHandle {
             .map(|i| self.shared.shard_snapshot(i))
             .collect();
         self.shared.trace.record_shards(&shards);
+        if let Some(tuner) = &self.shared.tuner {
+            self.shared.trace.record_tuner(&tuner.snapshot());
+        }
         let cache = polymg::PlanCache::global();
         let (hits, misses) = cache.counters();
         self.shared
@@ -882,6 +947,24 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
     let nshards = config.shards.max(1);
+    // One tuned store shared by every shard's session manager AND the
+    // online tuner, so a winner recorded anywhere applies to the next
+    // acquire on any shard. `--tune-online` without a seed store starts
+    // from an empty one.
+    let tuned_store: Option<Arc<Mutex<TunedStore>>> = match (&config.tuned, &config.tuner) {
+        (Some(t), _) => Some(Arc::new(Mutex::new(t.clone()))),
+        (None, Some(_)) => Some(Arc::new(Mutex::new(TunedStore::new()))),
+        (None, None) => None,
+    };
+    let tuner = config.tuner.clone().map(|tc| {
+        Arc::new(Tuner::new(
+            tc,
+            Arc::clone(tuned_store.as_ref().expect("store exists when tuning")),
+            config.engine_threads,
+            config.chaos,
+            config.fast_math,
+        ))
+    });
     let mut shards = Vec::with_capacity(nshards);
     for _ in 0..nshards {
         shards.push(Shard {
@@ -891,8 +974,8 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             queues: Mutex::new(QosQueues::new(config.qos_weight.max(1))),
             queue_cv: Condvar::new(),
             tenants: Mutex::new(HashMap::new()),
-            sessions: SessionManager::with_kernel_opts(
-                config.tuned.clone(),
+            sessions: SessionManager::with_shared_store(
+                tuned_store.clone(),
                 config.chaos,
                 config.engine_threads,
                 workers,
@@ -918,6 +1001,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         counters: Counters::default(),
         trace: config.trace,
         shards,
+        tuner,
     });
 
     let mut threads = Vec::with_capacity(nshards * (workers + 1) + 1);
@@ -948,6 +1032,15 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             .spawn(move || drain_watcher(sh))
             .expect("spawn drain watcher"),
     );
+    if shared.tuner.is_some() {
+        let sh = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("gmg-server-tuner".to_string())
+                .spawn(move || crate::tuner::tuner_loop(sh))
+                .expect("spawn tuner"),
+        );
+    }
 
     Ok(ServerHandle { shared, threads })
 }

@@ -35,7 +35,11 @@ struct Session {
 /// the registry consistent under concurrent workers.
 pub struct SessionManager {
     sessions: Mutex<HashMap<u64, Session>>,
-    tuned: Option<TunedStore>,
+    /// Tuned-config store, shared across shards (and with the online tuner,
+    /// which inserts winners at runtime — a lookup sees them immediately,
+    /// and because options feed the session key, a winner simply routes the
+    /// next acquire to a fresh session compiled with the tuned schedule).
+    tuned: Option<Arc<Mutex<TunedStore>>>,
     chaos: Option<ChaosOptions>,
     /// Worker threads per engine (the runtime's own parallelism, distinct
     /// from the server's solve workers).
@@ -59,6 +63,9 @@ pub struct Lease {
     pub runner: DslRunner,
     /// True when this acquire created the session (compile path).
     pub created_session: bool,
+    /// Structural pipeline fingerprint (pre-options) — the tuned store's
+    /// key; the online tuner buckets live observations by it.
+    pub plan_fp: u64,
 }
 
 impl SessionManager {
@@ -75,6 +82,27 @@ impl SessionManager {
     /// (`simd`, `fast_math`).
     pub fn with_kernel_opts(
         tuned: Option<TunedStore>,
+        chaos: Option<ChaosOptions>,
+        engine_threads: usize,
+        max_idle: usize,
+        simd: bool,
+        fast_math: bool,
+    ) -> SessionManager {
+        SessionManager::with_shared_store(
+            tuned.map(|t| Arc::new(Mutex::new(t))),
+            chaos,
+            engine_threads,
+            max_idle,
+            simd,
+            fast_math,
+        )
+    }
+
+    /// Full constructor over a *shared* tuned store: every shard (and the
+    /// online tuner) holds the same `Arc`, so a winner recorded anywhere is
+    /// visible to every subsequent [`acquire`](SessionManager::acquire).
+    pub fn with_shared_store(
+        tuned: Option<Arc<Mutex<TunedStore>>>,
         chaos: Option<ChaosOptions>,
         engine_threads: usize,
         max_idle: usize,
@@ -99,22 +127,22 @@ impl SessionManager {
     /// The pipeline options a request resolves to: the variant preset, the
     /// server's engine thread count, and — when a tuned entry matches the
     /// pipeline fingerprint — the persisted tile/group configuration.
-    fn resolve_options(
-        &self,
-        cfg: &MgConfig,
-        variant: Variant,
-        pipeline: &gmg_ir::Pipeline,
-    ) -> (PipelineOptions, bool) {
+    fn resolve_options(&self, cfg: &MgConfig, variant: Variant, pfp: u64) -> (PipelineOptions, bool) {
         let mut opts = PipelineOptions::for_variant(variant, cfg.ndims);
         opts.threads = self.engine_threads;
         opts.simd = self.simd;
         opts.fast_math = self.fast_math;
         if let Some(store) = &self.tuned {
-            let pfp = cache::pipeline_fingerprint(pipeline, &ParamBindings::new());
-            if let Some(entry) = store.lookup(pfp, cfg.ndims) {
+            let entry = store.lock().unwrap().lookup(pfp, cfg.ndims).cloned();
+            if let Some(entry) = entry {
+                // the tuned tier is honored (the metric was measured there),
+                // but a session that opted into fast-math never downgrades:
+                // its clients verify against a fast-math reference
                 opts = entry.config.apply(&opts);
-                // the tuned metric was measured at this tier; honor it
-                opts.fast_math = opts.fast_math || entry.fast_math;
+                if self.fast_math {
+                    opts.simd = true;
+                    opts.fast_math = true;
+                }
                 return (opts, true);
             }
         }
@@ -126,7 +154,8 @@ impl SessionManager {
     pub fn acquire(&self, cfg: &MgConfig, variant: Variant) -> Result<Lease, Vec<String>> {
         let pipeline = build_cycle_pipeline(cfg);
         let bindings = ParamBindings::new();
-        let (opts, tuned) = self.resolve_options(cfg, variant, &pipeline);
+        let plan_fp = cache::pipeline_fingerprint(&pipeline, &bindings);
+        let (opts, tuned) = self.resolve_options(cfg, variant, plan_fp);
         let key = cache::fingerprint(&pipeline, &bindings, &opts);
 
         // Decide hit/miss, count it, and pop an idle runner under ONE lock
@@ -185,6 +214,7 @@ impl SessionManager {
             key,
             runner,
             created_session: created,
+            plan_fp,
         })
     }
 

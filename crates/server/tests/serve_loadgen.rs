@@ -169,10 +169,7 @@ fn tuned_store_applies_at_session_creation() {
     store.record(
         pfp,
         2,
-        TuneConfig {
-            tile_sizes: vec![16, 64],
-            group_limit: 6,
-        },
+        TuneConfig::new(vec![16, 64], 6),
         1.0,
     );
 

@@ -140,6 +140,21 @@ pub(crate) fn report_to_json(r: &Report) -> String {
         }
         s.push_str("],\n");
     }
+    if !r.tuner.is_empty() {
+        s.push_str(&format!(
+            "  \"tuner\": {{\"trials\": {}, \"discarded_faulted\": {}, \"deferred_busy\": {}, \
+             \"winners\": {}, \"fingerprints\": {}, \"observed\": {}, \
+             \"trial_queue_peak\": {}, \"leaked_trials\": {}}},\n",
+            r.tuner.trials,
+            r.tuner.discarded_faulted,
+            r.tuner.deferred_busy,
+            r.tuner.winners,
+            r.tuner.fingerprints,
+            r.tuner.observed,
+            r.tuner.trial_queue_peak,
+            r.tuner.leaked_trials
+        ));
+    }
     s.push_str("  \"dispatch\": {");
     for (i, (label, count)) in dispatch::LABELS.iter().zip(r.dispatch.iter()).enumerate() {
         if i > 0 {

@@ -239,6 +239,39 @@ impl ServerSnapshot {
     }
 }
 
+/// Online-tuner counters from `gmg-server` (snapshot semantics, like
+/// [`ServerSnapshot`]). All-zero means no tuner ran and the `tuner` block
+/// is omitted from the JSON report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TunerSnapshot {
+    /// Background trials measured to completion (faulted ones excluded).
+    pub trials: u64,
+    /// Trials whose engine run faulted (typed error) and whose sample was
+    /// discarded from the search.
+    pub discarded_faulted: u64,
+    /// Times a ready trial was deferred because live work was queued or in
+    /// flight (the idle-capacity gate).
+    pub deferred_busy: u64,
+    /// Winners persisted to the tuned store.
+    pub winners: u64,
+    /// Distinct pipeline fingerprints the tuner has opened a search for.
+    pub fingerprints: u64,
+    /// Live per-session solve timings sampled into tuning state.
+    pub observed: u64,
+    /// High-water mark of the admission-queue depth observed at trial
+    /// start. Stays 0 if the idle gate worked: trials only start on idle.
+    pub trial_queue_peak: u64,
+    /// Trials that left pool bytes live after release (leak detector; must
+    /// stay 0).
+    pub leaked_trials: u64,
+}
+
+impl TunerSnapshot {
+    pub fn is_empty(&self) -> bool {
+        *self == TunerSnapshot::default()
+    }
+}
+
 /// Backend receiving trace records. All methods must be cheap and callable
 /// concurrently from worker threads.
 pub trait TraceSink: Send + Sync {
@@ -340,6 +373,8 @@ pub struct AtomicSink {
     server: Mutex<ServerSnapshot>,
     /// Last-published per-shard counters (snapshot semantics).
     shards: Mutex<Vec<ShardSnapshot>>,
+    /// Last-published online-tuner counters (snapshot semantics).
+    tuner: Mutex<TunerSnapshot>,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     pool_allocated: AtomicU64,
@@ -534,6 +569,14 @@ impl Trace {
         }
     }
 
+    /// Publish online-tuner counters (a snapshot — the last published
+    /// values win).
+    pub fn record_tuner(&self, snap: &TunerSnapshot) {
+        if let Some(s) = &self.sink {
+            *s.tuner.lock().unwrap() = *snap;
+        }
+    }
+
     /// One-shot span record (setup paths where a handle isn't worth caching).
     pub fn record_span(&self, name: &str, kind: &str, ns: u64, tiles: u64, cells: u64) {
         if let Some(s) = &self.sink {
@@ -645,6 +688,7 @@ impl Trace {
             },
             server: *sink.server.lock().unwrap(),
             shards: sink.shards.lock().unwrap().clone(),
+            tuner: *sink.tuner.lock().unwrap(),
             dispatch: dispatch::snapshot(),
             kernel_impls: dispatch::impl_snapshot(),
             kernel_tiers: dispatch::tier_snapshot(),
@@ -766,6 +810,9 @@ pub struct Report {
     /// Per-shard event-core counters; empty unless the sharded server
     /// published them.
     pub shards: Vec<ShardSnapshot>,
+    /// Online-tuner counters; all-zero (and omitted from the JSON) unless
+    /// the server ran with `--tune-online`.
+    pub tuner: TunerSnapshot,
     pub dispatch: [u64; dispatch::KINDS],
     /// Per-`KernelImpl` case-execution histogram, indexed like
     /// [`dispatch::IMPL_LABELS`].

@@ -39,7 +39,7 @@ fn main() {
         secs
     };
 
-    let (samples, best) = tune(2, stride, evaluate);
+    let (samples, best) = tune(2, stride, evaluate).expect("2-D is a supported rank");
     let b = &samples[best];
     println!(
         "\nbest of {} configurations: tiles {:?}, group limit {} ({:.4}s)",
