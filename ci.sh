@@ -190,4 +190,42 @@ grep -q '"trial_queue_peak": 0' /tmp/server_profile_tune_ci.json \
 grep -q '"fingerprint"' /tmp/gmg_ci_tuned.json \
   || { echo "ci: online tuner persisted no TunedStore entry" >&2; exit 1; }
 
+# scenario gate (DESIGN.md §18): the differential pins must hold offline
+# (varcoef-with-ones bitwise against the constant twin across kernel
+# tiers; mixed precision converges), then a live server must answer a
+# scenario-mixed load — variable-coefficient grids over the wire, RB-GS
+# and Chebyshev smoother substitutions, f32-smoothing cycles — with every
+# response verified bitwise and the scenario counters nonzero in the
+# loadgen report's server block.
+cargo test -q --release --test scenario_differential
+cargo test -q --release -p gmg-server --test scenario_serving
+rm -f /tmp/gmg_ci_scen.port
+cargo run --release -p gmg-bench --bin polymg-cli -- serve --port 0 \
+  --port-file /tmp/gmg_ci_scen.port --workers 2 \
+  --profile /tmp/server_profile_scen_ci.json &
+SCEN_PID=$!
+for _ in $(seq 1 100); do [ -s /tmp/gmg_ci_scen.port ] && break; sleep 0.1; done
+[ -s /tmp/gmg_ci_scen.port ] || { echo "ci: scenario server never wrote its port file" >&2; exit 1; }
+cargo run --release -p gmg-bench --bin polymg-cli -- loadgen \
+  --port-file /tmp/gmg_ci_scen.port --connections 2 --requests 10 \
+  --scenario varcoef,rbgs,chebyshev --mixed-precision \
+  -o /tmp/bench_pr10_loadgen_ci.json \
+  || { echo "ci: scenario loadgen reported verification failures" >&2; kill $SCEN_PID 2>/dev/null; exit 1; }
+wait $SCEN_PID || { echo "ci: scenario server did not drain cleanly" >&2; exit 1; }
+grep -q '"verify_failures": 0' /tmp/bench_pr10_loadgen_ci.json \
+  || { echo "ci: scenario loadgen report carries verification failures" >&2; exit 1; }
+for key in scenario_varcoef scenario_rbgs scenario_chebyshev mixed_solves; do
+  grep -q "\"$key\": [1-9]" /tmp/bench_pr10_loadgen_ci.json \
+    || { echo "ci: server counters recorded no $key solves" >&2; exit 1; }
+done
+
+# scenario perf rows (quick settings; regenerate the checked-in artifact
+# with the defaults: `perf-smoke --scenario-out BENCH_pr10.json`)
+cargo run --release -p gmg-bench --bin perf-smoke -- \
+  --scenario-out /tmp/bench_pr10_ci.json --n 63
+grep -q '"schema": "perf-smoke-scenario/v1"' /tmp/bench_pr10_ci.json \
+  || { echo "ci: scenario perf-smoke JSON carries no schema tag" >&2; exit 1; }
+grep -q '"mixed_vs_constant_ratio"' /tmp/bench_pr10_ci.json \
+  || { echo "ci: scenario perf-smoke recorded no mixed/constant ratio" >&2; exit 1; }
+
 echo "ci: all green"

@@ -8,6 +8,7 @@
 //! perf-smoke [-o OUT.json] [--n N] [--n3 N] [--repeats R]
 //! perf-smoke --batch-out OUT.json     # sequential-vs-batched serving rows
 //! perf-smoke --tune-out OUT.json      # search-vs-sweep + tuned-vs-default rows
+//! perf-smoke --scenario-out OUT.json  # constant/varcoef/mixed-precision rows
 //! ```
 //!
 //! Expectations encoded by the output (checked by eye / downstream tooling,
@@ -23,6 +24,16 @@
 //! as 32 single `SOLVE` frames, then as `SOLVE_BATCH` frames of 4 and 8
 //! grids, every grid verified bitwise against an independent single-RHS
 //! reference. Rows carry grids/s and the batched:sequential ratio.
+//!
+//! `--scenario-out` switches to the PR-10 scenario benchmark: on one
+//! smoother-dominated shape (heavy 8-8-8 Jacobi smoothing, the paper's
+//! star operator), each scenario row — constant-coefficient
+//! f64, variable-coefficient, and mixed-precision (f32 smoothing) — is run
+//! to the *same* relative residual target, and throughput is reported as
+//! cycles/s at that equal target. Convergence is asserted; the
+//! mixed:constant throughput ratio is recorded, not asserted (the §18
+//! expectation is ≥ 1.15×, but a loaded CI host must not hard-fail the
+//! build on a timing).
 //!
 //! `--tune-out` switches to the PR-9 autotuning benchmark: (a) for each
 //! rank, the full §3.2.4 sweep is timed (memoized, min-of-3 real cycle
@@ -551,11 +562,155 @@ fn tune_bench(out_path: &str, n: i64, n3: i64) {
     eprintln!("wrote {out_path}");
 }
 
+/// The PR-10 scenario benchmark (DESIGN.md §18): constant-coefficient f64,
+/// variable-coefficient, and mixed-precision rows on one smoother-dominated
+/// shape, each run to the same relative residual target.
+fn scenario_bench(out_path: &str, n: i64) {
+    use gmg_multigrid::scenario::{
+        coeff_field, residual_norm_varcoef, scenario_runner, ScenarioSpec,
+    };
+    use gmg_multigrid::solver::residual_norm;
+    use polymg::Scenario;
+
+    // Heavy 8-8-8 smoothing, star operator: the Jacobi chains dominate the
+    // cycle (so the f32 smoothing tier moves the end-to-end number instead
+    // of drowning in transfer traffic) while the full level hierarchy keeps
+    // the cycle an actual solver — all-fine-level smoothing (s1000) is pure
+    // Jacobi and never reaches the target.
+    let steps = SmoothSteps {
+        pre: 8,
+        coarse: 8,
+        post: 8,
+    };
+    let cfg = MgConfig::new(2, n, CycleType::V, steps);
+    let (v0, f, _) = setup_poisson(&cfg);
+    let fine = cfg.levels - 1;
+    let (nn, h) = (cfg.n_at(fine), cfg.h_at(fine));
+    let coeff = coeff_field(&cfg);
+    // The shared target sits above the mixed-precision residual floor:
+    // f32 smoothing round-off (~1e-7 relative on the iterate) reaches the
+    // residual through the 1/h² operator, flooring it near 1e-4 of the
+    // initial norm at n=127 — a tighter target would make the mixed row
+    // unreachable by construction rather than by throughput.
+    const TARGET_REDUCTION: f64 = 1e-3;
+    const MAX_CYCLES: usize = 200;
+
+    struct ScRow {
+        label: &'static str,
+        precision: &'static str,
+        cycles_to_target: usize,
+        cycles_per_s: f64,
+        rel_residual: f64,
+    }
+
+    let rows_spec: [(&'static str, &'static str, ScenarioSpec); 3] = [
+        ("constant", "f64", ScenarioSpec::new(Scenario::Constant)),
+        ("varcoef", "f64", ScenarioSpec::new(Scenario::VarCoef)),
+        (
+            "mixed",
+            "f32-smooth",
+            ScenarioSpec {
+                scenario: Scenario::Constant,
+                mixed: true,
+            },
+        ),
+    ];
+
+    let mut rows: Vec<ScRow> = Vec::new();
+    for (label, precision, spec) in rows_spec {
+        let opts = PipelineOptions::for_variant(Variant::OptPlus, cfg.ndims);
+        let coeff_arg = spec.scenario.needs_coeff().then(|| coeff.clone());
+        let mut runner = scenario_runner(&cfg, spec, opts, "scenario-bench", coeff_arg)
+            .unwrap_or_else(|e| panic!("{label}: compile failed: {e}"));
+        let norm = |v: &[f64]| {
+            if spec.scenario.needs_coeff() {
+                residual_norm_varcoef(cfg.ndims, nn, h, v, &f, &coeff)
+            } else {
+                residual_norm(cfg.ndims, nn, h, v, &f)
+            }
+        };
+        // count cycles to the shared relative target (also the warm-up)
+        let res0 = norm(&v0);
+        let target = res0 * TARGET_REDUCTION;
+        let mut v = v0.clone();
+        let mut cycles = 0usize;
+        let rel = loop {
+            runner.cycle_with_stats(&mut v, &f).expect("cycle");
+            cycles += 1;
+            let r = norm(&v);
+            if r <= target {
+                break r / res0;
+            }
+            assert!(
+                cycles < MAX_CYCLES,
+                "{label}: no convergence to {TARGET_REDUCTION:.0e} in {MAX_CYCLES} cycles \
+                 (residual {:.3e} of initial)",
+                r / res0
+            );
+        };
+        // throughput at that equal target: best-of-3 timed reruns
+        let secs = (0..3)
+            .map(|_| {
+                let mut v = v0.clone();
+                time_cycles(&mut runner, &mut v, &f, cycles).as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let row = ScRow {
+            label,
+            precision,
+            cycles_to_target: cycles,
+            cycles_per_s: cycles as f64 / secs,
+            rel_residual: rel,
+        };
+        eprintln!(
+            "{:<9} ({:<10}) {:3} cycles to {TARGET_REDUCTION:.0e}, {:8.2} cycles/s, \
+             final rel residual {:.3e}",
+            row.label, row.precision, row.cycles_to_target, row.cycles_per_s, row.rel_residual
+        );
+        rows.push(row);
+    }
+
+    let constant_cps = rows[0].cycles_per_s;
+    let ratio = rows[2].cycles_per_s / constant_cps;
+    eprintln!(
+        "mixed-precision smoothing vs constant-f64: {ratio:.3}x \
+         (§18 expectation ≥ 1.15x — recorded, not asserted)"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"perf-smoke-scenario/v1\",\n  \"pr\": 10,\n");
+    json.push_str(&format!(
+        "  \"n\": {n},\n  \"levels\": {},\n  \"smoothing\": \"8-8-8\",\n  \
+         \"operator\": \"star\",\n  \"target_reduction\": {TARGET_REDUCTION:e},\n  \
+         \"converged_all\": true,\n",
+        cfg.levels
+    ));
+    json.push_str(&format!(
+        "  \"mixed_vs_constant_ratio\": {ratio:.4},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"precision\": \"{}\", \"cycles_to_target\": {}, \
+             \"cycles_per_s\": {:.2}, \"final_rel_residual\": {:.3e}}}{}\n",
+            r.label,
+            r.precision,
+            r.cycles_to_target,
+            r.cycles_per_s,
+            r.rel_residual,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, json).expect("write scenario BENCH json");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_pr8.json".to_string();
     let mut batch_out: Option<String> = None;
     let mut tune_out: Option<String> = None;
+    let mut scenario_out: Option<String> = None;
     let mut n: i64 = 127;
     let mut n3: i64 = 63;
     let mut batch_n: i64 = 31;
@@ -574,6 +729,10 @@ fn main() {
             "--tune-out" => {
                 i += 1;
                 tune_out = Some(args[i].clone());
+            }
+            "--scenario-out" => {
+                i += 1;
+                scenario_out = Some(args[i].clone());
             }
             "--batch-n" => {
                 i += 1;
@@ -595,7 +754,8 @@ fn main() {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: perf-smoke [-o OUT.json] [--n N] [--n3 N] [--repeats R] \
-                     [--batch-out OUT.json [--batch-n N]] [--tune-out OUT.json]"
+                     [--batch-out OUT.json [--batch-n N]] [--tune-out OUT.json] \
+                     [--scenario-out OUT.json]"
                 );
                 std::process::exit(2);
             }
@@ -609,6 +769,10 @@ fn main() {
     }
     if let Some(path) = tune_out {
         tune_bench(&path, n, n3);
+        return;
+    }
+    if let Some(path) = scenario_out {
+        scenario_bench(&path, n);
         return;
     }
 

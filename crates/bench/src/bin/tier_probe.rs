@@ -25,6 +25,7 @@ fn unit_tap(offs: &[i64], coeff: f64) -> Tap {
         slot: 0,
         access: Access::offsets(offs),
         coeff,
+        cfactor: None,
     }
 }
 

@@ -30,6 +30,9 @@ pub enum TuneError {
     ZeroStride,
     /// The (strided) space produced no samples to pick a winner from.
     EmptySpace,
+    /// A smoother-sequence point outside the tunable range (zero-length
+    /// chains, or chains too long for any grouping limit to fuse).
+    UnsupportedSmoother(SmootherSeq),
 }
 
 impl std::fmt::Display for TuneError {
@@ -38,6 +41,9 @@ impl std::fmt::Display for TuneError {
             TuneError::UnsupportedRank(n) => write!(f, "unsupported rank {n} (need 2 or 3)"),
             TuneError::ZeroStride => write!(f, "tuning stride must be >= 1"),
             TuneError::EmptySpace => write!(f, "tuning space is empty"),
+            TuneError::UnsupportedSmoother(s) => {
+                write!(f, "unsupported smoother sequence '{}'", s.label())
+            }
         }
     }
 }
@@ -100,6 +106,93 @@ impl TuneConfig {
         }
         o
     }
+}
+
+/// One point on the smoother-sequence tuning axis: which relaxation the
+/// cycle's pre/post chains use and how many steps each chain runs. Unlike
+/// the schedule-only knobs of [`TuneConfig`], this axis changes the
+/// *pipeline structure* (and the computed values), so it is applied by the
+/// `gmg-multigrid` builders — the compiler only enumerates and validates
+/// the points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SmootherSeq {
+    /// Weighted-Jacobi chain of `steps` sweeps (the paper's smoother).
+    Jacobi { steps: usize },
+    /// Red-black Gauss–Seidel: `steps` full (red + black) sweeps.
+    Rbgs { steps: usize },
+    /// Chebyshev polynomial chain of the given degree.
+    Chebyshev { degree: usize },
+}
+
+/// Longest smoother chain the lattice admits: beyond this no grouping
+/// limit in [`GROUP_LIMITS`] can fuse the chain, so every longer point
+/// degenerates to the shortest one's schedule with extra sweeps.
+pub const MAX_SMOOTHER_LEN: usize = 16;
+
+impl SmootherSeq {
+    /// Compact display label (`jacobi4`, `rbgs2`, `cheb6`).
+    pub fn label(self) -> String {
+        match self {
+            SmootherSeq::Jacobi { steps } => format!("jacobi{steps}"),
+            SmootherSeq::Rbgs { steps } => format!("rbgs{steps}"),
+            SmootherSeq::Chebyshev { degree } => format!("cheb{degree}"),
+        }
+    }
+
+    /// Number of pipeline stages one pre- or post-smoothing chain emits
+    /// (RB-GS steps are two half-sweep stages each).
+    pub fn chain_stages(self) -> usize {
+        match self {
+            SmootherSeq::Jacobi { steps } => steps,
+            SmootherSeq::Rbgs { steps } => 2 * steps,
+            SmootherSeq::Chebyshev { degree } => degree,
+        }
+    }
+
+    /// Check the point is tunable: nonzero length, chain no longer than
+    /// [`MAX_SMOOTHER_LEN`]. A serving process drives this from request
+    /// parameters, so bad points are values, not panics.
+    pub fn validate(self) -> Result<(), TuneError> {
+        let n = self.chain_stages();
+        if n == 0 || n > MAX_SMOOTHER_LEN {
+            return Err(TuneError::UnsupportedSmoother(self));
+        }
+        Ok(())
+    }
+
+    /// The default smoother-sequence lattice: the paper's Jacobi counts
+    /// plus short RB-GS and Chebyshev chains of comparable cost.
+    pub fn lattice() -> Vec<SmootherSeq> {
+        vec![
+            SmootherSeq::Jacobi { steps: 2 },
+            SmootherSeq::Jacobi { steps: 4 },
+            SmootherSeq::Rbgs { steps: 1 },
+            SmootherSeq::Rbgs { steps: 2 },
+            SmootherSeq::Chebyshev { degree: 4 },
+            SmootherSeq::Chebyshev { degree: 6 },
+        ]
+    }
+}
+
+/// The §3.2.4 schedule space crossed with a smoother-sequence axis: every
+/// `(TuneConfig, SmootherSeq)` pair, with each sequence validated up
+/// front. An unsupported sequence (or rank) fails the whole enumeration
+/// with a typed error rather than panicking mid-sweep.
+pub fn search_space_with_smoothers(
+    ndims: usize,
+    seqs: &[SmootherSeq],
+) -> Result<Vec<(TuneConfig, SmootherSeq)>, TuneError> {
+    for s in seqs {
+        s.validate()?;
+    }
+    let base = search_space(ndims)?;
+    let mut out = Vec::with_capacity(base.len() * seqs.len());
+    for cfg in &base {
+        for &s in seqs {
+            out.push((cfg.clone(), s));
+        }
+    }
+    Ok(out)
 }
 
 /// The grouping limits swept ("five different values of grouping limit").
@@ -517,6 +610,53 @@ mod tests {
         assert_eq!(tune(2, 0, |_| 1.0).unwrap_err(), TuneError::ZeroStride);
         // errors render (a server embeds them in error frames)
         assert!(TuneError::UnsupportedRank(4).to_string().contains("rank 4"));
+    }
+
+    #[test]
+    fn smoother_axis_extends_the_space() {
+        let lattice = SmootherSeq::lattice();
+        assert_eq!(lattice.len(), 6);
+        // full cross product: 80 × 6 and 135 × 6
+        assert_eq!(
+            search_space_with_smoothers(2, &lattice).unwrap().len(),
+            80 * 6
+        );
+        assert_eq!(
+            search_space_with_smoothers(3, &lattice).unwrap().len(),
+            135 * 6
+        );
+        // labels are stable (stored/parsed by servers)
+        assert_eq!(SmootherSeq::Jacobi { steps: 4 }.label(), "jacobi4");
+        assert_eq!(SmootherSeq::Rbgs { steps: 2 }.label(), "rbgs2");
+        assert_eq!(SmootherSeq::Chebyshev { degree: 6 }.label(), "cheb6");
+        // RB-GS emits two half-sweep stages per step
+        assert_eq!(SmootherSeq::Rbgs { steps: 2 }.chain_stages(), 4);
+    }
+
+    #[test]
+    fn unsupported_smoothers_are_typed_errors_not_panics() {
+        for bad in [
+            SmootherSeq::Jacobi { steps: 0 },
+            SmootherSeq::Rbgs { steps: 0 },
+            SmootherSeq::Chebyshev { degree: 0 },
+            SmootherSeq::Jacobi { steps: 17 },
+            SmootherSeq::Rbgs { steps: 9 }, // 18 half-sweep stages
+            SmootherSeq::Chebyshev { degree: 99 },
+        ] {
+            assert_eq!(bad.validate(), Err(TuneError::UnsupportedSmoother(bad)));
+            assert_eq!(
+                search_space_with_smoothers(2, &[bad]).unwrap_err(),
+                TuneError::UnsupportedSmoother(bad)
+            );
+        }
+        // rank errors still surface through the extended entry point
+        assert_eq!(
+            search_space_with_smoothers(4, &SmootherSeq::lattice()).unwrap_err(),
+            TuneError::UnsupportedRank(4)
+        );
+        assert!(TuneError::UnsupportedSmoother(SmootherSeq::Chebyshev { degree: 0 })
+            .to_string()
+            .contains("cheb0"));
     }
 
     #[test]

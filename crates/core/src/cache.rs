@@ -119,6 +119,10 @@ pub fn fingerprint(
     // fast-math run and its bitwise twin are different plans.
     h.tag(0x11);
     h.bool(options.fast_math);
+    // `mixed_precision` swaps smoother chains onto f32 buffers — results
+    // differ, so it splits the cache like `fast_math` does.
+    h.tag(0x12);
+    h.bool(options.mixed_precision);
     // `options.chaos` is deliberately NOT hashed: faults are a runtime
     // property, and a chaos run must share the cached plan of its
     // fault-free twin (the differential oracle compares the two).
@@ -474,6 +478,10 @@ mod tests {
             ("specialize", Box::new(|o| o.specialize = !o.specialize)),
             ("simd", Box::new(|o| o.simd = !o.simd)),
             ("fast_math", Box::new(|o| o.fast_math = !o.fast_math)),
+            (
+                "mixed_precision",
+                Box::new(|o| o.mixed_precision = !o.mixed_precision),
+            ),
         ];
         for (field, m) in mutations {
             let mut o = base_opts();
@@ -660,7 +668,7 @@ mod tests {
         /// fingerprint, and equal option sets always agree.
         #[test]
         fn perturbed_options_never_alias(
-            field in 0usize..15,
+            field in 0usize..16,
             delta in 1u32..9,
         ) {
             let p = tiny_pipeline("prop", 63);
@@ -683,6 +691,7 @@ mod tests {
                 11 => o.specialize = !o.specialize,
                 12 => o.simd = !o.simd,
                 13 => o.fast_math = !o.fast_math,
+                14 => o.mixed_precision = !o.mixed_precision,
                 _ => o.threads += d,
             }
             prop_assert_ne!(fingerprint(&p, &b, &o), fingerprint(&p, &b, &base));

@@ -74,6 +74,9 @@ pub enum FaultSite {
     OpOverlapped,
     /// Error injected at diamond-op entry (no recovery: typed error).
     OpDiamond,
+    /// Error injected at mixed-precision-chain-op entry (no recovery:
+    /// typed error).
+    OpMixed,
     /// A halo message is dropped; recovery: bounded retry with backoff.
     HaloDrop,
     /// A halo message arrives truncated; recovery: resend of the row.
@@ -82,7 +85,7 @@ pub enum FaultSite {
 
 impl FaultSite {
     /// Number of distinct sites (array sizing).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every site, in counter order.
     pub fn all() -> [FaultSite; Self::COUNT] {
@@ -93,6 +96,7 @@ impl FaultSite {
             FaultSite::OpUntiled,
             FaultSite::OpOverlapped,
             FaultSite::OpDiamond,
+            FaultSite::OpMixed,
             FaultSite::HaloDrop,
             FaultSite::HaloShort,
         ]
@@ -107,8 +111,9 @@ impl FaultSite {
             FaultSite::OpUntiled => 3,
             FaultSite::OpOverlapped => 4,
             FaultSite::OpDiamond => 5,
-            FaultSite::HaloDrop => 6,
-            FaultSite::HaloShort => 7,
+            FaultSite::OpMixed => 6,
+            FaultSite::HaloDrop => 7,
+            FaultSite::HaloShort => 8,
         }
     }
 
@@ -121,6 +126,7 @@ impl FaultSite {
             FaultSite::OpUntiled => "op_untiled",
             FaultSite::OpOverlapped => "op_overlapped",
             FaultSite::OpDiamond => "op_diamond",
+            FaultSite::OpMixed => "op_mixed",
             FaultSite::HaloDrop => "halo_drop",
             FaultSite::HaloShort => "halo_short",
         }
@@ -132,7 +138,10 @@ impl FaultSite {
             FaultSite::PoolAlloc => SITE_POOL,
             FaultSite::ArenaAlloc => SITE_ARENA,
             FaultSite::WorkerPanic => SITE_PANIC,
-            FaultSite::OpUntiled | FaultSite::OpOverlapped | FaultSite::OpDiamond => SITE_OP,
+            FaultSite::OpUntiled
+            | FaultSite::OpOverlapped
+            | FaultSite::OpDiamond
+            | FaultSite::OpMixed => SITE_OP,
             FaultSite::HaloDrop | FaultSite::HaloShort => SITE_HALO,
         }
     }
@@ -310,8 +319,9 @@ mod tests {
             }
         }
         let s = hot.snapshot();
-        assert_eq!(s.total_armed(), 80);
-        assert_eq!(s.total_fired(), 80);
+        let expect = 10 * FaultSite::COUNT as u64;
+        assert_eq!(s.total_armed(), expect);
+        assert_eq!(s.total_fired(), expect);
         // rate-0 plans are disabled entirely: nothing armed
         assert_eq!(cold.snapshot().total_armed(), 0);
     }

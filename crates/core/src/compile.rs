@@ -75,10 +75,30 @@ fn plan_groups(
                     && graph.stage(*s).func == graph.stage(members[0]).func
             });
 
+        // mixed precision moves eligible smoother chains onto f32 buffers:
+        // every step must be a single-case, offset-access linear kernel
+        // without coefficient factors (the f32 chain executor evaluates a
+        // flat tap list; anything else keeps the f64 path).
+        let mixed_chain_ok = options.mixed_precision
+            && is_smoother_chain
+            && members.iter().all(|s| {
+                let st = graph.stage(*s);
+                st.cases.len() == 1
+                    && gmg_ir::linearize_with_coeffs(&st.cases[0].1, &st.coeff_slots)
+                        .is_some_and(|f| {
+                            f.taps.iter().all(|t| {
+                                t.cfactor.is_none()
+                                    && t.access.0.iter().all(|a| a.num == 1 && a.den == 1)
+                            })
+                        })
+            });
+
         let tiling = if options.tiling == TilingMode::None || members.len() == 1 {
             // single-stage groups need no tiling for temporal reuse (§4.2:
             // "exception was the single defect node")
             GroupTiling::Untiled
+        } else if mixed_chain_ok {
+            GroupTiling::MixedChain
         } else if options.dtile_smoother && is_smoother_chain {
             let radius = graph.stage(members[1]).max_unit_radius().max(1);
             let tile_w = options.tiles_for_rank(ndims)[0]

@@ -205,8 +205,10 @@ fn greedy_merge(
                 if members[gp].len() + members[gc].len() > opts.group_limit {
                     continue;
                 }
-                // dtile: a TStencil chain may not merge with other functions
-                if opts.dtile_smoother {
+                // dtile / mixed precision: a TStencil chain may not merge
+                // with other functions (the chain executors need the whole
+                // group to be steps of one smoother)
+                if opts.dtile_smoother || opts.mixed_precision {
                     let fp = graph.stage(StageId(p)).func;
                     let fc = graph.stage(*c).func;
                     if (tstencil_only(StageId(p)) || tstencil_only(*c)) && fp != fc {

@@ -43,11 +43,12 @@ pub mod lowering;
 pub mod options;
 pub mod plan;
 pub mod report;
+pub mod scenario;
 pub mod schedule;
 pub mod specialize;
 pub mod storage;
 
-pub use autotune::{TuneConfig, TunedStore};
+pub use autotune::{SmootherSeq, TuneConfig, TuneError, TunedStore};
 pub use cache::{compile_cached, pipeline_fingerprint, PlanCache};
 pub use chaos::{ChaosOptions, ChaosStats, FaultPlan, FaultSite};
 pub use compile::compile;
@@ -56,5 +57,6 @@ pub use plan::{
     ArraySpec, CompiledPipeline, GroupPlan, GroupTiling, KernelBody, KernelCase, ScratchBufferSpec,
     StageKernel, StoragePlan,
 };
+pub use scenario::{Scenario, ScenarioError};
 pub use schedule::{ExecOp, ExecProgram, OpInput, SlotSpec, StageExec};
 pub use specialize::{KernelImpl, KernelSel, KernelTier};

@@ -8,7 +8,7 @@
 //! expressions for the runtime's reference interpreter.
 
 use crate::plan::{KernelBody, KernelCase, StageKernel};
-use gmg_ir::{linearize, Stage, StageGraph, StageInput, StageKind};
+use gmg_ir::{linearize_with_coeffs, Stage, StageGraph, StageInput, StageKind};
 
 /// Lower every compute stage of the graph. Entry `i` is `None` for inputs.
 ///
@@ -32,11 +32,16 @@ pub fn lower_stage(stage: &Stage, coeff_factoring: bool) -> StageKernel {
         .cases
         .iter()
         .map(|(pat, expr)| {
-            let body = match linearize(expr) {
+            let body = match linearize_with_coeffs(expr, &stage.coeff_slots) {
                 Some(mut form) => {
-                    // fold away taps whose slot is the implicit zero grid
-                    form.taps
-                        .retain(|t| matches!(stage.inputs[t.slot], StageInput::Stage(_)));
+                    // fold away taps whose slot is the implicit zero grid;
+                    // a zero coefficient factor likewise zeroes the tap
+                    form.taps.retain(|t| {
+                        matches!(stage.inputs[t.slot], StageInput::Stage(_))
+                            && t.cfactor.as_ref().is_none_or(|c| {
+                                matches!(stage.inputs[c.slot], StageInput::Stage(_))
+                            })
+                    });
                     if coeff_factoring {
                         // stable sort keeps same-coefficient taps in
                         // deterministic (access) order

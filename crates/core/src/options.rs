@@ -106,6 +106,13 @@ pub struct PipelineOptions {
     /// bitwise equality. Implies nothing unless `specialize` and `simd`
     /// are on.
     pub fast_math: bool,
+    /// Run pure smoother chains in single precision: the chain's state is
+    /// converted f64→f32 once, the smoothing sweeps execute on f32 buffers
+    /// (halving their memory traffic), and the result converts back before
+    /// the f64 residual/correction stages. Opt-in (`--mixed-precision`),
+    /// part of the plan-cache fingerprint, and validated by convergence
+    /// tests rather than bitwise equality.
+    pub mixed_precision: bool,
     /// Deterministic fault injection for chaos testing. A *runtime*
     /// property, not a plan property: excluded from the plan-cache
     /// fingerprint and normalized to `None` in compiled plans — runners
@@ -132,6 +139,7 @@ impl PipelineOptions {
             specialize: true,
             simd: true,
             fast_math: false,
+            mixed_precision: false,
             chaos: None,
         };
         match v {
@@ -199,6 +207,9 @@ impl PipelineOptions {
         }
         if self.fast_math {
             parts.push("fm".to_string());
+        }
+        if self.mixed_precision {
+            parts.push("mp".to_string());
         }
         parts.join(",")
     }

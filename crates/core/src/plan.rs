@@ -53,6 +53,13 @@ pub enum GroupTiling {
         /// scale.
         scales: Vec<Vec<Ratio>>,
     },
+    /// Single-precision execution of a pure smoother chain: the chain's
+    /// state converts f64→f32 once, sweeps run on f32 ping-pong buffers,
+    /// and the final step converts back into its full array. Carved when
+    /// `PipelineOptions::mixed_precision` is set and every step is a
+    /// single-case, offset-access linear kernel without coefficient
+    /// factors.
+    MixedChain,
     /// Diamond/split time tiling of a pure smoother chain (every stage is
     /// one step of the same `TStencil`).
     Diamond {

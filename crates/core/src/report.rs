@@ -28,7 +28,7 @@ pub fn stats(plan: &CompiledPipeline) -> PlanStats {
     for g in &plan.groups {
         match g.tiling {
             GroupTiling::Overlapped { .. } => overlapped += 1,
-            GroupTiling::Diamond { .. } => diamond += 1,
+            GroupTiling::MixedChain | GroupTiling::Diamond { .. } => diamond += 1,
             GroupTiling::Untiled => untiled += 1,
         }
     }
@@ -232,6 +232,7 @@ pub fn grouping_dump(plan: &CompiledPipeline) -> String {
     for (gi, g) in plan.groups.iter().enumerate() {
         let tiling = match &g.tiling {
             GroupTiling::Untiled => "untiled".to_string(),
+            GroupTiling::MixedChain => "mixed-chain f32".to_string(),
             GroupTiling::Overlapped { tile_sizes, .. } => {
                 format!("overlapped tiles {tile_sizes:?}")
             }
@@ -310,6 +311,7 @@ pub fn dot_dump(plan: &CompiledPipeline) -> String {
         let _ = writeln!(out, "  subgraph cluster_{gi} {{");
         let tiling = match &g.tiling {
             GroupTiling::Untiled => "untiled".to_string(),
+            GroupTiling::MixedChain => "mixed f32".to_string(),
             GroupTiling::Overlapped { tile_sizes, .. } => format!("overlapped {tile_sizes:?}"),
             GroupTiling::Diamond { band_h, .. } => format!("diamond h={band_h}"),
         };

@@ -1,0 +1,195 @@
+//! Problem scenarios — the named operator/cycle families a serving process
+//! can be asked to solve.
+//!
+//! The compiler itself is scenario-agnostic: a scenario only describes
+//! *which pipeline shape* the `gmg-multigrid` builders emit (constant- or
+//! variable-coefficient operator, which smoother sequence, plain cycles or
+//! full multigrid) and whether the mixed-precision smoothing tier is legal
+//! for it. The descriptor lives here, below the builders, because the
+//! server's wire protocol and the autotuner both need to name scenarios
+//! without depending on the benchmark layer.
+
+/// One solvable problem family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Constant-coefficient Poisson, weighted-Jacobi smoothing — the
+    /// paper's benchmark problem and the wire default.
+    Constant,
+    /// Variable-coefficient Poisson `a(x)·(−∇²u) = f`: the stencil taps
+    /// are scaled at run time by a coefficient grid shipped as an extra
+    /// read-only external input.
+    VarCoef,
+    /// Full multigrid (nested iteration): coarse-to-fine ladder with DSL
+    /// prolongation between levels.
+    Fmg,
+    /// Red-black Gauss–Seidel smoothing expressed through parity cases.
+    Rbgs,
+    /// Chebyshev polynomial smoothing chains (per-step coefficients).
+    Chebyshev,
+}
+
+/// Typed failure of scenario parsing/validation. Servers build scenarios
+/// from request bytes and CLI strings, so every bad input must surface as
+/// a value, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A label that names no scenario (CLI / config input).
+    UnknownLabel(String),
+    /// A wire id that names no scenario (request input).
+    UnknownWireId(u8),
+    /// Mixed-precision smoothing requested for a scenario whose smoother
+    /// chain cannot run on the f32 tier.
+    UnsupportedMixed(Scenario),
+    /// The scenario requires a coefficient grid but none was supplied.
+    MissingCoeff(Scenario),
+    /// A coefficient grid was supplied for a scenario that takes none.
+    UnexpectedCoeff(Scenario),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownLabel(s) => write!(f, "unknown scenario {s:?}"),
+            ScenarioError::UnknownWireId(id) => write!(f, "unknown scenario wire id {id}"),
+            ScenarioError::UnsupportedMixed(s) => write!(
+                f,
+                "scenario '{}' does not support mixed-precision smoothing",
+                s.label()
+            ),
+            ScenarioError::MissingCoeff(s) => {
+                write!(f, "scenario '{}' needs a coefficient grid", s.label())
+            }
+            ScenarioError::UnexpectedCoeff(s) => {
+                write!(f, "scenario '{}' takes no coefficient grid", s.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl Scenario {
+    /// Every scenario, in wire-id order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Constant,
+        Scenario::VarCoef,
+        Scenario::Fmg,
+        Scenario::Rbgs,
+        Scenario::Chebyshev,
+    ];
+
+    /// Stable display / CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Constant => "constant",
+            Scenario::VarCoef => "varcoef",
+            Scenario::Fmg => "fmg",
+            Scenario::Rbgs => "rbgs",
+            Scenario::Chebyshev => "chebyshev",
+        }
+    }
+
+    /// Parse a CLI/config label.
+    pub fn parse(s: &str) -> Result<Scenario, ScenarioError> {
+        Scenario::ALL
+            .into_iter()
+            .find(|sc| sc.label() == s)
+            .ok_or_else(|| ScenarioError::UnknownLabel(s.to_string()))
+    }
+
+    /// One-byte wire encoding (the SOLVE-SCENARIO request carries this).
+    pub fn wire_id(self) -> u8 {
+        match self {
+            Scenario::Constant => 0,
+            Scenario::VarCoef => 1,
+            Scenario::Fmg => 2,
+            Scenario::Rbgs => 3,
+            Scenario::Chebyshev => 4,
+        }
+    }
+
+    /// Decode a wire id.
+    pub fn from_wire_id(id: u8) -> Result<Scenario, ScenarioError> {
+        Scenario::ALL
+            .into_iter()
+            .find(|sc| sc.wire_id() == id)
+            .ok_or(ScenarioError::UnknownWireId(id))
+    }
+
+    /// Does the scenario take a coefficient grid as an extra external
+    /// input ("A", same extents as the finest level)?
+    pub fn needs_coeff(self) -> bool {
+        matches!(self, Scenario::VarCoef)
+    }
+
+    /// Is the mixed-precision smoothing tier meaningful here? Only pure
+    /// single-case constant-coefficient `TStencil` chains (weighted
+    /// Jacobi) lower to the f32 chain op: RB-GS is multi-case by
+    /// construction, Chebyshev steps are distinct `Function` stages, and
+    /// variable-coefficient taps carry run-time factors the f32 kernels
+    /// do not model.
+    pub fn supports_mixed_precision(self) -> bool {
+        matches!(self, Scenario::Constant | Scenario::Fmg)
+    }
+
+    /// Validate a full request shape: mixed-precision flag and presence of
+    /// a coefficient grid against what the scenario supports.
+    pub fn validate(self, mixed: bool, has_coeff: bool) -> Result<(), ScenarioError> {
+        if mixed && !self.supports_mixed_precision() {
+            return Err(ScenarioError::UnsupportedMixed(self));
+        }
+        if self.needs_coeff() && !has_coeff {
+            return Err(ScenarioError::MissingCoeff(self));
+        }
+        if !self.needs_coeff() && has_coeff {
+            return Err(ScenarioError::UnexpectedCoeff(self));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_wire_ids_round_trip() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::parse(sc.label()).unwrap(), sc);
+            assert_eq!(Scenario::from_wire_id(sc.wire_id()).unwrap(), sc);
+        }
+        assert_eq!(
+            Scenario::parse("warp"),
+            Err(ScenarioError::UnknownLabel("warp".into()))
+        );
+        assert_eq!(Scenario::from_wire_id(9), Err(ScenarioError::UnknownWireId(9)));
+    }
+
+    #[test]
+    fn validation_matrix() {
+        // only varcoef takes (and requires) a coefficient grid
+        assert_eq!(
+            Scenario::VarCoef.validate(false, false),
+            Err(ScenarioError::MissingCoeff(Scenario::VarCoef))
+        );
+        assert!(Scenario::VarCoef.validate(false, true).is_ok());
+        assert_eq!(
+            Scenario::Constant.validate(false, true),
+            Err(ScenarioError::UnexpectedCoeff(Scenario::Constant))
+        );
+        // mixed precision only on Jacobi-chain scenarios
+        assert!(Scenario::Constant.validate(true, false).is_ok());
+        assert!(Scenario::Fmg.validate(true, false).is_ok());
+        for sc in [Scenario::Rbgs, Scenario::Chebyshev] {
+            assert_eq!(sc.validate(true, false), Err(ScenarioError::UnsupportedMixed(sc)));
+        }
+        assert_eq!(
+            Scenario::VarCoef.validate(true, true),
+            Err(ScenarioError::UnsupportedMixed(Scenario::VarCoef))
+        );
+        // errors render (servers embed them in error frames)
+        assert!(ScenarioError::UnsupportedMixed(Scenario::Rbgs)
+            .to_string()
+            .contains("rbgs"));
+    }
+}

@@ -136,6 +136,15 @@ pub enum ExecOp {
         scratch_buffers: Vec<ScratchBufferSpec>,
         geom: OverlappedGeom,
     },
+    /// Single-precision smoother chain: state converts f64→f32 once, the
+    /// sweeps run on f32 ping-pong buffers, the final step converts back
+    /// into `out_slot`.
+    RunMixedChain {
+        /// One `StageExec` per time step.
+        stages: Vec<StageExec>,
+        /// Slot receiving the final step's value.
+        out_slot: usize,
+    },
     /// Diamond/split time-tiled smoother chain with two modulo buffers.
     RunDiamondChain {
         /// One `StageExec` per time step.
@@ -170,6 +179,7 @@ impl ExecOp {
             ExecOp::FillGhost { .. } => "fill_ghost",
             ExecOp::RunUntiledStage { .. } => "run_untiled",
             ExecOp::RunOverlappedGroup { .. } => "run_overlapped",
+            ExecOp::RunMixedChain { .. } => "run_mixed_chain",
             ExecOp::RunDiamondChain { .. } => "run_diamond",
             ExecOp::CopyLiveOut { .. } => "copy_live_out",
             ExecOp::PoolFree { .. } => "pool_free",
@@ -203,7 +213,8 @@ impl ExecOp {
                     ins_slots(&mut acc, s);
                 }
             }
-            ExecOp::RunDiamondChain {
+            ExecOp::RunMixedChain { stages, out_slot }
+            | ExecOp::RunDiamondChain {
                 stages, out_slot, ..
             } => {
                 acc.push(*out_slot);
@@ -382,6 +393,22 @@ pub fn lower(plan: &CompiledPipeline) -> ExecProgram {
                     },
                 });
             }
+            GroupTiling::MixedChain => {
+                let steps = group.stages.len();
+                assert!(steps >= 1);
+                assert!(
+                    group.live_out.iter().take(steps - 1).all(|l| !l),
+                    "mixed chain with interior live-out"
+                );
+                let members = &group.stages;
+                let local_of =
+                    |p: StageId| -> Option<usize> { members.iter().position(|s| *s == p) };
+                ops.push(ExecOp::RunMixedChain {
+                    stages: members.iter().map(|s| stage_exec(*s, &local_of)).collect(),
+                    out_slot: plan.storage.array_of_stage[members[steps - 1].0]
+                        .expect("mixed chain live-out without array"),
+                });
+            }
             GroupTiling::Diamond {
                 tile_w,
                 band_h,
@@ -495,6 +522,12 @@ impl ExecProgram {
                         stages.len(),
                     )
                 }
+                ExecOp::RunMixedChain { stages, out_slot } => format!(
+                    "{} steps={} f32 -> %{}",
+                    stages.first().map(|s| s.name.as_str()).unwrap_or("<empty>"),
+                    stages.len(),
+                    out_slot,
+                ),
                 ExecOp::RunDiamondChain {
                     stages,
                     schedule,

@@ -245,6 +245,11 @@ pub fn classify(kernel: &StageKernel, ndims: usize) -> KernelImpl {
             return KernelImpl::Generic;
         }
         for tap in &form.taps {
+            // variable-coefficient taps only run on the generic tap loop:
+            // no specialized family evaluates a run-time factor.
+            if tap.cfactor.is_some() {
+                return KernelImpl::Generic;
+            }
             if tap.access.ndims() != ndims {
                 return KernelImpl::Generic;
             }
@@ -302,6 +307,7 @@ mod tests {
             slot: 0,
             access: Access::offsets(offs),
             coeff,
+            cfactor: None,
         }
     }
 
@@ -341,18 +347,21 @@ mod tests {
             slot: 0,
             access: Access(vec![AxisAccess::down(0), AxisAccess::down(1)]),
             coeff: 0.25,
+            cfactor: None,
         }]);
         assert_eq!(classify(&down, 2), KernelImpl::Restrict);
         let up = linear_kernel(vec![Tap {
             slot: 0,
             access: Access(vec![AxisAccess::up(0), AxisAccess::up(1)]),
             coeff: 1.0,
+            cfactor: None,
         }]);
         assert_eq!(classify(&up, 2), KernelImpl::Interp);
         let mixed = linear_kernel(vec![Tap {
             slot: 0,
             access: Access(vec![AxisAccess::down(0), AxisAccess::up(0)]),
             coeff: 1.0,
+            cfactor: None,
         }]);
         assert_eq!(classify(&mixed, 2), KernelImpl::Generic);
     }
@@ -389,11 +398,33 @@ mod tests {
                 AxisAccess::offset(0),
             ]),
             coeff: 1.0,
+            cfactor: None,
         }]);
         assert_eq!(classify(&odd, 2), KernelImpl::Generic);
         // rank 1 has no specialized family
         let r1 = linear_kernel(vec![tap(&[0], 1.0)]);
         assert_eq!(classify(&r1, 1), KernelImpl::Generic);
+    }
+
+    #[test]
+    fn coeff_factor_tap_refuses_specialization() {
+        use gmg_ir::linear::CoeffRead;
+        // an otherwise-perfect 5-point cross, but one tap carries a
+        // run-time coefficient factor: must stay Generic so no future
+        // kernel family silently misclassifies variable-coefficient stages
+        let mut taps = vec![
+            tap(&[0, 0], 4.0),
+            tap(&[0, 1], -1.0),
+            tap(&[0, -1], -1.0),
+            tap(&[1, 0], -1.0),
+            tap(&[-1, 0], -1.0),
+        ];
+        taps[1].cfactor = Some(CoeffRead {
+            slot: 1,
+            access: Access::offsets(&[0, 0]),
+        });
+        let k = linear_kernel(taps);
+        assert_eq!(classify(&k, 2), KernelImpl::Generic);
     }
 
     #[test]

@@ -140,6 +140,11 @@ pub struct FuncData {
     pub state: Option<FuncId>,
     /// Ghost-ring boundary condition.
     pub boundary: BoundaryCond,
+    /// True for `Input` grids holding problem *coefficients* (variable
+    /// stencil weights) rather than solution/RHS data. Coefficient reads may
+    /// multiply other reads and still linearise — they become tap
+    /// `cfactor`s instead of defeating linearisation.
+    pub coeff: bool,
 }
 
 #[cfg(test)]

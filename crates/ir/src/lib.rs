@@ -37,6 +37,6 @@ pub mod validate;
 
 pub use expr::{Access, AxisAccess, Expr, Operand};
 pub use func::{BoundaryCond, FuncId, FuncKind, ParamId, Parity, ParityPattern, StepCount};
-pub use linear::{linearize, LinearForm, Tap};
+pub use linear::{linearize, linearize_with_coeffs, CoeffRead, LinearForm, Tap};
 pub use pipeline::{ParamBindings, Pipeline};
 pub use stages::{Stage, StageGraph, StageId, StageInput, StageKind};

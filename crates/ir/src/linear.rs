@@ -9,13 +9,26 @@
 
 use crate::expr::{Access, Expr, Operand};
 
-/// One tap of a linear form: `coeff · slot[access(x)]`.
+/// A read of a coefficient grid that scales a tap at run time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoeffRead {
+    /// Stage input slot of the coefficient grid.
+    pub slot: usize,
+    pub access: Access,
+}
+
+/// One tap of a linear form: `coeff · [cfactor(x) ·] slot[access(x)]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tap {
     /// Stage input slot index (the operand must be [`Operand::Slot`]).
     pub slot: usize,
     pub access: Access,
     pub coeff: f64,
+    /// Optional run-time coefficient factor: the effective weight of the
+    /// tap is `coeff · cfactor.slot[cfactor.access(x)]`. Produced only by
+    /// [`linearize_with_coeffs`] for reads of coefficient-grid slots;
+    /// `None` for the constant-coefficient operators of the paper.
+    pub cfactor: Option<CoeffRead>,
 }
 
 /// A linearised expression: `bias + Σ taps`.
@@ -26,13 +39,14 @@ pub struct LinearForm {
 }
 
 impl LinearForm {
-    /// Merge taps with identical (slot, access), dropping zero coefficients.
+    /// Merge taps with identical (slot, access, cfactor), dropping zero
+    /// coefficients.
     pub fn simplify(mut self) -> LinearForm {
         let mut merged: Vec<Tap> = Vec::with_capacity(self.taps.len());
         for t in self.taps.drain(..) {
             if let Some(m) = merged
                 .iter_mut()
-                .find(|m| m.slot == t.slot && m.access == t.access)
+                .find(|m| m.slot == t.slot && m.access == t.access && m.cfactor == t.cfactor)
             {
                 m.coeff += t.coeff;
             } else {
@@ -58,11 +72,60 @@ impl LinearForm {
 /// Returns `None` when the expression is not affine in its reads (e.g. a
 /// product of two reads, or a division by a read).
 pub fn linearize(e: &Expr) -> Option<LinearForm> {
-    let f = lin(e)?;
+    linearize_with_coeffs(e, &[])
+}
+
+/// Linearise an expression, treating slots flagged in `coeff_slots` as
+/// coefficient grids: a product `A[access] * read` (neither side constant)
+/// linearises when one side is a bare read of a coefficient slot — it
+/// becomes the [`Tap::cfactor`] of every tap on the other side. A product
+/// involving an already coefficient-scaled form (degree ≥ 2 in the
+/// coefficients) remains non-linear and falls back to the interpreter.
+pub fn linearize_with_coeffs(e: &Expr, coeff_slots: &[bool]) -> Option<LinearForm> {
+    let f = lin(e, coeff_slots)?;
     Some(f.simplify())
 }
 
-fn lin(e: &Expr) -> Option<LinearForm> {
+/// A bare coefficient-grid read: single unit-coefficient zero-bias tap on a
+/// flagged slot, itself unscaled by another coefficient.
+fn as_coeff_read(f: &LinearForm, coeff_slots: &[bool]) -> Option<CoeffRead> {
+    if f.bias != 0.0 || f.taps.len() != 1 {
+        return None;
+    }
+    let t = &f.taps[0];
+    if t.coeff != 1.0 || t.cfactor.is_some() || !coeff_slots.get(t.slot).copied().unwrap_or(false) {
+        return None;
+    }
+    Some(CoeffRead {
+        slot: t.slot,
+        access: t.access.clone(),
+    })
+}
+
+/// Multiply a linear form by a run-time coefficient read. The bias turns
+/// into a plain tap on the coefficient slot; taps pick up the read as their
+/// `cfactor`. Fails when a tap already carries one (degree-2 in the
+/// coefficients).
+fn scale_by_coeff(mut f: LinearForm, c: CoeffRead) -> Option<LinearForm> {
+    if f.taps.iter().any(|t| t.cfactor.is_some()) {
+        return None;
+    }
+    for t in &mut f.taps {
+        t.cfactor = Some(c.clone());
+    }
+    if f.bias != 0.0 {
+        f.taps.push(Tap {
+            slot: c.slot,
+            access: c.access,
+            coeff: f.bias,
+            cfactor: None,
+        });
+        f.bias = 0.0;
+    }
+    Some(f)
+}
+
+fn lin(e: &Expr, coeff_slots: &[bool]) -> Option<LinearForm> {
     match e {
         Expr::Const(c) => Some(LinearForm {
             bias: *c,
@@ -79,36 +142,46 @@ fn lin(e: &Expr) -> Option<LinearForm> {
                     slot,
                     access: access.clone(),
                     coeff: 1.0,
+                    cfactor: None,
                 }],
             })
         }
         Expr::Add(a, b) => {
-            let (a, b) = (lin(a)?, lin(b)?);
+            let (a, b) = (lin(a, coeff_slots)?, lin(b, coeff_slots)?);
             Some(combine(a, b, 1.0))
         }
         Expr::Sub(a, b) => {
-            let (a, b) = (lin(a)?, lin(b)?);
+            let (a, b) = (lin(a, coeff_slots)?, lin(b, coeff_slots)?);
             Some(combine(a, b, -1.0))
         }
         Expr::Mul(a, b) => {
-            // one side must be a constant
+            // one side constant: plain scaling
             if let Some(c) = a.eval_const() {
-                let f = lin(b)?;
+                let f = lin(b, coeff_slots)?;
                 Some(scale(f, c))
             } else if let Some(c) = b.eval_const() {
-                let f = lin(a)?;
+                let f = lin(a, coeff_slots)?;
                 Some(scale(f, c))
             } else {
-                None
+                // neither constant: linear only if one side is a bare
+                // coefficient-grid read
+                let (fa, fb) = (lin(a, coeff_slots)?, lin(b, coeff_slots)?);
+                if let Some(c) = as_coeff_read(&fa, coeff_slots) {
+                    scale_by_coeff(fb, c)
+                } else if let Some(c) = as_coeff_read(&fb, coeff_slots) {
+                    scale_by_coeff(fa, c)
+                } else {
+                    None
+                }
             }
         }
         Expr::Div(a, b) => {
             let c = b.eval_const()?;
-            let f = lin(a)?;
+            let f = lin(a, coeff_slots)?;
             Some(scale(f, 1.0 / c))
         }
         Expr::Neg(a) => {
-            let f = lin(a)?;
+            let f = lin(a, coeff_slots)?;
             Some(scale(f, -1.0))
         }
     }
@@ -217,5 +290,59 @@ mod tests {
     fn func_operand_panics() {
         let e = Operand::Func(crate::func::FuncId(0)).at(&[0]);
         let _ = linearize(&e);
+    }
+
+    #[test]
+    fn coeff_product_linearises_with_cfactor() {
+        // slot 2 is a coefficient grid: A[0,0] * (v[0,1] - v[0,0])
+        let coeff = [false, false, true];
+        let e = s(2, &[0, 0]) * (s(0, &[0, 1]) - s(0, &[0, 0]));
+        let f = linearize_with_coeffs(&e, &coeff).unwrap();
+        assert_eq!(f.bias, 0.0);
+        assert_eq!(f.taps.len(), 2);
+        for t in &f.taps {
+            assert_eq!(t.slot, 0);
+            let c = t.cfactor.as_ref().expect("coefficient factor attached");
+            assert_eq!(c.slot, 2);
+            assert_eq!(c.access, Access::offsets(&[0, 0]));
+        }
+        // without the flag the same product stays non-linear
+        assert!(linearize(&e).is_none());
+    }
+
+    #[test]
+    fn coeff_times_bias_becomes_plain_tap() {
+        let coeff = [false, true];
+        // A[1] * (v[0] + 3)  =>  v-tap scaled by A, plus 3·A[1]
+        let e = s(1, &[1]) * (s(0, &[0]) + 3.0);
+        let f = linearize_with_coeffs(&e, &coeff).unwrap();
+        assert_eq!(f.bias, 0.0);
+        let vt = f.taps.iter().find(|t| t.slot == 0).unwrap();
+        assert_eq!(vt.cfactor.as_ref().unwrap().slot, 1);
+        let at = f.taps.iter().find(|t| t.slot == 1).unwrap();
+        assert_eq!(at.coeff, 3.0);
+        assert!(at.cfactor.is_none());
+    }
+
+    #[test]
+    fn coeff_degree_two_rejected() {
+        let coeff = [false, true, true];
+        // A[0] * (B[0] * v[0]) is degree 2 in the coefficients
+        let inner = s(1, &[0]) * s(0, &[0]);
+        let e = s(2, &[0]) * inner;
+        assert!(linearize_with_coeffs(&e, &coeff).is_none());
+    }
+
+    #[test]
+    fn coeff_taps_merge_on_identical_factor() {
+        let coeff = [false, true];
+        let e = s(1, &[0]) * s(0, &[0]) + s(1, &[0]) * s(0, &[0]);
+        let f = linearize_with_coeffs(&e, &coeff).unwrap();
+        assert_eq!(f.taps.len(), 1);
+        assert_eq!(f.taps[0].coeff, 2.0);
+        // distinct accesses of the factor must not merge
+        let e2 = s(1, &[0]) * s(0, &[0]) + s(1, &[1]) * s(0, &[0]);
+        let f2 = linearize_with_coeffs(&e2, &coeff).unwrap();
+        assert_eq!(f2.taps.len(), 2);
     }
 }

@@ -90,7 +90,17 @@ impl Pipeline {
             steps: None,
             state: None,
             boundary: BoundaryCond::default(),
+            coeff: false,
         })
+    }
+
+    /// Declare a read-only *coefficient* input grid: variable stencil
+    /// weights sampled per point. Coefficient reads may multiply other
+    /// reads and still linearise (see `gmg_ir::linear::linearize_with_coeffs`).
+    pub fn coeff_input(&mut self, name: &str, ndims: usize, n: i64, level: u32) -> FuncId {
+        let id = self.input(name, ndims, n, level);
+        self.funcs[id.0].coeff = true;
+        id
     }
 
     /// Declare a plain `Function` with a single-case definition.
@@ -124,6 +134,7 @@ impl Pipeline {
             steps: None,
             state: None,
             boundary: BoundaryCond::default(),
+            coeff: false,
         })
     }
 
@@ -155,6 +166,7 @@ impl Pipeline {
             steps: Some(steps),
             state,
             boundary: BoundaryCond::default(),
+            coeff: false,
         })
     }
 
@@ -179,6 +191,7 @@ impl Pipeline {
             steps: None,
             state: None,
             boundary: BoundaryCond::default(),
+            coeff: false,
         })
     }
 
@@ -221,6 +234,7 @@ impl Pipeline {
             steps: None,
             state: None,
             boundary: BoundaryCond::default(),
+            coeff: false,
         })
     }
 

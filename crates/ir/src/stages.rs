@@ -58,6 +58,10 @@ pub struct Stage {
     /// Piecewise definition with reads rewritten to [`Operand::Slot`].
     /// Empty for inputs.
     pub cases: Vec<(ParityPattern, Expr)>,
+    /// Parallel to `inputs`: true when the slot is wired to a coefficient
+    /// input grid (`FuncData::coeff`) — those reads may appear as tap
+    /// `cfactor`s after linearisation.
+    pub coeff_slots: Vec<bool>,
     /// True when this stage's value is a pipeline output.
     pub is_output: bool,
 }
@@ -110,6 +114,7 @@ impl StageGraph {
                         inputs: Vec::new(),
                         footprints: Vec::new(),
                         cases: Vec::new(),
+                        coeff_slots: Vec::new(),
                         is_output: false,
                     });
                     final_stage.insert(fid, Some(sid));
@@ -246,7 +251,7 @@ impl StageGraph {
 /// Resolve one function (or one `TStencil` step) into a stage: rewrite reads
 /// to slots and extract merged footprints.
 fn resolve_stage(
-    _pipeline: &Pipeline,
+    pipeline: &Pipeline,
     fid: FuncId,
     data: &crate::func::FuncData,
     step: usize,
@@ -257,7 +262,18 @@ fn resolve_stage(
     let ndims = data.domain.ndims();
     let mut inputs: Vec<StageInput> = Vec::new();
     let mut footprints: Vec<Option<Footprint>> = Vec::new();
+    let mut coeff_slots: Vec<bool> = Vec::new();
     let mut slot_of: HashMap<StageInput, usize> = HashMap::new();
+
+    let is_coeff_op = |op: &Operand| -> bool {
+        match op {
+            Operand::Func(f) => {
+                let d = pipeline.func(*f);
+                d.kind == FuncKind::Input && d.coeff
+            }
+            _ => false,
+        }
+    };
 
     let resolve_op = |op: &Operand| -> StageInput {
         match op {
@@ -284,6 +300,7 @@ fn resolve_stage(
             let slot = *slot_of.entry(inp).or_insert_with(|| {
                 inputs.push(inp);
                 footprints.push(None);
+                coeff_slots.push(is_coeff_op(op));
                 inputs.len() - 1
             });
             let fp = Footprint(
@@ -323,6 +340,7 @@ fn resolve_stage(
         inputs,
         footprints,
         cases,
+        coeff_slots,
         is_output: false,
     }
 }

@@ -64,6 +64,11 @@ pub enum SmootherKind {
     Jacobi,
     /// Gauss–Seidel with red-black ordering (two half-sweeps per step).
     GaussSeidelRB,
+    /// Chebyshev polynomial chain; the configured step count is the
+    /// polynomial degree (each step carries its own recurrence
+    /// coefficients, so the chain is a sequence of distinct `Function`
+    /// stages rather than a `TStencil`).
+    Chebyshev,
 }
 
 /// Discretization of `A = −∇²` on the finest grid.
@@ -123,6 +128,12 @@ impl MgConfig {
     /// Switch the smoother to red-black Gauss–Seidel.
     pub fn with_gsrb(mut self) -> Self {
         self.smoother = SmootherKind::GaussSeidelRB;
+        self
+    }
+
+    /// Switch the smoother to Chebyshev polynomial chains.
+    pub fn with_chebyshev(mut self) -> Self {
+        self.smoother = SmootherKind::Chebyshev;
         self
     }
 

@@ -178,12 +178,100 @@ struct Builder<'a> {
     p: &'a mut Pipeline,
     cfg: &'a MgConfig,
     visit: usize,
+    /// Finest-level coefficient grid for the variable-coefficient scenario
+    /// (`a(x)·(−∇²u) = f`); coarse-grid correction stays constant-coefficient.
+    coeff: Option<FuncId>,
+    /// The reciprocal grid `a⁻¹(x)` (second coefficient input `Ainv`):
+    /// the Jacobi update multiplies by it — see [`Builder::split_smoother`].
+    coeff_inv: Option<FuncId>,
+    /// Apply the operator as its own stage even without a coefficient —
+    /// the structural twin of the coefficient path, used to pin the
+    /// variable-coefficient kernels bitwise against the constant
+    /// specialized/SIMD ones (with `a ≡ 1` both emit identical tap lists).
+    split_op: bool,
 }
 
 impl<'a> Builder<'a> {
     fn fresh(&mut self, base: &str, level: u32) -> String {
         self.visit += 1;
         format!("{base}_L{level}_v{}", self.visit)
+    }
+
+    fn finest(&self) -> u32 {
+        self.cfg.levels - 1
+    }
+
+    /// Does `level` use the split-operator (possibly coefficient-scaled)
+    /// stage forms?
+    fn split_at(&self, level: u32) -> bool {
+        (self.coeff.is_some() || self.split_op) && level == self.finest()
+    }
+
+    /// Jacobi smoothing with the operator application as its own stage:
+    /// `av = [a ·] (A v)` then `v' = v − w·(av − f)[·a⁻¹]`. Keeping the
+    /// two stages separate means the `v` identity tap and the operator
+    /// taps never merge, so the constant (`split_op`) twin lowers to the
+    /// exact same tap lists as the coefficient form with `a ≡ 1`.
+    ///
+    /// The update scales by the local reciprocal `a⁻¹(x)`: the diagonal
+    /// of `a·(−∇²)` is `a·a_diag/h²`, so proper weighted Jacobi scales
+    /// the residual by `ω·h²/(a_diag·a)`. Folding `a` into the fixed
+    /// weight instead (or dropping it) makes the effective weight grow
+    /// with `a` — wherever `a·ω` exceeds the constant-coefficient
+    /// stability bound the highest-frequency modes *amplify* each sweep,
+    /// a slow leak that only shows up over many heavy-smoothing cycles.
+    ///
+    /// The reciprocal rides a second coefficient input `Ainv` (bound from
+    /// the same grid by [`crate::scenario::scenario_runner`]) rather than
+    /// an `Expr::Div` by `A`: a coefficient *multiply* linearizes into
+    /// the tap list (the divisor form would fall back to expression-tree
+    /// evaluation, whose different rounding order breaks the twin pin),
+    /// and with `a ≡ 1` every `·1.0` is an IEEE identity, so the bitwise
+    /// equivalence against the constant twin is preserved.
+    fn split_smoother(
+        &mut self,
+        v: Option<FuncId>,
+        f: FuncId,
+        level: u32,
+        steps: usize,
+    ) -> Option<FuncId> {
+        let nd = self.cfg.ndims;
+        let n = self.cfg.n_at(level);
+        let h = self.cfg.h_at(level);
+        let w = self.cfg.omega * h * h / a_diag(nd, self.cfg.operator);
+        let zero = vec![0i64; nd];
+        let mut prev = v;
+        for _ in 0..steps {
+            let next = match prev {
+                // zero iterate: A·0 = 0, the update collapses to w·f[·a⁻¹]
+                None => {
+                    let name = self.fresh("smooth", level);
+                    let mut e = w * Operand::Func(f).at(&zero);
+                    if let Some(ai) = self.coeff_inv {
+                        e = e * Operand::Func(ai).at(&zero);
+                    }
+                    self.p.function(&name, nd, n, level, e)
+                }
+                Some(pv) => {
+                    let an = self.fresh("apply_a", level);
+                    let mut av_e = apply_a(nd, self.cfg.operator, Operand::Func(pv), h);
+                    if let Some(a) = self.coeff {
+                        av_e = Operand::Func(a).at(&zero) * av_e;
+                    }
+                    let av = self.p.function(&an, nd, n, level, av_e);
+                    let name = self.fresh("smooth", level);
+                    let mut resid =
+                        Operand::Func(av).at(&zero) - Operand::Func(f).at(&zero);
+                    if let Some(ai) = self.coeff_inv {
+                        resid = resid * Operand::Func(ai).at(&zero);
+                    }
+                    let e = Operand::Func(pv).at(&zero) - w * resid;
+                    self.p.function(&name, nd, n, level, e)
+                }
+            };
+            prev = Some(next);
+        }
+        prev
     }
 
     fn smoother(
@@ -196,6 +284,13 @@ impl<'a> Builder<'a> {
         if steps == 0 {
             return v; // zero-step smoother forwards its state
         }
+        if self.split_at(level) {
+            assert!(
+                self.cfg.smoother == crate::config::SmootherKind::Jacobi,
+                "variable-coefficient cycles smooth with weighted Jacobi"
+            );
+            return self.split_smoother(v, f, level, steps);
+        }
         let nd = self.cfg.ndims;
         let n = self.cfg.n_at(level);
         let h = self.cfg.h_at(level);
@@ -207,6 +302,14 @@ impl<'a> Builder<'a> {
                     self.p
                         .tstencil(&name, nd, n, level, StepCount::Fixed(steps), v, e),
                 )
+            }
+            crate::config::SmootherKind::Chebyshev => {
+                // per-step recurrence coefficients: a chain of Function
+                // stages emitted by the dedicated builder
+                let prefix = self.fresh("cheb", level);
+                Some(crate::chebyshev::build_chebyshev_chain(
+                    self.p, self.cfg, &prefix, v, f, level, steps,
+                ))
             }
             crate::config::SmootherKind::GaussSeidelRB => {
                 // each step = a red half-sweep then a black half-sweep,
@@ -241,7 +344,13 @@ impl<'a> Builder<'a> {
         let zero = vec![0i64; nd];
         let e = match v {
             Some(v) => {
-                Operand::Func(f).at(&zero) - apply_a(nd, self.cfg.operator, Operand::Func(v), h)
+                let mut av = apply_a(nd, self.cfg.operator, Operand::Func(v), h);
+                if self.split_at(level) {
+                    if let Some(a) = self.coeff {
+                        av = Operand::Func(a).at(&zero) * av;
+                    }
+                }
+                Operand::Func(f).at(&zero) - av
             }
             // zero guess: r = f
             None => Operand::Func(f).at(&zero) + Expr::Const(0.0),
@@ -334,15 +443,36 @@ impl<'a> Builder<'a> {
 /// Build the full cycle pipeline for `cfg`. Inputs are named `V` and `F`;
 /// the output is named `out` (an alias stage for a stable name).
 pub fn build_cycle_pipeline(cfg: &MgConfig) -> Pipeline {
+    build_pipeline_inner(cfg, false, false)
+}
+
+/// Build the variable-coefficient cycle pipeline: the finest level's
+/// smoother and defect apply `a(x)·(−∇²)` with the coefficient grid read
+/// from a third external input `A` (coarse-grid correction keeps the
+/// constant operator). With `with_coeff = false` the *same structure* is
+/// emitted without the coefficient multiplication — its finest-level
+/// operator stages are plain constant stencils that lower to the
+/// specialized/SIMD kernels, and with `a ≡ 1` the two pipelines compute
+/// bitwise-identical results (the differential tests pin this).
+pub fn build_varcoef_cycle_pipeline(cfg: &MgConfig, with_coeff: bool) -> Pipeline {
+    build_pipeline_inner(cfg, with_coeff, true)
+}
+
+fn build_pipeline_inner(cfg: &MgConfig, with_coeff: bool, split_op: bool) -> Pipeline {
     let mut p = Pipeline::new(&cfg.tag());
     let finest = cfg.levels - 1;
     let n = cfg.n_at(finest);
     let v = p.input("V", cfg.ndims, n, finest);
     let f = p.input("F", cfg.ndims, n, finest);
+    let a = with_coeff.then(|| p.coeff_input("A", cfg.ndims, n, finest));
+    let a_inv = with_coeff.then(|| p.coeff_input("Ainv", cfg.ndims, n, finest));
     let mut b = Builder {
         p: &mut p,
         cfg,
         visit: 0,
+        coeff: a,
+        coeff_inv: a_inv,
+        split_op,
     };
     let result = b
         .cycle(Some(v), f, finest, cfg.cycle)
@@ -419,6 +549,40 @@ mod tests {
         assert_eq!(stages(&cfg), 41);
         let cfg = MgConfig::new(3, 31, CycleType::W, SmoothSteps::s1000());
         let _ = stages(&cfg);
+    }
+
+    #[test]
+    fn varcoef_pipeline_builds_and_validates() {
+        for ndims in [2usize, 3] {
+            let n = if ndims == 2 { 63 } else { 31 };
+            let cfg = MgConfig::new(ndims, n, CycleType::V, SmoothSteps::s444());
+            let with = build_varcoef_cycle_pipeline(&cfg, true);
+            let without = build_varcoef_cycle_pipeline(&cfg, false);
+            let gw = StageGraph::build(&with, &ParamBindings::new());
+            let go = StageGraph::build(&without, &ParamBindings::new());
+            assert!(gmg_ir::validate::validate(&with, &gw).is_empty());
+            assert!(gmg_ir::validate::validate(&without, &go).is_empty());
+            // structural twins: the coefficient variant only adds the `A`
+            // input, never a compute stage
+            assert_eq!(gw.num_compute_stages(), go.num_compute_stages());
+            // the split-operator form emits one apply_a stage per finest
+            // smoothing step (pre + post) plus one inside the defect read
+            assert!(with
+                .iter_funcs()
+                .any(|(_, d)| d.name.starts_with("apply_a")));
+            assert!(with.func_by_name("A").is_some());
+            assert!(without.func_by_name("A").is_none());
+        }
+    }
+
+    #[test]
+    fn chebyshev_smoother_cycles_build() {
+        let cfg = MgConfig::new(2, 63, CycleType::V, SmoothSteps::s444()).with_chebyshev();
+        let s = stages(&cfg);
+        // same stage count as Jacobi 4-4-4: each chain is 4 stages
+        assert_eq!(s, 41);
+        let cfg3 = MgConfig::new(3, 31, CycleType::W, SmoothSteps::s444()).with_chebyshev();
+        let _ = stages(&cfg3);
     }
 
     #[test]

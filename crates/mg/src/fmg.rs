@@ -6,9 +6,13 @@
 //! start on the coarsest grid, solve there, interpolate the solution up one
 //! level, run a few V-cycles, and repeat to the finest level. Each level's
 //! cycles run through any [`CycleRunner`] — so the FMG driver composes with
-//! every implementation in this repo (DSL variants, handopt, GSRB, …).
+//! every implementation in this repo (DSL variants, handopt, GSRB, …) —
+//! and the level-to-level prolongation is itself a compiled DSL `Interp`
+//! pipeline ([`crate::scenario::DslProlong`]), not a hand-written scalar
+//! loop.
 
 use crate::config::MgConfig;
+use crate::scenario::DslProlong;
 use crate::solver::{residual_norm, setup_poisson, CycleRunner};
 
 /// The result of an FMG solve.
@@ -21,66 +25,6 @@ pub struct FmgResult {
     pub initial_residual: f64,
     /// Max-norm error against the manufactured solution.
     pub max_error: f64,
-}
-
-/// Bilinear/trilinear interpolation of a full solution grid from interior
-/// size `nc` to `2·nc + 1` (dense buffers with ghost rings).
-pub fn prolong_solution(ndims: usize, coarse: &[f64], nc: i64, fine: &mut [f64]) {
-    let nf = 2 * nc + 1;
-    let ec = (nc + 2) as usize;
-    let ef = (nf + 2) as usize;
-    match ndims {
-        2 => {
-            for y in 1..=nf as usize {
-                for x in 1..=nf as usize {
-                    let ys: &[usize] = &if y % 2 == 0 {
-                        vec![y / 2]
-                    } else {
-                        vec![(y - 1) / 2, y.div_ceil(2)]
-                    };
-                    let xs: &[usize] = &if x % 2 == 0 {
-                        vec![x / 2]
-                    } else {
-                        vec![(x - 1) / 2, x.div_ceil(2)]
-                    };
-                    let mut acc = 0.0;
-                    for &yc in ys {
-                        for &xc in xs {
-                            acc += coarse[yc * ec + xc];
-                        }
-                    }
-                    fine[y * ef + x] = acc / (ys.len() * xs.len()) as f64;
-                }
-            }
-        }
-        3 => {
-            let pc = ec * ec;
-            for z in 1..=nf as usize {
-                for y in 1..=nf as usize {
-                    for x in 1..=nf as usize {
-                        let sel = |v: usize| -> Vec<usize> {
-                            if v.is_multiple_of(2) {
-                                vec![v / 2]
-                            } else {
-                                vec![(v - 1) / 2, v.div_ceil(2)]
-                            }
-                        };
-                        let (zs, ys, xs) = (sel(z), sel(y), sel(x));
-                        let mut acc = 0.0;
-                        for &zc in &zs {
-                            for &yc in &ys {
-                                for &xc in &xs {
-                                    acc += coarse[zc * pc + yc * ec + xc];
-                                }
-                            }
-                        }
-                        fine[(z * ef + y) * ef + x] = acc / (zs.len() * ys.len() * xs.len()) as f64;
-                    }
-                }
-            }
-        }
-        _ => panic!("unsupported rank"),
-    }
 }
 
 /// Run FMG for the manufactured Poisson problem described by `finest_cfg`:
@@ -120,8 +64,13 @@ pub fn fmg_solve(
         let mut v = if li == 0 {
             v0
         } else {
+            // DSL prolongation of the previous level's solution (plan-cached
+            // per coarse size, so repeated FMG solves compile once)
             let mut fine = vec![0.0; cfg.alloc_len(cfg.levels - 1)];
-            prolong_solution(cfg.ndims, &solution, sizes[li - 1], &mut fine);
+            let mut pro = DslProlong::new(cfg.ndims, sizes[li - 1])
+                .expect("prolongation pipeline failed to compile");
+            pro.run(&solution, &mut fine)
+                .expect("prolongation execution failed");
             fine
         };
         let mut runner = make_runner(&cfg);
@@ -168,32 +117,6 @@ mod tests {
         );
         c.levels = 6;
         c
-    }
-
-    #[test]
-    fn prolong_reproduces_bilinear_fields() {
-        let nc = 7i64;
-        let ec = (nc + 2) as usize;
-        let mut coarse = vec![0.0; ec * ec];
-        for y in 0..ec {
-            for x in 0..ec {
-                coarse[y * ec + x] = 3.0 * y as f64 + x as f64;
-            }
-        }
-        let nf = 15i64;
-        let ef = (nf + 2) as usize;
-        let mut fine = vec![0.0; ef * ef];
-        prolong_solution(2, &coarse, nc, &mut fine);
-        for y in 1..=nf as usize {
-            for x in 1..=nf as usize {
-                let want = 1.5 * y as f64 + 0.5 * x as f64;
-                assert!(
-                    (fine[y * ef + x] - want).abs() < 1e-12,
-                    "({y},{x}): {} vs {want}",
-                    fine[y * ef + x]
-                );
-            }
-        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   compares against);
 //! * [`pluto`] — `handopt+pluto`: the same baseline with its smoothing
 //!   loops time-tiled by the concurrent-start split/diamond schedule;
+//! * [`scenario`] — builders that translate `polymg::scenario` descriptors
+//!   into pipelines: variable-coefficient operators, smoother-sequence
+//!   swaps (RB-GS, Chebyshev), DSL-native FMG prolongation;
 //! * [`solver`] — drivers that iterate cycles to convergence and measure
 //!   residual norms, used by the correctness tests and the benchmark
 //!   harness.
@@ -28,8 +31,10 @@ pub mod cycles;
 pub mod fmg;
 pub mod handopt;
 pub mod pluto;
+pub mod scenario;
 pub mod solver;
 
 pub use config::{CycleType, MgConfig, SmoothSteps};
-pub use cycles::build_cycle_pipeline;
+pub use cycles::{build_cycle_pipeline, build_varcoef_cycle_pipeline};
+pub use scenario::{build_scenario_pipeline, scenario_runner, ScenarioSpec};
 pub use solver::{residual_norm, CycleRunner, DslRunner, SolveResult};

@@ -36,6 +36,9 @@ pub struct DslRunner {
     out: Vec<f64>,
     /// Per-RHS live-out staging for batched cycles (lazily sized).
     outs: Vec<Vec<f64>>,
+    /// Extra read-only external inputs bound on every run (the
+    /// variable-coefficient scenario's `A` grid).
+    extras: Vec<(String, Vec<f64>)>,
     label: String,
 }
 
@@ -44,11 +47,22 @@ impl DslRunner {
     /// construction with identical structure reuses the compiled plan) and
     /// wrap the engine.
     pub fn new(cfg: &MgConfig, opts: PipelineOptions, label: &str) -> Result<Self, Vec<String>> {
-        let pipeline = build_cycle_pipeline(cfg);
+        DslRunner::from_pipeline(&build_cycle_pipeline(cfg), cfg, opts, label)
+    }
+
+    /// Like [`DslRunner::new`] but for a caller-built pipeline (the
+    /// scenario builders emit variable-coefficient / smoother-sequence
+    /// structures that `build_cycle_pipeline` does not).
+    pub fn from_pipeline(
+        pipeline: &gmg_ir::Pipeline,
+        cfg: &MgConfig,
+        opts: PipelineOptions,
+        label: &str,
+    ) -> Result<Self, Vec<String>> {
         // chaos is a runtime property: it is stripped from the (cacheable)
         // plan by compile, so arm the engine with it directly
         let chaos = opts.chaos;
-        let plan = polymg::compile_cached(&pipeline, &ParamBindings::new(), opts)?;
+        let plan = polymg::compile_cached(pipeline, &ParamBindings::new(), opts)?;
         let out_len = cfg.alloc_len(cfg.levels - 1);
         let mut engine = Engine::new(plan);
         engine.set_chaos(chaos);
@@ -56,8 +70,19 @@ impl DslRunner {
             engine,
             out: vec![0.0; out_len],
             outs: Vec::new(),
+            extras: Vec::new(),
             label: label.to_string(),
         })
+    }
+
+    /// Bind an extra read-only external grid (e.g. `("A", coeff)`) on
+    /// every subsequent run. Re-binding a name replaces it.
+    pub fn bind_extra(&mut self, name: &str, data: Vec<f64>) {
+        if let Some(e) = self.extras.iter_mut().find(|(n, _)| n == name) {
+            e.1 = data;
+        } else {
+            self.extras.push((name.to_string(), data));
+        }
     }
 
     /// Wrap an already-compiled plan (used by the harness for custom option
@@ -73,6 +98,7 @@ impl DslRunner {
             engine: Engine::new(plan),
             out: vec![0.0; cfg.alloc_len(cfg.levels - 1)],
             outs: Vec::new(),
+            extras: Vec::new(),
             label,
         }
     }
@@ -91,9 +117,11 @@ impl DslRunner {
     /// missing or mis-sized external array) surface as a typed
     /// [`ExecError`] instead of a panic.
     pub fn cycle_with_stats(&mut self, v: &mut [f64], f: &[f64]) -> Result<RunStats, ExecError> {
-        let stats = self
-            .engine
-            .run(&[("V", v), ("F", f)], vec![("out", &mut self.out)])?;
+        let mut inputs: Vec<(&str, &[f64])> = vec![("V", v), ("F", f)];
+        for (name, data) in &self.extras {
+            inputs.push((name, data));
+        }
+        let stats = self.engine.run(&inputs, vec![("out", &mut self.out)])?;
         v.copy_from_slice(&self.out);
         Ok(stats)
     }
@@ -118,9 +146,15 @@ impl DslRunner {
             .iter()
             .zip(fs)
             .zip(self.outs.iter_mut())
-            .map(|((v, f), out)| BatchRhs {
-                inputs: vec![("V", v.as_slice()), ("F", *f)],
-                outputs: vec![("out", out.as_mut_slice())],
+            .map(|((v, f), out)| {
+                let mut inputs: Vec<(&str, &[f64])> = vec![("V", v.as_slice()), ("F", *f)];
+                for (name, data) in &self.extras {
+                    inputs.push((name, data));
+                }
+                BatchRhs {
+                    inputs,
+                    outputs: vec![("out", out.as_mut_slice())],
+                }
             })
             .collect();
         let stats = self.engine.run_batch(batch)?;

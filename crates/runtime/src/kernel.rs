@@ -281,23 +281,53 @@ pub fn execute_stage_out_sel(
     }
 }
 
+/// Runtime addressing of a tap's coefficient-grid factor: the effective
+/// weight at inner-loop index `k` is `coeff · data[base + k·slope]`.
+/// Row-advance deltas are carried inline so the sweep loops can advance the
+/// factor base alongside the tap base.
+#[derive(Clone, Copy)]
+struct CfTap<'a> {
+    data: &'a [f64],
+    base: usize,
+    slope: usize,
+    /// Base increment per row advance (innermost outer dimension).
+    dy: usize,
+    /// 3-D only: base correction applied at each plane wrap.
+    dz_wrap: i64,
+}
+
 /// Per-tap runtime addressing: value at inner-loop index `k` is
-/// `data[base + k·slope]`.
+/// `data[base + k·slope]`, weighted by `coeff` (times the coefficient-grid
+/// factor when `cfac` is set — the variable-coefficient path).
 struct RtTap<'a> {
     data: &'a [f64],
     base: usize,
     slope: usize,
     coeff: f64,
+    cfac: Option<CfTap<'a>>,
 }
 
-/// Row base index (everything except the innermost dim) of a tap input for
-/// outer coordinates `outer` (length = rank-1).
-fn tap_row_base(tap: &gmg_ir::Tap, input: &Space<'_>, outer: &[i64]) -> usize {
+impl<'a> RtTap<'a> {
+    /// The effective weight at inner-loop index `k`.
+    #[inline(always)]
+    fn weight(&self, k: usize) -> f64 {
+        match &self.cfac {
+            // `coeff · 1.0 == coeff` bitwise, so a ones grid reproduces the
+            // constant-coefficient accumulation exactly.
+            Some(cf) => self.coeff * cf.data[cf.base + k * cf.slope],
+            None => self.coeff,
+        }
+    }
+}
+
+/// Row base index (everything except the innermost dim) of an access into
+/// `input` for outer coordinates `outer` (length = rank-1).
+fn tap_row_base(access: &gmg_ir::Access, input: &Space<'_>, outer: &[i64]) -> usize {
     let nd = input.origin.len();
     debug_assert_eq!(outer.len(), nd - 1);
     let mut idx: i64 = 0;
     for d in 0..nd - 1 {
-        let a = tap.access.0[d];
+        let a = access.0[d];
         let coord = div_floor(a.num * outer[d] + a.off, a.den);
         let rel = coord - input.origin[d];
         debug_assert!(rel >= 0 && rel < input.extents[d], "tap row out of view");
@@ -320,10 +350,10 @@ fn axis_coord_delta(a: &gmg_ir::expr::AxisAccess, step: i64) -> i64 {
     }
 }
 
-/// Innermost-dim base and slope for a tap given the x start and step.
-fn tap_x_base_slope(tap: &gmg_ir::Tap, input: &Space<'_>, x0: i64, sx: i64) -> (usize, usize) {
+/// Innermost-dim base and slope for an access given the x start and step.
+fn tap_x_base_slope(access: &gmg_ir::Access, input: &Space<'_>, x0: i64, sx: i64) -> (usize, usize) {
     let nd = input.origin.len();
-    let a = tap.access.0[nd - 1];
+    let a = access.0[nd - 1];
     let first = div_floor(a.num * x0 + a.off, a.den) - input.origin[nd - 1];
     debug_assert!(first >= 0, "tap x base out of view");
     let slope = if a.den == 2 {
@@ -340,6 +370,9 @@ fn tap_x_base_slope(tap: &gmg_ir::Tap, input: &Space<'_>, x0: i64, sx: i64) -> (
 /// case execution (not per row) to feed the `gmg_trace::dispatch` histogram.
 fn dispatch_kind(out_slope: usize, taps: &[RtTap<'_>]) -> gmg_trace::dispatch::Kind {
     use gmg_trace::dispatch::Kind;
+    if taps.iter().any(|t| t.cfac.is_some()) {
+        return Kind::VarCoef;
+    }
     if out_slope != 1 || taps.iter().any(|t| t.slope != 1) {
         return Kind::Strided;
     }
@@ -384,6 +417,9 @@ fn spec_row<const K: usize>(
     taps: &[RtTap<'_>],
 ) {
     debug_assert_eq!(taps.len(), K);
+    // the classifier refuses variable-coefficient stages, so specialized
+    // kernels never see a coefficient factor
+    debug_assert!(taps.iter().all(|t| t.cfac.is_none()));
     if out_slope == 1 && taps.iter().all(|t| t.slope == 1) {
         let out_row = &mut out_row[..count];
         let mut rows: [&[f64]; K] = [&[]; K];
@@ -945,6 +981,22 @@ fn fast_row_fn(arity: usize) -> Option<RowFn> {
 /// for `k` in `0..count`. Dispatches an unrolled unit-stride kernel when
 /// every stride is 1.
 fn run_row(out_row: &mut [f64], out_slope: usize, count: usize, bias: f64, taps: &[RtTap<'_>]) {
+    if taps.iter().any(|t| t.cfac.is_some()) {
+        // Variable-coefficient path: the effective weight of each tap is
+        // read from its coefficient grid per point. Taps are visited in the
+        // generic order with `coeff · cfac · value`, and constant taps use
+        // the plain `coeff` (RtTap::weight multiplies by nothing for them),
+        // so a ones coefficient grid is bitwise-identical to the
+        // constant-coefficient accumulation.
+        for k in 0..count {
+            let mut acc = bias;
+            for t in taps {
+                acc += t.weight(k) * t.data[t.base + k * t.slope];
+            }
+            out_row[k * out_slope] = acc;
+        }
+        return;
+    }
     if out_slope == 1 && taps.iter().all(|t| t.slope == 1) {
         let out_row = &mut out_row[..count];
         // Coefficient-factored path: when the lowering sorted taps by
@@ -1089,14 +1141,30 @@ fn linear_2d(
     let mut taps: Vec<RtTap<'_>> = Vec::with_capacity(form.taps.len());
     let mut deltas: Vec<usize> = Vec::with_capacity(form.taps.len());
     for (t, s) in form.taps.iter().zip(&inputs) {
-        let row = tap_row_base(t, s, &[y0]);
-        let (xb, slope) = tap_x_base_slope(t, s, x0, sx);
+        let row = tap_row_base(&t.access, s, &[y0]);
+        let (xb, slope) = tap_x_base_slope(&t.access, s, x0, sx);
         deltas.push((axis_coord_delta(&t.access.0[0], sy) * s.extents[1]) as usize);
+        let cfac = t.cfactor.as_ref().map(|c| {
+            let cs = match &ins[c.slot] {
+                KernelInput::Grid(s) => s,
+                KernelInput::Zero => panic!("coefficient tap reads the zero grid (lowering bug)"),
+            };
+            let crow = tap_row_base(&c.access, cs, &[y0]);
+            let (cxb, cslope) = tap_x_base_slope(&c.access, cs, x0, sx);
+            CfTap {
+                data: cs.data,
+                base: crow + cxb,
+                slope: cslope,
+                dy: (axis_coord_delta(&c.access.0[0], sy) * cs.extents[1]) as usize,
+                dz_wrap: 0,
+            }
+        });
         taps.push(RtTap {
             data: s.data,
             base: row + xb,
             slope,
             coeff: t.coeff,
+            cfac,
         });
     }
 
@@ -1121,6 +1189,10 @@ fn linear_2d(
                     base: t.base + start,
                     slope: t.slope,
                     coeff: t.coeff,
+                    cfac: t.cfac.map(|cf| CfTap {
+                        base: cf.base + start * cf.slope,
+                        ..cf
+                    }),
                 })
                 .collect();
             let mut y = y0;
@@ -1129,6 +1201,9 @@ fn linear_2d(
                 row_fn(out.row_mut(ob, len), 1, len, form.bias, &btaps);
                 for (t, d) in btaps.iter_mut().zip(&deltas) {
                     t.base += d;
+                    if let Some(cf) = t.cfac.as_mut() {
+                        cf.base += cf.dy;
+                    }
                 }
                 ob += out_delta;
                 y += sy;
@@ -1155,6 +1230,9 @@ fn linear_2d(
         );
         for (t, d) in taps.iter_mut().zip(&deltas) {
             t.base += d;
+            if let Some(cf) = t.cfac.as_mut() {
+                cf.base += cf.dy;
+            }
         }
         ob += out_delta;
         y += sy;
@@ -1208,8 +1286,8 @@ fn linear_3d(
         c
     };
     for (t, s) in form.taps.iter().zip(&inputs) {
-        let base = tap_row_base(t, s, &[z0, y0]);
-        let (xb, slope) = tap_x_base_slope(t, s, x0, sx);
+        let base = tap_row_base(&t.access, s, &[z0, y0]);
+        let (xb, slope) = tap_x_base_slope(&t.access, s, x0, sx);
         let row_stride = s.extents[2];
         let plane_stride = s.extents[1] * s.extents[2];
         let delta_y = axis_coord_delta(&t.access.0[1], sy) * row_stride;
@@ -1218,11 +1296,29 @@ fn linear_3d(
         // after ny_rows y-advances the base sits at base + ny_rows·Δy; wrap
         // to the next z-plane start with a (possibly negative) correction
         dz_wrap.push(delta_z - ny_rows * delta_y);
+        let cfac = t.cfactor.as_ref().map(|c| {
+            let cs = match &ins[c.slot] {
+                KernelInput::Grid(s) => s,
+                KernelInput::Zero => panic!("coefficient tap reads the zero grid (lowering bug)"),
+            };
+            let cbase = tap_row_base(&c.access, cs, &[z0, y0]);
+            let (cxb, cslope) = tap_x_base_slope(&c.access, cs, x0, sx);
+            let c_dy = axis_coord_delta(&c.access.0[1], sy) * cs.extents[2];
+            let c_dz = axis_coord_delta(&c.access.0[0], sz) * cs.extents[1] * cs.extents[2];
+            CfTap {
+                data: cs.data,
+                base: cbase + cxb,
+                slope: cslope,
+                dy: c_dy as usize,
+                dz_wrap: c_dz - ny_rows * c_dy,
+            }
+        });
         taps.push(RtTap {
             data: s.data,
             base: base + xb,
             slope,
             coeff: t.coeff,
+            cfac,
         });
     }
 
@@ -1243,6 +1339,10 @@ fn linear_3d(
                     base: t.base + start,
                     slope: t.slope,
                     coeff: t.coeff,
+                    cfac: t.cfac.map(|cf| CfTap {
+                        base: cf.base + start * cf.slope,
+                        ..cf
+                    }),
                 })
                 .collect();
             let mut z = z0;
@@ -1254,12 +1354,18 @@ fn linear_3d(
                     row_fn(out.row_mut(ob, len), 1, len, form.bias, &btaps);
                     for (t, d) in btaps.iter_mut().zip(&dy) {
                         t.base += d;
+                        if let Some(cf) = t.cfac.as_mut() {
+                            cf.base += cf.dy;
+                        }
                     }
                     ob += sy as usize * out_rs;
                     y += sy;
                 }
                 for (t, w) in btaps.iter_mut().zip(&dz_wrap) {
                     t.base = (t.base as i64 + w) as usize;
+                    if let Some(cf) = t.cfac.as_mut() {
+                        cf.base = (cf.base as i64 + cf.dz_wrap) as usize;
+                    }
                 }
                 ob_z += sz as usize * out_ps;
                 z += sz;
@@ -1289,12 +1395,18 @@ fn linear_3d(
             );
             for (t, d) in taps.iter_mut().zip(&dy) {
                 t.base += d;
+                if let Some(cf) = t.cfac.as_mut() {
+                    cf.base += cf.dy;
+                }
             }
             ob += sy as usize * out_rs;
             y += sy;
         }
         for (t, w) in taps.iter_mut().zip(&dz_wrap) {
             t.base = (t.base as i64 + w) as usize;
+            if let Some(cf) = t.cfac.as_mut() {
+                cf.base = (cf.base as i64 + cf.dz_wrap) as usize;
+            }
         }
         ob_z += sz as usize * out_ps;
         z += sz;
@@ -1472,6 +1584,7 @@ mod tests {
             slot: 0,
             access: Access::offsets(&[oy, ox]),
             coeff: 0.25,
+            cfactor: None,
         };
         StageKernel {
             cases: vec![KernelCase {
@@ -1564,6 +1677,7 @@ mod tests {
                         slot: 0,
                         access: Access(vec![AxisAccess::down(0), AxisAccess::down(0)]),
                         coeff: 1.0,
+                        cfactor: None,
                     }],
                 }),
             }],
@@ -1602,6 +1716,7 @@ mod tests {
                     slot: 0,
                     access: Access(vec![AxisAccess::offset(0), AxisAccess::up(0)]),
                     coeff: 1.0,
+                    cfactor: None,
                 }],
             }),
         };
@@ -1614,11 +1729,13 @@ mod tests {
                         slot: 0,
                         access: Access(vec![AxisAccess::offset(0), AxisAccess::up(-1)]),
                         coeff: 0.5,
+                        cfactor: None,
                     },
                     Tap {
                         slot: 0,
                         access: Access(vec![AxisAccess::offset(0), AxisAccess::up(1)]),
                         coeff: 0.5,
+                        cfactor: None,
                     },
                 ],
             }),
@@ -1696,6 +1813,7 @@ mod tests {
             slot: 0,
             access: Access::offsets(&o),
             coeff: c,
+            cfactor: None,
         };
         let k = StageKernel {
             cases: vec![KernelCase {
@@ -1854,11 +1972,13 @@ mod tests {
                             slot: 0,
                             access: Access(vec![AxisAccess::down(0), AxisAccess::down(0)]),
                             coeff: 0.5,
+                            cfactor: None,
                         },
                         Tap {
                             slot: 0,
                             access: Access(vec![AxisAccess::down(0), AxisAccess::down(1)]),
                             coeff: 0.5,
+                            cfactor: None,
                         },
                     ],
                 }),

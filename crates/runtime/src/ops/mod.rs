@@ -7,6 +7,7 @@
 //! themselves are infallible.
 
 pub(crate) mod diamond;
+pub(crate) mod mixed;
 pub(crate) mod overlapped;
 pub(crate) mod untiled;
 

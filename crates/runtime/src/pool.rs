@@ -118,9 +118,65 @@ impl BufferPool {
     }
 }
 
+/// A size-keyed pool of `f32` scratch buffers, used by the mixed-precision
+/// chain op ([`crate::ops::mixed`]). Kept apart from [`BufferPool`] so the
+/// Figure-11b f64 reuse statistics stay undiluted; recycled buffers keep
+/// their previous contents — the op re-initialises ghost rings and fully
+/// overwrites every interior cell it reads.
+#[derive(Debug, Default)]
+pub struct F32Pool {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl F32Pool {
+    /// New, empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get a buffer of exactly `len` floats (stale contents on a hit).
+    pub fn allocate(&mut self, len: usize) -> Vec<f32> {
+        if let Some(buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.hits += 1;
+            buf
+        } else {
+            self.misses += 1;
+            vec![0.0f32; len]
+        }
+    }
+
+    /// Return a buffer to the free list.
+    pub fn deallocate(&mut self, buf: Vec<f32>) {
+        self.free.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of buffers sitting in the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn f32_pool_recycles_exact_sizes() {
+        let mut p = F32Pool::new();
+        let a = p.allocate(64);
+        p.deallocate(a);
+        let _b = p.allocate(64);
+        let _c = p.allocate(65);
+        assert_eq!(p.stats(), (1, 2));
+        assert_eq!(p.free_count(), 0);
+    }
 
     #[test]
     fn recycles_exact_sizes() {

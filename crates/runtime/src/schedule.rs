@@ -14,7 +14,7 @@
 //! communication layer at every [`ExecOp::HaloExchange`] op.
 
 use crate::kernel::{copy_box, fill_outside, Space, SpaceMut};
-use crate::pool::{BufferPool, PoolStats};
+use crate::pool::{BufferPool, F32Pool, PoolStats};
 use gmg_grid::Buffer;
 use gmg_poly::{BoxDomain, Interval};
 use gmg_trace::{OpHandle, PoolSnapshot, StageHandle, ThreadsSnapshot, Trace};
@@ -248,7 +248,8 @@ fn ghost_stable_slots(program: &ExecProgram) -> Vec<bool> {
             }
             ExecOp::RunDiamondChain {
                 stages, out_slot, ..
-            } => {
+            }
+            | ExecOp::RunMixedChain { stages, out_slot } => {
                 for st in stages {
                     if let Some(s) = st.slot {
                         note_write(&mut stable, s, &st.domain);
@@ -313,6 +314,9 @@ pub struct Engine {
     plan: Option<Arc<CompiledPipeline>>,
     program: ExecProgram,
     pool: BufferPool,
+    /// f32 scratch for mixed-precision chains (persists across runs like
+    /// the f64 pool, so warm cycles allocate nothing new).
+    f32_pool: F32Pool,
     rayon_pool: Option<rayon::ThreadPool>,
     trace: Trace,
     /// Per op: interned timeline handle (disabled until [`Engine::set_trace`]).
@@ -364,6 +368,7 @@ impl Engine {
             plan: None,
             program,
             pool: BufferPool::new(),
+            f32_pool: F32Pool::new(),
             rayon_pool,
             trace: Trace::disabled(),
             op_handles: vec![OpHandle::disabled(); nops],
@@ -403,6 +408,10 @@ impl Engine {
                 ExecOp::RunDiamondChain { stages, .. } => stages
                     .iter()
                     .map(|s| trace.stage(&s.name, "diamond"))
+                    .collect(),
+                ExecOp::RunMixedChain { stages, .. } => stages
+                    .iter()
+                    .map(|s| trace.stage(&s.name, "mixed"))
                     .collect(),
                 _ => Vec::new(),
             })
@@ -548,6 +557,7 @@ impl Engine {
         // slots/pool while reading the program.
         let program = &self.program;
         let pool = &mut self.pool;
+        let f32_pool = &mut self.f32_pool;
         let trace = &self.trace;
         let op_handles = &self.op_handles;
         let stage_handles = &self.stage_handles;
@@ -673,6 +683,17 @@ impl Engine {
                                 slots,
                                 pool,
                                 program.pooled,
+                                &stage_handles[i],
+                                chaos,
+                            )?;
+                        }
+                        ExecOp::RunMixedChain { stages, out_slot } => {
+                            crate::ops::mixed::run(
+                                program,
+                                stages,
+                                *out_slot,
+                                slots,
+                                f32_pool,
                                 &stage_handles[i],
                                 chaos,
                             )?;

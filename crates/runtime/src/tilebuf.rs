@@ -102,3 +102,47 @@ impl SharedOut {
         }
     }
 }
+
+/// A shared, row-writable view of one full `f32` array — the
+/// mixed-precision analogue of [`SharedOut`]. Workers of the mixed-chain
+/// op ([`crate::ops::mixed`]) write disjoint row blocks of one ping-pong
+/// buffer; the same disjointness contract applies.
+#[derive(Clone, Copy)]
+pub struct SharedF32 {
+    ptr: *mut f32,
+    len: usize,
+}
+
+unsafe impl Send for SharedF32 {}
+unsafe impl Sync for SharedF32 {}
+
+impl SharedF32 {
+    /// Wrap an exclusive slice. The caller promises that concurrent
+    /// writers touch disjoint index ranges.
+    pub fn new(data: &mut [f32]) -> Self {
+        SharedF32 {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+        }
+    }
+
+    /// Length of the underlying array.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A mutable row segment `[off, off+w)`.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedOut::segment`].
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn segment<'s>(&self, off: usize, w: usize) -> &'s mut [f32] {
+        debug_assert!(off + w <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(off), w)
+    }
+}

@@ -48,6 +48,7 @@ fn abs_twin(k: &StageKernel) -> StageKernel {
                                 slot: t.slot,
                                 access: t.access.clone(),
                                 coeff: t.coeff.abs(),
+                                cfactor: None,
                             })
                             .collect(),
                     }),
@@ -177,6 +178,7 @@ fn unit_tap(offs: &[i64], coeff: f64) -> Tap {
         slot: 0,
         access: Access::offsets(offs),
         coeff,
+        cfactor: None,
     }
 }
 

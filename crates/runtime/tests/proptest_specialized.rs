@@ -171,6 +171,7 @@ fn unit_tap(offs: &[i64], coeff: f64) -> Tap {
         slot: 0,
         access: Access::offsets(offs),
         coeff,
+        cfactor: None,
     }
 }
 
@@ -279,6 +280,7 @@ proptest! {
                 slot: 0,
                 access: Access(vec![AxisAccess::down(dy), AxisAccess::down(dx)]),
                 coeff: c,
+                cfactor: None,
             })
             .collect();
         let kernel = StageKernel {
@@ -322,6 +324,7 @@ proptest! {
                             slot: 0,
                             access: Access(vec![AxisAccess::up(dy), AxisAccess::up(dx)]),
                             coeff: coeffs[ci % coeffs.len()],
+                            cfactor: None,
                         });
                         ci += 1;
                     }

@@ -13,6 +13,7 @@
 //! polymg-cli loadgen [--addr H:P | --port N | --port-file PATH]
 //!                    [--connections N] [--requests N] [--tenants N]
 //!                    [--retries N] [--batch N] [--idle N]
+//!                    [--scenario NAME[,NAME…]] [--mixed-precision]
 //!                    [--fast-math] [--no-simd]
 //!                    [--no-shutdown] [-o OUT.json]
 //!
@@ -34,6 +35,13 @@
 //! is bitwise: pass to loadgen exactly what the server was started with so
 //! the in-process reference solves run the same tier.
 //!
+//! `--scenario NAME` (repeatable, or comma-separated: `varcoef`, `fmg`,
+//! `rbgs`, `chebyshev`, `constant`) appends scenario requests to the load
+//! mix — these ride the extended `SOLVE_SCENARIO` frame, carrying the
+//! coefficient grid over the wire for `varcoef`. `--mixed-precision` adds
+//! a constant-coefficient item that opts into the f32 smoothing tier (see
+//! DESIGN.md §18). Both are verified bitwise like every other response.
+//!
 //! `serve` blocks until a client sends the drain-and-stop frame (which
 //! `loadgen` does by default when the run ends), then writes the profile
 //! JSON — request spans, queue-wait spans, server counters, plan-cache
@@ -43,7 +51,7 @@
 use std::path::Path;
 
 use gmg_trace::Trace;
-use polymg::{ChaosOptions, TunedStore};
+use polymg::{ChaosOptions, Scenario, TunedStore};
 
 use crate::loadgen::{self, LoadgenOptions};
 use crate::server::{self, summarize, ServerConfig};
@@ -254,6 +262,8 @@ pub fn loadgen_main(args: &[String]) -> i32 {
     let mut port: Option<u16> = None;
     let mut port_file: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut mixed = false;
     let mut opts = LoadgenOptions {
         // The CLI client drains the server when its run completes; tests
         // driving a shared in-process server opt out instead.
@@ -311,6 +321,12 @@ pub fn loadgen_main(args: &[String]) -> i32 {
                         .parse()
                         .map_err(|_| "--backoff-seed needs a number".to_string())?
                 }
+                "--scenario" => {
+                    for name in flag_value(args, &mut i, "--scenario")?.split(',') {
+                        scenarios.push(Scenario::parse(name.trim()).map_err(|e| e.to_string())?);
+                    }
+                }
+                "--mixed-precision" => mixed = true,
                 "--fast-math" => opts.fast_math = true,
                 "--no-simd" => opts.simd = false,
                 "--no-shutdown" => opts.shutdown = false,
@@ -333,6 +349,9 @@ pub fn loadgen_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if !scenarios.is_empty() || mixed {
+        opts.mix.extend(loadgen::scenario_mix(&scenarios, mixed));
+    }
 
     let report = match loadgen::run(&opts) {
         Ok(r) => r,

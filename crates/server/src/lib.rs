@@ -38,7 +38,9 @@ pub mod session;
 mod shard;
 pub mod tuner;
 
-pub use loadgen::{default_mix, retry_backoff_ms, LoadgenOptions, LoadgenReport, MixItem};
+pub use loadgen::{
+    default_mix, retry_backoff_ms, scenario_mix, LoadgenOptions, LoadgenReport, MixItem,
+};
 pub use protocol::{
     BatchSolveRequest, BatchSolveResponse, ErrorCode, Frame, FrameError, SolveRequest,
     SolveResponse,

@@ -34,8 +34,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
-use gmg_multigrid::solver::{setup_poisson, DslRunner};
-use polymg::{PipelineOptions, Variant};
+use gmg_multigrid::scenario::{coeff_field, scenario_runner, ScenarioSpec};
+use gmg_multigrid::solver::setup_poisson;
+use polymg::{PipelineOptions, Scenario, Variant};
 
 use crate::protocol::{self, BatchSolveRequest, ErrorCode, SolveRequest};
 
@@ -69,6 +70,42 @@ pub struct MixItem {
     pub variant: Variant,
     /// Multigrid cycles per request.
     pub iters: u16,
+    /// Problem scenario (anything but [`Scenario::Constant`] — or a
+    /// mixed-precision opt-in — rides the extended `SOLVE_SCENARIO` frame).
+    pub scenario: Scenario,
+    /// Request the mixed-precision (f32) smoothing tier.
+    pub mixed: bool,
+}
+
+impl MixItem {
+    /// A constant-coefficient item (the legacy `SOLVE` shape).
+    pub fn new(cfg: MgConfig, variant: Variant, iters: u16) -> MixItem {
+        MixItem {
+            cfg,
+            variant,
+            iters,
+            scenario: Scenario::Constant,
+            mixed: false,
+        }
+    }
+
+    /// Switch the item to a scenario (`varcoef` items generate and ship the
+    /// canonical [`coeff_field`] grid).
+    pub fn with_scenario(mut self, scenario: Scenario) -> MixItem {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Opt into mixed-precision smoothing.
+    pub fn with_mixed(mut self) -> MixItem {
+        self.mixed = true;
+        self
+    }
+
+    /// Does this item need the extended `SOLVE_SCENARIO` frame?
+    fn scenario_frame(&self) -> bool {
+        self.scenario != Scenario::Constant || self.mixed
+    }
 }
 
 /// The default mix: small 2-D and 3-D problems, V and W cycles, two
@@ -80,27 +117,35 @@ pub fn default_mix() -> Vec<MixItem> {
     let mut w3 = MgConfig::new(3, 15, CycleType::W, SmoothSteps::s1000());
     w3.levels = 3;
     vec![
-        MixItem {
-            cfg: MgConfig::new(2, 63, CycleType::V, SmoothSteps::s444()),
-            variant: Variant::OptPlus,
-            iters: 2,
-        },
-        MixItem {
-            cfg: MgConfig::new(2, 31, CycleType::W, SmoothSteps::s444()),
-            variant: Variant::Opt,
-            iters: 2,
-        },
-        MixItem {
-            cfg: v3,
-            variant: Variant::OptPlus,
-            iters: 2,
-        },
-        MixItem {
-            cfg: w3,
-            variant: Variant::OptPlus,
-            iters: 1,
-        },
+        MixItem::new(
+            MgConfig::new(2, 63, CycleType::V, SmoothSteps::s444()),
+            Variant::OptPlus,
+            2,
+        ),
+        MixItem::new(
+            MgConfig::new(2, 31, CycleType::W, SmoothSteps::s444()),
+            Variant::Opt,
+            2,
+        ),
+        MixItem::new(v3, Variant::OptPlus, 2),
+        MixItem::new(w3, Variant::OptPlus, 1),
     ]
+}
+
+/// One mix item per requested scenario label, all on the same small 2-D
+/// shape so scenario runs stay CI-fast. `constant` maps to the plain
+/// legacy item; every other label (and `mixed == true`) produces extended
+/// `SOLVE_SCENARIO` traffic.
+pub fn scenario_mix(scenarios: &[Scenario], mixed: bool) -> Vec<MixItem> {
+    let cfg = MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444());
+    let mut mix: Vec<MixItem> = scenarios
+        .iter()
+        .map(|&sc| MixItem::new(cfg.clone(), Variant::OptPlus, 2).with_scenario(sc))
+        .collect();
+    if mixed {
+        mix.push(MixItem::new(cfg, Variant::OptPlus, 2).with_mixed());
+    }
+    mix
 }
 
 /// Loadgen options.
@@ -353,9 +398,11 @@ struct Expected {
     v0: Vec<f64>,
     f: Vec<f64>,
     bits: Vec<u64>,
-    /// `batch` perturbed variants (empty when batch frames are disabled).
-    /// Each is reference-solved independently, single-RHS, so batched
-    /// serving is verified against answers the batch path never produced.
+    /// Coefficient grid shipped with every request of a `varcoef` item
+    /// (empty otherwise).
+    coeff: Vec<f64>,
+    /// `batch` perturbed variants (empty when batch frames are disabled,
+    /// and always for scenario items — `SOLVE_BATCH` is legacy-only).
     batch: Vec<BatchGrid>,
 }
 
@@ -374,8 +421,23 @@ fn compute_expected(
             let mut opts = PipelineOptions::for_variant(item.variant, item.cfg.ndims);
             opts.simd = simd;
             opts.fast_math = fast_math;
-            let mut runner = DslRunner::new(&item.cfg, opts, "loadgen-ref")
-                .map_err(|e| format!("reference compile failed: {}", e.join("; ")))?;
+            let coeff = if item.scenario.needs_coeff() {
+                coeff_field(&item.cfg)
+            } else {
+                Vec::new()
+            };
+            let spec = ScenarioSpec {
+                scenario: item.scenario,
+                mixed: item.mixed,
+            };
+            let mut runner = scenario_runner(
+                &item.cfg,
+                spec,
+                opts,
+                "loadgen-ref",
+                (!coeff.is_empty()).then(|| coeff.clone()),
+            )
+            .map_err(|e| format!("reference compile failed: {e}"))?;
             let mut solve = |v0: &[f64], f: &[f64]| -> Result<Vec<u64>, String> {
                 let mut v = v0.to_vec();
                 for _ in 0..item.iters {
@@ -387,7 +449,7 @@ fn compute_expected(
             };
             let bits = solve(&v0, &f)?;
             let mut grids = Vec::new();
-            if batch >= 2 {
+            if batch >= 2 && !item.scenario_frame() {
                 for b in 0..batch {
                     // distinct RHS per grid; both sides see identical bytes,
                     // so the perturbation itself needs no ghost-ring care
@@ -409,6 +471,7 @@ fn compute_expected(
                 v0,
                 f,
                 bits,
+                coeff,
                 batch: grids,
             })
         })
@@ -471,7 +534,7 @@ fn exchange(
             protocol::read_frame(stream).map_err(|e| format!("response read failed: {e}"))?;
         let service = t0.elapsed().as_nanos() as u64;
         match frame.opcode {
-            protocol::OP_SOLVE_OK | protocol::OP_SOLVE_BATCH_OK => {
+            protocol::OP_SOLVE_OK | protocol::OP_SOLVE_BATCH_OK | protocol::OP_SOLVE_SCENARIO_OK => {
                 verify(&frame, counts);
                 lats.service_ns.push(service);
                 lats.e2e_ns.push(req_t0.elapsed().as_nanos() as u64);
@@ -629,7 +692,7 @@ fn drive_connection(
                 lats,
             )?;
         } else {
-            let req = SolveRequest::from_config(
+            let mut req = SolveRequest::from_config(
                 &exp.item.cfg,
                 exp.item.variant,
                 tenant,
@@ -637,11 +700,18 @@ fn drive_connection(
                 exp.v0.clone(),
                 exp.f.clone(),
             );
-            let payload = req.encode();
+            req.scenario = exp.item.scenario.wire_id();
+            req.mixed = exp.item.mixed;
+            req.coeff = exp.coeff.clone();
+            let (opcode, payload) = if req.needs_scenario_frame() {
+                (protocol::OP_SOLVE_SCENARIO, req.encode_scenario())
+            } else {
+                (protocol::OP_SOLVE, req.encode())
+            };
             counts.requests.fetch_add(1, Ordering::Relaxed);
             exchange(
                 &mut stream,
-                protocol::OP_SOLVE,
+                opcode,
                 &payload,
                 1,
                 |frame, counts| match protocol::SolveResponse::decode(&frame.payload) {

@@ -21,7 +21,7 @@
 use std::io::{Read, Write};
 
 use gmg_multigrid::config::{CycleType, MgConfig, SmoothSteps};
-use polymg::Variant;
+use polymg::{Scenario, Variant};
 
 /// Hard bound on a frame payload (64 MiB — a 2047² 2-D grid pair with
 /// headroom). Anything larger is rejected before allocation.
@@ -39,6 +39,11 @@ pub const OP_SHUTDOWN: u8 = 0x04;
 /// [`BatchSolveRequest`]). Answered by [`OP_SOLVE_BATCH_OK`] with all N
 /// results, or by one [`OP_ERROR`] frame for the whole batch.
 pub const OP_SOLVE_BATCH: u8 = 0x05;
+/// Request: run a scenario solve (payload = [`SolveRequest`] in the
+/// extended encoding produced by [`SolveRequest::encode_scenario`]). Adds a
+/// scenario id, a mixed-precision flag and an optional coefficient grid to
+/// the plain SOLVE shape. Answered by [`OP_SOLVE_SCENARIO_OK`].
+pub const OP_SOLVE_SCENARIO: u8 = 0x06;
 
 /// Response to [`OP_SOLVE`] (payload = [`SolveResponse`]).
 pub const OP_SOLVE_OK: u8 = 0x81;
@@ -50,6 +55,8 @@ pub const OP_STATS_OK: u8 = 0x83;
 pub const OP_SHUTDOWN_ACK: u8 = 0x84;
 /// Response to [`OP_SOLVE_BATCH`] (payload = [`BatchSolveResponse`]).
 pub const OP_SOLVE_BATCH_OK: u8 = 0x85;
+/// Response to [`OP_SOLVE_SCENARIO`] (payload = [`SolveResponse`]).
+pub const OP_SOLVE_SCENARIO_OK: u8 = 0x86;
 /// Typed failure: `[u16 code][utf8 message]`.
 pub const OP_ERROR: u8 = 0xEE;
 
@@ -323,13 +330,22 @@ pub struct SolveRequest {
     pub n: u32,
     /// Multigrid levels; 0 selects the default (4, clamped to fit `n`).
     pub levels: u32,
+    /// Scenario wire id ([`Scenario::wire_id`]); plain SOLVE frames are
+    /// always 0 (constant-coefficient).
+    pub scenario: u8,
+    /// Run the smoothing chains on the mixed-precision (f32) tier.
+    pub mixed: bool,
     pub v: Vec<f64>,
     pub f: Vec<f64>,
+    /// Variable-coefficient grid ("A", finest level, ghost ring included).
+    /// Empty means none; only the `varcoef` scenario carries one.
+    pub coeff: Vec<f64>,
 }
 
 impl SolveRequest {
-    pub fn encode(&self) -> Vec<u8> {
-        let mut p = Vec::with_capacity(24 + 16 * self.v.len());
+    /// Shared header+grid bytes of both encodings (everything except the
+    /// scenario extension fields).
+    fn encode_common(&self, p: &mut Vec<u8>) {
         p.extend_from_slice(&self.tenant.to_le_bytes());
         p.push(self.ndims);
         p.push(self.cycle);
@@ -347,12 +363,50 @@ impl SolveRequest {
         for &x in &self.f {
             p.extend_from_slice(&x.to_le_bytes());
         }
+    }
+
+    /// Legacy [`OP_SOLVE`] encoding. Scenario fields are not carried; the
+    /// request must be the constant-coefficient default (`scenario == 0`,
+    /// `mixed == false`, no coefficient grid).
+    pub fn encode(&self) -> Vec<u8> {
+        debug_assert!(
+            self.scenario == 0 && !self.mixed && self.coeff.is_empty(),
+            "scenario requests must use encode_scenario"
+        );
+        let mut p = Vec::with_capacity(24 + 16 * self.v.len());
+        self.encode_common(&mut p);
         p
     }
 
-    /// Decode and fully validate. The checks mirror `MgConfig::new`'s
-    /// assertions so a hostile payload can never panic the server.
+    /// [`OP_SOLVE_SCENARIO`] encoding: the legacy layout followed by
+    /// `[u8 scenario][u8 mixed][u32 coeff_elems][coeff f64s]`.
+    pub fn encode_scenario(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(30 + 16 * self.v.len() + 8 * self.coeff.len());
+        self.encode_common(&mut p);
+        p.push(self.scenario);
+        p.push(self.mixed as u8);
+        p.extend_from_slice(&(self.coeff.len() as u32).to_le_bytes());
+        for &x in &self.coeff {
+            p.extend_from_slice(&x.to_le_bytes());
+        }
+        p
+    }
+
+    /// Decode and fully validate a legacy [`OP_SOLVE`] payload. The checks
+    /// mirror `MgConfig::new`'s assertions so a hostile payload can never
+    /// panic the server.
     pub fn decode(payload: &[u8]) -> Result<SolveRequest, String> {
+        SolveRequest::decode_impl(payload, false)
+    }
+
+    /// Decode and fully validate an [`OP_SOLVE_SCENARIO`] payload,
+    /// including the scenario/mixed/coefficient extension and the
+    /// scenario's own validation matrix.
+    pub fn decode_scenario(payload: &[u8]) -> Result<SolveRequest, String> {
+        SolveRequest::decode_impl(payload, true)
+    }
+
+    fn decode_impl(payload: &[u8], scenario_frame: bool) -> Result<SolveRequest, String> {
         let mut c = Cursor::new(payload);
         let tenant = c.u32("tenant")?;
         let ndims = c.u8("ndims")?;
@@ -407,6 +461,27 @@ impl SolveRequest {
         }
         let v = c.f64_vec(elems, "v")?;
         let f = c.f64_vec(elems, "f")?;
+        let (scenario, mixed, coeff) = if scenario_frame {
+            let scenario = c.u8("scenario")?;
+            let mixed = match c.u8("mixed")? {
+                0 => false,
+                1 => true,
+                b => return Err(format!("mixed flag must be 0 or 1, got {b}")),
+            };
+            let coeff_elems = c.u32("coeff_elems")? as usize;
+            if coeff_elems != 0 && coeff_elems != expect {
+                return Err(format!(
+                    "coefficient grid length {coeff_elems} does not match (n+2)^ndims = {expect}"
+                ));
+            }
+            let coeff = c.f64_vec(coeff_elems, "coeff")?;
+            let sc = Scenario::from_wire_id(scenario).map_err(|e| e.to_string())?;
+            sc.validate(mixed, !coeff.is_empty())
+                .map_err(|e| e.to_string())?;
+            (scenario, mixed, coeff)
+        } else {
+            (0, false, Vec::new())
+        };
         c.done()?;
         Ok(SolveRequest {
             tenant,
@@ -419,8 +494,11 @@ impl SolveRequest {
             iters,
             n,
             levels,
+            scenario,
+            mixed,
             v,
             f,
+            coeff,
         })
     }
 
@@ -449,6 +527,18 @@ impl SolveRequest {
             2 => Variant::OptPlus,
             _ => Variant::DtileOptPlus,
         }
+    }
+
+    /// The decoded scenario. Only valid after [`SolveRequest::decode`] /
+    /// [`SolveRequest::decode_scenario`] (which reject unknown wire ids).
+    pub fn scenario_enum(&self) -> Scenario {
+        Scenario::from_wire_id(self.scenario).expect("validated on decode")
+    }
+
+    /// Does this request need the extended [`OP_SOLVE_SCENARIO`] frame, or
+    /// can it ride the legacy [`OP_SOLVE`] layout?
+    pub fn needs_scenario_frame(&self) -> bool {
+        self.scenario != 0 || self.mixed || !self.coeff.is_empty()
     }
 
     /// Build a request from a configuration and grids (client side).
@@ -482,8 +572,11 @@ impl SolveRequest {
             iters,
             n: cfg.n as u32,
             levels: cfg.levels,
+            scenario: 0,
+            mixed: false,
             v,
             f,
+            coeff: Vec::new(),
         }
     }
 }
@@ -492,7 +585,9 @@ impl SolveRequest {
     /// Do two requests compile to the same plan and run the same iteration
     /// count — i.e. can they share one batched engine pass? Tenant is
     /// deliberately excluded: coalescing across tenants is allowed (each
-    /// keeps its own admission charge).
+    /// keeps its own admission charge). Scenario, precision tier and the
+    /// coefficient grid (bitwise) are included: a batched pass binds one
+    /// "A" grid for every lane.
     pub fn same_plan_shape(&self, other: &SolveRequest) -> bool {
         self.ndims == other.ndims
             && self.cycle == other.cycle
@@ -503,6 +598,14 @@ impl SolveRequest {
             && self.iters == other.iters
             && self.n == other.n
             && self.levels == other.levels
+            && self.scenario == other.scenario
+            && self.mixed == other.mixed
+            && self.coeff.len() == other.coeff.len()
+            && self
+                .coeff
+                .iter()
+                .zip(&other.coeff)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
     }
 }
 
@@ -854,6 +957,112 @@ mod tests {
         let mut c = small_request();
         c.levels += 1;
         assert!(!a.same_plan_shape(&c));
+    }
+
+    #[test]
+    fn scenario_request_round_trips() {
+        // varcoef with a coefficient grid
+        let mut req = small_request();
+        req.scenario = Scenario::VarCoef.wire_id();
+        req.coeff = (0..req.v.len()).map(|i| 1.0 + 0.01 * i as f64).collect();
+        let back = SolveRequest::decode_scenario(&req.encode_scenario()).expect("decode");
+        assert_eq!(back, req);
+        assert_eq!(back.scenario_enum(), Scenario::VarCoef);
+        assert!(back.needs_scenario_frame());
+
+        // mixed-precision constant (no coeff)
+        let mut req = small_request();
+        req.mixed = true;
+        let back = SolveRequest::decode_scenario(&req.encode_scenario()).expect("decode");
+        assert_eq!(back, req);
+
+        // every coeff-free scenario rides the frame with an empty grid
+        for sc in [Scenario::Constant, Scenario::Fmg, Scenario::Rbgs, Scenario::Chebyshev] {
+            let mut req = small_request();
+            req.scenario = sc.wire_id();
+            let back = SolveRequest::decode_scenario(&req.encode_scenario()).expect("decode");
+            assert_eq!(back.scenario_enum(), sc);
+        }
+    }
+
+    #[test]
+    fn scenario_decode_rejects_invalid_shapes() {
+        // legacy decode never sees scenario bytes: the extended payload has
+        // trailing bytes from its point of view
+        let mut req = small_request();
+        req.scenario = Scenario::Rbgs.wire_id();
+        assert!(SolveRequest::decode(&req.encode_scenario())
+            .unwrap_err()
+            .contains("trailing"));
+
+        // unknown wire id
+        let mut req = small_request();
+        req.scenario = 9;
+        assert!(SolveRequest::decode_scenario(&req.encode_scenario())
+            .unwrap_err()
+            .contains("wire id"));
+
+        // varcoef without a coefficient grid
+        let mut req = small_request();
+        req.scenario = Scenario::VarCoef.wire_id();
+        assert!(SolveRequest::decode_scenario(&req.encode_scenario())
+            .unwrap_err()
+            .contains("coefficient grid"));
+
+        // coeff on a scenario that takes none
+        let mut req = small_request();
+        req.coeff = vec![1.0; req.v.len()];
+        assert!(SolveRequest::decode_scenario(&req.encode_scenario())
+            .unwrap_err()
+            .contains("takes no coefficient"));
+
+        // mixed precision on a multi-case smoother
+        let mut req = small_request();
+        req.scenario = Scenario::Chebyshev.wire_id();
+        req.mixed = true;
+        assert!(SolveRequest::decode_scenario(&req.encode_scenario())
+            .unwrap_err()
+            .contains("mixed-precision"));
+
+        // coeff grid length must match the solve grids
+        let mut req = small_request();
+        req.scenario = Scenario::VarCoef.wire_id();
+        req.coeff = vec![1.0; 7];
+        assert!(SolveRequest::decode_scenario(&req.encode_scenario())
+            .unwrap_err()
+            .contains("does not match"));
+
+        // mixed flag must be a strict boolean byte
+        let mut req = small_request();
+        req.mixed = true;
+        let mut p = req.encode_scenario();
+        let mixed_at = p.len() - 4 - 1; // before [u32 coeff_elems = 0]
+        assert_eq!(p[mixed_at], 1);
+        p[mixed_at] = 2;
+        assert!(SolveRequest::decode_scenario(&p)
+            .unwrap_err()
+            .contains("mixed flag"));
+    }
+
+    #[test]
+    fn same_plan_shape_separates_scenarios() {
+        let a = small_request();
+        // scenario differs
+        let mut b = small_request();
+        b.scenario = Scenario::Rbgs.wire_id();
+        assert!(!a.same_plan_shape(&b));
+        // precision tier differs
+        let mut b = small_request();
+        b.mixed = true;
+        assert!(!a.same_plan_shape(&b));
+        // same varcoef scenario, different coefficient grid (bitwise)
+        let mut c0 = small_request();
+        c0.scenario = Scenario::VarCoef.wire_id();
+        c0.coeff = vec![1.0; c0.v.len()];
+        let mut c1 = c0.clone();
+        assert!(c0.same_plan_shape(&c1));
+        c1.coeff[0] = 1.5;
+        assert!(!c0.same_plan_shape(&c1));
     }
 
     #[test]

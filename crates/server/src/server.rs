@@ -48,8 +48,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use gmg_trace::{batch_hist_bucket, ServerSnapshot, ShardSnapshot, Trace, BATCH_HIST_BUCKETS};
-use polymg::{ChaosOptions, TunedStore};
+use gmg_trace::{
+    batch_hist_bucket, ServerSnapshot, ShardSnapshot, Trace, BATCH_HIST_BUCKETS, SCENARIO_KINDS,
+    SCENARIO_LABELS,
+};
+use gmg_multigrid::scenario::ScenarioSpec;
+use polymg::{ChaosOptions, Scenario, TunedStore};
 use shim_epoll::{Poller, Waker};
 
 use crate::protocol::{self, ErrorCode, SolveRequest};
@@ -191,6 +195,10 @@ struct Counters {
     coalesced: AtomicU64,
     /// Engine-pass RHS-count histogram (see [`batch_hist_bucket`]).
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    /// Grids solved per scenario (indexed by [`Scenario::wire_id`]).
+    scenario_solves: [AtomicU64; SCENARIO_KINDS],
+    /// Grids solved with mixed-precision smoothing chains.
+    mixed_solves: AtomicU64,
 }
 
 impl Counters {
@@ -224,14 +232,28 @@ pub(crate) struct ShardCounters {
     pub queue_max_depth: AtomicU64,
 }
 
+/// Which request opcode a job arrived under — it decides the reply frame
+/// ([`protocol::OP_SOLVE_OK`] / [`protocol::OP_SOLVE_SCENARIO_OK`] /
+/// [`protocol::OP_SOLVE_BATCH_OK`]) and the admission QoS class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum JobOp {
+    /// Single legacy [`protocol::OP_SOLVE`].
+    Solve,
+    /// Single extended [`protocol::OP_SOLVE_SCENARIO`] (scenario id,
+    /// precision tier, optional coefficient grid).
+    SolveScenario,
+    /// Client [`protocol::OP_SOLVE_BATCH`].
+    Batch,
+}
+
 /// One admitted job travelling from a shard's readiness loop to one of its
-/// workers: a single solve (`batched == false`, one request) or a client
-/// batch (`batched == true`, shape-homogeneous by decode). Either way it
-/// is answered with exactly one frame, routed back to `(shard, conn, seq)`.
+/// workers: a single solve (one request) or a client batch
+/// (shape-homogeneous by decode). Either way it is answered with exactly
+/// one frame, routed back to `(shard, conn, seq)`.
 pub(crate) struct Job {
     pub reqs: Vec<SolveRequest>,
-    /// Whether the reply must be a [`protocol::BatchSolveResponse`] frame.
-    pub batched: bool,
+    /// Arrival opcode (reply framing + QoS class).
+    pub op: JobOp,
     /// Plan-shape hash for coalescing candidate lookup (verified by
     /// [`SolveRequest::same_plan_shape`] before any merge).
     pub key: u64,
@@ -251,10 +273,9 @@ impl Job {
     }
 
     fn class(&self) -> QosClass {
-        if self.batched {
-            QosClass::Batch
-        } else {
-            QosClass::Latency
+        match self.op {
+            JobOp::Batch => QosClass::Batch,
+            JobOp::Solve | JobOp::SolveScenario => QosClass::Latency,
         }
     }
 }
@@ -278,6 +299,11 @@ fn shape_key(req: &SolveRequest) -> u64 {
     eat(req.iters as u64);
     eat(req.n as u64);
     eat(req.levels as u64);
+    eat(req.scenario as u64);
+    eat(req.mixed as u64);
+    for &c in &req.coeff {
+        eat(c.to_bits());
+    }
     h
 }
 
@@ -433,6 +459,10 @@ impl Shared {
             batch_hist: std::array::from_fn(|i| {
                 self.counters.batch_hist[i].load(Ordering::Relaxed)
             }),
+            scenario_solves: std::array::from_fn(|i| {
+                self.counters.scenario_solves[i].load(Ordering::Relaxed)
+            }),
+            mixed_solves: self.counters.mixed_solves.load(Ordering::Relaxed),
         }
     }
 
@@ -474,8 +504,12 @@ impl Shared {
             ("coalesced", s.coalesced),
             ("sessions", sessions),
             ("shards", self.shards.len() as u64),
+            ("mixed_solves", s.mixed_solves),
         ] {
             t.push_str(&format!("{k} {v}\n"));
+        }
+        for (label, v) in SCENARIO_LABELS.iter().zip(s.scenario_solves) {
+            t.push_str(&format!("scenario_{label} {v}\n"));
         }
         if let Some(tuner) = &self.tuner {
             let ts = tuner.snapshot();
@@ -551,23 +585,39 @@ impl Shared {
                     let rest = vs.split_off(job.rhs());
                     let grids = std::mem::replace(&mut vs, rest);
                     self.counters.ok.fetch_add(job.rhs() as u64, Ordering::Relaxed);
-                    if job.batched {
-                        let payload = protocol::BatchSolveResponse {
-                            elapsed_ns,
-                            vs: grids,
+                    let req = &job.reqs[0];
+                    self.counters.scenario_solves[req.scenario as usize]
+                        .fetch_add(job.rhs() as u64, Ordering::Relaxed);
+                    if req.mixed {
+                        self.counters
+                            .mixed_solves
+                            .fetch_add(job.rhs() as u64, Ordering::Relaxed);
+                    }
+                    match job.op {
+                        JobOp::Batch => {
+                            let payload = protocol::BatchSolveResponse {
+                                elapsed_ns,
+                                vs: grids,
+                            }
+                            .encode();
+                            self.complete(
+                                job.shard,
+                                job.conn,
+                                job.seq,
+                                protocol::OP_SOLVE_BATCH_OK,
+                                &payload,
+                            );
                         }
-                        .encode();
-                        self.complete(
-                            job.shard,
-                            job.conn,
-                            job.seq,
-                            protocol::OP_SOLVE_BATCH_OK,
-                            &payload,
-                        );
-                    } else {
-                        let v = grids.into_iter().next().expect("one grid per single job");
-                        let payload = protocol::SolveResponse { elapsed_ns, v }.encode();
-                        self.complete(job.shard, job.conn, job.seq, protocol::OP_SOLVE_OK, &payload);
+                        JobOp::Solve | JobOp::SolveScenario => {
+                            let v = grids.into_iter().next().expect("one grid per single job");
+                            let payload = protocol::SolveResponse { elapsed_ns, v }.encode();
+                            let opcode = if job.op == JobOp::SolveScenario {
+                                protocol::OP_SOLVE_SCENARIO_OK
+                            } else {
+                                protocol::OP_SOLVE_OK
+                            };
+                            self.complete(job.shard, job.conn, job.seq, opcode, &payload);
+                        }
                     }
                 }
             }
@@ -611,13 +661,19 @@ impl Shared {
         shard_id: usize,
         jobs: &mut [Job],
     ) -> Result<Vec<Vec<f64>>, (ErrorCode, String)> {
-        let (cfg, variant, iters) = {
+        let (cfg, variant, iters, spec, coeff) = {
             let req0 = &jobs[0].reqs[0];
-            (req0.config(), req0.variant_enum(), req0.iters)
+            let spec = ScenarioSpec {
+                scenario: Scenario::from_wire_id(req0.scenario)
+                    .map_err(|e| (ErrorCode::BadRequest, e.to_string()))?,
+                mixed: req0.mixed,
+            };
+            let coeff = (!req0.coeff.is_empty()).then(|| req0.coeff.clone());
+            (req0.config(), req0.variant_enum(), req0.iters, spec, coeff)
         };
         let sessions = &self.shards[shard_id].sessions;
         let mut lease = sessions
-            .acquire(&cfg, variant)
+            .acquire_scenario(&cfg, variant, spec, coeff.as_deref())
             .map_err(|errs| (ErrorCode::CompileFailed, errs.join("; ")))?;
         let mut vs: Vec<Vec<f64>> = jobs
             .iter_mut()
@@ -677,7 +733,7 @@ impl Shared {
         conn: u64,
         seq: u64,
         reqs: Vec<SolveRequest>,
-        batched: bool,
+        op: JobOp,
     ) -> Result<(), (ErrorCode, String)> {
         let shard = &self.shards[shard_id];
         let tenant = reqs[0].tenant;
@@ -705,10 +761,9 @@ impl Shared {
             }
             *c += 1;
         }
-        let class = if batched {
-            QosClass::Batch
-        } else {
-            QosClass::Latency
+        let class = match op {
+            JobOp::Batch => QosClass::Batch,
+            JobOp::Solve | JobOp::SolveScenario => QosClass::Latency,
         };
         {
             let mut q = shard.queues.lock().unwrap();
@@ -734,7 +789,7 @@ impl Shared {
             q.deque_mut(class).push_back(Job {
                 key: shape_key(&reqs[0]),
                 reqs,
-                batched,
+                op,
                 shard: shard_id,
                 conn,
                 seq,
@@ -1097,7 +1152,7 @@ mod tests {
         fn job(batched: bool, tag: u64) -> Job {
             Job {
                 reqs: Vec::new(),
-                batched,
+                op: if batched { JobOp::Batch } else { JobOp::Solve },
                 key: tag,
                 shard: 0,
                 conn: 0,
@@ -1115,7 +1170,7 @@ mod tests {
         }
         // contention: weight latency pops, then one batch pop, repeating
         let order: Vec<bool> = std::iter::from_fn(|| q.pop_weighted(weight))
-            .map(|j| j.batched)
+            .map(|j| j.op == JobOp::Batch)
             .collect();
         assert_eq!(order.len(), 12);
         assert_eq!(

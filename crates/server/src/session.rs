@@ -20,9 +20,9 @@ use std::sync::{Arc, Mutex};
 
 use gmg_ir::ParamBindings;
 use gmg_multigrid::config::MgConfig;
-use gmg_multigrid::cycles::build_cycle_pipeline;
+use gmg_multigrid::scenario::{build_scenario_pipeline, scenario_config, ScenarioSpec};
 use gmg_multigrid::solver::DslRunner;
-use polymg::{cache, ChaosOptions, CompiledPipeline, PipelineOptions, TunedStore, Variant};
+use polymg::{cache, ChaosOptions, CompiledPipeline, PipelineOptions, Scenario, TunedStore, Variant};
 
 struct Session {
     plan: Arc<CompiledPipeline>,
@@ -149,13 +149,37 @@ impl SessionManager {
         (opts, false)
     }
 
-    /// Lease a warm runner for this configuration, creating the session
-    /// (compiling through the global plan cache) on first sight.
+    /// Lease a warm runner for the constant-coefficient default scenario.
     pub fn acquire(&self, cfg: &MgConfig, variant: Variant) -> Result<Lease, Vec<String>> {
-        let pipeline = build_cycle_pipeline(cfg);
+        self.acquire_scenario(cfg, variant, ScenarioSpec::new(Scenario::Constant), None)
+    }
+
+    /// Lease a warm runner for a scenario, creating the session (compiling
+    /// through the global plan cache) on first sight. The session key is
+    /// the plan fingerprint of the *scenario* pipeline with the
+    /// mixed-precision opt-in folded into the options, so distinct
+    /// scenarios and precision tiers never share engines. The coefficient
+    /// grid is (re)bound on every acquire — warm runners carry no stale
+    /// `A` from a previous request.
+    pub fn acquire_scenario(
+        &self,
+        cfg: &MgConfig,
+        variant: Variant,
+        spec: ScenarioSpec,
+        coeff: Option<&[f64]>,
+    ) -> Result<Lease, Vec<String>> {
+        // The protocol layer already validated decoded requests; in-process
+        // callers go through the same gate so an invalid spec surfaces as a
+        // compile-style error, never a panic.
+        if let Err(e) = spec.scenario.validate(spec.mixed, coeff.is_some()) {
+            return Err(vec![e.to_string()]);
+        }
+        let cfg = scenario_config(cfg, spec.scenario);
+        let pipeline = build_scenario_pipeline(&cfg, spec.scenario);
         let bindings = ParamBindings::new();
         let plan_fp = cache::pipeline_fingerprint(&pipeline, &bindings);
-        let (opts, tuned) = self.resolve_options(cfg, variant, plan_fp);
+        let (mut opts, tuned) = self.resolve_options(&cfg, variant, plan_fp);
+        opts.mixed_precision = spec.mixed;
         let key = cache::fingerprint(&pipeline, &bindings, &opts);
 
         // Decide hit/miss, count it, and pop an idle runner under ONE lock
@@ -201,15 +225,22 @@ impl SessionManager {
             }
         };
 
-        let runner = match runner {
+        let mut runner = match runner {
             Some(r) => r,
             None => {
                 self.engines_created.fetch_add(1, Ordering::Relaxed);
-                let mut r = DslRunner::from_plan(Arc::clone(&plan), cfg);
+                let mut r = DslRunner::from_plan(Arc::clone(&plan), &cfg);
                 r.engine_mut().set_chaos(self.chaos);
                 r
             }
         };
+        if let Some(a) = coeff {
+            // rebind on every acquire (a warm runner may hold a previous
+            // request's grid); Ainv is derived from the same wire grid so
+            // client-side references recompute it bitwise-identically
+            runner.bind_extra("Ainv", gmg_multigrid::scenario::reciprocal_field(a));
+            runner.bind_extra("A", a.to_vec());
+        }
         Ok(Lease {
             key,
             runner,
@@ -337,6 +368,82 @@ mod tests {
         assert_ne!(a.key, b.key);
         assert_ne!(a.key, c.key);
         assert_ne!(b.key, c.key);
+    }
+
+    #[test]
+    fn scenario_specs_split_sessions() {
+        use polymg::Scenario;
+        let mgr = SessionManager::new(None, None, 1, 4);
+        let cfg = cfg2d();
+        let constant = mgr.acquire(&cfg, Variant::OptPlus).expect("compile");
+        let mixed = mgr
+            .acquire_scenario(
+                &cfg,
+                Variant::OptPlus,
+                ScenarioSpec {
+                    scenario: Scenario::Constant,
+                    mixed: true,
+                },
+                None,
+            )
+            .expect("compile");
+        let a = gmg_multigrid::scenario::coeff_field(&cfg);
+        let varcoef = mgr
+            .acquire_scenario(
+                &cfg,
+                Variant::OptPlus,
+                ScenarioSpec::new(Scenario::VarCoef),
+                Some(&a),
+            )
+            .expect("compile");
+        let rbgs = mgr
+            .acquire_scenario(
+                &cfg,
+                Variant::OptPlus,
+                ScenarioSpec::new(Scenario::Rbgs),
+                None,
+            )
+            .expect("compile");
+        let keys = [constant.key, mixed.key, varcoef.key, rbgs.key];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "sessions {i} and {j} must not share a key");
+            }
+        }
+        for l in [constant, mixed, varcoef, rbgs] {
+            mgr.release(l);
+        }
+        assert_eq!(mgr.len(), 4);
+        // repeat scenario acquire is a warm hit on its own session
+        let again = mgr
+            .acquire_scenario(
+                &cfg,
+                Variant::OptPlus,
+                ScenarioSpec::new(Scenario::VarCoef),
+                Some(&a),
+            )
+            .expect("hit");
+        assert!(!again.created_session);
+        mgr.release(again);
+    }
+
+    #[test]
+    fn scenario_acquire_rejects_invalid_specs() {
+        use polymg::Scenario;
+        let mgr = SessionManager::new(None, None, 1, 4);
+        let cfg = cfg2d();
+        // varcoef without a grid never reaches the compiler
+        let errs = mgr
+            .acquire_scenario(
+                &cfg,
+                Variant::OptPlus,
+                ScenarioSpec::new(Scenario::VarCoef),
+                None,
+            )
+            .err()
+            .expect("must reject");
+        assert!(errs[0].contains("coefficient grid"));
+        assert_eq!(mgr.len(), 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ use shim_epoll::{Event, Interest};
 
 use crate::protocol::{self, BatchSolveRequest, ErrorCode, SolveRequest};
 use crate::ring::RingBuf;
-use crate::server::{shard_for_tenant, Shard, Shared};
+use crate::server::{shard_for_tenant, JobOp, Shard, Shared};
 
 const TOK_WAKER: u64 = 0;
 const TOK_LISTENER: u64 = 1;
@@ -157,7 +157,7 @@ impl Conn {
 /// along with its connection during migration).
 pub(crate) struct PendingJob {
     pub reqs: Vec<SolveRequest>,
-    pub batched: bool,
+    pub op: JobOp,
     pub seq: u64,
 }
 
@@ -301,7 +301,7 @@ fn route(
     conn: &mut Conn,
     seq: u64,
     reqs: Vec<SolveRequest>,
-    batched: bool,
+    op: JobOp,
 ) -> Option<Directive> {
     if conn.home.is_none() {
         let target = shard_for_tenant(reqs[0].tenant, sh.shards.len());
@@ -309,11 +309,11 @@ fn route(
         if target != shard_id {
             return Some(Directive::Migrate {
                 target,
-                pending: PendingJob { reqs, batched, seq },
+                pending: PendingJob { reqs, op, seq },
             });
         }
     }
-    if let Err((code, msg)) = sh.admit(shard_id, token, seq, reqs, batched) {
+    if let Err((code, msg)) = sh.admit(shard_id, token, seq, reqs, op) {
         let payload = protocol::encode_error(code, &msg);
         conn.enqueue(seq, protocol::frame_bytes(protocol::OP_ERROR, &payload));
     }
@@ -326,7 +326,9 @@ enum Msg {
     Ping(Vec<u8>),
     Stats,
     Shutdown(Vec<u8>),
-    Solve(Result<SolveRequest, String>),
+    /// A single solve with its arrival opcode ([`JobOp::Solve`] for legacy
+    /// frames, [`JobOp::SolveScenario`] for extended ones).
+    Solve(Result<SolveRequest, String>, JobOp),
     Batch(Result<BatchSolveRequest, String>),
     Unknown(u8),
 }
@@ -376,7 +378,10 @@ fn parse_available(
                 protocol::OP_PING => Msg::Ping(payload.to_vec()),
                 protocol::OP_STATS => Msg::Stats,
                 protocol::OP_SHUTDOWN => Msg::Shutdown(payload.to_vec()),
-                protocol::OP_SOLVE => Msg::Solve(SolveRequest::decode(payload)),
+                protocol::OP_SOLVE => Msg::Solve(SolveRequest::decode(payload), JobOp::Solve),
+                protocol::OP_SOLVE_SCENARIO => {
+                    Msg::Solve(SolveRequest::decode_scenario(payload), JobOp::SolveScenario)
+                }
                 protocol::OP_SOLVE_BATCH => Msg::Batch(BatchSolveRequest::decode(payload)),
                 other => Msg::Unknown(other),
             }
@@ -411,7 +416,7 @@ fn parse_available(
                     protocol::encode_error(ErrorCode::UnknownOpcode, &format!("opcode {op:#04x}"));
                 conn.enqueue(seq, protocol::frame_bytes(protocol::OP_ERROR, &payload));
             }
-            Msg::Solve(Err(e)) => {
+            Msg::Solve(Err(e), _) => {
                 sh.count_protocol_error();
                 let payload = protocol::encode_error(ErrorCode::BadRequest, &e);
                 conn.enqueue(seq, protocol::frame_bytes(protocol::OP_ERROR, &payload));
@@ -421,13 +426,13 @@ fn parse_available(
                 let payload = protocol::encode_error(ErrorCode::BadRequest, &e);
                 conn.enqueue(seq, protocol::frame_bytes(protocol::OP_ERROR, &payload));
             }
-            Msg::Solve(Ok(req)) => {
-                if let Some(d) = route(sh, shard_id, token, conn, seq, vec![req], false) {
+            Msg::Solve(Ok(req), op) => {
+                if let Some(d) = route(sh, shard_id, token, conn, seq, vec![req], op) {
                     return Some(d);
                 }
             }
             Msg::Batch(Ok(batch)) => {
-                if let Some(d) = route(sh, shard_id, token, conn, seq, batch.reqs, true) {
+                if let Some(d) = route(sh, shard_id, token, conn, seq, batch.reqs, JobOp::Batch) {
                     return Some(d);
                 }
             }
@@ -535,7 +540,7 @@ fn drain_inbox(
                     shard.counters.adopted.fetch_add(1, Ordering::Relaxed);
                 }
                 if let Some(p) = pending {
-                    if let Err((code, msg)) = sh.admit(shard_id, token, p.seq, p.reqs, p.batched) {
+                    if let Err((code, msg)) = sh.admit(shard_id, token, p.seq, p.reqs, p.op) {
                         let payload = protocol::encode_error(code, &msg);
                         let conn = conns.get_mut(&token).expect("just registered");
                         conn.enqueue(p.seq, protocol::frame_bytes(protocol::OP_ERROR, &payload));

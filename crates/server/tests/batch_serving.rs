@@ -173,16 +173,8 @@ fn loadgen_batch_mix_is_clean_and_exercises_batches() {
     let mut w3 = MgConfig::new(3, 15, CycleType::W, SmoothSteps::s1000());
     w3.levels = 3;
     let mix = vec![
-        MixItem {
-            cfg: MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()),
-            variant: Variant::OptPlus,
-            iters: 2,
-        },
-        MixItem {
-            cfg: w3,
-            variant: Variant::OptPlus,
-            iters: 1,
-        },
+        MixItem::new(MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()), Variant::OptPlus, 2),
+        MixItem::new(w3, Variant::OptPlus, 1),
     ];
     let opts = LoadgenOptions {
         addr: handle.addr().to_string(),

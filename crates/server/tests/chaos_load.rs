@@ -19,16 +19,8 @@ fn chaos_faults_surface_as_typed_errors_not_corruption() {
     .expect("start");
 
     let mix = vec![
-        MixItem {
-            cfg: MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()),
-            variant: Variant::OptPlus,
-            iters: 1,
-        },
-        MixItem {
-            cfg: MgConfig::new(2, 31, CycleType::W, SmoothSteps::s444()),
-            variant: Variant::OptPlus,
-            iters: 1,
-        },
+        MixItem::new(MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()), Variant::OptPlus, 1),
+        MixItem::new(MgConfig::new(2, 31, CycleType::W, SmoothSteps::s444()), Variant::OptPlus, 1),
     ];
     let opts = LoadgenOptions {
         addr: handle.addr().to_string(),
@@ -75,11 +67,7 @@ fn chaos_with_batch_mix_fails_whole_batches_typed() {
     })
     .expect("start");
 
-    let mix = vec![MixItem {
-        cfg: MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()),
-        variant: Variant::OptPlus,
-        iters: 1,
-    }];
+    let mix = vec![MixItem::new(MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()), Variant::OptPlus, 1)];
     let opts = LoadgenOptions {
         addr: handle.addr().to_string(),
         connections: 3,

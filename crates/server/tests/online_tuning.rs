@@ -26,11 +26,7 @@ fn shape_fingerprint(cfg: &MgConfig) -> u64 {
 }
 
 fn one_shape_mix() -> Vec<MixItem> {
-    vec![MixItem {
-        cfg: shape(),
-        variant: Variant::OptPlus,
-        iters: 1,
-    }]
+    vec![MixItem::new(shape(), Variant::OptPlus, 1)]
 }
 
 fn loadgen_wave(addr: &str) -> loadgen::LoadgenReport {

@@ -16,21 +16,9 @@ fn small_mix() -> Vec<MixItem> {
     let mut v3 = MgConfig::new(3, 15, CycleType::V, SmoothSteps::s444());
     v3.levels = 3;
     vec![
-        MixItem {
-            cfg: MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()),
-            variant: Variant::OptPlus,
-            iters: 2,
-        },
-        MixItem {
-            cfg: MgConfig::new(2, 31, CycleType::W, SmoothSteps::s444()),
-            variant: Variant::Opt,
-            iters: 1,
-        },
-        MixItem {
-            cfg: v3,
-            variant: Variant::OptPlus,
-            iters: 1,
-        },
+        MixItem::new(MgConfig::new(2, 31, CycleType::V, SmoothSteps::s444()), Variant::OptPlus, 2),
+        MixItem::new(MgConfig::new(2, 31, CycleType::W, SmoothSteps::s444()), Variant::Opt, 1),
+        MixItem::new(v3, Variant::OptPlus, 1),
     ]
 }
 

@@ -23,9 +23,11 @@ pub enum Kind {
     Strided = 3,
     /// Expression-tree interpreter (no linearized form).
     Interpreter = 4,
+    /// Variable-coefficient tap loop (taps carry coefficient-grid factors).
+    VarCoef = 5,
 }
 
-pub const KINDS: usize = 5;
+pub const KINDS: usize = 6;
 
 pub const LABELS: [&str; KINDS] = [
     "unit_unrolled",
@@ -33,6 +35,7 @@ pub const LABELS: [&str; KINDS] = [
     "unit_fallback",
     "strided",
     "interpreter",
+    "varcoef",
 ];
 
 #[cfg(feature = "capture")]

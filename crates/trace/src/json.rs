@@ -91,12 +91,21 @@ pub(crate) fn report_to_json(r: &Report) -> String {
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join(", ");
+        let scenario = r
+            .server
+            .scenario_solves
+            .iter()
+            .zip(crate::SCENARIO_LABELS)
+            .map(|(v, k)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
             "  \"server\": {{\"requests\": {}, \"ok\": {}, \"exec_errors\": {}, \
              \"protocol_errors\": {}, \"rejected_queue_full\": {}, \"rejected_tenant\": {}, \
              \"rejected_shutdown\": {}, \"session_hits\": {}, \"session_misses\": {}, \
              \"engines_created\": {}, \"queue_max_depth\": {}, \"tuned_applied\": {}, \
-             \"batches\": {}, \"coalesced\": {}, \"batch_hist\": [{}]}},\n",
+             \"batches\": {}, \"coalesced\": {}, \"batch_hist\": [{}], \
+             \"scenario\": {{{scenario}}}, \"mixed_solves\": {}}},\n",
             r.server.requests,
             r.server.ok,
             r.server.exec_errors,
@@ -111,7 +120,8 @@ pub(crate) fn report_to_json(r: &Report) -> String {
             r.server.tuned_applied,
             r.server.batches,
             r.server.coalesced,
-            hist
+            hist,
+            r.server.mixed_solves
         ));
     }
     if !r.shards.is_empty() {

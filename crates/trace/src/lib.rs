@@ -185,7 +185,21 @@ pub struct ServerSnapshot {
     /// Engine-pass size histogram: RHS count bucketed as
     /// 1 / 2 / 3–4 / 5–8 / 9–16 / 17–32 / 33+.
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Grids solved per scenario, indexed by the scenario wire id
+    /// (see [`SCENARIO_LABELS`]).
+    pub scenario_solves: [u64; SCENARIO_KINDS],
+    /// Grids solved with mixed-precision (f32) smoothing chains.
+    pub mixed_solves: u64,
 }
+
+/// Number of scenario families the server counts
+/// ([`ServerSnapshot::scenario_solves`]).
+pub const SCENARIO_KINDS: usize = 5;
+
+/// Stats/JSON labels of [`ServerSnapshot::scenario_solves`], in wire-id
+/// order (must match `polymg::scenario::Scenario::wire_id`).
+pub const SCENARIO_LABELS: [&str; SCENARIO_KINDS] =
+    ["constant", "varcoef", "fmg", "rbgs", "chebyshev"];
 
 /// Per-shard counters from the event-driven server core (one entry per
 /// shard, published alongside the aggregate [`ServerSnapshot`]). Snapshot

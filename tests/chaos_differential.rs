@@ -15,8 +15,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use proptest::prelude::*;
 
 use polymg_repro::compiler::chaos::SITE_ALL;
-use polymg_repro::compiler::{ChaosOptions, PipelineOptions, Variant};
+use polymg_repro::compiler::{ChaosOptions, PipelineOptions, Scenario, Variant};
 use polymg_repro::mg::config::{CycleType, MgConfig, SmoothSteps};
+use polymg_repro::mg::scenario::{coeff_field, scenario_runner, ScenarioSpec};
 use polymg_repro::mg::solver::{setup_poisson, DslRunner};
 
 const CYCLES: usize = 2;
@@ -45,10 +46,25 @@ fn options(variant: Variant, ndims: usize, specialize: bool) -> PipelineOptions 
     opts
 }
 
+/// Build the runner for a scenario pipeline (DESIGN.md §18): the constant
+/// cycle, the variable-coefficient operator (with the canonical smooth
+/// field bound), or the RB-GS/Chebyshev smoother substitutions — chaos
+/// must hold the same recovered-means-bitwise contract on all of them.
+fn scenario_dsl_runner(
+    cfg: &MgConfig,
+    opts: PipelineOptions,
+    scenario: Scenario,
+    label: &str,
+) -> DslRunner {
+    let coeff = scenario.needs_coeff().then(|| coeff_field(cfg));
+    scenario_runner(cfg, ScenarioSpec::new(scenario), opts, label, coeff)
+        .unwrap_or_else(|e| panic!("{label} compile failed: {e}"))
+}
+
 /// Fault-free reference trajectory.
-fn reference(cfg: &MgConfig, opts: PipelineOptions) -> Vec<f64> {
+fn reference(cfg: &MgConfig, opts: PipelineOptions, scenario: Scenario) -> Vec<f64> {
     let (mut v, f, _) = setup_poisson(cfg);
-    let mut runner = DslRunner::new(cfg, opts, "ref").expect("reference compile");
+    let mut runner = scenario_dsl_runner(cfg, opts, scenario, "ref");
     for _ in 0..CYCLES {
         runner
             .cycle_with_stats(&mut v, &f)
@@ -61,10 +77,14 @@ fn reference(cfg: &MgConfig, opts: PipelineOptions) -> Vec<f64> {
 /// tolerated (and the engine is re-driven afterwards — it must stay
 /// usable); a panic escaping `Engine::run` fails the property.
 /// Returns `(final_v, every_cycle_ok)` or the panic payload.
-fn chaos_run(cfg: &MgConfig, opts: PipelineOptions) -> Result<(Vec<f64>, bool), String> {
+fn chaos_run(
+    cfg: &MgConfig,
+    opts: PipelineOptions,
+    scenario: Scenario,
+) -> Result<(Vec<f64>, bool), String> {
     let (mut v, f, _) = setup_poisson(cfg);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut runner = DslRunner::new(cfg, opts, "chaos").expect("chaos compile");
+        let mut runner = scenario_dsl_runner(cfg, opts, scenario, "chaos");
         let mut all_ok = true;
         for _ in 0..CYCLES {
             if runner.cycle_with_stats(&mut v, &f).is_err() {
@@ -83,26 +103,29 @@ fn chaos_run(cfg: &MgConfig, opts: PipelineOptions) -> Result<(Vec<f64>, bool), 
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_case(
     ndims: usize,
     cycle: CycleType,
     variant: Variant,
     specialize: bool,
+    scenario: Scenario,
     seed: u64,
     rate: f64,
     sites: u8,
 ) -> Result<(), String> {
     let cfg = config(ndims, cycle);
-    let clean = reference(&cfg, options(variant, ndims, specialize));
+    let clean = reference(&cfg, options(variant, ndims, specialize), scenario);
 
     let mut opts = options(variant, ndims, specialize);
     opts.chaos = Some(ChaosOptions::new(seed, rate).with_sites(sites & SITE_ALL));
-    let (v, all_ok) =
-        chaos_run(&cfg, opts).map_err(|p| format!("panic escaped Engine::run under chaos: {p}"))?;
+    let (v, all_ok) = chaos_run(&cfg, opts, scenario)
+        .map_err(|p| format!("panic escaped Engine::run under chaos: {p}"))?;
     if all_ok && v != clean {
         return Err(format!(
             "every fault was recovered (all cycles Ok) but the result diverged \
-             from the fault-free run ({} {:?} {:?} seed={seed} rate={rate} sites={sites:#07b})",
+             from the fault-free run ({} {:?} {:?} {scenario:?} seed={seed} \
+             rate={rate} sites={sites:#07b})",
             cfg.tag(),
             variant,
             specialize,
@@ -114,14 +137,15 @@ fn check_case(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Random pipeline × random fault plan: bitwise after recovery, or a
-    /// typed error — never a panic.
+    /// Random pipeline × random scenario × random fault plan: bitwise
+    /// after recovery, or a typed error — never a panic.
     #[test]
     fn chaos_is_bitwise_recoverable_or_typed(
         ndims_sel in 0u8..2,
         cycle_sel in 0u8..2,
         variant_sel in 0u8..2,
         spec_sel in 0u8..2,
+        scenario_sel in 0u8..4,
         seed in 0u64..1_000_000_000,
         rate in 0.0f64..0.5,
         sites in 1u8..=SITE_ALL,
@@ -130,7 +154,11 @@ proptest! {
         let cycle = if cycle_sel == 0 { CycleType::V } else { CycleType::W };
         let variant = if variant_sel == 0 { Variant::OptPlus } else { Variant::DtileOptPlus };
         let specialize = spec_sel == 1;
-        if let Err(msg) = check_case(ndims, cycle, variant, specialize, seed, rate, sites) {
+        // Fmg shares the constant per-cycle pipeline, so the interesting
+        // chaos surfaces are the other scenario operators/smoothers.
+        let scenario = [Scenario::Constant, Scenario::VarCoef, Scenario::Rbgs, Scenario::Chebyshev]
+            [scenario_sel as usize];
+        if let Err(msg) = check_case(ndims, cycle, variant, specialize, scenario, seed, rate, sites) {
             prop_assert!(false, "{}", msg);
         }
     }
@@ -141,8 +169,13 @@ proptest! {
 #[test]
 fn fixed_seeds_gate() {
     for seed in [1u64, 2, 3] {
-        for &(ndims, variant) in &[(2, Variant::OptPlus), (3, Variant::DtileOptPlus)] {
-            check_case(ndims, CycleType::V, variant, true, seed, 0.2, SITE_ALL)
+        for &(ndims, variant, scenario) in &[
+            (2, Variant::OptPlus, Scenario::Constant),
+            (3, Variant::DtileOptPlus, Scenario::Constant),
+            (2, Variant::OptPlus, Scenario::VarCoef),
+            (2, Variant::OptPlus, Scenario::Rbgs),
+        ] {
+            check_case(ndims, CycleType::V, variant, true, scenario, seed, 0.2, SITE_ALL)
                 .unwrap_or_else(|msg| panic!("seed {seed}: {msg}"));
         }
     }

@@ -79,11 +79,11 @@ fn every_group_stage_has_storage() {
                         "{tag}: stage {} has no storage",
                         s.0
                     ),
-                    GroupTiling::Diamond { .. } => {
+                    GroupTiling::Diamond { .. } | GroupTiling::MixedChain => {
                         // only the last step is live-out; intermediates use
-                        // the modulo buffers
+                        // the modulo (resp. f32 ping-pong) buffers
                         if i + 1 == g.stages.len() {
-                            assert!(g.live_out[i], "{tag}: diamond tail not live-out");
+                            assert!(g.live_out[i], "{tag}: chain tail not live-out");
                         }
                     }
                 }
